@@ -1,0 +1,1 @@
+bench/experiments.ml: Asp Core Ic List Printf Query Relational Repair Semantics Table Workload

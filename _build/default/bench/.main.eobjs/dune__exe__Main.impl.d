@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Asp Bechamel Benchmark Core Experiments Hashtbl Ic List Measure Printf Query Repair Semantics Staged Sys Test Time Toolkit Workload

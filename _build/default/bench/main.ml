@@ -1,0 +1,103 @@
+(* Benchmark harness: regenerates every experiment table (E1-E10, see
+   EXPERIMENTS.md) and optionally runs the Bechamel micro-benchmarks.
+
+     dune exec bench/main.exe            # all tables
+     dune exec bench/main.exe -- --micro # tables + micro-benchmarks
+     dune exec bench/main.exe -- E4 E5   # selected tables *)
+
+let micro_tests () =
+  let open Bechamel in
+  let ex15 = Workload.Paperdb.example15 in
+  let ex19 = Workload.Paperdb.example19 in
+  let fk = Workload.Gen.fk_workload ~seed:9 ~n_parent:4 ~n_child:6 ~orphan_rate:0.3 ~null_rate:0.1 () in
+  let check = Workload.Gen.check_workload ~seed:9 ~n:200 ~viol_rate:0.2 ~null_rate:0.2 () in
+  let pg19 =
+    match Core.Proggen.repair_program ex19.Workload.Paperdb.d ex19.Workload.Paperdb.ics with
+    | Ok pg -> pg
+    | Error m -> failwith m
+  in
+  let ground19 = Asp.Grounder.ground pg19.Core.Proggen.program in
+  let query =
+    Query.Qsyntax.make ~head:[ "id"; "code" ]
+      (Query.Qsyntax.Atom
+         (Ic.Patom.make "Course" [ Ic.Term.var "id"; Ic.Term.var "code" ]))
+  in
+  [
+    (* E1: paper-example repair computation *)
+    Test.make ~name:"E1.repairs.enumerate.ex15" (Staged.stage (fun () ->
+        Repair.Enumerate.repairs ex15.Workload.Paperdb.d ex15.Workload.Paperdb.ics));
+    Test.make ~name:"E1.repairs.program.ex19" (Staged.stage (fun () ->
+        Core.Engine.repairs ex19.Workload.Paperdb.d ex19.Workload.Paperdb.ics));
+    (* E2/E8: engines on a synthetic FK workload *)
+    Test.make ~name:"E2.enumerate.fk" (Staged.stage (fun () ->
+        Repair.Enumerate.repairs fk.Workload.Gen.d fk.Workload.Gen.ics));
+    Test.make ~name:"E8.program.fk" (Staged.stage (fun () ->
+        Core.Engine.repairs fk.Workload.Gen.d fk.Workload.Gen.ics));
+    (* E4: solving the ground program with and without shifting *)
+    Test.make ~name:"E4.solve.shifted" (Staged.stage (fun () ->
+        Asp.Solver.stable_models (Asp.Shift.ground ground19)));
+    Test.make ~name:"E4.solve.disjunctive" (Staged.stage (fun () ->
+        Asp.Solver.stable_models ground19));
+    (* E5: generation + grounding *)
+    Test.make ~name:"E5.generate.width6" (Staged.stage (fun () ->
+        Core.Proggen.repair_program (Workload.Gen.disjunctive_uic ~width:6).Workload.Gen.d
+          (Workload.Gen.disjunctive_uic ~width:6).Workload.Gen.ics));
+    (* E6: the satisfaction check itself on a wider instance *)
+    Test.make ~name:"E6.nullsat.check200" (Staged.stage (fun () ->
+        Semantics.Nullsat.check check.Workload.Gen.d check.Workload.Gen.ics));
+    (* E7: CQA end-to-end *)
+    Test.make ~name:"E7.cqa.ex15" (Staged.stage (fun () ->
+        Query.Cqa.consistent_answers ex15.Workload.Paperdb.d
+          ex15.Workload.Paperdb.ics query));
+    (* E10: graph analysis *)
+    Test.make ~name:"E10.depgraph.ex19" (Staged.stage (fun () ->
+        Ic.Depgraph.is_ric_acyclic ex19.Workload.Paperdb.ics));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "\n--- micro-benchmarks (Bechamel, monotonic clock) ---";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name raw ->
+          match Analyze.one (Analyze.ols ~bootstrap:0 ~r_square:false
+                               ~predictors:[| Measure.run |]) instance raw with
+          | ols -> (
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n" name est
+              | _ -> Printf.printf "%-28s (no estimate)\n" name)
+          | exception _ -> Printf.printf "%-28s (analysis failed)\n" name)
+        results)
+    (micro_tests ());
+  flush stdout
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let micro = List.mem "--micro" args in
+  let selected = List.filter (fun a -> a <> "--micro") args in
+  let named =
+    [ ("E1", List.nth Experiments.all 0); ("E2", List.nth Experiments.all 1);
+      ("E3", List.nth Experiments.all 2); ("E4", List.nth Experiments.all 3);
+      ("E5", List.nth Experiments.all 4); ("E6", List.nth Experiments.all 5);
+      ("E7", List.nth Experiments.all 6); ("E8", List.nth Experiments.all 7);
+      ("E9", List.nth Experiments.all 8); ("E10", List.nth Experiments.all 9);
+      ("E11", List.nth Experiments.all 10); ("E12", List.nth Experiments.all 11);
+      ("E13", List.nth Experiments.all 12); ("E14", List.nth Experiments.all 13) ]
+  in
+  print_endline
+    "cqanull benchmark harness — reproduction tables for 'Semantically \
+     Correct Query Answers in the Presence of Null Values' (EDBT 2006)";
+  (match selected with
+  | [] -> List.iter (fun (_, f) -> f ()) named
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n named with
+          | Some f -> f ()
+          | None -> Printf.eprintf "unknown table %s (E1..E14)\n" n)
+        names);
+  if micro then run_micro ()

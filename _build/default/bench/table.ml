@@ -1,0 +1,35 @@
+(* Minimal fixed-width table printer for the experiment harness. *)
+
+let print ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left
+      (fun w row ->
+        match List.nth_opt row c with
+        | Some cell -> max w (String.length cell)
+        | None -> w)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = Option.value ~default:"" (List.nth_opt row c) in
+           cell ^ String.make (w - String.length cell) ' ')
+         widths)
+  in
+  Printf.printf "\n--- %s ---\n" title;
+  print_endline (line header);
+  print_endline (String.make (String.length (line header)) '-');
+  List.iter (fun row -> print_endline (line row)) rows;
+  flush stdout
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, t1 -. t0)
+
+let ms dt = Printf.sprintf "%.2f" (1000.0 *. dt)

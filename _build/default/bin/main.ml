@@ -1,0 +1,333 @@
+(* cqanull — consistent query answering over databases with null values.
+
+   Subcommands: check, repairs, cqa, export, graph. *)
+
+open Cmdliner
+
+let load_or_die file =
+  match Lang.Load.of_file file with
+  | Ok l -> l
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 2
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Surface file with facts, constraints and queries.")
+
+(* ------------------------------------------------------------------ *)
+(* check *)
+
+let check_cmd =
+  let run file all_semantics =
+    let l = load_or_die file in
+    let d = l.Lang.Load.instance and ics = l.Lang.Load.ics in
+    if all_semantics then begin
+      let rows = Semantics.Report.compare_semantics d ics in
+      List.iter (fun row -> Fmt.pr "%a@." Semantics.Report.pp_row row) rows;
+      if Semantics.Nullsat.consistent d ics then 0 else 1
+    end
+    else begin
+      match Semantics.Nullsat.check d ics with
+      | [] ->
+          Fmt.pr "consistent (%d tuples, %d constraints)@." (Relational.Instance.cardinal d)
+            (List.length ics);
+          0
+      | violations ->
+          List.iter (fun v -> Fmt.pr "%a@." Semantics.Nullsat.pp_violation v) violations;
+          Fmt.pr "%d violation(s)@." (List.length violations);
+          1
+    end
+  in
+  let all_flag =
+    Arg.(value & flag & info [ "all-semantics" ] ~doc:"Compare all six satisfaction semantics.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check the database against its constraints under |=_N.")
+    Term.(const (fun f a -> Stdlib.exit (run f a)) $ file_arg $ all_flag)
+
+(* ------------------------------------------------------------------ *)
+(* repairs *)
+
+let engine_conv =
+  Arg.enum [ ("program", `Program); ("enumerate", `Enumerate) ]
+
+let method_conv =
+  Arg.enum
+    [ ("program", `Program); ("enumerate", `Enumerate); ("cautious", `Cautious) ]
+
+let print_repairs d repairs =
+  List.iteri
+    (fun i r ->
+      Fmt.pr "repair %d: %a@." (i + 1) Relational.Instance.pp_inline r;
+      Fmt.pr "  delta: %a@." Relational.Instance.pp_inline
+        (Relational.Instance.symdiff d r))
+    repairs;
+  Fmt.pr "%d repair(s)@." (List.length repairs)
+
+let repairs_cmd =
+  let run file engine repd save =
+    let l = load_or_die file in
+    let d = l.Lang.Load.instance and ics = l.Lang.Load.ics in
+    (match Ic.Builder.non_conflicting ics with
+    | Ok () -> ()
+    | Error (nnc, ic) ->
+        Fmt.epr
+          "warning: NOT NULL-constraint '%s' conflicts with the existential \
+           attribute of '%s' (Example 20 situation); consider --repd@."
+          (Ic.Constr.label nnc) (Ic.Constr.label ic));
+    let repairs =
+      if repd then Repair.Repd.repairs_d d ics
+      else
+        match engine with
+        | `Enumerate -> Repair.Enumerate.repairs d ics
+        | `Program -> (
+            match Core.Engine.repairs d ics with
+            | Ok reps -> reps
+            | Error msg ->
+                Fmt.epr "repair program not applicable (%s); falling back to \
+                         enumeration@." msg;
+                Repair.Enumerate.repairs d ics)
+    in
+    print_repairs d repairs;
+    (match save with
+    | None -> ()
+    | Some prefix ->
+        List.iteri
+          (fun i r ->
+            let path = Printf.sprintf "%s_%d.cqa" prefix (i + 1) in
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Lang.Emit.file ~ics r));
+            Fmt.pr "wrote %s@." path)
+          repairs);
+    0
+  in
+  let engine_flag =
+    Arg.(
+      value
+      & opt engine_conv `Program
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Repair engine: 'program' (stable models of Pi(D,IC), Section 5) \
+                or 'enumerate' (model-theoretic, Section 4).")
+  in
+  let repd_flag =
+    Arg.(value & flag & info [ "repd" ] ~doc:"Compute the deletion-preferring class Rep_d.")
+  in
+  let save_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"PREFIX"
+          ~doc:"Write each repair (with the constraints) to PREFIX_<i>.cqa.")
+  in
+  Cmd.v
+    (Cmd.info "repairs" ~doc:"Enumerate the repairs of the database.")
+    Term.(
+      const (fun f e r s -> Stdlib.exit (run f e r s))
+      $ file_arg $ engine_flag $ repd_flag $ save_flag)
+
+(* ------------------------------------------------------------------ *)
+(* cqa *)
+
+let cqa_cmd =
+  let run file query_name engine =
+    let l = load_or_die file in
+    let d = l.Lang.Load.instance and ics = l.Lang.Load.ics in
+    let queries =
+      match query_name with
+      | None -> l.Lang.Load.queries
+      | Some n -> (
+          match List.assoc_opt n l.Lang.Load.queries with
+          | Some q -> [ (n, q) ]
+          | None ->
+              Fmt.epr "error: no query named %s@." n;
+              exit 2)
+    in
+    if queries = [] then begin
+      Fmt.epr "error: the file declares no queries@.";
+      exit 2
+    end;
+    let method_ =
+      match engine with
+      | `Program -> Query.Cqa.LogicProgram
+      | `Enumerate -> Query.Cqa.ModelTheoretic
+      | `Cautious -> Query.Cqa.CautiousProgram
+    in
+    List.iter
+      (fun (name, q) ->
+        Fmt.pr "query %s: %a@." name Query.Qsyntax.pp q;
+        (match Query.Qsafe.check q with
+        | Ok () -> ()
+        | Error msg -> Fmt.pr "  note: %s@." msg);
+        match Query.Cqa.consistent_answers ~method_ d ics q with
+        | Error msg -> Fmt.pr "  error: %s@." msg
+        | Ok outcome -> Fmt.pr "%a@." Query.Cqa.pp_outcome outcome)
+      queries;
+    0
+  in
+  let query_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query"; "q" ] ~docv:"NAME" ~doc:"Only answer the named query.")
+  in
+  let engine_flag =
+    Arg.(
+      value & opt method_conv `Program
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"'program' and 'enumerate' materialize the repairs; 'cautious'                 reasons over the repair program without materializing any                 (RIC-acyclic constraints only).")
+  in
+  Cmd.v
+    (Cmd.info "cqa" ~doc:"Compute consistent answers (Definition 8) to the file's queries.")
+    Term.(const (fun f q e -> Stdlib.exit (run f q e)) $ file_arg $ query_flag $ engine_flag)
+
+(* ------------------------------------------------------------------ *)
+(* export *)
+
+let export_cmd =
+  let run file dialect variant output =
+    let l = load_or_die file in
+    let variant =
+      match variant with `Literal -> Core.Proggen.Literal | `Refined -> Core.Proggen.Refined
+    in
+    match Core.Proggen.repair_program ~variant l.Lang.Load.instance l.Lang.Load.ics with
+    | Error msg ->
+        Fmt.epr "error: %s@." msg;
+        1
+    | Ok pg ->
+        let text =
+          match dialect with
+          | `Dlv -> Core.Proggen.to_dlv pg
+          | `Clingo -> Core.Proggen.to_clingo pg
+        in
+        (match output with
+        | None -> print_string text
+        | Some path ->
+            Out_channel.with_open_text path (fun oc -> output_string oc text);
+            Fmt.pr "wrote %s@." path);
+        0
+  in
+  let dialect_flag =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("dlv", `Dlv); ("clingo", `Clingo) ]) `Dlv
+      & info [ "dialect" ] ~docv:"DIALECT" ~doc:"Target solver syntax.")
+  in
+  let variant_flag =
+    Arg.(
+      value
+      & opt (Arg.enum [ ("literal", `Literal); ("refined", `Refined) ]) `Literal
+      & info [ "variant" ] ~docv:"VARIANT"
+          ~doc:"'literal' emits Definition 9 verbatim; 'refined' the corrected \
+                aux rules (see DESIGN.md).")
+  in
+  let output_flag =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Print the repair program Pi(D, IC) for an external ASP solver.")
+    Term.(
+      const (fun f d v o -> Stdlib.exit (run f d v o))
+      $ file_arg $ dialect_flag $ variant_flag $ output_flag)
+
+(* ------------------------------------------------------------------ *)
+(* solve: run the internal ASP solver on a DLV/clingo-syntax file *)
+
+let solve_cmd =
+  let run file limit mode =
+    match Asp.Aspparse.parse_file file with
+    | exception Asp.Aspparse.Parse_error (msg, line) ->
+        Fmt.epr "parse error at line %d: %s@." line msg;
+        1
+    | exception Sys_error msg ->
+        Fmt.epr "error: %s@." msg;
+        1
+    | program -> (
+        match Asp.Grounder.ground program with
+        | exception Asp.Grounder.Unsafe msg ->
+            Fmt.epr "error: %s@." msg;
+            1
+        | ground -> (
+            let solvable =
+              if Asp.Hcf.is_hcf ground then Asp.Shift.ground ground else ground
+            in
+            let pp_atoms atoms =
+              Fmt.pr "{%a}@."
+                Fmt.(list ~sep:(any ", ") Asp.Ground.pp_gatom)
+                atoms
+            in
+            match mode with
+            | `Models ->
+                let models =
+                  Asp.Solver.stable_models_atoms ?limit solvable
+                in
+                List.iter pp_atoms models;
+                Fmt.pr "%d stable model(s)@." (List.length models);
+                if models = [] then 1 else 0
+            | `Cautious ->
+                pp_atoms
+                  (List.map (Asp.Ground.atom_of solvable) (Asp.Solver.cautious solvable));
+                0
+            | `Brave ->
+                pp_atoms
+                  (List.map (Asp.Ground.atom_of solvable) (Asp.Solver.brave solvable));
+                0))
+  in
+  let limit_flag =
+    Arg.(value & opt (some int) None & info [ "n"; "limit" ] ~docv:"N" ~doc:"Stop after N models.")
+  in
+  let mode_flag =
+    Arg.(
+      value
+      & vflag `Models
+          [
+            (`Cautious, info [ "cautious" ] ~doc:"Print atoms true in every stable model.");
+            (`Brave, info [ "brave" ] ~doc:"Print atoms true in some stable model.");
+          ])
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Run the internal stable-model solver on a DLV/clingo-syntax program.")
+    Term.(const (fun f l m -> Stdlib.exit (run f l m)) $ file_arg $ limit_flag $ mode_flag)
+
+(* ------------------------------------------------------------------ *)
+(* graph *)
+
+let graph_cmd =
+  let run file =
+    let l = load_or_die file in
+    let ics = l.Lang.Load.ics in
+    let g = Ic.Depgraph.build ics in
+    Fmt.pr "dependency graph G(IC):@.%a@.@." Ic.Depgraph.pp g;
+    let c = Ic.Depgraph.contract ics in
+    Fmt.pr "contracted graph GC(IC):@.%a@.@." Ic.Depgraph.pp_contracted c;
+    (match Ic.Depgraph.ric_cycle ics with
+    | None -> Fmt.pr "RIC-acyclic: yes (Theorem 4 applies)@."
+    | Some cycle ->
+        Fmt.pr "RIC-acyclic: NO — cycle through %a@."
+          Fmt.(list ~sep:(any " -> ") (fun ppf c -> pf ppf "{%a}" (list ~sep:(any ",") string) c))
+          cycle);
+    (match Core.Hcfcheck.bilateral_predicates ics with
+    | [] -> Fmt.pr "bilateral predicates: none@."
+    | bilateral ->
+        Fmt.pr "bilateral predicates: %a@." Fmt.(list ~sep:(any ", ") string) bilateral);
+    if Core.Hcfcheck.static_hcf ics then
+      Fmt.pr "Theorem 5: repair program is head-cycle-free (CQA in coNP)@."
+    else
+      Fmt.pr "Theorem 5 condition fails: repair program may be properly disjunctive@.";
+    Fmt.pr "@.null propagation:@.%s@." (Core.Nullflow.report l.Lang.Load.instance ics);
+    0
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Analyze the constraint set: dependency graphs, RIC-acyclicity, HCF.")
+    Term.(const (fun f -> Stdlib.exit (run f)) $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "cqanull" ~version:"1.0.0"
+      ~doc:"Consistent query answers in the presence of null values (Bravo & \
+            Bertossi, EDBT 2006)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; repairs_cmd; cqa_cmd; export_cmd; graph_cmd; solve_cmd ]))

@@ -1,0 +1,1 @@
+examples/census_cyclic.ml: Asp Core Fmt Ic List Query Relational Repair Semantics

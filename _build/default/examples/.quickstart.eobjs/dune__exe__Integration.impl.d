@@ -1,0 +1,1 @@
+examples/integration.ml: Fmt Ic List Query Relational Semantics

@@ -1,0 +1,1 @@
+examples/payroll.ml: Fmt Ic List Query Relational Repair Semantics Workload

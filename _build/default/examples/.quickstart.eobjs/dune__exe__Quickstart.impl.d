@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Fmt Ic List Query Relational Repair Semantics

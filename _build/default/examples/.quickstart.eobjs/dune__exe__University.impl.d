@@ -1,0 +1,1 @@
+examples/university.ml: Core Fmt Ic Lang List Query Relational Semantics

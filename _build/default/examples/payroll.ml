@@ -1,0 +1,94 @@
+(* Payroll audit: check constraints, a functional dependency and NOT
+   NULL-constraints over an employee table with missing data (the setting of
+   Examples 6 and 8), including the deletion-preferring class Rep_d when a
+   NOT NULL-constraint conflicts with a referential constraint (Example 20).
+
+     dune exec examples/payroll.exe *)
+
+module Value = Relational.Value
+module Instance = Relational.Instance
+module Term = Ic.Term
+module Builtin = Ic.Builtin
+
+let atom p ts = Ic.Patom.make p ts
+let v = Term.var
+
+let section title = Fmt.pr "@.== %s ==@." title
+
+let () =
+  let d =
+    Instance.of_list
+      [
+        ("Emp", [ Value.int 32; Value.null; Value.int 1000 ]);
+        ("Emp", [ Value.int 41; Value.str "Paul"; Value.null ]);
+        ("Emp", [ Value.int 7; Value.str "Lee"; Value.int 50 ]);
+        (* FD violation: employee 41 in two departments *)
+        ("Dept", [ Value.int 41; Value.str "sales" ]);
+        ("Dept", [ Value.int 41; Value.str "hr" ]);
+        ("Dept", [ Value.int 32; Value.str "eng" ]);
+      ]
+  in
+  let schema =
+    Relational.Schema.of_list
+      [ ("Emp", [ "ID"; "Name"; "Salary" ]); ("Dept", [ "EmpID"; "Dept" ]) ]
+  in
+  let salary_check =
+    Ic.Builder.check ~name:"salary_above_100"
+      (atom "Emp" [ v "i"; v "n"; v "s" ])
+      [ Builtin.cmp Builtin.Gt (Builtin.evar "s") (Builtin.eint 100) ]
+  in
+  let dept_fd =
+    Ic.Builder.functional_dependency ~name:"one_dept" ~pred:"Dept" ~arity:2
+      ~lhs:[ 1 ] ~rhs:2 ()
+  in
+  let emp_id_nn = Ic.Constr.not_null ~name:"emp_id_nn" ~pred:"Emp" ~arity:3 ~pos:1 () in
+  let ics = [ salary_check; dept_fd; emp_id_nn ] in
+
+  section "database";
+  print_endline (Relational.Pretty.instance ~schema d);
+
+  section "violations under |=_N";
+  (* Emp(41, Paul, null): salary null is in the only relevant attribute of
+     the check constraint, so DB2-style it passes; Emp(7, Lee, 50) fails. *)
+  List.iter
+    (fun viol -> Fmt.pr "%a@." Semantics.Nullsat.pp_violation viol)
+    (Semantics.Nullsat.check d ics);
+
+  section "repairs";
+  let repairs = Repair.Enumerate.repairs d ics in
+  List.iteri
+    (fun i r ->
+      Fmt.pr "repair %d: delta = %a@." (i + 1) Instance.pp_inline
+        (Instance.symdiff d r))
+    repairs;
+
+  section "consistent answers: employees with a known-valid salary";
+  let q =
+    Query.Qsyntax.make ~name:"paid" ~head:[ "i" ]
+      (Query.Qsyntax.Exists
+         ( [ "n"; "s" ],
+           Query.Qsyntax.And
+             ( Query.Qsyntax.Atom (atom "Emp" [ v "i"; v "n"; v "s" ]),
+               Query.Qsyntax.Not (Query.Qsyntax.IsNull (v "s")) ) ))
+  in
+  (match Query.Cqa.consistent_answers d ics q with
+  | Error msg -> Fmt.pr "error: %s@." msg
+  | Ok o -> Fmt.pr "%a@." Query.Cqa.pp_outcome o);
+
+  (* Example 20: a NOT NULL-constraint on an attribute the repair process
+     would want to fill with null. *)
+  section "conflicting NNC (Example 20) and Rep_d";
+  let d20 = Workload.Paperdb.example20.Workload.Paperdb.d in
+  let ics20 = Workload.Paperdb.example20.Workload.Paperdb.ics in
+  (match Ic.Builder.non_conflicting ics20 with
+  | Ok () -> Fmt.pr "unexpectedly non-conflicting@."
+  | Error (nnc, ic) ->
+      Fmt.pr "conflict: %s is NOT NULL but existential in %s@."
+        (Ic.Constr.label nnc) (Ic.Constr.label ic));
+  let rep = Repair.Enumerate.repairs d20 ics20 in
+  Fmt.pr "Rep   (%d): every non-null constant of the universe can fill the gap@."
+    (List.length rep);
+  List.iter (fun r -> Fmt.pr "  %a@." Instance.pp_inline r) rep;
+  let repd = Repair.Repd.repairs_d d20 ics20 in
+  Fmt.pr "Rep_d (%d): deletions preferred@." (List.length repd);
+  List.iter (fun r -> Fmt.pr "  %a@." Instance.pp_inline r) repd

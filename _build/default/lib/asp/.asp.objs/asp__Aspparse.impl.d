@@ -1,0 +1,1 @@
+lib/asp/aspparse.ml: In_channel List Printer Printf Scanf String Syntax

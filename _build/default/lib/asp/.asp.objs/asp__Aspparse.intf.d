@@ -1,0 +1,1 @@
+lib/asp/aspparse.mli: Printer Syntax

@@ -1,0 +1,1 @@
+lib/asp/extsolver.ml: Buffer Filename Ground Grounder List Option Printer Printf Scanf Solver String Syntax Sys Unix

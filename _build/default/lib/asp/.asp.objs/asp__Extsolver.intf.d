@@ -1,0 +1,1 @@
+lib/asp/extsolver.mli: Ground Syntax

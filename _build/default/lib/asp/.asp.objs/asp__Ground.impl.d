@@ -1,0 +1,1 @@
+lib/asp/ground.ml: Array Fmt Hashtbl List String Syntax

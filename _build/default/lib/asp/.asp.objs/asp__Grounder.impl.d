@@ -1,0 +1,1 @@
+lib/asp/grounder.ml: Array Ground Hashtbl Int List Option Printf Safety Set Syntax

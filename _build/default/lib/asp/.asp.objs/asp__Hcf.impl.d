@@ -1,0 +1,1 @@
+lib/asp/hcf.ml: Array Ground List Option

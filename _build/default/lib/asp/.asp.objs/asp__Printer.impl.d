@@ -1,0 +1,1 @@
+lib/asp/printer.ml: Fun List Printf String Syntax

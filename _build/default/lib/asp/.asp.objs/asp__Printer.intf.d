@@ -1,0 +1,1 @@
+lib/asp/printer.mli: Syntax

@@ -1,0 +1,1 @@
+lib/asp/safety.ml: Fmt List String Syntax

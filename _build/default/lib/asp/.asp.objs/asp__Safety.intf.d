@@ -1,0 +1,1 @@
+lib/asp/safety.mli: Syntax

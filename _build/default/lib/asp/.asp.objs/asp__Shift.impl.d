@@ -1,0 +1,1 @@
+lib/asp/shift.ml: Array Ground Int List Syntax

@@ -1,0 +1,1 @@
+lib/asp/shift.mli: Ground Syntax

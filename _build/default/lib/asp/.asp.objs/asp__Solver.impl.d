@@ -1,0 +1,1 @@
+lib/asp/solver.ml: Array Fmt Ground Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/asp/syntax.ml: Fmt Int List String

@@ -1,0 +1,1 @@
+lib/asp/syntax.mli: Fmt

@@ -1,0 +1,252 @@
+exception Parse_error of string * int
+
+type token =
+  | TIdent of string      (* lowercase identifier *)
+  | TVar of string        (* capitalized identifier or _x *)
+  | TInt of int
+  | TStr of string
+  | TLparen | TRparen | TComma | TDot
+  | TIf                   (* :- *)
+  | TDisj                 (* v, |, ; *)
+  | TNot
+  | TOp of Syntax.cmp_op
+  | TEof
+
+let tokenize input =
+  let n = String.length input in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let error msg = raise (Parse_error (msg, !line)) in
+  let is_ident_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+    | _ -> false
+  in
+  while !i < n do
+    (match input.[!i] with
+    | '\n' ->
+        incr line;
+        incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '%' | '#' ->
+        while !i < n && input.[!i] <> '\n' do
+          incr i
+        done
+    | '(' -> emit TLparen; incr i
+    | ')' -> emit TRparen; incr i
+    | ',' -> emit TComma; incr i
+    | '.' -> emit TDot; incr i
+    | ';' | '|' -> emit TDisj; incr i
+    | ':' ->
+        if !i + 1 < n && input.[!i + 1] = '-' then begin
+          emit TIf;
+          i := !i + 2
+        end
+        else error "expected ':-'"
+    | '=' -> emit (TOp Syntax.Eq); incr i
+    | '!' ->
+        if !i + 1 < n && input.[!i + 1] = '=' then begin
+          emit (TOp Syntax.Neq);
+          i := !i + 2
+        end
+        else error "expected '!='"
+    | '<' ->
+        if !i + 1 < n && input.[!i + 1] = '=' then begin
+          emit (TOp Syntax.Leq);
+          i := !i + 2
+        end
+        else if !i + 1 < n && input.[!i + 1] = '>' then begin
+          emit (TOp Syntax.Neq);
+          i := !i + 2
+        end
+        else begin
+          emit (TOp Syntax.Lt);
+          incr i
+        end
+    | '>' ->
+        if !i + 1 < n && input.[!i + 1] = '=' then begin
+          emit (TOp Syntax.Geq);
+          i := !i + 2
+        end
+        else begin
+          emit (TOp Syntax.Gt);
+          incr i
+        end
+    | '"' ->
+        let start = !i + 1 in
+        let j = ref start in
+        while !j < n && input.[!j] <> '"' do
+          if input.[!j] = '\n' then incr line;
+          incr j
+        done;
+        if !j >= n then error "unterminated string";
+        emit (TStr (Scanf.unescaped (String.sub input start (!j - start))));
+        i := !j + 1
+    | '-' | '0' .. '9' ->
+        let start = !i in
+        if input.[!i] = '-' then incr i;
+        let j = ref !i in
+        while !j < n && match input.[!j] with '0' .. '9' -> true | _ -> false do
+          incr j
+        done;
+        if !j = !i then error "expected digits";
+        emit (TInt (int_of_string (String.sub input start (!j - start))));
+        i := !j
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let start = !i in
+        let j = ref !i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        let word = String.sub input start (!j - start) in
+        i := !j;
+        (match word with
+        | "v" -> emit TDisj
+        | "not" -> emit TNot
+        | _ ->
+            (match word.[0] with
+            | 'A' .. 'Z' | '_' -> emit (TVar word)
+            | _ -> emit (TIdent word)))
+    | c -> error (Printf.sprintf "unexpected character %C" c));
+  done;
+  emit TEof;
+  List.rev !tokens
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (TEof, 0) | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let error st msg =
+  let _, line = peek st in
+  raise (Parse_error (msg, line))
+
+let parse_term st =
+  match fst (peek st) with
+  | TVar x ->
+      advance st;
+      Syntax.Var (String.capitalize_ascii x)
+  | TInt i ->
+      advance st;
+      Syntax.cnum i
+  | TIdent s ->
+      advance st;
+      Syntax.csym s
+  | TStr s ->
+      advance st;
+      Syntax.csym s
+  | _ -> error st "expected a term"
+
+let parse_atom_from st name =
+  match fst (peek st) with
+  | TLparen ->
+      advance st;
+      let rec args acc =
+        let t = parse_term st in
+        match fst (peek st) with
+        | TComma ->
+            advance st;
+            args (t :: acc)
+        | TRparen ->
+            advance st;
+            List.rev (t :: acc)
+        | _ -> error st "expected ',' or ')'"
+      in
+      Syntax.atom name (args [])
+  | _ -> Syntax.atom name []
+
+(* a body literal: atom, negated atom, or comparison *)
+type blit =
+  | BPos of Syntax.atom
+  | BNeg of Syntax.atom
+  | BCmp of Syntax.builtin
+
+let parse_body_lit st =
+  match fst (peek st) with
+  | TNot -> (
+      advance st;
+      match fst (peek st) with
+      | TIdent name ->
+          advance st;
+          BNeg (parse_atom_from st name)
+      | _ -> error st "expected atom after 'not'")
+  | TIdent name -> (
+      advance st;
+      let atom = parse_atom_from st name in
+      (* a zero-ary "atom" followed by a comparison operator is actually a
+         constant operand — not produced by our printer, reject *)
+      match fst (peek st), atom.Syntax.args with
+      | TOp op, [] ->
+          advance st;
+          let rhs = parse_term st in
+          BCmp (Syntax.builtin op (Syntax.csym atom.Syntax.pred) rhs)
+      | _ -> BPos atom)
+  | TVar _ | TInt _ | TStr _ -> (
+      let lhs = parse_term st in
+      match fst (peek st) with
+      | TOp op ->
+          advance st;
+          let rhs = parse_term st in
+          BCmp (Syntax.builtin op lhs rhs)
+      | _ -> error st "expected comparison operator")
+  | _ -> error st "expected a body literal"
+
+let parse_rule st =
+  (* head *)
+  let rec head acc =
+    match fst (peek st) with
+    | TIdent name -> (
+        advance st;
+        let a = parse_atom_from st name in
+        match fst (peek st) with
+        | TDisj ->
+            advance st;
+            head (a :: acc)
+        | _ -> List.rev (a :: acc))
+    | _ -> error st "expected head atom"
+  in
+  let head_atoms =
+    match fst (peek st) with TIf -> [] | _ -> head []
+  in
+  let body =
+    match fst (peek st) with
+    | TIf -> (
+        advance st;
+        (* tolerate the degenerate ':- .' our printer emits for an
+           always-violated constraint with an empty body *)
+        match fst (peek st) with
+        | TDot -> []
+        | _ ->
+            let rec lits acc =
+              let l = parse_body_lit st in
+              match fst (peek st) with
+              | TComma ->
+                  advance st;
+                  lits (l :: acc)
+              | _ -> List.rev (l :: acc)
+            in
+            lits [])
+    | _ -> []
+  in
+  (match fst (peek st) with
+  | TDot -> advance st
+  | _ -> error st "expected '.'");
+  let pos = List.filter_map (function BPos a -> Some a | _ -> None) body in
+  let neg = List.filter_map (function BNeg a -> Some a | _ -> None) body in
+  let cmp = List.filter_map (function BCmp b -> Some b | _ -> None) body in
+  Syntax.rule head_atoms ~body_pos:pos ~body_neg:neg ~body_builtin:cmp
+
+let parse input =
+  let st = { toks = tokenize input } in
+  let rec rules acc =
+    match fst (peek st) with
+    | TEof -> List.rev acc
+    | _ -> rules (parse_rule st :: acc)
+  in
+  rules []
+
+let parse_file path =
+  parse (In_channel.with_open_text path In_channel.input_all)
+
+let roundtrip dialect p = parse (Printer.program_to_string dialect p)

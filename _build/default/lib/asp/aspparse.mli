@@ -1,0 +1,26 @@
+(** Parser for the DLV/clingo concrete syntax emitted by {!Printer} —
+    closes the loop with external solvers and lets the CLI solve hand-written
+    programs.
+
+    Accepted grammar (a practical common subset of both dialects):
+    {v
+    rule     := [head] [":-" body] "."
+    head     := atom (("v" | "|" | ";") atom)*
+    body     := lit ("," lit)*
+    lit      := ["not"] atom | term op term
+    atom     := ident ["(" term ("," term)* ")"]
+    term     := VARIABLE | integer | ident | "quoted string"
+    op       := = | != | <> | < | <= | > | >=
+    v}
+    [%] and [#] start line comments ([#show] etc. directives are skipped).
+    Identifiers beginning with an uppercase letter or [_] are variables. *)
+
+exception Parse_error of string * int
+
+val parse : string -> Syntax.program
+(** @raise Parse_error with a line number on malformed input. *)
+
+val parse_file : string -> Syntax.program
+
+val roundtrip : Printer.dialect -> Syntax.program -> Syntax.program
+(** [parse (Printer.program_to_string dialect p)] — used by tests. *)

@@ -1,0 +1,158 @@
+type backend = Internal | Dlv of string | Clingo of string
+
+let which exe =
+  let paths = String.split_on_char ':' (try Sys.getenv "PATH" with Not_found -> "") in
+  List.find_map
+    (fun dir ->
+      let p = Filename.concat dir exe in
+      if Sys.file_exists p then Some p else None)
+    (List.filter (fun d -> d <> "") paths)
+
+let detect () =
+  match which "dlv" with
+  | Some p -> Dlv p
+  | None -> ( match which "clingo" with Some p -> Clingo p | None -> Internal)
+
+let backend_name = function
+  | Internal -> "internal"
+  | Dlv p -> "dlv (" ^ p ^ ")"
+  | Clingo p -> "clingo (" ^ p ^ ")"
+
+(* ------------------------------------------------------------------ *)
+(* Answer-set output parsing *)
+
+let parse_const s =
+  let s = String.trim s in
+  if s = "" then None
+  else if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"' then
+    Some (Syntax.Sym (Scanf.unescaped (String.sub s 1 (String.length s - 2))))
+  else
+    match int_of_string_opt s with
+    | Some i -> Some (Syntax.Num i)
+    | None -> Some (Syntax.Sym s)
+
+(* split at top-level commas, respecting double quotes and parentheses (the
+   same splitter serves atom argument lists and whole answer-set lines) *)
+let split_args s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let in_quote = ref false in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' ->
+          in_quote := not !in_quote;
+          Buffer.add_char buf c
+      | '(' when not !in_quote ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' when not !in_quote ->
+          decr depth;
+          Buffer.add_char buf c
+      | ',' when (not !in_quote) && !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev !parts
+
+let parse_atom s =
+  let s = String.trim s in
+  match String.index_opt s '(' with
+  | None ->
+      if s = "" then None else Some { Ground.gpred = s; gargs = [] }
+  | Some i ->
+      if String.length s < i + 2 || s.[String.length s - 1] <> ')' then None
+      else
+        let pred = String.sub s 0 i in
+        let inner = String.sub s (i + 1) (String.length s - i - 2) in
+        let args = List.map parse_const (split_args inner) in
+        if List.for_all Option.is_some args then
+          Some { Ground.gpred = pred; gargs = List.map Option.get args }
+        else None
+
+let sort_model m = List.sort_uniq Ground.compare_gatom m
+
+let parse_dlv_output out =
+  String.split_on_char '\n' out
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         let n = String.length line in
+         if n >= 2 && line.[0] = '{' && line.[n - 1] = '}' then
+           let inner = String.sub line 1 (n - 2) in
+           let atoms =
+             if String.trim inner = "" then []
+             else List.filter_map parse_atom (split_args inner)
+           in
+           Some (sort_model atoms)
+         else None)
+
+let parse_clingo_output out =
+  let lines = String.split_on_char '\n' out in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | line :: rest when String.length line >= 7 && String.sub line 0 7 = "Answer:" -> (
+        match rest with
+        | atoms_line :: rest' ->
+            let atoms =
+              String.split_on_char ' ' atoms_line
+              |> List.filter_map (fun s ->
+                     if String.trim s = "" then None else parse_atom s)
+            in
+            go (sort_model atoms :: acc) rest'
+        | [] -> List.rev acc)
+    | _ :: rest -> go acc rest
+  in
+  go [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Running *)
+
+let run_command cmd =
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (Buffer.contents buf, status)
+
+let internal_solve ?limit program =
+  let g = Grounder.ground program in
+  Solver.stable_models_atoms ?limit g |> List.map sort_model
+
+let solve ?backend ?limit program =
+  let backend = match backend with Some b -> b | None -> detect () in
+  let external_result =
+    match backend with
+    | Internal -> None
+    | Dlv bin -> (
+        let file = Filename.temp_file "cqanull" ".dlv" in
+        Printer.to_file Printer.Dlv file program;
+        let n = match limit with Some l -> string_of_int l | None -> "0" in
+        let cmd = Printf.sprintf "%s -silent -n=%s %s 2>/dev/null" bin n (Filename.quote file) in
+        match run_command cmd with
+        | out, Unix.WEXITED 0 -> Some (parse_dlv_output out)
+        | _ -> None
+        | exception _ -> None)
+    | Clingo bin -> (
+        let file = Filename.temp_file "cqanull" ".lp" in
+        Printer.to_file Printer.Clingo file program;
+        let n = match limit with Some l -> string_of_int l | None -> "0" in
+        let cmd = Printf.sprintf "%s %s %s 2>/dev/null" bin n (Filename.quote file) in
+        match run_command cmd with
+        (* clingo exits 10/30 for SAT, 20 for UNSAT *)
+        | out, Unix.WEXITED (10 | 20 | 30) -> Some (parse_clingo_output out)
+        | _ -> None
+        | exception _ -> None)
+  in
+  let models =
+    match external_result with
+    | Some models -> models
+    | None -> internal_solve ?limit program
+  in
+  List.sort (List.compare Ground.compare_gatom) models

@@ -1,0 +1,30 @@
+(** External answer-set solver driver.
+
+    The paper runs its repair programs on the DLV system [24].  This driver
+    shells out to [dlv] (or [clingo]) when one is installed, exporting the
+    program in the corresponding dialect and parsing the printed answer
+    sets; when neither binary is present it falls back to the internal
+    grounder + solver, so the library works in sealed environments.  The
+    output parsers are exposed for testing without the binaries. *)
+
+type backend = Internal | Dlv of string | Clingo of string
+
+val detect : unit -> backend
+(** First of [dlv], [clingo] found on PATH, else [Internal]. *)
+
+val backend_name : backend -> string
+
+val parse_atom : string -> Ground.gatom option
+(** Parse [pred] or [pred(c1,...,cn)] with numeric, bare-symbol or
+    double-quoted constants. *)
+
+val parse_dlv_output : string -> Ground.gatom list list
+(** Answer sets from DLV's [{a, b(1)}] lines. *)
+
+val parse_clingo_output : string -> Ground.gatom list list
+(** Answer sets from clingo's [Answer: n] / atom-line output. *)
+
+val solve :
+  ?backend:backend -> ?limit:int -> Syntax.program -> Ground.gatom list list
+(** Answer sets of the program, sorted within each model and across models.
+    Falls back to the internal solver if the external invocation fails. *)

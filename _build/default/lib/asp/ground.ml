@@ -1,0 +1,74 @@
+type gatom = { gpred : string; gargs : Syntax.const list }
+
+let pp_gatom ppf a =
+  match a.gargs with
+  | [] -> Fmt.string ppf a.gpred
+  | args ->
+      Fmt.pf ppf "%s(%a)" a.gpred Fmt.(list ~sep:(any ",") Syntax.pp_const) args
+
+let compare_gatom a b =
+  let c = String.compare a.gpred b.gpred in
+  if c <> 0 then c else List.compare Syntax.compare_const a.gargs b.gargs
+
+type grule = { ghead : int array; gpos : int array; gneg : int array }
+
+type t = {
+  ids : (gatom, int) Hashtbl.t;
+  mutable names : gatom array;
+  mutable next : int;
+  mutable rule_list : grule list;
+  mutable nrules : int;
+}
+
+let create () =
+  { ids = Hashtbl.create 256; names = Array.make 256 { gpred = ""; gargs = [] };
+    next = 0; rule_list = []; nrules = 0 }
+
+let intern t a =
+  match Hashtbl.find_opt t.ids a with
+  | Some i -> i
+  | None ->
+      let i = t.next in
+      if i >= Array.length t.names then begin
+        let bigger = Array.make (2 * Array.length t.names) a in
+        Array.blit t.names 0 bigger 0 (Array.length t.names);
+        t.names <- bigger
+      end;
+      t.names.(i) <- a;
+      Hashtbl.add t.ids a i;
+      t.next <- i + 1;
+      i
+
+let find t a = Hashtbl.find_opt t.ids a
+let atom_of t i = t.names.(i)
+let atom_count t = t.next
+
+let add_rule t r =
+  t.rule_list <- r :: t.rule_list;
+  t.nrules <- t.nrules + 1
+
+let rules t = Array.of_list (List.rev t.rule_list)
+let rule_count t = t.nrules
+
+let pp_rule t ppf r =
+  let atoms l = Array.to_list (Array.map (atom_of t) l) in
+  let head = atoms r.ghead and pos = atoms r.gpos and neg = atoms r.gneg in
+  let body =
+    List.map (Fmt.str "%a" pp_gatom) pos
+    @ List.map (Fmt.str "not %a" pp_gatom) neg
+  in
+  match head, body with
+  | [], _ -> Fmt.pf ppf ":- %s." (String.concat ", " body)
+  | _, [] -> Fmt.pf ppf "%a." Fmt.(list ~sep:(any " v ") pp_gatom) head
+  | _ ->
+      Fmt.pf ppf "%a :- %s."
+        Fmt.(list ~sep:(any " v ") pp_gatom)
+        head (String.concat ", " body)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:cut (fun ppf r -> pp_rule t ppf r))
+    (List.rev t.rule_list)
+
+let model_atoms t ids =
+  List.sort compare_gatom (List.map (atom_of t) ids)

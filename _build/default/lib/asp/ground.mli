@@ -1,0 +1,29 @@
+(** Ground programs: atoms interned to dense integer ids. *)
+
+type gatom = { gpred : string; gargs : Syntax.const list }
+
+val pp_gatom : gatom Fmt.t
+val compare_gatom : gatom -> gatom -> int
+
+type grule = {
+  ghead : int array;  (** empty = integrity constraint *)
+  gpos : int array;
+  gneg : int array;
+}
+
+type t
+
+val create : unit -> t
+val intern : t -> gatom -> int
+val find : t -> gatom -> int option
+val atom_of : t -> int -> gatom
+val atom_count : t -> int
+val add_rule : t -> grule -> unit
+val rules : t -> grule array
+val rule_count : t -> int
+
+val pp_rule : t -> grule Fmt.t
+val pp : t Fmt.t
+
+val model_atoms : t -> int list -> gatom list
+(** Resolve a set of atom ids into ground atoms, sorted. *)

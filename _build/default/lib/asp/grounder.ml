@@ -1,0 +1,124 @@
+exception Unsafe of string
+
+module Gset = Set.Make (struct
+  type t = Ground.gatom
+
+  let compare = Ground.compare_gatom
+end)
+
+type subst = (string * Syntax.const) list
+
+let subst_term (s : subst) = function
+  | Syntax.Const c -> Some c
+  | Syntax.Var x -> List.assoc_opt x s
+
+let unify_args (s : subst) (terms : Syntax.term list) (args : Syntax.const list) =
+  let rec go s = function
+    | [], [] -> Some s
+    | t :: ts, c :: cs -> (
+        match t with
+        | Syntax.Const d ->
+            if Syntax.equal_const c d then go s (ts, cs) else None
+        | Syntax.Var x -> (
+            match List.assoc_opt x s with
+            | Some d -> if Syntax.equal_const c d then go s (ts, cs) else None
+            | None -> go ((x, c) :: s) (ts, cs)))
+    | _ -> None
+  in
+  go s (terms, args)
+
+let eval_builtins s (builtins : Syntax.builtin list) =
+  List.for_all
+    (fun (b : Syntax.builtin) ->
+      match subst_term s b.Syntax.lhs, subst_term s b.Syntax.rhs with
+      | Some l, Some r -> Syntax.eval_builtin b.Syntax.op l r
+      | _ -> false)
+    builtins
+
+let ground_atom s (a : Syntax.atom) =
+  let arg t =
+    match subst_term s t with
+    | Some c -> c
+    | None -> invalid_arg "Grounder: unbound variable in safe rule"
+  in
+  { Ground.gpred = a.Syntax.pred; gargs = List.map arg a.Syntax.args }
+
+(* Enumerate all substitutions matching the positive body against the
+   currently-possible atoms, then call [emit]. *)
+let match_body ~tuples_of (r : Syntax.rule) emit =
+  let rec go s = function
+    | [] -> if eval_builtins s r.Syntax.body_builtin then emit s
+    | (a : Syntax.atom) :: rest ->
+        List.iter
+          (fun args ->
+            match unify_args s a.Syntax.args args with
+            | Some s' -> go s' rest
+            | None -> ())
+          (tuples_of a.Syntax.pred)
+  in
+  go [] r.Syntax.body_pos
+
+let ground (program : Syntax.program) =
+  (match Safety.check program with
+  | Ok () -> ()
+  | Error msg -> raise (Unsafe msg));
+  (* possible-atom fixpoint *)
+  let by_pred : (string, Syntax.const list list) Hashtbl.t = Hashtbl.create 64 in
+  let possible = ref Gset.empty in
+  let tuples_of p = Option.value ~default:[] (Hashtbl.find_opt by_pred p) in
+  let add_possible (a : Ground.gatom) =
+    if Gset.mem a !possible then false
+    else begin
+      possible := Gset.add a !possible;
+      Hashtbl.replace by_pred a.Ground.gpred (a.Ground.gargs :: tuples_of a.Ground.gpred);
+      true
+    end
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Syntax.rule) ->
+        match_body ~tuples_of r (fun s ->
+            List.iter
+              (fun h ->
+                if add_possible (ground_atom s h) then changed := true)
+              r.Syntax.head))
+      program
+  done;
+  (* final instantiation pass *)
+  let g = Ground.create () in
+  let seen_rules = Hashtbl.create 256 in
+  List.iter
+    (fun (r : Syntax.rule) ->
+      match_body ~tuples_of r (fun s ->
+          let head = List.map (fun h -> Ground.intern g (ground_atom s h)) r.Syntax.head in
+          let pos = List.map (fun a -> Ground.intern g (ground_atom s a)) r.Syntax.body_pos in
+          let neg =
+            List.filter_map
+              (fun a ->
+                let ga = ground_atom s a in
+                if Gset.mem ga !possible then Some (Ground.intern g ga) else None)
+              r.Syntax.body_neg
+          in
+          let norm l = List.sort_uniq Int.compare l in
+          let head = norm head and pos = norm pos and neg = norm neg in
+          (* a rule whose head intersects its positive body is a tautology *)
+          if not (List.exists (fun h -> List.mem h pos) head) then begin
+            let key = (head, pos, neg) in
+            if not (Hashtbl.mem seen_rules key) then begin
+              Hashtbl.add seen_rules key ();
+              Ground.add_rule g
+                {
+                  Ground.ghead = Array.of_list head;
+                  gpos = Array.of_list pos;
+                  gneg = Array.of_list neg;
+                }
+            end
+          end))
+    program;
+  g
+
+let ground_stats g =
+  Printf.sprintf "%d ground atoms, %d ground rules" (Ground.atom_count g)
+    (Ground.rule_count g)

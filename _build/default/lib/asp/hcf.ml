@@ -1,0 +1,66 @@
+(* Iterative Tarjan SCC over the ground dependency graph. *)
+let sccs g =
+  let n = Ground.atom_count g in
+  let adj = Array.make n [] in
+  Array.iter
+    (fun (r : Ground.grule) ->
+      Array.iter
+        (fun p -> Array.iter (fun h -> adj.(p) <- h :: adj.(p)) r.Ground.ghead)
+        r.Ground.gpos)
+    (Ground.rules g);
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    low.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      adj.(v);
+    if low.(v) = index.(v) then begin
+      let c = !next_comp in
+      incr next_comp;
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            comp.(w) <- c;
+            if w <> v then pop ()
+      in
+      pop ()
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  comp
+
+let offending_rule g =
+  let comp = sccs g in
+  let bad (r : Ground.grule) =
+    let h = r.Ground.ghead in
+    let len = Array.length h in
+    let rec pairs i j =
+      if i >= len then false
+      else if j >= len then pairs (i + 1) (i + 2)
+      else comp.(h.(i)) = comp.(h.(j)) || pairs i (j + 1)
+    in
+    len > 1 && pairs 0 1
+  in
+  Array.find_opt bad (Ground.rules g)
+
+let is_hcf g = Option.is_none (offending_rule g)

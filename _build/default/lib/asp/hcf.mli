@@ -1,0 +1,16 @@
+(** Head-cycle-freeness of ground disjunctive programs [8] (Section 6).
+
+    The dependency graph of a ground program has its atoms as vertices and
+    an edge from [A] to [B] whenever some rule has [A] positive in the body
+    and [B] in the head.  The program is head-cycle-free (HCF) iff no
+    directed cycle passes through two atoms in the head of the same rule —
+    equivalently, no rule has two head atoms in the same strongly connected
+    component. *)
+
+val sccs : Ground.t -> int array
+(** Map from atom id to SCC id. *)
+
+val is_hcf : Ground.t -> bool
+
+val offending_rule : Ground.t -> Ground.grule option
+(** A rule with two head atoms on a common cycle, if any. *)

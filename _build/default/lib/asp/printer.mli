@@ -1,0 +1,14 @@
+(** Concrete-syntax output for external solvers.
+
+    [Dlv] prints disjunction as [v] (the DLV system [24] the paper used);
+    [Clingo] prints it as [|] and is accepted by clingo/gringo. *)
+
+type dialect = Dlv | Clingo
+
+val rule_to_string : dialect -> Syntax.rule -> string
+val program_to_string : dialect -> Syntax.program -> string
+val to_file : dialect -> string -> Syntax.program -> unit
+
+val escape_const : Syntax.const -> string
+(** ASP constant spelling: lowercased/quoted symbols, verbatim numbers.
+    Symbols that are not valid bare ASP constants are single-quoted. *)

@@ -1,0 +1,21 @@
+let unsafe_vars (r : Syntax.rule) =
+  let safe = List.concat_map Syntax.atom_vars r.Syntax.body_pos in
+  let used =
+    List.concat_map Syntax.atom_vars (r.Syntax.head @ r.Syntax.body_neg)
+    @ List.concat_map Syntax.builtin_vars r.Syntax.body_builtin
+  in
+  List.sort_uniq String.compare
+    (List.filter (fun v -> not (List.mem v safe)) used)
+
+let check_rule r =
+  match unsafe_vars r with
+  | [] -> Ok ()
+  | vs ->
+      Error
+        (Fmt.str "unsafe variable(s) %s in rule: %a" (String.concat ", " vs)
+           Syntax.pp_rule r)
+
+let check p =
+  List.fold_left
+    (fun acc r -> match acc with Error _ -> acc | Ok () -> check_rule r)
+    (Ok ()) p

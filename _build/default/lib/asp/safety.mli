@@ -1,0 +1,7 @@
+(** Rule safety: every variable occurring in the head, in a negated body
+    literal or in a built-in must also occur in a positive body atom.
+    Safety guarantees domain-independent grounding. *)
+
+val check_rule : Syntax.rule -> (unit, string) result
+val check : Syntax.program -> (unit, string) result
+val unsafe_vars : Syntax.rule -> string list

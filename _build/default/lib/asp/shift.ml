@@ -1,0 +1,40 @@
+let shift_rule (r : Syntax.rule) =
+  match r.Syntax.head with
+  | [] | [ _ ] -> [ r ]
+  | head ->
+      List.map
+        (fun h ->
+          let others = List.filter (fun h' -> not (Syntax.equal_atom h h')) head in
+          {
+            r with
+            Syntax.head = [ h ];
+            body_neg = r.Syntax.body_neg @ others;
+          })
+        head
+
+let program p = List.concat_map shift_rule p
+
+let ground g =
+  let g' = Ground.create () in
+  (* preserve atom ids by re-interning in order *)
+  for i = 0 to Ground.atom_count g - 1 do
+    ignore (Ground.intern g' (Ground.atom_of g i))
+  done;
+  Array.iter
+    (fun (r : Ground.grule) ->
+      match Array.length r.Ground.ghead with
+      | 0 | 1 -> Ground.add_rule g' r
+      | _ ->
+          Array.iter
+            (fun h ->
+              let others =
+                Array.of_list
+                  (List.filter (fun h' -> h' <> h) (Array.to_list r.Ground.ghead))
+              in
+              let neg = Array.append r.Ground.gneg others in
+              let neg = Array.of_list (List.sort_uniq Int.compare (Array.to_list neg)) in
+              Ground.add_rule g'
+                { Ground.ghead = [| h |]; gpos = r.Ground.gpos; gneg = neg })
+            r.Ground.ghead)
+    (Ground.rules g);
+  g'

@@ -1,0 +1,387 @@
+exception Budget_exceeded of int
+
+type stats = {
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable candidates : int;
+  mutable minimality_checks : int;
+}
+
+let new_stats () =
+  { decisions = 0; propagations = 0; candidates = 0; minimality_checks = 0 }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "decisions=%d propagations=%d candidates=%d minimality_checks=%d"
+    s.decisions s.propagations s.candidates s.minimality_checks
+
+(* Assignment values *)
+let unk = 0
+let tru = 1
+let fls = 2
+
+module Iset = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Gelfond-Lifschitz reduct and stability checking *)
+
+let reduct rules m_set =
+  rules
+  |> Array.to_list
+  |> List.filter_map (fun (r : Ground.grule) ->
+         if Array.exists (fun x -> Iset.mem x m_set) r.Ground.gneg then None
+         else Some (r.Ground.ghead, r.Ground.gpos))
+
+(* Least model of the definite part of a positive reduct (all heads
+   singletons; empty heads are constraints and must have unsatisfied
+   bodies). *)
+let normal_reduct_stable reduct_rules m_set =
+  let derived = Hashtbl.create 64 in
+  let changed = ref true in
+  let holds x = Hashtbl.mem derived x in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (head, pos) ->
+        match head with
+        | [| h |] ->
+            if (not (holds h)) && Array.for_all holds pos then begin
+              Hashtbl.add derived h ();
+              changed := true
+            end
+        | _ -> ())
+      reduct_rules
+  done;
+  let lfp = Hashtbl.fold (fun x () acc -> Iset.add x acc) derived Iset.empty in
+  Iset.equal lfp m_set
+
+(* Search for a model of the positive reduct properly contained in M.
+   Clauses range over the atoms of M only: a reduct rule with some positive
+   body atom outside M is vacuously satisfied by any M' ⊆ M, and head atoms
+   outside M are false in any such M'. *)
+let exists_smaller_model ?stats reduct_rules m_set =
+  (match stats with Some s -> s.minimality_checks <- s.minimality_checks + 1 | None -> ());
+  let atoms = Array.of_list (Iset.elements m_set) in
+  let n = Array.length atoms in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i x -> Hashtbl.replace index x i) atoms;
+  let clauses =
+    List.filter_map
+      (fun (head, pos) ->
+        if Array.for_all (fun p -> Iset.mem p m_set) pos then
+          let head_in =
+            Array.to_list head
+            |> List.filter_map (fun h -> Hashtbl.find_opt index h)
+          in
+          let pos_in = Array.to_list pos |> List.map (Hashtbl.find index) in
+          (* clause: one of head_in true, or one of pos_in false *)
+          Some (Array.of_list head_in, Array.of_list pos_in)
+        else None)
+      reduct_rules
+  in
+  let value = Array.make n unk in
+  let trail = ref [] in
+  let assign i v =
+    value.(i) <- v;
+    trail := i :: !trail
+  in
+  let undo_to mark =
+    let rec go () =
+      if !trail != mark then
+        match !trail with
+        | [] -> ()
+        | i :: rest ->
+            value.(i) <- unk;
+            trail := rest;
+            go ()
+    in
+    go ()
+  in
+  let exception Conflict in
+  let exception Found in
+  (* propagate all clauses once; returns true if any assignment was made *)
+  let propagate_once () =
+    let progress = ref false in
+    List.iter
+      (fun (head, pos) ->
+        let satisfied =
+          Array.exists (fun h -> value.(h) = tru) head
+          || Array.exists (fun p -> value.(p) = fls) pos
+        in
+        if not satisfied then begin
+          let unassigned = ref [] in
+          Array.iter (fun h -> if value.(h) = unk then unassigned := `H h :: !unassigned) head;
+          Array.iter (fun p -> if value.(p) = unk then unassigned := `P p :: !unassigned) pos;
+          match !unassigned with
+          | [] -> raise Conflict
+          | [ `H h ] ->
+              assign h tru;
+              progress := true
+          | [ `P p ] ->
+              assign p fls;
+              progress := true
+          | _ -> ()
+        end)
+      clauses;
+    !progress
+  in
+  let propagate () = while propagate_once () do () done in
+  let all_satisfied () =
+    List.for_all
+      (fun (head, pos) ->
+        Array.exists (fun h -> value.(h) = tru) head
+        || Array.exists (fun p -> value.(p) = fls) pos)
+      clauses
+  in
+  let proper () =
+    (* with unassigned atoms completed to false: proper subset iff some atom
+       is false or unassigned *)
+    Array.exists (fun v -> v <> tru) value
+  in
+  let rec search () =
+    let mark = !trail in
+    (try
+       propagate ();
+       if all_satisfied () then begin
+         if proper () then raise Found
+       end
+       else begin
+         (* branch on an unassigned atom of an unsatisfied clause *)
+         let pick =
+           List.find_map
+             (fun (head, pos) ->
+               let satisfied =
+                 Array.exists (fun h -> value.(h) = tru) head
+                 || Array.exists (fun p -> value.(p) = fls) pos
+               in
+               if satisfied then None
+               else
+                 let cand = ref None in
+                 Array.iter (fun h -> if !cand = None && value.(h) = unk then cand := Some h) head;
+                 Array.iter (fun p -> if !cand = None && value.(p) = unk then cand := Some p) pos;
+                 !cand)
+             clauses
+         in
+         match pick with
+         | None -> ()
+         | Some i ->
+             let mark2 = !trail in
+             assign i fls;
+             search ();
+             undo_to mark2;
+             assign i tru;
+             search ();
+             undo_to mark2
+       end
+     with Conflict -> ());
+    undo_to mark
+  in
+  try
+    search ();
+    false
+  with Found -> true
+
+let is_stable_in rules ?stats m =
+  let m_set = Iset.of_list m in
+  (* M must classically satisfy every rule *)
+  let models_rule (r : Ground.grule) =
+    Array.exists (fun h -> Iset.mem h m_set) r.Ground.ghead
+    || Array.exists (fun p -> not (Iset.mem p m_set)) r.Ground.gpos
+    || Array.exists (fun x -> Iset.mem x m_set) r.Ground.gneg
+  in
+  Array.for_all models_rule rules
+  &&
+  let red = reduct rules m_set in
+  let normal = List.for_all (fun (h, _) -> Array.length h <= 1) red in
+  if normal then normal_reduct_stable red m_set
+  else
+    (* constraints of the reduct are classically satisfied by M; minimality
+       is the remaining question *)
+    not (exists_smaller_model ?stats red m_set)
+
+let is_stable_model g m = is_stable_in (Ground.rules g) m
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration of stable models *)
+
+let stable_models ?limit ?(max_decisions = 10_000_000) ?(support_propagation = true)
+    ?stats g =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  let rules = Ground.rules g in
+  let n = Ground.atom_count g in
+  let value = Array.make n unk in
+  (* supporting rules per atom: a stable model cannot hold an atom whose
+     every head-rule has a classically false body *)
+  let supporters = Array.make n [] in
+  Array.iter
+    (fun (r : Ground.grule) ->
+      Array.iter (fun h -> supporters.(h) <- r :: supporters.(h)) r.Ground.ghead)
+    rules;
+  (* atoms in no head are false in every stable model *)
+  for i = 0 to n - 1 do
+    if supporters.(i) = [] then value.(i) <- fls
+  done;
+  let trail = ref [] in
+  let assign i v =
+    value.(i) <- v;
+    trail := i :: !trail;
+    stats.propagations <- stats.propagations + 1
+  in
+  let undo_to mark =
+    let rec go () =
+      if !trail != mark then
+        match !trail with
+        | [] -> ()
+        | i :: rest ->
+            value.(i) <- unk;
+            trail := rest;
+            go ()
+    in
+    go ()
+  in
+  let exception Conflict in
+  let exception Done in
+  let models = ref [] in
+  let count = ref 0 in
+  let rule_satisfied (r : Ground.grule) =
+    Array.exists (fun h -> value.(h) = tru) r.Ground.ghead
+    || Array.exists (fun p -> value.(p) = fls) r.Ground.gpos
+    || Array.exists (fun x -> value.(x) = tru) r.Ground.gneg
+  in
+  let propagate_once () =
+    let progress = ref false in
+    Array.iter
+      (fun (r : Ground.grule) ->
+        if not (rule_satisfied r) then begin
+          let unassigned = ref [] in
+          let note kind i = unassigned := (kind, i) :: !unassigned in
+          Array.iter (fun h -> if value.(h) = unk then note `T h) r.Ground.ghead;
+          Array.iter (fun p -> if value.(p) = unk then note `F p) r.Ground.gpos;
+          Array.iter (fun x -> if value.(x) = unk then note `T x) r.Ground.gneg;
+          match !unassigned with
+          | [] -> raise Conflict
+          | [ (`T, i) ] ->
+              assign i tru;
+              progress := true
+          | [ (`F, i) ] ->
+              assign i fls;
+              progress := true
+          | _ -> ()
+        end)
+      rules;
+    !progress
+  in
+  (* support propagation: for every true atom, some rule with it in the
+     head must keep a body that can still become classically true; when a
+     single such rule remains, its body is forced.  (Sound for stable
+     models: if every supporter of a true atom had a false body, removing
+     the atom would still model the reduct, contradicting minimality.) *)
+  let body_false (r : Ground.grule) =
+    Array.exists (fun p -> value.(p) = fls) r.Ground.gpos
+    || Array.exists (fun x -> value.(x) = tru) r.Ground.gneg
+  in
+  let support_once () =
+    let progress = ref false in
+    for i = 0 to n - 1 do
+      if value.(i) = tru then begin
+        match List.filter (fun r -> not (body_false r)) supporters.(i) with
+        | [] -> raise Conflict
+        | [ r ] ->
+            Array.iter
+              (fun p ->
+                if value.(p) = unk then begin
+                  assign p tru;
+                  progress := true
+                end)
+              r.Ground.gpos;
+            Array.iter
+              (fun x ->
+                if value.(x) = unk then begin
+                  assign x fls;
+                  progress := true
+                end)
+              r.Ground.gneg
+        | _ -> ()
+      end
+    done;
+    !progress
+  in
+  let propagate () =
+    let continue_ = ref true in
+    while !continue_ do
+      let a = propagate_once () in
+      let b = support_propagation && support_once () in
+      continue_ := a || b
+    done
+  in
+  let pick_branch () =
+    let cand = ref None in
+    (try
+       Array.iter
+         (fun (r : Ground.grule) ->
+           if (not (rule_satisfied r)) && !cand = None then begin
+             Array.iter
+               (fun h -> if !cand = None && value.(h) = unk then cand := Some h)
+               r.Ground.ghead;
+             Array.iter
+               (fun p -> if !cand = None && value.(p) = unk then cand := Some p)
+               r.Ground.gpos;
+             Array.iter
+               (fun x -> if !cand = None && value.(x) = unk then cand := Some x)
+               r.Ground.gneg;
+             if !cand <> None then raise Exit
+           end)
+         rules
+     with Exit -> ());
+    !cand
+  in
+  let record_candidate () =
+    stats.candidates <- stats.candidates + 1;
+    let m = ref [] in
+    for i = n - 1 downto 0 do
+      if value.(i) = tru then m := i :: !m
+    done;
+    let m = !m in
+    if is_stable_in rules ~stats m then begin
+      models := m :: !models;
+      incr count;
+      match limit with Some l when !count >= l -> raise Done | _ -> ()
+    end
+  in
+  let rec search () =
+    let mark = !trail in
+    (try
+       propagate ();
+       match pick_branch () with
+       | None -> record_candidate ()
+       | Some i ->
+           stats.decisions <- stats.decisions + 1;
+           if stats.decisions > max_decisions then
+             raise (Budget_exceeded max_decisions);
+           let mark2 = !trail in
+           assign i fls;
+           search ();
+           undo_to mark2;
+           assign i tru;
+           search ();
+           undo_to mark2
+     with Conflict -> ());
+    undo_to mark
+  in
+  (try search () with Done -> ());
+  (* deterministic order: sort models *)
+  List.sort (List.compare Int.compare) !models
+
+let stable_models_atoms ?limit ?max_decisions ?stats g =
+  stable_models ?limit ?max_decisions ?stats g
+  |> List.map (fun m -> Ground.model_atoms g m)
+
+let cautious ?max_decisions g =
+  match stable_models ?max_decisions g with
+  | [] -> []
+  | m :: rest ->
+      List.fold_left
+        (fun acc model -> List.filter (fun x -> List.mem x model) acc)
+        m rest
+
+let brave ?max_decisions g =
+  List.sort_uniq Int.compare (List.concat (stable_models ?max_decisions g))

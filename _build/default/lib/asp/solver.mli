@@ -1,0 +1,62 @@
+(** Stable-model enumeration for ground disjunctive programs
+    (Gelfond-Lifschitz semantics [18]).
+
+    The solver enumerates, by DPLL-style search with unit propagation over
+    the classical clause view of the rules, every total model of the
+    program, completing each all-rules-satisfied partial assignment with
+    false (sound: an unassigned atom set to true in a stable model would be
+    unsupported).  Every candidate model [M] is then verified stable:
+
+    - for a {e normal} candidate program (every head a singleton) the
+      Gelfond-Lifschitz reduct [P^M] is definite and [M] is stable iff it
+      equals the least model of [P^M];
+    - for a disjunctive program the reduct is positive-disjunctive, and
+      stability means [<=]-minimality: a secondary search looks for a model
+      of the reduct properly contained in [M] (this sub-problem is the
+      coNP-hard part of the Pi^p_2-completeness of the semantics [16]).
+
+    Atoms that occur in no rule head are fixed to false up front — they are
+    unsupported in every stable model. *)
+
+exception Budget_exceeded of int
+
+type stats = {
+  mutable decisions : int;       (** branch points explored *)
+  mutable propagations : int;    (** literals forced by unit propagation *)
+  mutable candidates : int;      (** total models reaching the stability check *)
+  mutable minimality_checks : int;  (** disjunctive minimality sub-searches *)
+}
+
+val stable_models :
+  ?limit:int -> ?max_decisions:int -> ?support_propagation:bool ->
+  ?stats:stats -> Ground.t -> int list list
+(** All stable models as sorted lists of atom ids; [limit] caps how many are
+    returned, [max_decisions] (default [10_000_000]) bounds the search.
+    [support_propagation] (default true) enables the supportedness
+    propagation described above; disabling it is only useful for the
+    ablation bench (table E12) — the result is identical, the search
+    exponentially wider.
+    @raise Budget_exceeded when the bound is hit. *)
+
+val stable_models_atoms :
+  ?limit:int -> ?max_decisions:int -> ?stats:stats -> Ground.t ->
+  Ground.gatom list list
+(** {!stable_models} with atoms resolved, each model sorted. *)
+
+val is_stable_model : Ground.t -> int list -> bool
+(** Is the given set of atom ids a stable model?  (Used by tests and by the
+    answer-set validation of the external-solver driver.) *)
+
+val new_stats : unit -> stats
+val pp_stats : stats Fmt.t
+
+val cautious :
+  ?max_decisions:int -> Ground.t -> int list
+(** Atoms true in every stable model (empty if there is no stable model —
+    by convention of cautious reasoning over an inconsistent program every
+    atom is a consequence, but the repair setting guarantees models
+    whenever [IC] is non-conflicting, so we return the intersection of an
+    empty family as the empty list and let callers decide). *)
+
+val brave : ?max_decisions:int -> Ground.t -> int list
+(** Atoms true in at least one stable model. *)

@@ -1,0 +1,151 @@
+type const = Sym of string | Num of int
+
+let sym s = Sym s
+let num i = Num i
+
+let compare_const a b =
+  match a, b with
+  | Num i, Num j -> Int.compare i j
+  | Num _, Sym _ -> -1
+  | Sym _, Num _ -> 1
+  | Sym s, Sym t -> String.compare s t
+
+let equal_const a b = compare_const a b = 0
+
+let pp_const ppf = function
+  | Sym s -> Fmt.string ppf s
+  | Num i -> Fmt.int ppf i
+
+type term = Var of string | Const of const
+
+let var x = Var x
+let csym s = Const (Sym s)
+let cnum i = Const (Num i)
+
+let pp_term ppf = function
+  | Var x -> Fmt.string ppf x
+  | Const c -> pp_const ppf c
+
+let equal_term a b =
+  match a, b with
+  | Var x, Var y -> String.equal x y
+  | Const c, Const d -> equal_const c d
+  | (Var _ | Const _), _ -> false
+
+type atom = { pred : string; args : term list }
+
+let atom pred args = { pred; args }
+
+let term_vars = function Var x -> [ x ] | Const _ -> []
+
+let dedup l =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | x :: rest -> if List.mem x seen then go seen rest else go (x :: seen) rest
+  in
+  go [] l
+
+let atom_vars a = dedup (List.concat_map term_vars a.args)
+
+let pp_atom ppf a =
+  match a.args with
+  | [] -> Fmt.string ppf a.pred
+  | args -> Fmt.pf ppf "%s(%a)" a.pred Fmt.(list ~sep:(any ", ") pp_term) args
+
+let compare_term a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+  | Const c, Const d -> compare_const c d
+
+let compare_atom a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c else List.compare compare_term a.args b.args
+
+let equal_atom a b = compare_atom a b = 0
+
+type cmp_op = Eq | Neq | Lt | Leq | Gt | Geq
+
+type builtin = { op : cmp_op; lhs : term; rhs : term }
+
+let builtin op lhs rhs = { op; lhs; rhs }
+
+let builtin_vars b = dedup (term_vars b.lhs @ term_vars b.rhs)
+
+let eval_builtin op a b =
+  let c = compare_const a b in
+  match op with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Leq -> c <= 0
+  | Gt -> c > 0
+  | Geq -> c >= 0
+
+let op_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+
+let pp_builtin ppf b =
+  Fmt.pf ppf "%a %s %a" pp_term b.lhs (op_string b.op) pp_term b.rhs
+
+type rule = {
+  head : atom list;
+  body_pos : atom list;
+  body_neg : atom list;
+  body_builtin : builtin list;
+}
+
+let rule ?(body_pos = []) ?(body_neg = []) ?(body_builtin = []) head =
+  { head; body_pos; body_neg; body_builtin }
+
+let fact a = rule [ a ]
+
+let constraint_ ?body_pos ?body_neg ?body_builtin () =
+  rule ?body_pos ?body_neg ?body_builtin []
+
+let rule_vars r =
+  dedup
+    (List.concat_map atom_vars (r.head @ r.body_pos @ r.body_neg)
+    @ List.concat_map builtin_vars r.body_builtin)
+
+let is_fact r =
+  r.body_pos = [] && r.body_neg = [] && r.body_builtin = []
+  && match r.head with [ _ ] -> true | _ -> false
+
+let is_constraint r = r.head = []
+let is_disjunctive r = List.length r.head > 1
+
+let pp_rule ppf r =
+  let pp_body ppf () =
+    let parts =
+      List.map (Fmt.str "%a" pp_atom) r.body_pos
+      @ List.map (Fmt.str "not %a" pp_atom) r.body_neg
+      @ List.map (Fmt.str "%a" pp_builtin) r.body_builtin
+    in
+    Fmt.string ppf (String.concat ", " parts)
+  in
+  match r.head, (r.body_pos, r.body_neg, r.body_builtin) with
+  | [], _ -> Fmt.pf ppf ":- %a." pp_body ()
+  | head, ([], [], []) ->
+      Fmt.pf ppf "%a." Fmt.(list ~sep:(any " v ") pp_atom) head
+  | head, _ ->
+      Fmt.pf ppf "%a :- %a."
+        Fmt.(list ~sep:(any " v ") pp_atom)
+        head pp_body ()
+
+type program = rule list
+
+let pp_program ppf p = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_rule) p
+
+let predicates p =
+  let of_atom a = (a.pred, List.length a.args) in
+  List.concat_map
+    (fun r -> List.map of_atom (r.head @ r.body_pos @ r.body_neg))
+    p
+  |> List.sort_uniq compare

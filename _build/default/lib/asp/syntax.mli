@@ -1,0 +1,74 @@
+(** Abstract syntax of disjunctive logic programs with negation as failure
+    and comparison built-ins — the language of the repair programs of
+    Definition 9, as accepted by DLV [24] and clingo.
+
+    A rule is
+
+    [h1 v ... v hk :- p1, ..., pm, not n1, ..., not nl, c1, ..., cj.]
+
+    with [k = 0] encoding a (program) integrity constraint and
+    [m = l = j = 0] a fact. *)
+
+type const = Sym of string | Num of int
+
+val sym : string -> const
+val num : int -> const
+val compare_const : const -> const -> int
+val equal_const : const -> const -> bool
+val pp_const : const Fmt.t
+
+type term = Var of string | Const of const
+
+val var : string -> term
+val csym : string -> term
+val cnum : int -> term
+val pp_term : term Fmt.t
+val equal_term : term -> term -> bool
+
+type atom = { pred : string; args : term list }
+
+val atom : string -> term list -> atom
+val atom_vars : atom -> string list
+val pp_atom : atom Fmt.t
+val equal_atom : atom -> atom -> bool
+val compare_atom : atom -> atom -> int
+
+type cmp_op = Eq | Neq | Lt | Leq | Gt | Geq
+
+type builtin = { op : cmp_op; lhs : term; rhs : term }
+
+val builtin : cmp_op -> term -> term -> builtin
+val builtin_vars : builtin -> string list
+val eval_builtin : cmp_op -> const -> const -> bool
+(** Total order: numbers before symbols, numerically / lexicographically
+    within a kind (DLV's built-in ordering on the combined universe). *)
+
+val pp_builtin : builtin Fmt.t
+
+type rule = {
+  head : atom list;
+  body_pos : atom list;
+  body_neg : atom list;
+  body_builtin : builtin list;
+}
+
+val rule :
+  ?body_pos:atom list -> ?body_neg:atom list -> ?body_builtin:builtin list ->
+  atom list -> rule
+
+val fact : atom -> rule
+val constraint_ :
+  ?body_pos:atom list -> ?body_neg:atom list -> ?body_builtin:builtin list ->
+  unit -> rule
+
+val rule_vars : rule -> string list
+val is_fact : rule -> bool
+val is_constraint : rule -> bool
+val is_disjunctive : rule -> bool
+val pp_rule : rule Fmt.t
+
+type program = rule list
+
+val pp_program : program Fmt.t
+val predicates : program -> (string * int) list
+(** All predicates with arities, sorted, deduplicated. *)

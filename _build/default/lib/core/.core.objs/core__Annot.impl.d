@@ -1,0 +1,1 @@
+lib/core/annot.ml: Asp Hashtbl Printf Relational String

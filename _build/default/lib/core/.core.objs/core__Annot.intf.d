@@ -1,0 +1,1 @@
+lib/core/annot.mli: Asp Relational

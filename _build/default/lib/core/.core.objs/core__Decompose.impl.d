@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Engine Hashtbl Ic List Option Printf Relational Repair Result String

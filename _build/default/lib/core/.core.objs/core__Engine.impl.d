@@ -1,0 +1,1 @@
+lib/core/engine.ml: Asp Extract Hcfcheck Ic List Proggen Relational Repair Result

@@ -1,0 +1,1 @@
+lib/core/extract.ml: Annot Asp List Relational

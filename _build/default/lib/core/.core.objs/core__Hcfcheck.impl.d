@@ -1,0 +1,1 @@
+lib/core/hcfcheck.ml: Ic List Option String

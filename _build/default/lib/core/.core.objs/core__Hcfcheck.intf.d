@@ -1,0 +1,1 @@
+lib/core/hcfcheck.mli: Ic

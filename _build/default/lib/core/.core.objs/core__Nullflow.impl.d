@@ -1,0 +1,1 @@
+lib/core/nullflow.ml: Array Buffer Ic Int List Printf Relational String

@@ -1,0 +1,1 @@
+lib/core/nullflow.mli: Ic Relational

@@ -1,0 +1,1 @@
+lib/core/proggen.ml: Annot Array Asp Hashtbl Ic List Printf Relational Result String

@@ -1,0 +1,1 @@
+lib/core/proggen.mli: Annot Asp Ic Relational

@@ -1,0 +1,88 @@
+module S = Asp.Syntax
+module Value = Relational.Value
+
+type annotation = Ta | Fa | Ts | Tss
+
+let annotation_name = function
+  | Ta -> "ta"
+  | Fa -> "fa"
+  | Ts -> "ts"
+  | Tss -> "tss"
+
+let const_of_annotation a = S.Sym (annotation_name a)
+
+let annotation_of_const = function
+  | S.Sym "ta" -> Some Ta
+  | S.Sym "fa" -> Some Fa
+  | S.Sym "ts" -> Some Ts
+  | S.Sym "tss" -> Some Tss
+  | S.Sym _ | S.Num _ -> None
+
+let term_of_annotation a = S.Const (const_of_annotation a)
+
+let null_const = S.Sym "null"
+let null_term = S.Const null_const
+
+let encode_value = function
+  | Value.Null -> null_const
+  | Value.Int i -> S.Num i
+  | Value.Str s -> S.Sym s
+
+let decode_value = function
+  | S.Num i -> Value.Int i
+  | S.Sym "null" -> Value.Null
+  | S.Sym s -> Value.Str s
+
+module Names = struct
+  type t = {
+    base_of_rel : (string, string) Hashtbl.t;
+    rel_of_base_tbl : (string, string) Hashtbl.t;
+    rel_of_annotated_tbl : (string, string) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      base_of_rel = Hashtbl.create 16;
+      rel_of_base_tbl = Hashtbl.create 16;
+      rel_of_annotated_tbl = Hashtbl.create 16;
+    }
+
+  let sanitize rel =
+    let lowered = String.lowercase_ascii rel in
+    let cleaned =
+      String.map
+        (function ('a' .. 'z' | '0' .. '9' | '_') as c -> c | _ -> '_')
+        lowered
+    in
+    if cleaned = "" || match cleaned.[0] with 'a' .. 'z' -> false | _ -> true
+    then "r_" ^ cleaned
+    else cleaned
+
+  let base t rel =
+    match Hashtbl.find_opt t.base_of_rel rel with
+    | Some b -> b
+    | None ->
+        let candidate = "d_" ^ sanitize rel in
+        (* both the base name and its annotated sibling must be fresh wrt
+           every name already handed out, in either role *)
+        let taken name =
+          Hashtbl.mem t.rel_of_base_tbl name
+          || Hashtbl.mem t.rel_of_annotated_tbl name
+        in
+        let rec fresh c i =
+          let name = if i = 0 then c else Printf.sprintf "%s_%d" c i in
+          if taken name || taken (name ^ "_a") then fresh c (i + 1) else name
+        in
+        let b = fresh candidate 0 in
+        Hashtbl.replace t.base_of_rel rel b;
+        Hashtbl.replace t.rel_of_base_tbl b rel;
+        Hashtbl.replace t.rel_of_annotated_tbl (b ^ "_a") rel;
+        b
+
+  let annotated t rel = base t rel ^ "_a"
+
+  let aux _t i = Printf.sprintf "aux_%d" i
+
+  let rel_of_base t name = Hashtbl.find_opt t.rel_of_base_tbl name
+  let rel_of_annotated t name = Hashtbl.find_opt t.rel_of_annotated_tbl name
+end

@@ -1,0 +1,49 @@
+(** Annotation constants and the encoding of database symbols into the ASP
+    language.
+
+    The repair programs of Definition 9 extend every database predicate with
+    one extra attribute holding an annotation constant:
+
+    - [ta]: the tuple is advised to be made true,
+    - [fa]: advised to be made false,
+    - [t*]: true or becomes true,
+    - [t**]: true in the repair.
+
+    Database values map to ASP constants with [null] as the distinguished
+    symbol [null] (as in the paper, where the repair program treats [null]
+    like any other constant and [IsNull(x)] becomes [x = null]). *)
+
+type annotation = Ta | Fa | Ts | Tss
+
+val const_of_annotation : annotation -> Asp.Syntax.const
+val annotation_of_const : Asp.Syntax.const -> annotation option
+val term_of_annotation : annotation -> Asp.Syntax.term
+
+val null_const : Asp.Syntax.const
+val null_term : Asp.Syntax.term
+
+val encode_value : Relational.Value.t -> Asp.Syntax.const
+val decode_value : Asp.Syntax.const -> Relational.Value.t
+(** [decode_value (encode_value v) = v] for every value except the string
+    ["null"], which is identified with the null constant (the surface
+    syntax cannot produce it as a string). *)
+
+(** Bidirectional mapping between database predicate names and the
+    ASP-friendly names used in generated programs. *)
+module Names : sig
+  type t
+
+  val create : unit -> t
+
+  val base : t -> string -> string
+  (** ASP predicate holding the database facts of a relation. *)
+
+  val annotated : t -> string -> string
+  (** ASP predicate carrying the extra annotation attribute. *)
+
+  val aux : t -> int -> string
+  (** The auxiliary predicate of the i-th RIC (rules 3 of Definition 9). *)
+
+  val rel_of_base : t -> string -> string option
+  val rel_of_annotated : t -> string -> string option
+end

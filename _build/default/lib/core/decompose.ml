@@ -1,0 +1,89 @@
+module Instance = Relational.Instance
+
+let ( let* ) = Result.bind
+
+(* Union-find over constraint indices, linked through shared predicates. *)
+let components ics =
+  let arr = Array.of_list ics in
+  let n = Array.length arr in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let by_pred = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ic ->
+      List.iter
+        (fun p ->
+          (match Hashtbl.find_opt by_pred p with
+          | Some j -> union i j
+          | None -> ());
+          Hashtbl.replace by_pred p i)
+        (Ic.Constr.preds ic))
+    arr;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i ic ->
+      let r = find i in
+      Hashtbl.replace groups r (ic :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+    arr;
+  Hashtbl.fold (fun _ ics acc -> List.rev ics :: acc) groups []
+  |> List.map (fun group ->
+         let preds =
+           List.concat_map Ic.Constr.preds group |> List.sort_uniq String.compare
+         in
+         (group, preds))
+  |> List.sort compare
+
+type stats = {
+  component_count : int;
+  largest_component : int;
+  repairs_per_component : int list;
+}
+
+let product lists =
+  List.fold_left
+    (fun acc choices ->
+      List.concat_map (fun partial -> List.map (fun c -> Instance.union partial c) choices) acc)
+    [ Instance.empty ] lists
+
+let repairs ?(engine = `Program) ?max_effort d ics =
+  let groups = components ics in
+  let constrained_preds = List.concat_map snd groups in
+  let untouched =
+    Instance.filter
+      (fun a -> not (List.mem (Relational.Atom.pred a) constrained_preds))
+      d
+  in
+  let solve_component (group, preds) =
+    let slice = Relational.Projection.restrict_to preds d in
+    match engine with
+    | `Enumerate -> (
+        match Repair.Enumerate.repairs ?max_states:max_effort slice group with
+        | reps -> Ok reps
+        | exception Repair.Enumerate.Budget_exceeded n ->
+            Error (Printf.sprintf "budget (%d states) exceeded" n))
+    | `Program -> Engine.repairs ?max_decisions:max_effort slice group
+  in
+  let* per_component =
+    List.fold_left
+      (fun acc comp ->
+        let* acc = acc in
+        let* reps = solve_component comp in
+        Ok (reps :: acc))
+      (Ok []) groups
+  in
+  let per_component = List.rev per_component in
+  let combined =
+    List.map (Instance.union untouched) (product per_component)
+  in
+  Ok
+    ( combined,
+      {
+        component_count = List.length groups;
+        largest_component =
+          List.fold_left (fun m (g, _) -> max m (List.length g)) 0 groups;
+        repairs_per_component = List.map List.length per_component;
+      } )

@@ -1,0 +1,34 @@
+(** Repairs by independent components — the "local repairs" construction
+    the paper leaves as future work (Conclusions, item (c)).
+
+    Two constraints interact only if they share a database predicate.
+    Partitioning [IC] into connected components of the share-a-predicate
+    graph, the repairs of [D] factor into a product: tuples over predicates
+    untouched by any constraint are kept verbatim, and each component is
+    repaired independently on its slice of the database.  The factorization
+    is exact because violations, repair actions and the [<=_D] comparison
+    all stay within a component's predicates (deltas over disjoint
+    predicate sets combine independently).
+
+    The product can be exponentially large (it {e is} the repair set), but
+    each component's search runs on a fraction of the database, so
+    grounding and solving costs drop from one large problem to several
+    small ones — measured in bench table E11. *)
+
+val components : Ic.Constr.t list -> (Ic.Constr.t list * string list) list
+(** Constraint groups with their predicates, deterministic order. *)
+
+type stats = {
+  component_count : int;
+  largest_component : int;  (** constraints in the largest group *)
+  repairs_per_component : int list;
+}
+
+val repairs :
+  ?engine:[ `Enumerate | `Program ] ->
+  ?max_effort:int ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  (Relational.Instance.t list * stats, string) result
+(** The full repair set, assembled from per-component repairs.  [engine]
+    selects the per-component solver (default [`Program]). *)

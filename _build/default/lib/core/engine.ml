@@ -1,0 +1,44 @@
+type report = {
+  repairs : Relational.Instance.t list;
+  stable_model_count : int;
+  ground_atoms : int;
+  ground_rules : int;
+  hcf : bool;
+  static_hcf : bool;
+  shifted : bool;
+  ric_acyclic : bool;
+  solver : Asp.Solver.stats;
+}
+
+let run ?variant ?optimize ?(shift = true) ?max_decisions d ics =
+  Result.map
+    (fun (pg : Proggen.t) ->
+      let ground = Asp.Grounder.ground pg.Proggen.program in
+      let hcf = Asp.Hcf.is_hcf ground in
+      let shifted = shift && hcf in
+      let solvable = if shifted then Asp.Shift.ground ground else ground in
+      let stats = Asp.Solver.new_stats () in
+      let models = Asp.Solver.stable_models_atoms ?max_decisions ~stats solvable in
+      let extracted = Extract.databases_of_models pg.Proggen.names models in
+      (* For RIC-acyclic IC the stable models are exactly the repairs
+         (Theorem 4) and this filter is a no-op.  For cyclic sets the
+         disjunctive rules can support deletion cascades circularly (a
+         delete-advice on the RIC side firing the UIC rule and vice versa),
+         producing stable models whose databases are consistent but not
+         <=_D-minimal; filtering recovers Rep(D, IC). *)
+      let repairs = Repair.Order.minimal_among ~d extracted in
+      {
+        repairs;
+        stable_model_count = List.length models;
+        ground_atoms = Asp.Ground.atom_count ground;
+        ground_rules = Asp.Ground.rule_count ground;
+        hcf;
+        static_hcf = Hcfcheck.static_hcf ics;
+        shifted;
+        ric_acyclic = Ic.Depgraph.is_ric_acyclic ics;
+        solver = stats;
+      })
+    (Proggen.repair_program ?variant ?optimize d ics)
+
+let repairs ?variant ?optimize ?max_decisions d ics =
+  Result.map (fun r -> r.repairs) (run ?variant ?optimize ?max_decisions d ics)

@@ -1,0 +1,37 @@
+(** The logic-programming repair engine: generate [Pi(D, IC)], ground it,
+    shift it when head-cycle-free, enumerate its stable models and read the
+    repairs off them (Theorem 4). *)
+
+type report = {
+  repairs : Relational.Instance.t list;
+  stable_model_count : int;  (** may exceed [List.length repairs] *)
+  ground_atoms : int;
+  ground_rules : int;
+  hcf : bool;          (** ground-level head-cycle-freeness *)
+  static_hcf : bool;   (** Theorem 5's static sufficient condition *)
+  shifted : bool;      (** solved as a shifted normal program *)
+  ric_acyclic : bool;  (** Definition 1 (Theorem 4's hypothesis) *)
+  solver : Asp.Solver.stats;
+}
+
+val run :
+  ?variant:Proggen.variant ->
+  ?optimize:bool ->
+  ?shift:bool ->
+  ?max_decisions:int ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  (report, string) result
+(** [shift] defaults to true: the ground program is shifted to a normal one
+    whenever it is HCF (Section 6); pass false to always solve the
+    disjunctive program directly (used by bench table E4).  [optimize]
+    applies the relevance pruning of {!Proggen.repair_program}. *)
+
+val repairs :
+  ?variant:Proggen.variant ->
+  ?optimize:bool ->
+  ?max_decisions:int ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  (Relational.Instance.t list, string) result
+(** Just the repairs. *)

@@ -1,0 +1,20 @@
+let bilateral_predicates ics =
+  let antes = List.concat_map Ic.Constr.ante_preds ics in
+  let conss = List.concat_map Ic.Constr.cons_preds ics in
+  List.filter (fun p -> List.mem p conss) antes
+  |> List.sort_uniq String.compare
+
+let occurrences_of_bilateral ics ic =
+  let bilateral = bilateral_predicates ics in
+  let atoms =
+    match ic with
+    | Ic.Constr.NotNull n -> [ n.pred ]
+    | Ic.Constr.Generic g ->
+        List.map Ic.Patom.pred (g.Ic.Constr.ante @ g.Ic.Constr.cons)
+  in
+  List.length (List.filter (fun p -> List.mem p bilateral) atoms)
+
+let offending ics =
+  List.find_opt (fun ic -> occurrences_of_bilateral ics ic >= 2) ics
+
+let static_hcf ics = Option.is_none (offending ics)

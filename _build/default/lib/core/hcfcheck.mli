@@ -1,0 +1,26 @@
+(** The static head-cycle-freeness condition of Section 6
+    (Definition 11, Theorem 5).
+
+    A predicate is {e bilateral} wrt [IC] when it occurs in the antecedent
+    of some constraint and in the consequent of some (possibly the same)
+    constraint.  If every constraint has at most one occurrence of a
+    bilateral predicate, the repair program [Pi(D, IC)] is HCF for every
+    instance [D] and can be shifted to a normal program, lowering CQA from
+    Pi^p_2 to coNP (Corollary 1 makes this unconditional for denial
+    constraints, which have no bilateral predicates at all).
+
+    The condition is sufficient, not necessary (the paper's
+    [P(x,a) -> P(x,b)] example); the engine therefore also consults the
+    exact ground-level test {!Asp.Hcf.is_hcf}. *)
+
+val bilateral_predicates : Ic.Constr.t list -> string list
+
+val occurrences_of_bilateral : Ic.Constr.t list -> Ic.Constr.t -> int
+(** Occurrences (with multiplicity) of bilateral predicates in one
+    constraint. *)
+
+val static_hcf : Ic.Constr.t list -> bool
+(** Theorem 5's sufficient condition. *)
+
+val offending : Ic.Constr.t list -> Ic.Constr.t option
+(** A constraint with two or more bilateral-predicate occurrences. *)

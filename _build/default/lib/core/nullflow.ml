@@ -1,0 +1,72 @@
+type position = string * int
+
+let compare_position (p, i) (q, j) =
+  let c = String.compare p q in
+  if c <> 0 then c else Int.compare i j
+
+let insertion_positions ics =
+  List.concat_map
+    (fun ic ->
+      match ic with
+      | Ic.Constr.NotNull _ -> []
+      | Ic.Constr.Generic g ->
+          let zs = Ic.Constr.existential_vars g in
+          List.concat_map
+            (fun atom ->
+              List.mapi (fun i t -> (i + 1, t)) (Ic.Patom.terms atom)
+              |> List.filter_map (fun (pos, t) ->
+                     match t with
+                     | Ic.Term.Var x when List.mem x zs ->
+                         Some (Ic.Patom.pred atom, pos)
+                     | Ic.Term.Var _ | Ic.Term.Const _ -> None))
+            g.Ic.Constr.cons)
+    ics
+  |> List.sort_uniq compare_position
+
+let existing_null_positions d =
+  Relational.Instance.fold
+    (fun atom acc ->
+      let args = Relational.Atom.args atom in
+      let rec go i acc =
+        if i >= Array.length args then acc
+        else
+          go (i + 1)
+            (if Relational.Value.is_null args.(i) then
+               (Relational.Atom.pred atom, i + 1) :: acc
+             else acc)
+      in
+      go 0 acc)
+    d []
+  |> List.sort_uniq compare_position
+
+let may_null d ics =
+  List.sort_uniq compare_position
+    (existing_null_positions d @ insertion_positions ics)
+
+let null_safe ics positions =
+  let ins = insertion_positions ics in
+  List.for_all (fun p -> not (List.mem p ins)) positions
+
+let report d ics =
+  let pp_positions ps =
+    match ps with
+    | [] -> "none"
+    | _ ->
+        String.concat ", "
+          (List.map (fun (p, i) -> Printf.sprintf "%s[%d]" p i) ps)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "null positions in D:            %s\n"
+       (pp_positions (existing_null_positions d)));
+  Buffer.add_string buf
+    (Printf.sprintf "repair-insertion positions:     %s\n"
+       (pp_positions (insertion_positions ics)));
+  Buffer.add_string buf
+    (Printf.sprintf "may hold null in some repair:   %s\n"
+       (pp_positions (may_null d ics)));
+  Buffer.add_string buf
+    "(one propagation step suffices: inserted nulls sit at relevant\n\
+     positions only through the IsNull escape, so they never re-trigger a\n\
+     constraint — no infinite propagation)";
+  Buffer.contents buf

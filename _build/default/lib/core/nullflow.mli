@@ -1,0 +1,44 @@
+(** Static analysis of null propagation through repairs — the paper's
+    extended-version item (b): "a more detailed analysis of the way
+    null-values are propagated in a controlled manner, in such a way that
+    no infinite loops are created".
+
+    Repairs introduce nulls in exactly one way: a RIC
+    [P(x) -> exists y Q(x', y)] inserts [Q(x'-values, null, ..., null)],
+    putting fresh nulls at the existentially quantified positions of [Q]
+    and copying values into the shared positions.  The copied values are
+    always non-null (they come from the violating antecedent match, whose
+    relevant variables are non-null by Definition 4), and UIC repairs only
+    copy antecedent values into consequent positions — all relevant, hence
+    non-null on violating matches.  Consequently:
+
+    - the positions that may hold null in {e some} repair are exactly the
+      positions holding null in [D] plus the existential positions of the
+      RICs (one propagation step, no fixpoint needed — this is the formal
+      content of "no infinite loops"); and
+    - an inserted null can never re-trigger a constraint (it would have to
+      sit at a relevant position of an antecedent match, where Definition 4
+      grants the [IsNull] escape).
+
+    The analysis below computes these position sets and is validated
+    against actually computed repairs by property tests. *)
+
+type position = string * int  (** predicate and 1-based attribute *)
+
+val insertion_positions : Ic.Constr.t list -> position list
+(** Positions where repairs may introduce fresh nulls: the existentially
+    quantified positions of the RICs (and general existential constraints),
+    sorted. *)
+
+val may_null :
+  Relational.Instance.t -> Ic.Constr.t list -> position list
+(** Upper bound on the positions holding null in any repair of [D]:
+    positions with a null in [D] plus {!insertion_positions}. *)
+
+val null_safe : Ic.Constr.t list -> position list -> bool
+(** Are all the given positions guaranteed null-free in every repair of
+    every instance that is null-free at those positions?  True iff none of
+    them is an insertion position. *)
+
+val report : Relational.Instance.t -> Ic.Constr.t list -> string
+(** Human-readable summary (used by the CLI's [graph] subcommand). *)

@@ -1,0 +1,310 @@
+module S = Asp.Syntax
+module Instance = Relational.Instance
+module Constr = Ic.Constr
+module Patom = Ic.Patom
+
+type variant = Literal | Refined
+
+type t = {
+  program : S.program;
+  names : Annot.Names.t;
+  variant : variant;
+  db_preds : (string * int) list;
+}
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Predicates and arities *)
+
+let collect_preds d ics =
+  let tbl = Hashtbl.create 16 in
+  let note pred arity =
+    match Hashtbl.find_opt tbl pred with
+    | None ->
+        Hashtbl.replace tbl pred arity;
+        Ok ()
+    | Some a when a = arity -> Ok ()
+    | Some a ->
+        Error
+          (Printf.sprintf "predicate %s used with arities %d and %d" pred a arity)
+  in
+  let* () =
+    Instance.fold
+      (fun atom acc ->
+        let* () = acc in
+        note (Relational.Atom.pred atom) (Relational.Atom.arity atom))
+      d (Ok ())
+  in
+  let* () =
+    List.fold_left
+      (fun acc ic ->
+        let* () = acc in
+        match ic with
+        | Constr.NotNull n -> note n.pred n.arity
+        | Constr.Generic g ->
+            List.fold_left
+              (fun acc a ->
+                let* () = acc in
+                note (Patom.pred a) (Patom.arity a))
+              (Ok ())
+              (g.Constr.ante @ g.Constr.cons))
+      (Ok ()) ics
+  in
+  Ok (Hashtbl.fold (fun p a acc -> (p, a) :: acc) tbl [] |> List.sort compare)
+
+(* ------------------------------------------------------------------ *)
+(* Term translation *)
+
+let asp_term = function
+  | Ic.Term.Var x -> S.Var x
+  | Ic.Term.Const v -> S.Const (Annot.encode_value v)
+
+let base_atom names (a : Patom.t) =
+  S.atom (Annot.Names.base names (Patom.pred a)) (List.map asp_term (Patom.terms a))
+
+let annotated_atom names (a : Patom.t) ann =
+  S.atom
+    (Annot.Names.annotated names (Patom.pred a))
+    (List.map asp_term (Patom.terms a) @ [ Annot.term_of_annotation ann ])
+
+let not_null_builtin x = S.builtin S.Neq (S.Var x) Annot.null_term
+
+(* negation of the built-in formula phi: phi is a disjunction, so the
+   violation condition is the conjunction of the negated disjuncts *)
+let negated_phi (g : Constr.generic) =
+  let expr_term (e : Ic.Builtin.expr) =
+    (* affine offsets are not expressible in the target language; constraints
+       with offsets are rejected upstream *)
+    match e.Ic.Builtin.base, e.Ic.Builtin.offset with
+    | Ic.Term.Var x, 0 -> Ok (S.Var x)
+    | Ic.Term.Const v, 0 -> Ok (S.Const (Annot.encode_value v))
+    | Ic.Term.Const (Relational.Value.Int i), k -> Ok (S.Const (S.Num (i + k)))
+    | _, _ -> Error "built-in offsets (e.g. x + 15) are not supported in repair programs"
+  in
+  let asp_op = function
+    | Ic.Builtin.Eq -> S.Eq
+    | Ic.Builtin.Neq -> S.Neq
+    | Ic.Builtin.Lt -> S.Lt
+    | Ic.Builtin.Leq -> S.Leq
+    | Ic.Builtin.Gt -> S.Gt
+    | Ic.Builtin.Geq -> S.Geq
+  in
+  List.fold_left
+    (fun acc b ->
+      let* acc = acc in
+      match Ic.Builtin.negate b with
+      | Ic.Builtin.False -> Error "negated false in phi"
+      | Ic.Builtin.Cmp (op, l, r) ->
+          let* lt = expr_term l in
+          let* rt = expr_term r in
+          Ok (S.builtin (asp_op op) lt rt :: acc)
+      | exception Invalid_argument _ -> Error "cannot negate phi atom")
+    (Ok []) g.Constr.phi
+  |> Result.map List.rev
+
+(* all subsets of a list (the Q' / Q'' partitions of Definition 9 rule 2) *)
+let subsets l =
+  List.fold_left (fun acc x -> acc @ List.map (fun s -> x :: s) acc) [ [] ] l
+
+(* ------------------------------------------------------------------ *)
+(* Rules 2: universal integrity constraints *)
+
+let uic_rules names (g : Constr.generic) =
+  let* phi_neg = negated_phi g in
+  let relevant = Ic.Relevant.relevant_universal_vars g in
+  let guards = List.map not_null_builtin relevant in
+  let head =
+    List.map (fun a -> annotated_atom names a Annot.Fa) g.Constr.ante
+    @ List.map (fun a -> annotated_atom names a Annot.Ta) g.Constr.cons
+  in
+  let ante_ts = List.map (fun a -> annotated_atom names a Annot.Ts) g.Constr.ante in
+  let rules =
+    List.map
+      (fun q' ->
+        let q'' =
+          List.filter (fun a -> not (List.exists (Patom.equal a) q')) g.Constr.cons
+        in
+        S.rule head
+          ~body_pos:(ante_ts @ List.map (fun a -> annotated_atom names a Annot.Fa) q')
+          ~body_neg:(List.map (base_atom names) q'')
+          ~body_builtin:(guards @ phi_neg))
+      (subsets g.Constr.cons)
+  in
+  Ok rules
+
+(* ------------------------------------------------------------------ *)
+(* Rules 3: referential integrity constraints *)
+
+let ric_rules variant names idx (g : Constr.generic) =
+  match g.Constr.ante, g.Constr.cons with
+  | [ p ], [ q ] ->
+      let existentials = Constr.existential_vars g in
+      let shared =
+        List.filter (fun x -> List.mem x (Patom.vars q)) (Patom.vars p)
+      in
+      let relevant = Ic.Relevant.relevant_universal_vars g in
+      let guards = List.map not_null_builtin relevant in
+      let aux_name = Annot.Names.aux names idx in
+      let aux_head = S.atom aux_name (List.map (fun x -> S.Var x) shared) in
+      let insertion_terms =
+        List.map
+          (fun t ->
+            match t with
+            | Ic.Term.Var x when List.mem x existentials -> Annot.null_term
+            | t -> asp_term t)
+          (Patom.terms q)
+      in
+      let insertion =
+        S.atom
+          (Annot.Names.annotated names (Patom.pred q))
+          (insertion_terms @ [ Annot.term_of_annotation Annot.Ta ])
+      in
+      let main =
+        S.rule
+          [ annotated_atom names p Annot.Fa; insertion ]
+          ~body_pos:[ annotated_atom names p Annot.Ts ]
+          ~body_neg:[ S.atom aux_name (List.map (fun x -> S.Var x) shared) ]
+          ~body_builtin:guards
+      in
+      let shared_guards = List.map not_null_builtin shared in
+      let aux_rules =
+        match variant with
+        | Literal ->
+            (* one rule per existential variable, each guarded yi != null *)
+            List.map
+              (fun yi ->
+                S.rule [ aux_head ]
+                  ~body_pos:[ annotated_atom names q Annot.Ts ]
+                  ~body_neg:[ annotated_atom names q Annot.Fa ]
+                  ~body_builtin:(shared_guards @ [ not_null_builtin yi ]))
+              existentials
+        | Refined ->
+            (* original witnesses count whatever their existential
+               attributes hold; inserted witnesses only with non-null ones
+               (which stops the head insertion from supporting aux and
+               undermining its own stability) *)
+            [
+              S.rule [ aux_head ]
+                ~body_pos:[ base_atom names q ]
+                ~body_neg:[ annotated_atom names q Annot.Fa ]
+                ~body_builtin:shared_guards;
+              S.rule [ aux_head ]
+                ~body_pos:[ annotated_atom names q Annot.Ta ]
+                ~body_builtin:
+                  (shared_guards @ List.map not_null_builtin existentials);
+            ]
+      in
+      Ok (main :: aux_rules)
+  | _ -> Error "internal error: RIC with several atoms"
+
+(* ------------------------------------------------------------------ *)
+
+let nnc_rule names (pred, arity, pos) =
+  let vars = List.init arity (fun i -> Printf.sprintf "x%d" (i + 1)) in
+  let patom ann =
+    S.atom
+      (Annot.Names.annotated names pred)
+      (List.map (fun x -> S.Var x) vars @ [ Annot.term_of_annotation ann ])
+  in
+  S.rule [ patom Annot.Fa ]
+    ~body_pos:[ patom Annot.Ts ]
+    ~body_builtin:[ S.builtin S.Eq (S.Var (List.nth vars (pos - 1))) Annot.null_term ]
+
+let bookkeeping_rules names (pred, arity) =
+  let vars = List.init arity (fun i -> S.Var (Printf.sprintf "x%d" (i + 1))) in
+  let base = S.atom (Annot.Names.base names pred) vars in
+  let ann a = S.atom (Annot.Names.annotated names pred) (vars @ [ Annot.term_of_annotation a ]) in
+  [
+    (* rules 5 *)
+    S.rule [ ann Annot.Ts ] ~body_pos:[ base ];
+    S.rule [ ann Annot.Ts ] ~body_pos:[ ann Annot.Ta ];
+    (* rule 6 *)
+    S.rule [ ann Annot.Tss ] ~body_pos:[ ann Annot.Ts ] ~body_neg:[ ann Annot.Fa ];
+    (* rule 7 *)
+    S.constraint_ ~body_pos:[ ann Annot.Ta; ann Annot.Fa ] ();
+  ]
+
+(* Least fixpoint of possibly-populated predicates: a predicate can hold a
+   tuple if D gives it one, or if it occurs in the consequent of a
+   constraint all of whose antecedent predicates can hold tuples (repair
+   insertions only ever instantiate consequents of fired constraints). *)
+let fireable_predicates d ics =
+  let populated = ref (Instance.preds d) in
+  let add p = if not (List.mem p !populated) then populated := p :: !populated in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun ic ->
+        match ic with
+        | Constr.NotNull _ -> ()
+        | Constr.Generic g ->
+            let ante_ok =
+              List.for_all (fun a -> List.mem (Patom.pred a) !populated) g.Constr.ante
+            in
+            if ante_ok then
+              List.iter
+                (fun a ->
+                  let p = Patom.pred a in
+                  if not (List.mem p !populated) then begin
+                    add p;
+                    changed := true
+                  end)
+                g.Constr.cons)
+      ics
+  done;
+  List.sort String.compare !populated
+
+let fact_of_atom names atom =
+  S.fact
+    (S.atom
+       (Annot.Names.base names (Relational.Atom.pred atom))
+       (Array.to_list
+          (Array.map (fun v -> S.Const (Annot.encode_value v)) (Relational.Atom.args atom))))
+
+let repair_program ?(variant = Refined) ?(optimize = false) d ics =
+  let* () = Ic.Classify.supported_by_repair_program ics in
+  let* db_preds = collect_preds d ics in
+  let fireable = if optimize then fireable_predicates d ics else List.map fst db_preds in
+  let ic_fireable ic =
+    List.for_all (fun p -> List.mem p fireable) (Constr.ante_preds ic)
+  in
+  let ics = if optimize then List.filter ic_fireable ics else ics in
+  let db_preds =
+    if optimize then List.filter (fun (p, _) -> List.mem p fireable) db_preds
+    else db_preds
+  in
+  let names = Annot.Names.create () in
+  (* intern all predicate names first for deterministic naming *)
+  List.iter (fun (p, _) -> ignore (Annot.Names.base names p)) db_preds;
+  let facts = List.map (fact_of_atom names) (Instance.atoms d) in
+  let* ic_rules =
+    List.fold_left
+      (fun acc (idx, ic) ->
+        let* acc = acc in
+        let* rules =
+          match ic with
+          | Constr.NotNull n -> Ok [ nnc_rule names (n.pred, n.arity, n.pos) ]
+          | Constr.Generic g -> (
+              match Ic.Classify.classify ic with
+              | Ic.Classify.Uic -> uic_rules names g
+              | Ic.Classify.Ric -> ric_rules variant names idx g
+              | Ic.Classify.Nnc | Ic.Classify.GeneralExistential ->
+                  Error "unsupported constraint shape")
+        in
+        Ok (acc @ rules))
+      (Ok [])
+      (List.mapi (fun i ic -> (i, ic)) ics)
+  in
+  let bookkeeping = List.concat_map (bookkeeping_rules names) db_preds in
+  Ok { program = facts @ ic_rules @ bookkeeping; names; variant; db_preds }
+
+let to_dlv t = Asp.Printer.program_to_string Asp.Printer.Dlv t.program
+let to_clingo t = Asp.Printer.program_to_string Asp.Printer.Clingo t.program
+
+let rule_counts t =
+  let facts = List.length (List.filter S.is_fact t.program) in
+  let bookkeeping = 4 * List.length t.db_preds in
+  let total = List.length t.program in
+  (facts, total - facts - bookkeeping, bookkeeping)

@@ -1,0 +1,61 @@
+(** Generation of the repair programs [Pi(D, IC)] of Definition 9.
+
+    Two variants of the RIC auxiliary rules (rules 3.) are provided:
+
+    - [Literal] follows Definition 9 to the letter: one [aux] rule per
+      existential variable [yi], each with the guard [yi != null].  An
+      original witness whose existential attributes are {e all} null then
+      never derives [aux], so the disjunctive rule fires and also offers the
+      spurious deletion of the antecedent tuple: for
+      [D = {P(a), Q(a, null)}] and [P(x) -> exists y. Q(x,y)] — a consistent
+      database — the literal program has a stable model whose database is
+      [{Q(a, null)}], which is not a repair.
+    - [Refined] keeps the guard only where it is needed (to stop the
+      program's own null-insertions from supporting [aux] and thereby
+      destroying their own stability): one [aux] rule over the {e base}
+      facts with no [yi != null] guards, plus one over [ta]-inserted atoms
+      with all guards.  On instances that do not exercise the corner case
+      the two variants compute the same repairs (property-tested).
+
+    [Refined] is the default used by the repair engine; [Literal] is kept
+    for fidelity and for exporting exactly the paper's program. *)
+
+type variant = Literal | Refined
+
+type t = {
+  program : Asp.Syntax.program;
+  names : Annot.Names.t;
+  variant : variant;
+  db_preds : (string * int) list;  (** database predicates with arities *)
+}
+
+val repair_program :
+  ?variant:variant ->
+  ?optimize:bool ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  (t, string) result
+(** Fails when some constraint is existential but not a RIC of form (3)
+    (Definition 9 covers UICs, RICs and NNCs), or on arity mismatches
+    between the instance and the constraints.
+
+    [optimize] (default false) applies the relevance pruning in the spirit
+    of Caniupan & Bertossi [12]: the rules of a constraint whose antecedent
+    mentions a predicate that can never hold a tuple — empty in [D] and
+    not insertable through any (transitively) fireable constraint — are
+    dropped, as are the bookkeeping rules of never-populated predicates.
+    The stable models are unchanged (ablation bench E13; equivalence
+    property-tested). *)
+
+val fireable_predicates : Relational.Instance.t -> Ic.Constr.t list -> string list
+(** Predicates that may hold a tuple in [D] or acquire one through repair
+    insertions: the least fixpoint of "non-empty in D" under "consequent of
+    a constraint whose antecedent predicates are all fireable". *)
+
+val to_dlv : t -> string
+(** The program in DLV concrete syntax (what the paper feeds to DLV [24]). *)
+
+val to_clingo : t -> string
+
+val rule_counts : t -> int * int * int
+(** (facts, ic-rules, bookkeeping-rules) — used by bench table E5. *)

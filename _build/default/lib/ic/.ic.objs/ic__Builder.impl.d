@@ -1,0 +1,1 @@
+lib/ic/builder.ml: Builtin Constr List Option Patom Printf String Term

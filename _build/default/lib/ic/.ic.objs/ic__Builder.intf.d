@@ -1,0 +1,1 @@
+lib/ic/builder.mli: Builtin Constr Patom

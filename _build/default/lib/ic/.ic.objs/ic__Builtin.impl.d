@@ -1,0 +1,1 @@
+lib/ic/builtin.ml: Fmt Int List Relational Stdlib String Term

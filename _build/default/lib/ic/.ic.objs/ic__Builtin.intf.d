@@ -1,0 +1,1 @@
+lib/ic/builtin.mli: Fmt Relational Term

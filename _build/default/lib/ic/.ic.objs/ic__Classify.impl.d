@@ -1,0 +1,1 @@
+lib/ic/classify.ml: Constr Fmt List Printf

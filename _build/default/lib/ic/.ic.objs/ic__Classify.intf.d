@@ -1,0 +1,1 @@
+lib/ic/classify.mli: Constr Fmt

@@ -1,0 +1,1 @@
+lib/ic/constr.ml: Builtin Fmt Int List Patom Printf Relational Result Set String Term

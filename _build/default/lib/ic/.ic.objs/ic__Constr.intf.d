@@ -1,0 +1,1 @@
+lib/ic/constr.mli: Builtin Fmt Patom Set

@@ -1,0 +1,1 @@
+lib/ic/depgraph.ml: Classify Constr Fmt Hashtbl List Map Option Set String

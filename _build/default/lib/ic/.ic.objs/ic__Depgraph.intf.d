@@ -1,0 +1,1 @@
+lib/ic/depgraph.mli: Constr Fmt

@@ -1,0 +1,1 @@
+lib/ic/patom.ml: Fmt List Relational String Term

@@ -1,0 +1,1 @@
+lib/ic/patom.mli: Fmt Relational Term

@@ -1,0 +1,1 @@
+lib/ic/relevant.ml: Builtin Constr Int List Map Option Patom Relational String Term

@@ -1,0 +1,1 @@
+lib/ic/relevant.mli: Constr Patom Relational

@@ -1,0 +1,1 @@
+lib/ic/term.ml: Fmt List Map Relational Set String

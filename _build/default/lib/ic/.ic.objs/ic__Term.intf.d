@@ -1,0 +1,1 @@
+lib/ic/term.mli: Fmt Map Relational Set

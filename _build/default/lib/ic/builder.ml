@@ -1,0 +1,90 @@
+let denial ?name ante = Constr.generic ?name ~ante ()
+
+let check ?name atom phi = Constr.generic ?name ~ante:[ atom ] ~phi ()
+
+let var_range prefix n = List.init n (fun i -> Term.var (Printf.sprintf "%s%d" prefix (i + 1)))
+
+let functional_dependency ?name ~pred ~arity ~lhs ~rhs () =
+  if rhs < 1 || rhs > arity then invalid_arg "Builder.functional_dependency: rhs out of range";
+  if List.exists (fun i -> i < 1 || i > arity) lhs then
+    invalid_arg "Builder.functional_dependency: lhs position out of range";
+  let xs = var_range "x" arity in
+  let ys =
+    List.mapi
+      (fun i _ ->
+        let p = i + 1 in
+        if List.mem p lhs then List.nth xs i else Term.var (Printf.sprintf "y%d" p))
+      xs
+  in
+  let x_rhs = List.nth xs (rhs - 1) and y_rhs = List.nth ys (rhs - 1) in
+  Constr.generic ?name
+    ~ante:[ Patom.make pred xs; Patom.make pred ys ]
+    ~phi:[ Builtin.eq x_rhs y_rhs ]
+    ()
+
+let key ?name_prefix ~pred ~arity ~key () =
+  let non_key =
+    List.init arity (fun i -> i + 1) |> List.filter (fun p -> not (List.mem p key))
+  in
+  List.map
+    (fun rhs ->
+      let name =
+        Option.map (fun p -> Printf.sprintf "%s_%d" p rhs) name_prefix
+      in
+      functional_dependency ?name ~pred ~arity ~lhs:key ~rhs ())
+    non_key
+
+let inclusion ?name ~from_pred ~from_arity ~from_cols ~to_pred ~to_arity ~to_cols
+    () =
+  if List.length from_cols <> List.length to_cols then
+    invalid_arg "Builder.inclusion: column lists must have equal length";
+  if List.exists (fun i -> i < 1 || i > from_arity) from_cols then
+    invalid_arg "Builder.inclusion: from-column out of range";
+  if List.exists (fun i -> i < 1 || i > to_arity) to_cols then
+    invalid_arg "Builder.inclusion: to-column out of range";
+  let xs = var_range "x" from_arity in
+  let pairing = List.combine to_cols from_cols in
+  let to_terms =
+    List.init to_arity (fun j ->
+        let p = j + 1 in
+        match List.assoc_opt p pairing with
+        | Some from_col -> List.nth xs (from_col - 1)
+        | None -> Term.var (Printf.sprintf "z%d" p))
+  in
+  Constr.generic ?name
+    ~ante:[ Patom.make from_pred xs ]
+    ~cons:[ Patom.make to_pred to_terms ]
+    ()
+
+let foreign_key ?name ~child ~child_arity ~child_cols ~parent ~parent_arity
+    ~parent_cols () =
+  inclusion ?name ~from_pred:child ~from_arity:child_arity ~from_cols:child_cols
+    ~to_pred:parent ~to_arity:parent_arity ~to_cols:parent_cols ()
+
+let not_nulls ~pred ~arity ~positions =
+  List.map (fun pos -> Constr.not_null ~pred ~arity ~pos ()) positions
+
+let non_conflicting ics =
+  let find_conflict nnc =
+    match nnc with
+    | Constr.Generic _ -> None
+    | Constr.NotNull n ->
+        let conflicts_with ic =
+          match ic with
+          | Constr.NotNull _ -> None
+          | Constr.Generic g ->
+              let zs = Constr.existential_vars g in
+              let bad_atom a =
+                String.equal (Patom.pred a) n.pred
+                &&
+                match List.nth_opt (Patom.terms a) (n.pos - 1) with
+                | Some (Term.Var x) -> List.mem x zs
+                | Some (Term.Const _) | None -> false
+              in
+              if List.exists bad_atom g.Constr.cons then Some (nnc, ic) else None
+        in
+        List.find_map conflicts_with ics
+  in
+  match List.find_map find_conflict ics with
+  | Some pair -> Error pair
+  | None -> Ok ()

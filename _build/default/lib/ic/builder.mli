@@ -1,0 +1,42 @@
+(** Smart constructors for the constraint shapes of database practice, and
+    the non-conflict condition of Section 4. *)
+
+val denial : ?name:string -> Patom.t list -> Constr.t
+(** [P1 /\ ... /\ Pm -> false]. *)
+
+val check : ?name:string -> Patom.t -> Builtin.t list -> Constr.t
+(** Single-row check constraint [P(x) -> phi] (Example 6). *)
+
+val functional_dependency :
+  ?name:string -> pred:string -> arity:int -> lhs:int list -> rhs:int -> unit ->
+  Constr.t
+(** [P(x), P(x') -> x_rhs = x'_rhs] whenever they agree on [lhs]; one
+    implication with a single equality in the consequent (Section 2). *)
+
+val key :
+  ?name_prefix:string -> pred:string -> arity:int -> key:int list -> unit ->
+  Constr.t list
+(** Primary key as the FDs [key -> i] for every non-key position [i]
+    (set semantics; the paper's bag-semantics caveat of Example 7 applies). *)
+
+val inclusion :
+  ?name:string ->
+  from_pred:string -> from_arity:int -> from_cols:int list ->
+  to_pred:string -> to_arity:int -> to_cols:int list -> unit -> Constr.t
+(** Inclusion dependency [P[from_cols] ⊆ Q[to_cols]].  Full (a UIC) when
+    [to_cols] covers all of [Q], partial (a RIC) otherwise.  Non-referenced
+    positions of [Q] become existentially quantified. *)
+
+val foreign_key :
+  ?name:string ->
+  child:string -> child_arity:int -> child_cols:int list ->
+  parent:string -> parent_arity:int -> parent_cols:int list -> unit -> Constr.t
+(** A foreign key is the partial inclusion dependency (a RIC) from the
+    child columns to the parent columns. *)
+
+val not_nulls : pred:string -> arity:int -> positions:int list -> Constr.t list
+
+val non_conflicting : Constr.t list -> (unit, (Constr.t * Constr.t)) result
+(** The Assumption of Section 4: no NOT NULL-constraint on an attribute that
+    is existentially quantified in a constraint of form (1).  Returns the
+    offending (NNC, IC) pair otherwise (cf. Example 20). *)

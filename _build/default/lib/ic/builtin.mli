@@ -1,0 +1,47 @@
+(** Built-in atoms from [B]: comparisons over affine expressions, plus the
+    propositional [false].
+
+    The formula [phi] of a constraint of form (1) is a disjunction of these
+    atoms.  Expressions are of the shape [term + offset] so that check
+    constraints such as [u > w + 15] (Example 8) are expressible. *)
+
+type expr = { base : Term.t; offset : int }
+
+val evar : string -> expr
+val econst : Relational.Value.t -> expr
+val eint : int -> expr
+val shift : expr -> int -> expr
+
+type op = Eq | Neq | Lt | Leq | Gt | Geq
+
+type t =
+  | Cmp of op * expr * expr
+  | False  (** the always-false propositional atom [false] in [B] *)
+
+val cmp : op -> expr -> expr -> t
+val eq : Term.t -> Term.t -> t
+val neq : Term.t -> Term.t -> t
+
+val negate : t -> t
+(** Classical negation of a comparison; [negate False] is unrepresentable as
+    a single atom and raises [Invalid_argument] (no constraint of form (1)
+    needs it: the repair-program translation negates [phi], and [false]
+    negates to an empty conjunction handled by the caller). *)
+
+val vars : t -> string list
+
+val eval : (string -> Relational.Value.t) -> t -> bool
+(** Classical evaluation with [null] treated as any other constant: equality
+    is structural ([null = null] holds), order comparisons between values of
+    different kinds or involving [null] or non-integer offsets are false.
+    Per Definition 4 this is only ever reached when every relevant variable
+    is non-null, so the [null] corner cases are defensive. *)
+
+val eval3 : (string -> Relational.Value.t) -> t -> bool option
+(** SQL three-valued evaluation: [None] is [unknown] (any comparison with a
+    [null] operand).  Used by the SQL-semantics baselines of Section 3. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val pp_op : op Fmt.t

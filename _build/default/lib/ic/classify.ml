@@ -1,0 +1,50 @@
+type cls = Uic | Ric | Nnc | GeneralExistential
+
+let classify = function
+  | Constr.NotNull _ -> Nnc
+  | Constr.Generic g -> (
+      match Constr.existential_vars g with
+      | [] -> Uic
+      | _ :: _ -> (
+          match g.ante, g.cons, g.phi with
+          | [ _ ], [ _ ], [] -> Ric
+          | _ -> GeneralExistential))
+
+let is_uic ic = classify ic = Uic
+let is_ric ic = classify ic = Ric
+let is_nnc ic = classify ic = Nnc
+
+let is_denial = function
+  | Constr.Generic { cons = []; phi = []; _ } -> true
+  | Constr.Generic _ | Constr.NotNull _ -> false
+
+let is_check = function
+  | Constr.Generic { ante = [ _ ]; cons = []; phi = _ :: _; _ } -> true
+  | Constr.Generic _ | Constr.NotNull _ -> false
+
+let is_full_inclusion = function
+  | Constr.Generic ({ ante = [ _ ]; cons = [ _ ]; phi = []; _ } as g) ->
+      Constr.existential_vars g = []
+  | Constr.Generic _ | Constr.NotNull _ -> false
+
+let supported_by_repair_program ics =
+  let unsupported =
+    List.filter (fun ic -> classify ic = GeneralExistential) ics
+  in
+  match unsupported with
+  | [] -> Ok ()
+  | ic :: _ ->
+      Error
+        (Printf.sprintf
+           "constraint '%s' has existential quantifiers but is not a RIC of \
+            form (3); Definition 9 repair programs cover UICs, RICs and NNCs \
+            only (use the model-theoretic repair engine instead)"
+           (Constr.label ic))
+
+let pp_cls ppf c =
+  Fmt.string ppf
+    (match c with
+    | Uic -> "UIC"
+    | Ric -> "RIC"
+    | Nnc -> "NNC"
+    | GeneralExistential -> "general-existential")

@@ -1,0 +1,30 @@
+(** Syntactic classification of constraints into the paper's classes. *)
+
+type cls =
+  | Uic  (** universal IC, form (2): no existential variables *)
+  | Ric  (** referential IC, form (3): [P(x) -> exists y. Q(x', y)] *)
+  | Nnc  (** NOT NULL-constraint, form (5) *)
+  | GeneralExistential
+      (** form (1) with existential variables but not of form (3); outside
+          the scope of the repair programs of Definition 9 *)
+
+val classify : Constr.t -> cls
+
+val is_uic : Constr.t -> bool
+val is_ric : Constr.t -> bool
+val is_nnc : Constr.t -> bool
+
+val is_denial : Constr.t -> bool
+(** [P1 /\ ... /\ Pm -> false]: empty consequent and empty [phi]. *)
+
+val is_check : Constr.t -> bool
+(** Single-row check constraint: one antecedent atom, no consequent atoms,
+    non-empty [phi] (Example 6). *)
+
+val is_full_inclusion : Constr.t -> bool
+(** [P(x) -> Q(y)] with one atom on each side and no existentials. *)
+
+val supported_by_repair_program : Constr.t list -> (unit, string) result
+(** Definition 9 covers UICs, RICs and NNCs only. *)
+
+val pp_cls : cls Fmt.t

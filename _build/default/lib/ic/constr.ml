@@ -1,0 +1,147 @@
+type generic = {
+  name : string option;
+  ante : Patom.t list;
+  cons : Patom.t list;
+  phi : Builtin.t list;
+}
+
+type t =
+  | Generic of generic
+  | NotNull of { name : string option; pred : string; arity : int; pos : int }
+
+let universal_vars g = Term.vars (List.concat_map Patom.terms g.ante)
+
+let existential_vars g =
+  let xs = universal_vars g in
+  Term.vars (List.concat_map Patom.terms g.cons)
+  |> List.filter (fun v -> not (List.mem v xs))
+
+let existential_vars_of_atom g a =
+  let xs = universal_vars g in
+  Patom.vars a |> List.filter (fun v -> not (List.mem v xs))
+
+let validate g =
+  let ( let* ) = Result.bind in
+  let* () = if g.ante = [] then Error "empty antecedent (m >= 1 required)" else Ok () in
+  let xs = universal_vars g in
+  let* () =
+    let bad =
+      List.concat_map Builtin.vars g.phi
+      |> List.filter (fun v -> not (List.mem v xs))
+    in
+    match bad with
+    | [] -> Ok ()
+    | v :: _ ->
+        Error (Printf.sprintf "variable %s of phi does not appear in the antecedent" v)
+  in
+  let* () =
+    let null_const t =
+      match t with Term.Const v -> Relational.Value.is_null v | Term.Var _ -> false
+    in
+    if
+      List.exists
+        (fun a -> List.exists null_const (Patom.terms a))
+        (g.ante @ g.cons)
+    then Error "the constant null may not appear in a constraint of form (1)"
+    else Ok ()
+  in
+  (* z_i and z_j disjoint for distinct consequent atoms *)
+  let rec disjoint_exists seen = function
+    | [] -> Ok ()
+    | a :: rest ->
+        let zs = existential_vars_of_atom g a in
+        let shared = List.filter (fun v -> List.mem v seen) zs in
+        if shared <> [] then
+          Error
+            (Printf.sprintf
+               "existential variable %s shared between consequent atoms"
+               (List.hd shared))
+        else disjoint_exists (zs @ seen) rest
+  in
+  disjoint_exists [] g.cons
+
+let generic ?name ~ante ?(cons = []) ?(phi = []) () =
+  (* [false] is the unit of the disjunction phi: drop it. *)
+  let phi = List.filter (fun b -> not (Builtin.equal b Builtin.False)) phi in
+  let g = { name; ante; cons; phi } in
+  match validate g with
+  | Ok () -> Generic g
+  | Error msg -> invalid_arg ("Constr.generic: " ^ msg)
+
+let not_null ?name ~pred ~arity ~pos () =
+  if pos < 1 || pos > arity then
+    invalid_arg
+      (Printf.sprintf "Constr.not_null: position %d out of range 1..%d" pos arity);
+  NotNull { name; pred; arity; pos }
+
+let name = function Generic g -> g.name | NotNull n -> n.name
+
+let dedup_sorted l = List.sort_uniq String.compare l
+
+let ante_preds = function
+  | Generic g -> dedup_sorted (List.map Patom.pred g.ante)
+  | NotNull n -> [ n.pred ]
+
+let cons_preds = function
+  | Generic g -> dedup_sorted (List.map Patom.pred g.cons)
+  | NotNull _ -> []
+
+let preds ic = dedup_sorted (ante_preds ic @ cons_preds ic)
+
+let pp_generic ppf g =
+  let pp_cons ppf () =
+    let parts =
+      List.map (fun a -> Fmt.str "%a" Patom.pp a) g.cons
+      @ List.map (fun b -> Fmt.str "%a" Builtin.pp b) g.phi
+    in
+    match parts with
+    | [] -> Fmt.string ppf "false"
+    | _ -> Fmt.string ppf (String.concat " \\/ " parts)
+  in
+  let zs = existential_vars g in
+  Fmt.pf ppf "%a -> %a%a"
+    Fmt.(list ~sep:(any " /\\ ") Patom.pp)
+    g.ante
+    Fmt.(
+      fun ppf -> function
+        | [] -> ()
+        | zs -> pf ppf "exists %a. " (list ~sep:sp string) zs)
+    zs pp_cons ()
+
+let pp ppf = function
+  | Generic g -> pp_generic ppf g
+  | NotNull n ->
+      let var i = Printf.sprintf "x%d" i in
+      let terms = List.init n.arity (fun i -> var (i + 1)) in
+      Fmt.pf ppf "%s(%a) /\\ IsNull(%s) -> false" n.pred
+        Fmt.(list ~sep:(any ", ") string)
+        terms (var n.pos)
+
+let to_string ic = Fmt.str "%a" pp ic
+
+let label ic = match name ic with Some n -> n | None -> to_string ic
+
+let compare a b =
+  match a, b with
+  | Generic g1, Generic g2 ->
+      let c = List.compare Patom.compare g1.ante g2.ante in
+      if c <> 0 then c
+      else
+        let c = List.compare Patom.compare g1.cons g2.cons in
+        if c <> 0 then c else List.compare Builtin.compare g1.phi g2.phi
+  | Generic _, NotNull _ -> -1
+  | NotNull _, Generic _ -> 1
+  | NotNull n1, NotNull n2 ->
+      let c = String.compare n1.pred n2.pred in
+      if c <> 0 then c
+      else
+        let c = Int.compare n1.arity n2.arity in
+        if c <> 0 then c else Int.compare n1.pos n2.pos
+
+let equal a b = compare a b = 0
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,62 @@
+(** Integrity constraints.
+
+    The paper's general form (1) is
+
+    [forall x. (P1(x1) /\ ... /\ Pm(xm)  ->  exists z. (Q1(y1,z1) \/ ... \/ Qn(yn,zn) \/ phi))]
+
+    with [m >= 1], the [y_j] contained in the universally quantified
+    variables [x], the existential variables [z] disjoint from [x] and not
+    shared between distinct consequent atoms, and [phi] a disjunction of
+    built-in atoms over variables of the antecedent.  NOT NULL-constraints
+    (form (5)) carry the [IsNull] predicate and are represented apart. *)
+
+type generic = {
+  name : string option;  (** optional label, used in messages and reports *)
+  ante : Patom.t list;   (** the conjunction [P1 ... Pm], m >= 1 *)
+  cons : Patom.t list;   (** the disjunction [Q1 ... Qn], possibly empty *)
+  phi : Builtin.t list;  (** the built-in disjunction [phi], possibly empty *)
+}
+
+type t =
+  | Generic of generic
+  | NotNull of { name : string option; pred : string; arity : int; pos : int }
+      (** [forall x. (P(x) /\ IsNull(x_pos) -> false)], 1-based [pos]. *)
+
+val generic :
+  ?name:string -> ante:Patom.t list -> ?cons:Patom.t list ->
+  ?phi:Builtin.t list -> unit -> t
+(** Builds and validates a form-(1) constraint.
+    @raise Invalid_argument when validation fails (see {!validate}). *)
+
+val not_null : ?name:string -> pred:string -> arity:int -> pos:int -> unit -> t
+
+val name : t -> string option
+val label : t -> string
+(** [name] when present, else a stable rendering of the constraint. *)
+
+val preds : t -> string list
+(** All database predicates mentioned, deduplicated, sorted. *)
+
+val ante_preds : t -> string list
+val cons_preds : t -> string list
+
+val universal_vars : generic -> string list
+(** [x]: variables of the antecedent, first-occurrence order. *)
+
+val existential_vars : generic -> string list
+(** [z]: consequent variables not occurring in the antecedent. *)
+
+val existential_vars_of_atom : generic -> Patom.t -> string list
+
+val validate : generic -> (unit, string) result
+(** Checks the side conditions of form (1): non-empty antecedent; consequent
+    constants never [null]; [phi] variables contained in the antecedent;
+    existential variables not shared between distinct consequent atoms;
+    consequent atoms' universal variables contained in the antecedent. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val to_string : t -> string
+
+module Set : Set.S with type elt = t

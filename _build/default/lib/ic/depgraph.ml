@@ -1,0 +1,153 @@
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+type edge = { src : string; dst : string; via : Constr.t }
+
+type t = { verts : Sset.t; edge_list : edge list }
+
+let edges_of_constraint ic =
+  match ic with
+  | Constr.NotNull _ -> []
+  | Constr.Generic _ ->
+      List.concat_map
+        (fun src ->
+          List.map (fun dst -> { src; dst; via = ic }) (Constr.cons_preds ic))
+        (Constr.ante_preds ic)
+
+let build ics =
+  let verts =
+    List.fold_left
+      (fun s ic -> List.fold_left (fun s p -> Sset.add p s) s (Constr.preds ic))
+      Sset.empty ics
+  in
+  let edge_list = List.concat_map edges_of_constraint ics in
+  { verts; edge_list }
+
+let vertices g = Sset.elements g.verts
+let edges g = g.edge_list
+
+let has_edge g src dst =
+  List.exists (fun e -> String.equal e.src src && String.equal e.dst dst) g.edge_list
+
+(* Union-find over predicate names. *)
+let weak_components verts edge_list =
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None | Some "" -> x
+    | Some p when String.equal p x -> x
+    | Some p ->
+        let r = find p in
+        Hashtbl.replace parent x r;
+        r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if not (String.equal ra rb) then Hashtbl.replace parent ra rb
+  in
+  Sset.iter (fun v -> Hashtbl.replace parent v v) verts;
+  List.iter (fun e -> union e.src e.dst) edge_list;
+  let groups = Hashtbl.create 16 in
+  Sset.iter
+    (fun v ->
+      let r = find v in
+      Hashtbl.replace groups r (v :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+    verts;
+  Hashtbl.fold (fun _ vs acc -> List.sort String.compare vs :: acc) groups []
+  |> List.sort (List.compare String.compare)
+
+let uic_components ics =
+  let uics = List.filter Classify.is_uic ics in
+  let all = build ics in
+  let g_u = build uics in
+  (* every predicate of IC is a vertex; predicates untouched by UICs form
+     singleton components *)
+  weak_components all.verts g_u.edge_list
+
+type contracted = {
+  vertex_of : string -> string list;
+  cvertices : string list list;
+  cedges : (string list * string list * Constr.t) list;
+}
+
+let contract ics =
+  let comps = uic_components ics in
+  let lookup = Hashtbl.create 16 in
+  List.iter (fun c -> List.iter (fun p -> Hashtbl.replace lookup p c) c) comps;
+  let vertex_of p =
+    match Hashtbl.find_opt lookup p with Some c -> c | None -> [ p ]
+  in
+  let non_uic = List.filter (fun ic -> not (Classify.is_uic ic)) ics in
+  let cedges =
+    List.concat_map
+      (fun ic ->
+        List.map
+          (fun e -> (vertex_of e.src, vertex_of e.dst, ic))
+          (edges_of_constraint ic))
+      non_uic
+  in
+  { vertex_of; cvertices = comps; cedges }
+
+let has_cycle_from cedges =
+  (* DFS over component vertices; components compared structurally. *)
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (s, d, _) ->
+      Hashtbl.replace adj s (d :: Option.value ~default:[] (Hashtbl.find_opt adj s)))
+    cedges;
+  let color = Hashtbl.create 16 in
+  let rec visit path v =
+    match Hashtbl.find_opt color v with
+    | Some `Done -> None
+    | Some `Active ->
+        (* [path] is most-recent-first and starts with [v] (the vertex just
+           revisited); the cycle is [v] followed by its predecessors back to
+           — excluding — the previous occurrence of [v] *)
+        let rec until_v = function
+          | [] -> []
+          | y :: ys -> if y = v then [] else y :: until_v ys
+        in
+        (match path with
+        | x :: rest when x = v -> Some (List.rev (v :: until_v rest))
+        | _ -> Some [ v ])
+    | None -> (
+        Hashtbl.replace color v `Active;
+        let succs = Option.value ~default:[] (Hashtbl.find_opt adj v) in
+        let rec try_succs = function
+          | [] ->
+              Hashtbl.replace color v `Done;
+              None
+          | s :: rest -> (
+              match visit (s :: path) s with
+              | Some c -> Some c
+              | None -> try_succs rest)
+        in
+        try_succs succs)
+  in
+  let starts = Hashtbl.fold (fun v _ acc -> v :: acc) adj [] in
+  List.find_map (fun v -> visit [ v ] v) starts
+
+let ric_cycle ics = has_cycle_from (contract ics).cedges
+
+let is_ric_acyclic ics = Option.is_none (ric_cycle ics)
+
+let pp ppf g =
+  let pp_edge ppf e = Fmt.pf ppf "%s -> %s" e.src e.dst in
+  Fmt.pf ppf "@[<v>vertices: %a@,edges:@,  %a@]"
+    Fmt.(list ~sep:(any ", ") string)
+    (vertices g)
+    Fmt.(list ~sep:(any "@,  ") pp_edge)
+    g.edge_list
+
+let pp_component ppf c =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") string) c
+
+let pp_contracted ppf c =
+  let pp_edge ppf (s, d, _) =
+    Fmt.pf ppf "%a -> %a" pp_component s pp_component d
+  in
+  Fmt.pf ppf "@[<v>vertices: %a@,edges:@,  %a@]"
+    Fmt.(list ~sep:(any ", ") pp_component)
+    c.cvertices
+    Fmt.(list ~sep:(any "@,  ") pp_edge)
+    c.cedges

@@ -1,0 +1,49 @@
+(** Dependency graphs over database predicates and RIC-acyclicity
+    (Definition 1, Examples 2-3).
+
+    [G(IC)] has the predicates of [IC] as vertices and an edge [(P, Q)]
+    whenever some constraint has [P] in its antecedent and [Q] in its
+    consequent.  The contracted graph [GC(IC)] merges each connected
+    component of [G(IC_U)] (the sub-graph induced by the universal
+    constraints) into one vertex and keeps only the edges contributed by
+    non-universal constraints (the RICs).  [IC] is RIC-acyclic iff [GC(IC)]
+    has no (directed) cycle; self-loops count.
+
+    Connected components of [G(IC_U)] are computed as weakly connected
+    components.  On the unilaterally-connected graphs produced by UIC
+    chains this coincides with the paper's notion and is otherwise a
+    conservative over-approximation (it can only make RIC-acyclicity
+    stricter, never accept a cyclic set). *)
+
+type edge = { src : string; dst : string; via : Constr.t }
+
+type t
+
+val build : Constr.t list -> t
+(** [G(IC)]. NNCs contribute their predicate as a vertex but no edges. *)
+
+val vertices : t -> string list
+val edges : t -> edge list
+val has_edge : t -> string -> string -> bool
+
+val uic_components : Constr.t list -> string list list
+(** Connected components of [G(IC_U)], each sorted; singleton components for
+    predicates that only occur in RICs/NNCs. *)
+
+type contracted = {
+  vertex_of : string -> string list;
+      (** the merged component a predicate belongs to *)
+  cvertices : string list list;
+  cedges : (string list * string list * Constr.t) list;
+}
+
+val contract : Constr.t list -> contracted
+(** [GC(IC)]. *)
+
+val is_ric_acyclic : Constr.t list -> bool
+
+val ric_cycle : Constr.t list -> string list list option
+(** A directed cycle of [GC(IC)] as a list of component vertices, if any. *)
+
+val pp : t Fmt.t
+val pp_contracted : contracted Fmt.t

@@ -1,0 +1,32 @@
+type t = { pred : string; terms : Term.t list }
+
+let make pred terms = { pred; terms }
+let pred a = a.pred
+let terms a = a.terms
+let arity a = List.length a.terms
+
+let vars a = Term.vars a.terms
+
+let positions_of a t =
+  let rec go i acc = function
+    | [] -> List.rev acc
+    | u :: rest -> go (i + 1) (if Term.equal u t then i :: acc else acc) rest
+  in
+  go 1 [] a.terms
+
+let equal a b =
+  String.equal a.pred b.pred && List.equal Term.equal a.terms b.terms
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c else List.compare Term.compare a.terms b.terms
+
+let pp ppf a =
+  Fmt.pf ppf "%s(%a)" a.pred Fmt.(list ~sep:(any ", ") Term.pp) a.terms
+
+let ground lookup a =
+  let value = function
+    | Term.Const v -> v
+    | Term.Var x -> lookup x
+  in
+  Relational.Atom.make a.pred (List.map value a.terms)

@@ -1,0 +1,22 @@
+(** Predicate atoms [P(t1, ..., tn)] with variables and constants. *)
+
+type t = { pred : string; terms : Term.t list }
+
+val make : string -> Term.t list -> t
+val pred : t -> string
+val terms : t -> Term.t list
+val arity : t -> int
+
+val vars : t -> string list
+(** Variables in order of first occurrence, deduplicated. *)
+
+val positions_of : t -> Term.t -> int list
+(** 1-based positions at which the term occurs in this atom. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+val ground : (string -> Relational.Value.t) -> t -> Relational.Atom.t
+(** Instantiate under an assignment of variables to values.
+    @raise Not_found via the assignment function for unbound variables. *)

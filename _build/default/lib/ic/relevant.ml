@@ -1,0 +1,83 @@
+module Smap = Map.Make (String)
+
+type attr = string * int
+
+let compare_attr (p, i) (q, j) =
+  let c = String.compare p q in
+  if c <> 0 then c else Int.compare i j
+
+(* Number of occurrences of each variable across the database atoms and the
+   built-in formula of a generic constraint. *)
+let occurrence_counts (g : Constr.generic) =
+  let bump x m =
+    Smap.update x (fun n -> Some (1 + Option.value ~default:0 n)) m
+  in
+  let from_atoms m =
+    List.fold_left
+      (fun m a ->
+        List.fold_left
+          (fun m t -> match t with Term.Var x -> bump x m | Term.Const _ -> m)
+          m (Patom.terms a))
+      m
+      (g.Constr.ante @ g.Constr.cons)
+  in
+  let from_phi m =
+    List.fold_left
+      (fun m b -> List.fold_left (fun m x -> bump x m) m (Builtin.vars b))
+      m g.Constr.phi
+  in
+  from_phi (from_atoms Smap.empty)
+
+let attributes_generic g =
+  let counts = occurrence_counts g in
+  let relevant_term t =
+    match t with
+    | Term.Const _ -> true
+    | Term.Var x -> Option.value ~default:0 (Smap.find_opt x counts) >= 2
+  in
+  let of_atom a =
+    let pred = Patom.pred a in
+    List.mapi (fun i t -> (i + 1, t)) (Patom.terms a)
+    |> List.filter_map (fun (i, t) ->
+           if relevant_term t then Some (pred, i) else None)
+  in
+  List.concat_map of_atom (g.Constr.ante @ g.Constr.cons)
+  |> List.sort_uniq compare_attr
+
+let attributes = function
+  | Constr.Generic g -> attributes_generic g
+  | Constr.NotNull n -> [ (n.pred, n.pos) ]
+
+let positions ic =
+  let attrs = attributes ic in
+  let m =
+    List.fold_left
+      (fun m (p, i) ->
+        Smap.update p
+          (fun l -> Some (i :: Option.value ~default:[] l))
+          m)
+      Smap.empty attrs
+  in
+  (* ensure every predicate of the constraint is present, possibly with no
+     relevant position (zero-ary projection) *)
+  let m =
+    List.fold_left
+      (fun m p -> if Smap.mem p m then m else Smap.add p [] m)
+      m (Constr.preds ic)
+  in
+  Smap.bindings m |> List.map (fun (p, l) -> (p, List.sort Int.compare l))
+
+let relevant_universal_vars g =
+  let counts = occurrence_counts g in
+  Constr.universal_vars g
+  |> List.filter (fun x -> Option.value ~default:0 (Smap.find_opt x counts) >= 2)
+
+let project_atom ic a =
+  let pos = positions ic in
+  let keep = Relational.Projection.positions_for pos (Patom.pred a) in
+  let terms = Patom.terms a in
+  Patom.make (Patom.pred a) (List.map (fun i -> List.nth terms (i - 1)) keep)
+
+let project_instance ic d =
+  let restricted = Relational.Projection.restrict_to (Constr.preds ic) d in
+  Relational.Projection.project_instance (positions ic) restricted

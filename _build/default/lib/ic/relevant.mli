@@ -1,0 +1,32 @@
+(** Relevant attributes of a constraint (Definition 2).
+
+    [A(psi)] contains [R[i]] whenever a variable occurring at least twice in
+    [psi] occurs at position [i] of predicate [R], or a constant occurs
+    there.  Occurrences in the built-in formula [phi] count towards the
+    occurrence total (so every variable of [phi] is relevant), but only
+    positions inside database atoms enter [A(psi)].  Positions are
+    per-predicate: a variable joining two occurrences of the same predicate
+    contributes all its positions in both (Example 8). *)
+
+type attr = string * int
+(** [R[i]]: predicate name and 1-based position. *)
+
+val attributes : Constr.t -> attr list
+(** [A(psi)], sorted.  For a NOT NULL-constraint this is the constrained
+    position (the constant [null] occurs there, by form (5)). *)
+
+val positions : Constr.t -> Relational.Projection.positions
+(** [A(psi)] grouped per predicate, positions ascending — the shape consumed
+    by {!Relational.Projection.project_instance} to build [D^{A(psi)}]. *)
+
+val relevant_universal_vars : Constr.generic -> string list
+(** [A(psi) ∩ x]: the universally quantified variables standing at relevant
+    positions — exactly those receiving an [IsNull] disjunct in the
+    transformed formula (4). *)
+
+val project_atom : Constr.t -> Patom.t -> Patom.t
+(** [P^{A(psi)}(...)]: keep the atom's terms at the relevant positions of
+    its predicate, ascending. *)
+
+val project_instance : Constr.t -> Relational.Instance.t -> Relational.Instance.t
+(** [D^{A(psi)}] (Definition 3), restricted to the predicates of [psi]. *)

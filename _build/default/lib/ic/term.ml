@@ -1,0 +1,45 @@
+type t = Var of string | Const of Relational.Value.t
+
+let var x = Var x
+let const v = Const v
+let int i = Const (Relational.Value.int i)
+let str s = Const (Relational.Value.str s)
+
+let is_var = function Var _ -> true | Const _ -> false
+let is_const = function Const _ -> true | Var _ -> false
+
+let equal a b =
+  match a, b with
+  | Var x, Var y -> String.equal x y
+  | Const u, Const v -> Relational.Value.equal u v
+  | (Var _ | Const _), _ -> false
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+  | Const u, Const v -> Relational.Value.compare u v
+
+let pp ppf = function
+  | Var x -> Fmt.string ppf x
+  | Const v -> Relational.Value.pp ppf v
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+let vars terms =
+  let rec go seen acc = function
+    | [] -> List.rev acc
+    | Const _ :: rest -> go seen acc rest
+    | Var x :: rest ->
+        if List.mem x seen then go seen acc rest
+        else go (x :: seen) (x :: acc) rest
+  in
+  go [] [] terms

@@ -1,0 +1,27 @@
+(** Terms of the constraint language: variables and domain constants.
+
+    Domain constants other than [null] may appear in constraints of form
+    (1); [null] itself only ever appears through the [IsNull] predicate of
+    NOT NULL-constraints (Definition 5). *)
+
+type t = Var of string | Const of Relational.Value.t
+
+val var : string -> t
+val const : Relational.Value.t -> t
+val int : int -> t
+val str : string -> t
+
+val is_var : t -> bool
+val is_const : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val vars : t list -> string list
+(** Variable names occurring in a term list, in order of first occurrence,
+    deduplicated. *)

@@ -1,0 +1,1 @@
+lib/parser/emit.ml: Hashtbl Ic List Load Printf Query Relational String

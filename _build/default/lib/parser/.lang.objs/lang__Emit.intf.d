@@ -1,0 +1,1 @@
+lib/parser/emit.mli: Ic Load Query Relational

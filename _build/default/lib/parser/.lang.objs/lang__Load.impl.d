@@ -1,0 +1,1 @@
+lib/parser/load.ml: Ic In_channel Lexer List Parser Printf Query Relational Result Surface

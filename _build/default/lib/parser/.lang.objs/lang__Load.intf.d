@@ -1,0 +1,1 @@
+lib/parser/load.mli: Ic Query Relational Surface

@@ -1,0 +1,1 @@
+lib/parser/parser.ml: Fmt Ic Lexer List Query Relational Surface

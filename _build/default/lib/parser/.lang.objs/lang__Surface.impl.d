@@ -1,0 +1,1 @@
+lib/parser/surface.ml: Fmt Ic List Query Relational String

@@ -1,0 +1,1 @@
+lib/parser/surface.mli: Fmt Ic Query Relational

@@ -1,0 +1,192 @@
+module Value = Relational.Value
+
+let is_lower_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true | _ -> false)
+       s
+
+let is_upper_ident s =
+  s <> ""
+  && (match s.[0] with 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true | _ -> false)
+       s
+
+let keywords = [ "relation"; "constraint"; "not_null"; "query"; "exists"; "forall"; "isnull"; "false"; "null" ]
+
+let value = function
+  | Value.Null -> "null"
+  | Value.Int i -> string_of_int i
+  | Value.Str s ->
+      if is_lower_ident s && not (List.mem s keywords) then s
+      else "\"" ^ s ^ "\""
+
+let check_relation_name name =
+  if not (is_upper_ident name) then
+    invalid_arg
+      (Printf.sprintf
+         "Emit: relation name %S is not expressible in the surface syntax \
+          (capitalized identifier required)"
+         name)
+
+let fact atom =
+  let pred = Relational.Atom.pred atom in
+  check_relation_name pred;
+  Printf.sprintf "%s(%s)." pred
+    (String.concat ", "
+       (List.map value (Relational.Tuple.to_list (Relational.Atom.args atom))))
+
+let instance d =
+  String.concat "\n" (List.map fact (Relational.Instance.atoms d))
+
+let relation (r : Relational.Schema.relation) =
+  check_relation_name r.Relational.Schema.name;
+  let attr i a = if is_lower_ident a || is_upper_ident a then a else Printf.sprintf "c%d" (i + 1) in
+  Printf.sprintf "relation %s(%s)." r.Relational.Schema.name
+    (String.concat ", " (List.mapi attr r.Relational.Schema.attrs))
+
+(* Variables must be distinct capitalized identifiers; build a per-item
+   renaming that capitalizes and disambiguates. *)
+let var_renaming vars =
+  let taken = Hashtbl.create 8 in
+  List.map
+    (fun x ->
+      let base =
+        let c = String.capitalize_ascii x in
+        if is_upper_ident c then c else "V" ^ string_of_int (Hashtbl.length taken)
+      in
+      let rec fresh c i =
+        let candidate = if i = 0 then c else Printf.sprintf "%s%d" c i in
+        if Hashtbl.mem taken candidate then fresh c (i + 1) else candidate
+      in
+      let name = fresh base 0 in
+      Hashtbl.replace taken name ();
+      (x, name))
+    vars
+
+let term rename = function
+  | Ic.Term.Var x -> List.assoc x rename
+  | Ic.Term.Const v -> value v
+
+let patom rename a =
+  check_relation_name (Ic.Patom.pred a);
+  Printf.sprintf "%s(%s)" (Ic.Patom.pred a)
+    (String.concat ", " (List.map (term rename) (Ic.Patom.terms a)))
+
+let expr rename (e : Ic.Builtin.expr) =
+  let base = term rename e.Ic.Builtin.base in
+  if e.Ic.Builtin.offset = 0 then base
+  else if e.Ic.Builtin.offset > 0 then Printf.sprintf "%s + %d" base e.Ic.Builtin.offset
+  else Printf.sprintf "%s - %d" base (-e.Ic.Builtin.offset)
+
+let op_string = function
+  | Ic.Builtin.Eq -> "="
+  | Ic.Builtin.Neq -> "!="
+  | Ic.Builtin.Lt -> "<"
+  | Ic.Builtin.Leq -> "<="
+  | Ic.Builtin.Gt -> ">"
+  | Ic.Builtin.Geq -> ">="
+
+let builtin rename = function
+  | Ic.Builtin.False -> "false"
+  | Ic.Builtin.Cmp (op, l, r) ->
+      Printf.sprintf "%s %s %s" (expr rename l) (op_string op) (expr rename r)
+
+let constraint_name name =
+  match name with
+  | Some n when is_lower_ident n && not (List.mem n keywords) -> " " ^ n
+  | Some n when is_upper_ident n -> " " ^ n
+  | _ -> ""
+
+let constraint_ = function
+  | Ic.Constr.NotNull n -> Printf.sprintf "not_null %s[%d]." n.pred n.pos
+  | Ic.Constr.Generic g ->
+      let vars =
+        Ic.Term.vars
+          (List.concat_map Ic.Patom.terms (g.Ic.Constr.ante @ g.Ic.Constr.cons))
+      in
+      let rename = var_renaming vars in
+      let ante = String.concat ", " (List.map (patom rename) g.Ic.Constr.ante) in
+      let parts =
+        List.map (patom rename) g.Ic.Constr.cons
+        @ List.map (builtin rename) g.Ic.Constr.phi
+      in
+      let cons = match parts with [] -> "false" | _ -> String.concat " | " parts in
+      Printf.sprintf "constraint%s: %s -> %s."
+        (constraint_name g.Ic.Constr.name)
+        ante cons
+
+(* Query formulas: precedence levels — 0 quantifier body, 1 disjunction,
+   2 conjunction, 3 atoms/negation. *)
+let query_formula rename f =
+  let rec go level f =
+    let wrap needed s = if level > needed then "(" ^ s ^ ")" else s in
+    match f with
+    | Query.Qsyntax.Atom a -> patom rename a
+    | Query.Qsyntax.Builtin b -> builtin rename b
+    | Query.Qsyntax.IsNull t -> Printf.sprintf "isnull(%s)" (term rename t)
+    | Query.Qsyntax.Not f -> "!" ^ go 3 f
+    | Query.Qsyntax.And (f1, f2) -> wrap 2 (go 2 f1 ^ " & " ^ go 2 f2)
+    | Query.Qsyntax.Or (f1, f2) -> wrap 1 (go 1 f1 ^ " | " ^ go 1 f2)
+    | Query.Qsyntax.Exists (xs, f) ->
+        wrap 0
+          (Printf.sprintf "exists %s. %s"
+             (String.concat " " (List.map (fun x -> List.assoc x rename) xs))
+             (go 0 f))
+    | Query.Qsyntax.Forall (xs, f) ->
+        wrap 0
+          (Printf.sprintf "forall %s. %s"
+             (String.concat " " (List.map (fun x -> List.assoc x rename) xs))
+             (go 0 f))
+  in
+  go 0 f
+
+let rec formula_vars f =
+  match f with
+  | Query.Qsyntax.Atom a -> Ic.Patom.vars a
+  | Query.Qsyntax.Builtin b -> Ic.Builtin.vars b
+  | Query.Qsyntax.IsNull (Ic.Term.Var x) -> [ x ]
+  | Query.Qsyntax.IsNull (Ic.Term.Const _) -> []
+  | Query.Qsyntax.And (f1, f2) | Query.Qsyntax.Or (f1, f2) ->
+      formula_vars f1 @ formula_vars f2
+  | Query.Qsyntax.Not f -> formula_vars f
+  | Query.Qsyntax.Exists (xs, f) | Query.Qsyntax.Forall (xs, f) -> xs @ formula_vars f
+
+let query name (q : Query.Qsyntax.t) =
+  let vars =
+    List.sort_uniq String.compare (q.Query.Qsyntax.head @ formula_vars q.Query.Qsyntax.body)
+  in
+  let rename = var_renaming vars in
+  let head =
+    match q.Query.Qsyntax.head with
+    | [] -> ""
+    | head ->
+        Printf.sprintf "(%s)"
+          (String.concat ", " (List.map (fun x -> List.assoc x rename) head))
+  in
+  let qname = if is_lower_ident name && not (List.mem name keywords) then name else "q" in
+  Printf.sprintf "query %s%s: %s." qname head
+    (query_formula rename q.Query.Qsyntax.body)
+
+let file ?schema ?(ics = []) ?(queries = []) d =
+  let decls =
+    match schema with
+    | None -> []
+    | Some s -> List.map relation (Relational.Schema.relations s)
+  in
+  let sections =
+    [
+      decls;
+      [ instance d ];
+      List.map constraint_ ics;
+      List.map (fun (n, q) -> query n q) queries;
+    ]
+    |> List.concat
+    |> List.filter (fun s -> s <> "")
+  in
+  String.concat "\n" sections ^ "\n"
+
+let loaded (l : Load.loaded) =
+  file ~schema:l.Load.schema ~ics:l.Load.ics ~queries:l.Load.queries l.Load.instance

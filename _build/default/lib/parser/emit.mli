@@ -1,0 +1,32 @@
+(** Serializing databases, constraints and queries back to the surface
+    syntax of {!Parser} — the inverse of {!Load}.
+
+    Round-trip guarantee (tested): for any loaded file [l],
+    [Load.of_string (file l)] succeeds with an equal instance, equal
+    constraints and equal queries.  Values that would not re-read as
+    themselves (capitalized words, keywords, strings with spaces or
+    symbols) are double-quoted. *)
+
+val value : Relational.Value.t -> string
+
+val fact : Relational.Atom.t -> string
+
+val instance : Relational.Instance.t -> string
+(** One fact per line, sorted. *)
+
+val relation : Relational.Schema.relation -> string
+
+val constraint_ : Ic.Constr.t -> string
+
+val query : string -> Query.Qsyntax.t -> string
+
+val file :
+  ?schema:Relational.Schema.t ->
+  ?ics:Ic.Constr.t list ->
+  ?queries:(string * Query.Qsyntax.t) list ->
+  Relational.Instance.t ->
+  string
+(** A complete surface file: relation declarations, facts, constraints,
+    queries. *)
+
+val loaded : Load.loaded -> string

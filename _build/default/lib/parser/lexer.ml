@@ -1,0 +1,127 @@
+type token =
+  | IDENT of string
+  | UIDENT of string
+  | STRING of string
+  | INT of int
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | COMMA | DOT | COLON | SEMI
+  | ARROW
+  | PIPE
+  | AMP
+  | BANG
+  | EQ | NEQ | LT | LEQ | GT | GEQ
+  | PLUS | MINUS
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let pp_token ppf t =
+  Fmt.string ppf
+    (match t with
+    | IDENT s -> s
+    | UIDENT s -> s
+    | STRING s -> Printf.sprintf "%S" s
+    | INT i -> string_of_int i
+    | LPAREN -> "(" | RPAREN -> ")"
+    | LBRACKET -> "[" | RBRACKET -> "]"
+    | COMMA -> "," | DOT -> "." | COLON -> ":" | SEMI -> ";"
+    | ARROW -> "->" | PIPE -> "|" | AMP -> "&" | BANG -> "!"
+    | EQ -> "=" | NEQ -> "!=" | LT -> "<" | LEQ -> "<=" | GT -> ">" | GEQ -> ">="
+    | PLUS -> "+" | MINUS -> "-"
+    | EOF -> "<eof>")
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let emit token = tokens := { token; line = !line; col = !col } :: !tokens in
+  let advance k =
+    for j = !i to min (n - 1) (!i + k - 1) do
+      if input.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  let error msg = raise (Lex_error (msg, !line, !col)) in
+  while !i < n do
+    let c = input.[!i] in
+    match c with
+    | ' ' | '\t' | '\r' | '\n' -> advance 1
+    | '%' | '#' ->
+        while !i < n && input.[!i] <> '\n' do
+          advance 1
+        done
+    | '(' -> emit LPAREN; advance 1
+    | ')' -> emit RPAREN; advance 1
+    | '[' -> emit LBRACKET; advance 1
+    | ']' -> emit RBRACKET; advance 1
+    | ',' -> emit COMMA; advance 1
+    | '.' -> emit DOT; advance 1
+    | ':' -> emit COLON; advance 1
+    | ';' -> emit SEMI; advance 1
+    | '|' -> emit PIPE; advance 1
+    | '&' -> emit AMP; advance 1
+    | '+' -> emit PLUS; advance 1
+    | '=' -> emit EQ; advance 1
+    | '~' -> emit BANG; advance 1
+    | '!' ->
+        if !i + 1 < n && input.[!i + 1] = '=' then begin emit NEQ; advance 2 end
+        else begin emit BANG; advance 1 end
+    | '<' ->
+        if !i + 1 < n && input.[!i + 1] = '=' then begin emit LEQ; advance 2 end
+        else if !i + 1 < n && input.[!i + 1] = '>' then begin emit NEQ; advance 2 end
+        else begin emit LT; advance 1 end
+    | '>' ->
+        if !i + 1 < n && input.[!i + 1] = '=' then begin emit GEQ; advance 2 end
+        else begin emit GT; advance 1 end
+    | '-' ->
+        if !i + 1 < n && input.[!i + 1] = '>' then begin emit ARROW; advance 2 end
+        else begin emit MINUS; advance 1 end
+    | '"' ->
+        let start = !i + 1 in
+        let j = ref start in
+        while !j < n && input.[!j] <> '"' do
+          incr j
+        done;
+        if !j >= n then error "unterminated string literal"
+        else begin
+          emit (STRING (String.sub input start (!j - start)));
+          advance (!j - !i + 1)
+        end
+    | '0' .. '9' ->
+        let start = !i in
+        let j = ref !i in
+        while !j < n && match input.[!j] with '0' .. '9' -> true | _ -> false do
+          incr j
+        done;
+        emit (INT (int_of_string (String.sub input start (!j - start))));
+        advance (!j - start)
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let start = !i in
+        let j = ref !i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        let word = String.sub input start (!j - start) in
+        let token =
+          match word.[0] with
+          | 'A' .. 'Z' -> UIDENT word
+          | _ -> IDENT word
+        in
+        emit token;
+        advance (!j - start)
+    | c -> error (Printf.sprintf "unexpected character %C" c)
+  done;
+  emit EOF;
+  List.rev !tokens

@@ -1,0 +1,105 @@
+module Schema = Relational.Schema
+module Instance = Relational.Instance
+
+type loaded = {
+  schema : Schema.t;
+  instance : Instance.t;
+  ics : Ic.Constr.t list;
+  queries : (string * Query.Qsyntax.t) list;
+}
+
+let ( let* ) = Result.bind
+
+let default_attrs n = List.init n (fun i -> Printf.sprintf "c%d" (i + 1))
+
+let note_arity schema rel arity =
+  match Schema.arity schema rel with
+  | None -> Ok (Schema.add_relation schema ~name:rel ~attrs:(default_attrs arity))
+  | Some a when a = arity -> Ok schema
+  | Some a ->
+      Error (Printf.sprintf "relation %s has arity %d but is used with %d atoms" rel a arity)
+
+let of_items items =
+  (* pass 1: schema (declared and inferred) *)
+  let* schema =
+    List.fold_left
+      (fun acc item ->
+        let* schema = acc in
+        match item with
+        | Surface.Relation (name, attrs) ->
+            if Schema.mem schema name then
+              Error (Printf.sprintf "relation %s declared twice" name)
+            else Ok (Schema.add_relation schema ~name ~attrs)
+        | Surface.Fact (name, values) -> note_arity schema name (List.length values)
+        | Surface.Constraint { ante; cons; _ } ->
+            List.fold_left
+              (fun acc a ->
+                let* schema = acc in
+                note_arity schema (Ic.Patom.pred a) (Ic.Patom.arity a))
+              (Ok schema) (ante @ cons)
+        | Surface.NotNull _ | Surface.Query _ -> Ok schema)
+      (Ok Schema.empty) items
+  in
+  (* pass 2: build everything *)
+  let* instance, rev_ics, rev_queries =
+    List.fold_left
+      (fun acc item ->
+        let* instance, ics, queries = acc in
+        match item with
+        | Surface.Relation _ -> Ok (instance, ics, queries)
+        | Surface.Fact (name, values) ->
+            Ok (Instance.add (Relational.Atom.make name values) instance, ics, queries)
+        | Surface.Constraint { name; ante; cons; phi } -> (
+            match Ic.Constr.generic ?name ~ante ~cons ~phi () with
+            | ic -> Ok (instance, ic :: ics, queries)
+            | exception Invalid_argument msg -> Error msg)
+        | Surface.NotNull (rel, pos) -> (
+            match Schema.arity schema rel with
+            | None -> Error (Printf.sprintf "not_null on unknown relation %s" rel)
+            | Some arity -> (
+                match Ic.Constr.not_null ~pred:rel ~arity ~pos () with
+                | ic -> Ok (instance, ic :: ics, queries)
+                | exception Invalid_argument msg -> Error msg))
+        | Surface.Query (name, head, body) -> (
+            match Query.Qsyntax.make ~name ~head body with
+            | q -> Ok (instance, ics, (name, q) :: queries)
+            | exception Invalid_argument msg -> Error msg))
+      (Ok (Instance.empty, [], []))
+      items
+  in
+  (* validate query atoms against the schema *)
+  let* () =
+    List.fold_left
+      (fun acc (name, q) ->
+        let* () = acc in
+        List.fold_left
+          (fun acc atom ->
+            let* () = acc in
+            match Schema.arity schema (Ic.Patom.pred atom) with
+            | None ->
+                Error
+                  (Printf.sprintf "query %s mentions unknown relation %s" name
+                     (Ic.Patom.pred atom))
+            | Some a when a = Ic.Patom.arity atom -> Ok ()
+            | Some a ->
+                Error
+                  (Printf.sprintf "query %s uses %s with arity %d, expected %d" name
+                     (Ic.Patom.pred atom) (Ic.Patom.arity atom) a))
+          (Ok ())
+          (Query.Qsyntax.atoms q.Query.Qsyntax.body))
+      (Ok ()) rev_queries
+  in
+  Ok { schema; instance; ics = List.rev rev_ics; queries = List.rev rev_queries }
+
+let of_string input =
+  match Parser.parse input with
+  | items -> of_items items
+  | exception Parser.Parse_error (msg, line, col) ->
+      Error (Printf.sprintf "parse error at %d:%d: %s" line col msg)
+  | exception Lexer.Lex_error (msg, line, col) ->
+      Error (Printf.sprintf "lexical error at %d:%d: %s" line col msg)
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> of_string contents
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,18 @@
+(** Loading and validating surface files. *)
+
+type loaded = {
+  schema : Relational.Schema.t;
+  instance : Relational.Instance.t;
+  ics : Ic.Constr.t list;
+  queries : (string * Query.Qsyntax.t) list;
+}
+
+val of_items : Surface.file -> (loaded, string) result
+(** Validates arities against the declared (or inferred) schema, builds the
+    constraints through {!Ic.Constr.generic} (so all form-(1) side
+    conditions are enforced) and names queries. *)
+
+val of_string : string -> (loaded, string) result
+(** Parse then load; lexer/parser errors are rendered with positions. *)
+
+val of_file : string -> (loaded, string) result

@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the surface language.
+
+    {v
+    % schema (optional: relations are otherwise inferred from facts)
+    relation Course(code, id, term).
+
+    % facts: every argument is a constant (null, integer, identifier,
+    % capitalized word or "quoted string")
+    Course(cs27, 21, w04).
+    Course(cs50, null, w05).
+
+    % constraints: capitalized identifiers are variables, everything else
+    % constants; variables occurring only in the consequent are
+    % existentially quantified; the consequent is a |-separated disjunction
+    % of atoms and comparisons, or the keyword false
+    constraint fk: Course(X, Y, Z) -> Exp(Y, X, W).
+    constraint key_r: R(X, Y), R(X, Z) -> Y = Z.
+    constraint pos: Emp(I, N, S) -> S > 100.
+    constraint no_self: E(X, X) -> false.
+
+    % NOT NULL-constraint on an attribute position (1-based)
+    not_null R[1].
+
+    % queries: & | ! exists forall isnull(), comparisons; quantifiers
+    % extend as far right as possible
+    query enrolled(X): exists Y Z. Course(X, Y, Z).
+    query certain_pair: exists X. Course(X, 21, w04).
+    v} *)
+
+exception Parse_error of string * int * int
+
+val parse : string -> Surface.file
+(** @raise Parse_error / Lexer.Lex_error with position information. *)

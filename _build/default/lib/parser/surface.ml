@@ -1,0 +1,35 @@
+type item =
+  | Relation of string * string list
+  | Fact of string * Relational.Value.t list
+  | Constraint of {
+      name : string option;
+      ante : Ic.Patom.t list;
+      cons : Ic.Patom.t list;
+      phi : Ic.Builtin.t list;
+    }
+  | NotNull of string * int
+  | Query of string * string list * Query.Qsyntax.formula
+
+type file = item list
+
+let pp_item ppf = function
+  | Relation (name, attrs) ->
+      Fmt.pf ppf "relation %s(%a)." name Fmt.(list ~sep:(any ", ") string) attrs
+  | Fact (name, values) ->
+      Fmt.pf ppf "%s(%a)." name Fmt.(list ~sep:(any ", ") Relational.Value.pp) values
+  | Constraint { name; ante; cons; phi } ->
+      let parts =
+        List.map (Fmt.str "%a" Ic.Patom.pp) cons
+        @ List.map (Fmt.str "%a" Ic.Builtin.pp) phi
+      in
+      Fmt.pf ppf "constraint%a: %a -> %s."
+        Fmt.(option (fun ppf -> pf ppf " %s"))
+        name
+        Fmt.(list ~sep:(any ", ") Ic.Patom.pp)
+        ante
+        (match parts with [] -> "false" | _ -> String.concat " | " parts)
+  | NotNull (rel, pos) -> Fmt.pf ppf "not_null %s[%d]." rel pos
+  | Query (name, head, body) ->
+      Fmt.pf ppf "query %s(%a): %a." name
+        Fmt.(list ~sep:(any ", ") string)
+        head Query.Qsyntax.pp_formula body

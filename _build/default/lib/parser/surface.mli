@@ -1,0 +1,18 @@
+(** Parsed surface items, before schema validation ({!Load}). *)
+
+type item =
+  | Relation of string * string list  (** name, attribute names *)
+  | Fact of string * Relational.Value.t list
+  | Constraint of {
+      name : string option;
+      ante : Ic.Patom.t list;
+      cons : Ic.Patom.t list;
+      phi : Ic.Builtin.t list;
+    }
+  | NotNull of string * int
+  | Query of string * string list * Query.Qsyntax.formula
+      (** name, head variables, body *)
+
+type file = item list
+
+val pp_item : item Fmt.t

@@ -1,0 +1,1 @@
+lib/query/cqa.ml: Asp Core Fmt List Printf Progcqa Qeval Qsyntax Relational Repair Result

@@ -1,0 +1,1 @@
+lib/query/cqa.mli: Fmt Ic Qeval Qsyntax Relational

@@ -1,0 +1,1 @@
+lib/query/progcqa.ml: Asp Core Ic List Option Printf Qsyntax Relational Result String

@@ -1,0 +1,1 @@
+lib/query/progcqa.mli: Asp Core Ic Qsyntax Relational

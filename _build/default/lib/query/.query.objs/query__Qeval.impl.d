@@ -1,0 +1,1 @@
+lib/query/qeval.ml: Hashtbl Ic Lazy List Option Qsyntax Relational Semantics Set

@@ -1,0 +1,1 @@
+lib/query/qeval.mli: Qsyntax Relational Semantics

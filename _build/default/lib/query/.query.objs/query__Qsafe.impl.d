@@ -1,0 +1,1 @@
+lib/query/qsafe.ml: Fmt Ic List Qsyntax String

@@ -1,0 +1,1 @@
+lib/query/qsafe.mli: Qsyntax

@@ -1,0 +1,1 @@
+lib/query/qsyntax.ml: Fmt Ic List Printf String

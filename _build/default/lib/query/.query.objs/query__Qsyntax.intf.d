@@ -1,0 +1,1 @@
+lib/query/qsyntax.mli: Fmt Ic

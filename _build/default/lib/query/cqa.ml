@@ -1,0 +1,72 @@
+module Tuple = Relational.Tuple
+
+type method_ = ModelTheoretic | LogicProgram | CautiousProgram
+
+type outcome = {
+  consistent : Tuple.Set.t;
+  possible : Tuple.Set.t;
+  standard : Tuple.Set.t;
+  repair_count : int;
+}
+
+let repairs_of method_ max_effort d ics =
+  match method_ with
+  | CautiousProgram -> assert false
+  | ModelTheoretic -> (
+      match Repair.Enumerate.repairs ?max_states:max_effort d ics with
+      | reps -> Ok reps
+      | exception Repair.Enumerate.Budget_exceeded n ->
+          Error (Printf.sprintf "repair search budget (%d states) exceeded" n))
+  | LogicProgram -> (
+      match Core.Engine.repairs ?max_decisions:max_effort d ics with
+      | Ok reps -> Ok reps
+      | Error _ as e -> e
+      | exception Asp.Solver.Budget_exceeded n ->
+          Error (Printf.sprintf "solver budget (%d decisions) exceeded" n))
+
+let consistent_answers ?(method_ = LogicProgram) ?semantics ?max_effort d ics q =
+  match method_ with
+  | CautiousProgram ->
+      Result.map
+        (fun (o : Progcqa.outcome) ->
+          {
+            consistent = o.Progcqa.consistent;
+            possible = o.Progcqa.possible;
+            standard = Qeval.answers ?semantics d q;
+            repair_count = o.Progcqa.stable_models;
+          })
+        (Progcqa.consistent_answers ?max_decisions:max_effort d ics q)
+  | ModelTheoretic | LogicProgram ->
+  Result.map
+    (fun repairs ->
+      let answer_sets = List.map (fun r -> Qeval.answers ?semantics r q) repairs in
+      let consistent =
+        match answer_sets with
+        | [] -> Tuple.Set.empty
+        | s :: rest -> List.fold_left Tuple.Set.inter s rest
+      in
+      let possible = List.fold_left Tuple.Set.union Tuple.Set.empty answer_sets in
+      {
+        consistent;
+        possible;
+        standard = Qeval.answers ?semantics d q;
+        repair_count = List.length repairs;
+      })
+    (repairs_of method_ max_effort d ics)
+
+let certain ?method_ ?semantics ?max_effort d ics q =
+  if not (Qsyntax.is_boolean q) then Error "certain: query has head variables"
+  else
+    Result.map
+      (fun o -> Tuple.Set.mem (Tuple.make []) o.consistent)
+      (consistent_answers ?method_ ?semantics ?max_effort d ics
+         { q with Qsyntax.head = [] })
+
+let pp_outcome ppf o =
+  let pp_set ppf s =
+    Fmt.pf ppf "{%a}"
+      Fmt.(list ~sep:(any ", ") Tuple.pp)
+      (Tuple.Set.elements s)
+  in
+  Fmt.pf ppf "@[<v>consistent: %a@,possible:   %a@,standard:   %a@,repairs:    %d@]"
+    pp_set o.consistent pp_set o.possible pp_set o.standard o.repair_count

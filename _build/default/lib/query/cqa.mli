@@ -1,0 +1,57 @@
+(** Consistent query answering (Definition 8).
+
+    A tuple is a {e consistent answer} to a query on [D] wrt [IC] iff it is
+    an answer in {e every} repair of [D]; a boolean query is consistently
+    [yes] iff it holds in every repair.  Repairs can come from the
+    model-theoretic enumerator of Section 4 ({!Repair.Enumerate}) or from
+    the stable models of the repair program of Section 5 ({!Core.Engine}) —
+    Theorem 4 makes them interchangeable, which is property-tested.
+
+    CQA for first-order queries under this semantics is decidable
+    (Theorem 2) and Pi^p_2-complete (Theorem 3); both engines are
+    worst-case exponential accordingly. *)
+
+type method_ =
+  | ModelTheoretic
+      (** materialize [Rep(D, IC)] with {!Repair.Enumerate} and evaluate the
+          query in every repair *)
+  | LogicProgram
+      (** materialize the repairs from the stable models of [Pi(D, IC)]
+          ({!Core.Engine}) and evaluate the query in every repair *)
+  | CautiousProgram
+      (** no materialization: compile the query into the program and take
+          cautious/brave consequences ({!Progcqa}); requires RIC-acyclic
+          constraints and the Datalog-with-negation query fragment, and
+          fixes the query semantics to [NullAsConstant] *)
+
+type outcome = {
+  consistent : Relational.Tuple.Set.t;  (** answers in every repair *)
+  possible : Relational.Tuple.Set.t;    (** answers in some repair *)
+  standard : Relational.Tuple.Set.t;    (** answers in D itself *)
+  repair_count : int;
+      (** number of repairs, or of stable models for [CautiousProgram] *)
+}
+
+val consistent_answers :
+  ?method_:method_ ->
+  ?semantics:Qeval.semantics ->
+  ?max_effort:int ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  Qsyntax.t ->
+  (outcome, string) result
+(** [max_effort] bounds the repair search (states for the model-theoretic
+    engine, solver decisions for the logic-program engine). *)
+
+val certain :
+  ?method_:method_ ->
+  ?semantics:Qeval.semantics ->
+  ?max_effort:int ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  Qsyntax.t ->
+  (bool, string) result
+(** Definition 8 for boolean queries: [yes] iff the query holds in every
+    repair. *)
+
+val pp_outcome : outcome Fmt.t

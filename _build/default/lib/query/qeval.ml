@@ -1,0 +1,145 @@
+module Value = Relational.Value
+module Instance = Relational.Instance
+module Assign = Semantics.Assign
+
+type semantics = NullAsConstant | SqlLike | NullAware
+
+let query_constants body =
+  let rec go = function
+    | Qsyntax.Atom a ->
+        List.filter_map
+          (function Ic.Term.Const v -> Some v | Ic.Term.Var _ -> None)
+          (Ic.Patom.terms a)
+    | Qsyntax.Builtin (Ic.Builtin.Cmp (_, l, r)) ->
+        List.filter_map
+          (fun (e : Ic.Builtin.expr) ->
+            match e.Ic.Builtin.base with
+            | Ic.Term.Const v -> Some v
+            | Ic.Term.Var _ -> None)
+          [ l; r ]
+    | Qsyntax.Builtin Ic.Builtin.False -> []
+    | Qsyntax.IsNull (Ic.Term.Const v) -> [ v ]
+    | Qsyntax.IsNull (Ic.Term.Var _) -> []
+    | Qsyntax.And (f, g) | Qsyntax.Or (f, g) -> go f @ go g
+    | Qsyntax.Not f -> go f
+    | Qsyntax.Exists (_, f) | Qsyntax.Forall (_, f) -> go f
+  in
+  go body
+
+let domain d body =
+  let module Vset = Set.Make (Value) in
+  Vset.elements
+    (Vset.union
+       (Vset.of_list (Instance.active_domain d))
+       (Vset.of_list (query_constants body)))
+
+let eval_builtin semantics theta b =
+  let lookup x = Assign.lookup_exn theta x in
+  match semantics with
+  | NullAsConstant -> Ic.Builtin.eval lookup b
+  | SqlLike | NullAware -> (
+      match Ic.Builtin.eval3 lookup b with Some v -> v | None -> false)
+
+(* Variables occurring at least twice in the body's atoms, or at all in a
+   comparison — the query analogue of Definition 2's relevant variables. *)
+let join_vars formula =
+  let tbl = Hashtbl.create 16 in
+  let bump x =
+    Hashtbl.replace tbl x (1 + Option.value ~default:0 (Hashtbl.find_opt tbl x))
+  in
+  let rec go = function
+    | Qsyntax.Atom a ->
+        List.iter
+          (function Ic.Term.Var x -> bump x | Ic.Term.Const _ -> ())
+          (Ic.Patom.terms a)
+    | Qsyntax.Builtin b -> List.iter (fun x -> bump x; bump x) (Ic.Builtin.vars b)
+    | Qsyntax.IsNull _ -> ()
+    | Qsyntax.And (f, g) | Qsyntax.Or (f, g) -> go f; go g
+    | Qsyntax.Not f -> go f
+    | Qsyntax.Exists (_, f) | Qsyntax.Forall (_, f) -> go f
+  in
+  go formula;
+  Hashtbl.fold (fun x n acc -> if n >= 2 then x :: acc else acc) tbl []
+
+let holds ?(semantics = NullAsConstant) d theta formula =
+  let dom = lazy (domain d formula) in
+  let joins = lazy (join_vars formula) in
+  let atom_holds theta a =
+    match semantics with
+    | NullAsConstant | SqlLike -> Assign.exists_match d theta a
+    | NullAware ->
+        (* a match may not bind a join variable to null *)
+        Assign.atom_matches d theta a
+        |> List.exists (fun theta' ->
+               List.for_all
+                 (fun t ->
+                   match t with
+                   | Ic.Term.Const _ -> true
+                   | Ic.Term.Var x ->
+                       (not (List.mem x (Lazy.force joins)))
+                       ||
+                       (match Assign.find theta' x with
+                       | Some v -> not (Value.is_null v)
+                       | None -> true))
+                 (Ic.Patom.terms a))
+  in
+  let rec go theta = function
+    | Qsyntax.Atom a -> atom_holds theta a
+    | Qsyntax.Builtin b -> eval_builtin semantics theta b
+    | Qsyntax.IsNull t -> (
+        match Assign.value_of_term theta t with
+        | Some v -> Value.is_null v
+        | None -> invalid_arg "Qeval: unbound variable under IsNull")
+    | Qsyntax.And (f, g) -> go theta f && go theta g
+    | Qsyntax.Or (f, g) -> go theta f || go theta g
+    | Qsyntax.Not f -> not (go theta f)
+    | Qsyntax.Exists (xs, f) -> exists_assign theta xs f
+    | Qsyntax.Forall (xs, f) -> not (exists_assign_not theta xs f)
+  and exists_assign theta xs f =
+    match xs with
+    | [] -> go theta f
+    | x :: rest ->
+        List.exists
+          (fun v ->
+            match Assign.bind theta x v with
+            | Some theta' -> exists_assign theta' rest f
+            | None -> false)
+          (Lazy.force dom)
+  and exists_assign_not theta xs f =
+    match xs with
+    | [] -> not (go theta f)
+    | x :: rest ->
+        List.exists
+          (fun v ->
+            match Assign.bind theta x v with
+            | Some theta' -> exists_assign_not theta' rest f
+            | None -> false)
+          (Lazy.force dom)
+  in
+  go theta formula
+
+(* all free variables of the body are enumerated (non-head free variables
+   are implicitly existentially quantified); the answer projects to the
+   head *)
+let answers ?semantics d (q : Qsyntax.t) =
+  let dom = domain d q.Qsyntax.body in
+  let free = Qsyntax.free_vars q.Qsyntax.body in
+  let rec enumerate theta = function
+    | [] ->
+        if holds ?semantics d theta q.Qsyntax.body then
+          [ Relational.Tuple.make (List.map (Assign.lookup_exn theta) q.Qsyntax.head) ]
+        else []
+    | x :: rest ->
+        List.concat_map
+          (fun v ->
+            match Assign.bind theta x v with
+            | Some theta' -> enumerate theta' rest
+            | None -> [])
+          dom
+  in
+  Relational.Tuple.Set.of_list (enumerate Assign.empty free)
+
+let boolean ?semantics d q =
+  if not (Qsyntax.is_boolean q) then
+    invalid_arg "Qeval.boolean: query has head variables";
+  holds ?semantics d Assign.empty q.Qsyntax.body

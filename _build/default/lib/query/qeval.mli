@@ -1,0 +1,52 @@
+(** Query evaluation over instances with null values.
+
+    Quantifiers range over the active domain of the instance (plus the
+    constants of the query), which coincides with the standard semantics for
+    safe queries ({!Qsafe}).
+
+    Three query-answering semantics [|=q_N] are provided (the paper leaves
+    the choice open — Section 4, discussion after Definition 8 — and
+    announces a compatible semantics for the extended version):
+
+    - [NullAsConstant]: classical first-order evaluation with [null] an
+      ordinary constant — equality with [null] holds only for [null]
+      itself, and [null] joins with [null].  This matches the way the
+      repair programs treat [null].
+    - [SqlLike]: atoms still match structurally, but built-in comparisons
+      involving [null] are unknown (never satisfied — nor is their
+      negation), in the spirit of SQL's three-valued logic.  [IsNull]
+      remains the sanctioned null test.
+    - [NullAware]: the semantics {e compatible with the IC satisfaction of
+      Section 3}, our realization of the paper's future-work item (a).  In
+      analogy with Definition 2's relevant attributes, a variable occurring
+      more than once in the query body (a join variable, including
+      repetition inside one atom) or inside a comparison is {e relevant}:
+      an atom only matches if its relevant variables are bound to non-null
+      values (a null never joins, exactly as "in a DBMS there will never be
+      a join between a null and another value"), and comparisons involving
+      null are unknown.  Nulls can still be {e returned} through
+      single-occurrence and head positions, and [IsNull] remains the
+      sanctioned test.
+
+    All run in polynomial time in the size of the instance for a fixed
+    query, as the paper assumes. *)
+
+type semantics = NullAsConstant | SqlLike | NullAware
+
+val holds :
+  ?semantics:semantics ->
+  Relational.Instance.t ->
+  Semantics.Assign.t ->
+  Qsyntax.formula ->
+  bool
+
+val answers :
+  ?semantics:semantics ->
+  Relational.Instance.t ->
+  Qsyntax.t ->
+  Relational.Tuple.Set.t
+(** Head-variable bindings satisfying the query body.  For a boolean query
+    the result is either empty or the singleton empty tuple. *)
+
+val boolean :
+  ?semantics:semantics -> Relational.Instance.t -> Qsyntax.t -> bool

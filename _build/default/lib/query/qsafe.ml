@@ -1,0 +1,49 @@
+let inter a b = List.filter (fun x -> List.mem x b) a
+let union a b = List.sort_uniq String.compare (a @ b)
+
+(* Variables certainly bound to database values when the formula holds. *)
+let rec range_restricted_vars = function
+  | Qsyntax.Atom a -> Ic.Patom.vars a
+  | Qsyntax.Builtin _ | Qsyntax.IsNull _ -> []
+  | Qsyntax.And (f, g) -> union (range_restricted_vars f) (range_restricted_vars g)
+  | Qsyntax.Or (f, g) -> inter (range_restricted_vars f) (range_restricted_vars g)
+  | Qsyntax.Not _ -> []
+  | Qsyntax.Exists (xs, f) | Qsyntax.Forall (xs, f) ->
+      List.filter (fun v -> not (List.mem v xs)) (range_restricted_vars f)
+
+(* Every quantifier must restrict its variables: existentials positively,
+   universals through the standard rewriting forall x. f == ~exists x. ~f
+   (we require the variables of a Forall to be restricted in ~f). *)
+let rec quantifiers_safe = function
+  | Qsyntax.Atom _ | Qsyntax.Builtin _ | Qsyntax.IsNull _ -> true
+  | Qsyntax.And (f, g) | Qsyntax.Or (f, g) -> quantifiers_safe f && quantifiers_safe g
+  | Qsyntax.Not f -> quantifiers_safe f
+  | Qsyntax.Exists (xs, f) ->
+      quantifiers_safe f
+      && List.for_all (fun x -> List.mem x (range_restricted_vars f)) xs
+  | Qsyntax.Forall (xs, f) ->
+      quantifiers_safe f
+      &&
+      let restricted_in_negation =
+        match f with
+        | Qsyntax.Or (Qsyntax.Not g, _) | Qsyntax.Or (_, Qsyntax.Not g) ->
+            (* the common guarded shape: forall x. (~P(x) \/ psi) *)
+            range_restricted_vars g
+        | Qsyntax.Not g -> range_restricted_vars g
+        | _ -> []
+      in
+      List.for_all (fun x -> List.mem x restricted_in_negation) xs
+
+let is_safe (q : Qsyntax.t) =
+  let rr = range_restricted_vars q.Qsyntax.body in
+  List.for_all (fun x -> List.mem x rr) q.Qsyntax.head
+  && quantifiers_safe q.Qsyntax.body
+
+let check q =
+  if is_safe q then Ok ()
+  else
+    Error
+      (Fmt.str
+         "query %a is not safe-range: evaluation falls back to active-domain \
+          semantics"
+         Qsyntax.pp q)

@@ -1,0 +1,15 @@
+(** Safe-range analysis [32].
+
+    The paper assumes queries are {e safe}, a syntactic guarantee of domain
+    independence.  We implement the standard safe-range check: every free
+    variable of the query, and every quantified variable, must be range
+    restricted by a positive database atom within its scope.  The evaluator
+    ({!Qeval}) ranges quantifiers over the active domain, which computes the
+    standard semantics exactly for safe queries. *)
+
+val range_restricted_vars : Qsyntax.formula -> string list
+(** Variables guaranteed bound to the active domain by the formula itself. *)
+
+val is_safe : Qsyntax.t -> bool
+
+val check : Qsyntax.t -> (unit, string) result

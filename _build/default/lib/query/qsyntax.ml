@@ -1,0 +1,82 @@
+type formula =
+  | Atom of Ic.Patom.t
+  | Builtin of Ic.Builtin.t
+  | IsNull of Ic.Term.t
+  | And of formula * formula
+  | Or of formula * formula
+  | Not of formula
+  | Exists of string list * formula
+  | Forall of string list * formula
+
+type t = { name : string option; head : string list; body : formula }
+
+let rec free_vars = function
+  | Atom a -> Ic.Patom.vars a
+  | Builtin b -> Ic.Builtin.vars b
+  | IsNull (Ic.Term.Var x) -> [ x ]
+  | IsNull (Ic.Term.Const _) -> []
+  | And (f, g) | Or (f, g) ->
+      let l = free_vars f @ free_vars g in
+      List.sort_uniq String.compare l
+  | Not f -> free_vars f
+  | Exists (xs, f) | Forall (xs, f) ->
+      List.filter (fun v -> not (List.mem v xs)) (free_vars f)
+
+let rec bound_vars = function
+  | Atom _ | Builtin _ | IsNull _ -> []
+  | And (f, g) | Or (f, g) -> bound_vars f @ bound_vars g
+  | Not f -> bound_vars f
+  | Exists (xs, f) | Forall (xs, f) -> xs @ bound_vars f
+
+let make ?name ~head body =
+  let fv = free_vars body in
+  let bv = bound_vars body in
+  List.iter
+    (fun x ->
+      if List.mem x bv then
+        invalid_arg (Printf.sprintf "Query.make: head variable %s is bound in the body" x);
+      if not (List.mem x fv) then
+        invalid_arg (Printf.sprintf "Query.make: head variable %s does not occur in the body" x))
+    head;
+  { name; head; body }
+
+let truth = Builtin (Ic.Builtin.eq (Ic.Term.int 0) (Ic.Term.int 0))
+let falsity = Builtin Ic.Builtin.False
+
+let conj = function
+  | [] -> truth
+  | f :: rest -> List.fold_left (fun acc g -> And (acc, g)) f rest
+
+let disj = function
+  | [] -> falsity
+  | f :: rest -> List.fold_left (fun acc g -> Or (acc, g)) f rest
+
+let is_boolean q = q.head = []
+
+let rec atoms = function
+  | Atom a -> [ a ]
+  | Builtin _ | IsNull _ -> []
+  | And (f, g) | Or (f, g) -> atoms f @ atoms g
+  | Not f -> atoms f
+  | Exists (_, f) | Forall (_, f) -> atoms f
+
+let preds q =
+  List.sort_uniq String.compare (List.map Ic.Patom.pred (atoms q.body))
+
+let rec pp_formula ppf = function
+  | Atom a -> Ic.Patom.pp ppf a
+  | Builtin b -> Ic.Builtin.pp ppf b
+  | IsNull t -> Fmt.pf ppf "IsNull(%a)" Ic.Term.pp t
+  | And (f, g) -> Fmt.pf ppf "(%a /\\ %a)" pp_formula f pp_formula g
+  | Or (f, g) -> Fmt.pf ppf "(%a \\/ %a)" pp_formula f pp_formula g
+  | Not f -> Fmt.pf ppf "~%a" pp_formula f
+  | Exists (xs, f) ->
+      Fmt.pf ppf "exists %a. %a" Fmt.(list ~sep:sp string) xs pp_formula f
+  | Forall (xs, f) ->
+      Fmt.pf ppf "forall %a. %a" Fmt.(list ~sep:sp string) xs pp_formula f
+
+let pp ppf q =
+  match q.head with
+  | [] -> pp_formula ppf q.body
+  | head ->
+      Fmt.pf ppf "{(%a) | %a}" Fmt.(list ~sep:(any ", ") string) head pp_formula q.body

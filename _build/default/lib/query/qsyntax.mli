@@ -1,0 +1,38 @@
+(** First-order queries over the database schema.
+
+    Queries are first-order formulas over database atoms and built-in
+    comparisons; a query has a list of free head variables ([[]] for a
+    boolean query).  Example 14's "which students exist?" is
+    [{head = ["id"; "name"]; body = Atom (Student(id, name))}]. *)
+
+type formula =
+  | Atom of Ic.Patom.t
+  | Builtin of Ic.Builtin.t
+  | IsNull of Ic.Term.t
+      (** the [IsNull] predicate of Section 3 — the sanctioned way to test
+          for null in a query, since [= null] would be unknown *)
+  | And of formula * formula
+  | Or of formula * formula
+  | Not of formula
+  | Exists of string list * formula
+  | Forall of string list * formula
+
+type t = { name : string option; head : string list; body : formula }
+
+val make : ?name:string -> head:string list -> formula -> t
+(** @raise Invalid_argument if a head variable is bound in the body or does
+    not occur in it. *)
+
+val conj : formula list -> formula
+(** Conjunction; [conj [] ] is the true formula (encoded as a tautology). *)
+
+val disj : formula list -> formula
+
+val free_vars : formula -> string list
+val is_boolean : t -> bool
+
+val atoms : formula -> Ic.Patom.t list
+val preds : t -> string list
+
+val pp_formula : formula Fmt.t
+val pp : t Fmt.t

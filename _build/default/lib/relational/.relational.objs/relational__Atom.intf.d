@@ -1,0 +1,1 @@
+lib/relational/atom.mli: Fmt Map Set Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Array Atom Fmt List Map Option Set String Tuple Value

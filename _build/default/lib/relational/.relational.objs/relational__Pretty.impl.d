@@ -1,0 +1,1 @@
+lib/relational/pretty.ml: Buffer Fmt Instance List Option Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/projection.ml: Atom Instance List Tuple

@@ -1,0 +1,1 @@
+lib/relational/projection.mli: Instance Tuple

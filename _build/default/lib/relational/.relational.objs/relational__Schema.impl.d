@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Atom Fmt Instance List Map Option Printf String

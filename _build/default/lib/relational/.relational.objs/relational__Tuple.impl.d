@@ -1,0 +1,1 @@
+lib/relational/tuple.ml: Array Fmt Int List Map Printf Set Value

@@ -1,0 +1,100 @@
+module Smap = Map.Make (String)
+
+type t = Tuple.Set.t Smap.t
+
+let empty = Smap.empty
+let is_empty d = Smap.for_all (fun _ ts -> Tuple.Set.is_empty ts) d
+
+let add a d =
+  let p = Atom.pred a and t = Atom.args a in
+  let prev = Option.value ~default:Tuple.Set.empty (Smap.find_opt p d) in
+  Smap.add p (Tuple.Set.add t prev) d
+
+let remove a d =
+  let p = Atom.pred a and t = Atom.args a in
+  match Smap.find_opt p d with
+  | None -> d
+  | Some ts ->
+      let ts = Tuple.Set.remove t ts in
+      if Tuple.Set.is_empty ts then Smap.remove p d else Smap.add p ts d
+
+let mem a d =
+  match Smap.find_opt (Atom.pred a) d with
+  | None -> false
+  | Some ts -> Tuple.Set.mem (Atom.args a) ts
+
+let of_atoms atoms = List.fold_left (fun d a -> add a d) empty atoms
+
+let of_list l =
+  of_atoms (List.map (fun (p, vs) -> Atom.make p vs) l)
+
+let fold f d acc =
+  Smap.fold
+    (fun p ts acc ->
+      Tuple.Set.fold (fun t acc -> f (Atom.of_tuple p t) acc) ts acc)
+    d acc
+
+let iter f d = fold (fun a () -> f a) d ()
+
+let atoms d = List.rev (fold (fun a acc -> a :: acc) d [])
+let atom_set d = fold Atom.Set.add d Atom.Set.empty
+
+let filter f d =
+  Smap.filter_map
+    (fun p ts ->
+      let ts = Tuple.Set.filter (fun t -> f (Atom.of_tuple p t)) ts in
+      if Tuple.Set.is_empty ts then None else Some ts)
+    d
+
+let cardinal d = Smap.fold (fun _ ts n -> n + Tuple.Set.cardinal ts) d 0
+
+let preds d =
+  Smap.fold (fun p ts acc -> if Tuple.Set.is_empty ts then acc else p :: acc) d []
+  |> List.rev
+
+let tuples d p = Option.value ~default:Tuple.Set.empty (Smap.find_opt p d)
+
+let merge_with op a b =
+  Smap.merge
+    (fun _ x y ->
+      let x = Option.value ~default:Tuple.Set.empty x in
+      let y = Option.value ~default:Tuple.Set.empty y in
+      let r = op x y in
+      if Tuple.Set.is_empty r then None else Some r)
+    a b
+
+let union = merge_with Tuple.Set.union
+let diff = merge_with Tuple.Set.diff
+let inter = merge_with Tuple.Set.inter
+let symdiff a b = union (diff a b) (diff b a)
+
+let subset a b =
+  Smap.for_all (fun p ts -> Tuple.Set.subset ts (tuples b p)) a
+
+let equal a b = subset a b && subset b a
+
+let compare a b = Atom.Set.compare (atom_set a) (atom_set b)
+
+let active_domain d =
+  let module Vset = Set.Make (Value) in
+  let vs =
+    fold
+      (fun a acc -> Array.fold_left (fun acc v -> Vset.add v acc) acc (Atom.args a))
+      d Vset.empty
+  in
+  Vset.elements vs
+
+let active_domain_non_null d =
+  List.filter (fun v -> not (Value.is_null v)) (active_domain d)
+
+let null_count d =
+  fold
+    (fun a n ->
+      Array.fold_left (fun n v -> if Value.is_null v then n + 1 else n) n
+        (Atom.args a))
+    d 0
+
+let pp ppf d = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Atom.pp) (atoms d)
+
+let pp_inline ppf d =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Atom.pp) (atoms d)

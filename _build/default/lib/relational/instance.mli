@@ -1,0 +1,55 @@
+(** Database instances: finite sets of ground database atoms.
+
+    Following the paper (and deviating from SQL's bag semantics exactly as
+    discussed around Example 7), an instance is a {e set} of atoms. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val add : Atom.t -> t -> t
+val remove : Atom.t -> t -> t
+val mem : Atom.t -> t -> bool
+
+val of_atoms : Atom.t list -> t
+val of_list : (string * Value.t list) list -> t
+val atoms : t -> Atom.t list
+val atom_set : t -> Atom.Set.t
+
+val cardinal : t -> int
+val preds : t -> string list
+(** Predicates with at least one tuple, sorted. *)
+
+val tuples : t -> string -> Tuple.Set.t
+(** Tuples of one relation (empty set if none). *)
+
+val fold : (Atom.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Atom.t -> unit) -> t -> unit
+val filter : (Atom.t -> bool) -> t -> t
+
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter : t -> t -> t
+val symdiff : t -> t -> t
+(** The symmetric difference [Delta(D, D')] used to compare instances with
+    their repairs (Section 4). *)
+
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val active_domain : t -> Value.t list
+(** All constants occurring in the instance, [null] included if present,
+    sorted and deduplicated. *)
+
+val active_domain_non_null : t -> Value.t list
+
+val null_count : t -> int
+(** Number of null occurrences across all tuples. *)
+
+val pp : t Fmt.t
+(** One atom per line, sorted — stable output for tests and goldens. *)
+
+val pp_inline : t Fmt.t
+(** [{A(1), B(2, null)}] on one line. *)

@@ -1,0 +1,52 @@
+let headers schema rel arity =
+  match Option.bind schema (fun s -> Schema.relation s rel) with
+  | Some r when List.length r.Schema.attrs = arity -> r.Schema.attrs
+  | Some _ | None -> List.init arity (fun i -> Printf.sprintf "c%d" (i + 1))
+
+let render_rows rel header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun n r -> max n (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun w r -> match List.nth_opt r c with
+        | Some s -> max w (String.length s)
+        | None -> w)
+      1 all
+  in
+  let widths = List.init ncols width in
+  let line r =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let s = Option.value ~default:"" (List.nth_opt r c) in
+          s ^ String.make (w - String.length s) ' ')
+        widths
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (rel ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf (line header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (line r ^ "\n")) rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let table ?schema d rel =
+  let tuples = Tuple.Set.elements (Instance.tuples d rel) in
+  let arity = match tuples with [] -> 0 | t :: _ -> Tuple.arity t in
+  let header = headers schema rel arity in
+  let rows =
+    List.map (fun t -> List.map Value.to_string (Tuple.to_list t)) tuples
+  in
+  render_rows rel header rows
+
+let instance ?schema d =
+  String.concat "\n\n" (List.map (table ?schema d) (Instance.preds d))
+
+let atoms_line d = Fmt.str "%a" Instance.pp_inline d

@@ -1,0 +1,11 @@
+(** Tabular rendering of instances, in the style of the paper's examples. *)
+
+val table : ?schema:Schema.t -> Instance.t -> string -> string
+(** [table d rel] renders relation [rel] of [d] as an ASCII table.  Attribute
+    headers come from [schema] when provided, else [c1..cn]. *)
+
+val instance : ?schema:Schema.t -> Instance.t -> string
+(** All relations of the instance, one table each. *)
+
+val atoms_line : Instance.t -> string
+(** [{P(a, b), Q(null)}] — the set-of-atoms rendering used for repairs. *)

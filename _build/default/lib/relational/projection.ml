@@ -1,0 +1,19 @@
+type positions = (string * int list) list
+
+let positions_for pos p =
+  match List.assoc_opt p pos with Some l -> l | None -> []
+
+let project_tuple = Tuple.project
+
+let project_instance pos d =
+  Instance.fold
+    (fun a acc ->
+      let p = Atom.pred a in
+      match List.assoc_opt p pos with
+      | None -> Instance.add a acc
+      | Some positions ->
+          Instance.add (Atom.of_tuple p (Tuple.project positions (Atom.args a))) acc)
+    d Instance.empty
+
+let restrict_to preds d =
+  Instance.filter (fun a -> List.mem (Atom.pred a) preds) d

@@ -1,0 +1,23 @@
+(** Projections of instances onto relevant attributes (Definition 3).
+
+    For a set [A] of attribute positions (given per predicate), [D^A] is the
+    instance [{P^A(Pi_A(t)) | P(t) in D}].  Predicates keep their names:
+    [P^A] has the positions of [A] for [P], in ascending order.  A predicate
+    with no position in [A] projects to a zero-ary marker tuple, so that the
+    antecedent of the transformed constraint (4) can still be evaluated. *)
+
+type positions = (string * int list) list
+(** Per-predicate 1-based positions, ascending. *)
+
+val positions_for : positions -> string -> int list
+(** Positions recorded for a predicate ([[]] if none). *)
+
+val project_tuple : int list -> Tuple.t -> Tuple.t
+
+val project_instance : positions -> Instance.t -> Instance.t
+(** [D^A].  Predicates of [D] not mentioned in [A] at all are kept with all
+    their positions (they are irrelevant to the constraint and are never
+    consulted, but keeping them total keeps the operation schema-stable). *)
+
+val restrict_to : string list -> Instance.t -> Instance.t
+(** Keep only the given predicates. *)

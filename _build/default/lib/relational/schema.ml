@@ -1,0 +1,57 @@
+module Smap = Map.Make (String)
+
+type relation = { name : string; attrs : string list }
+
+type t = relation Smap.t
+
+let empty = Smap.empty
+
+let add_relation s ~name ~attrs =
+  if String.equal name "" then invalid_arg "Schema.add_relation: empty name";
+  if Smap.mem name s then
+    invalid_arg (Printf.sprintf "Schema.add_relation: duplicate relation %s" name);
+  Smap.add name { name; attrs } s
+
+let relation s name = Smap.find_opt name s
+let arity s name = Option.map (fun r -> List.length r.attrs) (relation s name)
+let mem s name = Smap.mem name s
+let relations s = List.map snd (Smap.bindings s)
+let names s = List.map fst (Smap.bindings s)
+
+let attr_position s rel attr =
+  match relation s rel with
+  | None -> None
+  | Some r ->
+      let rec go i = function
+        | [] -> None
+        | a :: rest -> if String.equal a attr then Some i else go (i + 1) rest
+      in
+      go 1 r.attrs
+
+let attr_name s rel i =
+  match relation s rel with
+  | None -> None
+  | Some r -> List.nth_opt r.attrs (i - 1)
+
+let of_list l =
+  List.fold_left (fun s (name, attrs) -> add_relation s ~name ~attrs) empty l
+
+let check_atom s a =
+  match arity s (Atom.pred a) with
+  | None -> Error (Printf.sprintf "unknown relation %s" (Atom.pred a))
+  | Some n when n = Atom.arity a -> Ok ()
+  | Some n ->
+      Error
+        (Printf.sprintf "relation %s expects arity %d, got %d" (Atom.pred a) n
+           (Atom.arity a))
+
+let check_instance s d =
+  Instance.fold
+    (fun a acc -> match acc with Error _ -> acc | Ok () -> check_atom s a)
+    d (Ok ())
+
+let pp_relation ppf r =
+  Fmt.pf ppf "%s(%a)" r.name Fmt.(list ~sep:(any ", ") string) r.attrs
+
+let pp ppf s =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_relation) (relations s)

@@ -1,0 +1,38 @@
+(** Relational schemas [Sigma = (U, R, B)].
+
+    A schema fixes the database predicates [R], each with a finite ordered
+    set of attributes.  The domain [U] is implicit (all of {!Value.t}) and
+    the built-ins [B] live in the constraint language ({!Ic.Formula}). *)
+
+type relation = {
+  name : string;
+  attrs : string list;  (** ordered attribute names; length = arity *)
+}
+
+type t
+
+val empty : t
+
+val add_relation : t -> name:string -> attrs:string list -> t
+(** @raise Invalid_argument on duplicate relation name or empty name. *)
+
+val relation : t -> string -> relation option
+val arity : t -> string -> int option
+val mem : t -> string -> bool
+val relations : t -> relation list
+val names : t -> string list
+
+val attr_position : t -> string -> string -> int option
+(** [attr_position s rel attr] is the 1-based position of [attr] in [rel]. *)
+
+val attr_name : t -> string -> int -> string option
+(** [attr_name s rel i] is the name of the attribute [rel[i]] (1-based). *)
+
+val of_list : (string * string list) list -> t
+
+val check_atom : t -> Atom.t -> (unit, string) result
+(** Validates predicate existence and arity. *)
+
+val check_instance : t -> Instance.t -> (unit, string) result
+
+val pp : t Fmt.t

@@ -1,0 +1,27 @@
+(** Database tuples: finite sequences of constants in [U]. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val of_array : Value.t array -> t
+val to_list : t -> Value.t list
+val arity : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val has_null : t -> bool
+(** True iff some position holds [null]. *)
+
+val all_non_null : t -> bool
+
+val project : int list -> t -> t
+(** [project positions t] keeps the 1-based [positions], in the given order.
+    This is the projection [Pi_A(t)] of Definition 3.
+    @raise Invalid_argument if a position is out of range. *)
+
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

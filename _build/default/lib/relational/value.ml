@@ -1,0 +1,42 @@
+type t = Null | Int of int | Str of string
+
+let null = Null
+let int i = Int i
+let str s = Str s
+
+let is_null = function Null -> true | Int _ | Str _ -> false
+
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Int i, Int j -> Int.equal i j
+  | Str s, Str t -> String.equal s t
+  | (Null | Int _ | Str _), _ -> false
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Int i, Int j -> Int.compare i j
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str s, Str t -> String.compare s t
+
+let hash = function
+  | Null -> 0
+  | Int i -> Hashtbl.hash (1, i)
+  | Str s -> Hashtbl.hash (2, s)
+
+let comparable a b = not (is_null a || is_null b)
+
+let to_string = function
+  | Null -> "null"
+  | Int i -> string_of_int i
+  | Str s -> s
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+let of_string s =
+  if String.equal s "null" then Null
+  else match int_of_string_opt s with Some i -> Int i | None -> Str s

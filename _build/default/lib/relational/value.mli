@@ -1,0 +1,43 @@
+(** Database values.
+
+    The database domain [U] of the paper contains ordinary constants and the
+    distinguished constant [null].  Following Section 3 of the paper, [null]
+    is a first-class element of the domain: inside repair programs and the
+    satisfaction checks of Definition 4 it is treated "as any other
+    constant", while the predicate [IsNull] (here {!is_null}) is the only
+    sanctioned way to test for it — the built-in equality [c = null] of SQL
+    would evaluate to [unknown], so we never expose it. *)
+
+type t =
+  | Null          (** the single SQL-style null constant *)
+  | Int of int    (** integer constants *)
+  | Str of string (** uninterpreted string constants *)
+
+val null : t
+val int : int -> t
+val str : string -> t
+
+val is_null : t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality, with [null] equal only to [null] (the unique-names
+    assumption does not apply to [null], but structural identity is what the
+    repair machinery of Section 5 needs: "null is treated as any other
+    constant in U"). *)
+
+val compare : t -> t -> int
+(** Total order used by the set/map containers: [Null < Int _ < Str _]. *)
+
+val hash : t -> int
+
+val comparable : t -> t -> bool
+(** [comparable a b] is false iff either side is [null]; built-in comparison
+    predicates over incomparable values evaluate to [unknown] and thus never
+    raise an inconsistency (Section 3, Example 6). *)
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+val of_string : string -> t
+(** Inverse of {!to_string} for surface syntax: ["null"] maps to [Null],
+    decimal literals to [Int], everything else to [Str]. *)

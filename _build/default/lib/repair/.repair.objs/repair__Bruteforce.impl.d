@@ -1,0 +1,1 @@
+lib/repair/bruteforce.ml: Array Candidates List Order Relational Semantics

@@ -1,0 +1,1 @@
+lib/repair/bruteforce.mli: Ic Relational

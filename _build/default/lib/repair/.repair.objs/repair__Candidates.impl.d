@@ -1,0 +1,1 @@
+lib/repair/candidates.ml: Ic List Relational Set

@@ -1,0 +1,1 @@
+lib/repair/candidates.mli: Ic Relational

@@ -1,0 +1,1 @@
+lib/repair/check.ml: Candidates Enumerate Fmt List Order Relational Result Semantics

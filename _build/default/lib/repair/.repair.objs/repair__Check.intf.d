@@ -1,0 +1,1 @@
+lib/repair/check.mli: Ic Relational

@@ -1,0 +1,1 @@
+lib/repair/enumerate.mli: Fmt Ic Relational Semantics

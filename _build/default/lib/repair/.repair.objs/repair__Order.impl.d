@@ -1,0 +1,1 @@
+lib/repair/order.ml: Array List Relational String

@@ -1,0 +1,1 @@
+lib/repair/order.mli: Relational

@@ -1,0 +1,1 @@
+lib/repair/repd.ml: Enumerate Ic List Order String

@@ -1,0 +1,1 @@
+lib/repair/repd.mli: Ic Relational

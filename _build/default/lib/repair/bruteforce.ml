@@ -1,0 +1,28 @@
+module Instance = Relational.Instance
+
+exception Too_large of int
+
+let repairs ?(max_base_atoms = 20) ~schema d ics =
+  let universe = Candidates.universe d ics in
+  let base = Candidates.all_atoms ~schema universe in
+  (* the original atoms must be part of the base even if their predicate is
+     missing from [schema] *)
+  let base =
+    List.fold_left
+      (fun acc a -> if List.exists (Relational.Atom.equal a) acc then acc else a :: acc)
+      base (Instance.atoms d)
+  in
+  let n = List.length base in
+  if n > max_base_atoms then raise (Too_large n);
+  let arr = Array.of_list base in
+  let consistent = ref [] in
+  let total = 1 lsl n in
+  for mask = 0 to total - 1 do
+    let inst = ref Instance.empty in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then inst := Instance.add arr.(i) !inst
+    done;
+    if Semantics.Nullsat.consistent !inst ics then
+      consistent := !inst :: !consistent
+  done;
+  Order.minimal_among ~d (List.rev !consistent)

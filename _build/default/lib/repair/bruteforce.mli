@@ -1,0 +1,19 @@
+(** Brute-force reference implementation of Definition 7 for cross-checking
+    the conflict-driven enumerator on tiny instances.
+
+    Enumerates {e every} instance over the Proposition-1 universe (all
+    subsets of all ground atoms), keeps the consistent ones and filters by
+    [<=_D]-minimality.  Doubly exponential in practice — guarded by
+    [max_base_atoms]. *)
+
+exception Too_large of int
+(** Raised when the ground-atom base exceeds the guard. *)
+
+val repairs :
+  ?max_base_atoms:int ->
+  schema:(string * int) list ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  Relational.Instance.t list
+(** [schema] lists every predicate with its arity (insertions may involve
+    predicates absent from [D]).  Default guard: 20 base atoms. *)

@@ -1,0 +1,52 @@
+module Value = Relational.Value
+module Vset = Set.Make (Value)
+
+let constants_of_term acc = function
+  | Ic.Term.Const v -> Vset.add v acc
+  | Ic.Term.Var _ -> acc
+
+let constants_of_expr acc (e : Ic.Builtin.expr) =
+  constants_of_term acc e.Ic.Builtin.base
+
+let constants_of_builtin acc = function
+  | Ic.Builtin.False -> acc
+  | Ic.Builtin.Cmp (_, a, b) -> constants_of_expr (constants_of_expr acc a) b
+
+let constants_of_ic acc = function
+  | Ic.Constr.NotNull _ -> acc
+  | Ic.Constr.Generic g ->
+      let acc =
+        List.fold_left
+          (fun acc atom ->
+            List.fold_left constants_of_term acc (Ic.Patom.terms atom))
+          acc
+          (g.Ic.Constr.ante @ g.Ic.Constr.cons)
+      in
+      List.fold_left constants_of_builtin acc g.Ic.Constr.phi
+
+let constants_of_ics ics =
+  Vset.elements (List.fold_left constants_of_ic Vset.empty ics)
+
+let universe d ics =
+  let s =
+    List.fold_left
+      (fun s v -> Vset.add v s)
+      (Vset.of_list (Relational.Instance.active_domain d))
+      (constants_of_ics ics)
+  in
+  Vset.elements (Vset.add Value.null s)
+
+let universe_non_null d ics =
+  List.filter (fun v -> not (Value.is_null v)) (universe d ics)
+
+let all_atoms ~schema values =
+  let rec tuples n =
+    if n = 0 then [ [] ]
+    else
+      let rest = tuples (n - 1) in
+      List.concat_map (fun v -> List.map (fun t -> v :: t) rest) values
+  in
+  List.concat_map
+    (fun (pred, arity) ->
+      List.map (fun t -> Relational.Atom.make pred t) (tuples arity))
+    schema

@@ -1,0 +1,18 @@
+(** The finite universe within which repairs live (Proposition 1):
+    [adom(D) ∪ const(IC) ∪ {null}]. *)
+
+val constants_of_ics : Ic.Constr.t list -> Relational.Value.t list
+(** [const(IC)]: constants appearing in the constraints (database atoms and
+    built-in expressions), sorted, deduplicated. *)
+
+val universe :
+  Relational.Instance.t -> Ic.Constr.t list -> Relational.Value.t list
+(** [adom(D) ∪ const(IC) ∪ {null}], sorted. *)
+
+val universe_non_null :
+  Relational.Instance.t -> Ic.Constr.t list -> Relational.Value.t list
+
+val all_atoms :
+  schema:(string * int) list -> Relational.Value.t list -> Relational.Atom.t list
+(** Every ground atom over the given predicates/arities and value universe.
+    Exponential — reference/brute-force use only. *)

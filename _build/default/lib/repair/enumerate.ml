@@ -1,0 +1,152 @@
+module Atom = Relational.Atom
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Nullsat = Semantics.Nullsat
+
+exception Budget_exceeded of int
+
+type action = Delete of Atom.t | Insert of Atom.t
+
+let pp_action ppf = function
+  | Delete a -> Fmt.pf ppf "delete %a" Atom.pp a
+  | Insert a -> Fmt.pf ppf "insert %a" Atom.pp a
+
+(* NOT NULL-constrained positions, as (predicate, position) pairs. *)
+let nnc_positions_of ics =
+  List.filter_map
+    (function
+      | Ic.Constr.NotNull n -> Some (n.pred, n.pos)
+      | Ic.Constr.Generic _ -> None)
+    ics
+
+(* Ground instantiations of a consequent atom under the antecedent
+   assignment [theta].  Existential positions take [null]; positions under a
+   conflicting NNC range over the non-null universe instead. *)
+let insertions ~universe ~nnc_positions theta atom =
+  let pred = Ic.Patom.pred atom in
+  let terms = Ic.Patom.terms atom in
+  let non_null_universe = List.filter (fun v -> not (Value.is_null v)) universe in
+  (* Collect the distinct existential variables together with whether any of
+     their positions is NOT NULL-constrained. *)
+  let existentials =
+    List.mapi (fun i t -> (i + 1, t)) terms
+    |> List.filter_map (fun (pos, t) ->
+           match t with
+           | Ic.Term.Const _ -> None
+           | Ic.Term.Var x ->
+               if Option.is_some (Semantics.Assign.find theta x) then None
+               else Some (x, List.mem (pred, pos) nnc_positions))
+  in
+  let existentials =
+    (* deduplicate per variable, a variable is constrained if any of its
+       positions is *)
+    List.fold_left
+      (fun acc (x, constrained) ->
+        match List.assoc_opt x acc with
+        | None -> (x, constrained) :: acc
+        | Some c ->
+            (x, c || constrained) :: List.remove_assoc x acc)
+      [] existentials
+    |> List.rev
+  in
+  let rec assignments theta = function
+    | [] -> [ theta ]
+    | (x, constrained) :: rest ->
+        let choices = if constrained then non_null_universe else [ Value.null ] in
+        List.concat_map
+          (fun v ->
+            match Semantics.Assign.bind theta x v with
+            | Some theta' -> assignments theta' rest
+            | None -> [])
+          choices
+  in
+  List.map
+    (fun theta' -> Ic.Patom.ground (Semantics.Assign.lookup_exn theta') atom)
+    (assignments theta existentials)
+
+let fixes ~universe ~nnc_positions d (v : Nullsat.violation) =
+  let deletions = List.map (fun a -> Delete a) v.Nullsat.matched in
+  let inserts =
+    match v.Nullsat.ic with
+    | Ic.Constr.NotNull _ -> []
+    | Ic.Constr.Generic g ->
+        List.concat_map
+          (fun atom ->
+            insertions ~universe ~nnc_positions v.Nullsat.theta atom
+            |> List.filter (fun a -> not (Instance.mem a d))
+            |> List.map (fun a -> Insert a))
+          g.Ic.Constr.cons
+  in
+  (* deduplicate deletions (the same tuple can match several antecedent
+     atoms) *)
+  let dedup =
+    List.fold_left
+      (fun acc x -> if List.mem x acc then acc else x :: acc)
+      [] (deletions @ inserts)
+  in
+  List.rev dedup
+
+let apply d = function
+  | Delete a -> Instance.remove a d
+  | Insert a -> Instance.add a d
+
+module Iset = Set.Make (struct
+  type t = Instance.t
+
+  let compare = Instance.compare
+end)
+
+let search ?(max_states = 200_000) d ics =
+  let universe = Candidates.universe d ics in
+  let nnc_positions = nnc_positions_of ics in
+  let seen = ref Iset.empty in
+  let consistent = ref [] in
+  let count = ref 0 in
+  (* violations are tracked per constraint and recomputed only for the
+     constraints mentioning the predicate an action touched — a constraint's
+     violations depend solely on the tuples of its own predicates *)
+  let rec explore state per_ic =
+    if not (Iset.mem state !seen) then begin
+      seen := Iset.add state !seen;
+      incr count;
+      if !count > max_states then raise (Budget_exceeded max_states);
+      match List.concat_map snd per_ic with
+      | [] -> consistent := state :: !consistent
+      | violations ->
+          (* branch on the fixes of EVERY current violation: an insertion
+             made for one constraint can be the only way another
+             constraint's violation is resolved in some repair (e.g. a UIC
+             consequent witnessing a RIC), so restricting to the first
+             violation's own actions would lose repairs *)
+          let actions =
+            List.concat_map (fixes ~universe ~nnc_positions state) violations
+            |> List.fold_left
+                 (fun acc a -> if List.mem a acc then acc else a :: acc)
+                 []
+            |> List.rev
+          in
+          List.iter
+            (fun act ->
+              let state' = apply state act in
+              let touched =
+                match act with Delete a | Insert a -> Atom.pred a
+              in
+              let per_ic' =
+                List.map
+                  (fun (ic, vs) ->
+                    if List.mem touched (Ic.Constr.preds ic) then
+                      (ic, Nullsat.violations state' ic)
+                    else (ic, vs))
+                  per_ic
+              in
+              explore state' per_ic')
+            actions
+    end
+  in
+  explore d (List.map (fun ic -> (ic, Nullsat.violations d ic)) ics);
+  List.rev !consistent
+
+let consistent_states ?max_states d ics = search ?max_states d ics
+
+let repairs ?max_states d ics =
+  Order.minimal_among ~d (search ?max_states d ics)

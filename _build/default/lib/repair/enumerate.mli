@@ -1,0 +1,53 @@
+(** Exact computation of [Rep(D, IC)] (Definition 7) by conflict-driven
+    search.
+
+    Starting from [D], every inconsistent state branches on the local fixes
+    of {e all} of its violations: deleting one of the matched antecedent
+    tuples, or inserting one consequent witness with [null] at the
+    existentially quantified positions (the repair actions of the logic
+    programs of Definition 9).  Branching on every violation (not just the
+    first) matters for completeness: an insertion made for one constraint
+    can be the only witness resolving another constraint's violation in
+    some repair.  When a NOT NULL-constraint forbids [null] at an
+    existential position (a {e conflicting} NNC, Example 20), the insertion
+    instead ranges over the non-null universe of Proposition 1 — recovering
+    the arbitrary-constant repairs of [2] restricted to that finite
+    universe.  Consistent states are collected and filtered by
+    [<=_D]-minimality.
+
+    The search space is finite (states are sets of atoms over the universe
+    of Proposition 1) so the procedure terminates even for RIC-cyclic
+    constraint sets (Example 18).  Worst-case exponential, as CQA is
+    Pi^p_2-complete (Theorem 3). *)
+
+exception Budget_exceeded of int
+
+type action = Delete of Relational.Atom.t | Insert of Relational.Atom.t
+
+val pp_action : action Fmt.t
+
+val fixes :
+  universe:Relational.Value.t list ->
+  nnc_positions:(string * int) list ->
+  Relational.Instance.t ->
+  Semantics.Nullsat.violation ->
+  action list
+(** The local fixes of one violation (exposed for tests and for the
+    explanation CLI). *)
+
+val repairs :
+  ?max_states:int ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  Relational.Instance.t list
+(** [Rep(D, IC)].  Deterministic order.  A consistent [D] yields [[D]].
+    @raise Budget_exceeded when more than [max_states] (default [200_000])
+    distinct states are explored. *)
+
+val consistent_states :
+  ?max_states:int ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  Relational.Instance.t list
+(** All consistent states reached by the search, before minimality
+    filtering (exposed for the <=_D property tests). *)

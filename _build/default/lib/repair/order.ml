@@ -1,0 +1,47 @@
+module Atom = Relational.Atom
+module Instance = Relational.Instance
+module Value = Relational.Value
+
+let delta = Instance.symdiff
+
+(* Does [b] agree with [a] on every non-null position of [a]?  Same
+   predicate and arity are required. *)
+let matches_non_null_positions a b =
+  String.equal (Atom.pred a) (Atom.pred b)
+  && Atom.arity a = Atom.arity b
+  &&
+  let ta = Atom.args a and tb = Atom.args b in
+  let rec go i =
+    i >= Array.length ta
+    || ((Value.is_null ta.(i) || Value.equal ta.(i) tb.(i)) && go (i + 1))
+  in
+  go 0
+
+let leq ~d d' d'' =
+  let delta' = delta d d' and delta'' = delta d d'' in
+  Instance.fold
+    (fun a ok ->
+      ok
+      &&
+      if not (Atom.has_null a) then Instance.mem a delta''
+      else
+        Instance.mem a delta''
+        || Instance.fold
+             (fun b found ->
+               found
+               || (matches_non_null_positions a b && not (Instance.mem b delta')))
+             delta'' false)
+    delta' true
+
+let lt ~d d' d'' = leq ~d d' d'' && not (leq ~d d'' d')
+
+let minimal_among ~d candidates =
+  let uniq =
+    List.fold_left
+      (fun acc x -> if List.exists (Instance.equal x) acc then acc else x :: acc)
+      [] candidates
+    |> List.rev
+  in
+  List.filter
+    (fun x -> not (List.exists (fun y -> lt ~d y x) uniq))
+    uniq

@@ -1,0 +1,1 @@
+lib/semantics/assign.ml: Array Fmt Hashtbl Ic Lazy List Map Option Relational String

@@ -1,0 +1,1 @@
+lib/semantics/assign.mli: Fmt Ic Relational

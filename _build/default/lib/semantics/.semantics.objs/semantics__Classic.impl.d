@@ -1,0 +1,1 @@
+lib/semantics/classic.ml: Assign Ic List Nullsat

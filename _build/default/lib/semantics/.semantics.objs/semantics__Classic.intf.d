@@ -1,0 +1,1 @@
+lib/semantics/classic.mli: Ic Nullsat Relational

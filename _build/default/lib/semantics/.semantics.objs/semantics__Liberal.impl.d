@@ -1,0 +1,1 @@
+lib/semantics/liberal.ml: Assign Ic List Nullsat Relational

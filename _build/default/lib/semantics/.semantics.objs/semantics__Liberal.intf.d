@@ -1,0 +1,1 @@
+lib/semantics/liberal.mli: Ic Nullsat Relational

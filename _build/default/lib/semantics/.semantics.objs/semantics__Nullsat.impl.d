@@ -1,0 +1,1 @@
+lib/semantics/nullsat.ml: Array Assign Fmt Ic List Relational

@@ -1,0 +1,1 @@
+lib/semantics/nullsat.mli: Assign Fmt Ic Relational

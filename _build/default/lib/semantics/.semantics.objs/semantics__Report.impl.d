@@ -1,0 +1,1 @@
+lib/semantics/report.ml: Classic Fmt Ic Liberal List Nullsat Option Sqlmatch

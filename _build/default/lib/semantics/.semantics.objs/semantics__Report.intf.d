@@ -1,0 +1,1 @@
+lib/semantics/report.mli: Fmt Ic Relational

@@ -1,0 +1,1 @@
+lib/semantics/sqlmatch.ml: Array Fmt Ic List Relational

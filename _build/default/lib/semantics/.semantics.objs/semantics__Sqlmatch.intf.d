@@ -1,0 +1,1 @@
+lib/semantics/sqlmatch.mli: Fmt Ic Relational

@@ -1,0 +1,212 @@
+module Smap = Map.Make (String)
+module Value = Relational.Value
+
+type t = Value.t Smap.t
+
+let empty = Smap.empty
+let find a x = Smap.find_opt x a
+
+let bind a x v =
+  match Smap.find_opt x a with
+  | None -> Some (Smap.add x v a)
+  | Some w -> if Value.equal v w then Some a else None
+
+let lookup_exn a x =
+  match Smap.find_opt x a with
+  | Some v -> v
+  | None -> raise Not_found
+
+let bindings a = Smap.bindings a
+let of_list l = List.fold_left (fun a (x, v) -> Smap.add x v a) empty l
+let restrict a vars = Smap.filter (fun x _ -> List.mem x vars) a
+let equal = Smap.equal Value.equal
+let compare = Smap.compare Value.compare
+
+let pp ppf a =
+  let pp_binding ppf (x, v) = Fmt.pf ppf "%s=%a" x Value.pp v in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") pp_binding) (bindings a)
+
+let value_of_term a = function
+  | Ic.Term.Const v -> Some v
+  | Ic.Term.Var x -> find a x
+
+let match_tuple a terms tuple =
+  if List.length terms <> Relational.Tuple.arity tuple then None
+  else
+    let rec go a i = function
+      | [] -> Some a
+      | t :: rest -> (
+          let v = tuple.(i) in
+          match t with
+          | Ic.Term.Const c ->
+              if Value.equal c v then go a (i + 1) rest else None
+          | Ic.Term.Var x -> (
+              match bind a x v with
+              | Some a -> go a (i + 1) rest
+              | None -> None))
+    in
+    go a 0 terms
+
+let atom_matches d a atom =
+  let tuples = Relational.Instance.tuples d (Ic.Patom.pred atom) in
+  Relational.Tuple.Set.fold
+    (fun t acc ->
+      match match_tuple a (Ic.Patom.terms atom) t with
+      | Some a' -> a' :: acc
+      | None -> acc)
+    tuples []
+
+(* Greedy join ordering: at each step match the not-yet-matched atom with
+   the most bound positions (constants and already-bound variables), which
+   is the most selective; ties go to the smaller relation.  Witnesses are
+   reported in the original antecedent order regardless.
+
+   When the selected atom has a bound position, the relation is probed
+   through a hash index on that position (built lazily once per join call
+   and per (atom, position) pair), which turns FD-style self-joins from
+   quadratic scans into hash lookups. *)
+let join_with_witness d a atoms =
+  let module Vtbl = Hashtbl.Make (struct
+    type t = Value.t
+
+    let equal = Value.equal
+    let hash = Value.hash
+  end) in
+  let arr = Array.of_list atoms in
+  let n = Array.length arr in
+  let bound_score theta atom =
+    List.fold_left
+      (fun score t ->
+        match t with
+        | Ic.Term.Const _ -> score + 1
+        | Ic.Term.Var x -> if Option.is_some (find theta x) then score + 1 else score)
+      0 (Ic.Patom.terms atom)
+  in
+  (* first position of the atom whose term is ground under theta, with its
+     value, if any *)
+  let bound_position theta atom =
+    let rec go i = function
+      | [] -> None
+      | t :: rest -> (
+          match value_of_term theta t with
+          | Some value -> Some (i, value)
+          | None -> go (i + 1) rest)
+    in
+    go 0 (Ic.Patom.terms atom)
+  in
+  let indexes : (int * int, Relational.Tuple.t list Vtbl.t) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let index_for i pos =
+    match Hashtbl.find_opt indexes (i, pos) with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Vtbl.create 64 in
+        Relational.Tuple.Set.iter
+          (fun t ->
+            if Relational.Tuple.arity t > pos then
+              let key = t.(pos) in
+              Vtbl.replace tbl key
+                (t :: Option.value ~default:[] (Vtbl.find_opt tbl key)))
+          (Relational.Instance.tuples d (Ic.Patom.pred arr.(i)));
+        Hashtbl.replace indexes (i, pos) tbl;
+        tbl
+  in
+  let results = ref [] in
+  let witness = Array.make (max n 1) None in
+  let used = Array.make n false in
+  let rec go theta count =
+    if count = n then begin
+      let ws =
+        Array.to_list witness |> List.filteri (fun i _ -> i < n)
+        |> List.map Option.get
+      in
+      results := (theta, ws) :: !results
+    end
+    else begin
+      let best = ref (-1) in
+      let best_key = ref (-1, 0) in
+      for i = 0 to n - 1 do
+        if not used.(i) then begin
+          let score = bound_score theta arr.(i) in
+          let size =
+            Relational.Tuple.Set.cardinal
+              (Relational.Instance.tuples d (Ic.Patom.pred arr.(i)))
+          in
+          let key = (score, -size) in
+          if !best = -1 || key > !best_key then begin
+            best := i;
+            best_key := key
+          end
+        end
+      done;
+      let i = !best in
+      let atom = arr.(i) in
+      used.(i) <- true;
+      let try_tuple t =
+        match match_tuple theta (Ic.Patom.terms atom) t with
+        | None -> ()
+        | Some theta' ->
+            witness.(i) <- Some (Relational.Atom.of_tuple (Ic.Patom.pred atom) t);
+            go theta' (count + 1)
+      in
+      (match bound_position theta atom with
+      | Some (pos, value) ->
+          let tbl = index_for i pos in
+          List.iter try_tuple (Option.value ~default:[] (Vtbl.find_opt tbl value))
+      | None ->
+          Relational.Tuple.Set.iter try_tuple
+            (Relational.Instance.tuples d (Ic.Patom.pred atom)));
+      used.(i) <- false;
+      witness.(i) <- None
+    end
+  in
+  go a 0;
+  List.rev !results
+
+let join d a atoms = List.map fst (join_with_witness d a atoms)
+
+let exists_match d a atom =
+  let tuples = Relational.Instance.tuples d (Ic.Patom.pred atom) in
+  Relational.Tuple.Set.exists
+    (fun t -> Option.is_some (match_tuple a (Ic.Patom.terms atom) t))
+    tuples
+
+let prepared_exists d ~bound atom =
+  let module Vtbl = Hashtbl.Make (struct
+    type t = Value.t
+
+    let equal = Value.equal
+    let hash = Value.hash
+  end) in
+  let terms = Ic.Patom.terms atom in
+  let probe =
+    let rec go i = function
+      | [] -> None
+      | Ic.Term.Const _ :: _ -> Some i
+      | Ic.Term.Var x :: rest -> if List.mem x bound then Some i else go (i + 1) rest
+    in
+    go 0 terms
+  in
+  match probe with
+  | None -> fun theta -> exists_match d theta atom
+  | Some pos ->
+      let index =
+        lazy
+          (let tbl = Vtbl.create 64 in
+           Relational.Tuple.Set.iter
+             (fun t ->
+               if Relational.Tuple.arity t > pos then
+                 let key = t.(pos) in
+                 Vtbl.replace tbl key
+                   (t :: Option.value ~default:[] (Vtbl.find_opt tbl key)))
+             (Relational.Instance.tuples d (Ic.Patom.pred atom));
+           tbl)
+      in
+      fun theta ->
+        match value_of_term theta (List.nth terms pos) with
+        | None -> exists_match d theta atom
+        | Some value ->
+            List.exists
+              (fun t -> Option.is_some (match_tuple theta terms t))
+              (Option.value ~default:[] (Vtbl.find_opt (Lazy.force index) value))

@@ -1,0 +1,56 @@
+(** Variable assignments and pattern matching of constraint atoms against
+    instances.
+
+    Matching treats [null] as any other constant (structural equality), as
+    prescribed for the evaluation of the transformed formula (4) — see
+    Example 12, where [P2(null, b)] joins a [null] produced by [P1]. *)
+
+type t
+
+val empty : t
+val find : t -> string -> Relational.Value.t option
+val bind : t -> string -> Relational.Value.t -> t option
+(** [None] when already bound to a different value. *)
+
+val lookup_exn : t -> string -> Relational.Value.t
+val bindings : t -> (string * Relational.Value.t) list
+val of_list : (string * Relational.Value.t) list -> t
+val restrict : t -> string list -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+val value_of_term : t -> Ic.Term.t -> Relational.Value.t option
+(** Constants map to themselves; variables through the assignment. *)
+
+val match_tuple : t -> Ic.Term.t list -> Relational.Tuple.t -> t option
+(** Unify a term list against a ground tuple, extending the assignment.
+    Repeated variables must match equal values. *)
+
+val atom_matches :
+  Relational.Instance.t -> t -> Ic.Patom.t -> t list
+(** All extensions of the assignment matching the atom against the
+    instance's tuples for the atom's predicate. *)
+
+val join : Relational.Instance.t -> t -> Ic.Patom.t list -> t list
+(** All assignments extending the given one that satisfy the conjunction of
+    atoms (the antecedent join). *)
+
+val join_with_witness :
+  Relational.Instance.t -> t -> Ic.Patom.t list -> (t * Relational.Atom.t list) list
+(** Like {!join} but also returns the matched ground atoms, in antecedent
+    order (witnesses for violation reporting and repair generation). *)
+
+val exists_match : Relational.Instance.t -> t -> Ic.Patom.t -> bool
+(** Is there a tuple matching the atom under the (partial) assignment?
+    Unbound variables act as wildcards, consistently for repeated ones. *)
+
+val prepared_exists :
+  Relational.Instance.t -> bound:string list -> Ic.Patom.t -> t -> bool
+(** A reusable existence test for one atom: like {!exists_match}, but when
+    some position of the atom holds a constant or a variable from [bound]
+    (variables the caller guarantees to be bound in every assignment it
+    will pass), the relation is probed through a hash index on that
+    position, built lazily on first use and shared across calls.  Partial
+    application ([let check = prepared_exists d ~bound atom in ...]) turns
+    repeated consequent checks from relation scans into hash lookups. *)

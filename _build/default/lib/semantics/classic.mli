@@ -1,0 +1,13 @@
+(** Classical first-order IC satisfaction, with [null] treated as an
+    ordinary constant and no special escape for it.
+
+    This is the notion of [2] that the paper departs from; it serves as a
+    baseline, and on null-free instances it coincides with [|=_N]
+    (remark after Definition 4 — property-tested). *)
+
+val satisfies : Relational.Instance.t -> Ic.Constr.t -> bool
+(** For a NOT NULL-constraint this is the same classical check as
+    [|=_N] (Definition 5). *)
+
+val violations : Relational.Instance.t -> Ic.Constr.t -> Nullsat.violation list
+val consistent : Relational.Instance.t -> Ic.Constr.t list -> bool

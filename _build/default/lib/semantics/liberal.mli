@@ -1,0 +1,12 @@
+(** The liberal null semantics of [10] (Bravo & Bertossi, CASCON 2004):
+    a tuple containing a null value {e anywhere} never causes an
+    inconsistency, relevant attribute or not (discussion around Example 4
+    and after Definition 4).
+
+    Under this semantics [{P(b, null)}] satisfies [P(x,y) -> R(x)] even
+    though the null is irrelevant to the constraint — the behaviour the
+    paper's [|=_N] corrects. *)
+
+val satisfies : Relational.Instance.t -> Ic.Constr.t -> bool
+val violations : Relational.Instance.t -> Ic.Constr.t -> Nullsat.violation list
+val consistent : Relational.Instance.t -> Ic.Constr.t list -> bool

@@ -1,0 +1,140 @@
+module Value = Relational.Value
+module Instance = Relational.Instance
+
+type violation = {
+  ic : Ic.Constr.t;
+  theta : Assign.t;
+  matched : Relational.Atom.t list;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "@[<h>%s violated by %a under %a@]" (Ic.Constr.label v.ic)
+    Fmt.(list ~sep:(any ", ") Relational.Atom.pp)
+    v.matched Assign.pp v.theta
+
+let phi_holds g theta =
+  let lookup x = Assign.lookup_exn theta x in
+  List.exists (Ic.Builtin.eval lookup) g.Ic.Constr.phi
+
+let consequent_holds d g theta =
+  List.exists (fun atom -> Assign.exists_match d theta atom) g.Ic.Constr.cons
+  || phi_holds g theta
+
+(* Generic constraint: a total antecedent match violates unless a relevant
+   universal variable is bound to null (the IsNull disjuncts of formula (4))
+   or the consequent holds.  Consequent existence tests are prepared once
+   per call so that repeated checks probe a hash index instead of scanning
+   the relation (Assign.prepared_exists). *)
+let generic_violations d g ic =
+  let relevant = Ic.Relevant.relevant_universal_vars g in
+  let universal = Ic.Constr.universal_vars g in
+  let checkers =
+    List.map (Assign.prepared_exists d ~bound:universal) g.Ic.Constr.cons
+  in
+  let fast_consequent theta =
+    List.exists (fun check -> check theta) checkers || phi_holds g theta
+  in
+  let matches = Assign.join_with_witness d Assign.empty g.Ic.Constr.ante in
+  List.filter_map
+    (fun (theta, witness) ->
+      let null_escape =
+        List.exists
+          (fun x ->
+            match Assign.find theta x with
+            | Some v -> Value.is_null v
+            | None -> false)
+          relevant
+      in
+      if null_escape || fast_consequent theta then None
+      else Some { ic; theta; matched = witness })
+    matches
+
+let nnc_violations (n : (string * int * int)) ic d =
+  let pred, _arity, pos = n in
+  Relational.Tuple.Set.fold
+    (fun t acc ->
+      if Value.is_null t.(pos - 1) then
+        let atom = Relational.Atom.of_tuple pred t in
+        {
+          ic;
+          theta = Assign.empty;
+          matched = [ atom ];
+        }
+        :: acc
+      else acc)
+    (Instance.tuples d pred) []
+
+let violations d ic =
+  match ic with
+  | Ic.Constr.Generic g -> generic_violations d g ic
+  | Ic.Constr.NotNull n -> nnc_violations (n.pred, n.arity, n.pos) ic d
+
+let satisfies d ic = violations d ic = []
+
+let check d ics = List.concat_map (violations d) ics
+let consistent d ics = List.for_all (satisfies d) ics
+
+(* ------------------------------------------------------------------ *)
+(* Literal Definition 4: project, then evaluate psi_N on the projection. *)
+
+let satisfies_literal d ic =
+  match ic with
+  | Ic.Constr.NotNull _ -> satisfies d ic
+  | Ic.Constr.Generic g ->
+      let da = Ic.Relevant.project_instance ic d in
+      let ante_p = List.map (Ic.Relevant.project_atom ic) g.Ic.Constr.ante in
+      let cons_p = List.map (Ic.Relevant.project_atom ic) g.Ic.Constr.cons in
+      let relevant = Ic.Relevant.relevant_universal_vars g in
+      let matches = Assign.join da Assign.empty ante_p in
+      List.for_all
+        (fun theta ->
+          let null_escape =
+            List.exists
+              (fun x ->
+                match Assign.find theta x with
+                | Some v -> Value.is_null v
+                | None -> false)
+              relevant
+          in
+          null_escape
+          || List.exists (fun atom -> Assign.exists_match da theta atom) cons_p
+          || phi_holds g theta)
+        matches
+
+(* ------------------------------------------------------------------ *)
+(* Admission checking *)
+
+let violations_involving d ics atom =
+  List.concat_map
+    (fun ic ->
+      List.filter
+        (fun viol -> List.exists (Relational.Atom.equal atom) viol.matched)
+        (violations d ic))
+    ics
+
+let first_violation d ics =
+  List.fold_left
+    (fun acc ic -> match acc with Some _ -> acc | None -> (
+       match violations d ic with [] -> None | v :: _ -> Some v))
+    None ics
+
+let can_insert d ics atom =
+  let d' = Instance.add atom d in
+  (* only the new tuple can be the source of fresh violations, but it can
+     also invalidate nothing — a full recheck is avoided by restricting to
+     constraints mentioning the predicate *)
+  let relevant_ics =
+    List.filter (fun ic -> List.mem (Relational.Atom.pred atom) (Ic.Constr.preds ic)) ics
+  in
+  match first_violation d' relevant_ics with
+  | None -> Ok ()
+  | Some v -> Error v
+
+let can_delete d ics atom =
+  let d' = Instance.remove atom d in
+  let relevant_ics =
+    List.filter (fun ic -> List.mem (Relational.Atom.pred atom) (Ic.Constr.preds ic)) ics
+  in
+  match first_violation d' relevant_ics with
+  | None -> Ok ()
+  | Some v -> Error v

@@ -1,0 +1,71 @@
+(** The paper's null-aware IC satisfaction [D |=_N psi] (Definitions 4-5).
+
+    Two interchangeable implementations are provided:
+
+    - {!satisfies} evaluates directly on the original instance: antecedent
+      matches are enumerated on full tuples, the [IsNull] disjuncts are
+      tested on the relevant universal variables, and the consequent is
+      checked by pattern matching.  This is equivalent to Definition 4
+      because join/consequent/[phi] variables are always relevant, and it
+      yields violation witnesses in terms of original tuples (which the
+      repair engine needs).
+    - {!satisfies_literal} follows Definition 4 letter by letter: build
+      [D^{A(psi)}], then evaluate the transformed formula [psi_N] on it.
+
+    Their agreement is asserted by property tests. *)
+
+type violation = {
+  ic : Ic.Constr.t;
+  theta : Assign.t;
+      (** binding of the antecedent variables of the offending match *)
+  matched : Relational.Atom.t list;
+      (** the original antecedent tuples, in antecedent order (for an NNC,
+          the single offending tuple) *)
+}
+
+val pp_violation : violation Fmt.t
+
+val satisfies : Relational.Instance.t -> Ic.Constr.t -> bool
+val satisfies_literal : Relational.Instance.t -> Ic.Constr.t -> bool
+
+val violations : Relational.Instance.t -> Ic.Constr.t -> violation list
+(** Empty iff {!satisfies}. *)
+
+val check : Relational.Instance.t -> Ic.Constr.t list -> violation list
+val consistent : Relational.Instance.t -> Ic.Constr.t list -> bool
+
+val consequent_holds :
+  Relational.Instance.t -> Ic.Constr.generic -> Assign.t -> bool
+(** Does the consequent of the (generic) constraint hold under a total
+    antecedent assignment — some consequent atom has a matching tuple
+    (existential variables as consistent wildcards) or some [phi] disjunct
+    evaluates to true?  Exposed for the repair engine. *)
+
+(** {2 Admission checking}
+
+    Commercial DBMSs enforce ICs on updates: an insertion is rejected when
+    it would create a violation (Example 5: inserting
+    [Course(CS41, 18, null)] is rejected because professor 18 has no [Exp]
+    tuple; Example 6: [Emp(32, null, 50)] fails the salary check).  These
+    helpers check a single update against [|=_N] without rescanning the
+    whole database: only violations {e involving the updated tuple} are
+    examined. *)
+
+val violations_involving :
+  Relational.Instance.t -> Ic.Constr.t list -> Relational.Atom.t -> violation list
+(** Violations of the instance whose antecedent match mentions the given
+    atom (for NNCs: the offending atom itself). *)
+
+val can_insert :
+  Relational.Instance.t -> Ic.Constr.t list -> Relational.Atom.t ->
+  (unit, violation) result
+(** Would [D ∪ {a}] stay consistent?  [Error] carries a violation the
+    insertion would create.  (An insertion can only add violations: the
+    antecedent matches of [D] survive and the new tuple may both trigger
+    antecedents and, for constraints it witnesses, silence none.) *)
+
+val can_delete :
+  Relational.Instance.t -> Ic.Constr.t list -> Relational.Atom.t ->
+  (unit, violation) result
+(** Would [D \ {a}] stay consistent?  Deletions can orphan tuples that the
+    deleted atom was witnessing (referential constraints). *)

@@ -1,0 +1,66 @@
+type semantics = NullAware | ClassicFo | Liberal10 | SqlSimple | SqlPartial | SqlFull
+
+let all = [ NullAware; ClassicFo; Liberal10; SqlSimple; SqlPartial; SqlFull ]
+
+let pp_semantics ppf s =
+  Fmt.string ppf
+    (match s with
+    | NullAware -> "|=_N"
+    | ClassicFo -> "classic"
+    | Liberal10 -> "liberal[10]"
+    | SqlSimple -> "sql-simple"
+    | SqlPartial -> "sql-partial"
+    | SqlFull -> "sql-full")
+
+let sql_mode = function
+  | SqlSimple -> Some Sqlmatch.Simple
+  | SqlPartial -> Some Sqlmatch.Partial
+  | SqlFull -> Some Sqlmatch.Full
+  | NullAware | ClassicFo | Liberal10 -> None
+
+let satisfies sem d ic =
+  match sem with
+  | NullAware -> Some (Nullsat.satisfies d ic)
+  | ClassicFo -> Some (Classic.satisfies d ic)
+  | Liberal10 -> Some (Liberal.satisfies d ic)
+  | SqlSimple | SqlPartial | SqlFull -> (
+      match sql_mode sem, Sqlmatch.fk_of_ric ic with
+      | Some mode, Some fk -> Some (Sqlmatch.satisfies mode d fk)
+      | _ -> None)
+
+type row = { ic : Ic.Constr.t; verdicts : (semantics * bool option) list }
+
+let compare_semantics d ics =
+  List.map
+    (fun ic -> { ic; verdicts = List.map (fun s -> (s, satisfies s d ic)) all })
+    ics
+
+let violation_count sem d ic =
+  match sem with
+  | NullAware -> Some (List.length (Nullsat.violations d ic))
+  | ClassicFo -> Some (List.length (Classic.violations d ic))
+  | Liberal10 -> Some (List.length (Liberal.violations d ic))
+  | SqlSimple | SqlPartial | SqlFull -> (
+      match sql_mode sem, Sqlmatch.fk_of_ric ic with
+      | Some mode, Some fk -> Some (List.length (Sqlmatch.violations mode d fk))
+      | _ -> None)
+
+let violation_counts d ics =
+  List.map
+    (fun sem ->
+      let n =
+        List.fold_left
+          (fun n ic -> n + Option.value ~default:0 (violation_count sem d ic))
+          0 ics
+      in
+      (sem, n))
+    all
+
+let pp_row ppf r =
+  let pp_verdict ppf (s, v) =
+    Fmt.pf ppf "%a=%s" pp_semantics s
+      (match v with Some true -> "ok" | Some false -> "VIOLATED" | None -> "n/a")
+  in
+  Fmt.pf ppf "@[<h>%s: %a@]" (Ic.Constr.label r.ic)
+    Fmt.(list ~sep:(any "  ") pp_verdict)
+    r.verdicts

@@ -1,0 +1,25 @@
+(** Side-by-side comparison of the satisfaction semantics of Section 3. *)
+
+type semantics = NullAware | ClassicFo | Liberal10 | SqlSimple | SqlPartial | SqlFull
+
+val all : semantics list
+val pp_semantics : semantics Fmt.t
+
+val satisfies :
+  semantics -> Relational.Instance.t -> Ic.Constr.t -> bool option
+(** [None] when the semantics does not apply to the constraint (the SQL
+    match semantics are defined for foreign-key-shaped RICs only). *)
+
+type row = {
+  ic : Ic.Constr.t;
+  verdicts : (semantics * bool option) list;
+}
+
+val compare_semantics : Relational.Instance.t -> Ic.Constr.t list -> row list
+
+val violation_counts :
+  Relational.Instance.t -> Ic.Constr.t list -> (semantics * int) list
+(** Total number of constraint violations per applicable semantics (used by
+    bench table E6). *)
+
+val pp_row : row Fmt.t

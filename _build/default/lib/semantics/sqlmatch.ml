@@ -1,0 +1,79 @@
+module Value = Relational.Value
+
+type fk = {
+  child : string;
+  child_cols : int list;
+  parent : string;
+  parent_cols : int list;
+}
+
+let fk_of_ric ic =
+  match ic with
+  | Ic.Constr.NotNull _ -> None
+  | Ic.Constr.Generic g -> (
+      match g.Ic.Constr.ante, g.Ic.Constr.cons, g.Ic.Constr.phi with
+      | [ p ], [ q ], [] ->
+          let shared =
+            List.filter (fun x -> List.mem x (Ic.Patom.vars q)) (Ic.Patom.vars p)
+          in
+          let positions_in atom x =
+            Ic.Patom.positions_of atom (Ic.Term.var x)
+          in
+          let exception Not_fk in
+          (try
+             let pairs =
+               List.map
+                 (fun x ->
+                   match positions_in p x, positions_in q x with
+                   | [ i ], [ j ] -> (i, j)
+                   | _ -> raise Not_fk)
+                 shared
+             in
+             if pairs = [] then None
+             else
+               Some
+                 {
+                   child = Ic.Patom.pred p;
+                   child_cols = List.map fst pairs;
+                   parent = Ic.Patom.pred q;
+                   parent_cols = List.map snd pairs;
+                 }
+           with Not_fk -> None)
+      | _ -> None)
+
+type mode = Simple | Partial | Full
+
+let child_values fk t = List.map (fun i -> t.(i - 1)) fk.child_cols
+
+let parent_matches d fk ~match_null vals =
+  let parents = Relational.Instance.tuples d fk.parent in
+  Relational.Tuple.Set.exists
+    (fun pt ->
+      List.for_all2
+        (fun j v ->
+          if Value.is_null v && not match_null then true
+          else Value.equal pt.(j - 1) v)
+        fk.parent_cols vals)
+    parents
+
+let tuple_ok mode d fk t =
+  let vals = child_values fk t in
+  let any_null = List.exists Value.is_null vals in
+  let all_null_match = parent_matches d fk ~match_null:true vals in
+  let all_null = List.for_all Value.is_null vals in
+  match mode with
+  | Simple -> any_null || all_null_match
+  | Partial -> all_null || parent_matches d fk ~match_null:false vals
+  | Full -> (not any_null) && all_null_match
+
+let violations mode d fk =
+  Relational.Tuple.Set.fold
+    (fun t acc -> if tuple_ok mode d fk t then acc else t :: acc)
+    (Relational.Instance.tuples d fk.child)
+    []
+
+let satisfies mode d fk = violations mode d fk = []
+
+let pp_mode ppf m =
+  Fmt.string ppf
+    (match m with Simple -> "simple" | Partial -> "partial" | Full -> "full")

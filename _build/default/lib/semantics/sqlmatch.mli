@@ -1,0 +1,35 @@
+(** The three SQL:2003 match semantics for referential constraints
+    (Section 3, Examples 4-5): simple match (the one commercial DBMSs
+    implement), partial match and full match. *)
+
+type fk = {
+  child : string;
+  child_cols : int list;   (** referencing positions, 1-based *)
+  parent : string;
+  parent_cols : int list;  (** referenced positions, 1-based, same length *)
+}
+
+val fk_of_ric : Ic.Constr.t -> fk option
+(** Extract the foreign-key shape from an inclusion dependency: child
+    columns are the positions of the antecedent variables reused in the
+    consequent, parent columns their positions there.  Works for RICs of
+    form (3) (partial inclusion) and for single-atom UICs (full inclusion,
+    as in Example 4).  [None] if the constraint has several antecedent or
+    consequent atoms, a built-in part, no shared variables, or reuses a
+    shared variable more than once on either side. *)
+
+type mode = Simple | Partial | Full
+
+val tuple_ok : mode -> Relational.Instance.t -> fk -> Relational.Tuple.t -> bool
+(** Is a child tuple acceptable?
+    - [Simple]: some referencing value is [null], or a parent tuple matches
+      all referencing values exactly.
+    - [Partial]: a parent tuple matches all non-null referencing values.
+    - [Full]: all referencing values are non-null and a parent tuple matches
+      them all. *)
+
+val satisfies : mode -> Relational.Instance.t -> fk -> bool
+
+val violations : mode -> Relational.Instance.t -> fk -> Relational.Tuple.t list
+
+val pp_mode : mode Fmt.t

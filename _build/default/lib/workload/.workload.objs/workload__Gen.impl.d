@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Ic List Printf Random Relational

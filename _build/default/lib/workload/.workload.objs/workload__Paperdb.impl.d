@@ -1,0 +1,1 @@
+lib/workload/paperdb.ml: Ic Relational

@@ -1,0 +1,1 @@
+lib/workload/paperdb.mli: Ic Relational

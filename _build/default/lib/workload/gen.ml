@@ -1,0 +1,185 @@
+module Instance = Relational.Instance
+module Value = Relational.Value
+
+type t = {
+  label : string;
+  d : Relational.Instance.t;
+  ics : Ic.Constr.t list;
+}
+
+let v = Ic.Term.var
+let atom p ts = Ic.Patom.make p ts
+
+let sym prefix i = Value.str (Printf.sprintf "%s%d" prefix i)
+
+let maybe_null rng rate value =
+  if Random.State.float rng 1.0 < rate then Value.null else value
+
+let fk_workload ?(seed = 42) ~n_parent ~n_child ~orphan_rate ~null_rate () =
+  let rng = Random.State.make [| seed |] in
+  let parents =
+    List.init n_parent (fun i ->
+        ("R", [ sym "p" i; maybe_null rng null_rate (sym "d" i) ]))
+  in
+  let children =
+    List.init n_child (fun i ->
+        let orphan = Random.State.float rng 1.0 < orphan_rate in
+        let target =
+          if orphan then sym "missing" i
+          else sym "p" (Random.State.int rng (max 1 n_parent))
+        in
+        ("S", [ maybe_null rng null_rate (sym "c" i); target ]))
+  in
+  {
+    label = Printf.sprintf "fk n_parent=%d n_child=%d orphan=%.2f null=%.2f"
+        n_parent n_child orphan_rate null_rate;
+    d = Instance.of_list (parents @ children);
+    ics =
+      Ic.Builder.key ~name_prefix:"key_r" ~pred:"R" ~arity:2 ~key:[ 1 ] ()
+      @ [
+          Ic.Builder.foreign_key ~name:"fk" ~child:"S" ~child_arity:2
+            ~child_cols:[ 2 ] ~parent:"R" ~parent_arity:2 ~parent_cols:[ 1 ] ();
+          Ic.Constr.not_null ~name:"nn_r1" ~pred:"R" ~arity:2 ~pos:1 ();
+        ];
+  }
+
+let fk_workload_det ~n_parent ~n_child ~orphans ~null_refs () =
+  let parents =
+    List.init n_parent (fun i -> ("R", [ sym "p" i; sym "d" i ]))
+  in
+  let children =
+    List.init n_child (fun i ->
+        let target =
+          if i < orphans then sym "missing" i
+          else if i < orphans + null_refs then Value.null
+          else sym "p" (i mod max 1 n_parent)
+        in
+        ("S", [ sym "c" i; target ]))
+  in
+  {
+    label =
+      Printf.sprintf "fk-det parents=%d children=%d orphans=%d null_refs=%d"
+        n_parent n_child orphans null_refs;
+    d = Instance.of_list (parents @ children);
+    ics =
+      Ic.Builder.key ~name_prefix:"key_r" ~pred:"R" ~arity:2 ~key:[ 1 ] ()
+      @ [
+          Ic.Builder.foreign_key ~name:"fk" ~child:"S" ~child_arity:2
+            ~child_cols:[ 2 ] ~parent:"R" ~parent_arity:2 ~parent_cols:[ 1 ] ();
+          Ic.Constr.not_null ~name:"nn_r1" ~pred:"R" ~arity:2 ~pos:1 ();
+        ];
+  }
+
+let fd_workload ?(seed = 42) ~n ~dup_rate () =
+  let rng = Random.State.make [| seed |] in
+  let rows =
+    List.concat
+      (List.init n (fun i ->
+           let base = ("R", [ sym "k" i; sym "v" i ]) in
+           if Random.State.float rng 1.0 < dup_rate then
+             [ base; ("R", [ sym "k" i; sym "w" i ]) ]
+           else [ base ]))
+  in
+  {
+    label = Printf.sprintf "fd n=%d dup=%.2f" n dup_rate;
+    d = Instance.of_list rows;
+    ics = [ Ic.Builder.functional_dependency ~name:"fd" ~pred:"R" ~arity:2 ~lhs:[ 1 ] ~rhs:2 () ];
+  }
+
+let check_workload ?(seed = 42) ~n ~viol_rate ~null_rate () =
+  let rng = Random.State.make [| seed |] in
+  let rows =
+    List.init n (fun i ->
+        let salary =
+          if Random.State.float rng 1.0 < null_rate then Value.null
+          else if Random.State.float rng 1.0 < viol_rate then
+            Value.int (Random.State.int rng 100)
+          else Value.int (101 + Random.State.int rng 900)
+        in
+        ("Emp", [ Value.int i; maybe_null rng null_rate (sym "n" i); salary ]))
+  in
+  {
+    label = Printf.sprintf "check n=%d viol=%.2f null=%.2f" n viol_rate null_rate;
+    d = Instance.of_list rows;
+    ics =
+      [
+        Ic.Builder.check ~name:"salary_pos"
+          (atom "Emp" [ v "i"; v "n"; v "s" ])
+          [ Ic.Builtin.cmp Ic.Builtin.Gt (Ic.Builtin.evar "s") (Ic.Builtin.eint 100) ];
+      ];
+  }
+
+let chain_workload ?(seed = 42) ~n ~broken () =
+  let rng = Random.State.make [| seed |] in
+  ignore rng;
+  let supported =
+    List.concat
+      (List.init (max 0 (n - broken)) (fun i ->
+           [
+             ("S", [ sym "a" i ]);
+             ("Q", [ sym "a" i ]);
+             ("R", [ sym "a" i ]);
+             ("T", [ sym "a" i; sym "b" i ]);
+           ]))
+  in
+  let dangling = List.init broken (fun i -> ("S", [ sym "x" i ])) in
+  {
+    label = Printf.sprintf "chain n=%d broken=%d" n broken;
+    d = Instance.of_list (supported @ dangling);
+    ics =
+      [
+        Ic.Constr.generic ~name:"ic1" ~ante:[ atom "S" [ v "x" ] ]
+          ~cons:[ atom "Q" [ v "x" ] ] ();
+        Ic.Constr.generic ~name:"ic2" ~ante:[ atom "Q" [ v "x" ] ]
+          ~cons:[ atom "R" [ v "x" ] ] ();
+        Ic.Constr.generic ~name:"ic3" ~ante:[ atom "Q" [ v "x" ] ]
+          ~cons:[ atom "T" [ v "x"; v "y" ] ] ();
+      ];
+  }
+
+let disjunctive_uic ~width =
+  let cons = List.init width (fun j -> atom (Printf.sprintf "Q%d" (j + 1)) [ v "x" ]) in
+  {
+    label = Printf.sprintf "disjunctive width=%d" width;
+    d = Instance.of_list [ ("P", [ Value.str "a" ]); ("P", [ Value.str "b" ]) ];
+    ics = [ Ic.Constr.generic ~name:"wide" ~ante:[ atom "P" [ v "x" ] ] ~cons () ];
+  }
+
+let bilateral_loop ?(seed = 42) ~n () =
+  let rng = Random.State.make [| seed |] in
+  let rows =
+    List.init n (fun i ->
+        ("P", [ sym "a" i; sym "a" (Random.State.int rng n) ]))
+  in
+  {
+    label = Printf.sprintf "bilateral n=%d" n;
+    d = Instance.of_list rows;
+    ics =
+      [
+        Ic.Constr.generic ~name:"sym"
+          ~ante:[ atom "P" [ v "x"; v "y" ] ]
+          ~cons:[ atom "P" [ v "y"; v "x" ] ]
+          ();
+      ];
+  }
+
+let denial_workload ?(seed = 42) ~n ~viol_rate () =
+  let rng = Random.State.make [| seed |] in
+  let rows =
+    List.concat
+      (List.init n (fun i ->
+           let j = Random.State.int rng n in
+           let base = ("P", [ sym "a" i; sym "a" j ]) in
+           if Random.State.float rng 1.0 < viol_rate then
+             [ base; ("P", [ sym "a" j; sym "a" i ]) ]
+           else [ base ]))
+  in
+  {
+    label = Printf.sprintf "denial n=%d viol=%.2f" n viol_rate;
+    d = Instance.of_list rows;
+    ics =
+      [
+        Ic.Builder.denial ~name:"no_sym"
+          [ atom "P" [ v "x"; v "y" ]; atom "P" [ v "y"; v "x" ] ];
+      ];
+  }

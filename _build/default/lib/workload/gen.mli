@@ -1,0 +1,53 @@
+(** Deterministic synthetic workload generators for the benchmark harness.
+
+    Every generator takes a [seed] and uses its own [Random.State], so bench
+    tables are reproducible run to run. *)
+
+type t = {
+  label : string;
+  d : Relational.Instance.t;
+  ics : Ic.Constr.t list;
+}
+
+val fk_workload :
+  ?seed:int -> n_parent:int -> n_child:int -> orphan_rate:float ->
+  null_rate:float -> unit -> t
+(** Parent [R(id, data)] with key [R[1]], child [S(sid, ref)] with a foreign
+    key [S[2] -> R[1]].  [orphan_rate] of the children reference a missing
+    parent; [null_rate] of all attribute positions (except the parent key)
+    hold null. *)
+
+val fk_workload_det :
+  n_parent:int -> n_child:int -> orphans:int -> null_refs:int -> unit -> t
+(** Deterministic variant of {!fk_workload}: exactly [orphans] children
+    reference a missing parent and exactly [null_refs] further children
+    carry a null reference (relevant to the FK under classic semantics but
+    not under [|=_N]/simple match).  Used by the sweep tables E6-E8. *)
+
+val fd_workload : ?seed:int -> n:int -> dup_rate:float -> unit -> t
+(** [R(key, value)] with the FD [key -> value]; [dup_rate] of the keys get a
+    second, conflicting value. *)
+
+val check_workload :
+  ?seed:int -> n:int -> viol_rate:float -> null_rate:float -> unit -> t
+(** [Emp(id, name, salary)] with the check constraint [salary > 100]
+    (Example 6); [viol_rate] of the salaries violate it, [null_rate] are
+    null. *)
+
+val chain_workload : ?seed:int -> n:int -> broken:int -> unit -> t
+(** The UIC chain of Example 2 ([S -> Q], [Q -> R]) plus the RIC
+    [Q -> exists y. T(x,y)], with [n] base [S]-tuples of which [broken]
+    are missing their [Q]/[R]/[T] support. *)
+
+val disjunctive_uic : width:int -> t
+(** One UIC with [width] consequent disjuncts
+    ([P(x) -> Q1(x) | ... | Qk(x)]) over a two-tuple instance — drives the
+    [2^width] Q'/Q'' rule expansion of Definition 9 (bench table E5). *)
+
+val bilateral_loop : ?seed:int -> n:int -> unit -> t
+(** [P(x,y) -> P(y,x)] over a random P — violates Theorem 5's condition and
+    grounds to a non-HCF program (bench table E4). *)
+
+val denial_workload : ?seed:int -> n:int -> viol_rate:float -> unit -> t
+(** Denial constraint [P(x,y), P(y,x) -> false] (no bilateral predicates:
+    always HCF, Corollary 1). *)

@@ -1,0 +1,155 @@
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Constr = Ic.Constr
+
+let v = Ic.Term.var
+let atom p ts = Ic.Patom.make p ts
+let vn = Value.null
+let vs = Value.str
+let vi = Value.int
+
+type scenario = {
+  label : string;
+  d : Relational.Instance.t;
+  ics : Ic.Constr.t list;
+  expected_repairs : int option;
+}
+
+let example5 =
+  {
+    label = "example 5 (Course/Exp FK)";
+    d =
+      Instance.of_list
+        [
+          ("Course", [ vs "CS27"; vi 21; vs "W04" ]);
+          ("Course", [ vs "CS18"; vi 34; vn ]);
+          ("Course", [ vs "CS50"; vn; vs "W05" ]);
+          ("Exp", [ vi 21; vs "CS27"; vi 3 ]);
+          ("Exp", [ vi 34; vs "CS18"; vn ]);
+          ("Exp", [ vi 45; vs "CS32"; vi 2 ]);
+        ];
+    ics =
+      [
+        Constr.generic ~name:"fk_course_exp"
+          ~ante:[ atom "Course" [ v "x"; v "y"; v "z" ] ]
+          ~cons:[ atom "Exp" [ v "y"; v "x"; v "w" ] ]
+          ();
+      ];
+    expected_repairs = Some 1 (* consistent: the unique repair is D itself *);
+  }
+
+let example15 =
+  {
+    label = "example 14/15 (Course/Student RIC)";
+    d =
+      Instance.of_list
+        [
+          ("Course", [ vi 21; vs "C15" ]);
+          ("Course", [ vi 34; vs "C18" ]);
+          ("Student", [ vi 21; vs "Ann" ]);
+          ("Student", [ vi 45; vs "Paul" ]);
+        ];
+    ics =
+      [
+        Constr.generic ~name:"ric_course_student"
+          ~ante:[ atom "Course" [ v "id"; v "code" ] ]
+          ~cons:[ atom "Student" [ v "id"; v "name" ] ]
+          ();
+      ];
+    expected_repairs = Some 2;
+  }
+
+let example16 =
+  {
+    label = "example 16 (RIC + non-generic check)";
+    d = Instance.of_list [ ("Q", [ vs "a"; vs "b" ]); ("P", [ vs "a"; vs "c" ]) ];
+    ics =
+      [
+        Constr.generic ~name:"psi1"
+          ~ante:[ atom "P" [ v "x"; v "y" ] ]
+          ~cons:[ atom "Q" [ v "x"; v "z" ] ]
+          ();
+        Constr.generic ~name:"psi2"
+          ~ante:[ atom "Q" [ v "x"; v "y" ] ]
+          ~phi:[ Ic.Builtin.neq (v "y") (Ic.Term.str "b") ]
+          ();
+      ];
+    expected_repairs = Some 2;
+  }
+
+let example17 =
+  {
+    label = "example 17 (RIC over nulls)";
+    d =
+      Instance.of_list
+        [ ("P", [ vs "a"; vn ]); ("P", [ vs "b"; vs "c" ]); ("R", [ vs "a"; vs "b" ]) ];
+    ics =
+      [
+        Constr.generic ~name:"ric"
+          ~ante:[ atom "P" [ v "x"; v "y" ] ]
+          ~cons:[ atom "R" [ v "x"; v "z" ] ]
+          ();
+      ];
+    expected_repairs = Some 2;
+  }
+
+let example18 =
+  {
+    label = "example 18 (RIC-cyclic)";
+    d =
+      Instance.of_list
+        [ ("P", [ vs "a"; vs "b" ]); ("P", [ vn; vs "a" ]); ("T", [ vs "c" ]) ];
+    ics =
+      [
+        Constr.generic ~name:"uic"
+          ~ante:[ atom "P" [ v "x"; v "y" ] ]
+          ~cons:[ atom "T" [ v "x" ] ]
+          ();
+        Constr.generic ~name:"ric"
+          ~ante:[ atom "T" [ v "x" ] ]
+          ~cons:[ atom "P" [ v "y"; v "x" ] ]
+          ();
+      ];
+    expected_repairs = Some 4;
+  }
+
+let example19 =
+  {
+    label = "example 19/21/23 (key + FK + NNC)";
+    d =
+      Instance.of_list
+        [
+          ("R", [ vs "a"; vs "b" ]);
+          ("R", [ vs "a"; vs "c" ]);
+          ("S", [ vs "e"; vs "f" ]);
+          ("S", [ vn; vs "a" ]);
+        ];
+    ics =
+      Ic.Builder.key ~name_prefix:"key_r" ~pred:"R" ~arity:2 ~key:[ 1 ] ()
+      @ [
+          Ic.Builder.foreign_key ~name:"fk_s_r" ~child:"S" ~child_arity:2
+            ~child_cols:[ 2 ] ~parent:"R" ~parent_arity:2 ~parent_cols:[ 1 ] ();
+          Constr.not_null ~name:"nn_r1" ~pred:"R" ~arity:2 ~pos:1 ();
+        ];
+    expected_repairs = Some 4;
+  }
+
+let example20 =
+  {
+    label = "example 20 (conflicting NNC)";
+    d =
+      Instance.of_list
+        [ ("P", [ vs "a" ]); ("P", [ vs "b" ]); ("Q", [ vs "b"; vs "c" ]) ];
+    ics =
+      [
+        Constr.generic ~name:"ric"
+          ~ante:[ atom "P" [ v "x" ] ]
+          ~cons:[ atom "Q" [ v "x"; v "y" ] ]
+          ();
+        Constr.not_null ~name:"nn_q2" ~pred:"Q" ~arity:2 ~pos:2 ();
+      ];
+    expected_repairs = None (* 1 deletion + one per non-null universe value *);
+  }
+
+let all =
+  [ example5; example15; example16; example17; example18; example19; example20 ]

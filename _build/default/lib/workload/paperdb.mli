@@ -1,0 +1,33 @@
+(** The paper's instances and constraint sets, shared by tests, examples and
+    the benchmark harness. *)
+
+type scenario = {
+  label : string;
+  d : Relational.Instance.t;
+  ics : Ic.Constr.t list;
+  expected_repairs : int option;
+      (** number of repairs the paper reports, when it does *)
+}
+
+(** Course/Exp foreign key, simple match. *)
+val example5 : scenario
+
+(** Course/Student RIC, two repairs. *)
+val example15 : scenario
+
+(** RIC + non-generic check, two repairs. *)
+val example16 : scenario
+
+(** RIC over nulls, two repairs. *)
+val example17 : scenario
+
+(** RIC-cyclic set, four repairs. *)
+val example18 : scenario
+
+(** Key + foreign key + NNC, four repairs. *)
+val example19 : scenario
+
+(** Conflicting NNC (the Rep_d scenario). *)
+val example20 : scenario
+
+val all : scenario list

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Asp Core Fmt Ic List Printf QCheck QCheck_alcotest Relational Repair Result Semantics String

@@ -1,0 +1,1 @@
+test/test_ic.ml: Alcotest Ic List Option QCheck QCheck_alcotest Relational Result String

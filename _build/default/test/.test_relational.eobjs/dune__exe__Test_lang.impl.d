@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Fmt Ic Lang List Query Relational Repair Result Semantics

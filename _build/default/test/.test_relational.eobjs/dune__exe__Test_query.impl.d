@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Core Fmt Ic List QCheck QCheck_alcotest Query Relational Result Semantics String Workload

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Fmt List QCheck QCheck_alcotest Relational Result String

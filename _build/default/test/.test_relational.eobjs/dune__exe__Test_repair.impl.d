@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Core Fmt Ic List QCheck QCheck_alcotest Relational Repair Result Semantics String

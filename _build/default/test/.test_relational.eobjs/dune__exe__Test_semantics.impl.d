@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Fmt Ic List QCheck QCheck_alcotest Relational Result Semantics String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Core Ic List Relational Repair Semantics Workload

@@ -1,0 +1,17 @@
+  $ cqanull check example.cqa
+  $ cqanull check --all-semantics example.cqa
+  $ cqanull repairs example.cqa
+  $ cqanull repairs --engine enumerate example.cqa | tail -n 1
+  $ cqanull cqa example.cqa --query courses
+  $ cqanull graph example.cqa | grep -E 'RIC-acyclic|bilateral|Theorem 5|insertion'
+  $ cqanull export example.cqa | head -n 5
+  $ cqanull export example.cqa -o prog.dlv
+  $ cqanull solve prog.dlv | tail -n 1
+  $ cqanull solve program.dlv
+  $ cqanull solve --cautious program.dlv
+  $ cqanull solve --brave program.dlv
+  $ cqanull check badref.cqa
+  $ cqanull repairs example.cqa --save rep > /dev/null
+  $ cqanull check rep_1.cqa
+  $ cqanull check rep_2.cqa
+  $ cqanull cqa example.cqa --query courses --engine cautious | grep consistent

@@ -1,0 +1,89 @@
+The check subcommand reports |=_N violations and exits 1 on inconsistency:
+
+  $ cqanull check example.cqa
+  ric violated by Course(34, c18) under [C=c18, I=34]
+  1 violation(s)
+  [1]
+
+All six satisfaction semantics side by side:
+
+  $ cqanull check --all-semantics example.cqa
+  ric: |=_N=VIOLATED  classic=VIOLATED  liberal[10]=VIOLATED  sql-simple=VIOLATED  sql-partial=VIOLATED  sql-full=VIOLATED
+  [1]
+
+The repairs subcommand (stable-model engine by default):
+
+  $ cqanull repairs example.cqa
+  repair 1: {Course(21, c15), Course(34, c18), Student(21, ann), Student(34, null), Student(45, paul)}
+    delta: {Student(34, null)}
+  repair 2: {Course(21, c15), Student(21, ann), Student(45, paul)}
+    delta: {Course(34, c18)}
+  2 repair(s)
+
+The model-theoretic engine agrees:
+
+  $ cqanull repairs --engine enumerate example.cqa | tail -n 1
+  2 repair(s)
+
+Consistent query answering over both queries in the file:
+
+  $ cqanull cqa example.cqa --query courses
+  query courses: {(I, C) | Course(I, C)}
+  consistent: {(21, c15)}
+  possible:   {(21, c15), (34, c18)}
+  standard:   {(21, c15), (34, c18)}
+  repairs:    2
+
+Constraint-set analysis:
+
+  $ cqanull graph example.cqa | grep -E 'RIC-acyclic|bilateral|Theorem 5|insertion'
+  RIC-acyclic: yes (Theorem 4 applies)
+  bilateral predicates: none
+  Theorem 5: repair program is head-cycle-free (CQA in coNP)
+  repair-insertion positions:     Student[2]
+
+Exporting the repair program in DLV syntax (facts first):
+
+  $ cqanull export example.cqa | head -n 5
+  d_course(21,c15).
+  d_course(34,c18).
+  d_student(21,ann).
+  d_student(45,paul).
+  d_course_a(I,C,fa) v d_student_a(I,null,ta) :- d_course_a(I,C,ts), not aux_0(I), I != null.
+
+The export round-trips through the internal solver:
+
+  $ cqanull export example.cqa -o prog.dlv
+  wrote prog.dlv
+  $ cqanull solve prog.dlv | tail -n 1
+  2 stable model(s)
+
+Solving a hand-written disjunctive program, with cautious and brave modes:
+
+  $ cqanull solve program.dlv
+  {a, c}
+  {b, c}
+  2 stable model(s)
+  $ cqanull solve --cautious program.dlv
+  {c}
+  $ cqanull solve --brave program.dlv
+  {a, b, c}
+
+Schema errors are reported with a clear message and exit code 2:
+
+  $ cqanull check badref.cqa
+  error: relation P has arity 1 but is used with 2 atoms
+  [2]
+
+Saving repairs to files that re-check as consistent:
+
+  $ cqanull repairs example.cqa --save rep > /dev/null
+  $ cqanull check rep_1.cqa
+  consistent (5 tuples, 1 constraints)
+  $ cqanull check rep_2.cqa
+  consistent (3 tuples, 1 constraints)
+
+CQA by cautious reasoning (no repairs materialized):
+
+  $ cqanull cqa example.cqa --query courses --engine cautious | grep consistent
+  consistent: {(21, c15)}

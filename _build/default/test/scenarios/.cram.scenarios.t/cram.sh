@@ -1,0 +1,5 @@
+  $ cqanull repairs ../../scenarios/example15_course_student.cqa | tail -n 1
+  $ cqanull repairs ../../scenarios/example18_cyclic.cqa | tail -n 1
+  $ cqanull repairs ../../scenarios/example19_key_fk_nnc.cqa | tail -n 1
+  $ cqanull repairs ../../scenarios/example20_conflicting_nnc.cqa --engine enumerate --repd 2>/dev/null | tail -n 1
+  $ cqanull graph ../../scenarios/example18_cyclic.cqa | grep RIC-acyclic

@@ -1,0 +1,19 @@
+The shipped paper scenarios load and produce the repair counts the paper
+reports:
+
+  $ cqanull repairs ../../scenarios/example15_course_student.cqa | tail -n 1
+  2 repair(s)
+  $ cqanull repairs ../../scenarios/example18_cyclic.cqa | tail -n 1
+  4 repair(s)
+  $ cqanull repairs ../../scenarios/example19_key_fk_nnc.cqa | tail -n 1
+  4 repair(s)
+
+Example 20 under Rep_d keeps only the deletion repair:
+
+  $ cqanull repairs ../../scenarios/example20_conflicting_nnc.cqa --engine enumerate --repd 2>/dev/null | tail -n 1
+  1 repair(s)
+
+Example 18's constraint set is flagged RIC-cyclic:
+
+  $ cqanull graph ../../scenarios/example18_cyclic.cqa | grep RIC-acyclic
+  RIC-acyclic: NO — cycle through {P,T}

@@ -1,0 +1,331 @@
+(* Unit and property tests for the relational substrate. *)
+
+module Value = Relational.Value
+module Tuple = Relational.Tuple
+module Atom = Relational.Atom
+module Instance = Relational.Instance
+module Schema = Relational.Schema
+module Projection = Relational.Projection
+
+let v_null = Value.null
+let vi = Value.int
+let vs = Value.str
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_order () =
+  Alcotest.(check bool) "null < int" true (Value.compare v_null (vi 0) < 0);
+  Alcotest.(check bool) "int < str" true (Value.compare (vi 99) (vs "a") < 0);
+  Alcotest.(check bool) "int order" true (Value.compare (vi 1) (vi 2) < 0);
+  Alcotest.(check bool) "str order" true (Value.compare (vs "a") (vs "b") < 0)
+
+let test_value_equal () =
+  Alcotest.(check bool) "null = null" true (Value.equal v_null v_null);
+  Alcotest.(check bool) "null <> 0" false (Value.equal v_null (vi 0));
+  Alcotest.(check bool) "null <> \"null\"? of_string" true
+    (Value.equal (Value.of_string "null") v_null);
+  Alcotest.(check bool) "of_string int" true (Value.equal (Value.of_string "42") (vi 42));
+  Alcotest.(check bool) "of_string str" true (Value.equal (Value.of_string "ab") (vs "ab"))
+
+let test_value_comparable () =
+  Alcotest.(check bool) "null incomparable" false (Value.comparable v_null (vi 1));
+  Alcotest.(check bool) "ints comparable" true (Value.comparable (vi 1) (vi 2))
+
+let test_value_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Value.to_string v) true
+        (Value.equal v (Value.of_string (Value.to_string v))))
+    [ v_null; vi 0; vi (-3); vs "x"; vs "W04" ]
+
+(* ------------------------------------------------------------------ *)
+(* Tuple *)
+
+let t vs = Tuple.make vs
+
+let test_tuple_basic () =
+  Alcotest.(check int) "arity" 3 (Tuple.arity (t [ vi 1; v_null; vs "a" ]));
+  Alcotest.(check bool) "has_null" true (Tuple.has_null (t [ vi 1; v_null ]));
+  Alcotest.(check bool) "no null" false (Tuple.has_null (t [ vi 1; vi 2 ]));
+  Alcotest.(check bool) "all_non_null" true (Tuple.all_non_null (t [ vi 1 ]))
+
+let test_tuple_compare () =
+  Alcotest.(check int) "equal tuples" 0
+    (Tuple.compare (t [ vi 1; vi 2 ]) (t [ vi 1; vi 2 ]));
+  Alcotest.(check bool) "shorter first" true
+    (Tuple.compare (t [ vi 1 ]) (t [ vi 1; vi 2 ]) < 0);
+  Alcotest.(check bool) "lexicographic" true
+    (Tuple.compare (t [ vi 1; vi 2 ]) (t [ vi 1; vi 3 ]) < 0)
+
+let test_tuple_project () =
+  let tu = t [ vs "a"; vs "b"; vs "c" ] in
+  Alcotest.(check bool) "keep 1,3" true
+    (Tuple.equal (Tuple.project [ 1; 3 ] tu) (t [ vs "a"; vs "c" ]));
+  Alcotest.(check bool) "reorder" true
+    (Tuple.equal (Tuple.project [ 3; 1 ] tu) (t [ vs "c"; vs "a" ]));
+  Alcotest.(check bool) "empty projection" true
+    (Tuple.equal (Tuple.project [] tu) (t []));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Tuple.project: position 4 out of range 1..3") (fun () ->
+      ignore (Tuple.project [ 4 ] tu))
+
+(* ------------------------------------------------------------------ *)
+(* Instance *)
+
+let d0 =
+  Instance.of_list
+    [
+      ("P", [ vs "a"; vs "b" ]);
+      ("P", [ vs "b"; v_null ]);
+      ("R", [ vs "a" ]);
+    ]
+
+let test_instance_basic () =
+  Alcotest.(check int) "cardinal" 3 (Instance.cardinal d0);
+  Alcotest.(check bool) "mem" true (Instance.mem (Atom.make "P" [ vs "a"; vs "b" ]) d0);
+  Alcotest.(check bool) "not mem" false (Instance.mem (Atom.make "R" [ vs "b" ]) d0);
+  Alcotest.(check (list string)) "preds" [ "P"; "R" ] (Instance.preds d0);
+  Alcotest.(check int) "null count" 1 (Instance.null_count d0)
+
+let test_instance_add_remove () =
+  let a = Atom.make "Q" [ vi 7 ] in
+  let d = Instance.add a d0 in
+  Alcotest.(check bool) "added" true (Instance.mem a d);
+  Alcotest.(check int) "card up" 4 (Instance.cardinal d);
+  let d = Instance.add a d in
+  Alcotest.(check int) "set semantics: no duplicates" 4 (Instance.cardinal d);
+  let d = Instance.remove a d in
+  Alcotest.(check bool) "removed" false (Instance.mem a d);
+  Alcotest.(check bool) "back to original" true (Instance.equal d d0)
+
+let test_instance_setops () =
+  let d1 = Instance.of_list [ ("P", [ vs "a"; vs "b" ]) ] in
+  let diff = Instance.diff d0 d1 in
+  Alcotest.(check int) "diff" 2 (Instance.cardinal diff);
+  let sd = Instance.symdiff d0 d1 in
+  Alcotest.(check int) "symdiff" 2 (Instance.cardinal sd);
+  Alcotest.(check bool) "subset" true (Instance.subset d1 d0);
+  Alcotest.(check bool) "not subset" false (Instance.subset d0 d1);
+  Alcotest.(check bool) "union" true
+    (Instance.equal (Instance.union d1 d0) d0)
+
+let test_instance_active_domain () =
+  let adom = Instance.active_domain d0 in
+  Alcotest.(check int) "adom size" 3 (List.length adom);
+  Alcotest.(check bool) "null in adom" true
+    (List.exists Value.is_null adom);
+  Alcotest.(check int) "non-null adom" 2
+    (List.length (Instance.active_domain_non_null d0))
+
+let test_instance_symdiff_self () =
+  Alcotest.(check bool) "symdiff with self empty" true
+    (Instance.is_empty (Instance.symdiff d0 d0))
+
+(* ------------------------------------------------------------------ *)
+(* Schema *)
+
+let schema =
+  Schema.of_list [ ("P", [ "A"; "B" ]); ("R", [ "A" ]) ]
+
+let test_schema_basic () =
+  Alcotest.(check (option int)) "arity P" (Some 2) (Schema.arity schema "P");
+  Alcotest.(check (option int)) "arity unknown" None (Schema.arity schema "X");
+  Alcotest.(check (option int)) "attr position" (Some 2)
+    (Schema.attr_position schema "P" "B");
+  Alcotest.(check (option string)) "attr name" (Some "A")
+    (Schema.attr_name schema "P" 1);
+  Alcotest.(check bool) "check instance ok" true
+    (Result.is_ok (Schema.check_instance schema d0));
+  Alcotest.(check bool) "arity mismatch caught" true
+    (Result.is_error
+       (Schema.check_atom schema (Atom.make "P" [ vs "a" ])))
+
+let test_schema_duplicate () =
+  Alcotest.check_raises "duplicate relation"
+    (Invalid_argument "Schema.add_relation: duplicate relation P") (fun () ->
+      ignore (Schema.add_relation schema ~name:"P" ~attrs:[ "X" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Projection (Definition 3) *)
+
+let test_projection_example10 () =
+  (* Example 10: D = {P(a,b,a), P(b,c,a), R(a,5), R(a,2)}, A = {P[1], P[2],
+     R[1], R[2]} keeps P's first two attributes. *)
+  let d =
+    Instance.of_list
+      [
+        ("P", [ vs "a"; vs "b"; vs "a" ]);
+        ("P", [ vs "b"; vs "c"; vs "a" ]);
+        ("R", [ vs "a"; vi 5 ]);
+        ("R", [ vs "a"; vi 2 ]);
+      ]
+  in
+  let da = Projection.project_instance [ ("P", [ 1; 2 ]); ("R", [ 1; 2 ]) ] d in
+  let expected =
+    Instance.of_list
+      [
+        ("P", [ vs "a"; vs "b" ]);
+        ("P", [ vs "b"; vs "c" ]);
+        ("R", [ vs "a"; vi 5 ]);
+        ("R", [ vs "a"; vi 2 ]);
+      ]
+  in
+  Alcotest.(check bool) "D^A as in Example 10" true (Instance.equal da expected)
+
+let test_projection_collapses_duplicates () =
+  let d =
+    Instance.of_list
+      [ ("P", [ vs "a"; vs "b" ]); ("P", [ vs "a"; vs "c" ]) ]
+  in
+  let da = Projection.project_instance [ ("P", [ 1 ]) ] d in
+  Alcotest.(check int) "projection is a set" 1 (Instance.cardinal da)
+
+let test_projection_zero_ary () =
+  let d = Instance.of_list [ ("P", [ vs "a" ]) ] in
+  let da = Projection.project_instance [ ("P", []) ] d in
+  Alcotest.(check int) "zero-ary marker survives" 1 (Instance.cardinal da);
+  Alcotest.(check bool) "marker atom" true
+    (Instance.mem (Atom.make "P" []) da)
+
+let test_restrict_to () =
+  let r = Projection.restrict_to [ "R" ] d0 in
+  Alcotest.(check (list string)) "only R" [ "R" ] (Instance.preds r)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_pretty_table () =
+  let s = Relational.Pretty.table ~schema d0 "P" in
+  Alcotest.(check bool) "mentions header" true (contains s "| A ");
+  Alcotest.(check bool) "mentions null" true (contains s "null")
+
+let test_pretty_atoms_line () =
+  let s = Relational.Pretty.atoms_line d0 in
+  Alcotest.(check bool) "contains null" true (contains s "null")
+
+let test_hash_consistent () =
+  let t1 = t [ vi 1; v_null ] and t2 = t [ vi 1; v_null ] in
+  Alcotest.(check int) "equal tuples hash equal" (Tuple.hash t1) (Tuple.hash t2);
+  Alcotest.(check int) "equal values hash equal" (Value.hash v_null) (Value.hash Value.null)
+
+let test_pretty_empty_relation () =
+  let s = Relational.Pretty.table Instance.empty "Nothing" in
+  Alcotest.(check bool) "renders header line" true (contains s "Nothing")
+
+let test_instance_compare_order () =
+  let a = Instance.of_list [ ("P", [ vi 1 ]) ] in
+  let b = Instance.of_list [ ("P", [ vi 2 ]) ] in
+  Alcotest.(check bool) "compare consistent with equal" true
+    (Instance.compare a a = 0 && Instance.compare a b <> 0);
+  Alcotest.(check bool) "antisymmetric" true
+    (Instance.compare a b = -Instance.compare b a)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let value_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Value.null);
+        (3, map Value.int (int_range 0 5));
+        (3, map (fun c -> Value.str (String.make 1 c)) (char_range 'a' 'e'));
+      ])
+
+let tuple_gen arity = QCheck.Gen.(map Tuple.make (list_size (return arity) value_gen))
+
+let atom_gen =
+  QCheck.Gen.(
+    let* pred = oneofl [ ("P", 2); ("Q", 1); ("R", 3) ] in
+    let name, arity = pred in
+    map (fun t -> Atom.of_tuple name t) (tuple_gen arity))
+
+let instance_gen = QCheck.Gen.(map Instance.of_atoms (list_size (int_range 0 12) atom_gen))
+
+let instance_arb = QCheck.make ~print:(Fmt.str "%a" Instance.pp_inline) instance_gen
+
+let prop_symdiff_commutes =
+  QCheck.Test.make ~name:"symdiff commutes" ~count:200
+    (QCheck.pair instance_arb instance_arb) (fun (a, b) ->
+      Instance.equal (Instance.symdiff a b) (Instance.symdiff b a))
+
+let prop_union_cardinal =
+  QCheck.Test.make ~name:"inclusion-exclusion" ~count:200
+    (QCheck.pair instance_arb instance_arb) (fun (a, b) ->
+      Instance.cardinal (Instance.union a b)
+      = Instance.cardinal a + Instance.cardinal b
+        - Instance.cardinal (Instance.inter a b))
+
+let prop_atoms_roundtrip =
+  QCheck.Test.make ~name:"of_atoms . atoms = id" ~count:200 instance_arb
+    (fun d -> Instance.equal d (Instance.of_atoms (Instance.atoms d)))
+
+let prop_projection_cardinal =
+  QCheck.Test.make ~name:"projection never grows" ~count:200 instance_arb
+    (fun d ->
+      let da = Projection.project_instance [ ("P", [ 1 ]); ("R", [ 2; 3 ]) ] d in
+      Instance.cardinal da <= Instance.cardinal d)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "order" `Quick test_value_order;
+          Alcotest.test_case "equal" `Quick test_value_equal;
+          Alcotest.test_case "comparable" `Quick test_value_comparable;
+          Alcotest.test_case "roundtrip" `Quick test_value_roundtrip;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "basic" `Quick test_tuple_basic;
+          Alcotest.test_case "compare" `Quick test_tuple_compare;
+          Alcotest.test_case "project" `Quick test_tuple_project;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "basic" `Quick test_instance_basic;
+          Alcotest.test_case "add/remove" `Quick test_instance_add_remove;
+          Alcotest.test_case "set ops" `Quick test_instance_setops;
+          Alcotest.test_case "active domain" `Quick test_instance_active_domain;
+          Alcotest.test_case "symdiff self" `Quick test_instance_symdiff_self;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basic" `Quick test_schema_basic;
+          Alcotest.test_case "duplicate" `Quick test_schema_duplicate;
+        ] );
+      ( "projection",
+        [
+          Alcotest.test_case "example 10" `Quick test_projection_example10;
+          Alcotest.test_case "collapses duplicates" `Quick
+            test_projection_collapses_duplicates;
+          Alcotest.test_case "zero-ary" `Quick test_projection_zero_ary;
+          Alcotest.test_case "restrict" `Quick test_restrict_to;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "table" `Quick test_pretty_table;
+          Alcotest.test_case "atoms line" `Quick test_pretty_atoms_line;
+          Alcotest.test_case "empty relation" `Quick test_pretty_empty_relation;
+          Alcotest.test_case "hash" `Quick test_hash_consistent;
+          Alcotest.test_case "instance compare" `Quick test_instance_compare_order;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_symdiff_commutes;
+            prop_union_cardinal;
+            prop_atoms_roundtrip;
+            prop_projection_cardinal;
+          ] );
+    ]

@@ -1,0 +1,125 @@
+(* Tests for the benchmark workload generators and the paper scenarios. *)
+
+module Instance = Relational.Instance
+module Gen = Workload.Gen
+module Paperdb = Workload.Paperdb
+
+let test_paper_scenarios () =
+  (* every scenario with a reported repair count reproduces it, and the
+     constraint sets are valid for the engines that tests use *)
+  List.iter
+    (fun (s : Paperdb.scenario) ->
+      match s.Paperdb.expected_repairs with
+      | None -> ()
+      | Some n ->
+          let reps = Repair.Enumerate.repairs s.Paperdb.d s.Paperdb.ics in
+          Alcotest.(check int) s.Paperdb.label n (List.length reps))
+    Paperdb.all
+
+let test_fk_workload_deterministic () =
+  let w1 = Gen.fk_workload ~seed:7 ~n_parent:5 ~n_child:8 ~orphan_rate:0.3 ~null_rate:0.2 () in
+  let w2 = Gen.fk_workload ~seed:7 ~n_parent:5 ~n_child:8 ~orphan_rate:0.3 ~null_rate:0.2 () in
+  Alcotest.(check bool) "same seed, same instance" true
+    (Instance.equal w1.Gen.d w2.Gen.d);
+  let w3 = Gen.fk_workload ~seed:8 ~n_parent:5 ~n_child:8 ~orphan_rate:0.3 ~null_rate:0.2 () in
+  Alcotest.(check bool) "different seed, different instance" false
+    (Instance.equal w1.Gen.d w3.Gen.d)
+
+let test_fk_workload_shape () =
+  let w = Gen.fk_workload ~seed:1 ~n_parent:10 ~n_child:20 ~orphan_rate:0.0 ~null_rate:0.0 () in
+  Alcotest.(check int) "tuple count" 30 (Instance.cardinal w.Gen.d);
+  (* no orphans, no nulls: consistent *)
+  Alcotest.(check bool) "clean workload consistent" true
+    (Semantics.Nullsat.consistent w.Gen.d w.Gen.ics)
+
+let test_fk_workload_det_violations () =
+  let w = Gen.fk_workload_det ~n_parent:4 ~n_child:10 ~orphans:3 ~null_refs:2 () in
+  (* exactly the 3 orphans violate under |=_N (null refs are excused) *)
+  Alcotest.(check int) "3 violations" 3
+    (List.length (Semantics.Nullsat.check w.Gen.d w.Gen.ics));
+  (* classic semantics additionally counts the null references *)
+  let classic =
+    List.length
+      (List.concat_map (fun ic -> Semantics.Classic.violations w.Gen.d ic) w.Gen.ics)
+  in
+  Alcotest.(check int) "5 classic violations" 5 classic
+
+let test_fd_workload () =
+  let w = Gen.fd_workload ~seed:3 ~n:10 ~dup_rate:1.0 () in
+  Alcotest.(check int) "all duplicated" 20 (Instance.cardinal w.Gen.d);
+  (* every key has two conflicting values: 2^10 repairs would be the
+     product; each violation pair counted twice by the checker *)
+  Alcotest.(check int) "20 violation matches" 20
+    (List.length (Semantics.Nullsat.check w.Gen.d w.Gen.ics))
+
+let test_check_workload () =
+  let w = Gen.check_workload ~seed:5 ~n:50 ~viol_rate:0.0 ~null_rate:0.0 () in
+  Alcotest.(check bool) "no violations" true
+    (Semantics.Nullsat.consistent w.Gen.d w.Gen.ics);
+  let w' = Gen.check_workload ~seed:5 ~n:50 ~viol_rate:1.0 ~null_rate:0.0 () in
+  Alcotest.(check int) "all violate" 50
+    (List.length (Semantics.Nullsat.check w'.Gen.d w'.Gen.ics))
+
+let test_chain_workload () =
+  let w = Gen.chain_workload ~n:5 ~broken:2 () in
+  (* the broken S tuples violate ic1; everything else is supported *)
+  Alcotest.(check int) "2 violations" 2
+    (List.length (Semantics.Nullsat.check w.Gen.d w.Gen.ics));
+  Alcotest.(check bool) "RIC-acyclic" true (Ic.Depgraph.is_ric_acyclic w.Gen.ics)
+
+let test_disjunctive_uic () =
+  let w = Gen.disjunctive_uic ~width:4 in
+  match w.Gen.ics with
+  | [ Ic.Constr.Generic g ] ->
+      Alcotest.(check int) "4 disjuncts" 4 (List.length g.Ic.Constr.cons)
+  | _ -> Alcotest.fail "expected one generic constraint"
+
+let test_bilateral_non_hcf () =
+  let w = Gen.bilateral_loop ~seed:2 ~n:3 () in
+  Alcotest.(check bool) "fails Theorem 5" false (Core.Hcfcheck.static_hcf w.Gen.ics)
+
+let test_denial_hcf () =
+  let w = Gen.denial_workload ~seed:2 ~n:5 ~viol_rate:0.5 () in
+  Alcotest.(check bool) "denials satisfy Theorem 5" true
+    (Core.Hcfcheck.static_hcf w.Gen.ics);
+  Alcotest.(check bool) "denial is denial" true
+    (Ic.Classify.is_denial (List.hd w.Gen.ics))
+
+(* Example 7: with set semantics, a table cannot hold two copies of a row,
+   so the FD representation of a primary key accepts what the bag-semantics
+   index check of a DBMS would reject — the deviation the paper documents. *)
+let test_example7_set_semantics () =
+  let d =
+    Instance.of_atoms
+      [
+        Relational.Atom.make "P" [ Relational.Value.str "a"; Relational.Value.str "b" ];
+        Relational.Atom.make "P" [ Relational.Value.str "a"; Relational.Value.str "b" ];
+      ]
+  in
+  Alcotest.(check int) "duplicate row collapses" 1 (Instance.cardinal d);
+  let key = Ic.Builder.key ~pred:"P" ~arity:2 ~key:[ 1 ] () in
+  Alcotest.(check bool) "FD satisfied (paper: 'we will assume D is consistent')"
+    true
+    (Semantics.Nullsat.consistent d key)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "paper",
+        [
+          Alcotest.test_case "scenario repair counts" `Quick test_paper_scenarios;
+          Alcotest.test_case "example 7 set semantics" `Quick test_example7_set_semantics;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "fk deterministic" `Quick test_fk_workload_deterministic;
+          Alcotest.test_case "fk shape" `Quick test_fk_workload_shape;
+          Alcotest.test_case "fk-det violations" `Quick test_fk_workload_det_violations;
+          Alcotest.test_case "fd" `Quick test_fd_workload;
+          Alcotest.test_case "check" `Quick test_check_workload;
+          Alcotest.test_case "chain" `Quick test_chain_workload;
+          Alcotest.test_case "disjunctive" `Quick test_disjunctive_uic;
+          Alcotest.test_case "bilateral" `Quick test_bilateral_non_hcf;
+          Alcotest.test_case "denial" `Quick test_denial_hcf;
+        ] );
+    ]
