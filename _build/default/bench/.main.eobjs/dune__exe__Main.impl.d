@@ -1,1 +1,1 @@
-bench/main.ml: Analyze Array Asp Bechamel Benchmark Core Experiments Hashtbl Ic List Measure Printf Query Repair Semantics Staged Sys Test Time Toolkit Workload
+bench/main.ml: Analyze Array Asp Bechamel Benchmark Core Experiments Hashtbl Ic In_channel List Measure Out_channel Printf Query Repair Semantics Staged Sys Table Test Time Toolkit Workload

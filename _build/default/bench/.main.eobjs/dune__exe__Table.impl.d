@@ -1,1 +1,1 @@
-bench/table.ml: List Option Printf String Unix
+bench/table.ml: Buffer Char Float List Option Printf String Unix

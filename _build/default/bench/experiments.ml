@@ -131,14 +131,17 @@ let e3 () =
 (* E4: HCF vs non-HCF solving (Theorem 5, Corollary 1) *)
 
 let e4 () =
-  let run ?(shift = true) d ics =
-    match Engine.run ~shift d ics with
+  let run ?(shift = true) ?solver d ics =
+    match Engine.run ~shift ?solver d ics with
     | Ok r -> r
     | Error msg -> failwith msg
   in
   let row label d ics =
     let (shifted, t_shift) = Table.time (fun () -> run ~shift:true d ics) in
     let (disjunctive, t_disj) = Table.time (fun () -> run ~shift:false d ics) in
+    (* before/after of the occurrence-index rewrite: same search on the
+       disjunctive program through the sweep-based reference engine *)
+    let naive = run ~shift:false ~solver:`Naive d ics in
     [
       label;
       string_of_int shifted.Engine.ground_rules;
@@ -149,6 +152,8 @@ let e4 () =
       string_of_int disjunctive.Engine.solver.Asp.Solver.decisions;
       string_of_int shifted.Engine.solver.Asp.Solver.minimality_checks;
       string_of_int disjunctive.Engine.solver.Asp.Solver.minimality_checks;
+      string_of_int disjunctive.Engine.solver.Asp.Solver.rules_touched;
+      string_of_int naive.Engine.solver.Asp.Solver.rules_touched;
       Table.ms t_shift;
       Table.ms t_disj;
     ]
@@ -168,11 +173,13 @@ let e4 () =
   Table.print
     ~title:
       "E4: HCF (denials, Corollary 1) vs non-HCF (bilateral loop) — shifted \
-       normal solving avoids disjunctive minimality checks"
+       normal solving avoids disjunctive minimality checks; touched(ctr/nv) \
+       is rule visits of the counter engine vs the sweep-based reference"
     ~header:
       [
         "workload"; "grules"; "hcf"; "thm5"; "reps"; "dec(sh)"; "dec(disj)";
-        "minchk(sh)"; "minchk(disj)"; "ms(sh)"; "ms(disj)";
+        "minchk(sh)"; "minchk(disj)"; "touched(ctr)"; "touched(nv)";
+        "ms(sh)"; "ms(disj)";
       ]
     rows
 

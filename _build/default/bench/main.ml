@@ -1,12 +1,21 @@
-(* Benchmark harness: regenerates every experiment table (E1-E10, see
-   EXPERIMENTS.md) and optionally runs the Bechamel micro-benchmarks.
+(* Benchmark harness: regenerates every experiment table (E1-E14, see
+   EXPERIMENTS.md), optionally runs the Bechamel micro-benchmarks, and can
+   emit / validate the machine-readable perf baseline.
 
-     dune exec bench/main.exe            # all tables
-     dune exec bench/main.exe -- --micro # tables + micro-benchmarks
-     dune exec bench/main.exe -- E4 E5   # selected tables *)
+     dune exec bench/main.exe                     # all tables
+     dune exec bench/main.exe -- --micro          # tables + micro-benchmarks
+     dune exec bench/main.exe -- E4 E5            # selected tables
+     dune exec bench/main.exe -- --json BENCH_PR1.json --micro
+         # micro-benchmarks + solver telemetry to a JSON baseline file
+         # (tables are skipped unless named explicitly)
+     dune exec bench/main.exe -- --check-json BENCH_PR1.json
+         # validate a baseline file: well-formed, stable keys, numeric fields
+     --quota SECONDS   Bechamel measurement quota per benchmark (default 0.25)
+*)
 
 let micro_tests () =
   let open Bechamel in
+  let t name f = (name, Test.make ~name (Staged.stage f)) in
   let ex15 = Workload.Paperdb.example15 in
   let ex19 = Workload.Paperdb.example19 in
   let fk = Workload.Gen.fk_workload ~seed:9 ~n_parent:4 ~n_child:6 ~orphan_rate:0.3 ~null_rate:0.1 () in
@@ -24,80 +33,249 @@ let micro_tests () =
   in
   [
     (* E1: paper-example repair computation *)
-    Test.make ~name:"E1.repairs.enumerate.ex15" (Staged.stage (fun () ->
-        Repair.Enumerate.repairs ex15.Workload.Paperdb.d ex15.Workload.Paperdb.ics));
-    Test.make ~name:"E1.repairs.program.ex19" (Staged.stage (fun () ->
-        Core.Engine.repairs ex19.Workload.Paperdb.d ex19.Workload.Paperdb.ics));
+    t "E1.repairs.enumerate.ex15" (fun () ->
+        Repair.Enumerate.repairs ex15.Workload.Paperdb.d ex15.Workload.Paperdb.ics);
+    t "E1.repairs.program.ex19" (fun () ->
+        Core.Engine.repairs ex19.Workload.Paperdb.d ex19.Workload.Paperdb.ics);
     (* E2/E8: engines on a synthetic FK workload *)
-    Test.make ~name:"E2.enumerate.fk" (Staged.stage (fun () ->
-        Repair.Enumerate.repairs fk.Workload.Gen.d fk.Workload.Gen.ics));
-    Test.make ~name:"E8.program.fk" (Staged.stage (fun () ->
-        Core.Engine.repairs fk.Workload.Gen.d fk.Workload.Gen.ics));
+    t "E2.enumerate.fk" (fun () ->
+        Repair.Enumerate.repairs fk.Workload.Gen.d fk.Workload.Gen.ics);
+    t "E8.program.fk" (fun () ->
+        Core.Engine.repairs fk.Workload.Gen.d fk.Workload.Gen.ics);
     (* E4: solving the ground program with and without shifting *)
-    Test.make ~name:"E4.solve.shifted" (Staged.stage (fun () ->
-        Asp.Solver.stable_models (Asp.Shift.ground ground19)));
-    Test.make ~name:"E4.solve.disjunctive" (Staged.stage (fun () ->
-        Asp.Solver.stable_models ground19));
+    t "E4.solve.shifted" (fun () ->
+        Asp.Solver.stable_models (Asp.Shift.ground ground19));
+    t "E4.solve.disjunctive" (fun () ->
+        Asp.Solver.stable_models ground19);
     (* E5: generation + grounding *)
-    Test.make ~name:"E5.generate.width6" (Staged.stage (fun () ->
+    t "E5.generate.width6" (fun () ->
         Core.Proggen.repair_program (Workload.Gen.disjunctive_uic ~width:6).Workload.Gen.d
-          (Workload.Gen.disjunctive_uic ~width:6).Workload.Gen.ics));
+          (Workload.Gen.disjunctive_uic ~width:6).Workload.Gen.ics);
     (* E6: the satisfaction check itself on a wider instance *)
-    Test.make ~name:"E6.nullsat.check200" (Staged.stage (fun () ->
-        Semantics.Nullsat.check check.Workload.Gen.d check.Workload.Gen.ics));
+    t "E6.nullsat.check200" (fun () ->
+        Semantics.Nullsat.check check.Workload.Gen.d check.Workload.Gen.ics);
     (* E7: CQA end-to-end *)
-    Test.make ~name:"E7.cqa.ex15" (Staged.stage (fun () ->
+    t "E7.cqa.ex15" (fun () ->
         Query.Cqa.consistent_answers ex15.Workload.Paperdb.d
-          ex15.Workload.Paperdb.ics query));
+          ex15.Workload.Paperdb.ics query);
     (* E10: graph analysis *)
-    Test.make ~name:"E10.depgraph.ex19" (Staged.stage (fun () ->
-        Ic.Depgraph.is_ric_acyclic ex19.Workload.Paperdb.ics));
+    t "E10.depgraph.ex19" (fun () ->
+        Ic.Depgraph.is_ric_acyclic ex19.Workload.Paperdb.ics);
   ]
 
-let run_micro () =
+(* Runs every micro-benchmark and returns (name, ns/run) rows; a failed
+   OLS analysis reports 0.0 so the row set is stable for the baseline
+   format regardless of the quota. *)
+let run_micro ~quota () =
   let open Bechamel in
   print_endline "\n--- micro-benchmarks (Bechamel, monotonic clock) ---";
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let rows =
+    List.map
+      (fun (name, test) ->
+        let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+        let est = ref 0.0 in
+        Hashtbl.iter
+          (fun _key raw ->
+            match Analyze.one (Analyze.ols ~bootstrap:0 ~r_square:false
+                                 ~predictors:[| Measure.run |]) instance raw with
+            | ols -> (
+                match Analyze.OLS.estimates ols with
+                | Some [ e ] -> est := e
+                | _ -> ())
+            | exception _ -> ())
+          results;
+        if !est > 0.0 then Printf.printf "%-28s %12.0f ns/run\n" name !est
+        else Printf.printf "%-28s (no estimate)\n" name;
+        (name, !est))
+      (micro_tests ())
+  in
+  flush stdout;
+  rows
+
+(* Solver-engine telemetry on example 19's ground program: the counter
+   engine vs the sweep-based reference, shifted and disjunctive — the
+   decision/propagation counts behind the E4 micro-benchmarks, recorded in
+   the baseline so propagation regressions are visible without re-deriving
+   them from wall-clock noise. *)
+let solver_telemetry () =
+  let ex19 = Workload.Paperdb.example19 in
+  let pg19 =
+    match Core.Proggen.repair_program ex19.Workload.Paperdb.d ex19.Workload.Paperdb.ics with
+    | Ok pg -> pg
+    | Error m -> failwith m
+  in
+  let ground19 = Asp.Grounder.ground pg19.Core.Proggen.program in
+  let shifted19 = Asp.Shift.ground ground19 in
+  let row name engine solve g =
+    let stats = Asp.Solver.new_stats () in
+    let models = solve ~stats g in
+    (name, engine, List.length models, stats)
+  in
+  [
+    row "E4.solve.shifted" "counter"
+      (fun ~stats g -> Asp.Solver.stable_models ~stats g) shifted19;
+    row "E4.solve.shifted" "naive"
+      (fun ~stats g -> Asp.Solver.stable_models_naive ~stats g) shifted19;
+    row "E4.solve.disjunctive" "counter"
+      (fun ~stats g -> Asp.Solver.stable_models ~stats g) ground19;
+    row "E4.solve.disjunctive" "naive"
+      (fun ~stats g -> Asp.Solver.stable_models_naive ~stats g) ground19;
+  ]
+
+let write_json path micro solver_rows =
+  let open Table in
+  let micro_rows =
+    List.map
+      (fun (name, est) ->
+        Obj [ ("name", Str name); ("ns_per_run", Num est) ])
+      micro
+  in
+  let telemetry_rows =
+    List.map
+      (fun (name, engine, models, (s : Asp.Solver.stats)) ->
+        Obj
+          [
+            ("name", Str name);
+            ("engine", Str engine);
+            ("models", Int models);
+            ("decisions", Int s.Asp.Solver.decisions);
+            ("propagations", Int s.Asp.Solver.propagations);
+            ("candidates", Int s.Asp.Solver.candidates);
+            ("minimality_checks", Int s.Asp.Solver.minimality_checks);
+            ("queue_pushes", Int s.Asp.Solver.queue_pushes);
+            ("rules_touched", Int s.Asp.Solver.rules_touched);
+          ])
+      solver_rows
+  in
+  let doc =
+    Obj
+      [
+        ("schema", Str "cqanull-bench/1");
+        ("tool", Str "bench/main.exe --json");
+        ("unit", Str "ns/run");
+        ("micro", Arr micro_rows);
+        ("solver", Arr telemetry_rows);
+      ]
+  in
+  Out_channel.with_open_text path (fun oc -> output_string oc (emit doc));
+  Printf.printf "wrote %s (%d micro rows, %d solver rows)\n" path
+    (List.length micro_rows)
+    (List.length telemetry_rows)
+
+(* --check-json: the baseline format's self-test.  Guards the stable keys
+   and the numeric fields so the file future PRs diff against cannot drift
+   silently. *)
+let check_json path =
+  let fail msg =
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 1
+  in
+  let contents =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> fail e
+  in
+  let doc = try Table.parse contents with Table.Json_error e -> fail e in
+  let str_field obj key =
+    match Table.member key obj with
+    | Some (Table.Str s) -> s
+    | _ -> fail (Printf.sprintf "missing or non-string field %S" key)
+  in
+  let num_field obj key =
+    match Table.member key obj with
+    | Some (Table.Num f) -> f
+    | Some (Table.Int i) -> float_of_int i
+    | _ -> fail (Printf.sprintf "missing or non-numeric field %S" key)
+  in
+  let int_field obj key =
+    match Table.member key obj with
+    | Some (Table.Int i) -> i
+    | _ -> fail (Printf.sprintf "missing or non-integer field %S" key)
+  in
+  let arr_field obj key =
+    match Table.member key obj with
+    | Some (Table.Arr items) -> items
+    | _ -> fail (Printf.sprintf "missing or non-array field %S" key)
+  in
+  (match str_field doc "schema" with
+  | "cqanull-bench/1" -> ()
+  | s -> fail (Printf.sprintf "unknown schema %S" s));
+  ignore (str_field doc "tool");
+  ignore (str_field doc "unit");
+  let micro = arr_field doc "micro" in
   List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
-      Hashtbl.iter
-        (fun name raw ->
-          match Analyze.one (Analyze.ols ~bootstrap:0 ~r_square:false
-                               ~predictors:[| Measure.run |]) instance raw with
-          | ols -> (
-              match Analyze.OLS.estimates ols with
-              | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n" name est
-              | _ -> Printf.printf "%-28s (no estimate)\n" name)
-          | exception _ -> Printf.printf "%-28s (analysis failed)\n" name)
-        results)
-    (micro_tests ());
-  flush stdout
+    (fun row ->
+      let name = str_field row "name" in
+      let ns = num_field row "ns_per_run" in
+      if ns < 0.0 then
+        fail (Printf.sprintf "negative ns_per_run for %S" name))
+    micro;
+  let solver = arr_field doc "solver" in
+  List.iter
+    (fun row ->
+      ignore (str_field row "name");
+      (match str_field row "engine" with
+      | "counter" | "naive" -> ()
+      | e -> fail (Printf.sprintf "unknown engine %S" e));
+      List.iter
+        (fun key ->
+          if int_field row key < 0 then
+            fail (Printf.sprintf "negative field %S" key))
+        [ "models"; "decisions"; "propagations"; "candidates";
+          "minimality_checks"; "queue_pushes"; "rules_touched" ])
+    solver;
+  Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
+    (List.length micro) (List.length solver)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let micro = List.mem "--micro" args in
-  let selected = List.filter (fun a -> a <> "--micro") args in
-  let named =
-    [ ("E1", List.nth Experiments.all 0); ("E2", List.nth Experiments.all 1);
-      ("E3", List.nth Experiments.all 2); ("E4", List.nth Experiments.all 3);
-      ("E5", List.nth Experiments.all 4); ("E6", List.nth Experiments.all 5);
-      ("E7", List.nth Experiments.all 6); ("E8", List.nth Experiments.all 7);
-      ("E9", List.nth Experiments.all 8); ("E10", List.nth Experiments.all 9);
-      ("E11", List.nth Experiments.all 10); ("E12", List.nth Experiments.all 11);
-      ("E13", List.nth Experiments.all 12); ("E14", List.nth Experiments.all 13) ]
+  let rec parse acc_names micro json check quota = function
+    | [] -> (List.rev acc_names, micro, json, check, quota)
+    | "--micro" :: rest -> parse acc_names true json check quota rest
+    | "--json" :: file :: rest -> parse acc_names micro (Some file) check quota rest
+    | "--check-json" :: file :: rest ->
+        parse acc_names micro json (Some file) quota rest
+    | "--quota" :: q :: rest -> (
+        match float_of_string_opt q with
+        | Some q when q > 0.0 -> parse acc_names micro json check q rest
+        | _ ->
+            Printf.eprintf "invalid --quota %S\n" q;
+            exit 2)
+    | ("--json" | "--check-json" | "--quota") :: [] ->
+        Printf.eprintf "missing argument\n";
+        exit 2
+    | name :: rest -> parse (name :: acc_names) micro json check quota rest
   in
-  print_endline
-    "cqanull benchmark harness — reproduction tables for 'Semantically \
-     Correct Query Answers in the Presence of Null Values' (EDBT 2006)";
-  (match selected with
-  | [] -> List.iter (fun (_, f) -> f ()) named
-  | names ->
-      List.iter
-        (fun n ->
-          match List.assoc_opt n named with
-          | Some f -> f ()
-          | None -> Printf.eprintf "unknown table %s (E1..E14)\n" n)
-        names);
-  if micro then run_micro ()
+  let selected, micro, json, check, quota = parse [] false None None 0.25 args in
+  match check with
+  | Some file -> check_json file
+  | None ->
+      let named =
+        [ ("E1", List.nth Experiments.all 0); ("E2", List.nth Experiments.all 1);
+          ("E3", List.nth Experiments.all 2); ("E4", List.nth Experiments.all 3);
+          ("E5", List.nth Experiments.all 4); ("E6", List.nth Experiments.all 5);
+          ("E7", List.nth Experiments.all 6); ("E8", List.nth Experiments.all 7);
+          ("E9", List.nth Experiments.all 8); ("E10", List.nth Experiments.all 9);
+          ("E11", List.nth Experiments.all 10); ("E12", List.nth Experiments.all 11);
+          ("E13", List.nth Experiments.all 12); ("E14", List.nth Experiments.all 13) ]
+      in
+      print_endline
+        "cqanull benchmark harness — reproduction tables for 'Semantically \
+         Correct Query Answers in the Presence of Null Values' (EDBT 2006)";
+      (match (selected, json) with
+      | [], Some _ -> ()  (* JSON mode: tables only when named explicitly *)
+      | [], None -> List.iter (fun (_, f) -> f ()) named
+      | names, _ ->
+          List.iter
+            (fun n ->
+              match List.assoc_opt n named with
+              | Some f -> f ()
+              | None -> Printf.eprintf "unknown table %s (E1..E14)\n" n)
+            names);
+      let micro_rows =
+        if micro || json <> None then run_micro ~quota () else []
+      in
+      match json with
+      | Some file -> write_json file micro_rows (solver_telemetry ())
+      | None -> ()

@@ -1,1 +1,1 @@
-lib/asp/solver.ml: Array Fmt Ground Hashtbl Int List Set
+lib/asp/solver.ml: Array Fmt Ground Int List Queue Set

@@ -12,17 +12,25 @@ let compare_gatom a b =
 
 type grule = { ghead : int array; gpos : int array; gneg : int array }
 
+type index = {
+  idx_rules : grule array;
+  head_occ : int array array;
+  pos_occ : int array array;
+  neg_occ : int array array;
+}
+
 type t = {
   ids : (gatom, int) Hashtbl.t;
   mutable names : gatom array;
   mutable next : int;
   mutable rule_list : grule list;
   mutable nrules : int;
+  mutable idx : index option;
 }
 
 let create () =
   { ids = Hashtbl.create 256; names = Array.make 256 { gpred = ""; gargs = [] };
-    next = 0; rule_list = []; nrules = 0 }
+    next = 0; rule_list = []; nrules = 0; idx = None }
 
 let intern t a =
   match Hashtbl.find_opt t.ids a with
@@ -37,6 +45,7 @@ let intern t a =
       t.names.(i) <- a;
       Hashtbl.add t.ids a i;
       t.next <- i + 1;
+      t.idx <- None;
       i
 
 let find t a = Hashtbl.find_opt t.ids a
@@ -45,10 +54,56 @@ let atom_count t = t.next
 
 let add_rule t r =
   t.rule_list <- r :: t.rule_list;
-  t.nrules <- t.nrules + 1
+  t.nrules <- t.nrules + 1;
+  t.idx <- None
 
 let rules t = Array.of_list (List.rev t.rule_list)
 let rule_count t = t.nrules
+
+(* Occurrence lists are built by a counting pass followed by a fill pass,
+   so each per-atom array is allocated exactly once at its final size.  An
+   atom occurring k times in one rule contributes k entries — the solver's
+   counters are occurrence counts, and the two must agree. *)
+let build_index t =
+  let rs = rules t in
+  let n = atom_count t in
+  let count_h = Array.make n 0
+  and count_p = Array.make n 0
+  and count_n = Array.make n 0 in
+  Array.iter
+    (fun r ->
+      Array.iter (fun a -> count_h.(a) <- count_h.(a) + 1) r.ghead;
+      Array.iter (fun a -> count_p.(a) <- count_p.(a) + 1) r.gpos;
+      Array.iter (fun a -> count_n.(a) <- count_n.(a) + 1) r.gneg)
+    rs;
+  let alloc counts = Array.init n (fun a -> Array.make counts.(a) 0) in
+  let head_occ = alloc count_h
+  and pos_occ = alloc count_p
+  and neg_occ = alloc count_n in
+  let fill_h = Array.make n 0
+  and fill_p = Array.make n 0
+  and fill_n = Array.make n 0 in
+  Array.iteri
+    (fun ri r ->
+      Array.iter
+        (fun a -> head_occ.(a).(fill_h.(a)) <- ri; fill_h.(a) <- fill_h.(a) + 1)
+        r.ghead;
+      Array.iter
+        (fun a -> pos_occ.(a).(fill_p.(a)) <- ri; fill_p.(a) <- fill_p.(a) + 1)
+        r.gpos;
+      Array.iter
+        (fun a -> neg_occ.(a).(fill_n.(a)) <- ri; fill_n.(a) <- fill_n.(a) + 1)
+        r.gneg)
+    rs;
+  { idx_rules = rs; head_occ; pos_occ; neg_occ }
+
+let index t =
+  match t.idx with
+  | Some idx -> idx
+  | None ->
+      let idx = build_index t in
+      t.idx <- Some idx;
+      idx
 
 let pp_rule t ppf r =
   let atoms l = Array.to_list (Array.map (atom_of t) l) in

@@ -25,16 +25,22 @@ let ground g =
       match Array.length r.Ground.ghead with
       | 0 | 1 -> Ground.add_rule g' r
       | _ ->
-          Array.iter
+          (* one disjunct per shifted rule, the others negated; the head
+             and negative-body lists are converted once per rule, not once
+             per disjunct *)
+          let head = Array.to_list r.Ground.ghead in
+          let gneg = Array.to_list r.Ground.gneg in
+          List.iter
             (fun h ->
-              let others =
-                Array.of_list
-                  (List.filter (fun h' -> h' <> h) (Array.to_list r.Ground.ghead))
+              let others = List.filter (fun h' -> h' <> h) head in
+              let neg =
+                Array.of_list (List.sort_uniq Int.compare (others @ gneg))
               in
-              let neg = Array.append r.Ground.gneg others in
-              let neg = Array.of_list (List.sort_uniq Int.compare (Array.to_list neg)) in
               Ground.add_rule g'
                 { Ground.ghead = [| h |]; gpos = r.Ground.gpos; gneg = neg })
-            r.Ground.ghead)
+            head)
     (Ground.rules g);
+  (* shifting is always followed by solving: build the occurrence index of
+     the result eagerly so it is not charged to the first propagation *)
+  ignore (Ground.index g');
   g'

@@ -5,14 +5,20 @@ type stats = {
   mutable propagations : int;
   mutable candidates : int;
   mutable minimality_checks : int;
+  mutable queue_pushes : int;
+  mutable rules_touched : int;
 }
 
 let new_stats () =
-  { decisions = 0; propagations = 0; candidates = 0; minimality_checks = 0 }
+  { decisions = 0; propagations = 0; candidates = 0; minimality_checks = 0;
+    queue_pushes = 0; rules_touched = 0 }
 
 let pp_stats ppf s =
-  Fmt.pf ppf "decisions=%d propagations=%d candidates=%d minimality_checks=%d"
-    s.decisions s.propagations s.candidates s.minimality_checks
+  Fmt.pf ppf
+    "decisions=%d propagations=%d candidates=%d minimality_checks=%d \
+     queue_pushes=%d rules_touched=%d"
+    s.decisions s.propagations s.candidates s.minimality_checks s.queue_pushes
+    s.rules_touched
 
 (* Assignment values *)
 let unk = 0
@@ -22,67 +28,163 @@ let fls = 2
 module Iset = Set.Make (Int)
 
 (* ------------------------------------------------------------------ *)
-(* Gelfond-Lifschitz reduct and stability checking *)
+(* Gelfond-Lifschitz reduct and stability checking.
 
-let reduct rules m_set =
+   Membership in the candidate M is tested through a dense bool array
+   rather than a balanced set — every hot path below probes it per literal
+   occurrence. *)
+
+let reduct rules in_m =
   rules
   |> Array.to_list
   |> List.filter_map (fun (r : Ground.grule) ->
-         if Array.exists (fun x -> Iset.mem x m_set) r.Ground.gneg then None
+         if Array.exists (fun x -> in_m.(x)) r.Ground.gneg then None
          else Some (r.Ground.ghead, r.Ground.gpos))
 
-(* Least model of the definite part of a positive reduct (all heads
-   singletons; empty heads are constraints and must have unsatisfied
-   bodies). *)
-let normal_reduct_stable reduct_rules m_set =
-  let derived = Hashtbl.create 64 in
-  let changed = ref true in
-  let holds x = Hashtbl.mem derived x in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun (head, pos) ->
-        match head with
-        | [| h |] ->
-            if (not (holds h)) && Array.for_all holds pos then begin
-              Hashtbl.add derived h ();
-              changed := true
-            end
-        | _ -> ())
-      reduct_rules
+(* Least model of the definite part of a positive reduct, by
+   Dowling-Gallier counting: each rule keeps the number of its not yet
+   derived positive occurrences, and deriving an atom decrements the
+   counter of every rule occurrence of that atom; a rule fires when its
+   counter hits zero.  Empty heads are constraints and must have
+   unsatisfied bodies (M classically satisfies them, and we only accept
+   when the least model equals M).  Derivation of any atom outside M
+   refutes equality immediately. *)
+let normal_reduct_stable ~n reduct_rules in_m m_size =
+  let rules_arr = Array.of_list reduct_rules in
+  let nr = Array.length rules_arr in
+  let remaining = Array.make nr 0 in
+  let pocc = Array.make n [] in
+  Array.iteri
+    (fun ri (_, pos) ->
+      remaining.(ri) <- Array.length pos;
+      Array.iter (fun p -> pocc.(p) <- ri :: pocc.(p)) pos)
+    rules_arr;
+  let derived = Array.make n false in
+  let count = ref 0 in
+  let inside = ref true in
+  let q = Queue.create () in
+  let derive h =
+    if not derived.(h) then begin
+      derived.(h) <- true;
+      if in_m.(h) then incr count else inside := false;
+      List.iter
+        (fun ri ->
+          remaining.(ri) <- remaining.(ri) - 1;
+          if remaining.(ri) = 0 then Queue.add ri q)
+        pocc.(h)
+    end
+  in
+  Array.iteri (fun ri _ -> if remaining.(ri) = 0 then Queue.add ri q) rules_arr;
+  while !inside && not (Queue.is_empty q) do
+    let ri = Queue.pop q in
+    match fst rules_arr.(ri) with [| h |] -> derive h | _ -> ()
   done;
-  let lfp = Hashtbl.fold (fun x () acc -> Iset.add x acc) derived Iset.empty in
-  Iset.equal lfp m_set
+  !inside && !count = m_size
 
 (* Search for a model of the positive reduct properly contained in M.
    Clauses range over the atoms of M only: a reduct rule with some positive
    body atom outside M is vacuously satisfied by any M' ⊆ M, and head atoms
-   outside M are false in any such M'. *)
-let exists_smaller_model ?stats reduct_rules m_set =
-  (match stats with Some s -> s.minimality_checks <- s.minimality_checks + 1 | None -> ());
-  let atoms = Array.of_list (Iset.elements m_set) in
-  let n = Array.length atoms in
-  let index = Hashtbl.create (2 * n) in
-  Array.iteri (fun i x -> Hashtbl.replace index x i) atoms;
+   outside M are false in any such M'.
+
+   The sub-search runs the same counter machinery as the main solver:
+   per-clause (#true-head, #unassigned-head, #false-pos, #unassigned-pos)
+   counters, occurrence lists over the local atom indexes, a worklist of
+   clauses to re-examine, and a satisfied-clause count so the "all clauses
+   satisfied" test is O(1). *)
+let exists_smaller_model ?stats ~n reduct_rules in_m m_list =
+  (match stats with
+  | Some s -> s.minimality_checks <- s.minimality_checks + 1
+  | None -> ());
+  let atoms = Array.of_list m_list in
+  let nm = Array.length atoms in
+  let local = Array.make n (-1) in
+  Array.iteri (fun i x -> local.(x) <- i) atoms;
   let clauses =
     List.filter_map
       (fun (head, pos) ->
-        if Array.for_all (fun p -> Iset.mem p m_set) pos then
+        if Array.for_all (fun p -> in_m.(p)) pos then
           let head_in =
             Array.to_list head
-            |> List.filter_map (fun h -> Hashtbl.find_opt index h)
+            |> List.filter_map (fun h -> if in_m.(h) then Some local.(h) else None)
+            |> Array.of_list
           in
-          let pos_in = Array.to_list pos |> List.map (Hashtbl.find index) in
+          let pos_in = Array.map (fun p -> local.(p)) pos in
           (* clause: one of head_in true, or one of pos_in false *)
-          Some (Array.of_list head_in, Array.of_list pos_in)
+          Some (head_in, pos_in)
         else None)
       reduct_rules
+    |> Array.of_list
   in
-  let value = Array.make n unk in
+  let nc = Array.length clauses in
+  let head_true = Array.make nc 0 in
+  let head_unk = Array.make nc 0 in
+  let pos_false = Array.make nc 0 in
+  let pos_unk = Array.make nc 0 in
+  let hocc = Array.make nm [] in
+  let pocc = Array.make nm [] in
+  Array.iteri
+    (fun c (head, pos) ->
+      head_unk.(c) <- Array.length head;
+      pos_unk.(c) <- Array.length pos;
+      Array.iter (fun h -> hocc.(h) <- c :: hocc.(h)) head;
+      Array.iter (fun p -> pocc.(p) <- c :: pocc.(p)) pos)
+    clauses;
+  let satisfied c = head_true.(c) > 0 || pos_false.(c) > 0 in
+  let n_sat = ref 0 in
+  let n_true = ref 0 in
+  let value = Array.make nm unk in
+  let q = Queue.create () in
+  let inq = Array.make nc false in
+  let push c =
+    if (not inq.(c)) && not (satisfied c) then begin
+      inq.(c) <- true;
+      Queue.add c q
+    end
+  in
+  let clear_queue () =
+    Queue.iter (fun c -> inq.(c) <- false) q;
+    Queue.clear q
+  in
   let trail = ref [] in
   let assign i v =
     value.(i) <- v;
-    trail := i :: !trail
+    trail := i :: !trail;
+    if v = tru then incr n_true;
+    List.iter
+      (fun c ->
+        let was = satisfied c in
+        head_unk.(c) <- head_unk.(c) - 1;
+        if v = tru then head_true.(c) <- head_true.(c) + 1;
+        if (not was) && satisfied c then incr n_sat;
+        push c)
+      hocc.(i);
+    List.iter
+      (fun c ->
+        let was = satisfied c in
+        pos_unk.(c) <- pos_unk.(c) - 1;
+        if v = fls then pos_false.(c) <- pos_false.(c) + 1;
+        if (not was) && satisfied c then incr n_sat;
+        push c)
+      pocc.(i)
+  in
+  let unassign i =
+    let v = value.(i) in
+    value.(i) <- unk;
+    if v = tru then decr n_true;
+    List.iter
+      (fun c ->
+        let was = satisfied c in
+        head_unk.(c) <- head_unk.(c) + 1;
+        if v = tru then head_true.(c) <- head_true.(c) - 1;
+        if was && not (satisfied c) then decr n_sat)
+      hocc.(i);
+    List.iter
+      (fun c ->
+        let was = satisfied c in
+        pos_unk.(c) <- pos_unk.(c) + 1;
+        if v = fls then pos_false.(c) <- pos_false.(c) - 1;
+        if was && not (satisfied c) then decr n_sat)
+      pocc.(i)
   in
   let undo_to mark =
     let rec go () =
@@ -90,78 +192,52 @@ let exists_smaller_model ?stats reduct_rules m_set =
         match !trail with
         | [] -> ()
         | i :: rest ->
-            value.(i) <- unk;
             trail := rest;
+            unassign i;
             go ()
     in
     go ()
   in
   let exception Conflict in
   let exception Found in
-  (* propagate all clauses once; returns true if any assignment was made *)
-  let propagate_once () =
-    let progress = ref false in
-    List.iter
-      (fun (head, pos) ->
-        let satisfied =
-          Array.exists (fun h -> value.(h) = tru) head
-          || Array.exists (fun p -> value.(p) = fls) pos
-        in
-        if not satisfied then begin
-          let unassigned = ref [] in
-          Array.iter (fun h -> if value.(h) = unk then unassigned := `H h :: !unassigned) head;
-          Array.iter (fun p -> if value.(p) = unk then unassigned := `P p :: !unassigned) pos;
-          match !unassigned with
-          | [] -> raise Conflict
-          | [ `H h ] ->
-              assign h tru;
-              progress := true
-          | [ `P p ] ->
-              assign p fls;
-              progress := true
-          | _ -> ()
-        end)
-      clauses;
-    !progress
+  let process c =
+    inq.(c) <- false;
+    if not (satisfied c) then
+      match head_unk.(c) + pos_unk.(c) with
+      | 0 -> raise Conflict
+      | 1 ->
+          let head, pos = clauses.(c) in
+          if head_unk.(c) > 0 then
+            Array.iter (fun h -> if value.(h) = unk then assign h tru) head
+          else Array.iter (fun p -> if value.(p) = unk then assign p fls) pos
+      | _ -> ()
   in
-  let propagate () = while propagate_once () do () done in
-  let all_satisfied () =
-    List.for_all
-      (fun (head, pos) ->
-        Array.exists (fun h -> value.(h) = tru) head
-        || Array.exists (fun p -> value.(p) = fls) pos)
-      clauses
-  in
-  let proper () =
-    (* with unassigned atoms completed to false: proper subset iff some atom
-       is false or unassigned *)
-    Array.exists (fun v -> v <> tru) value
+  let propagate () = while not (Queue.is_empty q) do process (Queue.pop q) done in
+  let pick_branch () =
+    let res = ref None in
+    (try
+       for c = 0 to nc - 1 do
+         if not (satisfied c) then begin
+           let head, pos = clauses.(c) in
+           Array.iter (fun h -> if !res = None && value.(h) = unk then res := Some h) head;
+           Array.iter (fun p -> if !res = None && value.(p) = unk then res := Some p) pos;
+           if !res <> None then raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
   in
   let rec search () =
     let mark = !trail in
     (try
        propagate ();
-       if all_satisfied () then begin
-         if proper () then raise Found
+       if !n_sat = nc then begin
+         (* with unassigned atoms completed to false: proper subset iff
+            some atom is false or unassigned *)
+         if !n_true < nm then raise Found
        end
        else begin
-         (* branch on an unassigned atom of an unsatisfied clause *)
-         let pick =
-           List.find_map
-             (fun (head, pos) ->
-               let satisfied =
-                 Array.exists (fun h -> value.(h) = tru) head
-                 || Array.exists (fun p -> value.(p) = fls) pos
-               in
-               if satisfied then None
-               else
-                 let cand = ref None in
-                 Array.iter (fun h -> if !cand = None && value.(h) = unk then cand := Some h) head;
-                 Array.iter (fun p -> if !cand = None && value.(p) = unk then cand := Some p) pos;
-                 !cand)
-             clauses
-         in
-         match pick with
+         match pick_branch () with
          | None -> ()
          | Some i ->
              let mark2 = !trail in
@@ -172,39 +248,312 @@ let exists_smaller_model ?stats reduct_rules m_set =
              search ();
              undo_to mark2
        end
-     with Conflict -> ());
+     with Conflict -> clear_queue ());
     undo_to mark
   in
   try
+    for c = 0 to nc - 1 do push c done;
     search ();
     false
   with Found -> true
 
-let is_stable_in rules ?stats m =
-  let m_set = Iset.of_list m in
+let is_stable_in ~n rules ?stats m =
+  let in_m = Array.make n false in
+  List.iter (fun a -> in_m.(a) <- true) m;
   (* M must classically satisfy every rule *)
   let models_rule (r : Ground.grule) =
-    Array.exists (fun h -> Iset.mem h m_set) r.Ground.ghead
-    || Array.exists (fun p -> not (Iset.mem p m_set)) r.Ground.gpos
-    || Array.exists (fun x -> Iset.mem x m_set) r.Ground.gneg
+    Array.exists (fun h -> in_m.(h)) r.Ground.ghead
+    || Array.exists (fun p -> not in_m.(p)) r.Ground.gpos
+    || Array.exists (fun x -> in_m.(x)) r.Ground.gneg
   in
   Array.for_all models_rule rules
   &&
-  let red = reduct rules m_set in
+  let red = reduct rules in_m in
   let normal = List.for_all (fun (h, _) -> Array.length h <= 1) red in
-  if normal then normal_reduct_stable red m_set
+  if normal then normal_reduct_stable ~n red in_m (List.length m)
   else
     (* constraints of the reduct are classically satisfied by M; minimality
        is the remaining question *)
-    not (exists_smaller_model ?stats red m_set)
+    not (exists_smaller_model ?stats ~n red in_m m)
 
-let is_stable_model g m = is_stable_in (Ground.rules g) m
+let is_stable_model g m = is_stable_in ~n:(Ground.atom_count g) (Ground.rules g) m
 
 (* ------------------------------------------------------------------ *)
-(* Enumeration of stable models *)
+(* Enumeration of stable models: counter-based propagation engine.
+
+   Per rule, six occurrence counters track the current assignment:
+   #true-head, #unassigned-head, #false-pos, #unassigned-pos, #true-neg,
+   #unassigned-neg.  A rule is classically satisfied iff
+   true-head + false-pos + true-neg > 0, and unit iff unsatisfied with
+   exactly one unassigned occurrence.  Assigning an atom updates only the
+   counters of the rules in its occurrence lists (Ground.index) and pushes
+   those rules on a worklist; backtracking reverses the same per-occurrence
+   updates off the trail, so restore costs what the assignment cost.
+
+   Support propagation keeps, per atom, a live-supporter count: the number
+   of head occurrences of the atom in rules whose body is not yet
+   classically false.  Bodies die (and revive on backtrack) at the
+   0 <-> >0 transitions of #false-pos + #true-neg; a true atom whose count
+   hits 0 is a conflict, and at 1 the single remaining supporter's body is
+   forced, exactly like the sweep-based reference solver. *)
 
 let stable_models ?limit ?(max_decisions = 10_000_000) ?(support_propagation = true)
     ?stats g =
+  let stats = match stats with Some s -> s | None -> new_stats () in
+  let { Ground.idx_rules = rules; head_occ; pos_occ; neg_occ } = Ground.index g in
+  let nr = Array.length rules in
+  let n = Ground.atom_count g in
+  let value = Array.make n unk in
+  let head_true = Array.make nr 0 in
+  let head_unk = Array.make nr 0 in
+  let pos_false = Array.make nr 0 in
+  let pos_unk = Array.make nr 0 in
+  let neg_true = Array.make nr 0 in
+  let neg_unk = Array.make nr 0 in
+  let body_dead = Array.make nr false in
+  let live_supp = Array.make n 0 in
+  Array.iteri
+    (fun ri (r : Ground.grule) ->
+      head_unk.(ri) <- Array.length r.Ground.ghead;
+      pos_unk.(ri) <- Array.length r.Ground.gpos;
+      neg_unk.(ri) <- Array.length r.Ground.gneg)
+    rules;
+  for a = 0 to n - 1 do
+    live_supp.(a) <- Array.length head_occ.(a)
+  done;
+  let satisfied ri =
+    head_true.(ri) > 0 || pos_false.(ri) > 0 || neg_true.(ri) > 0
+  in
+  let rule_q = Queue.create () in
+  let rule_inq = Array.make nr false in
+  let supp_q = Queue.create () in
+  let supp_inq = Array.make n false in
+  let push_rule ri =
+    if (not rule_inq.(ri)) && not (satisfied ri) then begin
+      rule_inq.(ri) <- true;
+      Queue.add ri rule_q;
+      stats.queue_pushes <- stats.queue_pushes + 1
+    end
+  in
+  let push_supp a =
+    if support_propagation && not supp_inq.(a) then begin
+      supp_inq.(a) <- true;
+      Queue.add a supp_q;
+      stats.queue_pushes <- stats.queue_pushes + 1
+    end
+  in
+  let clear_queues () =
+    Queue.iter (fun ri -> rule_inq.(ri) <- false) rule_q;
+    Queue.clear rule_q;
+    Queue.iter (fun a -> supp_inq.(a) <- false) supp_q;
+    Queue.clear supp_q
+  in
+  (* body liveness transitions, forward (kill) and on undo (revive) *)
+  let sync_dead ri =
+    let dead = pos_false.(ri) > 0 || neg_true.(ri) > 0 in
+    if dead <> body_dead.(ri) then begin
+      body_dead.(ri) <- dead;
+      let delta = if dead then -1 else 1 in
+      Array.iter
+        (fun h ->
+          live_supp.(h) <- live_supp.(h) + delta;
+          if dead && value.(h) = tru then push_supp h)
+        rules.(ri).Ground.ghead
+    end
+  in
+  let trail = ref [] in
+  let assign a v =
+    value.(a) <- v;
+    trail := a :: !trail;
+    stats.propagations <- stats.propagations + 1;
+    Array.iter
+      (fun ri ->
+        head_unk.(ri) <- head_unk.(ri) - 1;
+        if v = tru then head_true.(ri) <- head_true.(ri) + 1;
+        push_rule ri)
+      head_occ.(a);
+    Array.iter
+      (fun ri ->
+        pos_unk.(ri) <- pos_unk.(ri) - 1;
+        if v = fls then begin
+          pos_false.(ri) <- pos_false.(ri) + 1;
+          sync_dead ri
+        end;
+        push_rule ri)
+      pos_occ.(a);
+    Array.iter
+      (fun ri ->
+        neg_unk.(ri) <- neg_unk.(ri) - 1;
+        if v = tru then begin
+          neg_true.(ri) <- neg_true.(ri) + 1;
+          sync_dead ri
+        end;
+        push_rule ri)
+      neg_occ.(a);
+    if v = tru then push_supp a
+  in
+  let unassign a =
+    let v = value.(a) in
+    value.(a) <- unk;
+    Array.iter
+      (fun ri ->
+        head_unk.(ri) <- head_unk.(ri) + 1;
+        if v = tru then head_true.(ri) <- head_true.(ri) - 1)
+      head_occ.(a);
+    Array.iter
+      (fun ri ->
+        pos_unk.(ri) <- pos_unk.(ri) + 1;
+        if v = fls then begin
+          pos_false.(ri) <- pos_false.(ri) - 1;
+          sync_dead ri
+        end)
+      pos_occ.(a);
+    Array.iter
+      (fun ri ->
+        neg_unk.(ri) <- neg_unk.(ri) + 1;
+        if v = tru then begin
+          neg_true.(ri) <- neg_true.(ri) - 1;
+          sync_dead ri
+        end)
+      neg_occ.(a)
+  in
+  let undo_to mark =
+    let rec go () =
+      if !trail != mark then
+        match !trail with
+        | [] -> ()
+        | a :: rest ->
+            trail := rest;
+            unassign a;
+            go ()
+    in
+    go ()
+  in
+  let exception Conflict in
+  let exception Done in
+  let models = ref [] in
+  let count = ref 0 in
+  let process_rule ri =
+    rule_inq.(ri) <- false;
+    stats.rules_touched <- stats.rules_touched + 1;
+    if not (satisfied ri) then
+      match head_unk.(ri) + pos_unk.(ri) + neg_unk.(ri) with
+      | 0 -> raise Conflict
+      | 1 ->
+          let r = rules.(ri) in
+          if head_unk.(ri) > 0 then
+            Array.iter (fun h -> if value.(h) = unk then assign h tru) r.Ground.ghead
+          else if pos_unk.(ri) > 0 then
+            Array.iter (fun p -> if value.(p) = unk then assign p fls) r.Ground.gpos
+          else
+            Array.iter (fun x -> if value.(x) = unk then assign x tru) r.Ground.gneg
+      | _ -> ()
+  in
+  let process_supp a =
+    supp_inq.(a) <- false;
+    if value.(a) = tru then
+      match live_supp.(a) with
+      | 0 -> raise Conflict
+      | 1 ->
+          let occ = head_occ.(a) in
+          stats.rules_touched <- stats.rules_touched + Array.length occ;
+          let found = ref (-1) in
+          Array.iter (fun ri -> if !found = -1 && not body_dead.(ri) then found := ri) occ;
+          if !found >= 0 then begin
+            let r = rules.(!found) in
+            Array.iter (fun p -> if value.(p) = unk then assign p tru) r.Ground.gpos;
+            Array.iter (fun x -> if value.(x) = unk then assign x fls) r.Ground.gneg
+          end
+      | _ -> ()
+  in
+  let propagate () =
+    while not (Queue.is_empty rule_q && Queue.is_empty supp_q) do
+      if not (Queue.is_empty rule_q) then process_rule (Queue.pop rule_q)
+      else process_supp (Queue.pop supp_q)
+    done
+  in
+  let pick_branch () =
+    let res = ref None in
+    (try
+       for ri = 0 to nr - 1 do
+         if not (satisfied ri) then begin
+           let r = rules.(ri) in
+           Array.iter
+             (fun h -> if !res = None && value.(h) = unk then res := Some h)
+             r.Ground.ghead;
+           Array.iter
+             (fun p -> if !res = None && value.(p) = unk then res := Some p)
+             r.Ground.gpos;
+           Array.iter
+             (fun x -> if !res = None && value.(x) = unk then res := Some x)
+             r.Ground.gneg;
+           if !res <> None then raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
+  in
+  let record_candidate () =
+    stats.candidates <- stats.candidates + 1;
+    let m = ref [] in
+    for i = n - 1 downto 0 do
+      if value.(i) = tru then m := i :: !m
+    done;
+    let m = !m in
+    if is_stable_in ~n rules ~stats m then begin
+      models := m :: !models;
+      incr count;
+      match limit with Some l when !count >= l -> raise Done | _ -> ()
+    end
+  in
+  let rec search () =
+    let mark = !trail in
+    (try
+       propagate ();
+       match pick_branch () with
+       | None -> record_candidate ()
+       | Some i ->
+           stats.decisions <- stats.decisions + 1;
+           if stats.decisions > max_decisions then
+             raise (Budget_exceeded max_decisions);
+           let mark2 = !trail in
+           assign i fls;
+           search ();
+           undo_to mark2;
+           assign i tru;
+           search ();
+           undo_to mark2
+     with Conflict -> clear_queues ());
+    undo_to mark
+  in
+  (try
+     (* seed the worklist with every rule (facts become units, an empty
+        constraint conflicts immediately) and fix atoms occurring in no
+        head to false — they are unsupported in every stable model *)
+     for ri = 0 to nr - 1 do
+       push_rule ri
+     done;
+     for a = 0 to n - 1 do
+       if Array.length head_occ.(a) = 0 then assign a fls
+     done;
+     search ()
+   with Done -> ());
+  (* deterministic order: sort models *)
+  List.sort (List.compare Int.compare) !models
+
+(* ------------------------------------------------------------------ *)
+(* Sweep-based reference solver.
+
+   The pre-index implementation, kept verbatim as a differential-testing
+   oracle (the qcheck property in test_asp.ml asserts model-set equality
+   against it) and as the baseline of the E4/E12 before/after numbers.
+   Unit propagation re-scans the whole rule array to fixpoint after every
+   assignment; support propagation re-filters every true atom's supporter
+   list.  [rules_touched] counts those per-rule visits, which is what the
+   occurrence-list engine above is measured against. *)
+
+let stable_models_naive ?limit ?(max_decisions = 10_000_000)
+    ?(support_propagation = true) ?stats g =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let rules = Ground.rules g in
   let n = Ground.atom_count g in
@@ -251,6 +600,7 @@ let stable_models ?limit ?(max_decisions = 10_000_000) ?(support_propagation = t
     let progress = ref false in
     Array.iter
       (fun (r : Ground.grule) ->
+        stats.rules_touched <- stats.rules_touched + 1;
         if not (rule_satisfied r) then begin
           let unassigned = ref [] in
           let note kind i = unassigned := (kind, i) :: !unassigned in
@@ -283,6 +633,7 @@ let stable_models ?limit ?(max_decisions = 10_000_000) ?(support_propagation = t
     let progress = ref false in
     for i = 0 to n - 1 do
       if value.(i) = tru then begin
+        stats.rules_touched <- stats.rules_touched + List.length supporters.(i);
         match List.filter (fun r -> not (body_false r)) supporters.(i) with
         | [] -> raise Conflict
         | [ r ] ->
@@ -341,7 +692,7 @@ let stable_models ?limit ?(max_decisions = 10_000_000) ?(support_propagation = t
       if value.(i) = tru then m := i :: !m
     done;
     let m = !m in
-    if is_stable_in rules ~stats m then begin
+    if is_stable_in ~n rules ~stats m then begin
       models := m :: !models;
       incr count;
       match limit with Some l when !count >= l -> raise Done | _ -> ()
@@ -375,13 +726,20 @@ let stable_models_atoms ?limit ?max_decisions ?stats g =
   stable_models ?limit ?max_decisions ?stats g
   |> List.map (fun m -> Ground.model_atoms g m)
 
+(* Cautious/brave consequences over the already-sorted model list, by set
+   intersection/union instead of the quadratic List.mem filters. *)
+
 let cautious ?max_decisions g =
   match stable_models ?max_decisions g with
   | [] -> []
   | m :: rest ->
-      List.fold_left
-        (fun acc model -> List.filter (fun x -> List.mem x model) acc)
-        m rest
+      Iset.elements
+        (List.fold_left
+           (fun acc model -> Iset.inter acc (Iset.of_list model))
+           (Iset.of_list m) rest)
 
 let brave ?max_decisions g =
-  List.sort_uniq Int.compare (List.concat (stable_models ?max_decisions g))
+  Iset.elements
+    (List.fold_left
+       (fun acc model -> Iset.union acc (Iset.of_list model))
+       Iset.empty (stable_models ?max_decisions g))

@@ -9,11 +9,23 @@
 
     - for a {e normal} candidate program (every head a singleton) the
       Gelfond-Lifschitz reduct [P^M] is definite and [M] is stable iff it
-      equals the least model of [P^M];
+      equals the least model of [P^M] (computed by Dowling-Gallier
+      counting);
     - for a disjunctive program the reduct is positive-disjunctive, and
       stability means [<=]-minimality: a secondary search looks for a model
       of the reduct properly contained in [M] (this sub-problem is the
       coNP-hard part of the Pi^p_2-completeness of the semantics [16]).
+
+    Propagation is {e counter-based}: the occurrence index of the ground
+    program ({!Ground.index}) maps each atom to the rules mentioning it,
+    every rule keeps occurrence counters over the current assignment
+    (#true-head, #unassigned-head, #false-pos, ...), and each assignment
+    updates only the counters of the rules in the assigned atom's
+    occurrence lists, feeding a worklist of rules to re-examine.
+    Backtracking replays the same per-occurrence updates in reverse off the
+    trail.  Support propagation keeps a live-supporter count per atom
+    instead of re-filtering supporter lists.  See DESIGN.md, "Solver
+    architecture", for the counter invariants.
 
     Atoms that occur in no rule head are fixed to false up front — they are
     unsupported in every stable model. *)
@@ -25,6 +37,14 @@ type stats = {
   mutable propagations : int;    (** literals forced by unit propagation *)
   mutable candidates : int;      (** total models reaching the stability check *)
   mutable minimality_checks : int;  (** disjunctive minimality sub-searches *)
+  mutable queue_pushes : int;
+      (** worklist insertions (rules and support-check atoms); always 0 for
+          the sweep-based {!stable_models_naive} *)
+  mutable rules_touched : int;
+      (** rules examined by unit/support propagation: queue pops plus
+          supporter-list scans for the counter engine, one per rule per
+          sweep (plus supporter-list lengths) for the naive engine — the
+          before/after metric of the occurrence-index rewrite *)
 }
 
 val stable_models :
@@ -37,6 +57,15 @@ val stable_models :
     ablation bench (table E12) — the result is identical, the search
     exponentially wider.
     @raise Budget_exceeded when the bound is hit. *)
+
+val stable_models_naive :
+  ?limit:int -> ?max_decisions:int -> ?support_propagation:bool ->
+  ?stats:stats -> Ground.t -> int list list
+(** The sweep-based reference implementation (full rule-array re-scan per
+    propagation pass, supporter-list re-filtering per true atom).  Same
+    arguments, same result as {!stable_models} — kept as the differential
+    oracle for the property tests and the baseline of the E4 before/after
+    numbers.  Not used on any production path. *)
 
 val stable_models_atoms :
   ?limit:int -> ?max_decisions:int -> ?stats:stats -> Ground.t ->
@@ -52,11 +81,11 @@ val pp_stats : stats Fmt.t
 
 val cautious :
   ?max_decisions:int -> Ground.t -> int list
-(** Atoms true in every stable model (empty if there is no stable model —
-    by convention of cautious reasoning over an inconsistent program every
-    atom is a consequence, but the repair setting guarantees models
-    whenever [IC] is non-conflicting, so we return the intersection of an
-    empty family as the empty list and let callers decide). *)
+(** Atoms true in every stable model, ascending (empty if there is no
+    stable model — by convention of cautious reasoning over an inconsistent
+    program every atom is a consequence, but the repair setting guarantees
+    models whenever [IC] is non-conflicting, so we return the intersection
+    of an empty family as the empty list and let callers decide). *)
 
 val brave : ?max_decisions:int -> Ground.t -> int list
-(** Atoms true in at least one stable model. *)
+(** Atoms true in at least one stable model, ascending. *)

@@ -10,7 +10,8 @@ type report = {
   solver : Asp.Solver.stats;
 }
 
-let run ?variant ?optimize ?(shift = true) ?max_decisions d ics =
+let run ?variant ?optimize ?(shift = true) ?(solver = `Counter) ?max_decisions d
+    ics =
   Result.map
     (fun (pg : Proggen.t) ->
       let ground = Asp.Grounder.ground pg.Proggen.program in
@@ -18,7 +19,15 @@ let run ?variant ?optimize ?(shift = true) ?max_decisions d ics =
       let shifted = shift && hcf in
       let solvable = if shifted then Asp.Shift.ground ground else ground in
       let stats = Asp.Solver.new_stats () in
-      let models = Asp.Solver.stable_models_atoms ?max_decisions ~stats solvable in
+      let solve =
+        match solver with
+        | `Counter -> Asp.Solver.stable_models
+        | `Naive -> Asp.Solver.stable_models_naive
+      in
+      let models =
+        solve ?max_decisions ~stats solvable
+        |> List.map (Asp.Ground.model_atoms solvable)
+      in
       let extracted = Extract.databases_of_models pg.Proggen.names models in
       (* For RIC-acyclic IC the stable models are exactly the repairs
          (Theorem 4) and this filter is a no-op.  For cyclic sets the

@@ -18,14 +18,18 @@ val run :
   ?variant:Proggen.variant ->
   ?optimize:bool ->
   ?shift:bool ->
+  ?solver:[ `Counter | `Naive ] ->
   ?max_decisions:int ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   (report, string) result
 (** [shift] defaults to true: the ground program is shifted to a normal one
     whenever it is HCF (Section 6); pass false to always solve the
-    disjunctive program directly (used by bench table E4).  [optimize]
-    applies the relevance pruning of {!Proggen.repair_program}. *)
+    disjunctive program directly (used by bench table E4).  [solver]
+    selects the stable-model engine: [`Counter] (default) is the
+    occurrence-indexed counter-propagation engine, [`Naive] the sweep-based
+    reference — the E4 before/after columns run both through this switch.
+    [optimize] applies the relevance pruning of {!Proggen.repair_program}. *)
 
 val repairs :
   ?variant:Proggen.variant ->

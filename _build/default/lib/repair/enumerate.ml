@@ -64,6 +64,20 @@ let insertions ~universe ~nnc_positions theta atom =
     (fun theta' -> Ic.Patom.ground (Semantics.Assign.lookup_exn theta') atom)
     (assignments theta existentials)
 
+(* Deduplicate actions, first occurrence wins, through an action-keyed
+   table — the List.mem scans this replaces were quadratic in the number of
+   candidate actions per state. *)
+let dedup_actions actions =
+  let seen : (action, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.filter
+    (fun a ->
+      if Hashtbl.mem seen a then false
+      else begin
+        Hashtbl.add seen a ();
+        true
+      end)
+    actions
+
 let fixes ~universe ~nnc_positions d (v : Nullsat.violation) =
   let deletions = List.map (fun a -> Delete a) v.Nullsat.matched in
   let inserts =
@@ -79,12 +93,7 @@ let fixes ~universe ~nnc_positions d (v : Nullsat.violation) =
   in
   (* deduplicate deletions (the same tuple can match several antecedent
      atoms) *)
-  let dedup =
-    List.fold_left
-      (fun acc x -> if List.mem x acc then acc else x :: acc)
-      [] (deletions @ inserts)
-  in
-  List.rev dedup
+  dedup_actions (deletions @ inserts)
 
 let apply d = function
   | Delete a -> Instance.remove a d
@@ -119,11 +128,8 @@ let search ?(max_states = 200_000) d ics =
              consequent witnessing a RIC), so restricting to the first
              violation's own actions would lose repairs *)
           let actions =
-            List.concat_map (fixes ~universe ~nnc_positions state) violations
-            |> List.fold_left
-                 (fun acc a -> if List.mem a acc then acc else a :: acc)
-                 []
-            |> List.rev
+            dedup_actions
+              (List.concat_map (fixes ~universe ~nnc_positions state) violations)
           in
           List.iter
             (fun act ->

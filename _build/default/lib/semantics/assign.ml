@@ -65,7 +65,7 @@ let atom_matches d a atom =
    through a hash index on that position (built lazily once per join call
    and per (atom, position) pair), which turns FD-style self-joins from
    quadratic scans into hash lookups. *)
-let join_with_witness d a atoms =
+let iter_join_with_witness d a atoms ~f =
   let module Vtbl = Hashtbl.Make (struct
     type t = Value.t
 
@@ -112,7 +112,6 @@ let join_with_witness d a atoms =
         Hashtbl.replace indexes (i, pos) tbl;
         tbl
   in
-  let results = ref [] in
   let witness = Array.make (max n 1) None in
   let used = Array.make n false in
   let rec go theta count =
@@ -121,7 +120,7 @@ let join_with_witness d a atoms =
         Array.to_list witness |> List.filteri (fun i _ -> i < n)
         |> List.map Option.get
       in
-      results := (theta, ws) :: !results
+      f theta ws
     end
     else begin
       let best = ref (-1) in
@@ -161,7 +160,12 @@ let join_with_witness d a atoms =
       witness.(i) <- None
     end
   in
-  go a 0;
+  go a 0
+
+let join_with_witness d a atoms =
+  let results = ref [] in
+  iter_join_with_witness d a atoms ~f:(fun theta ws ->
+      results := (theta, ws) :: !results);
   List.rev !results
 
 let join d a atoms = List.map fst (join_with_witness d a atoms)

@@ -41,6 +41,14 @@ val join_with_witness :
 (** Like {!join} but also returns the matched ground atoms, in antecedent
     order (witnesses for violation reporting and repair generation). *)
 
+val iter_join_with_witness :
+  Relational.Instance.t -> t -> Ic.Patom.t list ->
+  f:(t -> Relational.Atom.t list -> unit) -> unit
+(** Iterate {!join_with_witness} results as they are produced, without
+    materializing the match list.  [f] may raise to abort the enumeration —
+    consistency checks stop at the first witness this way
+    ({!Nullsat.has_violation}). *)
+
 val exists_match : Relational.Instance.t -> t -> Ic.Patom.t -> bool
 (** Is there a tuple matching the atom under the (partial) assignment?
     Unbound variables act as wildcards, consistently for repeated ones. *)

@@ -24,8 +24,11 @@ let consequent_holds d g theta =
    universal variable is bound to null (the IsNull disjuncts of formula (4))
    or the consequent holds.  Consequent existence tests are prepared once
    per call so that repeated checks probe a hash index instead of scanning
-   the relation (Assign.prepared_exists). *)
-let generic_violations d g ic =
+   the relation (Assign.prepared_exists).  The antecedent join is consumed
+   as it is produced, so callers that only want the first witness
+   (consistency checks, admission checks) abort after one match instead of
+   materializing every violation. *)
+let iter_generic_violations d g ic ~f =
   let relevant = Ic.Relevant.relevant_universal_vars g in
   let universal = Ic.Constr.universal_vars g in
   let checkers =
@@ -34,9 +37,8 @@ let generic_violations d g ic =
   let fast_consequent theta =
     List.exists (fun check -> check theta) checkers || phi_holds g theta
   in
-  let matches = Assign.join_with_witness d Assign.empty g.Ic.Constr.ante in
-  List.filter_map
-    (fun (theta, witness) ->
+  Assign.iter_join_with_witness d Assign.empty g.Ic.Constr.ante
+    ~f:(fun theta witness ->
       let null_escape =
         List.exists
           (fun x ->
@@ -45,9 +47,13 @@ let generic_violations d g ic =
             | None -> false)
           relevant
       in
-      if null_escape || fast_consequent theta then None
-      else Some { ic; theta; matched = witness })
-    matches
+      if not (null_escape || fast_consequent theta) then
+        f { ic; theta; matched = witness })
+
+let generic_violations d g ic =
+  let acc = ref [] in
+  iter_generic_violations d g ic ~f:(fun v -> acc := v :: !acc);
+  List.rev !acc
 
 let nnc_violations (n : (string * int * int)) ic d =
   let pred, _arity, pos = n in
@@ -69,7 +75,35 @@ let violations d ic =
   | Ic.Constr.Generic g -> generic_violations d g ic
   | Ic.Constr.NotNull n -> nnc_violations (n.pred, n.arity, n.pos) ic d
 
-let satisfies d ic = violations d ic = []
+(* Early-exit path: stop at the first witness instead of materializing the
+   full violation list.  [first_violation_of] returns the same violation
+   [violations] would list first. *)
+let first_violation_of d ic =
+  match ic with
+  | Ic.Constr.Generic g ->
+      let exception Witness of violation in
+      (try
+         iter_generic_violations d g ic ~f:(fun v -> raise (Witness v));
+         None
+       with Witness v -> Some v)
+  | Ic.Constr.NotNull n ->
+      let pred, pos = (n.pred, n.pos) in
+      let exception Witness of Relational.Tuple.t in
+      (try
+         Relational.Tuple.Set.iter
+           (fun t -> if Value.is_null t.(pos - 1) then raise (Witness t))
+           (Instance.tuples d pred);
+         None
+       with Witness t ->
+         Some
+           {
+             ic;
+             theta = Assign.empty;
+             matched = [ Relational.Atom.of_tuple pred t ];
+           })
+
+let has_violation d ic = Option.is_some (first_violation_of d ic)
+let satisfies d ic = not (has_violation d ic)
 
 let check d ics = List.concat_map (violations d) ics
 let consistent d ics = List.for_all (satisfies d) ics
@@ -114,8 +148,8 @@ let violations_involving d ics atom =
 
 let first_violation d ics =
   List.fold_left
-    (fun acc ic -> match acc with Some _ -> acc | None -> (
-       match violations d ic with [] -> None | v :: _ -> Some v))
+    (fun acc ic ->
+      match acc with Some _ -> acc | None -> first_violation_of d ic)
     None ics
 
 let can_insert d ics atom =

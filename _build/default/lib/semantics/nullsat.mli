@@ -28,6 +28,12 @@ val pp_violation : violation Fmt.t
 val satisfies : Relational.Instance.t -> Ic.Constr.t -> bool
 val satisfies_literal : Relational.Instance.t -> Ic.Constr.t -> bool
 
+val has_violation : Relational.Instance.t -> Ic.Constr.t -> bool
+(** [not (satisfies d ic)], stopping at the first witness: the antecedent
+    join is aborted as soon as one violating match is found instead of
+    materializing every violation.  {!satisfies}, {!consistent} and the
+    admission checks all go through this path. *)
+
 val violations : Relational.Instance.t -> Ic.Constr.t -> violation list
 (** Empty iff {!satisfies}. *)
 

@@ -1,1 +1,1 @@
-test/test_asp.ml: Alcotest Asp Filename Fmt Fun List Option Out_channel Printf QCheck QCheck_alcotest String Sys Unix
+test/test_asp.ml: Alcotest Array Asp Filename Fmt Fun List Option Out_channel Printf QCheck QCheck_alcotest String Sys Unix

@@ -1,0 +1,8 @@
+  $ cqanull-bench --json baseline.json --micro --quota 0.005 > /dev/null
+  $ cqanull-bench --check-json baseline.json
+  $ grep -o '"\(schema\|tool\|unit\|micro\|solver\)"' baseline.json
+  $ grep -c '"engine": "counter"' baseline.json
+  $ grep -c '"engine": "naive"' baseline.json
+  $ grep -c '"rules_touched": [0-9]' baseline.json
+  $ echo '{"schema": "cqanull-bench/1", "micro": [' > broken.json
+  $ cqanull-bench --check-json broken.json

@@ -1,0 +1,34 @@
+The perf-baseline emitter writes well-formed JSON with the stable keys the
+trajectory depends on, and its --check-json self-test accepts it
+(micro-benchmark quota lowered so the cram run stays fast; row counts are
+structural and quota-independent):
+
+  $ cqanull-bench --json baseline.json --micro --quota 0.005 > /dev/null
+  $ cqanull-bench --check-json baseline.json
+  baseline.json: ok (10 micro rows, 4 solver rows)
+
+Stable top-level keys, in order:
+
+  $ grep -o '"\(schema\|tool\|unit\|micro\|solver\)"' baseline.json
+  "schema"
+  "tool"
+  "unit"
+  "micro"
+  "solver"
+
+The solver telemetry carries both engines for each E4 benchmark and every
+counter field is numeric:
+
+  $ grep -c '"engine": "counter"' baseline.json
+  2
+  $ grep -c '"engine": "naive"' baseline.json
+  2
+  $ grep -c '"rules_touched": [0-9]' baseline.json
+  4
+
+Malformed input is rejected:
+
+  $ echo '{"schema": "cqanull-bench/1", "micro": [' > broken.json
+  $ cqanull-bench --check-json broken.json
+  broken.json: expected a JSON value at offset 41
+  [1]

@@ -310,6 +310,89 @@ let prop_minimality =
         ms)
 
 (* ------------------------------------------------------------------ *)
+(* Counter-based engine vs the kept-around sweep-based reference, on
+   random ground disjunctive programs built directly at the Ground layer
+   (so duplicate literals, empty heads/bodies, and unused atoms are all in
+   scope — shapes the syntax-level generator cannot produce). *)
+
+let ground_program_gen =
+  QCheck.Gen.(
+    let* n_atoms = int_range 1 5 in
+    let* n_rules = int_range 1 7 in
+    let atom = int_range 0 (n_atoms - 1) in
+    let atoms k = list_size (int_range 0 k) atom in
+    let* rules =
+      list_repeat n_rules
+        (let* h = atoms 2 in
+         let* p = atoms 2 in
+         let* ng = atoms 2 in
+         return (h, p, ng))
+    in
+    return (n_atoms, rules))
+
+let build_ground (n_atoms, rules) =
+  let g = Ground.create () in
+  for i = 0 to n_atoms - 1 do
+    ignore (Ground.intern g { Ground.gpred = Printf.sprintf "a%d" i; gargs = [] })
+  done;
+  List.iter
+    (fun (h, p, ng) ->
+      Ground.add_rule g
+        {
+          Ground.ghead = Array.of_list h;
+          gpos = Array.of_list p;
+          gneg = Array.of_list ng;
+        })
+    rules;
+  g
+
+let prop_counter_engine_matches_naive =
+  QCheck.Test.make
+    ~name:"counter-based solver = sweep-based reference (random ground programs)"
+    ~count:1000
+    (QCheck.make
+       ~print:(fun gp -> Fmt.str "%a" Ground.pp (build_ground gp))
+       ground_program_gen)
+    (fun gp ->
+      let g = build_ground gp in
+      let s_counter = Solver.new_stats () in
+      let s_naive = Solver.new_stats () in
+      let m_counter = Solver.stable_models ~stats:s_counter g in
+      let m_naive = Solver.stable_models_naive ~stats:s_naive g in
+      let nonneg (s : Solver.stats) =
+        s.Solver.decisions >= 0 && s.Solver.propagations >= 0
+        && s.Solver.candidates >= 0 && s.Solver.minimality_checks >= 0
+        && s.Solver.queue_pushes >= 0 && s.Solver.rules_touched >= 0
+      in
+      (* a second run accumulating into the same record only grows it *)
+      let d0 = s_counter.Solver.decisions
+      and p0 = s_counter.Solver.propagations
+      and q0 = s_counter.Solver.queue_pushes
+      and r0 = s_counter.Solver.rules_touched in
+      ignore (Solver.stable_models ~stats:s_counter g);
+      m_counter = m_naive
+      && List.for_all (Solver.is_stable_model g) m_counter
+      && nonneg s_counter && nonneg s_naive
+      && s_naive.Solver.queue_pushes = 0
+      && s_counter.Solver.candidates >= 2 * List.length m_counter
+      && s_counter.Solver.decisions >= d0
+      && s_counter.Solver.propagations >= p0
+      && s_counter.Solver.queue_pushes >= q0
+      && s_counter.Solver.rules_touched >= r0)
+
+let prop_counter_engine_support_ablation =
+  QCheck.Test.make
+    ~name:"counter-based solver: support propagation does not change models"
+    ~count:300
+    (QCheck.make
+       ~print:(fun gp -> Fmt.str "%a" Ground.pp (build_ground gp))
+       ground_program_gen)
+    (fun gp ->
+      let g = build_ground gp in
+      Solver.stable_models g
+      = Solver.stable_models ~support_propagation:false g)
+
+(* ------------------------------------------------------------------ *)
 (* is_stable_model *)
 
 let test_is_stable_model () =
@@ -590,5 +673,7 @@ let () =
             prop_shift_preserves_hcf_models;
             prop_stable_models_are_models;
             prop_minimality;
+            prop_counter_engine_matches_naive;
+            prop_counter_engine_support_ablation;
           ] );
     ]

@@ -11,6 +11,20 @@ type grule = {
   gneg : int array;
 }
 
+type index = {
+  idx_rules : grule array;  (** the rules, in insertion order *)
+  head_occ : int array array;
+      (** [head_occ.(a)] lists the indexes into [idx_rules] of the rules
+          mentioning atom [a] in their head, one entry {e per occurrence}
+          (an atom repeated in one head contributes repeated entries, so
+          occurrence counts and the solver's per-rule counters agree) *)
+  pos_occ : int array array;  (** same, for positive-body occurrences *)
+  neg_occ : int array array;  (** same, for negative-body occurrences *)
+}
+(** Occurrence index of a ground program: which rules mention atom [a]
+    where.  Built once per program and shared by every solver pass over it
+    (unit propagation, support propagation, reduct construction). *)
+
 type t
 
 val create : unit -> t
@@ -21,6 +35,11 @@ val atom_count : t -> int
 val add_rule : t -> grule -> unit
 val rules : t -> grule array
 val rule_count : t -> int
+
+val index : t -> index
+(** The occurrence index, built on first use and cached; adding a rule or
+    interning a new atom invalidates the cache.  [idx_rules] is shared with
+    the cached index, so callers must not mutate it. *)
 
 val pp_rule : t -> grule Fmt.t
 val pp : t Fmt.t
