@@ -1,14 +1,14 @@
-(* Benchmark harness: regenerates every experiment table (E1-E14, see
+(* Benchmark harness: regenerates every experiment table (E1-E15, see
    EXPERIMENTS.md), optionally runs the Bechamel micro-benchmarks, and can
    emit / validate the machine-readable perf baseline.
 
      dune exec bench/main.exe                     # all tables
      dune exec bench/main.exe -- --micro          # tables + micro-benchmarks
      dune exec bench/main.exe -- E4 E5            # selected tables
-     dune exec bench/main.exe -- --json BENCH_PR1.json --micro
+     dune exec bench/main.exe -- --json BENCH_PR2.json --micro
          # micro-benchmarks + solver telemetry to a JSON baseline file
          # (tables are skipped unless named explicitly)
-     dune exec bench/main.exe -- --check-json BENCH_PR1.json
+     dune exec bench/main.exe -- --check-json BENCH_PR2.json
          # validate a baseline file: well-formed, stable keys, numeric fields
      --quota SECONDS   Bechamel measurement quota per benchmark (default 0.25)
 *)
@@ -20,6 +20,7 @@ let micro_tests () =
   let ex19 = Workload.Paperdb.example19 in
   let fk = Workload.Gen.fk_workload ~seed:9 ~n_parent:4 ~n_child:6 ~orphan_rate:0.3 ~null_rate:0.1 () in
   let check = Workload.Gen.check_workload ~seed:9 ~n:200 ~viol_rate:0.2 ~null_rate:0.2 () in
+  let clusters4 = Workload.Gen.clusters_workload ~padding:2 ~k:4 () in
   let pg19 =
     match Core.Proggen.repair_program ex19.Workload.Paperdb.d ex19.Workload.Paperdb.ics with
     | Ok pg -> pg
@@ -61,6 +62,13 @@ let micro_tests () =
     (* E10: graph analysis *)
     t "E10.depgraph.ex19" (fun () ->
         Ic.Depgraph.is_ric_acyclic ex19.Workload.Paperdb.ics);
+    (* E15: conflict-component decomposition, 4 shared-predicate clusters *)
+    t "E15.repairs.monolithic.k4" (fun () ->
+        Repair.Enumerate.repairs clusters4.Workload.Gen.d
+          clusters4.Workload.Gen.ics);
+    t "E15.repairs.decomposed.k4" (fun () ->
+        Repair.Enumerate.repairs ~decompose:true clusters4.Workload.Gen.d
+          clusters4.Workload.Gen.ics);
   ]
 
 (* Runs every micro-benchmark and returns (name, ns/run) rows; a failed
@@ -124,7 +132,37 @@ let solver_telemetry () =
       (fun ~stats g -> Asp.Solver.stable_models_naive ~stats g) ground19;
   ]
 
-let write_json path micro solver_rows =
+(* Decomposition counters for the shared-predicate cluster workload (E15):
+   component structure and per-component exploration, recorded so the
+   product-to-sum collapse of the conflict-component search is visible as
+   exact state counts, not wall-clock noise. *)
+let decompose_telemetry () =
+  List.map
+    (fun k ->
+      let w = Workload.Gen.clusters_workload ~padding:2 ~k () in
+      let mono_states = ref 0 in
+      ignore
+        (Repair.Enumerate.search ~explored:mono_states w.Workload.Gen.d
+           w.Workload.Gen.ics);
+      let r = Repair.Enumerate.decomposed w.Workload.Gen.d w.Workload.Gen.ics in
+      let plan = r.Repair.Enumerate.plan in
+      let max_component_atoms =
+        List.fold_left
+          (fun acc (c : Repair.Decompose.component) ->
+            max acc (Relational.Atom.Set.cardinal c.Repair.Decompose.atoms))
+          0 plan.Repair.Decompose.components
+      in
+      ( k,
+        List.length plan.Repair.Decompose.components,
+        max_component_atoms,
+        plan.Repair.Decompose.product_exact,
+        Repair.Decompose.count_product
+          (List.map List.length r.Repair.Enumerate.minimal),
+        !mono_states,
+        r.Repair.Enumerate.explored ))
+    [ 1; 2; 4; 6 ]
+
+let write_json path micro solver_rows decompose_rows =
   let open Table in
   let micro_rows =
     List.map
@@ -149,20 +187,38 @@ let write_json path micro solver_rows =
           ])
       solver_rows
   in
+  let decompose_json =
+    List.map
+      (fun (k, components, max_atoms, exact, count, mono_states, explored) ->
+        Obj
+          [
+            ("k", Int k);
+            ("components", Int components);
+            ("max_component_atoms", Int max_atoms);
+            ("product_exact", Str (if exact then "true" else "false"));
+            ("repair_count", Int count);
+            ("monolithic_states", Int mono_states);
+            ("component_states", Arr (List.map (fun s -> Int s) explored));
+          ])
+      decompose_rows
+  in
   let doc =
     Obj
       [
-        ("schema", Str "cqanull-bench/1");
+        ("schema", Str "cqanull-bench/2");
         ("tool", Str "bench/main.exe --json");
         ("unit", Str "ns/run");
         ("micro", Arr micro_rows);
         ("solver", Arr telemetry_rows);
+        ("decompose", Arr decompose_json);
       ]
   in
   Out_channel.with_open_text path (fun oc -> output_string oc (emit doc));
-  Printf.printf "wrote %s (%d micro rows, %d solver rows)\n" path
+  Printf.printf "wrote %s (%d micro rows, %d solver rows, %d decompose rows)\n"
+    path
     (List.length micro_rows)
     (List.length telemetry_rows)
+    (List.length decompose_json)
 
 (* --check-json: the baseline format's self-test.  Guards the stable keys
    and the numeric fields so the file future PRs diff against cannot drift
@@ -198,8 +254,9 @@ let check_json path =
     | Some (Table.Arr items) -> items
     | _ -> fail (Printf.sprintf "missing or non-array field %S" key)
   in
-  (match str_field doc "schema" with
-  | "cqanull-bench/1" -> ()
+  let schema = str_field doc "schema" in
+  (match schema with
+  | "cqanull-bench/1" | "cqanull-bench/2" -> ()
   | s -> fail (Printf.sprintf "unknown schema %S" s));
   ignore (str_field doc "tool");
   ignore (str_field doc "unit");
@@ -225,32 +282,142 @@ let check_json path =
         [ "models"; "decisions"; "propagations"; "candidates";
           "minimality_checks"; "queue_pushes"; "rules_touched" ])
     solver;
-  Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
-    (List.length micro) (List.length solver)
+  (* /2 adds the conflict-decomposition counters: the per-component state
+     counts must sum to no more than the monolithic exploration *)
+  let decompose =
+    if schema = "cqanull-bench/1" then []
+    else arr_field doc "decompose"
+  in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun key ->
+          if int_field row key < 0 then
+            fail (Printf.sprintf "negative field %S" key))
+        [ "k"; "components"; "max_component_atoms"; "repair_count";
+          "monolithic_states" ];
+      (match str_field row "product_exact" with
+      | "true" | "false" -> ()
+      | s -> fail (Printf.sprintf "non-boolean product_exact %S" s));
+      let states =
+        List.map
+          (function
+            | Table.Int i when i >= 0 -> i
+            | _ -> fail "non-integer component state count")
+          (arr_field row "component_states")
+      in
+      if List.fold_left ( + ) 0 states > int_field row "monolithic_states" then
+        fail
+          (Printf.sprintf
+             "decomposed exploration exceeds monolithic at k=%d"
+             (int_field row "k")))
+    decompose;
+  if schema = "cqanull-bench/1" then
+    Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
+      (List.length micro) (List.length solver)
+  else
+    Printf.printf "%s: ok (%d micro rows, %d solver rows, %d decompose rows)\n"
+      path (List.length micro) (List.length solver) (List.length decompose)
+
+(* --compare-json OLD NEW: regression guard over the micro rows both files
+   share in the E1/E2 families.  Bechamel estimates from ~5ms cram quotas
+   are noisy, so the tolerance is generous (10x) — the guard catches
+   order-of-magnitude regressions (an accidentally quadratic comparator, a
+   dropped index), not percent-level drift. *)
+let compare_json ~tolerance old_path new_path =
+  let fail msg =
+    Printf.eprintf "%s\n" msg;
+    exit 1
+  in
+  let load path =
+    let contents =
+      try In_channel.with_open_text path In_channel.input_all
+      with Sys_error e -> fail (path ^ ": " ^ e)
+    in
+    try Table.parse contents
+    with Table.Json_error e -> fail (path ^ ": " ^ e)
+  in
+  let micro_map doc =
+    match Table.member "micro" doc with
+    | Some (Table.Arr rows) ->
+        List.filter_map
+          (fun row ->
+            match (Table.member "name" row, Table.member "ns_per_run" row) with
+            | Some (Table.Str n), Some (Table.Num ns) -> Some (n, ns)
+            | Some (Table.Str n), Some (Table.Int ns) ->
+                Some (n, float_of_int ns)
+            | _ -> None)
+          rows
+    | _ -> fail "missing micro section"
+  in
+  let old_rows = micro_map (load old_path) in
+  let new_rows = micro_map (load new_path) in
+  let guarded =
+    List.filter
+      (fun (n, _) ->
+        String.length n >= 3
+        && (String.sub n 0 3 = "E1." || String.sub n 0 3 = "E2."))
+      old_rows
+  in
+  if guarded = [] then fail "no E1/E2 rows to compare";
+  let regressions =
+    List.filter_map
+      (fun (name, old_ns) ->
+        match List.assoc_opt name new_rows with
+        | Some new_ns when old_ns > 0.0 && new_ns > tolerance *. old_ns ->
+            Some (name, old_ns, new_ns)
+        | _ -> None)
+      guarded
+  in
+  List.iter
+    (fun (name, old_ns) ->
+      match List.assoc_opt name new_rows with
+      | Some new_ns ->
+          Printf.printf "%-28s %12.0f -> %12.0f ns/run (%.2fx)\n" name old_ns
+            new_ns
+            (if old_ns > 0.0 then new_ns /. old_ns else 0.0)
+      | None -> Printf.printf "%-28s missing from %s\n" name new_path)
+    guarded;
+  match regressions with
+  | [] ->
+      Printf.printf "compare ok (%d guarded rows, tolerance %.0fx)\n"
+        (List.length guarded) tolerance
+  | _ ->
+      fail
+        (Printf.sprintf "%d regression(s) beyond %.0fx tolerance"
+           (List.length regressions) tolerance)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse acc_names micro json check quota = function
-    | [] -> (List.rev acc_names, micro, json, check, quota)
-    | "--micro" :: rest -> parse acc_names true json check quota rest
-    | "--json" :: file :: rest -> parse acc_names micro (Some file) check quota rest
+  let rec parse acc_names micro json check cmp quota = function
+    | [] -> (List.rev acc_names, micro, json, check, cmp, quota)
+    | "--micro" :: rest -> parse acc_names true json check cmp quota rest
+    | "--json" :: file :: rest ->
+        parse acc_names micro (Some file) check cmp quota rest
     | "--check-json" :: file :: rest ->
-        parse acc_names micro json (Some file) quota rest
+        parse acc_names micro json (Some file) cmp quota rest
+    | "--compare-json" :: old_file :: new_file :: rest ->
+        parse acc_names micro json check (Some (old_file, new_file)) quota rest
     | "--quota" :: q :: rest -> (
         match float_of_string_opt q with
-        | Some q when q > 0.0 -> parse acc_names micro json check q rest
+        | Some q when q > 0.0 -> parse acc_names micro json check cmp q rest
         | _ ->
             Printf.eprintf "invalid --quota %S\n" q;
             exit 2)
-    | ("--json" | "--check-json" | "--quota") :: [] ->
+    | ("--json" | "--check-json" | "--quota") :: []
+    | "--compare-json" :: ([] | [ _ ]) ->
         Printf.eprintf "missing argument\n";
         exit 2
-    | name :: rest -> parse (name :: acc_names) micro json check quota rest
+    | name :: rest -> parse (name :: acc_names) micro json check cmp quota rest
   in
-  let selected, micro, json, check, quota = parse [] false None None 0.25 args in
-  match check with
-  | Some file -> check_json file
-  | None ->
+  let selected, micro, json, check, cmp, quota =
+    parse [] false None None None 0.25 args
+  in
+  match (check, cmp) with
+  | Some file, _ -> check_json file
+  | None, Some (old_file, new_file) ->
+      compare_json ~tolerance:10.0 old_file new_file
+  | None, None ->
       let named =
         [ ("E1", List.nth Experiments.all 0); ("E2", List.nth Experiments.all 1);
           ("E3", List.nth Experiments.all 2); ("E4", List.nth Experiments.all 3);
@@ -258,7 +425,8 @@ let () =
           ("E7", List.nth Experiments.all 6); ("E8", List.nth Experiments.all 7);
           ("E9", List.nth Experiments.all 8); ("E10", List.nth Experiments.all 9);
           ("E11", List.nth Experiments.all 10); ("E12", List.nth Experiments.all 11);
-          ("E13", List.nth Experiments.all 12); ("E14", List.nth Experiments.all 13) ]
+          ("E13", List.nth Experiments.all 12); ("E14", List.nth Experiments.all 13);
+          ("E15", List.nth Experiments.all 14) ]
       in
       print_endline
         "cqanull benchmark harness — reproduction tables for 'Semantically \
@@ -271,11 +439,11 @@ let () =
             (fun n ->
               match List.assoc_opt n named with
               | Some f -> f ()
-              | None -> Printf.eprintf "unknown table %s (E1..E14)\n" n)
+              | None -> Printf.eprintf "unknown table %s (E1..E15)\n" n)
             names);
       let micro_rows =
         if micro || json <> None then run_micro ~quota () else []
       in
       match json with
-      | Some file -> write_json file micro_rows (solver_telemetry ())
+      | Some file -> write_json file micro_rows (solver_telemetry ()) (decompose_telemetry ())
       | None -> ()

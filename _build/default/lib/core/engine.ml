@@ -49,5 +49,40 @@ let run ?variant ?optimize ?(shift = true) ?(solver = `Counter) ?max_decisions d
       })
     (Proggen.repair_program ?variant ?optimize d ics)
 
-let repairs ?variant ?optimize ?max_decisions d ics =
-  Result.map (fun r -> r.repairs) (run ?variant ?optimize ?max_decisions d ics)
+let repairs ?variant ?optimize ?max_decisions ?(decompose = false) d ics =
+  let monolithic () =
+    Result.map (fun r -> r.repairs) (run ?variant ?optimize ?max_decisions d ics)
+  in
+  if not decompose then monolithic ()
+  else
+    let plan = Repair.Decompose.plan d ics in
+    match plan.Repair.Decompose.components with
+    | [] -> Ok [ d ]
+    | components ->
+        if not plan.Repair.Decompose.product_exact then
+          (* per-component minimal repairs cannot be recombined exactly when
+             cross-component <=_D covering is possible, and the program gives
+             no access to non-minimal consistent states — stay monolithic *)
+          monolithic ()
+        else
+          let rec traverse acc = function
+            | [] ->
+                Ok
+                  (List.of_seq
+                     (Repair.Decompose.product plan.Repair.Decompose.core
+                        (List.rev acc)))
+            | (c : Repair.Decompose.component) :: rest -> (
+                let base =
+                  Relational.Instance.union c.Repair.Decompose.sub
+                    c.Repair.Decompose.support
+                in
+                match
+                  Result.map
+                    (fun r -> r.repairs)
+                    (run ?variant ?optimize ?max_decisions base
+                       c.Repair.Decompose.ics)
+                with
+                | Ok reps -> traverse (reps :: acc) rest
+                | Error _ as e -> e)
+          in
+          traverse [] components

@@ -35,7 +35,14 @@ val repairs :
   ?variant:Proggen.variant ->
   ?optimize:bool ->
   ?max_decisions:int ->
+  ?decompose:bool ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   (Relational.Instance.t list, string) result
-(** Just the repairs. *)
+(** Just the repairs.  With [~decompose:true] (default [false]) the program
+    is generated, grounded and solved independently per conflict component
+    of {!Repair.Decompose} and the per-component repairs are recombined by
+    cross product over the untouched core; when the plan reports that
+    cross-component [<=_D] covering is possible ([product_exact = false])
+    the call falls back to the monolithic program, since stable models only
+    yield the minimal repairs. *)

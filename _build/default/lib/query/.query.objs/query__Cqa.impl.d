@@ -1,1 +1,1 @@
-lib/query/cqa.ml: Asp Core Fmt List Printf Progcqa Qeval Qsyntax Relational Repair Result
+lib/query/cqa.ml: Asp Core Fmt Ic List Option Printf Progcqa Qeval Qsyntax Relational Repair Result Seq

@@ -1,4 +1,5 @@
 module Tuple = Relational.Tuple
+module Instance = Relational.Instance
 
 type method_ = ModelTheoretic | LogicProgram | CautiousProgram
 
@@ -24,7 +25,202 @@ let repairs_of method_ max_effort d ics =
       | exception Asp.Solver.Budget_exceeded n ->
           Error (Printf.sprintf "solver budget (%d decisions) exceeded" n))
 
-let consistent_answers ?(method_ = LogicProgram) ?semantics ?max_effort d ics q =
+let outcome_of_answer_sets standard repair_count answer_sets =
+  let consistent =
+    match answer_sets with
+    | [] -> Tuple.Set.empty
+    | s :: rest -> List.fold_left Tuple.Set.inter s rest
+  in
+  let possible = List.fold_left Tuple.Set.union Tuple.Set.empty answer_sets in
+  { consistent; possible; standard; repair_count }
+
+(* ------------------------------------------------------------------ *)
+(* Decomposed CQA (Repair.Decompose).
+
+   The per-component answer algebra needs the query's answers to be
+   insensitive to atoms of predicates it does not mention — including
+   through the active domain the evaluator enumerates variables over.  The
+   syntactic fragment below guarantees it: positive existential
+   conjunctive bodies (no negation, no universal quantifier, no
+   disjunction) in which every variable occurs in a database atom, so that
+   every binding is witnessed by matched tuples and built-ins/IsNull only
+   filter them. *)
+
+let rec formula_vars = function
+  | Qsyntax.Atom a ->
+      List.filter_map
+        (function Ic.Term.Var x -> Some x | Ic.Term.Const _ -> None)
+        (Ic.Patom.terms a)
+  | Qsyntax.Builtin b -> Ic.Builtin.vars b
+  | Qsyntax.IsNull (Ic.Term.Var x) -> [ x ]
+  | Qsyntax.IsNull (Ic.Term.Const _) -> []
+  | Qsyntax.And (f, g) | Qsyntax.Or (f, g) -> formula_vars f @ formula_vars g
+  | Qsyntax.Not f | Qsyntax.Exists (_, f) | Qsyntax.Forall (_, f) ->
+      formula_vars f
+
+let factorizable body =
+  let rec positive_conjunctive = function
+    | Qsyntax.Atom _ | Qsyntax.Builtin _ | Qsyntax.IsNull _ -> true
+    | Qsyntax.And (f, g) -> positive_conjunctive f && positive_conjunctive g
+    | Qsyntax.Exists (_, f) -> positive_conjunctive f
+    | Qsyntax.Or _ | Qsyntax.Not _ | Qsyntax.Forall _ -> false
+  in
+  positive_conjunctive body
+  &&
+  let atom_vars =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (function Ic.Term.Var x -> Some x | Ic.Term.Const _ -> None)
+          (Ic.Patom.terms a))
+      (Qsyntax.atoms body)
+  in
+  List.for_all (fun x -> List.mem x atom_vars) (formula_vars body)
+
+let component_preds (c : Repair.Decompose.component) =
+  Relational.Atom.Set.fold
+    (fun a acc ->
+      let p = Relational.Atom.pred a in
+      if List.mem p acc then acc else p :: acc)
+    c.Repair.Decompose.atoms []
+
+(* Per-component repair lists (locally <=_D-minimal), plus the consistent
+   states needed for the inexact-product fallback when the model-theoretic
+   engine is in use. *)
+let solve_components method_ max_effort d ics (plan : Repair.Decompose.plan) =
+  match method_ with
+  | CautiousProgram -> assert false
+  | ModelTheoretic -> (
+      match Repair.Enumerate.decomposed ?max_states:max_effort d ics with
+      | r -> Ok (r.Repair.Enumerate.minimal, Some r.Repair.Enumerate.states)
+      | exception Repair.Enumerate.Budget_exceeded n ->
+          Error (Printf.sprintf "repair search budget (%d states) exceeded" n))
+  | LogicProgram ->
+      let rec traverse acc = function
+        | [] -> Ok (List.rev acc, None)
+        | (c : Repair.Decompose.component) :: rest -> (
+            let base =
+              Instance.union c.Repair.Decompose.sub c.Repair.Decompose.support
+            in
+            match
+              Core.Engine.repairs ?max_decisions:max_effort base
+                c.Repair.Decompose.ics
+            with
+            | Ok reps -> traverse (reps :: acc) rest
+            | Error _ as e -> e
+            | exception Asp.Solver.Budget_exceeded n ->
+                Error (Printf.sprintf "solver budget (%d decisions) exceeded" n))
+      in
+      traverse [] plan.Repair.Decompose.components
+
+let decomposed_outcome method_ ?semantics max_effort d ics (q : Qsyntax.t) =
+  let standard = Qeval.answers ?semantics d q in
+  let plan = Repair.Decompose.plan d ics in
+  let core = plan.Repair.Decompose.core in
+  match plan.Repair.Decompose.components with
+  | [] ->
+      (* consistent instance: the only repair is D itself *)
+      Ok { consistent = standard; possible = standard; standard; repair_count = 1 }
+  | _ when (not plan.Repair.Decompose.product_exact) && method_ = LogicProgram
+    ->
+      (* the logic-program engine only yields per-component minimal repairs,
+         which cannot be recombined exactly here — stay monolithic *)
+      Result.map
+        (fun repairs ->
+          outcome_of_answer_sets standard (List.length repairs)
+            (List.map (fun r -> Qeval.answers ?semantics r q) repairs))
+        (repairs_of method_ max_effort d ics)
+  | components ->
+      Result.map
+        (fun (minimal, states) ->
+          let counts = List.map List.length minimal in
+          let repair_count = Repair.Decompose.count_product counts in
+          let eval r = Qeval.answers ?semantics r q in
+          let full_repairs () =
+            if plan.Repair.Decompose.product_exact then
+              List.of_seq (Repair.Decompose.product core minimal)
+            else
+              (* model-theoretic engine: recombine the consistent states and
+                 filter globally *)
+              Repair.Order.minimal_among ~d
+                (List.of_seq
+                   (Repair.Decompose.product core (Option.get states)))
+          in
+          if
+            (not plan.Repair.Decompose.product_exact)
+            || (not (factorizable q.Qsyntax.body))
+            || List.exists (fun l -> l = []) minimal
+          then
+            (* evaluate over the recombined repair list; still profits from
+               the per-component search *)
+            let reps = full_repairs () in
+            outcome_of_answer_sets standard (List.length reps) (List.map eval reps)
+          else
+            let qpreds = Qsyntax.preds q in
+            let relevant =
+              List.filter
+                (fun (c, _) ->
+                  List.exists (fun p -> List.mem p qpreds) (component_preds c))
+                (List.combine components minimal)
+            in
+            match relevant with
+            | [] ->
+                (* no component touches a query predicate: every repair has
+                   exactly D's tuples there *)
+                { consistent = standard; possible = standard; standard;
+                  repair_count }
+            | _ -> (
+                match Qsyntax.atoms q.Qsyntax.body with
+                | [ _ ] ->
+                    (* single-atom query: answers are additive over
+                       components, so Inter_choices (A ∪ Union_i B_i) =
+                       Union_i Inter_c (A ∪ B_i,c) — per-component
+                       intersections and unions suffice *)
+                    let per_component =
+                      List.map
+                        (fun (_, reps) ->
+                          let sets =
+                            List.map (fun r -> eval (Instance.union core r)) reps
+                          in
+                          ( List.fold_left Tuple.Set.inter (List.hd sets)
+                              (List.tl sets),
+                            List.fold_left Tuple.Set.union Tuple.Set.empty sets ))
+                        relevant
+                    in
+                    {
+                      consistent =
+                        List.fold_left
+                          (fun acc (i, _) -> Tuple.Set.union acc i)
+                          Tuple.Set.empty per_component;
+                      possible =
+                        List.fold_left
+                          (fun acc (_, u) -> Tuple.Set.union acc u)
+                          Tuple.Set.empty per_component;
+                      standard;
+                      repair_count;
+                    }
+                | _ ->
+                    (* join query: answers can join atoms across components —
+                       recombine, but only over the components that mention a
+                       query predicate *)
+                    let sets =
+                      Seq.map eval
+                        (Repair.Decompose.product core (List.map snd relevant))
+                    in
+                    let consistent, possible =
+                      match sets () with
+                      | Seq.Nil -> (Tuple.Set.empty, Tuple.Set.empty)
+                      | Seq.Cons (s, rest) ->
+                          Seq.fold_left
+                            (fun (i, u) s ->
+                              (Tuple.Set.inter i s, Tuple.Set.union u s))
+                            (s, s) rest
+                    in
+                    { consistent; possible; standard; repair_count }))
+        (solve_components method_ max_effort d ics plan)
+
+let consistent_answers ?(method_ = LogicProgram) ?semantics ?max_effort
+    ?(decompose = false) d ics q =
   match method_ with
   | CautiousProgram ->
       Result.map
@@ -37,29 +233,24 @@ let consistent_answers ?(method_ = LogicProgram) ?semantics ?max_effort d ics q 
           })
         (Progcqa.consistent_answers ?max_decisions:max_effort d ics q)
   | ModelTheoretic | LogicProgram ->
-  Result.map
-    (fun repairs ->
-      let answer_sets = List.map (fun r -> Qeval.answers ?semantics r q) repairs in
-      let consistent =
-        match answer_sets with
-        | [] -> Tuple.Set.empty
-        | s :: rest -> List.fold_left Tuple.Set.inter s rest
-      in
-      let possible = List.fold_left Tuple.Set.union Tuple.Set.empty answer_sets in
-      {
-        consistent;
-        possible;
-        standard = Qeval.answers ?semantics d q;
-        repair_count = List.length repairs;
-      })
-    (repairs_of method_ max_effort d ics)
+      if decompose then decomposed_outcome method_ ?semantics max_effort d ics q
+      else
+        Result.map
+          (fun repairs ->
+            let answer_sets =
+              List.map (fun r -> Qeval.answers ?semantics r q) repairs
+            in
+            outcome_of_answer_sets
+              (Qeval.answers ?semantics d q)
+              (List.length repairs) answer_sets)
+          (repairs_of method_ max_effort d ics)
 
-let certain ?method_ ?semantics ?max_effort d ics q =
+let certain ?method_ ?semantics ?max_effort ?decompose d ics q =
   if not (Qsyntax.is_boolean q) then Error "certain: query has head variables"
   else
     Result.map
       (fun o -> Tuple.Set.mem (Tuple.make []) o.consistent)
-      (consistent_answers ?method_ ?semantics ?max_effort d ics
+      (consistent_answers ?method_ ?semantics ?max_effort ?decompose d ics
          { q with Qsyntax.head = [] })
 
 let pp_outcome ppf o =

@@ -36,17 +36,31 @@ val consistent_answers :
   ?method_:method_ ->
   ?semantics:Qeval.semantics ->
   ?max_effort:int ->
+  ?decompose:bool ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   Qsyntax.t ->
   (outcome, string) result
 (** [max_effort] bounds the repair search (states for the model-theoretic
-    engine, solver decisions for the logic-program engine). *)
+    engine, solver decisions for the logic-program engine; per component
+    when decomposing).
+
+    [decompose] (default [false], ignored for [CautiousProgram]) repairs
+    each conflict component of {!Repair.Decompose} independently and
+    factorizes the answer computation: for positive existential conjunctive
+    queries whose variables all occur in database atoms, single-atom
+    bodies take per-component intersections/unions (answers are additive
+    over components) and join bodies recombine only the components
+    mentioning a query predicate; other queries are evaluated over the
+    recombined repair list, which still profits from the per-component
+    search.  [repair_count] is the product of per-component counts.  The
+    result is the same outcome as the monolithic computation. *)
 
 val certain :
   ?method_:method_ ->
   ?semantics:Qeval.semantics ->
   ?max_effort:int ->
+  ?decompose:bool ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   Qsyntax.t ->

@@ -71,9 +71,14 @@ let symdiff a b = union (diff a b) (diff b a)
 let subset a b =
   Smap.for_all (fun p ts -> Tuple.Set.subset ts (tuples b p)) a
 
-let equal a b = subset a b && subset b a
+(* The representation never stores an empty per-predicate set ([add] only
+   grows sets, [remove]/[filter]/[merge_with] drop emptied keys), so the
+   map comparison is a sound equality — no [atom_set] rebuild, no double
+   [subset] scan.  This is the hot comparator behind state dedup in
+   [Repair.Enumerate]. *)
+let compare a b = Smap.compare Tuple.Set.compare a b
 
-let compare a b = Atom.Set.compare (atom_set a) (atom_set b)
+let equal a b = compare a b = 0
 
 let active_domain d =
   let module Vset = Set.Make (Value) in

@@ -1,0 +1,1 @@
+lib/repair/actions.ml: Fmt Hashtbl Ic List Option Relational Semantics

@@ -1,0 +1,1 @@
+lib/repair/actions.mli: Fmt Ic Relational Semantics

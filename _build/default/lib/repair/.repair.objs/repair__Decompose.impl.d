@@ -1,0 +1,1 @@
+lib/repair/decompose.ml: Actions Candidates Hashtbl Ic List Option Order Relational Semantics Seq

@@ -1,0 +1,1 @@
+lib/repair/decompose.mli: Ic Relational Seq

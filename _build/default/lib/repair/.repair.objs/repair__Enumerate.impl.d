@@ -1,1 +1,1 @@
-lib/repair/enumerate.ml: Candidates Fmt Hashtbl Ic List Option Order Relational Semantics Set
+lib/repair/enumerate.ml: Actions Candidates Decompose Ic List Order Relational Semantics Set

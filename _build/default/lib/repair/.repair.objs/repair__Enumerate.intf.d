@@ -1,1 +1,1 @@
-lib/repair/enumerate.mli: Fmt Ic Relational Semantics
+lib/repair/enumerate.mli: Actions Decompose Fmt Ic Relational Semantics

@@ -1,0 +1,37 @@
+(** Repair actions: the local fixes of one violation (the repair actions of
+    the logic programs of Definition 9) and their ground instantiation.
+
+    Shared by the monolithic state-space search ({!Enumerate}) and the
+    conflict-component planner ({!Decompose}), which both need to know
+    exactly which atoms a violation's fixes can touch. *)
+
+type action = Delete of Relational.Atom.t | Insert of Relational.Atom.t
+
+val pp_action : action Fmt.t
+
+val nnc_positions_of : Ic.Constr.t list -> (string * int) list
+(** NOT NULL-constrained positions as (predicate, 1-based position) pairs. *)
+
+val insertions :
+  universe:Relational.Value.t list ->
+  nnc_positions:(string * int) list ->
+  Semantics.Assign.t ->
+  Ic.Patom.t ->
+  Relational.Atom.t list
+(** Ground instantiations of a consequent atom under the antecedent
+    assignment: existential positions take [null], positions under a
+    conflicting NNC range over the non-null universe (Example 20). *)
+
+val dedup_actions : action list -> action list
+(** First occurrence wins. *)
+
+val fixes :
+  universe:Relational.Value.t list ->
+  nnc_positions:(string * int) list ->
+  Relational.Instance.t ->
+  Semantics.Nullsat.violation ->
+  action list
+(** The local fixes of one violation: delete a matched antecedent tuple or
+    insert one consequent witness not already present. *)
+
+val apply : Relational.Instance.t -> action -> Relational.Instance.t

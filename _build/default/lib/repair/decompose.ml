@@ -1,0 +1,279 @@
+module Atom = Relational.Atom
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Assign = Semantics.Assign
+module Nullsat = Semantics.Nullsat
+
+type component = {
+  atoms : Atom.Set.t;
+  sub : Instance.t;
+  support : Instance.t;
+  ics : Ic.Constr.t list;
+}
+
+type plan = {
+  core : Instance.t;
+  components : component list;
+  universe : Value.t list;
+  nnc_positions : (string * int) list;
+  product_exact : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Union-find over ground atoms.  An absent key is its own singleton
+   class. *)
+
+type uf = (Atom.t, Atom.t) Hashtbl.t
+
+let uf_create () : uf = Hashtbl.create 64
+
+let rec uf_find (uf : uf) a =
+  match Hashtbl.find_opt uf a with
+  | None -> a
+  | Some p when Atom.equal p a -> a
+  | Some p ->
+      let r = uf_find uf p in
+      Hashtbl.replace uf a r;
+      r
+
+let uf_union uf a b =
+  let ra = uf_find uf a and rb = uf_find uf b in
+  if not (Atom.equal ra rb) then Hashtbl.replace uf ra rb
+
+let uf_merge_all uf = function
+  | [] -> ()
+  | a :: rest -> List.iter (uf_union uf a) rest
+
+(* ------------------------------------------------------------------ *)
+(* Potential violations.
+
+   A potential violation (pv) of a generic constraint is an antecedent
+   match over [d_ext] (the instance extended with every insertion candidate
+   discovered so far) whose relevant universal variables are null-free and
+   whose built-in disjunction does not hold — i.e. a match that becomes an
+   actual violation in any search state containing its antecedent atoms and
+   none of its consequent witnesses.  Dropping the consequent-existence
+   check is what makes the analysis state-independent: a witness present in
+   [d] may be deleted mid-search, an absent one may be inserted. *)
+
+let phi_holds g theta =
+  let lookup x = Assign.lookup_exn theta x in
+  List.exists (Ic.Builtin.eval lookup) g.Ic.Constr.phi
+
+let null_escape g =
+  let relevant = Ic.Relevant.relevant_universal_vars g in
+  fun theta ->
+    List.exists
+      (fun x ->
+        match Assign.find theta x with
+        | Some v -> Value.is_null v
+        | None -> false)
+      relevant
+
+(* Ground consequent atoms of [g] present in [d_ext] under [theta]
+   (existential positions match any value). *)
+let cons_witnesses d_ext g theta =
+  List.concat_map
+    (fun c ->
+      Assign.atom_matches d_ext theta c
+      |> List.map (fun theta' -> Ic.Patom.ground (Assign.lookup_exn theta') c))
+    g.Ic.Constr.cons
+
+let iter_pvs d_ext ics ~f =
+  List.iter
+    (function
+      | Ic.Constr.NotNull _ -> ()
+      | Ic.Constr.Generic g ->
+          let escape = null_escape g in
+          Assign.iter_join_with_witness d_ext Assign.empty g.Ic.Constr.ante
+            ~f:(fun theta witness ->
+              if not (escape theta || phi_holds g theta) then f g theta witness))
+    ics
+
+(* ------------------------------------------------------------------ *)
+(* The conflict-component plan.
+
+   Seeds are the actual violations of [d]: their matched tuples and every
+   ground insertion candidate of their fixes form one class.  The closure
+   then repeatedly scans the potential violations of [d_ext]:
+
+   - a pv with a consequent witness in the untouched core can never fire
+     (the witness is never deleted) — it is skipped;
+   - otherwise a pv is {e live} if some antecedent atom is already active,
+     or some consequent witness is (deleting that witness fires the pv).
+     All its antecedent atoms, witnesses and insertion candidates join one
+     class and become active — this is how a cascade drags core tuples into
+     a component (inserting R(a) can fire R(x),T(x) -> false against a core
+     T(a); deleting Q(a) for one constraint can orphan a core P(a) under
+     P(x) -> Q(x)).
+
+   After the active set stabilizes, a second fixpoint collects {e support}
+   atoms: a pv whose antecedent is entirely active-or-support but which is
+   permanently satisfied by a core witness needs that witness present in
+   the component's search instance, or the per-component search would see
+   a spurious violation.  Support atoms are inert — no live pv mentions
+   them, so no repair action ever touches them. *)
+
+let plan d ics =
+  let universe = Candidates.universe d ics in
+  let nnc_positions = Actions.nnc_positions_of ics in
+  let uf = uf_create () in
+  let active = ref Atom.Set.empty in
+  let d_ext = ref d in
+  let activate nodes =
+    let fresh =
+      List.filter (fun a -> not (Atom.Set.mem a !active)) nodes
+    in
+    List.iter
+      (fun a ->
+        active := Atom.Set.add a !active;
+        if not (Instance.mem a !d_ext) then d_ext := Instance.add a !d_ext)
+      fresh;
+    uf_merge_all uf nodes;
+    fresh <> []
+  in
+  (* Seeds: the actual violations of d. *)
+  List.iter
+    (fun ic ->
+      List.iter
+        (fun (v : Nullsat.violation) ->
+          let inserts =
+            match v.Nullsat.ic with
+            | Ic.Constr.NotNull _ -> []
+            | Ic.Constr.Generic g ->
+                List.concat_map
+                  (Actions.insertions ~universe ~nnc_positions v.Nullsat.theta)
+                  g.Ic.Constr.cons
+          in
+          ignore (activate (v.Nullsat.matched @ inserts)))
+        (Nullsat.violations d ic))
+    ics;
+  (* Closure of the active set under cascades. *)
+  let changed = ref (not (Atom.Set.is_empty !active)) in
+  while !changed do
+    changed := false;
+    let snapshot = !d_ext in
+    iter_pvs snapshot ics ~f:(fun g theta witness ->
+        let witnesses = cons_witnesses snapshot g theta in
+        let is_core a = Instance.mem a d && not (Atom.Set.mem a !active) in
+        if not (List.exists is_core witnesses) then begin
+          let live =
+            List.exists (fun a -> Atom.Set.mem a !active) witness
+            || witnesses <> []
+          in
+          if live then begin
+            let inserts =
+              List.concat_map
+                (Actions.insertions ~universe ~nnc_positions theta)
+                g.Ic.Constr.cons
+            in
+            if activate (witness @ witnesses @ inserts) then changed := true
+          end
+        end)
+  done;
+  (* Support: core witnesses keeping otherwise-matchable pvs satisfied. *)
+  let support = ref Instance.empty in
+  let support_changed = ref true in
+  while !support_changed do
+    support_changed := false;
+    iter_pvs !d_ext ics ~f:(fun g theta witness ->
+        let matchable =
+          List.for_all
+            (fun a -> Atom.Set.mem a !active || Instance.mem a !support)
+            witness
+        in
+        if matchable then
+          let witnesses = cons_witnesses !d_ext g theta in
+          let core_witness =
+            List.find_opt
+              (fun a -> Instance.mem a d && not (Atom.Set.mem a !active))
+              witnesses
+          in
+          match core_witness with
+          | Some w when not (Instance.mem w !support) ->
+              support := Instance.add w !support;
+              support_changed := true
+          | _ -> ())
+  done;
+  (* Extract components in a deterministic order. *)
+  let classes : (Atom.t, Atom.Set.t) Hashtbl.t = Hashtbl.create 16 in
+  Atom.Set.iter
+    (fun a ->
+      let r = uf_find uf a in
+      let prev =
+        Option.value ~default:Atom.Set.empty (Hashtbl.find_opt classes r)
+      in
+      Hashtbl.replace classes r (Atom.Set.add a prev))
+    !active;
+  let components =
+    Hashtbl.fold (fun _ atoms acc -> atoms :: acc) classes []
+    |> List.sort (fun a b -> Atom.compare (Atom.Set.min_elt a) (Atom.Set.min_elt b))
+    |> List.map (fun atoms ->
+           let preds =
+             Atom.Set.fold
+               (fun a acc ->
+                 if List.mem (Atom.pred a) acc then acc else Atom.pred a :: acc)
+               atoms []
+           in
+           let ics =
+             List.filter
+               (fun ic ->
+                 List.exists (fun p -> List.mem p preds) (Ic.Constr.preds ic))
+               ics
+           in
+           {
+             atoms;
+             sub =
+               Atom.Set.fold
+                 (fun a acc -> if Instance.mem a d then Instance.add a acc else acc)
+                 atoms Instance.empty;
+             support = !support;
+             ics;
+           })
+  in
+  let core = Instance.filter (fun a -> not (Atom.Set.mem a !active)) d in
+  (* Product exactness: per-component minimality implies global minimality
+     unless a null-carrying atom of one component could cover (condition
+     (b) of <=_D) an atom of another — only then can a cross product of
+     locally minimal repairs be beaten through cross-component covering. *)
+  let product_exact =
+    let tagged =
+      List.concat
+        (List.mapi
+           (fun i c -> List.map (fun a -> (i, a)) (Atom.Set.elements c.atoms))
+           components)
+    in
+    let by_pred : (string, (int * Atom.t) list) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (i, a) ->
+        let p = Atom.pred a in
+        Hashtbl.replace by_pred p
+          ((i, a) :: Option.value ~default:[] (Hashtbl.find_opt by_pred p)))
+      tagged;
+    Hashtbl.fold
+      (fun _ group ok ->
+        ok
+        && List.for_all
+             (fun (i, a) ->
+               (not (Atom.has_null a))
+               || List.for_all
+                    (fun (j, b) ->
+                      i = j || not (Order.matches_non_null_positions a b))
+                    group)
+             group)
+      by_pred true
+  in
+  { core; components; universe; nnc_positions; product_exact }
+
+(* ------------------------------------------------------------------ *)
+(* Lazy recombination *)
+
+let product base choices =
+  let rec go acc = function
+    | [] -> Seq.return acc
+    | cs :: rest ->
+        Seq.concat_map (fun c -> go (Instance.union acc c) rest) (List.to_seq cs)
+  in
+  go base choices
+
+let count_product counts = List.fold_left (fun n c -> n * c) 1 counts

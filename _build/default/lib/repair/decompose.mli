@@ -1,0 +1,68 @@
+(** Conflict-component decomposition of the repair search.
+
+    Repairs are local: every repair action either deletes a tuple matched
+    by some violation or inserts a consequent witness for one, and the
+    cascade a fix can trigger stays inside the set of atoms reachable from
+    the original violations through shared antecedent matches.  The repair
+    set therefore factorizes — [Rep(D, IC)] is the cross product of the
+    repairs of independent {e conflict components} over the fixed untouched
+    core, and its cost collapses from the product of per-component search
+    spaces to their sum.
+
+    The conflict graph's nodes are ground atoms: the tuples matched by the
+    violations of [D] plus every insertion candidate of their fixes.  Its
+    edges come from a closure over {e potential violations} (antecedent
+    matches that could fire in some search state): a potential violation
+    linked to an active atom — through its antecedent, a deletable
+    consequent witness, or an insertion candidate — merges all its atoms
+    into one class.  This covers the two cascade directions: an inserted
+    atom joining core tuples into a fresh violation, and a deletion
+    orphaning core tuples that relied on the deleted atom as a witness.
+    Connected components are computed by union-find.
+
+    Caveats mirrored from the semantics: under a {e conflicting} NNC
+    (Example 20) insertion candidates range over the whole non-null
+    universe, which can merge otherwise unrelated components — [Rep_d]
+    ({!Repd}) avoids this by preferring deletions, and decomposition keeps
+    the same universe so either reading stays exact.  When a null-carrying
+    atom of one component can cover an atom of another under condition (b)
+    of [<=_D] ([product_exact = false]), per-component minimality no longer
+    implies global minimality and callers must fall back to filtering the
+    recombined product. *)
+
+type component = {
+  atoms : Relational.Atom.Set.t;
+      (** every atom the component's search can touch (present tuples and
+          insertion candidates) *)
+  sub : Relational.Instance.t;  (** [atoms ∩ D]: the component's slice *)
+  support : Relational.Instance.t;
+      (** inert core witnesses that must be present in the search instance
+          so permanently-satisfied constraints stay satisfied *)
+  ics : Ic.Constr.t list;  (** constraints whose predicates meet the component *)
+}
+
+type plan = {
+  core : Relational.Instance.t;  (** tuples no repair action can touch *)
+  components : component list;   (** deterministic order; [[]] iff [D] is consistent *)
+  universe : Relational.Value.t list;
+      (** Proposition 1's universe of the {e full} instance — per-component
+          searches must use it, not their slice's, so conflicting-NNC
+          insertions range identically to the monolithic search *)
+  nnc_positions : (string * int) list;
+  product_exact : bool;
+      (** no cross-component [<=_D] covering is possible: products of
+          locally minimal repairs are exactly the globally minimal ones *)
+}
+
+val plan : Relational.Instance.t -> Ic.Constr.t list -> plan
+
+val product :
+  Relational.Instance.t ->
+  Relational.Instance.t list list ->
+  Relational.Instance.t Seq.t
+(** [product base choices] lazily enumerates [base ∪ c1 ∪ ... ∪ cn] for
+    every way of picking one instance per choice list — the cross-product
+    recombination of per-component repairs over the core. *)
+
+val count_product : int list -> int
+(** Product of per-component repair counts (the factored [repair_count]). *)

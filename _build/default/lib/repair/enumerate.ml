@@ -1,103 +1,13 @@
 module Atom = Relational.Atom
 module Instance = Relational.Instance
-module Value = Relational.Value
 module Nullsat = Semantics.Nullsat
 
 exception Budget_exceeded of int
 
-type action = Delete of Atom.t | Insert of Atom.t
+type action = Actions.action = Delete of Atom.t | Insert of Atom.t
 
-let pp_action ppf = function
-  | Delete a -> Fmt.pf ppf "delete %a" Atom.pp a
-  | Insert a -> Fmt.pf ppf "insert %a" Atom.pp a
-
-(* NOT NULL-constrained positions, as (predicate, position) pairs. *)
-let nnc_positions_of ics =
-  List.filter_map
-    (function
-      | Ic.Constr.NotNull n -> Some (n.pred, n.pos)
-      | Ic.Constr.Generic _ -> None)
-    ics
-
-(* Ground instantiations of a consequent atom under the antecedent
-   assignment [theta].  Existential positions take [null]; positions under a
-   conflicting NNC range over the non-null universe instead. *)
-let insertions ~universe ~nnc_positions theta atom =
-  let pred = Ic.Patom.pred atom in
-  let terms = Ic.Patom.terms atom in
-  let non_null_universe = List.filter (fun v -> not (Value.is_null v)) universe in
-  (* Collect the distinct existential variables together with whether any of
-     their positions is NOT NULL-constrained. *)
-  let existentials =
-    List.mapi (fun i t -> (i + 1, t)) terms
-    |> List.filter_map (fun (pos, t) ->
-           match t with
-           | Ic.Term.Const _ -> None
-           | Ic.Term.Var x ->
-               if Option.is_some (Semantics.Assign.find theta x) then None
-               else Some (x, List.mem (pred, pos) nnc_positions))
-  in
-  let existentials =
-    (* deduplicate per variable, a variable is constrained if any of its
-       positions is *)
-    List.fold_left
-      (fun acc (x, constrained) ->
-        match List.assoc_opt x acc with
-        | None -> (x, constrained) :: acc
-        | Some c ->
-            (x, c || constrained) :: List.remove_assoc x acc)
-      [] existentials
-    |> List.rev
-  in
-  let rec assignments theta = function
-    | [] -> [ theta ]
-    | (x, constrained) :: rest ->
-        let choices = if constrained then non_null_universe else [ Value.null ] in
-        List.concat_map
-          (fun v ->
-            match Semantics.Assign.bind theta x v with
-            | Some theta' -> assignments theta' rest
-            | None -> [])
-          choices
-  in
-  List.map
-    (fun theta' -> Ic.Patom.ground (Semantics.Assign.lookup_exn theta') atom)
-    (assignments theta existentials)
-
-(* Deduplicate actions, first occurrence wins, through an action-keyed
-   table — the List.mem scans this replaces were quadratic in the number of
-   candidate actions per state. *)
-let dedup_actions actions =
-  let seen : (action, unit) Hashtbl.t = Hashtbl.create 16 in
-  List.filter
-    (fun a ->
-      if Hashtbl.mem seen a then false
-      else begin
-        Hashtbl.add seen a ();
-        true
-      end)
-    actions
-
-let fixes ~universe ~nnc_positions d (v : Nullsat.violation) =
-  let deletions = List.map (fun a -> Delete a) v.Nullsat.matched in
-  let inserts =
-    match v.Nullsat.ic with
-    | Ic.Constr.NotNull _ -> []
-    | Ic.Constr.Generic g ->
-        List.concat_map
-          (fun atom ->
-            insertions ~universe ~nnc_positions v.Nullsat.theta atom
-            |> List.filter (fun a -> not (Instance.mem a d))
-            |> List.map (fun a -> Insert a))
-          g.Ic.Constr.cons
-  in
-  (* deduplicate deletions (the same tuple can match several antecedent
-     atoms) *)
-  dedup_actions (deletions @ inserts)
-
-let apply d = function
-  | Delete a -> Instance.remove a d
-  | Insert a -> Instance.add a d
+let pp_action = Actions.pp_action
+let fixes = Actions.fixes
 
 module Iset = Set.Make (struct
   type t = Instance.t
@@ -105,12 +15,22 @@ module Iset = Set.Make (struct
   let compare = Instance.compare
 end)
 
-let search ?(max_states = 200_000) d ics =
-  let universe = Candidates.universe d ics in
-  let nnc_positions = nnc_positions_of ics in
+let search ?(max_states = 200_000) ?universe ?nnc_positions ?explored d ics =
+  (* The universe and NNC positions are instance-global (Proposition 1):
+     per-component sub-searches receive the full instance's, already
+     computed once by the planner, instead of refolding the active domain
+     for every component. *)
+  let universe =
+    match universe with Some u -> u | None -> Candidates.universe d ics
+  in
+  let nnc_positions =
+    match nnc_positions with
+    | Some n -> n
+    | None -> Actions.nnc_positions_of ics
+  in
   let seen = ref Iset.empty in
   let consistent = ref [] in
-  let count = ref 0 in
+  let count = match explored with Some r -> r := 0; r | None -> ref 0 in
   (* violations are tracked per constraint and recomputed only for the
      constraints mentioning the predicate an action touched — a constraint's
      violations depend solely on the tuples of its own predicates *)
@@ -128,12 +48,14 @@ let search ?(max_states = 200_000) d ics =
              consequent witnessing a RIC), so restricting to the first
              violation's own actions would lose repairs *)
           let actions =
-            dedup_actions
-              (List.concat_map (fixes ~universe ~nnc_positions state) violations)
+            Actions.dedup_actions
+              (List.concat_map
+                 (Actions.fixes ~universe ~nnc_positions state)
+                 violations)
           in
           List.iter
             (fun act ->
-              let state' = apply state act in
+              let state' = Actions.apply state act in
               let touched =
                 match act with Delete a | Insert a -> Atom.pred a
               in
@@ -154,5 +76,56 @@ let search ?(max_states = 200_000) d ics =
 
 let consistent_states ?max_states d ics = search ?max_states d ics
 
-let repairs ?max_states d ics =
-  Order.minimal_among ~d (search ?max_states d ics)
+(* ------------------------------------------------------------------ *)
+(* Conflict-component decomposition (see Decompose) *)
+
+type decomposed = {
+  plan : Decompose.plan;
+  minimal : Instance.t list list;
+  states : Instance.t list list;
+  explored : int list;
+}
+
+let decomposed ?max_states d ics =
+  let plan = Decompose.plan d ics in
+  let solved =
+    List.map
+      (fun (c : Decompose.component) ->
+        let base = Instance.union c.Decompose.sub c.Decompose.support in
+        let counter = ref 0 in
+        let states =
+          search ?max_states ~universe:plan.Decompose.universe
+            ~nnc_positions:plan.Decompose.nnc_positions ~explored:counter base
+            c.Decompose.ics
+        in
+        (* Minimality is component-local: the symmetric differences of two
+           recombined repairs split by component, so filtering each
+           component's states against its own base replaces the cross
+           product's quadratic filter by per-component ones. *)
+        (Order.minimal_among ~d:base states, states, !counter))
+      plan.Decompose.components
+  in
+  {
+    plan;
+    minimal = List.map (fun (m, _, _) -> m) solved;
+    states = List.map (fun (_, s, _) -> s) solved;
+    explored = List.map (fun (_, _, e) -> e) solved;
+  }
+
+let repairs ?max_states ?(decompose = false) d ics =
+  if not decompose then Order.minimal_among ~d (search ?max_states d ics)
+  else
+    let r = decomposed ?max_states d ics in
+    match r.plan.Decompose.components with
+    | [] -> [ d ]
+    | _ ->
+        if r.plan.Decompose.product_exact then
+          List.of_seq (Decompose.product r.plan.Decompose.core r.minimal)
+        else
+          (* Cross-component covering could beat a product of locally
+             minimal repairs (or keep a locally non-minimal component in a
+             global repair), so recombine the consistent states and filter
+             globally — still cheaper than the monolithic search, which
+             explores the product state space instead of recombining it. *)
+          Order.minimal_among ~d
+            (List.of_seq (Decompose.product r.plan.Decompose.core r.states))

@@ -18,11 +18,17 @@
     The search space is finite (states are sets of atoms over the universe
     of Proposition 1) so the procedure terminates even for RIC-cyclic
     constraint sets (Example 18).  Worst-case exponential, as CQA is
-    Pi^p_2-complete (Theorem 3). *)
+    Pi^p_2-complete (Theorem 3).  [repairs ~decompose:true] fights the
+    exponent by splitting the search along the conflict components of
+    {!Decompose} and recombining per-component repairs by cross product:
+    k independent conflict clusters cost the {e sum} of their searches
+    instead of the product. *)
 
 exception Budget_exceeded of int
 
-type action = Delete of Relational.Atom.t | Insert of Relational.Atom.t
+type action = Actions.action =
+  | Delete of Relational.Atom.t
+  | Insert of Relational.Atom.t
 
 val pp_action : action Fmt.t
 
@@ -33,21 +39,57 @@ val fixes :
   Semantics.Nullsat.violation ->
   action list
 (** The local fixes of one violation (exposed for tests and for the
-    explanation CLI). *)
+    explanation CLI); see {!Actions.fixes}. *)
+
+val search :
+  ?max_states:int ->
+  ?universe:Relational.Value.t list ->
+  ?nnc_positions:(string * int) list ->
+  ?explored:int ref ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  Relational.Instance.t list
+(** All consistent states reached from [D], before minimality filtering.
+    [universe] and [nnc_positions] default to the instance's own
+    (Proposition 1); per-component searches pass the {e global} ones from a
+    {!Decompose.plan} so insertion candidates match the monolithic search.
+    [explored] is reset to [0] and then counts distinct visited states.
+    @raise Budget_exceeded when more than [max_states] (default [200_000])
+    distinct states are explored. *)
 
 val repairs :
   ?max_states:int ->
+  ?decompose:bool ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   Relational.Instance.t list
 (** [Rep(D, IC)].  Deterministic order.  A consistent [D] yields [[D]].
+    With [~decompose:true] (default [false]) the search runs independently
+    per conflict component and the results are recombined — same repair
+    set, per {!Decompose}'s exactness analysis.
     @raise Budget_exceeded when more than [max_states] (default [200_000])
-    distinct states are explored. *)
+    distinct states are explored (per component when decomposing). *)
 
 val consistent_states :
   ?max_states:int ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   Relational.Instance.t list
-(** All consistent states reached by the search, before minimality
-    filtering (exposed for the <=_D property tests). *)
+(** [search] under its historical name (exposed for the <=_D property
+    tests). *)
+
+type decomposed = {
+  plan : Decompose.plan;
+  minimal : Relational.Instance.t list list;
+      (** locally [<=_D]-minimal repairs per component, in [plan.components]
+          order, each relative to the component's [sub ∪ support] *)
+  states : Relational.Instance.t list list;
+      (** all consistent states per component *)
+  explored : int list;  (** states explored per component *)
+}
+
+val decomposed :
+  ?max_states:int -> Relational.Instance.t -> Ic.Constr.t list -> decomposed
+(** Plan and solve every conflict component, without recombining — the
+    building block for decomposed CQA ({!Query.Cqa}) and for the
+    benchmark's decomposition counters. *)

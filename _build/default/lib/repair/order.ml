@@ -36,12 +36,10 @@ let leq ~d d' d'' =
 let lt ~d d' d'' = leq ~d d' d'' && not (leq ~d d'' d')
 
 let minimal_among ~d candidates =
-  let uniq =
-    List.fold_left
-      (fun acc x -> if List.exists (Instance.equal x) acc then acc else x :: acc)
-      [] candidates
-    |> List.rev
-  in
+  (* Dedup through the ordered comparator instead of pairwise [equal] scans:
+     [Instance.compare] is a cheap map comparison, and sorting keeps the
+     result deterministic for callers that print repair lists. *)
+  let uniq = List.sort_uniq Instance.compare candidates in
   List.filter
     (fun x -> not (List.exists (fun y -> lt ~d y x) uniq))
     uniq

@@ -29,7 +29,16 @@ val lt : d:Relational.Instance.t -> Relational.Instance.t -> Relational.Instance
 val minimal_among :
   d:Relational.Instance.t -> Relational.Instance.t list -> Relational.Instance.t list
 (** The [<=_D]-minimal elements of a finite set of instances (duplicates
-    removed first). *)
+    removed first).  Minimality is component-local when the candidates'
+    symmetric differences split over disjoint atom sets with no
+    cross-covering ({!matches_non_null_positions}), which is what lets
+    {!Decompose} filter per component instead of over the cross product. *)
+
+val matches_non_null_positions : Relational.Atom.t -> Relational.Atom.t -> bool
+(** Does the second atom agree with the first on every non-null position of
+    the first (same predicate and arity required)?  This is the covering
+    test of condition (b) of [<=_D]; {!Decompose} uses it to decide whether
+    per-component minimality implies global minimality. *)
 
 val delta : Relational.Instance.t -> Relational.Instance.t -> Relational.Instance.t
 (** [Delta(D, D')], the symmetric difference. *)

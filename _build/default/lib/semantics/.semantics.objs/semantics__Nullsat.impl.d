@@ -1,1 +1,1 @@
-lib/semantics/nullsat.ml: Array Assign Fmt Ic List Option Relational
+lib/semantics/nullsat.ml: Array Assign Fmt Ic List Option Relational String

@@ -138,13 +138,31 @@ let satisfies_literal d ic =
 (* ------------------------------------------------------------------ *)
 (* Admission checking *)
 
+(* One streaming pass per relevant constraint with an atom-membership
+   predicate, instead of materializing every violation of every constraint
+   and filtering afterwards.  Constraints that do not mention the atom's
+   predicate cannot match it and are skipped outright; for NNCs the answer
+   is a direct probe of the atom itself. *)
 let violations_involving d ics atom =
-  List.concat_map
+  let pred = Relational.Atom.pred atom in
+  let acc = ref [] in
+  List.iter
     (fun ic ->
-      List.filter
-        (fun viol -> List.exists (Relational.Atom.equal atom) viol.matched)
-        (violations d ic))
-    ics
+      if List.mem pred (Ic.Constr.preds ic) then
+        match ic with
+        | Ic.Constr.Generic g ->
+            iter_generic_violations d g ic ~f:(fun v ->
+                if List.exists (Relational.Atom.equal atom) v.matched then
+                  acc := v :: !acc)
+        | Ic.Constr.NotNull n ->
+            if
+              String.equal n.pred pred
+              && Relational.Atom.arity atom = n.arity
+              && Value.is_null (Relational.Atom.args atom).(n.pos - 1)
+              && Instance.mem atom d
+            then acc := { ic; theta = Assign.empty; matched = [ atom ] } :: !acc)
+    ics;
+  List.rev !acc
 
 let first_violation d ics =
   List.fold_left

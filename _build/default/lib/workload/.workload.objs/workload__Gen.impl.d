@@ -1,1 +1,1 @@
-lib/workload/gen.ml: Ic List Printf Random Relational
+lib/workload/gen.ml: Array Ic List Printf Random Relational

@@ -163,6 +163,106 @@ let bilateral_loop ?(seed = 42) ~n () =
       ];
   }
 
+let clusters_workload ?(padding = 0) ~k () =
+  (* k independent conflict clusters over SHARED predicates, so the
+     IC-level (predicate-overlap) decomposition cannot split them but the
+     tuple-level conflict graph can: cluster i is a bare S(a_i) violating
+     S(x) -> exists y. R(x,y); repairing by insertion fires
+     R(x,y) -> T(x) in cascade.  Each cluster has exactly two repairs
+     (delete S(a_i), or insert R(a_i, null) and T(a_i)), so Rep(D, IC) has
+     2^k elements while the per-component searches stay constant-size.
+     [padding] adds fully supported S/R/T triples that end up in the
+     untouched core (their S -> R potential violations exercise the
+     support-atom machinery). *)
+  let clusters = List.init k (fun i -> ("S", [ sym "a" i ])) in
+  let pad =
+    List.concat
+      (List.init padding (fun j ->
+           [
+             ("S", [ sym "p" j ]);
+             ("R", [ sym "p" j; sym "b" j ]);
+             ("T", [ sym "p" j ]);
+           ]))
+  in
+  {
+    label = Printf.sprintf "clusters k=%d padding=%d" k padding;
+    d = Instance.of_list (clusters @ pad);
+    ics =
+      [
+        Ic.Constr.generic ~name:"s_r"
+          ~ante:[ atom "S" [ v "x" ] ]
+          ~cons:[ atom "R" [ v "x"; v "y" ] ]
+          ();
+        Ic.Constr.generic ~name:"r_t"
+          ~ante:[ atom "R" [ v "x"; v "y" ] ]
+          ~cons:[ atom "T" [ v "x" ] ]
+          ();
+      ];
+  }
+
+let random_case ?(seed = 42) () =
+  (* Small random schema, instance and constraint set for differential
+     tests (decomposed vs monolithic repairs and CQA).  Kept tiny so the
+     exhaustive searches finish instantly even over ~10^3 cases. *)
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let pool = [| Value.str "a"; Value.str "b"; Value.str "c"; Value.null |] in
+  let pick () = pool.(Random.State.int rng (Array.length pool)) in
+  let tuples pred arity =
+    List.init
+      (Random.State.int rng 4)
+      (fun _ -> (pred, List.init arity (fun _ -> pick ())))
+  in
+  let d =
+    Instance.of_list
+      (tuples "P" 1 @ tuples "Q" 1 @ tuples "R" 2 @ tuples "S" 1)
+  in
+  let menu =
+    [|
+      (fun () ->
+        Ic.Constr.generic ~name:"p_q"
+          ~ante:[ atom "P" [ v "x" ] ]
+          ~cons:[ atom "Q" [ v "x" ] ]
+          ());
+      (fun () ->
+        Ic.Constr.generic ~name:"p_r"
+          ~ante:[ atom "P" [ v "x" ] ]
+          ~cons:[ atom "R" [ v "x"; v "y" ] ]
+          ());
+      (fun () ->
+        Ic.Constr.generic ~name:"r_s"
+          ~ante:[ atom "R" [ v "x"; v "y" ] ]
+          ~cons:[ atom "S" [ v "x" ] ]
+          ());
+      (fun () ->
+        Ic.Builder.functional_dependency ~name:"fd_r" ~pred:"R" ~arity:2
+          ~lhs:[ 1 ] ~rhs:2 ());
+      (fun () -> Ic.Constr.not_null ~name:"nn_r2" ~pred:"R" ~arity:2 ~pos:2 ());
+      (fun () -> Ic.Constr.not_null ~name:"nn_p1" ~pred:"P" ~arity:1 ~pos:1 ());
+      (fun () ->
+        Ic.Builder.denial ~name:"no_ps" [ atom "P" [ v "x" ]; atom "S" [ v "x" ] ]);
+      (fun () ->
+        Ic.Constr.generic ~name:"q_p"
+          ~ante:[ atom "Q" [ v "x" ] ]
+          ~cons:[ atom "P" [ v "x" ] ]
+          ());
+    |]
+  in
+  let n_ics = 1 + Random.State.int rng 3 in
+  let ics =
+    List.init n_ics (fun _ -> menu.(Random.State.int rng (Array.length menu)) ())
+  in
+  (* deduplicate by label so the constraint list is a set *)
+  let ics =
+    List.fold_left
+      (fun acc ic ->
+        if List.exists (fun ic' -> Ic.Constr.label ic' = Ic.Constr.label ic) acc
+        then acc
+        else ic :: acc)
+      [] ics
+    |> List.rev
+  in
+  { label = Printf.sprintf "random seed=%d" seed; d; ics }
+
 let denial_workload ?(seed = 42) ~n ~viol_rate () =
   let rng = Random.State.make [| seed |] in
   let rows =

@@ -48,6 +48,22 @@ val bilateral_loop : ?seed:int -> n:int -> unit -> t
 (** [P(x,y) -> P(y,x)] over a random P — violates Theorem 5's condition and
     grounds to a non-HCF program (bench table E4). *)
 
+val clusters_workload : ?padding:int -> k:int -> unit -> t
+(** [k] independent conflict clusters over {e shared} predicates
+    ([S(a_i)] violating [S(x) -> exists y. R(x,y)], whose insertion repair
+    cascades into [R(x,y) -> T(x)]): the IC-level decomposition of
+    {!Core.Decompose} cannot split them, the tuple-level conflict graph of
+    {!Repair.Decompose} extracts [k] constant-size components.
+    [Rep(D, IC)] has [2^k] repairs.  [padding] adds fully supported
+    [S/R/T] triples that stay in the untouched core (bench table E15). *)
+
+val random_case : ?seed:int -> unit -> t
+(** A small random instance over [P/1, Q/1, R/2, S/1] (values from
+    [{a, b, c, null}]) with 1-3 random constraints drawn from a menu of
+    UICs, a RIC, an FD, NNCs and a denial — the differential-test
+    generator comparing decomposed against monolithic repair enumeration
+    and CQA. *)
+
 val denial_workload : ?seed:int -> n:int -> viol_rate:float -> unit -> t
 (** Denial constraint [P(x,y), P(y,x) -> false] (no bilateral predicates:
     always HCF, Corollary 1). *)

@@ -1,0 +1,1 @@
+test/test_decompose.ml: Alcotest Core Fmt Ic List Printf QCheck QCheck_alcotest Query Relational Repair Workload

@@ -1,8 +1,16 @@
   $ cqanull-bench --json baseline.json --micro --quota 0.005 > /dev/null
   $ cqanull-bench --check-json baseline.json
-  $ grep -o '"\(schema\|tool\|unit\|micro\|solver\)"' baseline.json
+  $ grep -o '"\(schema\|tool\|unit\|micro\|solver\|decompose\)"' baseline.json
   $ grep -c '"engine": "counter"' baseline.json
   $ grep -c '"engine": "naive"' baseline.json
   $ grep -c '"rules_touched": [0-9]' baseline.json
+  $ grep -c '"component_states": \[' baseline.json
+  $ grep -c '"product_exact": "true"' baseline.json
+  $ cqanull-bench --check-json ../../BENCH_PR1.json
+  $ cqanull-bench --check-json ../../BENCH_PR2.json
+  $ cqanull-bench --compare-json ../../BENCH_PR1.json ../../BENCH_PR2.json > compare.out
+  $ tail -1 compare.out
   $ echo '{"schema": "cqanull-bench/1", "micro": [' > broken.json
   $ cqanull-bench --check-json broken.json
+  $ echo '{"schema": "cqanull-bench/9", "tool": "x", "unit": "ns", "micro": [], "solver": []}' > badschema.json
+  $ cqanull-bench --check-json badschema.json

@@ -5,16 +5,17 @@ structural and quota-independent):
 
   $ cqanull-bench --json baseline.json --micro --quota 0.005 > /dev/null
   $ cqanull-bench --check-json baseline.json
-  baseline.json: ok (10 micro rows, 4 solver rows)
+  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows)
 
 Stable top-level keys, in order:
 
-  $ grep -o '"\(schema\|tool\|unit\|micro\|solver\)"' baseline.json
+  $ grep -o '"\(schema\|tool\|unit\|micro\|solver\|decompose\)"' baseline.json
   "schema"
   "tool"
   "unit"
   "micro"
   "solver"
+  "decompose"
 
 The solver telemetry carries both engines for each E4 benchmark and every
 counter field is numeric:
@@ -26,9 +27,39 @@ counter field is numeric:
   $ grep -c '"rules_touched": [0-9]' baseline.json
   4
 
+The decomposition counters cover k = 1, 2, 4, 6 shared-predicate clusters,
+with per-component state counts and the product-exactness flag:
+
+  $ grep -c '"component_states": \[' baseline.json
+  4
+  $ grep -c '"product_exact": "true"' baseline.json
+  4
+
+The checked-in baselines both validate — the PR1 file under the original
+schema, the PR2 file with the decomposition section:
+
+  $ cqanull-bench --check-json ../../BENCH_PR1.json
+  ../../BENCH_PR1.json: ok (10 micro rows, 4 solver rows)
+  $ cqanull-bench --check-json ../../BENCH_PR2.json
+  ../../BENCH_PR2.json: ok (12 micro rows, 4 solver rows, 4 decompose rows)
+
+The regression guard compares the E1/E2 micro rows of the two checked-in
+baselines within a 10x tolerance:
+
+  $ cqanull-bench --compare-json ../../BENCH_PR1.json ../../BENCH_PR2.json > compare.out
+  $ tail -1 compare.out
+  compare ok (3 guarded rows, tolerance 10x)
+
 Malformed input is rejected:
 
   $ echo '{"schema": "cqanull-bench/1", "micro": [' > broken.json
   $ cqanull-bench --check-json broken.json
   broken.json: expected a JSON value at offset 41
+  [1]
+
+An unknown schema version is rejected:
+
+  $ echo '{"schema": "cqanull-bench/9", "tool": "x", "unit": "ns", "micro": [], "solver": []}' > badschema.json
+  $ cqanull-bench --check-json badschema.json
+  badschema.json: unknown schema "cqanull-bench/9"
   [1]

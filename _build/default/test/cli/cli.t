@@ -14,10 +14,10 @@ All six satisfaction semantics side by side:
 The repairs subcommand (stable-model engine by default):
 
   $ cqanull repairs example.cqa
-  repair 1: {Course(21, c15), Course(34, c18), Student(21, ann), Student(34, null), Student(45, paul)}
-    delta: {Student(34, null)}
-  repair 2: {Course(21, c15), Student(21, ann), Student(45, paul)}
+  repair 1: {Course(21, c15), Student(21, ann), Student(45, paul)}
     delta: {Course(34, c18)}
+  repair 2: {Course(21, c15), Course(34, c18), Student(21, ann), Student(34, null), Student(45, paul)}
+    delta: {Student(34, null)}
   2 repair(s)
 
 The model-theoretic engine agrees:
@@ -79,9 +79,9 @@ Saving repairs to files that re-check as consistent:
 
   $ cqanull repairs example.cqa --save rep > /dev/null
   $ cqanull check rep_1.cqa
-  consistent (5 tuples, 1 constraints)
-  $ cqanull check rep_2.cqa
   consistent (3 tuples, 1 constraints)
+  $ cqanull check rep_2.cqa
+  consistent (5 tuples, 1 constraints)
 
 CQA by cautious reasoning (no repairs materialized):
 

@@ -1,0 +1,296 @@
+(* Tests for the conflict-component decomposition (Repair.Decompose): the
+   plan itself, the decomposed enumerator and engines against their
+   monolithic counterparts, and the differential qcheck suites. *)
+
+module Value = Relational.Value
+module Atom = Relational.Atom
+module Instance = Relational.Instance
+module Tuple = Relational.Tuple
+module Term = Ic.Term
+module Patom = Ic.Patom
+module Constr = Ic.Constr
+module Decompose = Repair.Decompose
+module Enumerate = Repair.Enumerate
+module Gen = Workload.Gen
+module Qsyntax = Query.Qsyntax
+
+let v = Term.var
+let atom p ts = Patom.make p ts
+let vn = Value.null
+let vs = Value.str
+
+let instance = Alcotest.testable Instance.pp_inline Instance.equal
+
+let check_repair_set name expected actual =
+  let sort = List.sort Instance.compare in
+  Alcotest.(check (list instance)) name (sort expected) (sort actual)
+
+let same_repairs name d ics =
+  check_repair_set name (Enumerate.repairs d ics)
+    (Enumerate.repairs ~decompose:true d ics)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures from test_repair.ml (Examples 15-20) *)
+
+let ex15_d =
+  Instance.of_list
+    [
+      ("Course", [ Value.int 21; vs "C15" ]);
+      ("Course", [ Value.int 34; vs "C18" ]);
+      ("Student", [ Value.int 21; vs "Ann" ]);
+      ("Student", [ Value.int 45; vs "Paul" ]);
+    ]
+
+let ex15_ric =
+  Constr.generic
+    ~ante:[ atom "Course" [ v "id"; v "code" ] ]
+    ~cons:[ atom "Student" [ v "id"; v "name" ] ]
+    ()
+
+let ex18_d =
+  Instance.of_list [ ("P", [ vs "a"; vs "b" ]); ("P", [ vn; vs "a" ]); ("T", [ vs "c" ]) ]
+
+let ex18_ics =
+  [
+    Constr.generic ~ante:[ atom "P" [ v "x"; v "y" ] ] ~cons:[ atom "T" [ v "x" ] ] ();
+    Constr.generic ~ante:[ atom "T" [ v "x" ] ] ~cons:[ atom "P" [ v "y"; v "x" ] ] ();
+  ]
+
+let ex19_d =
+  Instance.of_list
+    [
+      ("R", [ vs "a"; vs "b" ]);
+      ("R", [ vs "a"; vs "c" ]);
+      ("S", [ vs "e"; vs "f" ]);
+      ("S", [ vn; vs "a" ]);
+    ]
+
+let ex19_ics =
+  Ic.Builder.key ~pred:"R" ~arity:2 ~key:[ 1 ] ()
+  @ [
+      Ic.Builder.foreign_key ~child:"S" ~child_arity:2 ~child_cols:[ 2 ]
+        ~parent:"R" ~parent_arity:2 ~parent_cols:[ 1 ] ();
+      Constr.not_null ~pred:"R" ~arity:2 ~pos:1 ();
+    ]
+
+let ex20_d =
+  Instance.of_list [ ("P", [ vs "a" ]); ("P", [ vs "b" ]); ("Q", [ vs "b"; vs "c" ]) ]
+
+let ex20_ics =
+  [
+    Constr.generic ~ante:[ atom "P" [ v "x" ] ] ~cons:[ atom "Q" [ v "x"; v "y" ] ] ();
+    Constr.not_null ~pred:"Q" ~arity:2 ~pos:2 ();
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The plan *)
+
+let test_plan_consistent () =
+  let d = Instance.of_list [ ("Course", [ Value.int 21; vs "C15" ]); ("Student", [ Value.int 21; vs "Ann" ]) ] in
+  let plan = Decompose.plan d [ ex15_ric ] in
+  Alcotest.(check int) "no components" 0 (List.length plan.Decompose.components);
+  Alcotest.(check bool) "core = D" true (Instance.equal plan.Decompose.core d)
+
+let test_plan_clusters () =
+  let w = Gen.clusters_workload ~padding:2 ~k:4 () in
+  let plan = Decompose.plan w.Gen.d w.Gen.ics in
+  Alcotest.(check int) "4 components" 4 (List.length plan.Decompose.components);
+  Alcotest.(check bool) "product exact" true plan.Decompose.product_exact;
+  (* the padded triples are untouched *)
+  Alcotest.(check int) "core holds the padding" 6 (Instance.cardinal plan.Decompose.core);
+  List.iter
+    (fun (c : Decompose.component) ->
+      Alcotest.(check int) "one original tuple per component" 1
+        (Instance.cardinal c.Decompose.sub);
+      Alcotest.(check int) "both constraints touch each component" 2
+        (List.length c.Decompose.ics))
+    plan.Decompose.components
+
+let test_plan_support_atoms () =
+  (* P(a) violates the RIC, and the UIC P(x) -> Q(x) is permanently
+     satisfied by the core witness Q(a): the component search must carry
+     Q(a) along or it would see a spurious violation. *)
+  let d = Instance.of_list [ ("P", [ vs "a" ]); ("Q", [ vs "a" ]) ] in
+  let ics =
+    [
+      Constr.generic ~name:"ric" ~ante:[ atom "P" [ v "x" ] ]
+        ~cons:[ atom "R" [ v "x"; v "y" ] ]
+        ();
+      Constr.generic ~name:"uic" ~ante:[ atom "P" [ v "x" ] ]
+        ~cons:[ atom "Q" [ v "x" ] ]
+        ();
+    ]
+  in
+  let plan = Decompose.plan d ics in
+  Alcotest.(check int) "one component" 1 (List.length plan.Decompose.components);
+  let c = List.hd plan.Decompose.components in
+  Alcotest.(check bool) "Q(a) is support" true
+    (Instance.mem (Atom.make "Q" [ vs "a" ]) c.Decompose.support);
+  same_repairs "support keeps the repairs equal" d ics
+
+let test_components_share_universe () =
+  (* conflicting NNC (Example 20): insertions range over the universe of
+     the whole instance, even from a component that does not mention every
+     constant *)
+  let plan = Decompose.plan ex20_d ex20_ics in
+  same_repairs "Example 20 decomposed" ex20_d ex20_ics;
+  Alcotest.(check bool) "universe covers c" true
+    (List.mem (vs "c") plan.Decompose.universe)
+
+(* ------------------------------------------------------------------ *)
+(* Decomposed enumeration = monolithic on the paper's examples *)
+
+let test_examples_differential () =
+  same_repairs "Example 15" ex15_d [ ex15_ric ];
+  same_repairs "Example 18 (RIC-cyclic)" ex18_d ex18_ics;
+  same_repairs "Example 19 (key+FK+NNC)" ex19_d ex19_ics;
+  same_repairs "Example 20 (conflicting NNC)" ex20_d ex20_ics
+
+let test_clusters_differential () =
+  let w = Gen.clusters_workload ~padding:1 ~k:3 () in
+  same_repairs "3 clusters" w.Gen.d w.Gen.ics;
+  let reps = Enumerate.repairs ~decompose:true w.Gen.d w.Gen.ics in
+  Alcotest.(check int) "2^3 repairs" 8 (List.length reps)
+
+let test_exploration_collapses () =
+  (* the headline claim: k independent clusters cost the sum, not the
+     product, of the per-cluster searches *)
+  let w = Gen.clusters_workload ~k:4 () in
+  let monolithic = ref 0 in
+  ignore (Enumerate.search ~explored:monolithic w.Gen.d w.Gen.ics);
+  let r = Enumerate.decomposed w.Gen.d w.Gen.ics in
+  let decomposed = List.fold_left ( + ) 0 r.Enumerate.explored in
+  Alcotest.(check bool)
+    (Printf.sprintf "decomposed %d states <= monolithic %d / 5" decomposed !monolithic)
+    true
+    (decomposed * 5 <= !monolithic);
+  Alcotest.(check int) "repair count factorizes" 16
+    (Decompose.count_product (List.map List.length r.Enumerate.minimal))
+
+(* ------------------------------------------------------------------ *)
+(* Engine and CQA wiring *)
+
+let test_engine_decomposed () =
+  let w = Gen.clusters_workload ~k:3 () in
+  let mono = Core.Engine.repairs w.Gen.d w.Gen.ics in
+  let dec = Core.Engine.repairs ~decompose:true w.Gen.d w.Gen.ics in
+  match (mono, dec) with
+  | Ok m, Ok d -> check_repair_set "engine decomposed = monolithic" m d
+  | _ -> Alcotest.fail "engine failed"
+
+let q_single = Qsyntax.make ~head:[ "x" ] (Qsyntax.Atom (atom "S" [ v "x" ]))
+
+let q_join =
+  Qsyntax.make ~head:[ "x" ]
+    (Qsyntax.And (Qsyntax.Atom (atom "R" [ v "x"; v "y" ]), Qsyntax.Atom (atom "T" [ v "x" ])))
+
+let q_negated =
+  Qsyntax.make ~head:[ "x" ]
+    (Qsyntax.And (Qsyntax.Atom (atom "S" [ v "x" ]), Qsyntax.Not (Qsyntax.Atom (atom "T" [ v "x" ]))))
+
+let check_same_outcome name d ics q =
+  let tset = Alcotest.testable (Fmt.any "tuple-set") Tuple.Set.equal in
+  match
+    ( Query.Cqa.consistent_answers ~method_:Query.Cqa.ModelTheoretic d ics q,
+      Query.Cqa.consistent_answers ~method_:Query.Cqa.ModelTheoretic
+        ~decompose:true d ics q )
+  with
+  | Ok mono, Ok dec ->
+      Alcotest.check tset (name ^ ": consistent") mono.Query.Cqa.consistent
+        dec.Query.Cqa.consistent;
+      Alcotest.check tset (name ^ ": possible") mono.Query.Cqa.possible
+        dec.Query.Cqa.possible;
+      Alcotest.(check int)
+        (name ^ ": repair_count")
+        mono.Query.Cqa.repair_count dec.Query.Cqa.repair_count
+  | _ -> Alcotest.fail (name ^ ": CQA failed")
+
+let test_cqa_decomposed () =
+  let w = Gen.clusters_workload ~padding:1 ~k:3 () in
+  check_same_outcome "single-atom" w.Gen.d w.Gen.ics q_single;
+  check_same_outcome "join" w.Gen.d w.Gen.ics q_join;
+  check_same_outcome "negated (fallback)" w.Gen.d w.Gen.ics q_negated
+
+(* ------------------------------------------------------------------ *)
+(* Differential qcheck suites over random schemas *)
+
+let sorted_repairs ?max_states ~decompose d ics =
+  List.sort Instance.compare (Enumerate.repairs ?max_states ~decompose d ics)
+
+let diff_repairs_test =
+  QCheck.Test.make ~name:"decomposed repairs = monolithic (500 random cases)"
+    ~count:500
+    QCheck.(int_bound 1_000_000) (fun seed ->
+      let w = Gen.random_case ~seed () in
+      match
+        ( sorted_repairs ~max_states:50_000 ~decompose:false w.Gen.d w.Gen.ics,
+          sorted_repairs ~max_states:50_000 ~decompose:true w.Gen.d w.Gen.ics )
+      with
+      | mono, dec ->
+          if List.length mono <> List.length dec || not (List.for_all2 Instance.equal mono dec)
+          then
+            QCheck.Test.fail_reportf "repairs differ on %s:@.mono %a@.dec %a"
+              w.Gen.label
+              Fmt.(list ~sep:(any " | ") Instance.pp_inline)
+              mono
+              Fmt.(list ~sep:(any " | ") Instance.pp_inline)
+              dec
+          else true
+      | exception Enumerate.Budget_exceeded _ -> true)
+
+let diff_cqa_test =
+  QCheck.Test.make ~name:"decomposed CQA = monolithic (200 random cases)"
+    ~count:200
+    QCheck.(int_bound 1_000_000) (fun seed ->
+      let w = Gen.random_case ~seed () in
+      List.for_all
+        (fun q ->
+          match
+            ( Query.Cqa.consistent_answers ~method_:Query.Cqa.ModelTheoretic
+                ~max_effort:50_000 w.Gen.d w.Gen.ics q,
+              Query.Cqa.consistent_answers ~method_:Query.Cqa.ModelTheoretic
+                ~max_effort:50_000 ~decompose:true w.Gen.d w.Gen.ics q )
+          with
+          | Ok mono, Ok dec ->
+              Tuple.Set.equal mono.Query.Cqa.consistent dec.Query.Cqa.consistent
+              && Tuple.Set.equal mono.Query.Cqa.possible dec.Query.Cqa.possible
+              && mono.Query.Cqa.repair_count = dec.Query.Cqa.repair_count
+          | Error _, Error _ -> true
+          | _ -> false)
+        [
+          Qsyntax.make ~head:[ "x" ] (Qsyntax.Atom (atom "P" [ v "x" ]));
+          Qsyntax.make ~head:[ "x" ]
+            (Qsyntax.And
+               ( Qsyntax.Atom (atom "R" [ v "x"; v "y" ]),
+                 Qsyntax.Atom (atom "S" [ v "x" ]) ));
+          Qsyntax.make ~head:[ "x" ]
+            (Qsyntax.And
+               ( Qsyntax.Atom (atom "P" [ v "x" ]),
+                 Qsyntax.Not (Qsyntax.Atom (atom "Q" [ v "x" ])) ));
+        ])
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "decompose"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "consistent instance" `Quick test_plan_consistent;
+          Alcotest.test_case "clusters" `Quick test_plan_clusters;
+          Alcotest.test_case "support atoms" `Quick test_plan_support_atoms;
+          Alcotest.test_case "shared universe" `Quick test_components_share_universe;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "paper examples" `Quick test_examples_differential;
+          Alcotest.test_case "clusters" `Quick test_clusters_differential;
+          Alcotest.test_case "exploration collapses" `Quick test_exploration_collapses;
+        ] );
+      ( "wiring",
+        [
+          Alcotest.test_case "engine" `Quick test_engine_decomposed;
+          Alcotest.test_case "cqa" `Quick test_cqa_decomposed;
+        ] );
+      ("qcheck", qcheck [ diff_repairs_test; diff_cqa_test ]);
+    ]
