@@ -162,7 +162,40 @@ let decompose_telemetry () =
         r.Repair.Enumerate.explored ))
     [ 1; 2; 4; 6 ]
 
-let write_json path micro solver_rows decompose_rows =
+(* Budget telemetry (E16): one budgeted end-to-end CQA run per engine,
+   recording the per-stage consumption counters of the shared budget —
+   solver decisions, search states, components solved, wall-clock — so the
+   baseline shows where each engine spends its budget and a counter that
+   silently stops ticking is caught by the non-zero guards of
+   --check-json. *)
+let budget_telemetry () =
+  let w = Workload.Gen.clusters_workload ~padding:1 ~k:2 () in
+  let query =
+    Query.Qsyntax.make ~head:[ "x" ]
+      (Query.Qsyntax.Atom (Ic.Patom.make "S" [ Ic.Term.var "x" ]))
+  in
+  let row name method_ decompose =
+    let stats = Budget.new_stats () in
+    let budget = Budget.start ~stats Budget.unlimited in
+    let outcome =
+      match
+        Query.Cqa.consistent_answers ~method_ ~budget ~decompose
+          w.Workload.Gen.d w.Workload.Gen.ics query
+      with
+      | Ok _ -> "ok"
+      | Error _ -> "error"
+    in
+    Budget.finish budget;
+    (name, decompose, outcome, stats)
+  in
+  [
+    row "E16.budget.mt.decomposed" Query.Cqa.ModelTheoretic true;
+    row "E16.budget.lp.decomposed" Query.Cqa.LogicProgram true;
+    row "E16.budget.lp.monolithic" Query.Cqa.LogicProgram false;
+    row "E16.budget.cautious" Query.Cqa.CautiousProgram false;
+  ]
+
+let write_json path micro solver_rows decompose_rows budget_rows =
   let open Table in
   let micro_rows =
     List.map
@@ -202,23 +235,41 @@ let write_json path micro solver_rows decompose_rows =
           ])
       decompose_rows
   in
+  let budget_json =
+    List.map
+      (fun (name, decompose, outcome, (s : Budget.stats)) ->
+        Obj
+          [
+            ("name", Str name);
+            ("decompose", Str (if decompose then "true" else "false"));
+            ("outcome", Str outcome);
+            ("decisions", Int s.Budget.decisions);
+            ("states", Int s.Budget.states);
+            ("components_solved", Int s.Budget.components_solved);
+            ("elapsed_ms", Int s.Budget.elapsed_ms);
+          ])
+      budget_rows
+  in
   let doc =
     Obj
       [
-        ("schema", Str "cqanull-bench/2");
+        ("schema", Str "cqanull-bench/3");
         ("tool", Str "bench/main.exe --json");
         ("unit", Str "ns/run");
         ("micro", Arr micro_rows);
         ("solver", Arr telemetry_rows);
         ("decompose", Arr decompose_json);
+        ("budget", Arr budget_json);
       ]
   in
   Out_channel.with_open_text path (fun oc -> output_string oc (emit doc));
-  Printf.printf "wrote %s (%d micro rows, %d solver rows, %d decompose rows)\n"
+  Printf.printf
+    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows)\n"
     path
     (List.length micro_rows)
     (List.length telemetry_rows)
     (List.length decompose_json)
+    (List.length budget_json)
 
 (* --check-json: the baseline format's self-test.  Guards the stable keys
    and the numeric fields so the file future PRs diff against cannot drift
@@ -256,7 +307,7 @@ let check_json path =
   in
   let schema = str_field doc "schema" in
   (match schema with
-  | "cqanull-bench/1" | "cqanull-bench/2" -> ()
+  | "cqanull-bench/1" | "cqanull-bench/2" | "cqanull-bench/3" -> ()
   | s -> fail (Printf.sprintf "unknown schema %S" s));
   ignore (str_field doc "tool");
   ignore (str_field doc "unit");
@@ -312,12 +363,49 @@ let check_json path =
              "decomposed exploration exceeds monolithic at k=%d"
              (int_field row "k")))
     decompose;
-  if schema = "cqanull-bench/1" then
-    Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
-      (List.length micro) (List.length solver)
-  else
-    Printf.printf "%s: ok (%d micro rows, %d solver rows, %d decompose rows)\n"
-      path (List.length micro) (List.length solver) (List.length decompose)
+  (* /3 adds the per-stage budget counters: every row must show live
+     consumption — at least one of decisions/states ticked, components
+     solved on decomposed rows, and a started millisecond of wall-clock *)
+  let budget =
+    if schema = "cqanull-bench/3" then arr_field doc "budget" else []
+  in
+  List.iter
+    (fun row ->
+      let name = str_field row "name" in
+      (match str_field row "outcome" with
+      | "ok" | "error" -> ()
+      | s -> fail (Printf.sprintf "unknown outcome %S in %S" s name));
+      let decompose_row =
+        match str_field row "decompose" with
+        | "true" -> true
+        | "false" -> false
+        | s -> fail (Printf.sprintf "non-boolean decompose %S in %S" s name)
+      in
+      List.iter
+        (fun key ->
+          if int_field row key < 0 then
+            fail (Printf.sprintf "negative field %S in %S" key name))
+        [ "decisions"; "states"; "components_solved"; "elapsed_ms" ];
+      if int_field row "decisions" + int_field row "states" = 0 then
+        fail (Printf.sprintf "no budget consumption recorded in %S" name);
+      if decompose_row && int_field row "components_solved" = 0 then
+        fail (Printf.sprintf "no components solved in decomposed row %S" name);
+      if int_field row "elapsed_ms" < 1 then
+        fail (Printf.sprintf "zero elapsed_ms in %S" name))
+    budget;
+  match schema with
+  | "cqanull-bench/1" ->
+      Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
+        (List.length micro) (List.length solver)
+  | "cqanull-bench/2" ->
+      Printf.printf
+        "%s: ok (%d micro rows, %d solver rows, %d decompose rows)\n" path
+        (List.length micro) (List.length solver) (List.length decompose)
+  | _ ->
+      Printf.printf
+        "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows)\n"
+        path (List.length micro) (List.length solver) (List.length decompose)
+        (List.length budget)
 
 (* --compare-json OLD NEW: regression guard over the micro rows both files
    share in the E1/E2 families.  Bechamel estimates from ~5ms cram quotas
@@ -445,5 +533,7 @@ let () =
         if micro || json <> None then run_micro ~quota () else []
       in
       match json with
-      | Some file -> write_json file micro_rows (solver_telemetry ()) (decompose_telemetry ())
+      | Some file ->
+          write_json file micro_rows (solver_telemetry ())
+            (decompose_telemetry ()) (budget_telemetry ())
       | None -> ()

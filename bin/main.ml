@@ -54,6 +54,44 @@ let check_cmd =
 let engine_conv =
   Arg.enum [ ("program", `Program); ("enumerate", `Enumerate) ]
 
+(* Shared budget plumbing for the repairs/cqa subcommands: one budget per
+   invocation (the whole run counts against the deadline), stats printed on
+   demand. *)
+let start_budget ~timeout_ms ~want_stats =
+  if timeout_ms = None && not want_stats then None
+  else
+    Some (Budget.start ~stats:(Budget.new_stats ()) (Budget.make ?timeout_ms ()))
+
+let report_budget ~want_stats budget =
+  match budget with
+  | None -> ()
+  | Some b ->
+      Budget.finish b;
+      if want_stats then Fmt.pr "stats: %a@." Budget.pp_stats (Budget.stats b)
+
+let timeout_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout" ] ~docv:"MS"
+        ~doc:"Wall-clock deadline for the whole run, in milliseconds; \
+              exceeding it reports an error (or a partial outcome when \
+              decomposing) instead of running forever.")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the run's budget counters (solver decisions, search \
+              states, components solved, elapsed wall-clock).")
+
+let decompose_flag =
+  Arg.(
+    value & flag
+    & info [ "decompose" ]
+        ~doc:"Solve independently per conflict component and recombine \
+              (not available with --engine cautious).")
+
 let method_conv =
   Arg.enum
     [ ("program", `Program); ("enumerate", `Enumerate); ("cautious", `Cautious) ]
@@ -68,7 +106,7 @@ let print_repairs d repairs =
   Fmt.pr "%d repair(s)@." (List.length repairs)
 
 let repairs_cmd =
-  let run file engine repd save =
+  let run file engine repd save decompose timeout_ms want_stats =
     let l = load_or_die file in
     let d = l.Lang.Load.instance and ics = l.Lang.Load.ics in
     (match Ic.Builder.non_conflicting ics with
@@ -78,31 +116,45 @@ let repairs_cmd =
           "warning: NOT NULL-constraint '%s' conflicts with the existential \
            attribute of '%s' (Example 20 situation); consider --repd@."
           (Ic.Constr.label nnc) (Ic.Constr.label ic));
-    let repairs =
-      if repd then Repair.Repd.repairs_d d ics
+    let budget = start_budget ~timeout_ms ~want_stats in
+    let result =
+      if repd then Ok (Repair.Repd.repairs_d d ics)
       else
         match engine with
-        | `Enumerate -> Repair.Enumerate.repairs d ics
+        | `Enumerate -> (
+            match Repair.Enumerate.repairs ?budget ~decompose d ics with
+            | reps -> Ok reps
+            | exception Repair.Enumerate.Budget_exceeded n ->
+                Error (Budget.message (Budget.States n))
+            | exception Budget.Exhausted e -> Error (Budget.message e))
         | `Program -> (
-            match Core.Engine.repairs d ics with
-            | Ok reps -> reps
-            | Error msg ->
+            match Core.Engine.repairs ?budget ~decompose d ics with
+            | Ok _ as ok -> ok
+            | Error msg when timeout_ms = None ->
                 Fmt.epr "repair program not applicable (%s); falling back to \
                          enumeration@." msg;
-                Repair.Enumerate.repairs d ics)
+                Ok (Repair.Enumerate.repairs ?budget ~decompose d ics)
+            | Error _ as e -> e)
     in
-    print_repairs d repairs;
-    (match save with
-    | None -> ()
-    | Some prefix ->
-        List.iteri
-          (fun i r ->
-            let path = Printf.sprintf "%s_%d.cqa" prefix (i + 1) in
-            Out_channel.with_open_text path (fun oc ->
-                output_string oc (Lang.Emit.file ~ics r));
-            Fmt.pr "wrote %s@." path)
-          repairs);
-    0
+    match result with
+    | Error msg ->
+        report_budget ~want_stats budget;
+        Fmt.epr "error: %s@." msg;
+        1
+    | Ok repairs ->
+        print_repairs d repairs;
+        report_budget ~want_stats budget;
+        (match save with
+        | None -> ()
+        | Some prefix ->
+            List.iteri
+              (fun i r ->
+                let path = Printf.sprintf "%s_%d.cqa" prefix (i + 1) in
+                Out_channel.with_open_text path (fun oc ->
+                    output_string oc (Lang.Emit.file ~ics r));
+                Fmt.pr "wrote %s@." path)
+              repairs);
+        0
   in
   let engine_flag =
     Arg.(
@@ -125,14 +177,15 @@ let repairs_cmd =
   Cmd.v
     (Cmd.info "repairs" ~doc:"Enumerate the repairs of the database.")
     Term.(
-      const (fun f e r s -> Stdlib.exit (run f e r s))
-      $ file_arg $ engine_flag $ repd_flag $ save_flag)
+      const (fun f e r s dc t st -> Stdlib.exit (run f e r s dc t st))
+      $ file_arg $ engine_flag $ repd_flag $ save_flag $ decompose_flag
+      $ timeout_flag $ stats_flag)
 
 (* ------------------------------------------------------------------ *)
 (* cqa *)
 
 let cqa_cmd =
-  let run file query_name engine =
+  let run file query_name engine decompose timeout_ms want_stats =
     let l = load_or_die file in
     let d = l.Lang.Load.instance and ics = l.Lang.Load.ics in
     let queries =
@@ -155,16 +208,18 @@ let cqa_cmd =
       | `Enumerate -> Query.Cqa.ModelTheoretic
       | `Cautious -> Query.Cqa.CautiousProgram
     in
+    let budget = start_budget ~timeout_ms ~want_stats in
     List.iter
       (fun (name, q) ->
         Fmt.pr "query %s: %a@." name Query.Qsyntax.pp q;
         (match Query.Qsafe.check q with
         | Ok () -> ()
         | Error msg -> Fmt.pr "  note: %s@." msg);
-        match Query.Cqa.consistent_answers ~method_ d ics q with
+        match Query.Cqa.consistent_answers ~method_ ?budget ~decompose d ics q with
         | Error msg -> Fmt.pr "  error: %s@." msg
         | Ok outcome -> Fmt.pr "%a@." Query.Cqa.pp_outcome outcome)
       queries;
+    report_budget ~want_stats budget;
     0
   in
   let query_flag =
@@ -181,7 +236,10 @@ let cqa_cmd =
   in
   Cmd.v
     (Cmd.info "cqa" ~doc:"Compute consistent answers (Definition 8) to the file's queries.")
-    Term.(const (fun f q e -> Stdlib.exit (run f q e)) $ file_arg $ query_flag $ engine_flag)
+    Term.(
+      const (fun f q e dc t st -> Stdlib.exit (run f q e dc t st))
+      $ file_arg $ query_flag $ engine_flag $ decompose_flag $ timeout_flag
+      $ stats_flag)
 
 (* ------------------------------------------------------------------ *)
 (* export *)

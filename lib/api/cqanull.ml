@@ -34,3 +34,6 @@ module Lang = Lang
 
 module Workload = Workload
 (** The paper's instances and synthetic generators. *)
+
+module Budget = Budget
+(** Shared resource budgets: limits, deadline, per-stage stats. *)

@@ -58,10 +58,21 @@ let match_body ~tuples_of (r : Syntax.rule) emit =
   in
   go [] r.Syntax.body_pos
 
-let ground (program : Syntax.program) =
+let ground ?budget (program : Syntax.program) =
   (match Safety.check program with
   | Ok () -> ()
   | Error msg -> raise (Unsafe msg));
+  (* The instantiation loops carry no decision or state counter, so the
+     budget contributes only its wall-clock deadline — probed every 256
+     body matches to keep the clock read off the per-match path. *)
+  let match_tick = ref 0 in
+  let tick () =
+    match budget with
+    | None -> ()
+    | Some b ->
+        incr match_tick;
+        if !match_tick land 255 = 0 then Budget.check_deadline b
+  in
   (* possible-atom fixpoint *)
   let by_pred : (string, Syntax.const list list) Hashtbl.t = Hashtbl.create 64 in
   let possible = ref Gset.empty in
@@ -80,6 +91,7 @@ let ground (program : Syntax.program) =
     List.iter
       (fun (r : Syntax.rule) ->
         match_body ~tuples_of r (fun s ->
+            tick ();
             List.iter
               (fun h ->
                 if add_possible (ground_atom s h) then changed := true)
@@ -92,6 +104,7 @@ let ground (program : Syntax.program) =
   List.iter
     (fun (r : Syntax.rule) ->
       match_body ~tuples_of r (fun s ->
+          tick ();
           let head = List.map (fun h -> Ground.intern g (ground_atom s h)) r.Syntax.head in
           let pos = List.map (fun a -> Ground.intern g (ground_atom s a)) r.Syntax.body_pos in
           let neg =

@@ -13,8 +13,12 @@
 
 exception Unsafe of string
 
-val ground : Syntax.program -> Ground.t
-(** @raise Unsafe if some rule is not safe. *)
+val ground : ?budget:Budget.ctl -> Syntax.program -> Ground.t
+(** [budget] contributes its wall-clock deadline to the instantiation
+    loops (grounding has no decision/state counter of its own).
+    @raise Unsafe if some rule is not safe.
+    @raise Budget.Exhausted on deadline; engine APIs convert it to
+    [Error]. *)
 
 val ground_stats : Ground.t -> string
 (** One-line summary: #atoms, #rules (used in bench table E5). *)

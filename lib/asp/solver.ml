@@ -297,8 +297,8 @@ let is_stable_model g m = is_stable_in ~n:(Ground.atom_count g) (Ground.rules g)
    hits 0 is a conflict, and at 1 the single remaining supporter's body is
    forced, exactly like the sweep-based reference solver. *)
 
-let stable_models ?limit ?(max_decisions = 10_000_000) ?(support_propagation = true)
-    ?stats g =
+let stable_models ?budget ?limit ?(max_decisions = 10_000_000)
+    ?(support_propagation = true) ?stats g =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let { Ground.idx_rules = rules; head_occ; pos_occ; neg_occ } = Ground.index g in
   let nr = Array.length rules in
@@ -516,6 +516,7 @@ let stable_models ?limit ?(max_decisions = 10_000_000) ?(support_propagation = t
            stats.decisions <- stats.decisions + 1;
            if stats.decisions > max_decisions then
              raise (Budget_exceeded max_decisions);
+           (match budget with Some b -> Budget.tick_decision b | None -> ());
            let mark2 = !trail in
            assign i fls;
            search ();
@@ -552,7 +553,7 @@ let stable_models ?limit ?(max_decisions = 10_000_000) ?(support_propagation = t
    list.  [rules_touched] counts those per-rule visits, which is what the
    occurrence-list engine above is measured against. *)
 
-let stable_models_naive ?limit ?(max_decisions = 10_000_000)
+let stable_models_naive ?budget ?limit ?(max_decisions = 10_000_000)
     ?(support_propagation = true) ?stats g =
   let stats = match stats with Some s -> s | None -> new_stats () in
   let rules = Ground.rules g in
@@ -708,6 +709,7 @@ let stable_models_naive ?limit ?(max_decisions = 10_000_000)
            stats.decisions <- stats.decisions + 1;
            if stats.decisions > max_decisions then
              raise (Budget_exceeded max_decisions);
+           (match budget with Some b -> Budget.tick_decision b | None -> ());
            let mark2 = !trail in
            assign i fls;
            search ();
@@ -722,15 +724,15 @@ let stable_models_naive ?limit ?(max_decisions = 10_000_000)
   (* deterministic order: sort models *)
   List.sort (List.compare Int.compare) !models
 
-let stable_models_atoms ?limit ?max_decisions ?stats g =
-  stable_models ?limit ?max_decisions ?stats g
+let stable_models_atoms ?budget ?limit ?max_decisions ?stats g =
+  stable_models ?budget ?limit ?max_decisions ?stats g
   |> List.map (fun m -> Ground.model_atoms g m)
 
 (* Cautious/brave consequences over the already-sorted model list, by set
    intersection/union instead of the quadratic List.mem filters. *)
 
-let cautious ?max_decisions g =
-  match stable_models ?max_decisions g with
+let cautious ?budget ?max_decisions g =
+  match stable_models ?budget ?max_decisions g with
   | [] -> []
   | m :: rest ->
       Iset.elements
@@ -738,8 +740,8 @@ let cautious ?max_decisions g =
            (fun acc model -> Iset.inter acc (Iset.of_list model))
            (Iset.of_list m) rest)
 
-let brave ?max_decisions g =
+let brave ?budget ?max_decisions g =
   Iset.elements
     (List.fold_left
        (fun acc model -> Iset.union acc (Iset.of_list model))
-       Iset.empty (stable_models ?max_decisions g))
+       Iset.empty (stable_models ?budget ?max_decisions g))

@@ -48,19 +48,24 @@ type stats = {
 }
 
 val stable_models :
-  ?limit:int -> ?max_decisions:int -> ?support_propagation:bool ->
-  ?stats:stats -> Ground.t -> int list list
+  ?budget:Budget.ctl -> ?limit:int -> ?max_decisions:int ->
+  ?support_propagation:bool -> ?stats:stats -> Ground.t -> int list list
 (** All stable models as sorted lists of atom ids; [limit] caps how many are
     returned, [max_decisions] (default [10_000_000]) bounds the search.
-    [support_propagation] (default true) enables the supportedness
-    propagation described above; disabling it is only useful for the
-    ablation bench (table E12) — the result is identical, the search
-    exponentially wider.
-    @raise Budget_exceeded when the bound is hit. *)
+    [budget] is the run-global budget: every decision also ticks it, so a
+    shared decision limit and the wall-clock deadline are enforced across
+    the stages of an engine run (the per-call [max_decisions] bound remains
+    local to this search).  [support_propagation] (default true) enables
+    the supportedness propagation described above; disabling it is only
+    useful for the ablation bench (table E12) — the result is identical,
+    the search exponentially wider.
+    @raise Budget_exceeded when the local bound is hit.
+    @raise Budget.Exhausted when [budget] trips; public engine APIs catch
+    both and return [Error] — see {!Budget}. *)
 
 val stable_models_naive :
-  ?limit:int -> ?max_decisions:int -> ?support_propagation:bool ->
-  ?stats:stats -> Ground.t -> int list list
+  ?budget:Budget.ctl -> ?limit:int -> ?max_decisions:int ->
+  ?support_propagation:bool -> ?stats:stats -> Ground.t -> int list list
 (** The sweep-based reference implementation (full rule-array re-scan per
     propagation pass, supporter-list re-filtering per true atom).  Same
     arguments, same result as {!stable_models} — kept as the differential
@@ -68,8 +73,8 @@ val stable_models_naive :
     numbers.  Not used on any production path. *)
 
 val stable_models_atoms :
-  ?limit:int -> ?max_decisions:int -> ?stats:stats -> Ground.t ->
-  Ground.gatom list list
+  ?budget:Budget.ctl -> ?limit:int -> ?max_decisions:int -> ?stats:stats ->
+  Ground.t -> Ground.gatom list list
 (** {!stable_models} with atoms resolved, each model sorted. *)
 
 val is_stable_model : Ground.t -> int list -> bool
@@ -80,12 +85,12 @@ val new_stats : unit -> stats
 val pp_stats : stats Fmt.t
 
 val cautious :
-  ?max_decisions:int -> Ground.t -> int list
+  ?budget:Budget.ctl -> ?max_decisions:int -> Ground.t -> int list
 (** Atoms true in every stable model, ascending (empty if there is no
     stable model — by convention of cautious reasoning over an inconsistent
     program every atom is a consequence, but the repair setting guarantees
     models whenever [IC] is non-conflicting, so we return the intersection
     of an empty family as the empty list and let callers decide). *)
 
-val brave : ?max_decisions:int -> Ground.t -> int list
+val brave : ?budget:Budget.ctl -> ?max_decisions:int -> Ground.t -> int list
 (** Atoms true in at least one stable model, ascending. *)

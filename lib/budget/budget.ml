@@ -1,0 +1,89 @@
+type limits = {
+  max_decisions : int option;
+  max_states : int option;
+  timeout_ms : int option;
+}
+
+let unlimited = { max_decisions = None; max_states = None; timeout_ms = None }
+
+let make ?max_decisions ?max_states ?timeout_ms () =
+  { max_decisions; max_states; timeout_ms }
+
+type exhausted = Decisions of int | States of int | Deadline of int
+
+let message = function
+  | Decisions n -> Printf.sprintf "solver budget (%d decisions) exceeded" n
+  | States n -> Printf.sprintf "repair search budget (%d states) exceeded" n
+  | Deadline ms -> Printf.sprintf "deadline (%d ms) exceeded" ms
+
+let pp_exhausted ppf e = Fmt.string ppf (message e)
+
+type stats = {
+  mutable decisions : int;
+  mutable states : int;
+  mutable components_solved : int;
+  mutable elapsed_ms : int;
+}
+
+let new_stats () =
+  { decisions = 0; states = 0; components_solved = 0; elapsed_ms = 0 }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "decisions=%d states=%d components_solved=%d elapsed_ms=%d"
+    s.decisions s.states s.components_solved s.elapsed_ms
+
+type ctl = {
+  lim : limits;
+  sink : stats;
+  started : float;
+  deadline : float option;  (* absolute, seconds since the epoch *)
+}
+
+exception Exhausted of exhausted
+
+let start ?stats lim =
+  let now = Unix.gettimeofday () in
+  {
+    lim;
+    sink = (match stats with Some s -> s | None -> new_stats ());
+    started = now;
+    deadline =
+      Option.map (fun ms -> now +. (float_of_int ms /. 1000.)) lim.timeout_ms;
+  }
+
+let stats t = t.sink
+let limits t = t.lim
+
+(* Round up to a started millisecond so a finished run never reports 0 —
+   the counters in the bench baseline are guarded to be non-zero. *)
+let elapsed_ms t =
+  let ms = (Unix.gettimeofday () -. t.started) *. 1000. in
+  max 1 (int_of_float (Float.ceil ms))
+
+let finish t = t.sink.elapsed_ms <- elapsed_ms t
+
+let exhaust t e =
+  finish t;
+  raise (Exhausted e)
+
+let check_deadline t =
+  match t.deadline with
+  | Some dl when Unix.gettimeofday () > dl ->
+      exhaust t (Deadline (Option.value ~default:0 t.lim.timeout_ms))
+  | _ -> ()
+
+let tick_decision t =
+  t.sink.decisions <- t.sink.decisions + 1;
+  (match t.lim.max_decisions with
+  | Some m when t.sink.decisions > m -> exhaust t (Decisions m)
+  | _ -> ());
+  check_deadline t
+
+let tick_state t =
+  t.sink.states <- t.sink.states + 1;
+  (match t.lim.max_states with
+  | Some m when t.sink.states > m -> exhaust t (States m)
+  | _ -> ());
+  check_deadline t
+
+let note_component t = t.sink.components_solved <- t.sink.components_solved + 1

@@ -1,0 +1,99 @@
+(** Unified resource budgets for the CQA engines.
+
+    CQA under null-based repairs is Pi^p_2-complete (Theorem 3), so every
+    engine in this repository runs under a budget.  This module is the one
+    place those budgets are defined: a {!limits} record combines the state
+    limit of the model-theoretic repair search ({!Repair.Enumerate}), the
+    decision limit of the stable-model solver ({!Asp.Solver}) and a
+    wall-clock deadline, and a running {!ctl} carries the limits together
+    with per-stage consumption counters ({!stats}).
+
+    The contract with the engines is:
+
+    - budget-checked loops (solver decisions, grounder instantiation,
+      repair-search states, per-component solves) call the [tick_*]
+      checkpoints, which raise {!Exhausted} the moment a limit is hit;
+    - {e no public engine API lets that exception escape} — every engine
+      converts it to [Error (message e)] or, on the decomposed paths, to a
+      partial result carrying the {!exhausted} marker for the components
+      already solved (the polynomial-fallback shape of Laurent & Spyratos:
+      when the full problem is too expensive, return the certified part).
+
+    A [ctl] is shared across the stages of one engine run (and across the
+    per-component solves of a decomposed run), so the limits are global to
+    the run while each stage's consumption accumulates into one {!stats}
+    record. *)
+
+type limits = {
+  max_decisions : int option;  (** solver branch points, across the run *)
+  max_states : int option;     (** repair-search states, across the run *)
+  timeout_ms : int option;     (** wall-clock deadline, from {!start} *)
+}
+
+val unlimited : limits
+
+val make :
+  ?max_decisions:int -> ?max_states:int -> ?timeout_ms:int -> unit -> limits
+(** Omitted fields are unlimited. *)
+
+type exhausted =
+  | Decisions of int  (** the decision limit that was hit *)
+  | States of int     (** the state limit that was hit *)
+  | Deadline of int   (** the deadline ([timeout_ms]) that passed *)
+
+val message : exhausted -> string
+(** The user-facing error string, matching the engines' historical
+    formats: ["solver budget (%d decisions) exceeded"],
+    ["repair search budget (%d states) exceeded"],
+    ["deadline (%d ms) exceeded"]. *)
+
+val pp_exhausted : exhausted Fmt.t
+
+type stats = {
+  mutable decisions : int;         (** solver branch points explored *)
+  mutable states : int;            (** repair-search states visited *)
+  mutable components_solved : int; (** decomposed components completed *)
+  mutable elapsed_ms : int;
+      (** wall-clock of the run, rounded up to a started millisecond;
+          written by {!finish} (and on exhaustion), [0] while running *)
+}
+
+val new_stats : unit -> stats
+val pp_stats : stats Fmt.t
+
+type ctl
+(** A started budget: limits, the absolute deadline and the stats sink. *)
+
+exception Exhausted of exhausted
+(** Raised by the checkpoints below.  Internal to the engines: every
+    public API catches it and returns [Error]/a partial outcome. *)
+
+val start : ?stats:stats -> limits -> ctl
+(** Start the clock.  [stats] (fresh by default) receives the counters;
+    pass an existing record to surface them (e.g. for [--stats]). *)
+
+val stats : ctl -> stats
+val limits : ctl -> limits
+
+val elapsed_ms : ctl -> int
+(** Milliseconds since {!start}, rounded up (never [0]). *)
+
+val tick_decision : ctl -> unit
+(** Count one solver decision; checks the decision limit and the
+    deadline.  @raise Exhausted when either is hit. *)
+
+val tick_state : ctl -> unit
+(** Count one repair-search state; checks the state limit and the
+    deadline.  @raise Exhausted when either is hit. *)
+
+val check_deadline : ctl -> unit
+(** Deadline check alone — for loops with no natural counter (grounder
+    instantiation, decomposition planning).  @raise Exhausted on
+    deadline. *)
+
+val note_component : ctl -> unit
+(** Count one decomposed component solved to completion.  Never
+    raises. *)
+
+val finish : ctl -> unit
+(** Record the elapsed wall-clock into the stats.  Idempotent. *)

@@ -49,7 +49,7 @@ let product lists =
       List.concat_map (fun partial -> List.map (fun c -> Instance.union partial c) choices) acc)
     [ Instance.empty ] lists
 
-let repairs ?(engine = `Program) ?max_effort d ics =
+let repairs ?(engine = `Program) ?budget ?max_effort d ics =
   let groups = components ics in
   let constrained_preds = List.concat_map snd groups in
   let untouched =
@@ -61,11 +61,14 @@ let repairs ?(engine = `Program) ?max_effort d ics =
     let slice = Relational.Projection.restrict_to preds d in
     match engine with
     | `Enumerate -> (
-        match Repair.Enumerate.repairs ?max_states:max_effort slice group with
+        match
+          Repair.Enumerate.repairs ?budget ?max_states:max_effort slice group
+        with
         | reps -> Ok reps
         | exception Repair.Enumerate.Budget_exceeded n ->
-            Error (Printf.sprintf "budget (%d states) exceeded" n))
-    | `Program -> Engine.repairs ?max_decisions:max_effort slice group
+            Error (Printf.sprintf "budget (%d states) exceeded" n)
+        | exception Budget.Exhausted e -> Error (Budget.message e))
+    | `Program -> Engine.repairs ?budget ?max_decisions:max_effort slice group
   in
   let* per_component =
     List.fold_left

@@ -26,9 +26,12 @@ type stats = {
 
 val repairs :
   ?engine:[ `Enumerate | `Program ] ->
+  ?budget:Budget.ctl ->
   ?max_effort:int ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   (Relational.Instance.t list * stats, string) result
 (** The full repair set, assembled from per-component repairs.  [engine]
-    selects the per-component solver (default [`Program]). *)
+    selects the per-component solver (default [`Program]).  Budget
+    exhaustion (including the shared [budget]'s limits and deadline) is an
+    [Error], never an exception. *)

@@ -10,79 +10,132 @@ type report = {
   solver : Asp.Solver.stats;
 }
 
-let run ?variant ?optimize ?(shift = true) ?(solver = `Counter) ?max_decisions d
-    ics =
-  Result.map
-    (fun (pg : Proggen.t) ->
-      let ground = Asp.Grounder.ground pg.Proggen.program in
-      let hcf = Asp.Hcf.is_hcf ground in
-      let shifted = shift && hcf in
-      let solvable = if shifted then Asp.Shift.ground ground else ground in
-      let stats = Asp.Solver.new_stats () in
-      let solve =
-        match solver with
-        | `Counter -> Asp.Solver.stable_models
-        | `Naive -> Asp.Solver.stable_models_naive
-      in
-      let models =
-        solve ?max_decisions ~stats solvable
-        |> List.map (Asp.Ground.model_atoms solvable)
-      in
-      let extracted = Extract.databases_of_models pg.Proggen.names models in
-      (* For RIC-acyclic IC the stable models are exactly the repairs
-         (Theorem 4) and this filter is a no-op.  For cyclic sets the
-         disjunctive rules can support deletion cascades circularly (a
-         delete-advice on the RIC side firing the UIC rule and vice versa),
-         producing stable models whose databases are consistent but not
-         <=_D-minimal; filtering recovers Rep(D, IC). *)
-      let repairs = Repair.Order.minimal_among ~d extracted in
-      {
-        repairs;
-        stable_model_count = List.length models;
-        ground_atoms = Asp.Ground.atom_count ground;
-        ground_rules = Asp.Ground.rule_count ground;
-        hcf;
-        static_hcf = Hcfcheck.static_hcf ics;
-        shifted;
-        ric_acyclic = Ic.Depgraph.is_ric_acyclic ics;
-        solver = stats;
-      })
-    (Proggen.repair_program ?variant ?optimize d ics)
+(* Ground and solve one repair program.  Raises the budget exceptions of
+   the grounder/solver; [run] and [solve_components] below are the
+   conversion boundaries — no exception escapes a public Engine API. *)
+let run_exn ?budget ?(shift = true) ?(solver = `Counter) ?max_decisions d ics
+    (pg : Proggen.t) =
+  let ground = Asp.Grounder.ground ?budget pg.Proggen.program in
+  let hcf = Asp.Hcf.is_hcf ground in
+  let shifted = shift && hcf in
+  let solvable = if shifted then Asp.Shift.ground ground else ground in
+  let stats = Asp.Solver.new_stats () in
+  let solve =
+    match solver with
+    | `Counter -> Asp.Solver.stable_models
+    | `Naive -> Asp.Solver.stable_models_naive
+  in
+  let models =
+    solve ?budget ?max_decisions ~stats solvable
+    |> List.map (Asp.Ground.model_atoms solvable)
+  in
+  let extracted = Extract.databases_of_models pg.Proggen.names models in
+  (* For RIC-acyclic IC the stable models are exactly the repairs
+     (Theorem 4) and this filter is a no-op.  For cyclic sets the
+     disjunctive rules can support deletion cascades circularly (a
+     delete-advice on the RIC side firing the UIC rule and vice versa),
+     producing stable models whose databases are consistent but not
+     <=_D-minimal; filtering recovers Rep(D, IC). *)
+  let repairs = Repair.Order.minimal_among ~d extracted in
+  {
+    repairs;
+    stable_model_count = List.length models;
+    ground_atoms = Asp.Ground.atom_count ground;
+    ground_rules = Asp.Ground.rule_count ground;
+    hcf;
+    static_hcf = Hcfcheck.static_hcf ics;
+    shifted;
+    ric_acyclic = Ic.Depgraph.is_ric_acyclic ics;
+    solver = stats;
+  }
 
-let repairs ?variant ?optimize ?max_decisions ?(decompose = false) d ics =
+let run ?variant ?optimize ?shift ?solver ?budget ?max_decisions d ics =
+  Result.bind (Proggen.repair_program ?variant ?optimize d ics) (fun pg ->
+      match run_exn ?budget ?shift ?solver ?max_decisions d ics pg with
+      | report -> Ok report
+      | exception Asp.Solver.Budget_exceeded n ->
+          Error (Budget.message (Budget.Decisions n))
+      | exception Budget.Exhausted e -> Error (Budget.message e))
+
+type components_result = {
+  solved : Relational.Instance.t list list;
+  completed : int;
+  exhausted : Budget.exhausted option;
+}
+
+let solve_components ?variant ?optimize ?budget ?max_decisions
+    (plan : Repair.Decompose.plan) =
+  let component_base (c : Repair.Decompose.component) =
+    Relational.Instance.union c.Repair.Decompose.sub c.Repair.Decompose.support
+  in
+  (* Mirrors Repair.Enumerate.decomposed: on exhaustion keep the repairs of
+     the components already solved and degrade the remaining ones to their
+     unrepaired base slice, marked [exhausted]. *)
+  let rec traverse acc n = function
+    | [] -> Ok { solved = List.rev acc; completed = n; exhausted = None }
+    | (c : Repair.Decompose.component) :: rest -> (
+        let base = component_base c in
+        match
+          Result.map
+            (fun r -> r.repairs)
+            (Result.bind
+               (Proggen.repair_program ?variant ?optimize base
+                  c.Repair.Decompose.ics)
+               (fun pg ->
+                 Ok (run_exn ?budget ?max_decisions base c.Repair.Decompose.ics pg)))
+        with
+        | Ok reps ->
+            (match budget with Some b -> Budget.note_component b | None -> ());
+            traverse (reps :: acc) (n + 1) rest
+        | Error msg -> Error msg
+        | exception Asp.Solver.Budget_exceeded bn ->
+            partial acc n (c :: rest) (Budget.Decisions bn)
+        | exception Budget.Exhausted ex -> partial acc n (c :: rest) ex)
+  and partial acc n remaining ex =
+    let filler = List.map (fun c -> [ component_base c ]) remaining in
+    Ok
+      {
+        solved = List.rev_append acc filler;
+        completed = n;
+        exhausted = Some ex;
+      }
+  in
+  traverse [] 0 plan.Repair.Decompose.components
+
+let repairs ?variant ?optimize ?budget ?max_decisions ?(decompose = false) d
+    ics =
   let monolithic () =
-    Result.map (fun r -> r.repairs) (run ?variant ?optimize ?max_decisions d ics)
+    Result.map
+      (fun r -> r.repairs)
+      (run ?variant ?optimize ?budget ?max_decisions d ics)
   in
   if not decompose then monolithic ()
   else
-    let plan = Repair.Decompose.plan d ics in
-    match plan.Repair.Decompose.components with
-    | [] -> Ok [ d ]
-    | components ->
-        if not plan.Repair.Decompose.product_exact then
-          (* per-component minimal repairs cannot be recombined exactly when
-             cross-component <=_D covering is possible, and the program gives
-             no access to non-minimal consistent states — stay monolithic *)
-          monolithic ()
-        else
-          let rec traverse acc = function
-            | [] ->
-                Ok
-                  (List.of_seq
-                     (Repair.Decompose.product plan.Repair.Decompose.core
-                        (List.rev acc)))
-            | (c : Repair.Decompose.component) :: rest -> (
-                let base =
-                  Relational.Instance.union c.Repair.Decompose.sub
-                    c.Repair.Decompose.support
-                in
-                match
-                  Result.map
-                    (fun r -> r.repairs)
-                    (run ?variant ?optimize ?max_decisions base
-                       c.Repair.Decompose.ics)
-                with
-                | Ok reps -> traverse (reps :: acc) rest
-                | Error _ as e -> e)
-          in
-          traverse [] components
+    match Repair.Decompose.plan ?budget d ics with
+    | exception Budget.Exhausted e -> Error (Budget.message e)
+    | plan -> (
+        match plan.Repair.Decompose.components with
+        | [] -> Ok [ d ]
+        | _ ->
+            if not plan.Repair.Decompose.product_exact then
+              (* per-component minimal repairs cannot be recombined exactly
+                 when cross-component <=_D covering is possible, and the
+                 program gives no access to non-minimal consistent states —
+                 stay monolithic *)
+              monolithic ()
+            else
+              Result.bind
+                (solve_components ?variant ?optimize ?budget ?max_decisions
+                   plan)
+                (fun r ->
+                  match r.exhausted with
+                  | Some e ->
+                      (* [repairs] promises the full repair set: a partial
+                         recombination would silently misrepresent it — the
+                         partial-outcome path lives in Query.Cqa *)
+                      Error (Budget.message e)
+                  | None ->
+                      Ok
+                        (List.of_seq
+                           (Repair.Decompose.product plan.Repair.Decompose.core
+                              r.solved))))

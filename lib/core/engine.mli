@@ -1,6 +1,10 @@
 (** The logic-programming repair engine: generate [Pi(D, IC)], ground it,
     shift it when head-cycle-free, enumerate its stable models and read the
-    repairs off them (Theorem 4). *)
+    repairs off them (Theorem 4).
+
+    Every entry point returns [Error] on budget exhaustion — the grounder's
+    and solver's budget exceptions ({!Budget.Exhausted},
+    {!Asp.Solver.Budget_exceeded}) are caught here and never escape. *)
 
 type report = {
   repairs : Relational.Instance.t list;
@@ -19,6 +23,7 @@ val run :
   ?optimize:bool ->
   ?shift:bool ->
   ?solver:[ `Counter | `Naive ] ->
+  ?budget:Budget.ctl ->
   ?max_decisions:int ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
@@ -29,11 +34,38 @@ val run :
     selects the stable-model engine: [`Counter] (default) is the
     occurrence-indexed counter-propagation engine, [`Naive] the sweep-based
     reference — the E4 before/after columns run both through this switch.
-    [optimize] applies the relevance pruning of {!Proggen.repair_program}. *)
+    [optimize] applies the relevance pruning of {!Proggen.repair_program}.
+    [budget] bounds grounding and solving under the shared run budget
+    (decision limit and wall-clock deadline); exhaustion of either it or
+    [max_decisions] yields [Error], never an exception. *)
+
+type components_result = {
+  solved : Relational.Instance.t list list;
+      (** per-component repair lists, in plan order; after an exhaustion the
+          unsolved suffix degrades to the component's unrepaired base slice
+          ([sub ∪ support]) as sole entry *)
+  completed : int;  (** components fully solved before any exhaustion *)
+  exhausted : Budget.exhausted option;
+}
+
+val solve_components :
+  ?variant:Proggen.variant ->
+  ?optimize:bool ->
+  ?budget:Budget.ctl ->
+  ?max_decisions:int ->
+  Repair.Decompose.plan ->
+  (components_result, string) result
+(** Generate, ground and solve one repair program per conflict component of
+    the plan ([sub ∪ support] against the component's constraints) —
+    {!Repair.Enumerate.decomposed}'s counterpart for this engine, and the
+    building block of decomposed CQA ({!Query.Cqa}).  Budget trips
+    mid-traversal keep the solved prefix and set [exhausted] (graceful
+    degradation); program-generation failures are genuine [Error]s. *)
 
 val repairs :
   ?variant:Proggen.variant ->
   ?optimize:bool ->
+  ?budget:Budget.ctl ->
   ?max_decisions:int ->
   ?decompose:bool ->
   Relational.Instance.t ->
@@ -45,4 +77,6 @@ val repairs :
     cross product over the untouched core; when the plan reports that
     cross-component [<=_D] covering is possible ([product_exact = false])
     the call falls back to the monolithic program, since stable models only
-    yield the minimal repairs. *)
+    yield the minimal repairs.  This function promises the full repair set,
+    so exhaustion mid-decomposition is an [Error] — partial outcomes live
+    in {!Query.Cqa}. *)

@@ -3,36 +3,38 @@ module Instance = Relational.Instance
 
 type method_ = ModelTheoretic | LogicProgram | CautiousProgram
 
+(* The two repair-materializing engines as their own type: the dispatch on
+   [CautiousProgram] happens exactly once, in [consistent_answers], so the
+   repair-materializing helpers below cannot be reached with it — the
+   former [assert false] arms are unrepresentable. *)
+type materializer = Enumerator | ProgramEngine
+
 type outcome = {
   consistent : Tuple.Set.t;
   possible : Tuple.Set.t;
   standard : Tuple.Set.t;
   repair_count : int;
+  exhausted : Budget.exhausted option;
 }
 
-let repairs_of method_ max_effort d ics =
-  match method_ with
-  | CautiousProgram -> assert false
-  | ModelTheoretic -> (
-      match Repair.Enumerate.repairs ?max_states:max_effort d ics with
+let repairs_of mat ?budget max_effort d ics =
+  match mat with
+  | Enumerator -> (
+      match Repair.Enumerate.repairs ?budget ?max_states:max_effort d ics with
       | reps -> Ok reps
       | exception Repair.Enumerate.Budget_exceeded n ->
-          Error (Printf.sprintf "repair search budget (%d states) exceeded" n))
-  | LogicProgram -> (
-      match Core.Engine.repairs ?max_decisions:max_effort d ics with
-      | Ok reps -> Ok reps
-      | Error _ as e -> e
-      | exception Asp.Solver.Budget_exceeded n ->
-          Error (Printf.sprintf "solver budget (%d decisions) exceeded" n))
+          Error (Budget.message (Budget.States n))
+      | exception Budget.Exhausted e -> Error (Budget.message e))
+  | ProgramEngine -> Core.Engine.repairs ?budget ?max_decisions:max_effort d ics
 
-let outcome_of_answer_sets standard repair_count answer_sets =
+let outcome_of_answer_sets ?exhausted standard repair_count answer_sets =
   let consistent =
     match answer_sets with
     | [] -> Tuple.Set.empty
     | s :: rest -> List.fold_left Tuple.Set.inter s rest
   in
   let possible = List.fold_left Tuple.Set.union Tuple.Set.empty answer_sets in
-  { consistent; possible; standard; repair_count }
+  { consistent; possible; standard; repair_count; exhausted }
 
 (* ------------------------------------------------------------------ *)
 (* Decomposed CQA (Repair.Decompose).
@@ -86,154 +88,193 @@ let component_preds (c : Repair.Decompose.component) =
 
 (* Per-component repair lists (locally <=_D-minimal), plus the consistent
    states needed for the inexact-product fallback when the model-theoretic
-   engine is in use. *)
-let solve_components method_ max_effort d ics (plan : Repair.Decompose.plan) =
-  match method_ with
-  | CautiousProgram -> assert false
-  | ModelTheoretic -> (
-      match Repair.Enumerate.decomposed ?max_states:max_effort d ics with
-      | r -> Ok (r.Repair.Enumerate.minimal, Some r.Repair.Enumerate.states)
-      | exception Repair.Enumerate.Budget_exceeded n ->
-          Error (Printf.sprintf "repair search budget (%d states) exceeded" n))
-  | LogicProgram ->
-      let rec traverse acc = function
-        | [] -> Ok (List.rev acc, None)
-        | (c : Repair.Decompose.component) :: rest -> (
-            let base =
-              Instance.union c.Repair.Decompose.sub c.Repair.Decompose.support
-            in
-            match
-              Core.Engine.repairs ?max_decisions:max_effort base
-                c.Repair.Decompose.ics
-            with
-            | Ok reps -> traverse (reps :: acc) rest
-            | Error _ as e -> e
-            | exception Asp.Solver.Budget_exceeded n ->
-                Error (Printf.sprintf "solver budget (%d decisions) exceeded" n))
+   engine is in use.  Exhaustion mid-run keeps the solved prefix (the
+   unsolved components degrade to their base slice) with the marker. *)
+let solve_components mat ?budget max_effort d ics
+    (plan : Repair.Decompose.plan) =
+  match mat with
+  | Enumerator ->
+      let r = Repair.Enumerate.decomposed ?budget ?max_states:max_effort d ics in
+      (* the degraded filler components of a partial outcome are the ones
+         with zero explored states (a real search explores >= 1) *)
+      let completed =
+        List.length (List.filter (fun n -> n > 0) r.Repair.Enumerate.explored)
       in
-      traverse [] plan.Repair.Decompose.components
+      Ok
+        ( r.Repair.Enumerate.minimal,
+          Some r.Repair.Enumerate.states,
+          completed,
+          r.Repair.Enumerate.exhausted )
+  | ProgramEngine ->
+      Result.map
+        (fun (r : Core.Engine.components_result) ->
+          (r.Core.Engine.solved, None, r.Core.Engine.completed,
+           r.Core.Engine.exhausted))
+        (Core.Engine.solve_components ?budget ?max_decisions:max_effort plan)
 
-let decomposed_outcome method_ ?semantics max_effort d ics (q : Qsyntax.t) =
+let decomposed_outcome mat ?budget ?semantics max_effort d ics (q : Qsyntax.t) =
   let standard = Qeval.answers ?semantics d q in
-  let plan = Repair.Decompose.plan d ics in
-  let core = plan.Repair.Decompose.core in
-  match plan.Repair.Decompose.components with
-  | [] ->
-      (* consistent instance: the only repair is D itself *)
-      Ok { consistent = standard; possible = standard; standard; repair_count = 1 }
-  | _ when (not plan.Repair.Decompose.product_exact) && method_ = LogicProgram
-    ->
-      (* the logic-program engine only yields per-component minimal repairs,
-         which cannot be recombined exactly here — stay monolithic *)
-      Result.map
-        (fun repairs ->
-          outcome_of_answer_sets standard (List.length repairs)
-            (List.map (fun r -> Qeval.answers ?semantics r q) repairs))
-        (repairs_of method_ max_effort d ics)
-  | components ->
-      Result.map
-        (fun (minimal, states) ->
-          let counts = List.map List.length minimal in
-          let repair_count = Repair.Decompose.count_product counts in
-          let eval r = Qeval.answers ?semantics r q in
-          let full_repairs () =
-            if plan.Repair.Decompose.product_exact then
-              List.of_seq (Repair.Decompose.product core minimal)
-            else
-              (* model-theoretic engine: recombine the consistent states and
-                 filter globally *)
-              Repair.Order.minimal_among ~d
-                (List.of_seq
-                   (Repair.Decompose.product core (Option.get states)))
-          in
-          if
-            (not plan.Repair.Decompose.product_exact)
-            || (not (factorizable q.Qsyntax.body))
-            || List.exists (fun l -> l = []) minimal
-          then
-            (* evaluate over the recombined repair list; still profits from
-               the per-component search *)
-            let reps = full_repairs () in
-            outcome_of_answer_sets standard (List.length reps) (List.map eval reps)
-          else
-            let qpreds = Qsyntax.preds q in
-            let relevant =
-              List.filter
-                (fun (c, _) ->
-                  List.exists (fun p -> List.mem p qpreds) (component_preds c))
-                (List.combine components minimal)
-            in
-            match relevant with
-            | [] ->
-                (* no component touches a query predicate: every repair has
-                   exactly D's tuples there *)
-                { consistent = standard; possible = standard; standard;
-                  repair_count }
-            | _ -> (
-                match Qsyntax.atoms q.Qsyntax.body with
-                | [ _ ] ->
-                    (* single-atom query: answers are additive over
-                       components, so Inter_choices (A ∪ Union_i B_i) =
-                       Union_i Inter_c (A ∪ B_i,c) — per-component
-                       intersections and unions suffice *)
-                    let per_component =
-                      List.map
-                        (fun (_, reps) ->
-                          let sets =
-                            List.map (fun r -> eval (Instance.union core r)) reps
-                          in
-                          ( List.fold_left Tuple.Set.inter (List.hd sets)
-                              (List.tl sets),
-                            List.fold_left Tuple.Set.union Tuple.Set.empty sets ))
-                        relevant
-                    in
-                    {
-                      consistent =
-                        List.fold_left
-                          (fun acc (i, _) -> Tuple.Set.union acc i)
-                          Tuple.Set.empty per_component;
-                      possible =
-                        List.fold_left
-                          (fun acc (_, u) -> Tuple.Set.union acc u)
-                          Tuple.Set.empty per_component;
-                      standard;
-                      repair_count;
-                    }
-                | _ ->
-                    (* join query: answers can join atoms across components —
-                       recombine, but only over the components that mention a
-                       query predicate *)
-                    let sets =
-                      Seq.map eval
-                        (Repair.Decompose.product core (List.map snd relevant))
-                    in
-                    let consistent, possible =
-                      match sets () with
-                      | Seq.Nil -> (Tuple.Set.empty, Tuple.Set.empty)
-                      | Seq.Cons (s, rest) ->
-                          Seq.fold_left
-                            (fun (i, u) s ->
-                              (Tuple.Set.inter i s, Tuple.Set.union u s))
-                            (s, s) rest
-                    in
-                    { consistent; possible; standard; repair_count }))
-        (solve_components method_ max_effort d ics plan)
+  match Repair.Decompose.plan ?budget d ics with
+  | exception Budget.Exhausted e -> Error (Budget.message e)
+  | plan -> (
+      let core = plan.Repair.Decompose.core in
+      match plan.Repair.Decompose.components with
+      | [] ->
+          (* consistent instance: the only repair is D itself *)
+          Ok
+            {
+              consistent = standard;
+              possible = standard;
+              standard;
+              repair_count = 1;
+              exhausted = None;
+            }
+      | _
+        when (not plan.Repair.Decompose.product_exact) && mat = ProgramEngine
+        ->
+          (* the logic-program engine only yields per-component minimal
+             repairs, which cannot be recombined exactly here — stay
+             monolithic *)
+          Result.map
+            (fun repairs ->
+              outcome_of_answer_sets standard (List.length repairs)
+                (List.map (fun r -> Qeval.answers ?semantics r q) repairs))
+            (repairs_of mat ?budget max_effort d ics)
+      | components ->
+          Result.bind (solve_components mat ?budget max_effort d ics plan)
+            (fun (minimal, states, completed, exhausted) ->
+              match exhausted with
+              | Some e when completed = 0 ->
+                  (* nothing was solved: there is no partial work to
+                     return *)
+                  Error (Budget.message e)
+              | _ ->
+                  let counts = List.map List.length minimal in
+                  let repair_count = Repair.Decompose.count_product counts in
+                  let eval r = Qeval.answers ?semantics r q in
+                  let full_repairs () =
+                    if plan.Repair.Decompose.product_exact then
+                      List.of_seq (Repair.Decompose.product core minimal)
+                    else
+                      (* model-theoretic engine: recombine the consistent
+                         states and filter globally *)
+                      Repair.Order.minimal_among ~d
+                        (List.of_seq
+                           (Repair.Decompose.product core (Option.get states)))
+                  in
+                  Ok
+                    (if
+                       (not plan.Repair.Decompose.product_exact)
+                       || (not (factorizable q.Qsyntax.body))
+                       || List.exists (fun l -> l = []) minimal
+                     then
+                       (* evaluate over the recombined repair list; still
+                          profits from the per-component search *)
+                       let reps = full_repairs () in
+                       outcome_of_answer_sets ?exhausted standard
+                         (List.length reps) (List.map eval reps)
+                     else
+                       let qpreds = Qsyntax.preds q in
+                       let relevant =
+                         List.filter
+                           (fun (c, _) ->
+                             List.exists
+                               (fun p -> List.mem p qpreds)
+                               (component_preds c))
+                           (List.combine components minimal)
+                       in
+                       match relevant with
+                       | [] ->
+                           (* no component touches a query predicate: every
+                              repair has exactly D's tuples there *)
+                           { consistent = standard; possible = standard;
+                             standard; repair_count; exhausted }
+                       | _ -> (
+                           match Qsyntax.atoms q.Qsyntax.body with
+                           | [ _ ] ->
+                               (* single-atom query: answers are additive
+                                  over components, so Inter_choices
+                                  (A ∪ Union_i B_i) = Union_i Inter_c
+                                  (A ∪ B_i,c) — per-component intersections
+                                  and unions suffice *)
+                               let per_component =
+                                 List.map
+                                   (fun (_, reps) ->
+                                     let sets =
+                                       List.map
+                                         (fun r ->
+                                           eval (Instance.union core r))
+                                         reps
+                                     in
+                                     ( List.fold_left Tuple.Set.inter
+                                         (List.hd sets) (List.tl sets),
+                                       List.fold_left Tuple.Set.union
+                                         Tuple.Set.empty sets ))
+                                   relevant
+                               in
+                               {
+                                 consistent =
+                                   List.fold_left
+                                     (fun acc (i, _) -> Tuple.Set.union acc i)
+                                     Tuple.Set.empty per_component;
+                                 possible =
+                                   List.fold_left
+                                     (fun acc (_, u) -> Tuple.Set.union acc u)
+                                     Tuple.Set.empty per_component;
+                                 standard;
+                                 repair_count;
+                                 exhausted;
+                               }
+                           | _ ->
+                               (* join query: answers can join atoms across
+                                  components — recombine, but only over the
+                                  components that mention a query
+                                  predicate *)
+                               let sets =
+                                 Seq.map eval
+                                   (Repair.Decompose.product core
+                                      (List.map snd relevant))
+                               in
+                               let consistent, possible =
+                                 match sets () with
+                                 | Seq.Nil ->
+                                     (Tuple.Set.empty, Tuple.Set.empty)
+                                 | Seq.Cons (s, rest) ->
+                                     Seq.fold_left
+                                       (fun (i, u) s ->
+                                         ( Tuple.Set.inter i s,
+                                           Tuple.Set.union u s ))
+                                       (s, s) rest
+                               in
+                               { consistent; possible; standard; repair_count;
+                                 exhausted }))))
 
-let consistent_answers ?(method_ = LogicProgram) ?semantics ?max_effort
+let consistent_answers ?(method_ = LogicProgram) ?semantics ?budget ?max_effort
     ?(decompose = false) d ics q =
   match method_ with
   | CautiousProgram ->
-      Result.map
-        (fun (o : Progcqa.outcome) ->
-          {
-            consistent = o.Progcqa.consistent;
-            possible = o.Progcqa.possible;
-            standard = Qeval.answers ?semantics d q;
-            repair_count = o.Progcqa.stable_models;
-          })
-        (Progcqa.consistent_answers ?max_decisions:max_effort d ics q)
+      if decompose then
+        Error
+          "the cautious-program method cannot decompose: it materializes no \
+           per-component repairs to recombine; use the model-theoretic or \
+           logic-program engine with ~decompose, or drop ~decompose"
+      else
+        Result.map
+          (fun (o : Progcqa.outcome) ->
+            {
+              consistent = o.Progcqa.consistent;
+              possible = o.Progcqa.possible;
+              standard = Qeval.answers ?semantics d q;
+              repair_count = o.Progcqa.stable_models;
+              exhausted = None;
+            })
+          (Progcqa.consistent_answers ?budget ?max_decisions:max_effort d ics q)
   | ModelTheoretic | LogicProgram ->
-      if decompose then decomposed_outcome method_ ?semantics max_effort d ics q
+      let mat =
+        if method_ = ModelTheoretic then Enumerator else ProgramEngine
+      in
+      if decompose then
+        decomposed_outcome mat ?budget ?semantics max_effort d ics q
       else
         Result.map
           (fun repairs ->
@@ -243,14 +284,15 @@ let consistent_answers ?(method_ = LogicProgram) ?semantics ?max_effort
             outcome_of_answer_sets
               (Qeval.answers ?semantics d q)
               (List.length repairs) answer_sets)
-          (repairs_of method_ max_effort d ics)
+          (repairs_of mat ?budget max_effort d ics)
 
-let certain ?method_ ?semantics ?max_effort ?decompose d ics q =
+let certain ?method_ ?semantics ?budget ?max_effort ?decompose d ics q =
   if not (Qsyntax.is_boolean q) then Error "certain: query has head variables"
   else
     Result.map
       (fun o -> Tuple.Set.mem (Tuple.make []) o.consistent)
-      (consistent_answers ?method_ ?semantics ?max_effort ?decompose d ics
+      (consistent_answers ?method_ ?semantics ?budget ?max_effort ?decompose d
+         ics
          { q with Qsyntax.head = [] })
 
 let pp_outcome ppf o =
@@ -259,5 +301,7 @@ let pp_outcome ppf o =
       Fmt.(list ~sep:(any ", ") Tuple.pp)
       (Tuple.Set.elements s)
   in
-  Fmt.pf ppf "@[<v>consistent: %a@,possible:   %a@,standard:   %a@,repairs:    %d@]"
+  Fmt.pf ppf "@[<v>consistent: %a@,possible:   %a@,standard:   %a@,repairs:    %d%a@]"
     pp_set o.consistent pp_set o.possible pp_set o.standard o.repair_count
+    Fmt.(option (fun ppf e -> pf ppf "@,partial:    %a" Budget.pp_exhausted e))
+    o.exhausted

@@ -30,11 +30,19 @@ type outcome = {
   standard : Relational.Tuple.Set.t;    (** answers in D itself *)
   repair_count : int;
       (** number of repairs, or of stable models for [CautiousProgram] *)
+  exhausted : Budget.exhausted option;
+      (** [Some _] only on a decomposed run whose budget tripped after at
+          least one component was solved: the answer sets recombine the
+          true repairs of the solved components with the {e unrepaired}
+          base slice of the remaining ones — a partial outcome, preserved
+          rather than discarded.  [None] everywhere else; exhaustion before
+          any useful work is an [Error]. *)
 }
 
 val consistent_answers :
   ?method_:method_ ->
   ?semantics:Qeval.semantics ->
+  ?budget:Budget.ctl ->
   ?max_effort:int ->
   ?decompose:bool ->
   Relational.Instance.t ->
@@ -42,23 +50,30 @@ val consistent_answers :
   Qsyntax.t ->
   (outcome, string) result
 (** [max_effort] bounds the repair search (states for the model-theoretic
-    engine, solver decisions for the logic-program engine; per component
-    when decomposing).
+    engine, solver decisions for the logic-program and cautious engines;
+    per component when decomposing).  [budget] is the shared run budget
+    ({!Budget.start}): its limits and wall-clock deadline are enforced
+    across grounding, solving and state search, and its [stats] record the
+    per-stage counters.  Exhaustion never escapes as an exception: it is an
+    [Error], or on decomposed runs a partial outcome (see [exhausted]).
 
-    [decompose] (default [false], ignored for [CautiousProgram]) repairs
-    each conflict component of {!Repair.Decompose} independently and
-    factorizes the answer computation: for positive existential conjunctive
-    queries whose variables all occur in database atoms, single-atom
-    bodies take per-component intersections/unions (answers are additive
-    over components) and join bodies recombine only the components
-    mentioning a query predicate; other queries are evaluated over the
-    recombined repair list, which still profits from the per-component
-    search.  [repair_count] is the product of per-component counts.  The
-    result is the same outcome as the monolithic computation. *)
+    [decompose] (default [false]) repairs each conflict component of
+    {!Repair.Decompose} independently and factorizes the answer
+    computation: for positive existential conjunctive queries whose
+    variables all occur in database atoms, single-atom bodies take
+    per-component intersections/unions (answers are additive over
+    components) and join bodies recombine only the components mentioning a
+    query predicate; other queries are evaluated over the recombined repair
+    list, which still profits from the per-component search.
+    [repair_count] is the product of per-component counts.  The result is
+    the same outcome as the monolithic computation.  [CautiousProgram]
+    materializes no per-component repairs, so [~decompose:true] with it is
+    a (clearly worded) [Error], not a silent fallback. *)
 
 val certain :
   ?method_:method_ ->
   ?semantics:Qeval.semantics ->
+  ?budget:Budget.ctl ->
   ?max_effort:int ->
   ?decompose:bool ->
   Relational.Instance.t ->

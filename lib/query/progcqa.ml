@@ -15,11 +15,12 @@ type lit =
   | LIsNull of Term.t
   | LNotNull of Term.t
 
-let fresh_counter = ref 0
-
-let fresh x =
-  incr fresh_counter;
-  Printf.sprintf "qv_%s_%d" x !fresh_counter
+(* The renaming counter is threaded through [dnf_pos]/[dnf_neg] as explicit
+   state (created per [compile] call) — a global ref here would leak
+   counter state between compilations and make [compile] non-reentrant. *)
+let fresh counter x =
+  incr counter;
+  Printf.sprintf "qv_%s_%d" x !counter
 
 let rename_term env = function
   | Term.Var x -> Term.Var (Option.value ~default:x (List.assoc_opt x env))
@@ -37,7 +38,7 @@ let rename_builtin env = function
 (* cross product of two DNFs (conjunction) *)
 let cross a b = List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) b) a
 
-let rec dnf_pos env = function
+let rec dnf_pos counter env = function
   | Qsyntax.Atom a -> Ok [ [ LPos (rename_atom env a) ] ]
   | Qsyntax.Builtin b -> (
       match rename_builtin env b with
@@ -45,22 +46,22 @@ let rec dnf_pos env = function
       | b -> Ok [ [ LCmp b ] ])
   | Qsyntax.IsNull t -> Ok [ [ LIsNull (rename_term env t) ] ]
   | Qsyntax.And (f, g) ->
-      let* df = dnf_pos env f in
-      let* dg = dnf_pos env g in
+      let* df = dnf_pos counter env f in
+      let* dg = dnf_pos counter env g in
       Ok (cross df dg)
   | Qsyntax.Or (f, g) ->
-      let* df = dnf_pos env f in
-      let* dg = dnf_pos env g in
+      let* df = dnf_pos counter env f in
+      let* dg = dnf_pos counter env g in
       Ok (df @ dg)
-  | Qsyntax.Not f -> dnf_neg env f
+  | Qsyntax.Not f -> dnf_neg counter env f
   | Qsyntax.Exists (xs, f) ->
-      let env' = List.map (fun x -> (x, fresh x)) xs @ env in
-      dnf_pos env' f
+      let env' = List.map (fun x -> (x, fresh counter x)) xs @ env in
+      dnf_pos counter env' f
   | Qsyntax.Forall _ ->
       Error "universal quantification is outside the cautious-reasoning query fragment"
 
 (* DNF of the negation of the formula *)
-and dnf_neg env = function
+and dnf_neg counter env = function
   | Qsyntax.Atom a -> Ok [ [ LNeg (rename_atom env a) ] ]
   | Qsyntax.Builtin b -> (
       match rename_builtin env b with
@@ -68,18 +69,18 @@ and dnf_neg env = function
       | b -> Ok [ [ LCmp (Builtin.negate b) ] ])
   | Qsyntax.IsNull t -> Ok [ [ LNotNull (rename_term env t) ] ]
   | Qsyntax.And (f, g) ->
-      let* df = dnf_neg env f in
-      let* dg = dnf_neg env g in
+      let* df = dnf_neg counter env f in
+      let* dg = dnf_neg counter env g in
       Ok (df @ dg)
   | Qsyntax.Or (f, g) ->
-      let* df = dnf_neg env f in
-      let* dg = dnf_neg env g in
+      let* df = dnf_neg counter env f in
+      let* dg = dnf_neg counter env g in
       Ok (cross df dg)
-  | Qsyntax.Not f -> dnf_pos env f
+  | Qsyntax.Not f -> dnf_pos counter env f
   | Qsyntax.Forall (xs, f) ->
       (* not (forall x. f) = exists x. not f *)
-      let env' = List.map (fun x -> (x, fresh x)) xs @ env in
-      dnf_neg env' f
+      let env' = List.map (fun x -> (x, fresh counter x)) xs @ env in
+      dnf_neg counter env' f
   | Qsyntax.Exists _ ->
       Error
         "negated existential quantification is outside the cautious-reasoning \
@@ -148,8 +149,8 @@ let rule_of_conjunct names head conjunct =
   Ok rule
 
 let compile names (q : Qsyntax.t) =
-  fresh_counter := 0;
-  let* conjuncts = dnf_pos [] q.Qsyntax.body in
+  let counter = ref 0 in
+  let* conjuncts = dnf_pos counter [] q.Qsyntax.body in
   let* rules =
     List.fold_left
       (fun acc c ->
@@ -177,7 +178,7 @@ let answers_in_model model =
       else None)
     model
 
-let consistent_answers ?variant ?max_decisions d ics (q : Qsyntax.t) =
+let consistent_answers ?variant ?budget ?max_decisions d ics (q : Qsyntax.t) =
   let* () =
     if Ic.Depgraph.is_ric_acyclic ics then Ok ()
     else
@@ -188,14 +189,21 @@ let consistent_answers ?variant ?max_decisions d ics (q : Qsyntax.t) =
   let* pg = Core.Proggen.repair_program ?variant d ics in
   let* query_rules = compile pg.Core.Proggen.names q in
   let program = pg.Core.Proggen.program @ query_rules in
-  let ground = Asp.Grounder.ground program in
-  let solvable =
-    if Asp.Hcf.is_hcf ground then Asp.Shift.ground ground else ground
-  in
-  let models = Asp.Solver.stable_models_atoms ?max_decisions solvable in
-  match models with
+  (* grounding and solving both consume budget; exhaustion of either the
+     local [max_decisions] or the shared [budget] is an [Error] here, never
+     an escaping exception *)
+  match
+    let ground = Asp.Grounder.ground ?budget program in
+    let solvable =
+      if Asp.Hcf.is_hcf ground then Asp.Shift.ground ground else ground
+    in
+    Asp.Solver.stable_models_atoms ?budget ?max_decisions solvable
+  with
+  | exception Asp.Solver.Budget_exceeded n ->
+      Error (Budget.message (Budget.Decisions n))
+  | exception Budget.Exhausted e -> Error (Budget.message e)
   | [] -> Error "the repair program has no stable models (conflicting ICs?)"
-  | _ ->
+  | models ->
       let answer_sets =
         List.map (fun m -> Relational.Tuple.Set.of_list (answers_in_model m)) models
       in
@@ -209,9 +217,9 @@ let consistent_answers ?variant ?max_decisions d ics (q : Qsyntax.t) =
       in
       Ok { consistent; possible; stable_models = List.length models }
 
-let certain ?variant ?max_decisions d ics q =
+let certain ?variant ?budget ?max_decisions d ics q =
   if not (Qsyntax.is_boolean q) then Error "certain: query has head variables"
   else
     Result.map
       (fun o -> Relational.Tuple.Set.mem (Relational.Tuple.make []) o.consistent)
-      (consistent_answers ?variant ?max_decisions d ics q)
+      (consistent_answers ?variant ?budget ?max_decisions d ics q)

@@ -114,7 +114,12 @@ let iter_pvs d_ext ics ~f =
    a spurious violation.  Support atoms are inert — no live pv mentions
    them, so no repair action ever touches them. *)
 
-let plan d ics =
+let plan ?budget d ics =
+  (* Planning carries no decision/state counter, so the budget contributes
+     its wall-clock deadline, probed once per fixpoint round. *)
+  let tick () =
+    match budget with Some b -> Budget.check_deadline b | None -> ()
+  in
   let universe = Candidates.universe d ics in
   let nnc_positions = Actions.nnc_positions_of ics in
   let uf = uf_create () in
@@ -151,6 +156,7 @@ let plan d ics =
   (* Closure of the active set under cascades. *)
   let changed = ref (not (Atom.Set.is_empty !active)) in
   while !changed do
+    tick ();
     changed := false;
     let snapshot = !d_ext in
     iter_pvs snapshot ics ~f:(fun g theta witness ->
@@ -175,6 +181,7 @@ let plan d ics =
   let support = ref Instance.empty in
   let support_changed = ref true in
   while !support_changed do
+    tick ();
     support_changed := false;
     iter_pvs !d_ext ics ~f:(fun g theta witness ->
         let matchable =

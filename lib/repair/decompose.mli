@@ -54,7 +54,11 @@ type plan = {
           locally minimal repairs are exactly the globally minimal ones *)
 }
 
-val plan : Relational.Instance.t -> Ic.Constr.t list -> plan
+val plan : ?budget:Budget.ctl -> Relational.Instance.t -> Ic.Constr.t list -> plan
+(** [budget] contributes its wall-clock deadline to the closure fixpoints
+    (planning has no decision/state counter of its own).
+    @raise Budget.Exhausted on deadline; engine APIs convert it to
+    [Error]. *)
 
 val product :
   Relational.Instance.t ->

@@ -15,7 +15,8 @@ module Iset = Set.Make (struct
   let compare = Instance.compare
 end)
 
-let search ?(max_states = 200_000) ?universe ?nnc_positions ?explored d ics =
+let search ?budget ?(max_states = 200_000) ?universe ?nnc_positions ?explored d
+    ics =
   (* The universe and NNC positions are instance-global (Proposition 1):
      per-component sub-searches receive the full instance's, already
      computed once by the planner, instead of refolding the active domain
@@ -39,6 +40,7 @@ let search ?(max_states = 200_000) ?universe ?nnc_positions ?explored d ics =
       seen := Iset.add state !seen;
       incr count;
       if !count > max_states then raise (Budget_exceeded max_states);
+      (match budget with Some b -> Budget.tick_state b | None -> ());
       match List.concat_map snd per_ic with
       | [] -> consistent := state :: !consistent
       | violations ->
@@ -74,7 +76,7 @@ let search ?(max_states = 200_000) ?universe ?nnc_positions ?explored d ics =
   explore d (List.map (fun ic -> (ic, Nullsat.violations d ic)) ics);
   List.rev !consistent
 
-let consistent_states ?max_states d ics = search ?max_states d ics
+let consistent_states ?budget ?max_states d ics = search ?budget ?max_states d ics
 
 (* ------------------------------------------------------------------ *)
 (* Conflict-component decomposition (see Decompose) *)
@@ -84,38 +86,68 @@ type decomposed = {
   minimal : Instance.t list list;
   states : Instance.t list list;
   explored : int list;
+  exhausted : Budget.exhausted option;
 }
 
-let decomposed ?max_states d ics =
-  let plan = Decompose.plan d ics in
-  let solved =
-    List.map
-      (fun (c : Decompose.component) ->
-        let base = Instance.union c.Decompose.sub c.Decompose.support in
+let decomposed ?budget ?max_states d ics =
+  let plan = Decompose.plan ?budget d ics in
+  let component_base (c : Decompose.component) =
+    Instance.union c.Decompose.sub c.Decompose.support
+  in
+  (* On exhaustion the components already solved are kept and the
+     remaining ones degrade to their unrepaired base slice — graceful
+     degradation instead of discarding the work, with the [exhausted]
+     marker making the partiality explicit. *)
+  let rec solve acc = function
+    | [] -> (List.rev acc, None)
+    | (c : Decompose.component) :: rest -> (
+        let base = component_base c in
         let counter = ref 0 in
-        let states =
-          search ?max_states ~universe:plan.Decompose.universe
+        match
+          search ?budget ?max_states ~universe:plan.Decompose.universe
             ~nnc_positions:plan.Decompose.nnc_positions ~explored:counter base
             c.Decompose.ics
-        in
-        (* Minimality is component-local: the symmetric differences of two
-           recombined repairs split by component, so filtering each
-           component's states against its own base replaces the cross
-           product's quadratic filter by per-component ones. *)
-        (Order.minimal_among ~d:base states, states, !counter))
-      plan.Decompose.components
+        with
+        | states ->
+            (match budget with Some b -> Budget.note_component b | None -> ());
+            (* Minimality is component-local: the symmetric differences of
+               two recombined repairs split by component, so filtering each
+               component's states against its own base replaces the cross
+               product's quadratic filter by per-component ones. *)
+            solve ((Order.minimal_among ~d:base states, states, !counter) :: acc) rest
+        | exception Budget_exceeded n -> partial acc (c :: rest) (Budget.States n)
+        | exception Budget.Exhausted e -> partial acc (c :: rest) e)
+  and partial acc remaining e =
+    let filler =
+      List.map
+        (fun c ->
+          let base = component_base c in
+          ([ base ], [ base ], 0))
+        remaining
+    in
+    (List.rev_append acc filler, Some e)
   in
+  let solved, exhausted = solve [] plan.Decompose.components in
   {
     plan;
     minimal = List.map (fun (m, _, _) -> m) solved;
     states = List.map (fun (_, s, _) -> s) solved;
     explored = List.map (fun (_, _, e) -> e) solved;
+    exhausted;
   }
 
-let repairs ?max_states ?(decompose = false) d ics =
-  if not decompose then Order.minimal_among ~d (search ?max_states d ics)
+let repairs ?budget ?max_states ?(decompose = false) d ics =
+  if not decompose then
+    Order.minimal_among ~d (search ?budget ?max_states d ics)
   else
-    let r = decomposed ?max_states d ics in
+    let r = decomposed ?budget ?max_states d ics in
+    (* [repairs] promises the full repair set, so a partial decomposition
+       cannot be returned here — re-raise and let the result-returning
+       engines (Cqa, Engine) do the graceful degradation. *)
+    (match r.exhausted with
+    | Some (Budget.States n) -> raise (Budget_exceeded n)
+    | Some e -> raise (Budget.Exhausted e)
+    | None -> ());
     match r.plan.Decompose.components with
     | [] -> [ d ]
     | _ ->

@@ -42,6 +42,7 @@ val fixes :
     explanation CLI); see {!Actions.fixes}. *)
 
 val search :
+  ?budget:Budget.ctl ->
   ?max_states:int ->
   ?universe:Relational.Value.t list ->
   ?nnc_positions:(string * int) list ->
@@ -54,10 +55,16 @@ val search :
     (Proposition 1); per-component searches pass the {e global} ones from a
     {!Decompose.plan} so insertion candidates match the monolithic search.
     [explored] is reset to [0] and then counts distinct visited states.
+    [budget] is the run-global budget: every state also ticks it, so a
+    shared state limit and the wall-clock deadline are enforced across the
+    per-component searches of one run.
     @raise Budget_exceeded when more than [max_states] (default [200_000])
-    distinct states are explored. *)
+    distinct states are explored.
+    @raise Budget.Exhausted when [budget] trips; public engine APIs catch
+    both and return [Error] — see {!Budget}. *)
 
 val repairs :
+  ?budget:Budget.ctl ->
   ?max_states:int ->
   ?decompose:bool ->
   Relational.Instance.t ->
@@ -68,9 +75,13 @@ val repairs :
     per conflict component and the results are recombined — same repair
     set, per {!Decompose}'s exactness analysis.
     @raise Budget_exceeded when more than [max_states] (default [200_000])
-    distinct states are explored (per component when decomposing). *)
+    distinct states are explored (per component when decomposing).
+    @raise Budget.Exhausted when [budget] trips; this function promises the
+    full repair set and cannot degrade gracefully — use {!decomposed} (or
+    the engines of {!Query.Cqa}) for partial outcomes. *)
 
 val consistent_states :
+  ?budget:Budget.ctl ->
   ?max_states:int ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
@@ -86,10 +97,22 @@ type decomposed = {
   states : Relational.Instance.t list list;
       (** all consistent states per component *)
   explored : int list;  (** states explored per component *)
+  exhausted : Budget.exhausted option;
+      (** [Some _] when a budget tripped mid-run: the components solved
+          before the trip carry their true repairs, the remaining ones
+          degrade to their unrepaired base slice ([sub ∪ support]) as sole
+          entry — partial, but the work already done is preserved *)
 }
 
 val decomposed :
-  ?max_states:int -> Relational.Instance.t -> Ic.Constr.t list -> decomposed
+  ?budget:Budget.ctl ->
+  ?max_states:int ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  decomposed
 (** Plan and solve every conflict component, without recombining — the
     building block for decomposed CQA ({!Query.Cqa}) and for the
-    benchmark's decomposition counters. *)
+    benchmark's decomposition counters.  Never raises on exhaustion:
+    budget trips (state limit, decision limit, deadline — including the
+    legacy [max_states] bound) are reported through the [exhausted]
+    marker with the solved prefix intact. *)

@@ -5,17 +5,19 @@ structural and quota-independent):
 
   $ cqanull-bench --json baseline.json --micro --quota 0.005 > /dev/null
   $ cqanull-bench --check-json baseline.json
-  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows)
+  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows)
 
-Stable top-level keys, in order:
+Stable top-level keys, in order (anchored to top-level indentation, since
+budget rows carry a "decompose" field of their own):
 
-  $ grep -o '"\(schema\|tool\|unit\|micro\|solver\|decompose\)"' baseline.json
-  "schema"
-  "tool"
-  "unit"
-  "micro"
-  "solver"
-  "decompose"
+  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget)"' baseline.json
+    "schema"
+    "tool"
+    "unit"
+    "micro"
+    "solver"
+    "decompose"
+    "budget"
 
 The solver telemetry carries both engines for each E4 benchmark and every
 counter field is numeric:
@@ -35,18 +37,31 @@ with per-component state counts and the product-exactness flag:
   $ grep -c '"product_exact": "true"' baseline.json
   4
 
-The checked-in baselines both validate — the PR1 file under the original
-schema, the PR2 file with the decomposition section:
+The budget telemetry shows live consumption for every engine — non-zero
+per-stage counters and a started millisecond of wall-clock (guarded by
+--check-json above):
+
+  $ grep -c '"name": "E16.budget' baseline.json
+  4
+  $ grep -c '"elapsed_ms": 0' baseline.json
+  0
+  [1]
+
+The checked-in baselines all validate — the PR1 file under the original
+schema, the PR2 file with the decomposition section, the PR3 file with the
+budget counters:
 
   $ cqanull-bench --check-json ../../BENCH_PR1.json
   ../../BENCH_PR1.json: ok (10 micro rows, 4 solver rows)
   $ cqanull-bench --check-json ../../BENCH_PR2.json
   ../../BENCH_PR2.json: ok (12 micro rows, 4 solver rows, 4 decompose rows)
+  $ cqanull-bench --check-json ../../BENCH_PR3.json
+  ../../BENCH_PR3.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows)
 
 The regression guard compares the E1/E2 micro rows of the two checked-in
 baselines within a 10x tolerance:
 
-  $ cqanull-bench --compare-json ../../BENCH_PR1.json ../../BENCH_PR2.json > compare.out
+  $ cqanull-bench --compare-json ../../BENCH_PR2.json ../../BENCH_PR3.json > compare.out
   $ tail -1 compare.out
   compare ok (3 guarded rows, tolerance 10x)
 

