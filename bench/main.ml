@@ -195,7 +195,41 @@ let budget_telemetry () =
     row "E16.budget.cautious" Query.Cqa.CautiousProgram false;
   ]
 
-let write_json path micro solver_rows decompose_rows budget_rows =
+(* Parallel telemetry (E16): the weighted cluster workload repaired with
+   --jobs 1, 2 and 4 through the decomposed enumerator, recording
+   wall-clock, the machine's core count and whether every run's repair
+   list is identical to the sequential one — the determinism contract as
+   a checked fact, and the speedup (when the machine has the cores for
+   one) as data rather than anecdote. *)
+let parallel_telemetry () =
+  let cores = Parallel.Config.resolve 0 in
+  let k = 4 and weight = 8 in
+  let g = Workload.Gen.clusters_workload ~k ~weight () in
+  let run jobs =
+    let t0 = Unix.gettimeofday () in
+    let reps =
+      Repair.Enumerate.repairs ~decompose:true ~jobs g.Workload.Gen.d
+        g.Workload.Gen.ics
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    (jobs, reps, ms)
+  in
+  let _, base_reps, _ = run 1 in
+  (* the timed jobs=1 run repeats after the warm-up so every row pays the
+     same allocation profile *)
+  List.map
+    (fun jobs ->
+      let _, reps, ms = run jobs in
+      ( k,
+        weight,
+        jobs,
+        cores,
+        List.length reps,
+        ms,
+        List.equal Relational.Instance.equal reps base_reps ))
+    [ 1; 2; 4 ]
+
+let write_json path micro solver_rows decompose_rows budget_rows parallel_rows =
   let open Table in
   let micro_rows =
     List.map
@@ -243,33 +277,51 @@ let write_json path micro solver_rows decompose_rows budget_rows =
             ("name", Str name);
             ("decompose", Str (if decompose then "true" else "false"));
             ("outcome", Str outcome);
-            ("decisions", Int s.Budget.decisions);
-            ("states", Int s.Budget.states);
-            ("components_solved", Int s.Budget.components_solved);
-            ("elapsed_ms", Int s.Budget.elapsed_ms);
+            ("decisions", Int (Atomic.get s.Budget.decisions));
+            ("states", Int (Atomic.get s.Budget.states));
+            ("components_solved", Int (Atomic.get s.Budget.components_solved));
+            ("elapsed_ms", Int (Atomic.get s.Budget.elapsed_ms));
           ])
       budget_rows
+  in
+  let parallel_json =
+    List.map
+      (fun (k, weight, jobs, cores, repairs, wall_ms, identical) ->
+        Obj
+          [
+            ("name", Str (Printf.sprintf "E16.parallel.k%d.w%d.j%d" k weight jobs));
+            ("k", Int k);
+            ("weight", Int weight);
+            ("jobs", Int jobs);
+            ("cores", Int cores);
+            ("repairs", Int repairs);
+            ("wall_ms", Num wall_ms);
+            ("identical", Str (if identical then "true" else "false"));
+          ])
+      parallel_rows
   in
   let doc =
     Obj
       [
-        ("schema", Str "cqanull-bench/3");
+        ("schema", Str "cqanull-bench/4");
         ("tool", Str "bench/main.exe --json");
         ("unit", Str "ns/run");
         ("micro", Arr micro_rows);
         ("solver", Arr telemetry_rows);
         ("decompose", Arr decompose_json);
         ("budget", Arr budget_json);
+        ("parallel", Arr parallel_json);
       ]
   in
   Out_channel.with_open_text path (fun oc -> output_string oc (emit doc));
   Printf.printf
-    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows)\n"
+    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows)\n"
     path
     (List.length micro_rows)
     (List.length telemetry_rows)
     (List.length decompose_json)
     (List.length budget_json)
+    (List.length parallel_json)
 
 (* --check-json: the baseline format's self-test.  Guards the stable keys
    and the numeric fields so the file future PRs diff against cannot drift
@@ -307,7 +359,8 @@ let check_json path =
   in
   let schema = str_field doc "schema" in
   (match schema with
-  | "cqanull-bench/1" | "cqanull-bench/2" | "cqanull-bench/3" -> ()
+  | "cqanull-bench/1" | "cqanull-bench/2" | "cqanull-bench/3"
+  | "cqanull-bench/4" -> ()
   | s -> fail (Printf.sprintf "unknown schema %S" s));
   ignore (str_field doc "tool");
   ignore (str_field doc "unit");
@@ -367,7 +420,9 @@ let check_json path =
      consumption — at least one of decisions/states ticked, components
      solved on decomposed rows, and a started millisecond of wall-clock *)
   let budget =
-    if schema = "cqanull-bench/3" then arr_field doc "budget" else []
+    match schema with
+    | "cqanull-bench/3" | "cqanull-bench/4" -> arr_field doc "budget"
+    | _ -> []
   in
   List.iter
     (fun row ->
@@ -393,6 +448,61 @@ let check_json path =
       if int_field row "elapsed_ms" < 1 then
         fail (Printf.sprintf "zero elapsed_ms in %S" name))
     budget;
+  (* /4 adds the --jobs telemetry.  The section is exclusive to /4 in both
+     directions — a /3-or-older file carrying it, or a /4 file without it,
+     is schema drift and fails.  Every row must record a positive repair
+     count and wall-clock, and the [identical] flag must hold: the
+     deterministic-merge contract is checked data, not prose.  The >= 2x
+     speedup of jobs=4 over jobs=1 is only guarded when the recording
+     machine actually had >= 4 cores — on fewer cores there is no
+     parallelism to measure and the honest numbers may even slow down
+     (domains contending for one core). *)
+  (if schema <> "cqanull-bench/4" then begin
+     if Table.member "parallel" doc <> None then
+       fail "section \"parallel\" requires schema cqanull-bench/4"
+   end
+   else
+     let parallel = arr_field doc "parallel" in
+     if parallel = [] then fail "empty parallel section";
+     let row_ms jobs =
+       List.find_map
+         (fun row ->
+           if int_field row "jobs" = jobs then Some (num_field row "wall_ms")
+           else None)
+         parallel
+     in
+     List.iter
+       (fun row ->
+         let name = str_field row "name" in
+         List.iter
+           (fun key ->
+             if int_field row key < 1 then
+               fail (Printf.sprintf "non-positive field %S in %S" key name))
+           [ "k"; "weight"; "jobs"; "cores"; "repairs" ];
+         if num_field row "wall_ms" <= 0.0 then
+           fail (Printf.sprintf "non-positive wall_ms in %S" name);
+         match str_field row "identical" with
+         | "true" -> ()
+         | "false" ->
+             fail
+               (Printf.sprintf
+                  "parallel run %S diverged from the sequential output" name)
+         | s -> fail (Printf.sprintf "non-boolean identical %S in %S" s name))
+       parallel;
+     let cores =
+       match parallel with
+       | row :: _ -> int_field row "cores"
+       | [] -> assert false
+     in
+     match (row_ms 1, row_ms 4) with
+     | None, _ -> fail "parallel section has no jobs=1 baseline row"
+     | _, None -> fail "parallel section has no jobs=4 row"
+     | Some ms1, Some ms4 ->
+         if cores >= 4 && ms4 > ms1 /. 2.0 then
+           fail
+             (Printf.sprintf
+                "jobs=4 speedup %.2fx below 2x on a %d-core machine"
+                (ms1 /. ms4) cores));
   match schema with
   | "cqanull-bench/1" ->
       Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
@@ -401,11 +511,21 @@ let check_json path =
       Printf.printf
         "%s: ok (%d micro rows, %d solver rows, %d decompose rows)\n" path
         (List.length micro) (List.length solver) (List.length decompose)
-  | _ ->
+  | "cqanull-bench/3" ->
       Printf.printf
         "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows)\n"
         path (List.length micro) (List.length solver) (List.length decompose)
         (List.length budget)
+  | _ ->
+      let parallel =
+        match Table.member "parallel" doc with
+        | Some (Table.Arr rows) -> rows
+        | _ -> []
+      in
+      Printf.printf
+        "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows)\n"
+        path (List.length micro) (List.length solver) (List.length decompose)
+        (List.length budget) (List.length parallel)
 
 (* --compare-json OLD NEW: regression guard over the micro rows both files
    share in the E1/E2 families.  Bechamel estimates from ~5ms cram quotas
@@ -425,6 +545,43 @@ let compare_json ~tolerance old_path new_path =
     try Table.parse contents
     with Table.Json_error e -> fail (path ^ ": " ^ e)
   in
+  (* Parallel telemetry carries across baselines only when both files have
+     it (the section is new in cqanull-bench/4): the jobs=1 wall-clock is
+     guarded with the same generous tolerance as the micro rows, and
+     diverged-output rows fail outright — determinism is not a perf
+     number. *)
+  let parallel_guard old_doc new_doc =
+    match (Table.member "parallel" old_doc, Table.member "parallel" new_doc) with
+    | Some (Table.Arr old_rows), Some (Table.Arr new_rows) ->
+        List.iter
+          (fun row ->
+            match Table.member "identical" row with
+            | Some (Table.Str "true") -> ()
+            | _ -> fail "new baseline has a diverged parallel row")
+          new_rows;
+        let seq_ms rows =
+          List.find_map
+            (fun row ->
+              match (Table.member "jobs" row, Table.member "wall_ms" row) with
+              | Some (Table.Int 1), Some (Table.Num ms) -> Some ms
+              | Some (Table.Int 1), Some (Table.Int ms) ->
+                  Some (float_of_int ms)
+              | _ -> None)
+            rows
+        in
+        (match (seq_ms old_rows, seq_ms new_rows) with
+        | Some old_ms, Some new_ms ->
+            Printf.printf "parallel jobs=1 %.1f -> %.1f wall_ms (%.2fx)\n"
+              old_ms new_ms
+              (if old_ms > 0.0 then new_ms /. old_ms else 0.0);
+            if old_ms > 0.0 && new_ms > tolerance *. old_ms then
+              fail
+                (Printf.sprintf
+                   "parallel jobs=1 wall-clock regressed beyond %.0fx tolerance"
+                   tolerance)
+        | _ -> ())
+    | _ -> ()
+  in
   let micro_map doc =
     match Table.member "micro" doc with
     | Some (Table.Arr rows) ->
@@ -438,8 +595,9 @@ let compare_json ~tolerance old_path new_path =
           rows
     | _ -> fail "missing micro section"
   in
-  let old_rows = micro_map (load old_path) in
-  let new_rows = micro_map (load new_path) in
+  let old_doc = load old_path and new_doc = load new_path in
+  let old_rows = micro_map old_doc in
+  let new_rows = micro_map new_doc in
   let guarded =
     List.filter
       (fun (n, _) ->
@@ -466,6 +624,7 @@ let compare_json ~tolerance old_path new_path =
             (if old_ns > 0.0 then new_ns /. old_ns else 0.0)
       | None -> Printf.printf "%-28s missing from %s\n" name new_path)
     guarded;
+  parallel_guard old_doc new_doc;
   match regressions with
   | [] ->
       Printf.printf "compare ok (%d guarded rows, tolerance %.0fx)\n"
@@ -536,4 +695,5 @@ let () =
       | Some file ->
           write_json file micro_rows (solver_telemetry ())
             (decompose_telemetry ()) (budget_telemetry ())
+            (parallel_telemetry ())
       | None -> ()

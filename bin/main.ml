@@ -57,17 +57,24 @@ let engine_conv =
 (* Shared budget plumbing for the repairs/cqa subcommands: one budget per
    invocation (the whole run counts against the deadline), stats printed on
    demand. *)
-let start_budget ~timeout_ms ~want_stats =
+let start_budget ~timeout_ms ~want_stats ~jobs =
   if timeout_ms = None && not want_stats then None
   else
-    Some (Budget.start ~stats:(Budget.new_stats ()) (Budget.make ?timeout_ms ()))
+    let stats = Budget.new_stats () in
+    (* per-worker counter slots, installed before any pool spawns; the
+       engines' pool-init hooks claim slots 1..jobs *)
+    if want_stats && jobs > 1 then Budget.set_workers stats jobs;
+    Some (Budget.start ~stats (Budget.make ?timeout_ms ()))
 
 let report_budget ~want_stats budget =
   match budget with
   | None -> ()
   | Some b ->
       Budget.finish b;
-      if want_stats then Fmt.pr "stats: %a@." Budget.pp_stats (Budget.stats b)
+      if want_stats then begin
+        Fmt.pr "stats: %a@." Budget.pp_stats (Budget.stats b);
+        Fmt.pr "%a" Budget.pp_workers (Budget.stats b)
+      end
 
 let timeout_flag =
   Arg.(
@@ -92,6 +99,17 @@ let decompose_flag =
         ~doc:"Solve independently per conflict component and recombine \
               (not available with --engine cautious).")
 
+let jobs_flag =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Solve conflict components on N worker domains (requires \
+              --decompose to have any effect).  1 (the default) is fully \
+              sequential; 0 autodetects the machine's recommended domain \
+              count.  The recombination is deterministic, so the output is \
+              identical for every N.")
+
 let method_conv =
   Arg.enum
     [ ("program", `Program); ("enumerate", `Enumerate); ("cautious", `Cautious) ]
@@ -106,7 +124,8 @@ let print_repairs d repairs =
   Fmt.pr "%d repair(s)@." (List.length repairs)
 
 let repairs_cmd =
-  let run file engine repd save decompose timeout_ms want_stats =
+  let run file engine repd save decompose jobs timeout_ms want_stats =
+    let jobs = Parallel.Config.resolve jobs in
     let l = load_or_die file in
     let d = l.Lang.Load.instance and ics = l.Lang.Load.ics in
     (match Ic.Builder.non_conflicting ics with
@@ -116,24 +135,24 @@ let repairs_cmd =
           "warning: NOT NULL-constraint '%s' conflicts with the existential \
            attribute of '%s' (Example 20 situation); consider --repd@."
           (Ic.Constr.label nnc) (Ic.Constr.label ic));
-    let budget = start_budget ~timeout_ms ~want_stats in
+    let budget = start_budget ~timeout_ms ~want_stats ~jobs in
     let result =
       if repd then Ok (Repair.Repd.repairs_d d ics)
       else
         match engine with
         | `Enumerate -> (
-            match Repair.Enumerate.repairs ?budget ~decompose d ics with
+            match Repair.Enumerate.repairs ?budget ~decompose ~jobs d ics with
             | reps -> Ok reps
             | exception Repair.Enumerate.Budget_exceeded n ->
                 Error (Budget.message (Budget.States n))
             | exception Budget.Exhausted e -> Error (Budget.message e))
         | `Program -> (
-            match Core.Engine.repairs ?budget ~decompose d ics with
+            match Core.Engine.repairs ?budget ~decompose ~jobs d ics with
             | Ok _ as ok -> ok
             | Error msg when timeout_ms = None ->
                 Fmt.epr "repair program not applicable (%s); falling back to \
                          enumeration@." msg;
-                Ok (Repair.Enumerate.repairs ?budget ~decompose d ics)
+                Ok (Repair.Enumerate.repairs ?budget ~decompose ~jobs d ics)
             | Error _ as e -> e)
     in
     match result with
@@ -177,15 +196,16 @@ let repairs_cmd =
   Cmd.v
     (Cmd.info "repairs" ~doc:"Enumerate the repairs of the database.")
     Term.(
-      const (fun f e r s dc t st -> Stdlib.exit (run f e r s dc t st))
+      const (fun f e r s dc j t st -> Stdlib.exit (run f e r s dc j t st))
       $ file_arg $ engine_flag $ repd_flag $ save_flag $ decompose_flag
-      $ timeout_flag $ stats_flag)
+      $ jobs_flag $ timeout_flag $ stats_flag)
 
 (* ------------------------------------------------------------------ *)
 (* cqa *)
 
 let cqa_cmd =
-  let run file query_name engine decompose timeout_ms want_stats =
+  let run file query_name engine decompose jobs timeout_ms want_stats =
+    let jobs = Parallel.Config.resolve jobs in
     let l = load_or_die file in
     let d = l.Lang.Load.instance and ics = l.Lang.Load.ics in
     let queries =
@@ -208,14 +228,16 @@ let cqa_cmd =
       | `Enumerate -> Query.Cqa.ModelTheoretic
       | `Cautious -> Query.Cqa.CautiousProgram
     in
-    let budget = start_budget ~timeout_ms ~want_stats in
+    let budget = start_budget ~timeout_ms ~want_stats ~jobs in
     List.iter
       (fun (name, q) ->
         Fmt.pr "query %s: %a@." name Query.Qsyntax.pp q;
         (match Query.Qsafe.check q with
         | Ok () -> ()
         | Error msg -> Fmt.pr "  note: %s@." msg);
-        match Query.Cqa.consistent_answers ~method_ ?budget ~decompose d ics q with
+        match
+          Query.Cqa.consistent_answers ~method_ ?budget ~decompose ~jobs d ics q
+        with
         | Error msg -> Fmt.pr "  error: %s@." msg
         | Ok outcome -> Fmt.pr "%a@." Query.Cqa.pp_outcome outcome)
       queries;
@@ -237,9 +259,9 @@ let cqa_cmd =
   Cmd.v
     (Cmd.info "cqa" ~doc:"Compute consistent answers (Definition 8) to the file's queries.")
     Term.(
-      const (fun f q e dc t st -> Stdlib.exit (run f q e dc t st))
-      $ file_arg $ query_flag $ engine_flag $ decompose_flag $ timeout_flag
-      $ stats_flag)
+      const (fun f q e dc j t st -> Stdlib.exit (run f q e dc j t st))
+      $ file_arg $ query_flag $ engine_flag $ decompose_flag $ jobs_flag
+      $ timeout_flag $ stats_flag)
 
 (* ------------------------------------------------------------------ *)
 (* export *)

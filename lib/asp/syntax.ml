@@ -38,12 +38,21 @@ let atom pred args = { pred; args }
 
 let term_vars = function Var x -> [ x ] | Const _ -> []
 
+(* Order-preserving dedup.  Hashtbl membership instead of List.mem: rule
+   bodies over wide atoms make this O(n) where the list scan was O(n²). *)
 let dedup l =
-  let rec go seen = function
-    | [] -> List.rev seen
-    | x :: rest -> if List.mem x seen then go seen rest else go (x :: seen) rest
-  in
-  go [] l
+  match l with
+  | [] | [ _ ] -> l
+  | _ ->
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun x ->
+          if Hashtbl.mem seen x then false
+          else begin
+            Hashtbl.add seen x ();
+            true
+          end)
+        l
 
 let atom_vars a = dedup (List.concat_map term_vars a.args)
 

@@ -18,19 +18,70 @@ let message = function
 
 let pp_exhausted ppf e = Fmt.string ppf (message e)
 
+type worker = {
+  w_decisions : int Atomic.t;
+  w_states : int Atomic.t;
+  w_components : int Atomic.t;
+}
+
 type stats = {
-  mutable decisions : int;
-  mutable states : int;
-  mutable components_solved : int;
-  mutable elapsed_ms : int;
+  decisions : int Atomic.t;
+  states : int Atomic.t;
+  components_solved : int Atomic.t;
+  elapsed_ms : int Atomic.t;
+  mutable workers : worker array;
 }
 
 let new_stats () =
-  { decisions = 0; states = 0; components_solved = 0; elapsed_ms = 0 }
+  {
+    decisions = Atomic.make 0;
+    states = Atomic.make 0;
+    components_solved = Atomic.make 0;
+    elapsed_ms = Atomic.make 0;
+    workers = [||];
+  }
+
+let new_worker () =
+  {
+    w_decisions = Atomic.make 0;
+    w_states = Atomic.make 0;
+    w_components = Atomic.make 0;
+  }
+
+(* Per-worker slots: slot 0 is the coordinating domain, slots 1..jobs the
+   pool workers.  Installed before any pool is created (single-threaded),
+   so the non-atomic [workers] field is published to the workers by the
+   happens-before edge of Domain.spawn. *)
+let set_workers s jobs = s.workers <- Array.init (jobs + 1) (fun _ -> new_worker ())
+
+(* Which slot the current domain ticks into.  Pool workers are assigned
+   their slot by the engines' pool-init hook; the coordinating domain keeps
+   the default slot 0. *)
+let slot_key = Domain.DLS.new_key (fun () -> 0)
+let set_worker_slot i = Domain.DLS.set slot_key i
+
+let bump_worker sel s =
+  match s.workers with
+  | [||] -> ()
+  | ws ->
+      let i = Domain.DLS.get slot_key in
+      if i >= 0 && i < Array.length ws then Atomic.incr (sel ws.(i))
 
 let pp_stats ppf s =
   Fmt.pf ppf "decisions=%d states=%d components_solved=%d elapsed_ms=%d"
-    s.decisions s.states s.components_solved s.elapsed_ms
+    (Atomic.get s.decisions) (Atomic.get s.states)
+    (Atomic.get s.components_solved) (Atomic.get s.elapsed_ms)
+
+let pp_workers ppf s =
+  (* slot 0 (the coordinator) is folded into the global line; the per-pool
+     slots 1..jobs get one line each *)
+  Array.iteri
+    (fun i w ->
+      if i > 0 then
+        Fmt.pf ppf "  worker %d: decisions=%d states=%d components=%d@." i
+          (Atomic.get w.w_decisions) (Atomic.get w.w_states)
+          (Atomic.get w.w_components))
+    s.workers
 
 type ctl = {
   lim : limits;
@@ -60,7 +111,7 @@ let elapsed_ms t =
   let ms = (Unix.gettimeofday () -. t.started) *. 1000. in
   max 1 (int_of_float (Float.ceil ms))
 
-let finish t = t.sink.elapsed_ms <- elapsed_ms t
+let finish t = Atomic.set t.sink.elapsed_ms (elapsed_ms t)
 
 let exhaust t e =
   finish t;
@@ -73,17 +124,21 @@ let check_deadline t =
   | _ -> ()
 
 let tick_decision t =
-  t.sink.decisions <- t.sink.decisions + 1;
+  let n = Atomic.fetch_and_add t.sink.decisions 1 + 1 in
+  bump_worker (fun w -> w.w_decisions) t.sink;
   (match t.lim.max_decisions with
-  | Some m when t.sink.decisions > m -> exhaust t (Decisions m)
+  | Some m when n > m -> exhaust t (Decisions m)
   | _ -> ());
   check_deadline t
 
 let tick_state t =
-  t.sink.states <- t.sink.states + 1;
+  let n = Atomic.fetch_and_add t.sink.states 1 + 1 in
+  bump_worker (fun w -> w.w_states) t.sink;
   (match t.lim.max_states with
-  | Some m when t.sink.states > m -> exhaust t (States m)
+  | Some m when n > m -> exhaust t (States m)
   | _ -> ());
   check_deadline t
 
-let note_component t = t.sink.components_solved <- t.sink.components_solved + 1
+let note_component t = Atomic.incr t.sink.components_solved
+
+let note_worker_component t = bump_worker (fun w -> w.w_components) t.sink

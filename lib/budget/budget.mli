@@ -22,7 +22,17 @@
     A [ctl] is shared across the stages of one engine run (and across the
     per-component solves of a decomposed run), so the limits are global to
     the run while each stage's consumption accumulates into one {!stats}
-    record. *)
+    record.
+
+    The counters are {e domain-safe}: all consumption fields are
+    [Atomic.t], so the per-component solves of a decomposed run may tick
+    the same [ctl] concurrently from the worker domains of a
+    {!Parallel.Pool} ([--jobs N]).  Exhaustion on a worker raises
+    {!Exhausted} on that worker; the engines catch it inside the worker
+    task, turn it into a value, and merge deterministically — the
+    no-exception-escape contract is unchanged.  Optional per-worker
+    consumption slots ({!set_workers}) attribute the ticks to the domain
+    that made them for [--stats]. *)
 
 type limits = {
   max_decisions : int option;  (** solver branch points, across the run *)
@@ -49,17 +59,46 @@ val message : exhausted -> string
 
 val pp_exhausted : exhausted Fmt.t
 
+type worker = {
+  w_decisions : int Atomic.t;
+  w_states : int Atomic.t;
+  w_components : int Atomic.t;
+}
+(** One per-worker consumption slot (see {!set_workers}). *)
+
 type stats = {
-  mutable decisions : int;         (** solver branch points explored *)
-  mutable states : int;            (** repair-search states visited *)
-  mutable components_solved : int; (** decomposed components completed *)
-  mutable elapsed_ms : int;
+  decisions : int Atomic.t;         (** solver branch points explored *)
+  states : int Atomic.t;            (** repair-search states visited *)
+  components_solved : int Atomic.t; (** decomposed components completed *)
+  elapsed_ms : int Atomic.t;
       (** wall-clock of the run, rounded up to a started millisecond;
           written by {!finish} (and on exhaustion), [0] while running *)
+  mutable workers : worker array;
+      (** per-worker slots, [[||]] unless {!set_workers} installed them;
+          slot 0 is the coordinating domain, slots 1..jobs the pool
+          workers *)
 }
 
 val new_stats : unit -> stats
+
+val set_workers : stats -> int -> unit
+(** [set_workers s jobs] installs [jobs + 1] per-worker slots (slot 0 for
+    the coordinating domain).  Must be called before any worker domain is
+    spawned — the engines' pool-init hooks then claim slots 1..jobs with
+    {!set_worker_slot}. *)
+
+val set_worker_slot : int -> unit
+(** Assign the calling domain's stats slot (domain-local; default 0).
+    Called from {!Parallel.Pool}'s [init] hook by the decomposed
+    engines. *)
+
 val pp_stats : stats Fmt.t
+(** The global line: [decisions=… states=… components_solved=…
+    elapsed_ms=…]. *)
+
+val pp_workers : stats Fmt.t
+(** One ["  worker i: …"] line per pool slot (nothing when
+    {!set_workers} was never called). *)
 
 type ctl
 (** A started budget: limits, the absolute deadline and the stats sink. *)
@@ -92,8 +131,17 @@ val check_deadline : ctl -> unit
     deadline. *)
 
 val note_component : ctl -> unit
-(** Count one decomposed component solved to completion.  Never
+(** Count one decomposed component solved to completion {e and kept in
+    the outcome}.  Called by the deterministic merge step (never by a
+    worker), so the counter is identical across [--jobs] settings.  Never
     raises. *)
+
+val note_worker_component : ctl -> unit
+(** Attribute one completed component solve to the calling domain's
+    per-worker slot (no-op without {!set_workers}).  Called by the solve
+    itself — under exhaustion a worker may complete a component the merge
+    later degrades, so the per-worker slots attribute {e work done} while
+    [components_solved] counts {e results kept}.  Never raises. *)
 
 val finish : ctl -> unit
 (** Record the elapsed wall-clock into the stats.  Idempotent. *)

@@ -63,47 +63,77 @@ type components_result = {
   exhausted : Budget.exhausted option;
 }
 
-let solve_components ?variant ?optimize ?budget ?max_decisions
+let solve_components ?variant ?optimize ?budget ?max_decisions ?(jobs = 1)
     (plan : Repair.Decompose.plan) =
   let component_base (c : Repair.Decompose.component) =
     Relational.Instance.union c.Repair.Decompose.sub c.Repair.Decompose.support
   in
-  (* Mirrors Repair.Enumerate.decomposed: on exhaustion keep the repairs of
-     the components already solved and degrade the remaining ones to their
-     unrepaired base slice, marked [exhausted]. *)
-  let rec traverse acc n = function
-    | [] -> Ok { solved = List.rev acc; completed = n; exhausted = None }
-    | (c : Repair.Decompose.component) :: rest -> (
-        let base = component_base c in
-        match
-          Result.map
-            (fun r -> r.repairs)
-            (Result.bind
-               (Proggen.repair_program ?variant ?optimize base
-                  c.Repair.Decompose.ics)
-               (fun pg ->
-                 Ok (run_exn ?budget ?max_decisions base c.Repair.Decompose.ics pg)))
-        with
-        | Ok reps ->
-            (match budget with Some b -> Budget.note_component b | None -> ());
-            traverse (reps :: acc) (n + 1) rest
-        | Error msg -> Error msg
-        | exception Asp.Solver.Budget_exceeded bn ->
-            partial acc n (c :: rest) (Budget.Decisions bn)
-        | exception Budget.Exhausted ex -> partial acc n (c :: rest) ex)
-  and partial acc n remaining ex =
-    let filler = List.map (fun c -> [ component_base c ]) remaining in
-    Ok
-      {
-        solved = List.rev_append acc filler;
-        completed = n;
-        exhausted = Some ex;
-      }
+  (* One component ground-and-solved, with every expected failure boxed
+     into a value — on a worker domain nothing may escape the task. *)
+  let solve_one (c : Repair.Decompose.component) =
+    let base = component_base c in
+    match
+      Result.bind
+        (Proggen.repair_program ?variant ?optimize base c.Repair.Decompose.ics)
+        (fun pg ->
+          Ok (run_exn ?budget ?max_decisions base c.Repair.Decompose.ics pg))
+    with
+    | Ok report ->
+        (match budget with
+        | Some b -> Budget.note_worker_component b
+        | None -> ());
+        `Repairs report.repairs
+    | Error msg -> `Err msg
+    | exception Asp.Solver.Budget_exceeded bn -> `Exhausted (Budget.Decisions bn)
+    | exception Budget.Exhausted ex -> `Exhausted ex
   in
-  traverse [] 0 plan.Repair.Decompose.components
+  (* Mirrors Repair.Enumerate.decomposed: results are scanned in plan order
+     (the prefix rule), so the merge is deterministic regardless of which
+     worker solved what.  On exhaustion the solved prefix keeps its repairs
+     and the remaining components degrade to their unrepaired base slice,
+     marked [exhausted]; a program-generation error still fails the whole
+     run, exactly like the sequential traversal. *)
+  let merge results =
+    let rec scan acc n = function
+      | [] -> Ok { solved = List.rev acc; completed = n; exhausted = None }
+      | (`Repairs reps, _) :: rest ->
+          (match budget with Some b -> Budget.note_component b | None -> ());
+          scan (reps :: acc) (n + 1) rest
+      | (`Err msg, _) :: _ -> Error msg
+      | (`Exhausted ex, _) :: _ as remaining ->
+          let filler =
+            List.map (fun (_, c) -> [ component_base c ]) remaining
+          in
+          Ok
+            {
+              solved = List.rev_append acc filler;
+              completed = n;
+              exhausted = Some ex;
+            }
+    in
+    scan [] 0 (List.combine results plan.Repair.Decompose.components)
+  in
+  let components = plan.Repair.Decompose.components in
+  if jobs <= 1 || List.length components <= 1 then
+    (* sequential path: stop solving at the first failure so no budget is
+       spent past the trip point — the historical behavior *)
+    let rec seq acc = function
+      | [] -> merge (List.rev acc)
+      | c :: rest -> (
+          match solve_one c with
+          | `Repairs _ as r -> seq (r :: acc) rest
+          | (`Err _ | `Exhausted _) as r ->
+              merge (List.rev_append acc (r :: List.map (fun _ -> r) rest)))
+    in
+    seq [] components
+  else
+    merge
+      (Parallel.Pool.with_pool ~jobs
+         ~init:(fun w -> Budget.set_worker_slot (w + 1))
+         (fun pool -> Parallel.Pool.map pool solve_one components))
 
-let repairs ?variant ?optimize ?budget ?max_decisions ?(decompose = false) d
-    ics =
+let repairs ?variant ?optimize ?budget ?max_decisions ?(decompose = false)
+    ?jobs d ics =
   let monolithic () =
     Result.map
       (fun r -> r.repairs)
@@ -126,7 +156,7 @@ let repairs ?variant ?optimize ?budget ?max_decisions ?(decompose = false) d
             else
               Result.bind
                 (solve_components ?variant ?optimize ?budget ?max_decisions
-                   plan)
+                   ?jobs plan)
                 (fun r ->
                   match r.exhausted with
                   | Some e ->

@@ -53,6 +53,7 @@ val solve_components :
   ?optimize:bool ->
   ?budget:Budget.ctl ->
   ?max_decisions:int ->
+  ?jobs:int ->
   Repair.Decompose.plan ->
   (components_result, string) result
 (** Generate, ground and solve one repair program per conflict component of
@@ -60,7 +61,12 @@ val solve_components :
     {!Repair.Enumerate.decomposed}'s counterpart for this engine, and the
     building block of decomposed CQA ({!Query.Cqa}).  Budget trips
     mid-traversal keep the solved prefix and set [exhausted] (graceful
-    degradation); program-generation failures are genuine [Error]s. *)
+    degradation); program-generation failures are genuine [Error]s.
+
+    [jobs > 1] grounds and solves the per-component programs concurrently
+    on a {!Parallel.Pool}; the merge scans results in plan order (the
+    prefix rule of {!Repair.Enumerate.decomposed}), so without a tripped
+    limit the result is bit-identical to [jobs = 1]. *)
 
 val repairs :
   ?variant:Proggen.variant ->
@@ -68,6 +74,7 @@ val repairs :
   ?budget:Budget.ctl ->
   ?max_decisions:int ->
   ?decompose:bool ->
+  ?jobs:int ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   (Relational.Instance.t list, string) result
@@ -79,4 +86,6 @@ val repairs :
     the call falls back to the monolithic program, since stable models only
     yield the minimal repairs.  This function promises the full repair set,
     so exhaustion mid-decomposition is an [Error] — partial outcomes live
-    in {!Query.Cqa}. *)
+    in {!Query.Cqa}.  [jobs] (default [1]) parallelizes the per-component
+    solves as in {!solve_components}; the recombination is deterministic,
+    so the repair list is identical across [jobs] settings. *)

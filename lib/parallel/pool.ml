@@ -1,0 +1,121 @@
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t array;
+  tasks_run : int Atomic.t array;
+}
+
+let size t = t.size
+
+(* Worker loop: pull the next task under the pool lock, run it outside.
+   Tasks are the closures [map] enqueues; they never raise (map boxes the
+   payload's exception into the result slot), so a worker only exits when
+   the pool is closed and the queue has drained. *)
+let rec worker_loop pool w =
+  Mutex.lock pool.lock;
+  let rec next () =
+    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+    else if pool.closed then None
+    else begin
+      Condition.wait pool.work_available pool.lock;
+      next ()
+    end
+  in
+  match next () with
+  | None -> Mutex.unlock pool.lock
+  | Some task ->
+      Mutex.unlock pool.lock;
+      (* count before running: a task whose completion [map] has observed
+         is then guaranteed to be visible in [tasks_run] *)
+      Atomic.incr pool.tasks_run.(w);
+      task ();
+      worker_loop pool w
+
+let create ?(init = fun _ -> ()) ~jobs () =
+  let size = max 1 jobs in
+  let pool =
+    {
+      size;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      closed = false;
+      domains = [||];
+      tasks_run = Array.init size (fun _ -> Atomic.make 0);
+    }
+  in
+  (* spawn after the record is fully built: Domain.spawn gives the worker a
+     happens-before edge on every field it reads *)
+  pool.domains <-
+    Array.init size (fun w ->
+        Domain.spawn (fun () ->
+            init w;
+            worker_loop pool w));
+  pool
+
+let close pool =
+  Mutex.lock pool.lock;
+  pool.closed <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.lock;
+  Array.iter Domain.join pool.domains;
+  pool.domains <- [||]
+
+let tasks_run pool = Array.to_list (Array.map Atomic.get pool.tasks_run)
+
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let remaining = Atomic.make n in
+      let done_lock = Mutex.create () in
+      let all_done = Condition.create () in
+      let task i () =
+        let r = match f arr.(i) with v -> Ok v | exception e -> Error e in
+        results.(i) <- Some r;
+        (* the decrement is the release fence publishing results.(i); the
+           caller's read of [remaining] is the matching acquire *)
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock done_lock;
+          Condition.signal all_done;
+          Mutex.unlock done_lock
+        end
+      in
+      Mutex.lock pool.lock;
+      for i = 0 to n - 1 do
+        Queue.push (task i) pool.queue
+      done;
+      Condition.broadcast pool.work_available;
+      Mutex.unlock pool.lock;
+      Mutex.lock done_lock;
+      while Atomic.get remaining > 0 do
+        Condition.wait all_done done_lock
+      done;
+      Mutex.unlock done_lock;
+      (* Deterministic ordered merge: results come back in input order, and
+         if any task raised, the lowest-index exception is re-raised —
+         independent of which worker ran what when. *)
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error e) -> raise e
+             | None -> assert false)
+           results)
+
+let with_pool ?init ~jobs f =
+  let pool = create ?init ~jobs () in
+  match f pool with
+  | v ->
+      close pool;
+      v
+  | exception e ->
+      close pool;
+      raise e

@@ -1,0 +1,48 @@
+(** A fixed-size domain pool with a deterministic ordered-merge [map].
+
+    The execution substrate of the decomposed engines
+    ({!Repair.Enumerate}, {!Core.Engine}, {!Query.Cqa}): per-component
+    repair programs ground and solve concurrently on worker domains while
+    every recombination step stays byte-identical to the sequential path,
+    because
+
+    - {!map} returns results in {e input} order regardless of which worker
+      finished what when (the ordered merge);
+    - if several tasks raise, the exception of the {e lowest-index} task is
+      re-raised — exception propagation is as deterministic as the results
+      (the engines never rely on this: they box expected exceptions into
+      result values inside the task);
+    - workers run pure per-component solves; the only shared mutable state
+      is the run's {!Budget}, whose counters are atomic.
+
+    Built on stdlib [Domain]/[Mutex]/[Condition]/[Atomic] only — no
+    domainslib. *)
+
+type t
+
+val create : ?init:(int -> unit) -> jobs:int -> unit -> t
+(** Spawn [max 1 jobs] worker domains.  [init w] runs first on worker
+    [w] (0-based) — the engines use it to assign the worker's
+    {!Budget} stats slot.  Workers idle on a condition variable until
+    {!map} enqueues tasks, and exit when {!close} is called. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] runs [f] on every element concurrently (singleton and
+    empty lists run in the calling domain) and blocks until all are done.
+    Results are returned in input order; if any [f x] raised, the
+    lowest-index exception is re-raised after all tasks finished.  [f]
+    must be safe to run on a worker domain: no shared mutable state
+    beyond atomics. *)
+
+val tasks_run : t -> int list
+(** Tasks completed per worker, in worker order — the per-worker share of
+    the run, surfaced by [--stats]. *)
+
+val close : t -> unit
+(** Drain and join all workers.  Idempotent. *)
+
+val with_pool : ?init:(int -> unit) -> jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [close] (also on exception). *)

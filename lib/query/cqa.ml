@@ -90,11 +90,13 @@ let component_preds (c : Repair.Decompose.component) =
    states needed for the inexact-product fallback when the model-theoretic
    engine is in use.  Exhaustion mid-run keeps the solved prefix (the
    unsolved components degrade to their base slice) with the marker. *)
-let solve_components mat ?budget max_effort d ics
+let solve_components mat ?budget ?(jobs = 1) max_effort d ics
     (plan : Repair.Decompose.plan) =
   match mat with
   | Enumerator ->
-      let r = Repair.Enumerate.decomposed ?budget ?max_states:max_effort d ics in
+      let r =
+        Repair.Enumerate.decomposed ?budget ?max_states:max_effort ~jobs d ics
+      in
       (* the degraded filler components of a partial outcome are the ones
          with zero explored states (a real search explores >= 1) *)
       let completed =
@@ -110,9 +112,11 @@ let solve_components mat ?budget max_effort d ics
         (fun (r : Core.Engine.components_result) ->
           (r.Core.Engine.solved, None, r.Core.Engine.completed,
            r.Core.Engine.exhausted))
-        (Core.Engine.solve_components ?budget ?max_decisions:max_effort plan)
+        (Core.Engine.solve_components ?budget ?max_decisions:max_effort ~jobs
+           plan)
 
-let decomposed_outcome mat ?budget ?semantics max_effort d ics (q : Qsyntax.t) =
+let decomposed_outcome mat ?budget ?semantics ?(jobs = 1) max_effort d ics
+    (q : Qsyntax.t) =
   let standard = Qeval.answers ?semantics d q in
   match Repair.Decompose.plan ?budget d ics with
   | exception Budget.Exhausted e -> Error (Budget.message e)
@@ -141,7 +145,7 @@ let decomposed_outcome mat ?budget ?semantics max_effort d ics (q : Qsyntax.t) =
                 (List.map (fun r -> Qeval.answers ?semantics r q) repairs))
             (repairs_of mat ?budget max_effort d ics)
       | components ->
-          Result.bind (solve_components mat ?budget max_effort d ics plan)
+          Result.bind (solve_components mat ?budget ~jobs max_effort d ics plan)
             (fun (minimal, states, completed, exhausted) ->
               match exhausted with
               | Some e when completed = 0 ->
@@ -197,20 +201,30 @@ let decomposed_outcome mat ?budget ?semantics max_effort d ics (q : Qsyntax.t) =
                                   (A ∪ Union_i B_i) = Union_i Inter_c
                                   (A ∪ B_i,c) — per-component intersections
                                   and unions suffice *)
+                               let eval_component (_, reps) =
+                                 let sets =
+                                   List.map
+                                     (fun r -> eval (Instance.union core r))
+                                     reps
+                                 in
+                                 ( List.fold_left Tuple.Set.inter
+                                     (List.hd sets) (List.tl sets),
+                                   List.fold_left Tuple.Set.union
+                                     Tuple.Set.empty sets )
+                               in
+                               (* the per-component answer algebra is as
+                                  independent as the solves: evaluate each
+                                  component's answer sets on the pool too *)
                                let per_component =
-                                 List.map
-                                   (fun (_, reps) ->
-                                     let sets =
-                                       List.map
-                                         (fun r ->
-                                           eval (Instance.union core r))
-                                         reps
-                                     in
-                                     ( List.fold_left Tuple.Set.inter
-                                         (List.hd sets) (List.tl sets),
-                                       List.fold_left Tuple.Set.union
-                                         Tuple.Set.empty sets ))
-                                   relevant
+                                 if jobs <= 1 || List.length relevant <= 1
+                                 then List.map eval_component relevant
+                                 else
+                                   Parallel.Pool.with_pool ~jobs
+                                     ~init:(fun w ->
+                                       Budget.set_worker_slot (w + 1))
+                                     (fun pool ->
+                                       Parallel.Pool.map pool eval_component
+                                         relevant)
                                in
                                {
                                  consistent =
@@ -250,7 +264,7 @@ let decomposed_outcome mat ?budget ?semantics max_effort d ics (q : Qsyntax.t) =
                                  exhausted }))))
 
 let consistent_answers ?(method_ = LogicProgram) ?semantics ?budget ?max_effort
-    ?(decompose = false) d ics q =
+    ?(decompose = false) ?jobs d ics q =
   match method_ with
   | CautiousProgram ->
       if decompose then
@@ -274,7 +288,7 @@ let consistent_answers ?(method_ = LogicProgram) ?semantics ?budget ?max_effort
         if method_ = ModelTheoretic then Enumerator else ProgramEngine
       in
       if decompose then
-        decomposed_outcome mat ?budget ?semantics max_effort d ics q
+        decomposed_outcome mat ?budget ?semantics ?jobs max_effort d ics q
       else
         Result.map
           (fun repairs ->
@@ -286,13 +300,13 @@ let consistent_answers ?(method_ = LogicProgram) ?semantics ?budget ?max_effort
               (List.length repairs) answer_sets)
           (repairs_of mat ?budget max_effort d ics)
 
-let certain ?method_ ?semantics ?budget ?max_effort ?decompose d ics q =
+let certain ?method_ ?semantics ?budget ?max_effort ?decompose ?jobs d ics q =
   if not (Qsyntax.is_boolean q) then Error "certain: query has head variables"
   else
     Result.map
       (fun o -> Tuple.Set.mem (Tuple.make []) o.consistent)
-      (consistent_answers ?method_ ?semantics ?budget ?max_effort ?decompose d
-         ics
+      (consistent_answers ?method_ ?semantics ?budget ?max_effort ?decompose
+         ?jobs d ics
          { q with Qsyntax.head = [] })
 
 let pp_outcome ppf o =

@@ -45,6 +45,7 @@ val consistent_answers :
   ?budget:Budget.ctl ->
   ?max_effort:int ->
   ?decompose:bool ->
+  ?jobs:int ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   Qsyntax.t ->
@@ -68,7 +69,14 @@ val consistent_answers :
     [repair_count] is the product of per-component counts.  The result is
     the same outcome as the monolithic computation.  [CautiousProgram]
     materializes no per-component repairs, so [~decompose:true] with it is
-    a (clearly worded) [Error], not a silent fallback. *)
+    a (clearly worded) [Error], not a silent fallback.
+
+    [jobs] (default [1]) solves the conflict components — and, on the
+    factorized single-atom path, evaluates their answer sets — on that
+    many {!Parallel.Pool} worker domains.  Only decomposed runs
+    parallelize; the recombination is a deterministic ordered merge, so
+    the outcome is identical across [jobs] settings (see
+    {!Repair.Enumerate.decomposed} for the contract under exhaustion). *)
 
 val certain :
   ?method_:method_ ->
@@ -76,6 +84,7 @@ val certain :
   ?budget:Budget.ctl ->
   ?max_effort:int ->
   ?decompose:bool ->
+  ?jobs:int ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   Qsyntax.t ->

@@ -23,10 +23,16 @@ let compare a b =
   | _, Int _ -> 1
   | Str s, Str t -> String.compare s t
 
+(* Constructor-tagged, allocation-free: the former [Hashtbl.hash (tag, v)]
+   boxed a fresh tuple per call on the hottest instance-indexing path.
+   [Hashtbl.hash] on an immediate int and on a string allocates nothing;
+   the odd multiplier keeps Int and Str images from colliding
+   systematically.  Agrees with [equal] by construction: equal values have
+   the same constructor and payload, hence the same image. *)
 let hash = function
   | Null -> 0
-  | Int i -> Hashtbl.hash (1, i)
-  | Str s -> Hashtbl.hash (2, s)
+  | Int i -> Hashtbl.hash i * 3 + 1
+  | Str s -> Hashtbl.hash s * 3 + 2
 
 let comparable a b = not (is_null a || is_null b)
 

@@ -29,6 +29,8 @@ val compare : t -> t -> int
 (** Total order used by the set/map containers: [Null < Int _ < Str _]. *)
 
 val hash : t -> int
+(** Allocation-free and coherent with {!equal}: [equal a b] implies
+    [hash a = hash b] (property-tested). *)
 
 val comparable : t -> t -> bool
 (** [comparable a b] is false iff either side is [null]; built-in comparison

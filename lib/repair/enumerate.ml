@@ -89,45 +89,82 @@ type decomposed = {
   exhausted : Budget.exhausted option;
 }
 
-let decomposed ?budget ?max_states d ics =
+let decomposed ?budget ?max_states ?(jobs = 1) d ics =
   let plan = Decompose.plan ?budget d ics in
   let component_base (c : Decompose.component) =
     Instance.union c.Decompose.sub c.Decompose.support
   in
-  (* On exhaustion the components already solved are kept and the
-     remaining ones degrade to their unrepaired base slice — graceful
-     degradation instead of discarding the work, with the [exhausted]
-     marker making the partiality explicit. *)
-  let rec solve acc = function
-    | [] -> (List.rev acc, None)
-    | (c : Decompose.component) :: rest -> (
-        let base = component_base c in
-        let counter = ref 0 in
-        match
-          search ?budget ?max_states ~universe:plan.Decompose.universe
-            ~nnc_positions:plan.Decompose.nnc_positions ~explored:counter base
-            c.Decompose.ics
-        with
-        | states ->
-            (match budget with Some b -> Budget.note_component b | None -> ());
-            (* Minimality is component-local: the symmetric differences of
-               two recombined repairs split by component, so filtering each
-               component's states against its own base replaces the cross
-               product's quadratic filter by per-component ones. *)
-            solve ((Order.minimal_among ~d:base states, states, !counter) :: acc) rest
-        | exception Budget_exceeded n -> partial acc (c :: rest) (Budget.States n)
-        | exception Budget.Exhausted e -> partial acc (c :: rest) e)
-  and partial acc remaining e =
-    let filler =
-      List.map
-        (fun c ->
-          let base = component_base c in
-          ([ base ], [ base ], 0))
-        remaining
-    in
-    (List.rev_append acc filler, Some e)
+  (* One component's search, with the expected exceptions boxed into a
+     result — on a worker domain nothing may escape the task. *)
+  let solve_one (c : Decompose.component) =
+    let base = component_base c in
+    let counter = ref 0 in
+    match
+      search ?budget ?max_states ~universe:plan.Decompose.universe
+        ~nnc_positions:plan.Decompose.nnc_positions ~explored:counter base
+        c.Decompose.ics
+    with
+    | states ->
+        (match budget with
+        | Some b -> Budget.note_worker_component b
+        | None -> ());
+        (* Minimality is component-local: the symmetric differences of
+           two recombined repairs split by component, so filtering each
+           component's states against its own base replaces the cross
+           product's quadratic filter by per-component ones. *)
+        Ok (Order.minimal_among ~d:base states, states, !counter)
+    | exception Budget_exceeded n -> Error (Budget.States n)
+    | exception Budget.Exhausted e -> Error e
   in
-  let solved, exhausted = solve [] plan.Decompose.components in
+  (* On exhaustion the longest fully-solved prefix (in plan order) is kept
+     and the remaining components degrade to their unrepaired base slice —
+     graceful degradation instead of discarding the work, with the
+     [exhausted] marker making the partiality explicit.  The prefix rule is
+     what makes the parallel path deterministic: the merge scans results in
+     plan order, exactly like the sequential traversal, so which worker
+     failed first never shows. *)
+  let merge results components =
+    let rec scan acc = function
+      | [] -> (List.rev acc, None)
+      | (Ok r, _) :: rest ->
+          (match budget with Some b -> Budget.note_component b | None -> ());
+          scan (r :: acc) rest
+      | (Error e, _) :: _ as remaining ->
+          let filler =
+            List.map
+              (fun (_, c) ->
+                let base = component_base c in
+                ([ base ], [ base ], 0))
+              remaining
+          in
+          (List.rev_append acc filler, Some e)
+    in
+    scan [] (List.combine results components)
+  in
+  let components = plan.Decompose.components in
+  let solved, exhausted =
+    if jobs <= 1 || List.length components <= 1 then
+      (* sequential path: solve in plan order, stop at the first trip (the
+         remaining components are never searched — no budget is spent past
+         the exhaustion point, exactly the historical behavior) *)
+      let rec seq acc = function
+        | [] -> merge (List.rev acc) components
+        | c :: rest -> (
+            match solve_one c with
+            | Ok _ as r -> seq (r :: acc) rest
+            | Error _ as r ->
+                merge (List.rev_append acc (r :: List.map (fun _ -> r) rest))
+                  components)
+      in
+      seq [] components
+    else
+      let results =
+        Parallel.Pool.with_pool ~jobs
+          ~init:(fun w -> Budget.set_worker_slot (w + 1))
+          (fun pool -> Parallel.Pool.map pool solve_one components)
+      in
+      merge results components
+  in
   {
     plan;
     minimal = List.map (fun (m, _, _) -> m) solved;
@@ -136,11 +173,11 @@ let decomposed ?budget ?max_states d ics =
     exhausted;
   }
 
-let repairs ?budget ?max_states ?(decompose = false) d ics =
+let repairs ?budget ?max_states ?(decompose = false) ?(jobs = 1) d ics =
   if not decompose then
     Order.minimal_among ~d (search ?budget ?max_states d ics)
   else
-    let r = decomposed ?budget ?max_states d ics in
+    let r = decomposed ?budget ?max_states ~jobs d ics in
     (* [repairs] promises the full repair set, so a partial decomposition
        cannot be returned here — re-raise and let the result-returning
        engines (Cqa, Engine) do the graceful degradation. *)

@@ -67,13 +67,18 @@ val repairs :
   ?budget:Budget.ctl ->
   ?max_states:int ->
   ?decompose:bool ->
+  ?jobs:int ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   Relational.Instance.t list
 (** [Rep(D, IC)].  Deterministic order.  A consistent [D] yields [[D]].
     With [~decompose:true] (default [false]) the search runs independently
     per conflict component and the results are recombined — same repair
-    set, per {!Decompose}'s exactness analysis.
+    set, per {!Decompose}'s exactness analysis.  [jobs] (default [1])
+    solves the components on that many {!Parallel.Pool} worker domains;
+    the recombination is a deterministic ordered merge, so the repair list
+    is byte-identical across [jobs] settings (it only applies with
+    [~decompose:true]).
     @raise Budget_exceeded when more than [max_states] (default [200_000])
     distinct states are explored (per component when decomposing).
     @raise Budget.Exhausted when [budget] trips; this function promises the
@@ -98,15 +103,17 @@ type decomposed = {
       (** all consistent states per component *)
   explored : int list;  (** states explored per component *)
   exhausted : Budget.exhausted option;
-      (** [Some _] when a budget tripped mid-run: the components solved
-          before the trip carry their true repairs, the remaining ones
-          degrade to their unrepaired base slice ([sub ∪ support]) as sole
-          entry — partial, but the work already done is preserved *)
+      (** [Some _] when a budget tripped mid-run: the longest fully-solved
+          prefix (in plan order) carries its true repairs, the remaining
+          components degrade to their unrepaired base slice
+          ([sub ∪ support]) as sole entry — partial, but the work already
+          done is preserved *)
 }
 
 val decomposed :
   ?budget:Budget.ctl ->
   ?max_states:int ->
+  ?jobs:int ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   decomposed
@@ -115,4 +122,14 @@ val decomposed :
     benchmark's decomposition counters.  Never raises on exhaustion:
     budget trips (state limit, decision limit, deadline — including the
     legacy [max_states] bound) are reported through the [exhausted]
-    marker with the solved prefix intact. *)
+    marker with the solved prefix intact.
+
+    [jobs > 1] solves the components concurrently on a {!Parallel.Pool}.
+    Determinism contract: without a tripped limit the result is
+    bit-identical to [jobs = 1] (independent searches, ordered merge).
+    On exhaustion the merge applies the sequential {e prefix rule} —
+    results are scanned in plan order and everything from the first
+    failed component on degrades, even components another worker had
+    already solved — so the partial shape matches the sequential
+    engine's; which exact component trips first can differ when a shared
+    limit is hit mid-run by concurrent consumers. *)

@@ -163,7 +163,7 @@ let bilateral_loop ?(seed = 42) ~n () =
       ];
   }
 
-let clusters_workload ?(padding = 0) ~k () =
+let clusters_workload ?(padding = 0) ?(weight = 1) ~k () =
   (* k independent conflict clusters over SHARED predicates, so the
      IC-level (predicate-overlap) decomposition cannot split them but the
      tuple-level conflict graph can: cluster i is a bare S(a_i) violating
@@ -173,8 +173,25 @@ let clusters_workload ?(padding = 0) ~k () =
      2^k elements while the per-component searches stay constant-size.
      [padding] adds fully supported S/R/T triples that end up in the
      untouched core (their S -> R potential violations exercise the
-     support-atom machinery). *)
-  let clusters = List.init k (fun i -> ("S", [ sym "a" i ])) in
+     support-atom machinery).
+
+     [weight >= 2] makes each cluster's component search expensive instead
+     of constant-size: cluster i becomes S(a_i), T(a_i) and [weight]
+     FD-conflicting tuples R(a_i, c_0) .. R(a_i, c_{weight-1}) under the
+     added FD R[1] -> R[2].  The minimal repairs keep exactly one of the
+     conflicting R-tuples (deleting them all is dominated: it forces a
+     second fix for S(a_i)), so each component has [weight] repairs and a
+     search space exponential in [weight], while the components stay
+     pairwise independent and the recombination exact — the knob the
+     parallel speedup table E16 turns. *)
+  let clusters =
+    if weight <= 1 then List.init k (fun i -> [ ("S", [ sym "a" i ]) ])
+    else
+      List.init k (fun i ->
+          ("S", [ sym "a" i ]) :: ("T", [ sym "a" i ])
+          :: List.init weight (fun j -> ("R", [ sym "a" i; sym "c" j ])))
+  in
+  let clusters = List.concat clusters in
   let pad =
     List.concat
       (List.init padding (fun j ->
@@ -185,7 +202,10 @@ let clusters_workload ?(padding = 0) ~k () =
            ]))
   in
   {
-    label = Printf.sprintf "clusters k=%d padding=%d" k padding;
+    label =
+      (if weight <= 1 then Printf.sprintf "clusters k=%d padding=%d" k padding
+       else
+         Printf.sprintf "clusters k=%d padding=%d weight=%d" k padding weight);
     d = Instance.of_list (clusters @ pad);
     ics =
       [
@@ -197,7 +217,14 @@ let clusters_workload ?(padding = 0) ~k () =
           ~ante:[ atom "R" [ v "x"; v "y" ] ]
           ~cons:[ atom "T" [ v "x" ] ]
           ();
-      ];
+      ]
+      @
+      if weight <= 1 then []
+      else
+        [
+          Ic.Builder.functional_dependency ~name:"fd_r" ~pred:"R" ~arity:2
+            ~lhs:[ 1 ] ~rhs:2 ();
+        ];
   }
 
 let random_case ?(seed = 42) () =

@@ -48,14 +48,22 @@ val bilateral_loop : ?seed:int -> n:int -> unit -> t
 (** [P(x,y) -> P(y,x)] over a random P — violates Theorem 5's condition and
     grounds to a non-HCF program (bench table E4). *)
 
-val clusters_workload : ?padding:int -> k:int -> unit -> t
+val clusters_workload : ?padding:int -> ?weight:int -> k:int -> unit -> t
 (** [k] independent conflict clusters over {e shared} predicates
     ([S(a_i)] violating [S(x) -> exists y. R(x,y)], whose insertion repair
     cascades into [R(x,y) -> T(x)]): the IC-level decomposition of
     {!Core.Decompose} cannot split them, the tuple-level conflict graph of
     {!Repair.Decompose} extracts [k] constant-size components.
     [Rep(D, IC)] has [2^k] repairs.  [padding] adds fully supported
-    [S/R/T] triples that stay in the untouched core (bench table E15). *)
+    [S/R/T] triples that stay in the untouched core (bench table E15).
+
+    [weight] (default [1] — the workload above, unchanged) [>= 2] swaps
+    each cluster's bare [S(a_i)] for [weight] FD-conflicting
+    [R(a_i, c_j)] tuples (plus their [S]/[T] anchors) under an added FD
+    [R[1] -> R[2]]: per-component search cost becomes exponential in
+    [weight] with [weight] minimal repairs per component
+    ([weight^k] in total), which is what the parallel speedup table E16
+    scales against [--jobs]. *)
 
 val random_case : ?seed:int -> unit -> t
 (** A small random instance over [P/1, Q/1, R/2, S/1] (values from

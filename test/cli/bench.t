@@ -5,12 +5,12 @@ structural and quota-independent):
 
   $ cqanull-bench --json baseline.json --micro --quota 0.005 > /dev/null
   $ cqanull-bench --check-json baseline.json
-  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows)
+  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows)
 
 Stable top-level keys, in order (anchored to top-level indentation, since
 budget rows carry a "decompose" field of their own):
 
-  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget)"' baseline.json
+  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel)"' baseline.json
     "schema"
     "tool"
     "unit"
@@ -18,6 +18,7 @@ budget rows carry a "decompose" field of their own):
     "solver"
     "decompose"
     "budget"
+    "parallel"
 
 The solver telemetry carries both engines for each E4 benchmark and every
 counter field is numeric:
@@ -47,6 +48,15 @@ per-stage counters and a started millisecond of wall-clock (guarded by
   0
   [1]
 
+The parallel telemetry records jobs = 1, 2, 4 runs of the weighted
+clusters workload, and every run's repairs were byte-identical to the
+sequential baseline (the determinism contract, as checked data):
+
+  $ grep -c '"name": "E16.parallel' baseline.json
+  3
+  $ grep -c '"identical": "true"' baseline.json
+  3
+
 The checked-in baselines all validate — the PR1 file under the original
 schema, the PR2 file with the decomposition section, the PR3 file with the
 budget counters:
@@ -57,12 +67,21 @@ budget counters:
   ../../BENCH_PR2.json: ok (12 micro rows, 4 solver rows, 4 decompose rows)
   $ cqanull-bench --check-json ../../BENCH_PR3.json
   ../../BENCH_PR3.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows)
+  $ cqanull-bench --check-json ../../BENCH_PR4.json
+  ../../BENCH_PR4.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows)
 
 The regression guard compares the E1/E2 micro rows of the two checked-in
 baselines within a 10x tolerance:
 
   $ cqanull-bench --compare-json ../../BENCH_PR2.json ../../BENCH_PR3.json > compare.out
   $ tail -1 compare.out
+  compare ok (3 guarded rows, tolerance 10x)
+
+Across the schema bump the guard also covers the parallel section's jobs=1
+wall-clock (both files must carry the section for it to engage):
+
+  $ cqanull-bench --compare-json ../../BENCH_PR3.json ../../BENCH_PR4.json > compare34.out
+  $ tail -1 compare34.out
   compare ok (3 guarded rows, tolerance 10x)
 
 Malformed input is rejected:
@@ -77,4 +96,17 @@ An unknown schema version is rejected:
   $ echo '{"schema": "cqanull-bench/9", "tool": "x", "unit": "ns", "micro": [], "solver": []}' > badschema.json
   $ cqanull-bench --check-json badschema.json
   badschema.json: unknown schema "cqanull-bench/9"
+  [1]
+
+Schema drift around the parallel section is rejected in both directions — a
+pre-/4 file must not carry the section, and a /4 file must populate it:
+
+  $ echo '{"schema": "cqanull-bench/3", "tool": "x", "unit": "ns", "micro": [], "solver": [], "decompose": [], "budget": [], "parallel": []}' > drift.json
+  $ cqanull-bench --check-json drift.json
+  drift.json: section "parallel" requires schema cqanull-bench/4
+  [1]
+
+  $ echo '{"schema": "cqanull-bench/4", "tool": "x", "unit": "ns", "micro": [], "solver": [], "decompose": [], "budget": [], "parallel": []}' > empty.json
+  $ cqanull-bench --check-json empty.json
+  empty.json: empty parallel section
   [1]

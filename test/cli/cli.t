@@ -118,3 +118,29 @@ An exceeded deadline is an error with exit code 1, never a crash:
   $ cqanull repairs example.cqa --timeout 0
   error: deadline (0 ms) exceeded
   [1]
+
+Parallel execution (--jobs) is byte-identical to the sequential run, and
+--jobs 0 resolves to the machine's core count:
+
+  $ cqanull repairs example.cqa --engine enumerate --decompose > seq.out
+  $ cqanull repairs example.cqa --engine enumerate --decompose --jobs 4 > par.out
+  $ diff seq.out par.out
+
+  $ cqanull cqa example.cqa --query courses --decompose --jobs 0 | grep consistent
+  consistent: {(21, c15)}
+
+With --stats, --jobs N adds one consumption line per pool worker (this
+single-component instance takes the sequential path, so the pool slots
+stay idle — deterministically zero):
+
+  $ cqanull repairs example.cqa --engine enumerate --decompose --stats --jobs 2 | tail -n 4 | sed 's/elapsed_ms=[0-9]*/elapsed_ms=N/'
+  2 repair(s)
+  stats: decisions=0 states=3 components_solved=1 elapsed_ms=N
+    worker 1: decisions=0 states=0 components=0
+    worker 2: decisions=0 states=0 components=0
+
+A deadline still degrades deterministically under --jobs:
+
+  $ cqanull repairs example.cqa --jobs 4 --timeout 0
+  error: deadline (0 ms) exceeded
+  [1]

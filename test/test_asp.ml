@@ -613,6 +613,25 @@ let test_ext_solve_fallback () =
 
 (* ------------------------------------------------------------------ *)
 
+let test_var_dedup_order () =
+  (* atom/rule variable lists deduplicate but keep first-occurrence order
+     (the grounder's substitution ordering depends on it) *)
+  let a =
+    S.atom "P" [ S.Var "y"; S.Var "x"; S.Var "y"; S.Const (S.Sym "c"); S.Var "x" ]
+  in
+  Alcotest.(check (list string)) "atom vars" [ "y"; "x" ] (S.atom_vars a);
+  let r = S.rule ~body_pos:[ S.atom "Q" [ S.Var "z"; S.Var "x" ] ] [ a ] in
+  Alcotest.(check (list string)) "rule vars" [ "y"; "x"; "z" ] (S.rule_vars r);
+  (* a wide duplicate-heavy list: the Hashtbl-backed dedup must agree with
+     the specification (first occurrence kept, order preserved) *)
+  let vars = List.init 200 (fun i -> S.Var (Printf.sprintf "v%d" (i mod 7))) in
+  Alcotest.(check (list string))
+    "wide dedup"
+    [ "v0"; "v1"; "v2"; "v3"; "v4"; "v5"; "v6" ]
+    (S.atom_vars (S.atom "W" vars))
+
+(* ------------------------------------------------------------------ *)
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -661,6 +680,7 @@ let () =
           Alcotest.test_case "broken dlv falls back" `Quick test_ext_solve_broken_dlv;
           Alcotest.test_case "aspparse basic" `Quick test_aspparse_basic;
           Alcotest.test_case "aspparse dialects" `Quick test_aspparse_dialects;
+          Alcotest.test_case "var dedup order" `Quick test_var_dedup_order;
           Alcotest.test_case "aspparse errors" `Quick test_aspparse_errors;
           Alcotest.test_case "cautious/brave" `Quick test_cautious_brave;
         ] );

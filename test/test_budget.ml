@@ -23,7 +23,8 @@ let test_limits () =
   | exception Budget.Exhausted (Budget.Decisions 2) -> ()
   | exception Budget.Exhausted e ->
       Alcotest.failf "wrong marker: %a" Budget.pp_exhausted e);
-  Alcotest.(check int) "decisions counted" 3 (Budget.stats b).Budget.decisions;
+  Alcotest.(check int) "decisions counted" 3
+    (Atomic.get (Budget.stats b).Budget.decisions);
   let b = Budget.start (Budget.make ~max_states:1 ()) in
   Budget.tick_state b;
   (match Budget.tick_state b with
@@ -31,7 +32,7 @@ let test_limits () =
   | exception Budget.Exhausted (Budget.States 1) -> ());
   (* exhaustion records the elapsed wall-clock, rounded up past zero *)
   Alcotest.(check bool) "elapsed recorded" true
-    ((Budget.stats b).Budget.elapsed_ms >= 1)
+    (Atomic.get (Budget.stats b).Budget.elapsed_ms >= 1)
 
 let test_deadline () =
   let b = Budget.start (Budget.make ~timeout_ms:0 ()) in
@@ -48,8 +49,13 @@ let test_deadline () =
   let s = Budget.stats b in
   Alcotest.(check (list int)) "counters"
     [ 1; 1; 1 ]
-    [ s.Budget.decisions; s.Budget.states; s.Budget.components_solved ];
-  Alcotest.(check bool) "finish stamps elapsed" true (s.Budget.elapsed_ms >= 1)
+    [
+      Atomic.get s.Budget.decisions;
+      Atomic.get s.Budget.states;
+      Atomic.get s.Budget.components_solved;
+    ];
+  Alcotest.(check bool) "finish stamps elapsed" true
+    (Atomic.get s.Budget.elapsed_ms >= 1)
 
 let test_messages () =
   Alcotest.(check string) "decisions"
@@ -161,7 +167,7 @@ let test_partial_outcome () =
       | Some e -> Alcotest.failf "wrong marker: %a" Budget.pp_exhausted e
       | None -> Alcotest.fail "outcome should carry the exhausted marker");
       Alcotest.(check int) "one component completed" 1
-        stats.Budget.components_solved;
+        (Atomic.get stats.Budget.components_solved);
       Alcotest.(check bool) "repairs recombined" true (o.Cqa.repair_count >= 1)
   | Error msg -> Alcotest.failf "expected a partial outcome, got error: %s" msg
   | exception e ->

@@ -273,6 +273,23 @@ let prop_projection_cardinal =
       let da = Projection.project_instance [ ("P", [ 1 ]); ("R", [ 2; 3 ]) ] d in
       Instance.cardinal da <= Instance.cardinal d)
 
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+(* hash/equal coherence: the contract every Hashtbl keyed on values relies
+   on.  The converse direction (unequal values hashing apart) is checked
+   only for the tiny generator domain — not a requirement, but a collision
+   across constructors there would make the hash useless in practice. *)
+let prop_hash_equal_coherent =
+  QCheck.Test.make ~name:"equal values hash equal" ~count:500
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let prop_hash_discriminates_constructors =
+  QCheck.Test.make ~name:"hash separates constructors on the test domain"
+    ~count:500
+    (QCheck.pair value_arb value_arb) (fun (a, b) ->
+      Value.equal a b || Value.hash a <> Value.hash b)
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -327,5 +344,7 @@ let () =
             prop_union_cardinal;
             prop_atoms_roundtrip;
             prop_projection_cardinal;
+            prop_hash_equal_coherent;
+            prop_hash_discriminates_constructors;
           ] );
     ]
