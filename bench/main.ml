@@ -1,6 +1,7 @@
 (* Benchmark harness: regenerates every experiment table (E1-E15, see
    EXPERIMENTS.md), optionally runs the Bechamel micro-benchmarks, and can
-   emit / validate the machine-readable perf baseline.
+   emit / validate the machine-readable perf baseline (which also carries
+   the E16 budget/parallel and E17 session telemetry).
 
      dune exec bench/main.exe                     # all tables
      dune exec bench/main.exe -- --micro          # tables + micro-benchmarks
@@ -229,7 +230,101 @@ let parallel_telemetry () =
         List.equal Relational.Instance.equal reps base_reps ))
     [ 1; 2; 4 ]
 
-let write_json path micro solver_rows decompose_rows budget_rows parallel_rows =
+(* Session telemetry (E17): a scripted update/query mix on the cluster
+   workload served by the incremental session engine, against a cold
+   decomposed run per request on the same instance.  Records the cache
+   counters, both wall-clocks and whether every session answer was
+   byte-identical to its cold counterpart — the session's correctness
+   contract as checked data.  The script keeps the hit rate high on
+   purpose (a no-op insert, then removing and restoring one cluster):
+   that is the serving pattern the cache exists for, and --check-json
+   guards the > 0.5 rate so a cache that silently stops hitting fails the
+   baseline. *)
+let session_telemetry () =
+  let k = 6 in
+  let w = Workload.Gen.clusters_workload ~padding:2 ~k () in
+  let query =
+    Query.Qsyntax.make ~head:[ "x" ]
+      (Query.Qsyntax.Atom (Ic.Patom.make "S" [ Ic.Term.var "x" ]))
+  in
+  let a0 = Relational.Value.str "a0" in
+  let deltas =
+    [
+      (* an update no constraint can see, over an existing constant: the
+         plan refreshes in place and every component hits *)
+      [ Delta.insert (Relational.Atom.make "Note" [ a0 ]) ];
+      (* one cluster leaves and comes back: the other components keep
+         their fingerprints across both re-plans *)
+      [ Delta.delete (Relational.Atom.make "S" [ a0 ]) ];
+      [ Delta.insert (Relational.Atom.make "S" [ a0 ]) ];
+    ]
+  in
+  let s = Session.create ~engine:Session.Program w.Workload.Gen.d w.Workload.Gen.ics in
+  let d = ref w.Workload.Gen.d in
+  let incremental_ms = ref 0.0 and cold_ms = ref 0.0 in
+  let identical = ref true in
+  let timed acc f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    acc := !acc +. ((Unix.gettimeofday () -. t0) *. 1000.);
+    r
+  in
+  let serve () =
+    let s_reps = timed incremental_ms (fun () -> Session.repairs s) in
+    let s_out = timed incremental_ms (fun () -> Session.cqa s query) in
+    let c_reps =
+      timed cold_ms (fun () ->
+          Core.Engine.repairs ~decompose:true !d w.Workload.Gen.ics)
+    in
+    let c_out =
+      timed cold_ms (fun () ->
+          Query.Cqa.consistent_answers ~method_:Query.Cqa.LogicProgram
+            ~decompose:true !d w.Workload.Gen.ics query)
+    in
+    (match (s_reps, c_reps) with
+    | Ok a, Ok b ->
+        if
+          not
+            (List.length a = List.length b
+            && List.for_all2 Relational.Instance.equal a b)
+        then identical := false
+    | _ -> identical := false);
+    match (s_out, c_out) with
+    | Ok a, Ok b ->
+        if
+          not
+            (Relational.Tuple.Set.equal a.Query.Cqa.consistent
+               b.Query.Cqa.consistent
+            && Relational.Tuple.Set.equal a.Query.Cqa.possible
+                 b.Query.Cqa.possible
+            && a.Query.Cqa.repair_count = b.Query.Cqa.repair_count)
+        then identical := false
+    | _ -> identical := false
+  in
+  serve ();
+  List.iter
+    (fun ops ->
+      Session.apply s ops;
+      d := Delta.apply ops !d;
+      serve ())
+    deltas;
+  let st = Session.stats s in
+  [
+    ( Printf.sprintf "E17.session.clusters.k%d" k,
+      k,
+      st.Session.deltas,
+      st.Session.requests,
+      st.Session.cache_hits,
+      st.Session.cache_misses,
+      st.Session.cache_evictions,
+      Session.hit_rate st,
+      !incremental_ms,
+      !cold_ms,
+      !identical );
+  ]
+
+let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
+    session_rows =
   let open Table in
   let micro_rows =
     List.map
@@ -300,10 +395,30 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows =
           ])
       parallel_rows
   in
+  let session_json =
+    List.map
+      (fun ( name, k, deltas, requests, hits, misses, evictions, hit_rate,
+             incremental_ms, cold_ms, identical ) ->
+        Obj
+          [
+            ("name", Str name);
+            ("k", Int k);
+            ("deltas", Int deltas);
+            ("requests", Int requests);
+            ("hits", Int hits);
+            ("misses", Int misses);
+            ("evictions", Int evictions);
+            ("hit_rate", Num hit_rate);
+            ("incremental_ms", Num incremental_ms);
+            ("cold_ms", Num cold_ms);
+            ("identical", Str (if identical then "true" else "false"));
+          ])
+      session_rows
+  in
   let doc =
     Obj
       [
-        ("schema", Str "cqanull-bench/4");
+        ("schema", Str "cqanull-bench/5");
         ("tool", Str "bench/main.exe --json");
         ("unit", Str "ns/run");
         ("micro", Arr micro_rows);
@@ -311,17 +426,19 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows =
         ("decompose", Arr decompose_json);
         ("budget", Arr budget_json);
         ("parallel", Arr parallel_json);
+        ("session", Arr session_json);
       ]
   in
   Out_channel.with_open_text path (fun oc -> output_string oc (emit doc));
   Printf.printf
-    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows)\n"
+    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows)\n"
     path
     (List.length micro_rows)
     (List.length telemetry_rows)
     (List.length decompose_json)
     (List.length budget_json)
     (List.length parallel_json)
+    (List.length session_json)
 
 (* --check-json: the baseline format's self-test.  Guards the stable keys
    and the numeric fields so the file future PRs diff against cannot drift
@@ -360,7 +477,7 @@ let check_json path =
   let schema = str_field doc "schema" in
   (match schema with
   | "cqanull-bench/1" | "cqanull-bench/2" | "cqanull-bench/3"
-  | "cqanull-bench/4" -> ()
+  | "cqanull-bench/4" | "cqanull-bench/5" -> ()
   | s -> fail (Printf.sprintf "unknown schema %S" s));
   ignore (str_field doc "tool");
   ignore (str_field doc "unit");
@@ -421,7 +538,8 @@ let check_json path =
      solved on decomposed rows, and a started millisecond of wall-clock *)
   let budget =
     match schema with
-    | "cqanull-bench/3" | "cqanull-bench/4" -> arr_field doc "budget"
+    | "cqanull-bench/3" | "cqanull-bench/4" | "cqanull-bench/5" ->
+        arr_field doc "budget"
     | _ -> []
   in
   List.iter
@@ -457,7 +575,9 @@ let check_json path =
      machine actually had >= 4 cores — on fewer cores there is no
      parallelism to measure and the honest numbers may even slow down
      (domains contending for one core). *)
-  (if schema <> "cqanull-bench/4" then begin
+  (if
+     schema <> "cqanull-bench/4" && schema <> "cqanull-bench/5"
+   then begin
      if Table.member "parallel" doc <> None then
        fail "section \"parallel\" requires schema cqanull-bench/4"
    end
@@ -503,6 +623,44 @@ let check_json path =
              (Printf.sprintf
                 "jobs=4 speedup %.2fx below 2x on a %d-core machine"
                 (ms1 /. ms4) cores));
+  (* /5 adds the session telemetry.  Exclusive to /5 in both directions,
+     like the parallel section.  Every row must show the cache actually
+     serving (> 0.5 hit rate on the scripted mix) and the correctness
+     contract holding — identical session and cold answers on every
+     request. *)
+  (if schema <> "cqanull-bench/5" then begin
+     if Table.member "session" doc <> None then
+       fail "section \"session\" requires schema cqanull-bench/5"
+   end
+   else
+     let session = arr_field doc "session" in
+     if session = [] then fail "empty session section";
+     List.iter
+       (fun row ->
+         let name = str_field row "name" in
+         List.iter
+           (fun key ->
+             if int_field row key < 0 then
+               fail (Printf.sprintf "negative field %S in %S" key name))
+           [ "k"; "deltas"; "requests"; "hits"; "misses"; "evictions" ];
+         if int_field row "requests" < 1 then
+           fail (Printf.sprintf "no requests served in %S" name);
+         if num_field row "hit_rate" <= 0.5 then
+           fail
+             (Printf.sprintf "cache hit rate %.2f not above 0.5 in %S"
+                (num_field row "hit_rate") name);
+         if num_field row "incremental_ms" <= 0.0 then
+           fail (Printf.sprintf "non-positive incremental_ms in %S" name);
+         if num_field row "cold_ms" <= 0.0 then
+           fail (Printf.sprintf "non-positive cold_ms in %S" name);
+         match str_field row "identical" with
+         | "true" -> ()
+         | "false" ->
+             fail
+               (Printf.sprintf
+                  "session run %S diverged from the cold answers" name)
+         | s -> fail (Printf.sprintf "non-boolean identical %S in %S" s name))
+       session);
   match schema with
   | "cqanull-bench/1" ->
       Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
@@ -517,15 +675,24 @@ let check_json path =
         path (List.length micro) (List.length solver) (List.length decompose)
         (List.length budget)
   | _ ->
-      let parallel =
-        match Table.member "parallel" doc with
+      let rows key =
+        match Table.member key doc with
         | Some (Table.Arr rows) -> rows
         | _ -> []
       in
-      Printf.printf
-        "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows)\n"
-        path (List.length micro) (List.length solver) (List.length decompose)
-        (List.length budget) (List.length parallel)
+      if schema = "cqanull-bench/4" then
+        Printf.printf
+          "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows)\n"
+          path (List.length micro) (List.length solver)
+          (List.length decompose) (List.length budget)
+          (List.length (rows "parallel"))
+      else
+        Printf.printf
+          "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows)\n"
+          path (List.length micro) (List.length solver)
+          (List.length decompose) (List.length budget)
+          (List.length (rows "parallel"))
+          (List.length (rows "session"))
 
 (* --compare-json OLD NEW: regression guard over the micro rows both files
    share in the E1/E2 families.  Bechamel estimates from ~5ms cram quotas
@@ -582,6 +749,46 @@ let compare_json ~tolerance old_path new_path =
         | _ -> ())
     | _ -> ()
   in
+  (* Session telemetry carries across baselines only when both files have
+     it (the section is new in cqanull-bench/5): the incremental
+     wall-clock is guarded with the micro-row tolerance, and a new
+     baseline with diverged session answers or a collapsed hit rate fails
+     outright — both are contracts, not perf numbers. *)
+  let session_guard old_doc new_doc =
+    match (Table.member "session" old_doc, Table.member "session" new_doc) with
+    | Some (Table.Arr old_rows), Some (Table.Arr new_rows) ->
+        List.iter
+          (fun row ->
+            (match Table.member "identical" row with
+            | Some (Table.Str "true") -> ()
+            | _ -> fail "new baseline has a diverged session row");
+            match Table.member "hit_rate" row with
+            | Some (Table.Num r) when r > 0.5 -> ()
+            | _ -> fail "new baseline's session hit rate fell to 0.5 or below")
+          new_rows;
+        let inc_ms rows =
+          List.find_map
+            (fun row ->
+              match Table.member "incremental_ms" row with
+              | Some (Table.Num ms) -> Some ms
+              | Some (Table.Int ms) -> Some (float_of_int ms)
+              | _ -> None)
+            rows
+        in
+        (match (inc_ms old_rows, inc_ms new_rows) with
+        | Some old_ms, Some new_ms ->
+            Printf.printf "session incremental %.1f -> %.1f ms (%.2fx)\n"
+              old_ms new_ms
+              (if old_ms > 0.0 then new_ms /. old_ms else 0.0);
+            if old_ms > 0.0 && new_ms > tolerance *. old_ms then
+              fail
+                (Printf.sprintf
+                   "session incremental wall-clock regressed beyond %.0fx \
+                    tolerance"
+                   tolerance)
+        | _ -> ())
+    | _ -> ()
+  in
   let micro_map doc =
     match Table.member "micro" doc with
     | Some (Table.Arr rows) ->
@@ -625,6 +832,7 @@ let compare_json ~tolerance old_path new_path =
       | None -> Printf.printf "%-28s missing from %s\n" name new_path)
     guarded;
   parallel_guard old_doc new_doc;
+  session_guard old_doc new_doc;
   match regressions with
   | [] ->
       Printf.printf "compare ok (%d guarded rows, tolerance %.0fx)\n"
@@ -695,5 +903,5 @@ let () =
       | Some file ->
           write_json file micro_rows (solver_telemetry ())
             (decompose_telemetry ()) (budget_telemetry ())
-            (parallel_telemetry ())
+            (parallel_telemetry ()) (session_telemetry ())
       | None -> ()

@@ -1,6 +1,6 @@
 (* cqanull — consistent query answering over databases with null values.
 
-   Subcommands: check, repairs, cqa, export, graph. *)
+   Subcommands: check, repairs, cqa, session, export, graph, solve. *)
 
 open Cmdliner
 
@@ -23,7 +23,7 @@ let file_arg =
 let check_cmd =
   let run file all_semantics =
     let l = load_or_die file in
-    let d = l.Lang.Load.instance and ics = l.Lang.Load.ics in
+    let d = Lang.Load.final_instance l and ics = l.Lang.Load.ics in
     if all_semantics then begin
       let rows = Semantics.Report.compare_semantics d ics in
       List.iter (fun row -> Fmt.pr "%a@." Semantics.Report.pp_row row) rows;
@@ -127,7 +127,7 @@ let repairs_cmd =
   let run file engine repd save decompose jobs timeout_ms want_stats =
     let jobs = Parallel.Config.resolve jobs in
     let l = load_or_die file in
-    let d = l.Lang.Load.instance and ics = l.Lang.Load.ics in
+    let d = Lang.Load.final_instance l and ics = l.Lang.Load.ics in
     (match Ic.Builder.non_conflicting ics with
     | Ok () -> ()
     | Error (nnc, ic) ->
@@ -207,7 +207,7 @@ let cqa_cmd =
   let run file query_name engine decompose jobs timeout_ms want_stats =
     let jobs = Parallel.Config.resolve jobs in
     let l = load_or_die file in
-    let d = l.Lang.Load.instance and ics = l.Lang.Load.ics in
+    let d = Lang.Load.final_instance l and ics = l.Lang.Load.ics in
     let queries =
       match query_name with
       | None -> l.Lang.Load.queries
@@ -254,7 +254,9 @@ let cqa_cmd =
     Arg.(
       value & opt method_conv `Program
       & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:"'program' and 'enumerate' materialize the repairs; 'cautious'                 reasons over the repair program without materializing any                 (RIC-acyclic constraints only).")
+          ~doc:"'program' and 'enumerate' materialize the repairs; \
+                'cautious' reasons over the repair program without \
+                materializing any (RIC-acyclic constraints only).")
   in
   Cmd.v
     (Cmd.info "cqa" ~doc:"Compute consistent answers (Definition 8) to the file's queries.")
@@ -262,6 +264,228 @@ let cqa_cmd =
       const (fun f q e dc j t st -> Stdlib.exit (run f q e dc j t st))
       $ file_arg $ query_flag $ engine_flag $ decompose_flag $ jobs_flag
       $ timeout_flag $ stats_flag)
+
+(* ------------------------------------------------------------------ *)
+(* session: a line-protocol serving loop over the incremental engine *)
+
+let session_cmd =
+  let run file engine jobs timeout_ms want_stats capacity =
+    let jobs = Parallel.Config.resolve jobs in
+    let engine =
+      match engine with
+      | `Program -> Session.Program
+      | `Enumerate -> Session.Enumerate
+    in
+    (* (session, loaded file) once a database is in; commands before that
+       are answered with an error instead of crashing the loop *)
+    let state = ref None in
+    let load_file path =
+      match Lang.Load.of_file path with
+      | Error msg -> Fmt.pr "error: %s@." msg
+      | Ok l ->
+          let s =
+            Session.create ~engine ~jobs ~capacity l.Lang.Load.instance
+              l.Lang.Load.ics
+          in
+          (* the file's own update statements replay through the engine,
+             so a later `stats` already shows their delta counters *)
+          if l.Lang.Load.updates <> [] then
+            Session.apply s l.Lang.Load.updates;
+          state := Some (s, l);
+          Fmt.pr "loaded %s: %d tuples, %d constraints, %d queries, %d \
+                  violation(s)@."
+            path
+            (Relational.Instance.cardinal (Session.instance s))
+            (List.length l.Lang.Load.ics)
+            (List.length l.Lang.Load.queries)
+            (List.length (Session.violations s))
+    in
+    let with_session f =
+      match !state with
+      | None -> Fmt.pr "error: no database loaded (use: load FILE)@."
+      | Some (s, l) -> f s l
+    in
+    (* updates are parsed by the surface parser itself: the whole line is
+       an `insert`/`delete` item (the trailing dot is optional here) *)
+    let do_update line =
+      with_session (fun s l ->
+          let line = String.trim line in
+          let line =
+            if String.length line > 0 && line.[String.length line - 1] = '.'
+            then line
+            else line ^ "."
+          in
+          match Lang.Parser.parse line with
+          | exception Lang.Parser.Parse_error (msg, _, col) ->
+              Fmt.pr "error: parse error at column %d: %s@." col msg
+          | exception Lang.Lexer.Lex_error (msg, _, col) ->
+              Fmt.pr "error: lexical error at column %d: %s@." col msg
+          | items -> (
+              let op_of = function
+                | Lang.Surface.Insert (name, vs) ->
+                    Some (Delta.insert (Relational.Atom.make name vs))
+                | Lang.Surface.Delete (name, vs) ->
+                    Some (Delta.delete (Relational.Atom.make name vs))
+                | _ -> None
+              in
+              match List.map op_of items with
+              | ops when List.for_all Option.is_some ops && ops <> [] -> (
+                  let ops = List.filter_map Fun.id ops in
+                  let bad =
+                    List.find_opt
+                      (fun op ->
+                        Result.is_error
+                          (Relational.Schema.check_atom l.Lang.Load.schema
+                             (Delta.atom op)))
+                      ops
+                  in
+                  match bad with
+                  | Some op ->
+                      Fmt.pr "error: %s@."
+                        (Result.fold ~ok:(fun () -> "") ~error:Fun.id
+                           (Relational.Schema.check_atom l.Lang.Load.schema
+                              (Delta.atom op)))
+                  | None ->
+                      Session.apply s ops;
+                      Fmt.pr "ok: %d tuples, %d violation(s)@."
+                        (Relational.Instance.cardinal
+                           (Session.instance s))
+                        (List.length (Session.violations s)))
+              | _ -> Fmt.pr "error: expected insert/delete statement(s)@."))
+    in
+    let do_repairs () =
+      with_session (fun s _ ->
+          let budget = start_budget ~timeout_ms ~want_stats ~jobs in
+          (match Session.repairs ?budget s with
+          | Error msg -> Fmt.pr "error: %s@." msg
+          | Ok reps -> print_repairs (Session.instance s) reps);
+          report_budget ~want_stats budget)
+    in
+    let do_cqa rest =
+      with_session (fun s l ->
+          let arg = String.trim rest in
+          let resolved =
+            match List.assoc_opt arg l.Lang.Load.queries with
+            | Some q -> Ok (arg, q)
+            | None when String.contains arg ':' -> (
+                (* inline query declaration, e.g. cqa q(X): P(X). *)
+                let text =
+                  "query "
+                  ^
+                  if String.length arg > 0
+                     && arg.[String.length arg - 1] = '.'
+                  then arg
+                  else arg ^ "."
+                in
+                match Lang.Parser.parse text with
+                | [ Lang.Surface.Query (name, head, body) ] -> (
+                    match Query.Qsyntax.make ~name ~head body with
+                    | q -> Ok (name, q)
+                    | exception Invalid_argument msg -> Error msg)
+                | _ -> Error "expected a single query"
+                | exception Lang.Parser.Parse_error (msg, _, col) ->
+                    Error (Printf.sprintf "parse error at column %d: %s" col msg)
+                | exception Lang.Lexer.Lex_error (msg, _, col) ->
+                    Error
+                      (Printf.sprintf "lexical error at column %d: %s" col msg))
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "no query named %s (declare it in the file or pass \
+                      name(X): body)"
+                     arg)
+          in
+          match resolved with
+          | Error msg -> Fmt.pr "error: %s@." msg
+          | Ok (name, q) ->
+              Fmt.pr "query %s: %a@." name Query.Qsyntax.pp q;
+              let budget = start_budget ~timeout_ms ~want_stats ~jobs in
+              (match Session.cqa ?budget s q with
+              | Error msg -> Fmt.pr "  error: %s@." msg
+              | Ok outcome -> Fmt.pr "%a@." Query.Cqa.pp_outcome outcome);
+              report_budget ~want_stats budget)
+    in
+    let do_check () =
+      with_session (fun s _ ->
+          match Session.violations s with
+          | [] ->
+              Fmt.pr "consistent (%d tuples, %d constraints)@."
+                (Relational.Instance.cardinal (Session.instance s))
+                (List.length (Session.constraints s))
+          | violations ->
+              List.iter
+                (fun v -> Fmt.pr "%a@." Semantics.Nullsat.pp_violation v)
+                violations;
+              Fmt.pr "%d violation(s)@." (List.length violations))
+    in
+    let do_stats () =
+      with_session (fun s _ ->
+          Fmt.pr "%a@." Session.pp_stats (Session.stats s))
+    in
+    (match file with None -> () | Some f -> load_file f);
+    let rec loop () =
+      match In_channel.input_line In_channel.stdin with
+      | None -> 0
+      | Some line -> (
+          let line = String.trim line in
+          if line = "" || line.[0] = '%' then loop ()
+          else
+            let cmd, rest =
+              match String.index_opt line ' ' with
+              | None -> (line, "")
+              | Some i ->
+                  ( String.sub line 0 i,
+                    String.sub line (i + 1) (String.length line - i - 1) )
+            in
+            match cmd with
+            | "quit" | "exit" -> 0
+            | "load" -> load_file (String.trim rest); loop ()
+            | "insert" | "delete" -> do_update line; loop ()
+            | "cqa" -> do_cqa rest; loop ()
+            | "repairs" -> do_repairs (); loop ()
+            | "check" -> do_check (); loop ()
+            | "stats" -> do_stats (); loop ()
+            | _ ->
+                Fmt.pr "error: unknown command '%s' (load, insert, delete, \
+                        cqa, repairs, check, stats, quit)@."
+                  cmd;
+                loop ())
+    in
+    loop ()
+  in
+  let file_opt =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Surface file to load before serving.")
+  in
+  let engine_flag =
+    Arg.(
+      value
+      & opt engine_conv `Program
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Repair engine behind the session cache: 'program' (stable \
+                models) or 'enumerate' (model-theoretic).")
+  in
+  let capacity_flag =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Component-cache capacity in entries (LRU); 0 disables \
+                caching.")
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:"Serve a database interactively: delta updates (insert/delete), \
+             repairs and CQA with incremental maintenance and a \
+             component-keyed solve cache.  Line protocol on stdin: load \
+             FILE, insert R(..), delete R(..), cqa QUERY, repairs, check, \
+             stats, quit.")
+    Term.(
+      const (fun f e j t st c -> Stdlib.exit (run f e j t st c))
+      $ file_opt $ engine_flag $ jobs_flag $ timeout_flag $ stats_flag
+      $ capacity_flag)
 
 (* ------------------------------------------------------------------ *)
 (* export *)
@@ -272,7 +496,10 @@ let export_cmd =
     let variant =
       match variant with `Literal -> Core.Proggen.Literal | `Refined -> Core.Proggen.Refined
     in
-    match Core.Proggen.repair_program ~variant l.Lang.Load.instance l.Lang.Load.ics with
+    match
+      Core.Proggen.repair_program ~variant (Lang.Load.final_instance l)
+        l.Lang.Load.ics
+    with
     | Error msg ->
         Fmt.epr "error: %s@." msg;
         1
@@ -397,7 +624,8 @@ let graph_cmd =
       Fmt.pr "Theorem 5: repair program is head-cycle-free (CQA in coNP)@."
     else
       Fmt.pr "Theorem 5 condition fails: repair program may be properly disjunctive@.";
-    Fmt.pr "@.null propagation:@.%s@." (Core.Nullflow.report l.Lang.Load.instance ics);
+    Fmt.pr "@.null propagation:@.%s@."
+      (Core.Nullflow.report (Lang.Load.final_instance l) ics);
     0
   in
   Cmd.v
@@ -410,4 +638,10 @@ let () =
       ~doc:"Consistent query answers in the presence of null values (Bravo & \
             Bertossi, EDBT 2006)."
   in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; repairs_cmd; cqa_cmd; export_cmd; graph_cmd; solve_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            check_cmd; repairs_cmd; cqa_cmd; session_cmd; export_cmd;
+            graph_cmd; solve_cmd;
+          ]))

@@ -37,3 +37,10 @@ module Workload = Workload
 
 module Budget = Budget
 (** Shared resource budgets: limits, deadline, per-stage stats. *)
+
+module Delta = Delta
+(** Update batches over instances: insert/delete ops, net effect. *)
+
+module Session = Session
+(** The incremental session engine: delta maintenance, component-keyed
+    solve cache, serving-loop building blocks. *)

@@ -6,6 +6,7 @@ type loaded = {
   instance : Instance.t;
   ics : Ic.Constr.t list;
   queries : (string * Query.Qsyntax.t) list;
+  updates : Delta.op list;
 }
 
 let ( let* ) = Result.bind
@@ -30,7 +31,10 @@ let of_items items =
             if Schema.mem schema name then
               Error (Printf.sprintf "relation %s declared twice" name)
             else Ok (Schema.add_relation schema ~name ~attrs)
-        | Surface.Fact (name, values) -> note_arity schema name (List.length values)
+        | Surface.Fact (name, values)
+        | Surface.Insert (name, values)
+        | Surface.Delete (name, values) ->
+            note_arity schema name (List.length values)
         | Surface.Constraint { ante; cons; _ } ->
             List.fold_left
               (fun acc a ->
@@ -40,31 +44,42 @@ let of_items items =
         | Surface.NotNull _ | Surface.Query _ -> Ok schema)
       (Ok Schema.empty) items
   in
-  (* pass 2: build everything *)
-  let* instance, rev_ics, rev_queries =
+  (* pass 2: build everything; update statements are collected in file
+     order, not folded into the instance (see [final_instance]) *)
+  let* instance, rev_ics, rev_queries, rev_updates =
     List.fold_left
       (fun acc item ->
-        let* instance, ics, queries = acc in
+        let* instance, ics, queries, updates = acc in
         match item with
-        | Surface.Relation _ -> Ok (instance, ics, queries)
+        | Surface.Relation _ -> Ok (instance, ics, queries, updates)
         | Surface.Fact (name, values) ->
-            Ok (Instance.add (Relational.Atom.make name values) instance, ics, queries)
+            Ok
+              ( Instance.add (Relational.Atom.make name values) instance,
+                ics, queries, updates )
+        | Surface.Insert (name, values) ->
+            Ok
+              ( instance, ics, queries,
+                Delta.insert (Relational.Atom.make name values) :: updates )
+        | Surface.Delete (name, values) ->
+            Ok
+              ( instance, ics, queries,
+                Delta.delete (Relational.Atom.make name values) :: updates )
         | Surface.Constraint { name; ante; cons; phi } -> (
             match Ic.Constr.generic ?name ~ante ~cons ~phi () with
-            | ic -> Ok (instance, ic :: ics, queries)
+            | ic -> Ok (instance, ic :: ics, queries, updates)
             | exception Invalid_argument msg -> Error msg)
         | Surface.NotNull (rel, pos) -> (
             match Schema.arity schema rel with
             | None -> Error (Printf.sprintf "not_null on unknown relation %s" rel)
             | Some arity -> (
                 match Ic.Constr.not_null ~pred:rel ~arity ~pos () with
-                | ic -> Ok (instance, ic :: ics, queries)
+                | ic -> Ok (instance, ic :: ics, queries, updates)
                 | exception Invalid_argument msg -> Error msg))
         | Surface.Query (name, head, body) -> (
             match Query.Qsyntax.make ~name ~head body with
-            | q -> Ok (instance, ics, (name, q) :: queries)
+            | q -> Ok (instance, ics, (name, q) :: queries, updates)
             | exception Invalid_argument msg -> Error msg))
-      (Ok (Instance.empty, [], []))
+      (Ok (Instance.empty, [], [], []))
       items
   in
   (* validate query atoms against the schema *)
@@ -89,7 +104,16 @@ let of_items items =
           (Query.Qsyntax.atoms q.Query.Qsyntax.body))
       (Ok ()) rev_queries
   in
-  Ok { schema; instance; ics = List.rev rev_ics; queries = List.rev rev_queries }
+  Ok
+    {
+      schema;
+      instance;
+      ics = List.rev rev_ics;
+      queries = List.rev rev_queries;
+      updates = List.rev rev_updates;
+    }
+
+let final_instance l = Delta.apply l.updates l.instance
 
 let of_string input =
   match Parser.parse input with

@@ -3,8 +3,11 @@
 type loaded = {
   schema : Relational.Schema.t;
   instance : Relational.Instance.t;
+      (** the facts alone — update statements are {e not} folded in *)
   ics : Ic.Constr.t list;
   queries : (string * Query.Qsyntax.t) list;
+  updates : Delta.op list;
+      (** [insert]/[delete] statements, in file order *)
 }
 
 val of_items : Surface.file -> (loaded, string) result
@@ -16,3 +19,9 @@ val of_string : string -> (loaded, string) result
 (** Parse then load; lexer/parser errors are rendered with positions. *)
 
 val of_file : string -> (loaded, string) result
+
+val final_instance : loaded -> Relational.Instance.t
+(** The instance after applying the file's update statements in order
+    ([Delta.apply updates instance]) — what the one-shot CLI commands
+    operate on; the session CLI instead starts from [instance] and replays
+    [updates] through the session engine. *)

@@ -287,7 +287,8 @@ let parse_relation st =
       Surface.Relation (name, a)
   | _ -> error st "expected relation name"
 
-let parse_fact st name =
+(* the shared tail of facts and update statements: "(v, ..., v)." *)
+let parse_value_list st =
   expect st Lexer.LPAREN "expected '('";
   let rec values acc =
     let v = parse_value st in
@@ -302,7 +303,18 @@ let parse_fact st name =
   in
   let vs = values [] in
   expect_dot st;
-  Surface.Fact (name, vs)
+  vs
+
+let parse_fact st name = Surface.Fact (name, parse_value_list st)
+
+let parse_update st kind =
+  match (peek st).Lexer.token with
+  | Lexer.UIDENT name ->
+      advance st;
+      let vs = parse_value_list st in
+      if kind = `Insert then Surface.Insert (name, vs)
+      else Surface.Delete (name, vs)
+  | _ -> error st "expected relation name"
 
 let parse_constraint st =
   let name =
@@ -387,9 +399,18 @@ let parse input =
     | Lexer.IDENT "query" ->
         advance st;
         items (parse_query st :: acc)
+    | Lexer.IDENT "insert" ->
+        advance st;
+        items (parse_update st `Insert :: acc)
+    | Lexer.IDENT "delete" ->
+        advance st;
+        items (parse_update st `Delete :: acc)
     | Lexer.UIDENT name ->
         advance st;
         items (parse_fact st name :: acc)
-    | _ -> error st "expected an item (relation, fact, constraint, not_null, query)"
+    | _ ->
+        error st
+          "expected an item (relation, fact, constraint, not_null, query, \
+           insert, delete)"
   in
   items []

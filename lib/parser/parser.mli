@@ -25,6 +25,11 @@
     % extend as far right as possible
     query enrolled(X): exists Y Z. Course(X, Y, Z).
     query certain_pair: exists X. Course(X, 21, w04).
+
+    % update statements: applied to the instance in file order, after the
+    % facts (the session engine also accepts them line by line)
+    insert Course(cs99, 33, w06).
+    delete Course(cs50, null, w05).
     v} *)
 
 exception Parse_error of string * int * int

@@ -9,6 +9,8 @@ type item =
     }
   | NotNull of string * int
   | Query of string * string list * Query.Qsyntax.formula
+  | Insert of string * Relational.Value.t list
+  | Delete of string * Relational.Value.t list
 
 type file = item list
 
@@ -33,3 +35,11 @@ let pp_item ppf = function
       Fmt.pf ppf "query %s(%a): %a." name
         Fmt.(list ~sep:(any ", ") string)
         head Query.Qsyntax.pp_formula body
+  | Insert (name, values) ->
+      Fmt.pf ppf "insert %s(%a)." name
+        Fmt.(list ~sep:(any ", ") Relational.Value.pp)
+        values
+  | Delete (name, values) ->
+      Fmt.pf ppf "delete %s(%a)." name
+        Fmt.(list ~sep:(any ", ") Relational.Value.pp)
+        values

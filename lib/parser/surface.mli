@@ -12,6 +12,11 @@ type item =
   | NotNull of string * int
   | Query of string * string list * Query.Qsyntax.formula
       (** name, head variables, body *)
+  | Insert of string * Relational.Value.t list
+      (** update statement: add the tuple after the initial instance is
+          built (applied in file order — see {!Load.final_instance}) *)
+  | Delete of string * Relational.Value.t list
+      (** update statement: remove the tuple (a no-op if absent) *)
 
 type file = item list
 

@@ -36,6 +36,10 @@ let outcome_of_answer_sets ?exhausted standard repair_count answer_sets =
   let possible = List.fold_left Tuple.Set.union Tuple.Set.empty answer_sets in
   { consistent; possible; standard; repair_count; exhausted }
 
+let outcome_of_repairs ?semantics ~standard q repairs =
+  outcome_of_answer_sets standard (List.length repairs)
+    (List.map (fun r -> Qeval.answers ?semantics r q) repairs)
+
 (* ------------------------------------------------------------------ *)
 (* Decomposed CQA (Repair.Decompose).
 
@@ -115,13 +119,132 @@ let solve_components mat ?budget ?(jobs = 1) max_effort d ics
         (Core.Engine.solve_components ?budget ?max_decisions:max_effort ~jobs
            plan)
 
+(* The factorized answer combination over already-solved components: the
+   common tail of decomposed CQA here and of the session engine's cached
+   path ({!Session}) — sharing it is what makes session answers
+   byte-identical to a cold decomposed run by construction. *)
+let factorized_outcome ?semantics ?(jobs = 1) ?states ?exhausted ~plan
+    ~minimal ~standard (q : Qsyntax.t) =
+  let core = plan.Repair.Decompose.core in
+  let components = plan.Repair.Decompose.components in
+  let d = Instance.union core (List.fold_left Instance.union Instance.empty
+                                 (List.map (fun (c : Repair.Decompose.component) ->
+                                      c.Repair.Decompose.sub) components)) in
+  let counts = List.map List.length minimal in
+  let repair_count = Repair.Decompose.count_product counts in
+  let eval r = Qeval.answers ?semantics r q in
+  let full_repairs () =
+    if plan.Repair.Decompose.product_exact then
+      List.of_seq (Repair.Decompose.product core minimal)
+    else
+      (* model-theoretic engine: recombine the consistent
+         states and filter globally *)
+      Repair.Order.minimal_among ~d
+        (List.of_seq
+           (Repair.Decompose.product core (Option.get states)))
+  in
+  if
+    (not plan.Repair.Decompose.product_exact)
+    || (not (factorizable q.Qsyntax.body))
+    || List.exists (fun l -> l = []) minimal
+  then
+    (* evaluate over the recombined repair list; still
+       profits from the per-component search *)
+    let reps = full_repairs () in
+    outcome_of_answer_sets ?exhausted standard
+      (List.length reps) (List.map eval reps)
+  else
+    let qpreds = Qsyntax.preds q in
+    let relevant =
+      List.filter
+        (fun (c, _) ->
+          List.exists
+            (fun p -> List.mem p qpreds)
+            (component_preds c))
+        (List.combine components minimal)
+    in
+    match relevant with
+    | [] ->
+        (* no component touches a query predicate: every
+           repair has exactly D's tuples there *)
+        { consistent = standard; possible = standard;
+          standard; repair_count; exhausted }
+    | _ -> (
+        match Qsyntax.atoms q.Qsyntax.body with
+        | [ _ ] ->
+            (* single-atom query: answers are additive
+               over components, so Inter_choices
+               (A ∪ Union_i B_i) = Union_i Inter_c
+               (A ∪ B_i,c) — per-component intersections
+               and unions suffice *)
+            let eval_component (_, reps) =
+              let sets =
+                List.map
+                  (fun r -> eval (Instance.union core r))
+                  reps
+              in
+              ( List.fold_left Tuple.Set.inter
+                  (List.hd sets) (List.tl sets),
+                List.fold_left Tuple.Set.union
+                  Tuple.Set.empty sets )
+            in
+            (* the per-component answer algebra is as
+               independent as the solves: evaluate each
+               component's answer sets on the pool too *)
+            let per_component =
+              if jobs <= 1 || List.length relevant <= 1
+              then List.map eval_component relevant
+              else
+                Parallel.Pool.with_pool ~jobs
+                  ~init:(fun w ->
+                    Budget.set_worker_slot (w + 1))
+                  (fun pool ->
+                    Parallel.Pool.map pool eval_component
+                      relevant)
+            in
+            {
+              consistent =
+                List.fold_left
+                  (fun acc (i, _) -> Tuple.Set.union acc i)
+                  Tuple.Set.empty per_component;
+              possible =
+                List.fold_left
+                  (fun acc (_, u) -> Tuple.Set.union acc u)
+                  Tuple.Set.empty per_component;
+              standard;
+              repair_count;
+              exhausted;
+            }
+        | _ ->
+            (* join query: answers can join atoms across
+               components — recombine, but only over the
+               components that mention a query
+               predicate *)
+            let sets =
+              Seq.map eval
+                (Repair.Decompose.product core
+                   (List.map snd relevant))
+            in
+            let consistent, possible =
+              match sets () with
+              | Seq.Nil ->
+                  (Tuple.Set.empty, Tuple.Set.empty)
+              | Seq.Cons (s, rest) ->
+                  Seq.fold_left
+                    (fun (i, u) s ->
+                      ( Tuple.Set.inter i s,
+                        Tuple.Set.union u s ))
+                    (s, s) rest
+            in
+            { consistent; possible; standard; repair_count;
+              exhausted })
+
 let decomposed_outcome mat ?budget ?semantics ?(jobs = 1) max_effort d ics
     (q : Qsyntax.t) =
   let standard = Qeval.answers ?semantics d q in
   match Repair.Decompose.plan ?budget d ics with
   | exception Budget.Exhausted e -> Error (Budget.message e)
   | plan -> (
-      let core = plan.Repair.Decompose.core in
       match plan.Repair.Decompose.components with
       | [] ->
           (* consistent instance: the only repair is D itself *)
@@ -140,11 +263,9 @@ let decomposed_outcome mat ?budget ?semantics ?(jobs = 1) max_effort d ics
              repairs, which cannot be recombined exactly here — stay
              monolithic *)
           Result.map
-            (fun repairs ->
-              outcome_of_answer_sets standard (List.length repairs)
-                (List.map (fun r -> Qeval.answers ?semantics r q) repairs))
+            (outcome_of_repairs ?semantics ~standard q)
             (repairs_of mat ?budget max_effort d ics)
-      | components ->
+      | _ ->
           Result.bind (solve_components mat ?budget ~jobs max_effort d ics plan)
             (fun (minimal, states, completed, exhausted) ->
               match exhausted with
@@ -153,115 +274,9 @@ let decomposed_outcome mat ?budget ?semantics ?(jobs = 1) max_effort d ics
                      return *)
                   Error (Budget.message e)
               | _ ->
-                  let counts = List.map List.length minimal in
-                  let repair_count = Repair.Decompose.count_product counts in
-                  let eval r = Qeval.answers ?semantics r q in
-                  let full_repairs () =
-                    if plan.Repair.Decompose.product_exact then
-                      List.of_seq (Repair.Decompose.product core minimal)
-                    else
-                      (* model-theoretic engine: recombine the consistent
-                         states and filter globally *)
-                      Repair.Order.minimal_among ~d
-                        (List.of_seq
-                           (Repair.Decompose.product core (Option.get states)))
-                  in
                   Ok
-                    (if
-                       (not plan.Repair.Decompose.product_exact)
-                       || (not (factorizable q.Qsyntax.body))
-                       || List.exists (fun l -> l = []) minimal
-                     then
-                       (* evaluate over the recombined repair list; still
-                          profits from the per-component search *)
-                       let reps = full_repairs () in
-                       outcome_of_answer_sets ?exhausted standard
-                         (List.length reps) (List.map eval reps)
-                     else
-                       let qpreds = Qsyntax.preds q in
-                       let relevant =
-                         List.filter
-                           (fun (c, _) ->
-                             List.exists
-                               (fun p -> List.mem p qpreds)
-                               (component_preds c))
-                           (List.combine components minimal)
-                       in
-                       match relevant with
-                       | [] ->
-                           (* no component touches a query predicate: every
-                              repair has exactly D's tuples there *)
-                           { consistent = standard; possible = standard;
-                             standard; repair_count; exhausted }
-                       | _ -> (
-                           match Qsyntax.atoms q.Qsyntax.body with
-                           | [ _ ] ->
-                               (* single-atom query: answers are additive
-                                  over components, so Inter_choices
-                                  (A ∪ Union_i B_i) = Union_i Inter_c
-                                  (A ∪ B_i,c) — per-component intersections
-                                  and unions suffice *)
-                               let eval_component (_, reps) =
-                                 let sets =
-                                   List.map
-                                     (fun r -> eval (Instance.union core r))
-                                     reps
-                                 in
-                                 ( List.fold_left Tuple.Set.inter
-                                     (List.hd sets) (List.tl sets),
-                                   List.fold_left Tuple.Set.union
-                                     Tuple.Set.empty sets )
-                               in
-                               (* the per-component answer algebra is as
-                                  independent as the solves: evaluate each
-                                  component's answer sets on the pool too *)
-                               let per_component =
-                                 if jobs <= 1 || List.length relevant <= 1
-                                 then List.map eval_component relevant
-                                 else
-                                   Parallel.Pool.with_pool ~jobs
-                                     ~init:(fun w ->
-                                       Budget.set_worker_slot (w + 1))
-                                     (fun pool ->
-                                       Parallel.Pool.map pool eval_component
-                                         relevant)
-                               in
-                               {
-                                 consistent =
-                                   List.fold_left
-                                     (fun acc (i, _) -> Tuple.Set.union acc i)
-                                     Tuple.Set.empty per_component;
-                                 possible =
-                                   List.fold_left
-                                     (fun acc (_, u) -> Tuple.Set.union acc u)
-                                     Tuple.Set.empty per_component;
-                                 standard;
-                                 repair_count;
-                                 exhausted;
-                               }
-                           | _ ->
-                               (* join query: answers can join atoms across
-                                  components — recombine, but only over the
-                                  components that mention a query
-                                  predicate *)
-                               let sets =
-                                 Seq.map eval
-                                   (Repair.Decompose.product core
-                                      (List.map snd relevant))
-                               in
-                               let consistent, possible =
-                                 match sets () with
-                                 | Seq.Nil ->
-                                     (Tuple.Set.empty, Tuple.Set.empty)
-                                 | Seq.Cons (s, rest) ->
-                                     Seq.fold_left
-                                       (fun (i, u) s ->
-                                         ( Tuple.Set.inter i s,
-                                           Tuple.Set.union u s ))
-                                       (s, s) rest
-                               in
-                               { consistent; possible; standard; repair_count;
-                                 exhausted }))))
+                    (factorized_outcome ?semantics ~jobs ?states ?exhausted
+                       ~plan ~minimal ~standard q)))
 
 let consistent_answers ?(method_ = LogicProgram) ?semantics ?budget ?max_effort
     ?(decompose = false) ?jobs d ics q =

@@ -78,6 +78,38 @@ val consistent_answers :
     the outcome is identical across [jobs] settings (see
     {!Repair.Enumerate.decomposed} for the contract under exhaustion). *)
 
+val outcome_of_repairs :
+  ?semantics:Qeval.semantics ->
+  standard:Relational.Tuple.Set.t ->
+  Qsyntax.t ->
+  Relational.Instance.t list ->
+  outcome
+(** Evaluate the query in every repair of a materialized list and fold the
+    answer sets: [consistent] is their intersection, [possible] their
+    union.  The monolithic tail of both materializing methods, exposed for
+    the session engine's whole-instance fallback. *)
+
+val factorized_outcome :
+  ?semantics:Qeval.semantics ->
+  ?jobs:int ->
+  ?states:Relational.Instance.t list list ->
+  ?exhausted:Budget.exhausted ->
+  plan:Repair.Decompose.plan ->
+  minimal:Relational.Instance.t list list ->
+  standard:Relational.Tuple.Set.t ->
+  Qsyntax.t ->
+  outcome
+(** The factorized answer combination over already-solved components:
+    [minimal] lists each component's minimal repairs in [plan] order
+    (non-empty — a budget-tripped component contributes its unrepaired
+    base slice, with [exhausted] set).  [states] must carry the full
+    consistent state lists when [plan.product_exact] is [false] and the
+    repairs came from the model-theoretic search (the recombined product
+    is re-filtered globally).  This is the exact answer algebra of
+    [consistent_answers ~decompose:true] after its per-component solves;
+    the session engine calls it on cached solves, which is what makes
+    session answers byte-identical to a cold run. *)
+
 val certain :
   ?method_:method_ ->
   ?semantics:Qeval.semantics ->

@@ -273,6 +273,99 @@ let plan ?budget d ics =
   { core; components; universe; nnc_positions; product_exact }
 
 (* ------------------------------------------------------------------ *)
+(* Content fingerprints and incremental plan maintenance (the session
+   engine's cache key and fast path). *)
+
+let fingerprint ?(universe = []) ?(nnc_positions = []) c =
+  let buf = Buffer.create 256 in
+  (* instances are sets and [Instance.pp] prints them sorted, so the
+     rendering — hence the digest — is independent of tuple order *)
+  Buffer.add_string buf (Fmt.str "%a" Instance.pp c.sub);
+  Buffer.add_string buf "\x00support\x00";
+  Buffer.add_string buf (Fmt.str "%a" Instance.pp c.support);
+  Buffer.add_string buf "\x00ics\x00";
+  (* constraint order is part of the content: the per-component searches
+     traverse the constraint list in order, so two orderings are distinct
+     solves even over the same set *)
+  List.iter
+    (fun ic ->
+      Buffer.add_string buf (Ic.Constr.to_string ic);
+      Buffer.add_char buf '\n')
+    c.ics;
+  Buffer.add_string buf "\x00universe\x00";
+  List.iter
+    (fun v ->
+      Buffer.add_string buf (Value.to_string v);
+      Buffer.add_char buf '\n')
+    universe;
+  Buffer.add_string buf "\x00nnc\x00";
+  List.iter
+    (fun (p, i) -> Buffer.add_string buf (Printf.sprintf "%s[%d]\n" p i))
+    nnc_positions;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let refresh p d' ics ~inserted ~deleted ~violations_unchanged =
+  (* Sound reuse of the whole partition.  The closure of [plan] is a
+     monotone fixpoint seeded by the actual violations; with (1) the same
+     violation set, (2) the same universe (so the same insertion
+     candidates), (3) no delta atom inside any component's atoms or
+     support, and (4) no delta predicate mentioned by any constraint that
+     touches the active/support region, no rule application of the cold
+     fixpoint on the new instance can differ: the first new activation
+     would need a potential violation joining a delta atom with an active
+     or support atom, and such a pv's constraint mentions both a region
+     predicate and a delta predicate — excluded by (4).  The same argument
+     keeps the support fixpoint's witness choices fixed.  Under the four
+     conditions the cold plan of the new instance is the old plan with the
+     delta folded into the untouched core. *)
+  if not violations_unchanged then None
+  else
+    let delta = inserted @ deleted in
+    let in_closure a =
+      List.exists
+        (fun c -> Atom.Set.mem a c.atoms || Instance.mem a c.support)
+        p.components
+    in
+    if List.exists in_closure delta then None
+    else
+      let region_preds =
+        List.sort_uniq String.compare
+          (List.concat_map
+             (fun c ->
+               Atom.Set.fold (fun a acc -> Atom.pred a :: acc) c.atoms []
+               @ Instance.fold (fun a acc -> Atom.pred a :: acc) c.support [])
+             p.components)
+      in
+      let relevant_preds =
+        List.concat_map
+          (fun ic ->
+            let preds = Ic.Constr.preds ic in
+            if List.exists (fun pr -> List.mem pr region_preds) preds then
+              preds
+            else [])
+          ics
+        |> List.sort_uniq String.compare
+      in
+      let delta_preds =
+        List.sort_uniq String.compare (List.map Atom.pred delta)
+      in
+      if List.exists (fun pr -> List.mem pr relevant_preds) delta_preds then
+        None
+      else if
+        not (List.equal Value.equal (Candidates.universe d' ics) p.universe)
+      then None
+      else
+        let core =
+          List.fold_left
+            (fun core a -> Instance.add a core)
+            (List.fold_left
+               (fun core a -> Instance.remove a core)
+               p.core deleted)
+            inserted
+        in
+        Some { p with core }
+
+(* ------------------------------------------------------------------ *)
 (* Lazy recombination *)
 
 let product base choices =

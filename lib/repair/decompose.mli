@@ -60,6 +60,40 @@ val plan : ?budget:Budget.ctl -> Relational.Instance.t -> Ic.Constr.t list -> pl
     @raise Budget.Exhausted on deadline; engine APIs convert it to
     [Error]. *)
 
+val fingerprint :
+  ?universe:Relational.Value.t list ->
+  ?nnc_positions:(string * int) list ->
+  component ->
+  string
+(** Stable content fingerprint of everything a per-component solve depends
+    on: the component's tuples ([sub] and [support] — order-independent,
+    instances are sets), its constraint list (order-sensitive: the searches
+    traverse it in order), and optionally the plan-global [universe] and
+    [nnc_positions] (pass them for the model-theoretic search, whose
+    insertion candidates range over them; the logic-program engine
+    regenerates its candidates from the slice and does not take them).
+    Equal fingerprints mean the solve would produce identical results —
+    the key of the session engine's component cache ({!Session}). *)
+
+val refresh :
+  plan ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  inserted:Relational.Atom.t list ->
+  deleted:Relational.Atom.t list ->
+  violations_unchanged:bool ->
+  plan option
+(** [refresh p d' ics ~inserted ~deleted ~violations_unchanged] reuses the
+    plan [p] (computed for the pre-update instance) for the updated
+    instance [d'] when the update provably cannot change the partition:
+    the violation set is unchanged, no delta atom lies in any component's
+    atoms or support, no delta predicate is mentioned by a constraint
+    touching the active/support region, and the universe of Proposition 1
+    is unchanged.  Under those conditions the cold plan of [d'] is [p]
+    with the delta folded into the untouched core — returned as [Some];
+    [None] means the caller must re-plan.  [inserted]/[deleted] are the
+    net effect as in {!Semantics.Nullsat.check_delta}. *)
+
 val product :
   Relational.Instance.t ->
   Relational.Instance.t list list ->

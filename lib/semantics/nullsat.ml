@@ -164,6 +164,106 @@ let violations_involving d ics atom =
     ics;
   List.rev !acc
 
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance.
+
+   The violation set of a constraint is a function of the tuples of the
+   predicates it mentions alone, so an update batch leaves every
+   constraint whose relations are untouched with exactly its previous
+   violations.  Touched constraints split further: when the delta stays
+   out of a generic constraint's consequent, insertions can only create
+   violations (every new antecedent match uses a new tuple, and none of
+   its witnesses changed) and deletions can only remove them — one
+   [violations_involving] probe per inserted atom plus a filter over the
+   previous violations replaces the full join.  Only a constraint whose
+   consequent predicates are touched (an insertion may silence an old
+   violation, a deletion may orphan an old match) is re-evaluated from
+   scratch. *)
+
+let compare_violation a b =
+  (* matched is in antecedent order, so (ic, matched) determines theta *)
+  match Ic.Constr.compare a.ic b.ic with
+  | 0 -> List.compare Relational.Atom.compare a.matched b.matched
+  | c -> c
+
+let canonical_violations vs = List.sort_uniq compare_violation vs
+
+type delta_stats = { reused : int; fast : int; rescanned : int }
+
+let check_delta ~before ~inserted ~deleted d ics =
+  let touched_preds =
+    List.sort_uniq String.compare
+      (List.map Relational.Atom.pred (inserted @ deleted))
+  in
+  let reused = ref 0 and fast = ref 0 and rescanned = ref 0 in
+  let per_ic ic =
+    let preds = Ic.Constr.preds ic in
+    if not (List.exists (fun p -> List.mem p touched_preds) preds) then begin
+      incr reused;
+      List.filter (fun v -> Ic.Constr.equal v.ic ic) before
+    end
+    else
+      match ic with
+      | Ic.Constr.NotNull n ->
+          (* per-tuple constraint: drop deleted offenders, add inserted
+             ones — no other tuple can change its status *)
+          incr fast;
+          let offender a =
+            String.equal (Relational.Atom.pred a) n.pred
+            && Relational.Atom.arity a = n.arity
+            && Value.is_null (Relational.Atom.args a).(n.pos - 1)
+          in
+          List.filter
+            (fun v ->
+              Ic.Constr.equal v.ic ic
+              && not (List.exists
+                          (fun a ->
+                            List.exists (Relational.Atom.equal a) v.matched)
+                          deleted))
+            before
+          @ List.filter_map
+              (fun a ->
+                if offender a then
+                  Some { ic; theta = Assign.empty; matched = [ a ] }
+                else None)
+              inserted
+      | Ic.Constr.Generic _ ->
+          let cons_touched =
+            List.exists
+              (fun p -> List.mem p touched_preds)
+              (Ic.Constr.cons_preds ic)
+          in
+          if cons_touched then begin
+            incr rescanned;
+            violations d ic
+          end
+          else begin
+            incr fast;
+            let kept =
+              List.filter
+                (fun v ->
+                  Ic.Constr.equal v.ic ic
+                  && not
+                       (List.exists
+                          (fun a ->
+                            List.exists (Relational.Atom.equal a) v.matched)
+                          deleted))
+                before
+            in
+            let fresh =
+              List.concat_map
+                (fun a ->
+                  if List.mem (Relational.Atom.pred a) preds then
+                    violations_involving d [ ic ] a
+                  else [])
+                inserted
+            in
+            kept @ fresh
+          end
+  in
+  let result = canonical_violations (List.concat_map per_ic ics) in
+  (result, { reused = !reused; fast = !fast; rescanned = !rescanned })
+
 let first_violation d ics =
   List.fold_left
     (fun acc ic ->

@@ -40,6 +40,40 @@ val violations : Relational.Instance.t -> Ic.Constr.t -> violation list
 val check : Relational.Instance.t -> Ic.Constr.t list -> violation list
 val consistent : Relational.Instance.t -> Ic.Constr.t list -> bool
 
+val compare_violation : violation -> violation -> int
+(** Total order by (constraint, matched tuples); [matched] is in antecedent
+    order, so it determines the binding and this order has no duplicates
+    within one instance's violation set. *)
+
+val canonical_violations : violation list -> violation list
+(** Sorted by {!compare_violation}, deduplicated — the canonical form the
+    incremental maintainer ({!check_delta}) works with. *)
+
+type delta_stats = {
+  reused : int;     (** constraints whose relations the delta left untouched *)
+  fast : int;       (** touched constraints updated by probes and filters *)
+  rescanned : int;  (** touched constraints re-evaluated from scratch *)
+}
+
+val check_delta :
+  before:violation list ->
+  inserted:Relational.Atom.t list ->
+  deleted:Relational.Atom.t list ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  violation list * delta_stats
+(** Incremental violation maintenance for the session engine: given the
+    previous violation set [before] and the net effect of an update batch
+    ([inserted] absent from the old instance, [deleted] present in it —
+    see {!Delta.effective}), compute the violation set of the {e new}
+    instance [d] touching only the constraints whose relations the delta
+    mentions.  Untouched constraints keep their [before] violations;
+    touched constraints whose consequent stays clear of the delta are
+    updated by per-atom {!violations_involving} probes and a filter;
+    only the rest are re-evaluated.  The result equals
+    [canonical_violations (check d ics)] (property-tested), in canonical
+    order. *)
+
 val consequent_holds :
   Relational.Instance.t -> Ic.Constr.generic -> Assign.t -> bool
 (** Does the consequent of the (generic) constraint hold under a total

@@ -1,0 +1,85 @@
+(* Classic intrusive doubly-linked list over a hash table: O(1) find,
+   promote, insert and evict.  [first] is most-recently-used, [last] the
+   eviction candidate. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable first : ('k, 'v) node option;
+  mutable last : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 16 capacity);
+    first = None;
+    last = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.first;
+  (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t k v =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.table k with
+    | Some n ->
+        n.value <- v;
+        unlink t n;
+        push_front t n
+    | None ->
+        let n = { key = k; value = v; prev = None; next = None } in
+        push_front t n;
+        Hashtbl.replace t.table k n;
+        if Hashtbl.length t.table > t.cap then (
+          match t.last with
+          | Some victim ->
+              unlink t victim;
+              Hashtbl.remove t.table victim.key;
+              t.evictions <- t.evictions + 1
+          | None -> assert false)
+
+let mem t k = Hashtbl.mem t.table k
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.first <- None;
+  t.last <- None

@@ -1,0 +1,39 @@
+(** A bounded least-recently-used cache with hit/miss/evict telemetry.
+
+    The session engine ({!Session}) keys per-component repair solves by
+    content fingerprint; this cache bounds how many solved components stay
+    resident.  [find] promotes, [add] inserts at the front and evicts from
+    the back once [capacity] is exceeded.  Every probe is counted, so the
+    serving loop can surface hit rates without instrumenting call sites.
+
+    Not thread-safe: the session engine only touches it from the
+    coordinating domain (worker domains solve, the coordinator caches). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** [capacity <= 0] disables storage: every [find] misses and [add] is a
+    no-op — useful to measure the cache's benefit by switching it off. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** [Some] promotes the entry to most-recently-used and counts a hit;
+    [None] counts a miss. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert (or overwrite, promoting) as most-recently-used; evicts the
+    least-recently-used entry when the cache would exceed its capacity. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership probe without promotion and without touching the counters
+    (for tests). *)
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+val evictions : ('k, 'v) t -> int
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry; the counters survive (they describe the session, not
+    the current residency). *)

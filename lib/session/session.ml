@@ -1,0 +1,406 @@
+module Lru = Lru
+module Instance = Relational.Instance
+module Nullsat = Semantics.Nullsat
+module Decompose = Repair.Decompose
+
+type engine = Enumerate | Program
+
+(* A cached component solve.  [minimal] are the locally <=_D-minimal
+   repairs; [states] carries the full consistent state list for
+   [Enumerate] (needed by the inexact-product recombination) and is [None]
+   for [Program]. *)
+type entry = { minimal : Instance.t list; states : Instance.t list option }
+
+type stats = {
+  deltas : int;
+  requests : int;
+  plan_reuses : int;
+  plan_rebuilds : int;
+  ics_reused : int;
+  ics_fast : int;
+  ics_rescanned : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_entries : int;
+}
+
+type t = {
+  engine : engine;
+  jobs : int;
+  max_effort : int option;
+  ics : Ic.Constr.t list;
+  cache : (string, entry) Lru.t;
+  mutable d : Instance.t;
+  mutable violations : Nullsat.violation list;  (* canonical order *)
+  mutable plan : Decompose.plan option;  (* None = must re-plan *)
+  mutable deltas : int;
+  mutable requests : int;
+  mutable plan_reuses : int;
+  mutable plan_rebuilds : int;
+  mutable ics_reused : int;
+  mutable ics_fast : int;
+  mutable ics_rescanned : int;
+}
+
+let create ?(engine = Program) ?(jobs = 1) ?max_effort ?(capacity = 256) d ics
+    =
+  {
+    engine;
+    jobs;
+    max_effort;
+    ics;
+    cache = Lru.create ~capacity;
+    d;
+    violations = Nullsat.canonical_violations (Nullsat.check d ics);
+    plan = None;
+    deltas = 0;
+    requests = 0;
+    plan_reuses = 0;
+    plan_rebuilds = 0;
+    ics_reused = 0;
+    ics_fast = 0;
+    ics_rescanned = 0;
+  }
+
+let instance t = t.d
+let constraints t = t.ics
+let violations t = t.violations
+let consistent t = t.violations = []
+
+(* ------------------------------------------------------------------ *)
+(* Delta application: incremental violation maintenance, then plan
+   refresh.  The plan is dropped (not eagerly recomputed) when refresh
+   cannot prove it survives — the next request re-plans under its own
+   budget. *)
+
+let apply t ops =
+  t.deltas <- t.deltas + 1;
+  let inserted, deleted = Delta.effective ops t.d in
+  match (inserted, deleted) with
+  | [], [] -> ()
+  | _ ->
+      let d' = Delta.apply ops t.d in
+      let vs, ds =
+        Nullsat.check_delta ~before:t.violations ~inserted ~deleted d' t.ics
+      in
+      t.ics_reused <- t.ics_reused + ds.Nullsat.reused;
+      t.ics_fast <- t.ics_fast + ds.Nullsat.fast;
+      t.ics_rescanned <- t.ics_rescanned + ds.Nullsat.rescanned;
+      let violations_unchanged =
+        List.equal
+          (fun a b -> Nullsat.compare_violation a b = 0)
+          t.violations vs
+      in
+      (match t.plan with
+      | None -> ()
+      | Some p -> (
+          match
+            Decompose.refresh p d' t.ics ~inserted ~deleted
+              ~violations_unchanged
+          with
+          | Some p' ->
+              t.plan_reuses <- t.plan_reuses + 1;
+              t.plan <- Some p'
+          | None -> t.plan <- None));
+      t.d <- d';
+      t.violations <- vs
+
+(* ------------------------------------------------------------------ *)
+(* Plan and cache plumbing *)
+
+(* Budget exhaustion during planning becomes an [Error], exactly as in the
+   cold engines. *)
+let with_plan ?budget t f =
+  match
+    match t.plan with
+    | Some p -> p
+    | None ->
+        let p = Decompose.plan ?budget t.d t.ics in
+        t.plan_rebuilds <- t.plan_rebuilds + 1;
+        t.plan <- Some p;
+        p
+  with
+  | p -> f p
+  | exception Budget.Exhausted e -> Error (Budget.message e)
+
+let effort_tag t =
+  match t.max_effort with None -> "-" | Some n -> string_of_int n
+
+(* The cache key covers everything a component solve depends on: the
+   engine, the effort bound, and the content fingerprint — including the
+   plan-global universe and NNC positions for [Enumerate], whose insertion
+   candidates range over them; the program engine regenerates its
+   candidates from the slice, so its entries survive universe drift. *)
+let component_key t (plan : Decompose.plan) c =
+  match t.engine with
+  | Enumerate ->
+      Printf.sprintf "enum:%s:%s" (effort_tag t)
+        (Decompose.fingerprint ~universe:plan.Decompose.universe
+           ~nnc_positions:plan.Decompose.nnc_positions c)
+  | Program -> Printf.sprintf "prog:%s:%s" (effort_tag t) (Decompose.fingerprint c)
+
+(* Whole-instance key for the monolithic program-engine fallback
+   (inexact product): digest of the instance and the constraint list. *)
+let mono_key t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Fmt.str "%a" Instance.pp t.d);
+  List.iter
+    (fun ic ->
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf (Ic.Constr.to_string ic))
+    t.ics;
+  Printf.sprintf "mono:%s:%s" (effort_tag t)
+    (Digest.to_hex (Digest.string (Buffer.contents buf)))
+
+let component_base (c : Decompose.component) =
+  Instance.union c.Decompose.sub c.Decompose.support
+
+(* One component solved from scratch — the exact code paths of the cold
+   engines ({!Repair.Enumerate.decomposed} / {!Core.Engine.solve_components}
+   on a single-component plan), so a cached entry is indistinguishable
+   from a cold solve. *)
+type solved = Entry of entry | Exhausted of Budget.exhausted | Err of string
+
+let solve_component ?budget t (plan : Decompose.plan) (c : Decompose.component)
+    =
+  let base = component_base c in
+  match t.engine with
+  | Enumerate -> (
+      let counter = ref 0 in
+      match
+        Repair.Enumerate.search ?budget ?max_states:t.max_effort
+          ~universe:plan.Decompose.universe
+          ~nnc_positions:plan.Decompose.nnc_positions ~explored:counter base
+          c.Decompose.ics
+      with
+      | states ->
+          (match budget with
+          | Some b -> Budget.note_worker_component b
+          | None -> ());
+          Entry
+            {
+              minimal = Repair.Order.minimal_among ~d:base states;
+              states = Some states;
+            }
+      | exception Repair.Enumerate.Budget_exceeded n ->
+          Exhausted (Budget.States n)
+      | exception Budget.Exhausted e -> Exhausted e)
+  | Program -> (
+      match
+        Core.Engine.solve_components ?budget ?max_decisions:t.max_effort
+          { plan with Decompose.components = [ c ] }
+      with
+      | Error msg -> Err msg
+      | Ok { Core.Engine.exhausted = Some e; _ } -> Exhausted e
+      | Ok { Core.Engine.solved = [ reps ]; _ } ->
+          Entry { minimal = reps; states = None }
+      | Ok _ -> assert false)
+
+(* Solve every component of the plan through the cache.  Misses run on the
+   pool when [jobs > 1]; the merge scans in plan order and applies the
+   cold engines' prefix rule — everything from the first budget trip on
+   degrades to its unrepaired base slice, cache hits included, so the
+   partial shape matches a cold run's.  Successful solves are cached even
+   past the trip point (the work is done; only this request's answer may
+   not use it). *)
+let solve_all ?budget t (plan : Decompose.plan) =
+  let probed =
+    List.map
+      (fun c ->
+        let key = component_key t plan c in
+        (c, key, Lru.find t.cache key))
+      plan.Decompose.components
+  in
+  let misses = List.filter (fun (_, _, v) -> Option.is_none v) probed in
+  let results =
+    if t.jobs <= 1 || List.length misses <= 1 then
+      (* sequential: solve misses in plan order, stop at the first trip so
+         no budget is spent past it (the cold sequential behavior) *)
+      let rec seq acc stopped = function
+        | [] -> List.rev acc
+        | (c, key, cached) :: rest -> (
+            match cached with
+            | Some e -> seq ((key, c, `Hit e) :: acc) stopped rest
+            | None ->
+                if stopped then seq ((key, c, `Unsolved) :: acc) stopped rest
+                else (
+                  match solve_component ?budget t plan c with
+                  | Entry e -> seq ((key, c, `Solved e) :: acc) stopped rest
+                  | Exhausted ex -> seq ((key, c, `Trip ex) :: acc) true rest
+                  | Err m -> seq ((key, c, `Err m) :: acc) true rest))
+      in
+      seq [] false probed
+    else
+      let miss_results =
+        Parallel.Pool.with_pool ~jobs:t.jobs
+          ~init:(fun w -> Budget.set_worker_slot (w + 1))
+          (fun pool ->
+            Parallel.Pool.map pool
+              (fun (c, _, _) -> solve_component ?budget t plan c)
+              misses)
+      in
+      (* reassemble in plan order: hits keep their entry, misses consume
+         the pool results in order *)
+      let rec assemble acc probed miss_results =
+        match probed with
+        | [] -> List.rev acc
+        | (c, key, Some e) :: rest ->
+            assemble ((key, c, `Hit e) :: acc) rest miss_results
+        | (c, key, None) :: rest -> (
+            match miss_results with
+            | r :: mrest ->
+                let tag =
+                  match r with
+                  | Entry e -> `Solved e
+                  | Exhausted ex -> `Trip ex
+                  | Err m -> `Err m
+                in
+                assemble ((key, c, tag) :: acc) rest mrest
+            | [] -> assert false)
+      in
+      assemble [] probed miss_results
+  in
+  let filler c =
+    let base = component_base c in
+    {
+      minimal = [ base ];
+      states = (if t.engine = Enumerate then Some [ base ] else None);
+    }
+  in
+  let rec scan entries completed = function
+    | [] -> Ok (List.rev entries, completed, None)
+    | (_, _, `Hit e) :: rest -> scan (e :: entries) (completed + 1) rest
+    | (key, _, `Solved e) :: rest ->
+        Lru.add t.cache key e;
+        (match (budget, t.engine) with
+        | Some b, Enumerate -> Budget.note_component b
+        | _ -> ());
+        scan (e :: entries) (completed + 1) rest
+    | (_, _, `Err m) :: _ -> Error m
+    | (_, _, (`Trip ex)) :: _ as remaining ->
+        let degraded =
+          List.map
+            (fun (key, c, r) ->
+              (match r with `Solved e -> Lru.add t.cache key e | _ -> ());
+              filler c)
+            remaining
+        in
+        Ok (List.rev_append entries degraded, completed, Some ex)
+    | (_, _, `Unsolved) :: _ ->
+        (* only reachable after a trip, which the [`Trip] arm consumed *)
+        assert false
+  in
+  scan [] 0 results
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+let monolithic_repairs ?budget t =
+  let key = mono_key t in
+  match Lru.find t.cache key with
+  | Some e -> Ok e.minimal
+  | None ->
+      Result.map
+        (fun reps ->
+          Lru.add t.cache key { minimal = reps; states = None };
+          reps)
+        (Core.Engine.repairs ?budget ?max_decisions:t.max_effort t.d t.ics)
+
+let repairs ?budget t =
+  t.requests <- t.requests + 1;
+  with_plan ?budget t (fun plan ->
+      match plan.Decompose.components with
+      | [] -> Ok [ t.d ]
+      | _ when (not plan.Decompose.product_exact) && t.engine = Program ->
+          monolithic_repairs ?budget t
+      | _ ->
+          Result.bind (solve_all ?budget t plan)
+            (fun (entries, _completed, exhausted) ->
+              match exhausted with
+              | Some e ->
+                  (* like the cold engines, the full repair set cannot
+                     degrade gracefully *)
+                  Error (Budget.message e)
+              | None ->
+                  let minimal = List.map (fun e -> e.minimal) entries in
+                  if plan.Decompose.product_exact then
+                    Ok
+                      (List.of_seq
+                         (Decompose.product plan.Decompose.core minimal))
+                  else
+                    (* Enumerate with a possible cross-component covering:
+                       recombine the states and filter globally *)
+                    let states =
+                      List.map (fun e -> Option.get e.states) entries
+                    in
+                    Ok
+                      (Repair.Order.minimal_among ~d:t.d
+                         (List.of_seq
+                            (Decompose.product plan.Decompose.core states)))))
+
+let cqa ?budget ?semantics t q =
+  t.requests <- t.requests + 1;
+  let standard = Query.Qeval.answers ?semantics t.d q in
+  with_plan ?budget t (fun plan ->
+      match plan.Decompose.components with
+      | [] ->
+          Ok
+            {
+              Query.Cqa.consistent = standard;
+              possible = standard;
+              standard;
+              repair_count = 1;
+              exhausted = None;
+            }
+      | _ when (not plan.Decompose.product_exact) && t.engine = Program ->
+          Result.map
+            (Query.Cqa.outcome_of_repairs ?semantics ~standard q)
+            (monolithic_repairs ?budget t)
+      | _ ->
+          Result.bind (solve_all ?budget t plan)
+            (fun (entries, completed, exhausted) ->
+              match exhausted with
+              | Some e when completed = 0 -> Error (Budget.message e)
+              | _ ->
+                  let minimal = List.map (fun e -> e.minimal) entries in
+                  let states =
+                    match t.engine with
+                    | Enumerate ->
+                        Some (List.map (fun e -> Option.get e.states) entries)
+                    | Program -> None
+                  in
+                  Ok
+                    (Query.Cqa.factorized_outcome ?semantics ~jobs:t.jobs
+                       ?states ?exhausted ~plan ~minimal ~standard q)))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry *)
+
+let stats t =
+  {
+    deltas = t.deltas;
+    requests = t.requests;
+    plan_reuses = t.plan_reuses;
+    plan_rebuilds = t.plan_rebuilds;
+    ics_reused = t.ics_reused;
+    ics_fast = t.ics_fast;
+    ics_rescanned = t.ics_rescanned;
+    cache_hits = Lru.hits t.cache;
+    cache_misses = Lru.misses t.cache;
+    cache_evictions = Lru.evictions t.cache;
+    cache_entries = Lru.length t.cache;
+  }
+
+let hit_rate (s : stats) =
+  let probes = s.cache_hits + s.cache_misses in
+  if probes = 0 then 0. else float_of_int s.cache_hits /. float_of_int probes
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "@[<h>session: deltas=%d requests=%d plan.reused=%d plan.rebuilt=%d \
+     ics.reused=%d ics.fast=%d ics.rescanned=%d cache.hits=%d \
+     cache.misses=%d cache.evictions=%d cache.entries=%d@]"
+    s.deltas s.requests s.plan_reuses s.plan_rebuilds s.ics_reused s.ics_fast
+    s.ics_rescanned s.cache_hits s.cache_misses s.cache_evictions
+    s.cache_entries

@@ -1,0 +1,103 @@
+(** The incremental session engine: a long-lived instance served with
+    delta updates, incremental violation and plan maintenance, and a
+    component-keyed cache in front of the per-component repair solves.
+
+    A session holds one instance and one constraint set.  Updates arrive as
+    {!Delta} batches and are folded in incrementally: violations through
+    {!Semantics.Nullsat.check_delta} (only constraints whose relations the
+    delta touches are re-examined), the conflict-component plan through
+    {!Repair.Decompose.refresh} (re-planned only when the delta intersects
+    the active/support region).  Requests ([repairs], [cqa]) then solve the
+    plan's components through a bounded LRU cache keyed by
+    {!Repair.Decompose.fingerprint} — a component untouched since the last
+    request is never solved again.
+
+    {b Correctness contract}: after any delta sequence, [repairs] and
+    [cqa] return byte-identical results to a cold one-shot run
+    ([Repair.Enumerate.repairs ~decompose:true] /
+    [Core.Engine.repairs ~decompose:true] /
+    [Query.Cqa.consistent_answers ~decompose:true]) on the final instance.
+    This holds by construction — the plan is either provably the cold plan
+    (refresh) or freshly computed, the cache key covers every input of a
+    component solve, the solve code paths are shared with the cold
+    engines, and the answer algebra is {!Query.Cqa.factorized_outcome}
+    itself — and is enforced by the qcheck differential in
+    [test_session.ml]. *)
+
+module Lru = Lru
+(** Re-exported so library consumers (the facade exposes only this module)
+    can reach the cache implementation directly. *)
+
+type engine =
+  | Enumerate  (** the model-theoretic search ({!Repair.Enumerate}) *)
+  | Program    (** the logic-program engine ({!Core.Engine}) *)
+
+type t
+
+type stats = {
+  deltas : int;          (** update batches applied *)
+  requests : int;        (** [repairs] + [cqa] requests served *)
+  plan_reuses : int;     (** deltas whose plan was kept by {!Repair.Decompose.refresh} *)
+  plan_rebuilds : int;   (** plans computed from scratch (incl. the first) *)
+  ics_reused : int;      (** accumulated {!Semantics.Nullsat.delta_stats} *)
+  ics_fast : int;
+  ics_rescanned : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_entries : int;   (** current residency *)
+}
+
+val create :
+  ?engine:engine ->
+  ?jobs:int ->
+  ?max_effort:int ->
+  ?capacity:int ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  t
+(** [engine] defaults to [Program], [jobs] to [1], [capacity] (cache
+    entries) to [256]; [max_effort] bounds each component solve (states
+    for [Enumerate], solver decisions for [Program]) and is part of the
+    cache key.  Violations of the initial instance are computed here; the
+    first plan is computed lazily by the first request. *)
+
+val instance : t -> Relational.Instance.t
+val constraints : t -> Ic.Constr.t list
+
+val violations : t -> Semantics.Nullsat.violation list
+(** Current violation set, canonically ordered
+    ({!Semantics.Nullsat.canonical_violations}) — maintained
+    incrementally, never recomputed wholesale after [create]. *)
+
+val consistent : t -> bool
+
+val apply : t -> Delta.t -> unit
+(** Fold an update batch into the session: instance, violations and (when
+    provably unaffected) the plan.  A batch with no net effect only counts
+    toward [deltas]. *)
+
+val repairs : ?budget:Budget.ctl -> t -> (Relational.Instance.t list, string) result
+(** The full repair set of the current instance, identical to the cold
+    decomposed engines'.  [budget] is this request's budget (one per
+    request); like the cold engines, the full set cannot degrade — a
+    budget trip is an [Error].  Cached component solves cost nothing
+    against it. *)
+
+val cqa :
+  ?budget:Budget.ctl ->
+  ?semantics:Query.Qeval.semantics ->
+  t ->
+  Query.Qsyntax.t ->
+  (Query.Cqa.outcome, string) result
+(** Consistent answers on the current instance, identical to
+    [Query.Cqa.consistent_answers ~decompose:true ~method_] with the
+    session's engine — including the partial-outcome behavior on budget
+    exhaustion and every fallback (consistent instance, inexact product
+    with the program engine). *)
+
+val stats : t -> stats
+val hit_rate : stats -> float
+(** [cache_hits / (cache_hits + cache_misses)]; [0.] before any probe. *)
+
+val pp_stats : stats Fmt.t

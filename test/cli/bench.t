@@ -5,12 +5,12 @@ structural and quota-independent):
 
   $ cqanull-bench --json baseline.json --micro --quota 0.005 > /dev/null
   $ cqanull-bench --check-json baseline.json
-  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows)
+  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows)
 
 Stable top-level keys, in order (anchored to top-level indentation, since
 budget rows carry a "decompose" field of their own):
 
-  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel)"' baseline.json
+  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel|session)"' baseline.json
     "schema"
     "tool"
     "unit"
@@ -19,6 +19,7 @@ budget rows carry a "decompose" field of their own):
     "decompose"
     "budget"
     "parallel"
+    "session"
 
 The solver telemetry carries both engines for each E4 benchmark and every
 counter field is numeric:
@@ -54,8 +55,20 @@ sequential baseline (the determinism contract, as checked data):
 
   $ grep -c '"name": "E16.parallel' baseline.json
   3
+
+The session telemetry serves an update/query mix through the incremental
+engine against cold runs per request: the cache must actually hit (> 0.5
+rate, guarded by --check-json) and every answer must be byte-identical
+to its cold counterpart — so together with the three parallel rows, four
+identical flags:
+
+  $ grep -c '"name": "E17.session' baseline.json
+  1
   $ grep -c '"identical": "true"' baseline.json
-  3
+  4
+  $ grep -oE '"(hits|misses)": [0-9]+' baseline.json
+  "hits": 40
+  "misses": 6
 
 The checked-in baselines all validate — the PR1 file under the original
 schema, the PR2 file with the decomposition section, the PR3 file with the
@@ -69,6 +82,8 @@ budget counters:
   ../../BENCH_PR3.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows)
   $ cqanull-bench --check-json ../../BENCH_PR4.json
   ../../BENCH_PR4.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows)
+  $ cqanull-bench --check-json ../../BENCH_PR5.json
+  ../../BENCH_PR5.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows)
 
 The regression guard compares the E1/E2 micro rows of the two checked-in
 baselines within a 10x tolerance:
@@ -82,6 +97,14 @@ wall-clock (both files must carry the section for it to engage):
 
   $ cqanull-bench --compare-json ../../BENCH_PR3.json ../../BENCH_PR4.json > compare34.out
   $ tail -1 compare34.out
+  compare ok (3 guarded rows, tolerance 10x)
+
+Across the /5 bump it additionally covers the session section's
+incremental wall-clock, identical flag and hit rate (again only when both
+files carry the section):
+
+  $ cqanull-bench --compare-json ../../BENCH_PR4.json ../../BENCH_PR5.json > compare45.out
+  $ tail -1 compare45.out
   compare ok (3 guarded rows, tolerance 10x)
 
 Malformed input is rejected:
@@ -109,4 +132,16 @@ pre-/4 file must not carry the section, and a /4 file must populate it:
   $ echo '{"schema": "cqanull-bench/4", "tool": "x", "unit": "ns", "micro": [], "solver": [], "decompose": [], "budget": [], "parallel": []}' > empty.json
   $ cqanull-bench --check-json empty.json
   empty.json: empty parallel section
+  [1]
+
+Same in both directions for the session section new in /5:
+
+  $ echo '{"schema": "cqanull-bench/4", "tool": "x", "unit": "ns", "micro": [], "solver": [], "decompose": [], "budget": [], "parallel": [{"name": "p", "k": 1, "weight": 1, "jobs": 1, "cores": 1, "repairs": 1, "wall_ms": 1.0, "identical": "true"}, {"name": "p4", "k": 1, "weight": 1, "jobs": 4, "cores": 1, "repairs": 1, "wall_ms": 1.0, "identical": "true"}], "session": []}' > drift5.json
+  $ cqanull-bench --check-json drift5.json
+  drift5.json: section "session" requires schema cqanull-bench/5
+  [1]
+
+  $ echo '{"schema": "cqanull-bench/5", "tool": "x", "unit": "ns", "micro": [], "solver": [], "decompose": [], "budget": [], "parallel": [{"name": "p", "k": 1, "weight": 1, "jobs": 1, "cores": 1, "repairs": 1, "wall_ms": 1.0, "identical": "true"}, {"name": "p4", "k": 1, "weight": 1, "jobs": 4, "cores": 1, "repairs": 1, "wall_ms": 1.0, "identical": "true"}], "session": []}' > empty5.json
+  $ cqanull-bench --check-json empty5.json
+  empty5.json: empty session section
   [1]

@@ -1,0 +1,87 @@
+The session subcommand serves a loaded database over a line protocol:
+update statements fold in incrementally, queries answer from the
+component cache.  The scenario file's own insert/delete statements are
+replayed through the engine on load (4 tuples + insert - delete = 4):
+
+  $ cqanull session << 'EOF'
+  > load ../../scenarios/example_session_updates.cqa
+  > repairs
+  > cqa students
+  > insert Student(45, sue)
+  > cqa students
+  > delete Course(45, c22)
+  > cqa students
+  > stats
+  > quit
+  > EOF
+  loaded ../../scenarios/example_session_updates.cqa: 4 tuples, 1 constraints, 2 queries, 2 violation(s)
+  repair 1: {Course(21, c15), Student(21, ann)}
+    delta: {Course(34, c18), Course(45, c22)}
+  repair 2: {Course(21, c15), Course(45, c22), Student(21, ann), Student(45, null)}
+    delta: {Course(34, c18), Student(45, null)}
+  repair 3: {Course(21, c15), Course(34, c18), Student(21, ann), Student(34, null)}
+    delta: {Course(45, c22), Student(34, null)}
+  repair 4: {Course(21, c15), Course(34, c18), Course(45, c22), Student(21, ann), Student(34, null), Student(45, null)}
+    delta: {Student(34, null), Student(45, null)}
+  4 repair(s)
+  query students: {(I, N) | Student(I, N)}
+  consistent: {(21, ann)}
+  possible:   {(21, ann), (34, null), (45, null)}
+  standard:   {(21, ann)}
+  repairs:    4
+  ok: 5 tuples, 1 violation(s)
+  query students: {(I, N) | Student(I, N)}
+  consistent: {(21, ann), (45, sue)}
+  possible:   {(21, ann), (34, null), (45, sue)}
+  standard:   {(21, ann), (45, sue)}
+  repairs:    2
+  ok: 4 tuples, 1 violation(s)
+  query students: {(I, N) | Student(I, N)}
+  consistent: {(21, ann), (45, sue)}
+  possible:   {(21, ann), (34, null), (45, sue)}
+  standard:   {(21, ann), (45, sue)}
+  repairs:    2
+  session: deltas=3 requests=4 plan.reused=0 plan.rebuilt=3 ics.reused=0 ics.fast=1 ics.rescanned=2 cache.hits=4 cache.misses=2 cache.evictions=0 cache.entries=2
+
+The untouched component (Course(34, c18)'s) was solved once and hit on
+every later request — 4 hits against the 2 misses of the first request.
+
+The database can be given as a positional argument, the engine is
+selectable, inline queries parse as name(X): body, and updates are
+schema-checked; per-request budget stats print with --stats (wall-clock
+masked — it is the only nondeterministic field):
+
+  $ cqanull session ../../scenarios/example_session_updates.cqa --engine enumerate --stats << 'EOF' | sed -E 's/elapsed_ms=[0-9]+/elapsed_ms=_/'
+  > check
+  > cqa q(I): Student(I, N)
+  > insert Nosuch(1)
+  > insert Course(21)
+  > quit
+  > EOF
+  loaded ../../scenarios/example_session_updates.cqa: 4 tuples, 1 constraints, 2 queries, 2 violation(s)
+  ric violated by Course(34, c18) under [C=c18, I=34]
+  ric violated by Course(45, c22) under [C=c22, I=45]
+  2 violation(s)
+  query q: {(I) | Student(I, N)}
+  consistent: {(21)}
+  possible:   {(21), (34), (45)}
+  standard:   {(21)}
+  repairs:    4
+  stats: decisions=0 states=6 components_solved=2 elapsed_ms=_
+  error: unknown relation Nosuch
+  error: relation Course expects arity 2, got 1
+
+Unknown commands and missing queries report without killing the loop,
+and a session without a database refuses requests:
+
+  $ cqanull session ../../scenarios/example_session_updates.cqa << 'EOF'
+  > bogus
+  > cqa nosuchquery
+  > quit
+  > EOF
+  loaded ../../scenarios/example_session_updates.cqa: 4 tuples, 1 constraints, 2 queries, 2 violation(s)
+  error: unknown command 'bogus' (load, insert, delete, cqa, repairs, check, stats, quit)
+  error: no query named nosuchquery (declare it in the file or pass name(X): body)
+
+  $ echo repairs | cqanull session
+  error: no database loaded (use: load FILE)

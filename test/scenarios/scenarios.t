@@ -8,6 +8,13 @@ reports:
   $ cqanull repairs ../../scenarios/example19_key_fk_nnc.cqa | tail -n 1
   4 repair(s)
 
+The update-statement scenario repairs its final instance — the facts with
+the trailing insert/delete lines applied (two dangling courses, 2 x 2
+repairs):
+
+  $ cqanull repairs ../../scenarios/example_session_updates.cqa | tail -n 1
+  4 repair(s)
+
 Example 20 under Rep_d keeps only the deletion repair:
 
   $ cqanull repairs ../../scenarios/example20_conflicting_nnc.cqa --engine enumerate --repd 2>/dev/null | tail -n 1

@@ -1,0 +1,455 @@
+(* Tests for the incremental session engine: Delta, the LRU cache,
+   fingerprint stability, incremental violation maintenance
+   (Nullsat.check_delta), cache invalidation/reuse, and the qcheck
+   differential enforcing the correctness contract — session answers after
+   any delta sequence are byte-identical to a cold one-shot run on the
+   final instance. *)
+
+module Value = Relational.Value
+module Atom = Relational.Atom
+module Instance = Relational.Instance
+module Tuple = Relational.Tuple
+module Term = Ic.Term
+module Patom = Ic.Patom
+module Constr = Ic.Constr
+module Nullsat = Semantics.Nullsat
+module Decompose = Repair.Decompose
+module Enumerate = Repair.Enumerate
+module Gen = Workload.Gen
+module Qsyntax = Query.Qsyntax
+module Lru = Session.Lru
+
+let v = Term.var
+let patom p ts = Patom.make p ts
+let vs = Value.str
+let vn = Value.null
+let instance = Alcotest.testable Instance.pp_inline Instance.equal
+
+let ric =
+  Constr.generic
+    ~ante:[ patom "Course" [ v "id"; v "code" ] ]
+    ~cons:[ patom "Student" [ v "id"; v "name" ] ]
+    ()
+
+let course i c = Atom.make "Course" [ Value.int i; vs c ]
+let student i n = Atom.make "Student" [ Value.int i; vs n ]
+
+let ex15 =
+  Instance.of_atoms
+    [ course 21 "C15"; course 34 "C18"; student 21 "Ann"; student 45 "Paul" ]
+
+(* ------------------------------------------------------------------ *)
+(* Delta *)
+
+let test_delta_apply () =
+  let d = ex15 in
+  let ops = [ Delta.insert (course 50 "C99"); Delta.delete (student 45 "Paul") ] in
+  let d' = Delta.apply ops d in
+  Alcotest.(check bool) "inserted" true (Instance.mem (course 50 "C99") d');
+  Alcotest.(check bool) "deleted" false (Instance.mem (student 45 "Paul") d');
+  Alcotest.(check int) "cardinal" 4 (Instance.cardinal d')
+
+let test_delta_effective () =
+  let d = ex15 in
+  (* inserting a present atom and deleting an absent one are no net ops;
+     insert-then-delete of the same new atom cancels *)
+  let ops =
+    [
+      Delta.insert (course 21 "C15");
+      Delta.delete (course 99 "C0");
+      Delta.insert (course 50 "C99");
+      Delta.delete (course 50 "C99");
+      Delta.delete (student 45 "Paul");
+    ]
+  in
+  let inserted, deleted = Delta.effective ops d in
+  Alcotest.(check (list string)) "net inserts" []
+    (List.map Atom.to_string inserted);
+  Alcotest.(check (list string)) "net deletes"
+    [ Atom.to_string (student 45 "Paul") ]
+    (List.map Atom.to_string deleted);
+  Alcotest.(check instance) "apply matches effective"
+    (Instance.remove (student 45 "Paul") d)
+    (Delta.apply ops d)
+
+(* ------------------------------------------------------------------ *)
+(* LRU *)
+
+let test_lru_eviction () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  ignore (Lru.find c "a");
+  (* "b" is now least-recently-used: adding "c" evicts it *)
+  Lru.add c "c" 3;
+  Alcotest.(check bool) "a survives" true (Lru.mem c "a");
+  Alcotest.(check bool) "b evicted" false (Lru.mem c "b");
+  Alcotest.(check bool) "c present" true (Lru.mem c "c");
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c);
+  Alcotest.(check int) "one hit" 1 (Lru.hits c);
+  Alcotest.(check int) "length" 2 (Lru.length c)
+
+let test_lru_counters () =
+  let c = Lru.create ~capacity:4 in
+  Alcotest.(check (option int)) "miss" None (Lru.find c "x");
+  Lru.add c "x" 7;
+  Alcotest.(check (option int)) "hit" (Some 7) (Lru.find c "x");
+  Lru.add c "x" 8;
+  Alcotest.(check (option int)) "overwrite" (Some 8) (Lru.find c "x");
+  Alcotest.(check int) "hits" 2 (Lru.hits c);
+  Alcotest.(check int) "misses" 1 (Lru.misses c);
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  Alcotest.(check int) "counters survive clear" 2 (Lru.hits c)
+
+let test_lru_disabled () =
+  let c = Lru.create ~capacity:0 in
+  Lru.add c "a" 1;
+  Alcotest.(check int) "stores nothing" 0 (Lru.length c);
+  Alcotest.(check (option int)) "always misses" None (Lru.find c "a")
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint stability *)
+
+let test_fingerprint_reorder () =
+  (* the same tuples loaded in a different order produce the same
+     components with the same fingerprints (instances are sets and the
+     fingerprint renders them sorted) *)
+  let atoms =
+    [ course 21 "C15"; course 34 "C18"; student 21 "Ann"; student 45 "Paul" ]
+  in
+  let d1 = Instance.of_atoms atoms and d2 = Instance.of_atoms (List.rev atoms) in
+  let p1 = Decompose.plan d1 [ ric ] and p2 = Decompose.plan d2 [ ric ] in
+  let fps p =
+    List.map
+      (Decompose.fingerprint ~universe:p.Decompose.universe
+         ~nnc_positions:p.Decompose.nnc_positions)
+      p.Decompose.components
+  in
+  Alcotest.(check (list string)) "identical fingerprints" (fps p1) (fps p2)
+
+let test_fingerprint_discriminates () =
+  (* adding an unrelated violation leaves the untouched component's
+     fingerprint intact (the cache-hit property) while the new component
+     fingerprints apart *)
+  let p = Decompose.plan ex15 [ ric ] in
+  let p' = Decompose.plan (Instance.add (course 50 "C99") ex15) [ ric ] in
+  let fps = List.map Decompose.fingerprint p.Decompose.components in
+  let fps' = List.map Decompose.fingerprint p'.Decompose.components in
+  Alcotest.(check int) "one component before" 1 (List.length fps);
+  Alcotest.(check int) "two components after" 2 (List.length fps');
+  Alcotest.(check bool) "untouched component keeps its fingerprint" true
+    (List.for_all (fun f -> List.mem f fps') fps);
+  Alcotest.(check int) "new component fingerprints apart" 2
+    (List.length (List.sort_uniq String.compare fps'))
+
+(* ------------------------------------------------------------------ *)
+(* Random deltas for the differential suites *)
+
+let random_atom rng =
+  let sym i = [| vs "a"; vs "b"; vs "c"; vn |].(i) in
+  let one () = sym (Random.State.int rng 4) in
+  match Random.State.int rng 4 with
+  | 0 -> Atom.make "P" [ one () ]
+  | 1 -> Atom.make "Q" [ one () ]
+  | 2 -> Atom.make "R" [ one (); one () ]
+  | _ -> Atom.make "S" [ one () ]
+
+(* a batch of 1-3 ops: inserts of random atoms and deletes of random
+   present atoms (plus the occasional no-op delete of a random atom) *)
+let random_batch rng d =
+  List.init
+    (1 + Random.State.int rng 3)
+    (fun _ ->
+      if Random.State.bool rng then Delta.insert (random_atom rng)
+      else
+        let atoms = Instance.atoms d in
+        if atoms <> [] && Random.State.bool rng then
+          Delta.delete (List.nth atoms (Random.State.int rng (List.length atoms)))
+        else Delta.delete (random_atom rng))
+
+(* ------------------------------------------------------------------ *)
+(* check_delta differential: incremental maintenance = full recheck *)
+
+let diff_check_delta_test =
+  QCheck.Test.make ~name:"check_delta = canonical full recheck (300 cases)"
+    ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let w = Gen.random_case ~seed () in
+      let rng = Random.State.make [| seed; 17 |] in
+      let d = ref w.Gen.d in
+      let before = ref (Nullsat.canonical_violations (Nullsat.check !d w.Gen.ics)) in
+      let steps = 1 + Random.State.int rng 4 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let ops = random_batch rng !d in
+        let inserted, deleted = Delta.effective ops !d in
+        let d' = Delta.apply ops !d in
+        let incr, _stats =
+          Nullsat.check_delta ~before:!before ~inserted ~deleted d' w.Gen.ics
+        in
+        let full = Nullsat.canonical_violations (Nullsat.check d' w.Gen.ics) in
+        if
+          not
+            (List.equal
+               (fun a b -> Nullsat.compare_violation a b = 0)
+               incr full)
+        then ok := false;
+        d := d';
+        before := incr
+      done;
+      if not !ok then
+        QCheck.Test.fail_reportf "incremental violations diverge on %s"
+          w.Gen.label
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Session differential: byte-identity with cold runs on the final
+   instance, after every batch of a random delta sequence *)
+
+let queries =
+  [
+    Qsyntax.make ~head:[ "x" ] (Qsyntax.Atom (patom "P" [ v "x" ]));
+    Qsyntax.make ~head:[ "x" ]
+      (Qsyntax.And
+         ( Qsyntax.Atom (patom "R" [ v "x"; v "y" ]),
+           Qsyntax.Atom (patom "S" [ v "x" ]) ));
+    Qsyntax.make ~head:[ "x" ]
+      (Qsyntax.And
+         ( Qsyntax.Atom (patom "P" [ v "x" ]),
+           Qsyntax.Not (Qsyntax.Atom (patom "Q" [ v "x" ])) ));
+  ]
+
+let cold_repairs engine d ics =
+  match engine with
+  | Session.Enumerate -> (
+      match Enumerate.repairs ~max_states:50_000 ~decompose:true d ics with
+      | reps -> Ok reps
+      | exception Enumerate.Budget_exceeded n ->
+          Error (Budget.message (Budget.States n)))
+  | Session.Program ->
+      Core.Engine.repairs ~max_decisions:50_000 ~decompose:true d ics
+
+let same_outcome (a : Query.Cqa.outcome) (b : Query.Cqa.outcome) =
+  Tuple.Set.equal a.Query.Cqa.consistent b.Query.Cqa.consistent
+  && Tuple.Set.equal a.Query.Cqa.possible b.Query.Cqa.possible
+  && Tuple.Set.equal a.Query.Cqa.standard b.Query.Cqa.standard
+  && a.Query.Cqa.repair_count = b.Query.Cqa.repair_count
+  && a.Query.Cqa.exhausted = b.Query.Cqa.exhausted
+
+let method_of = function
+  | Session.Enumerate -> Query.Cqa.ModelTheoretic
+  | Session.Program -> Query.Cqa.LogicProgram
+
+(* one random case: create the session, fold in [steps] random batches,
+   and after each batch compare session repairs (byte order included) and
+   session CQA against the cold engines on the current instance *)
+let run_differential engine ~check_cqa seed =
+  let w = Gen.random_case ~seed () in
+  let rng = Random.State.make [| seed; 23 |] in
+  let session =
+    Session.create ~engine ~max_effort:50_000 ~capacity:64 w.Gen.d w.Gen.ics
+  in
+  let d = ref w.Gen.d in
+  let steps = 1 + Random.State.int rng 3 in
+  let failure = ref None in
+  (try
+     for _ = 1 to steps do
+       let ops = random_batch rng !d in
+       Session.apply session ops;
+       d := Delta.apply ops !d;
+       if not (Instance.equal (Session.instance session) !d) then (
+         failure := Some "session instance diverged";
+         raise Exit);
+       (match (Session.repairs session, cold_repairs engine !d w.Gen.ics) with
+       | Ok sr, Ok cr ->
+           if
+             not
+               (List.length sr = List.length cr
+               && List.for_all2 Instance.equal sr cr)
+           then (
+             failure := Some "repair lists differ";
+             raise Exit)
+       | Error _, Error _ -> ()
+       | Ok _, Error _ | Error _, Ok _ ->
+           failure := Some "one side errored";
+           raise Exit);
+       if check_cqa then
+         List.iter
+           (fun q ->
+             match
+               ( Session.cqa session q,
+                 Query.Cqa.consistent_answers ~method_:(method_of engine)
+                   ~max_effort:50_000 ~decompose:true !d w.Gen.ics q )
+             with
+             | Ok so, Ok co ->
+                 if not (same_outcome so co) then (
+                   failure := Some "cqa outcomes differ";
+                   raise Exit)
+             | Error _, Error _ -> ()
+             | Ok _, Error _ | Error _, Ok _ ->
+                 failure := Some "one cqa side errored";
+                 raise Exit)
+           queries
+     done
+   with Exit -> ());
+  match !failure with
+  | None -> true
+  | Some what ->
+      QCheck.Test.fail_reportf "session vs cold (%s): %s on %s"
+        (match engine with
+        | Session.Enumerate -> "enumerate"
+        | Session.Program -> "program")
+        what w.Gen.label
+
+let diff_session_enum_repairs =
+  QCheck.Test.make
+    ~name:"session repairs = cold decomposed, enumerate (150 cases)"
+    ~count:150
+    QCheck.(int_bound 1_000_000)
+    (run_differential Session.Enumerate ~check_cqa:false)
+
+let diff_session_prog_repairs =
+  QCheck.Test.make
+    ~name:"session repairs = cold decomposed, program (100 cases)"
+    ~count:100
+    QCheck.(int_bound 1_000_000)
+    (run_differential Session.Program ~check_cqa:false)
+
+let diff_session_enum_cqa =
+  QCheck.Test.make
+    ~name:"session cqa = cold decomposed cqa, enumerate (100 cases)"
+    ~count:100
+    QCheck.(int_bound 1_000_000)
+    (run_differential Session.Enumerate ~check_cqa:true)
+
+let diff_session_prog_cqa =
+  QCheck.Test.make
+    ~name:"session cqa = cold decomposed cqa, program (60 cases)"
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (run_differential Session.Program ~check_cqa:true)
+
+(* ------------------------------------------------------------------ *)
+(* Cache behavior on the clusters workload *)
+
+let test_cache_reuse () =
+  let w = Gen.clusters_workload ~k:4 () in
+  let s = Session.create ~engine:Session.Program w.Gen.d w.Gen.ics in
+  (match Session.repairs s with
+  | Ok reps -> Alcotest.(check int) "2^4 repairs" 16 (List.length reps)
+  | Error msg -> Alcotest.fail msg);
+  let st = Session.stats s in
+  Alcotest.(check int) "first request misses all" 4 st.Session.cache_misses;
+  Alcotest.(check int) "no hits yet" 0 st.Session.cache_hits;
+  (match Session.repairs s with
+  | Ok reps -> Alcotest.(check int) "same count" 16 (List.length reps)
+  | Error msg -> Alcotest.fail msg);
+  let st = Session.stats s in
+  Alcotest.(check int) "second request hits all" 4 st.Session.cache_hits;
+  Alcotest.(check int) "no new misses" 4 st.Session.cache_misses
+
+let test_cache_invalidation () =
+  let w = Gen.clusters_workload ~k:4 () in
+  let s = Session.create ~engine:Session.Program w.Gen.d w.Gen.ics in
+  (match Session.repairs s with Ok _ -> () | Error m -> Alcotest.fail m);
+  (* delete cluster 0's S(a0): its component disappears, the other three
+     keep their fingerprints — the next request hits 3 of 3 *)
+  Session.apply s [ Delta.delete (Atom.make "S" [ vs "a0" ]) ];
+  (match Session.repairs s with
+  | Ok reps -> Alcotest.(check int) "2^3 repairs" 8 (List.length reps)
+  | Error msg -> Alcotest.fail msg);
+  let st = Session.stats s in
+  Alcotest.(check int) "three hits after the delta" 3 st.Session.cache_hits;
+  Alcotest.(check int) "no re-solve of untouched components" 4
+    st.Session.cache_misses;
+  Alcotest.(check int) "plan was rebuilt" 2 st.Session.plan_rebuilds
+
+let test_plan_refresh () =
+  let w = Gen.clusters_workload ~k:3 () in
+  let s = Session.create ~engine:Session.Program w.Gen.d w.Gen.ics in
+  (match Session.repairs s with Ok _ -> () | Error m -> Alcotest.fail m);
+  (* an insert over a predicate no constraint mentions, carrying no new
+     constant (the universe must stay fixed), cannot disturb the
+     partition: the plan refreshes in place and every component hits *)
+  Session.apply s [ Delta.insert (Atom.make "Note" [ vs "a0" ]) ];
+  (match Session.repairs s with Ok _ -> () | Error m -> Alcotest.fail m);
+  let st = Session.stats s in
+  Alcotest.(check int) "plan reused" 1 st.Session.plan_reuses;
+  Alcotest.(check int) "single rebuild (the first)" 1 st.Session.plan_rebuilds;
+  Alcotest.(check int) "all components hit" 3 st.Session.cache_hits;
+  Alcotest.(check int) "untouched constraints reused" 2 st.Session.ics_reused
+
+let test_session_eviction () =
+  let w = Gen.clusters_workload ~k:4 () in
+  let s =
+    Session.create ~engine:Session.Program ~capacity:2 w.Gen.d w.Gen.ics
+  in
+  (match Session.repairs s with Ok _ -> () | Error m -> Alcotest.fail m);
+  let st = Session.stats s in
+  Alcotest.(check int) "capacity bounds residency" 2 st.Session.cache_entries;
+  Alcotest.(check int) "evictions happened" 2 st.Session.cache_evictions;
+  (* a second request must re-solve the evicted components but still
+     answers identically *)
+  match (Session.repairs s, Session.repairs s) with
+  | Ok a, Ok b ->
+      Alcotest.(check int) "stable" (List.length a) (List.length b)
+  | _ -> Alcotest.fail "eviction broke the session"
+
+let test_session_consistent_instance () =
+  let d = Instance.of_atoms [ course 21 "C15"; student 21 "Ann" ] in
+  let s = Session.create d [ ric ] in
+  Alcotest.(check bool) "consistent" true (Session.consistent s);
+  match Session.repairs s with
+  | Ok [ r ] -> Alcotest.(check instance) "sole repair is D" d r
+  | Ok reps ->
+      Alcotest.failf "expected 1 repair, got %d" (List.length reps)
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "delta",
+        [
+          Alcotest.test_case "apply" `Quick test_delta_apply;
+          Alcotest.test_case "effective" `Quick test_delta_effective;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction;
+          Alcotest.test_case "counters" `Quick test_lru_counters;
+          Alcotest.test_case "capacity 0 disables" `Quick test_lru_disabled;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "stable under reordering" `Quick
+            test_fingerprint_reorder;
+          Alcotest.test_case "discriminates content" `Quick
+            test_fingerprint_discriminates;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "reuse across requests" `Quick test_cache_reuse;
+          Alcotest.test_case "invalidation after delta" `Quick
+            test_cache_invalidation;
+          Alcotest.test_case "plan refresh fast path" `Quick test_plan_refresh;
+          Alcotest.test_case "LRU eviction under pressure" `Quick
+            test_session_eviction;
+          Alcotest.test_case "consistent instance" `Quick
+            test_session_consistent_instance;
+        ] );
+      ( "qcheck",
+        qcheck
+          [
+            diff_check_delta_test;
+            diff_session_enum_repairs;
+            diff_session_prog_repairs;
+            diff_session_enum_cqa;
+            diff_session_prog_cqa;
+          ] );
+    ]
