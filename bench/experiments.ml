@@ -655,4 +655,83 @@ let e15 () =
         "dec states"; "mono ms"; "dec ms"; "mono/dec"; "agree" ]
     rows
 
-let all = [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15 ]
+(* ------------------------------------------------------------------ *)
+(* E18: the routing layer — the repair-less direct tier vs the decomposed
+   materializing engines on FD workloads (E16/E17 are the budget/parallel
+   and session telemetry sections of the JSON baseline; they have no
+   table).  Width is the FD cluster width: the direct tier reads the w
+   minimal repairs of a w-wide cluster off the conflict graph, the
+   enumerate engine explores O(2^w) subsets, the program engine grounds
+   and solves O(w^2) denial rules. *)
+
+let e18 () =
+  let key_query =
+    Query.Qsyntax.make ~head:[ "x" ]
+      (Query.Qsyntax.Exists
+         ([ "y" ], Query.Qsyntax.Atom (atom "R" [ v "x"; v "y" ])))
+  in
+  let rows =
+    List.map
+      (fun (n, width) ->
+        let w = Gen.fd_workload ~n ~dup_rate:1.0 ~width () in
+        let stats = Budget.new_stats () in
+        let budget = Budget.start ~stats Budget.unlimited in
+        let auto, t_auto =
+          Table.time (fun () ->
+              Query.Cqa.consistent_answers ~method_:Query.Cqa.Auto ~budget
+                ~decompose:true w.Gen.d w.Gen.ics key_query)
+        in
+        Budget.finish budget;
+        let enum, t_enum =
+          Table.time (fun () ->
+              Query.Cqa.consistent_answers ~method_:Query.Cqa.ModelTheoretic
+                ~decompose:true w.Gen.d w.Gen.ics key_query)
+        in
+        let _, t_prog =
+          Table.time (fun () ->
+              Query.Cqa.consistent_answers ~method_:Query.Cqa.LogicProgram
+                ~decompose:true w.Gen.d w.Gen.ics key_query)
+        in
+        let agree =
+          match (auto, enum) with
+          | Ok a, Ok b ->
+              Relational.Tuple.Set.equal a.Query.Cqa.consistent
+                b.Query.Cqa.consistent
+              && Relational.Tuple.Set.equal a.Query.Cqa.possible
+                   b.Query.Cqa.possible
+              && a.Query.Cqa.repair_count = b.Query.Cqa.repair_count
+          | _ -> false
+        in
+        let repair_count =
+          match auto with Ok o -> o.Query.Cqa.repair_count | Error _ -> 0
+        in
+        [
+          w.Gen.label;
+          string_of_int (Instance.cardinal w.Gen.d);
+          Printf.sprintf "%d/%d/%d/%d"
+            (Budget.routed stats Budget.Direct)
+            (Budget.routed stats Budget.Shifted)
+            (Budget.routed stats Budget.Disjunctive)
+            (Budget.routed stats Budget.Enumerated);
+          string_of_int repair_count;
+          Table.ms t_auto;
+          Table.ms t_enum;
+          Table.ms t_prog;
+          Printf.sprintf "%.1fx" (if t_auto > 0.0 then t_enum /. t_auto else 0.0);
+          Printf.sprintf "%.1fx" (if t_auto > 0.0 then t_prog /. t_auto else 0.0);
+          (if agree then "yes" else "NO");
+        ])
+      [ (4, 4); (6, 6); (6, 8); (4, 10); (4, 12) ]
+  in
+  Table.print
+    ~title:
+      "E18: per-component routing — the repair-less direct tier vs the \
+       decomposed materializing engines on FD workloads (routed d/s/j/e = \
+       components per tier: direct/shifted/disjunctive/enumerate)"
+    ~header:
+      [ "workload"; "|D|"; "routed"; "repairs"; "auto ms"; "enum ms";
+        "prog ms"; "enum/auto"; "prog/auto"; "agree" ]
+    rows
+
+let all =
+  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e18 ]

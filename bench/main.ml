@@ -323,8 +323,106 @@ let session_telemetry () =
       !identical );
   ]
 
+(* Routing telemetry (E18): the Auto method against both decomposed
+   materializing engines on FD workloads plus one mixed-tier suite,
+   recording the per-tier routing counters of the request budget, all
+   three wall-clocks and whether the Auto outcome was identical to the
+   decomposed enumerate oracle.  The FD rows are the fast-path claim as
+   data: every component routes to the repair-less direct tier, and on
+   the widest row --check-json guards the >= 10x speedup over decomposed
+   enumeration.  The mixed suite (FD + RIC + bilateral + general
+   existential over disjoint predicates) exercises all four tiers in one
+   plan, so a router that silently collapses to a single tier fails the
+   per-tier non-zero guards. *)
+let routing_telemetry () =
+  let key_query =
+    Query.Qsyntax.make ~head:[ "x" ]
+      (Query.Qsyntax.Exists
+         ( [ "y" ],
+           Query.Qsyntax.Atom
+             (Ic.Patom.make "R" [ Ic.Term.var "x"; Ic.Term.var "y" ]) ))
+  in
+  let mixed =
+    (* disjoint predicates per tier: R (FD clusters -> direct),
+       Course/Student (RIC -> shifted), P (bilateral loop -> disjunctive),
+       A/B/C (general existential -> enumerate) *)
+    let fd = Workload.Gen.fd_workload ~n:3 ~dup_rate:1.0 ~width:4 () in
+    let bil = Workload.Gen.bilateral_loop ~n:3 () in
+    let v = Ic.Term.var in
+    let atom p ts = Ic.Patom.make p ts in
+    let str = Relational.Value.str in
+    let extra =
+      Relational.Instance.of_list
+        [
+          ("Course", [ Relational.Value.int 21; str "C15" ]);
+          ("Course", [ Relational.Value.int 34; str "C18" ]);
+          ("Student", [ Relational.Value.int 21; str "Ann" ]);
+          ("A", [ str "a" ]);
+          ("B", [ str "a" ]);
+        ]
+    in
+    {
+      Workload.Gen.label = "mixed tiers";
+      d =
+        Relational.Instance.union fd.Workload.Gen.d
+          (Relational.Instance.union bil.Workload.Gen.d extra);
+      ics =
+        fd.Workload.Gen.ics @ bil.Workload.Gen.ics
+        @ [
+            Ic.Constr.generic ~name:"enrolled"
+              ~ante:[ atom "Course" [ v "id"; v "code" ] ]
+              ~cons:[ atom "Student" [ v "id"; v "name" ] ]
+              ();
+            Ic.Constr.generic ~name:"ab_c"
+              ~ante:[ atom "A" [ v "x" ]; atom "B" [ v "x" ] ]
+              ~cons:[ atom "C" [ v "x"; v "y" ] ]
+              ();
+          ];
+    }
+  in
+  let row name (w : Workload.Gen.t) =
+    let run method_ budget =
+      let t0 = Unix.gettimeofday () in
+      let out =
+        Query.Cqa.consistent_answers ~method_ ?budget ~decompose:true
+          w.Workload.Gen.d w.Workload.Gen.ics key_query
+      in
+      (out, (Unix.gettimeofday () -. t0) *. 1000.)
+    in
+    let stats = Budget.new_stats () in
+    let budget = Budget.start ~stats Budget.unlimited in
+    let auto, auto_ms = run Query.Cqa.Auto (Some budget) in
+    Budget.finish budget;
+    let enum, enum_ms = run Query.Cqa.ModelTheoretic None in
+    let _, prog_ms = run Query.Cqa.LogicProgram None in
+    let identical =
+      match (auto, enum) with
+      | Ok a, Ok b ->
+          Relational.Tuple.Set.equal a.Query.Cqa.consistent
+            b.Query.Cqa.consistent
+          && Relational.Tuple.Set.equal a.Query.Cqa.possible
+               b.Query.Cqa.possible
+          && Relational.Tuple.Set.equal a.Query.Cqa.standard
+               b.Query.Cqa.standard
+          && a.Query.Cqa.repair_count = b.Query.Cqa.repair_count
+      | _ -> false
+    in
+    let tiers =
+      Array.map
+        (fun t -> Budget.routed stats t)
+        [| Budget.Direct; Budget.Shifted; Budget.Disjunctive; Budget.Enumerated |]
+    in
+    (name, tiers, auto_ms, enum_ms, prog_ms, identical)
+  in
+  [
+    row "E18.routing.fd.n4.w4" (Workload.Gen.fd_workload ~n:4 ~dup_rate:1.0 ~width:4 ());
+    row "E18.routing.fd.n6.w8" (Workload.Gen.fd_workload ~n:6 ~dup_rate:1.0 ~width:8 ());
+    row "E18.routing.fd.n4.w12" (Workload.Gen.fd_workload ~n:4 ~dup_rate:1.0 ~width:12 ());
+    row "E18.routing.mixed" mixed;
+  ]
+
 let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
-    session_rows =
+    session_rows routing_rows =
   let open Table in
   let micro_rows =
     List.map
@@ -415,10 +513,29 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
           ])
       session_rows
   in
+  let routing_json =
+    List.map
+      (fun (name, tiers, auto_ms, enum_ms, prog_ms, identical) ->
+        Obj
+          [
+            ("name", Str name);
+            ("routed_direct", Int tiers.(0));
+            ("routed_shifted", Int tiers.(1));
+            ("routed_disjunctive", Int tiers.(2));
+            ("routed_enumerate", Int tiers.(3));
+            ("auto_ms", Num auto_ms);
+            ("enumerate_ms", Num enum_ms);
+            ("program_ms", Num prog_ms);
+            ( "speedup_vs_enumerate",
+              Num (if auto_ms > 0.0 then enum_ms /. auto_ms else 0.0) );
+            ("identical", Str (if identical then "true" else "false"));
+          ])
+      routing_rows
+  in
   let doc =
     Obj
       [
-        ("schema", Str "cqanull-bench/5");
+        ("schema", Str "cqanull-bench/6");
         ("tool", Str "bench/main.exe --json");
         ("unit", Str "ns/run");
         ("micro", Arr micro_rows);
@@ -427,11 +544,12 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
         ("budget", Arr budget_json);
         ("parallel", Arr parallel_json);
         ("session", Arr session_json);
+        ("routing", Arr routing_json);
       ]
   in
   Out_channel.with_open_text path (fun oc -> output_string oc (emit doc));
   Printf.printf
-    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows)\n"
+    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows)\n"
     path
     (List.length micro_rows)
     (List.length telemetry_rows)
@@ -439,6 +557,7 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
     (List.length budget_json)
     (List.length parallel_json)
     (List.length session_json)
+    (List.length routing_json)
 
 (* --check-json: the baseline format's self-test.  Guards the stable keys
    and the numeric fields so the file future PRs diff against cannot drift
@@ -477,7 +596,7 @@ let check_json path =
   let schema = str_field doc "schema" in
   (match schema with
   | "cqanull-bench/1" | "cqanull-bench/2" | "cqanull-bench/3"
-  | "cqanull-bench/4" | "cqanull-bench/5" -> ()
+  | "cqanull-bench/4" | "cqanull-bench/5" | "cqanull-bench/6" -> ()
   | s -> fail (Printf.sprintf "unknown schema %S" s));
   ignore (str_field doc "tool");
   ignore (str_field doc "unit");
@@ -538,7 +657,8 @@ let check_json path =
      solved on decomposed rows, and a started millisecond of wall-clock *)
   let budget =
     match schema with
-    | "cqanull-bench/3" | "cqanull-bench/4" | "cqanull-bench/5" ->
+    | "cqanull-bench/3" | "cqanull-bench/4" | "cqanull-bench/5"
+    | "cqanull-bench/6" ->
         arr_field doc "budget"
     | _ -> []
   in
@@ -577,6 +697,7 @@ let check_json path =
      (domains contending for one core). *)
   (if
      schema <> "cqanull-bench/4" && schema <> "cqanull-bench/5"
+     && schema <> "cqanull-bench/6"
    then begin
      if Table.member "parallel" doc <> None then
        fail "section \"parallel\" requires schema cqanull-bench/4"
@@ -628,7 +749,7 @@ let check_json path =
      serving (> 0.5 hit rate on the scripted mix) and the correctness
      contract holding — identical session and cold answers on every
      request. *)
-  (if schema <> "cqanull-bench/5" then begin
+  (if schema <> "cqanull-bench/5" && schema <> "cqanull-bench/6" then begin
      if Table.member "session" doc <> None then
        fail "section \"session\" requires schema cqanull-bench/5"
    end
@@ -661,6 +782,59 @@ let check_json path =
                   "session run %S diverged from the cold answers" name)
          | s -> fail (Printf.sprintf "non-boolean identical %S in %S" s name))
        session);
+  (* /6 adds the per-tier routing telemetry.  Exclusive to /6 in both
+     directions, like the parallel and session sections.  Every row must
+     route at least one component, report positive wall-clocks and hold
+     the byte-identity contract with the enumerate oracle; at least one
+     all-direct FD row must beat decomposed enumeration by >= 10x — the
+     fast-path claim as a checked fact, not prose. *)
+  (if schema <> "cqanull-bench/6" then begin
+     if Table.member "routing" doc <> None then
+       fail "section \"routing\" requires schema cqanull-bench/6"
+   end
+   else
+     let routing = arr_field doc "routing" in
+     if routing = [] then fail "empty routing section";
+     List.iter
+       (fun row ->
+         let name = str_field row "name" in
+         let tiers =
+           List.map
+             (fun key ->
+               let n = int_field row key in
+               if n < 0 then fail (Printf.sprintf "negative %S in %S" key name);
+               n)
+             [ "routed_direct"; "routed_shifted"; "routed_disjunctive";
+               "routed_enumerate" ]
+         in
+         if List.fold_left ( + ) 0 tiers = 0 then
+           fail (Printf.sprintf "no components routed in %S" name);
+         List.iter
+           (fun key ->
+             if num_field row key <= 0.0 then
+               fail (Printf.sprintf "non-positive %S in %S" key name))
+           [ "auto_ms"; "enumerate_ms"; "program_ms" ];
+         match str_field row "identical" with
+         | "true" -> ()
+         | "false" ->
+             fail
+               (Printf.sprintf
+                  "routing row %S diverged from the enumerate oracle" name)
+         | s -> fail (Printf.sprintf "non-boolean identical %S in %S" s name))
+       routing;
+     let fast_path_holds =
+       List.exists
+         (fun row ->
+           int_field row "routed_direct" >= 1
+           && int_field row "routed_shifted" = 0
+           && int_field row "routed_disjunctive" = 0
+           && int_field row "routed_enumerate" = 0
+           && num_field row "speedup_vs_enumerate" >= 10.0)
+         routing
+     in
+     if not fast_path_holds then
+       fail
+         "no all-direct routing row beats decomposed enumeration by >= 10x");
   match schema with
   | "cqanull-bench/1" ->
       Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
@@ -686,13 +860,21 @@ let check_json path =
           path (List.length micro) (List.length solver)
           (List.length decompose) (List.length budget)
           (List.length (rows "parallel"))
-      else
+      else if schema = "cqanull-bench/5" then
         Printf.printf
           "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows)\n"
           path (List.length micro) (List.length solver)
           (List.length decompose) (List.length budget)
           (List.length (rows "parallel"))
           (List.length (rows "session"))
+      else
+        Printf.printf
+          "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows)\n"
+          path (List.length micro) (List.length solver)
+          (List.length decompose) (List.length budget)
+          (List.length (rows "parallel"))
+          (List.length (rows "session"))
+          (List.length (rows "routing"))
 
 (* --compare-json OLD NEW: regression guard over the micro rows both files
    share in the E1/E2 families.  Bechamel estimates from ~5ms cram quotas
@@ -789,6 +971,75 @@ let compare_json ~tolerance old_path new_path =
         | _ -> ())
     | _ -> ()
   in
+  (* Routing telemetry carries across baselines only when both files have
+     it (the section is new in cqanull-bench/6): the auto wall-clock is
+     guarded with the micro-row tolerance, and a new baseline whose
+     routing rows diverged from the enumerate oracle or whose all-direct
+     FD fast path no longer beats decomposed enumeration by >= 10x fails
+     outright — both are contracts, not perf numbers. *)
+  let routing_guard old_doc new_doc =
+    match (Table.member "routing" old_doc, Table.member "routing" new_doc) with
+    | Some (Table.Arr old_rows), Some (Table.Arr new_rows) ->
+        List.iter
+          (fun row ->
+            match Table.member "identical" row with
+            | Some (Table.Str "true") -> ()
+            | _ -> fail "new baseline has a diverged routing row")
+          new_rows;
+        let speedup row =
+          match Table.member "speedup_vs_enumerate" row with
+          | Some (Table.Num s) -> s
+          | Some (Table.Int s) -> float_of_int s
+          | _ -> 0.0
+        in
+        let all_direct row =
+          List.for_all
+            (fun key ->
+              match Table.member key row with
+              | Some (Table.Int 0) -> true
+              | _ -> false)
+            [ "routed_shifted"; "routed_disjunctive"; "routed_enumerate" ]
+        in
+        if
+          not
+            (List.exists
+               (fun row -> all_direct row && speedup row >= 10.0)
+               new_rows)
+        then
+          fail
+            "new baseline's FD fast path no longer beats decomposed \
+             enumeration by >= 10x";
+        let auto_ms rows name =
+          List.find_map
+            (fun row ->
+              match (Table.member "name" row, Table.member "auto_ms" row) with
+              | Some (Table.Str n), Some (Table.Num ms) when n = name ->
+                  Some ms
+              | Some (Table.Str n), Some (Table.Int ms) when n = name ->
+                  Some (float_of_int ms)
+              | _ -> None)
+            rows
+        in
+        List.iter
+          (fun row ->
+            match Table.member "name" row with
+            | Some (Table.Str name) -> (
+                match (auto_ms old_rows name, auto_ms new_rows name) with
+                | Some old_ms, Some new_ms ->
+                    Printf.printf "routing %-24s %.1f -> %.1f auto_ms (%.2fx)\n"
+                      name old_ms new_ms
+                      (if old_ms > 0.0 then new_ms /. old_ms else 0.0);
+                    if old_ms > 0.0 && new_ms > tolerance *. old_ms then
+                      fail
+                        (Printf.sprintf
+                           "routing %s auto wall-clock regressed beyond %.0fx \
+                            tolerance"
+                           name tolerance)
+                | _ -> ())
+            | _ -> ())
+          old_rows
+    | _ -> ()
+  in
   let micro_map doc =
     match Table.member "micro" doc with
     | Some (Table.Arr rows) ->
@@ -833,6 +1084,7 @@ let compare_json ~tolerance old_path new_path =
     guarded;
   parallel_guard old_doc new_doc;
   session_guard old_doc new_doc;
+  routing_guard old_doc new_doc;
   match regressions with
   | [] ->
       Printf.printf "compare ok (%d guarded rows, tolerance %.0fx)\n"
@@ -881,7 +1133,7 @@ let () =
           ("E9", List.nth Experiments.all 8); ("E10", List.nth Experiments.all 9);
           ("E11", List.nth Experiments.all 10); ("E12", List.nth Experiments.all 11);
           ("E13", List.nth Experiments.all 12); ("E14", List.nth Experiments.all 13);
-          ("E15", List.nth Experiments.all 14) ]
+          ("E15", List.nth Experiments.all 14); ("E18", List.nth Experiments.all 15) ]
       in
       print_endline
         "cqanull benchmark harness — reproduction tables for 'Semantically \
@@ -894,7 +1146,7 @@ let () =
             (fun n ->
               match List.assoc_opt n named with
               | Some f -> f ()
-              | None -> Printf.eprintf "unknown table %s (E1..E15)\n" n)
+              | None -> Printf.eprintf "unknown table %s (E1..E15, E18)\n" n)
             names);
       let micro_rows =
         if micro || json <> None then run_micro ~quota () else []
@@ -904,4 +1156,5 @@ let () =
           write_json file micro_rows (solver_telemetry ())
             (decompose_telemetry ()) (budget_telemetry ())
             (parallel_telemetry ()) (session_telemetry ())
+            (routing_telemetry ())
       | None -> ()

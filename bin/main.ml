@@ -72,8 +72,12 @@ let report_budget ~want_stats budget =
   | Some b ->
       Budget.finish b;
       if want_stats then begin
-        Fmt.pr "stats: %a@." Budget.pp_stats (Budget.stats b);
-        Fmt.pr "%a" Budget.pp_workers (Budget.stats b)
+        let stats = Budget.stats b in
+        Fmt.pr "stats: %a@." Budget.pp_stats stats;
+        if Budget.routed_total stats > 0 then
+          Fmt.pr "routed: %a@." Budget.pp_routed stats;
+        Fmt.pr "%a" Budget.pp_degradations stats;
+        Fmt.pr "%a" Budget.pp_workers stats
       end
 
 let timeout_flag =
@@ -112,7 +116,12 @@ let jobs_flag =
 
 let method_conv =
   Arg.enum
-    [ ("program", `Program); ("enumerate", `Enumerate); ("cautious", `Cautious) ]
+    [
+      ("auto", `Auto);
+      ("program", `Program);
+      ("enumerate", `Enumerate);
+      ("cautious", `Cautious);
+    ]
 
 let print_repairs d repairs =
   List.iteri
@@ -224,6 +233,7 @@ let cqa_cmd =
     end;
     let method_ =
       match engine with
+      | `Auto -> Query.Cqa.Auto
       | `Program -> Query.Cqa.LogicProgram
       | `Enumerate -> Query.Cqa.ModelTheoretic
       | `Cautious -> Query.Cqa.CautiousProgram
@@ -252,9 +262,14 @@ let cqa_cmd =
   in
   let engine_flag =
     Arg.(
-      value & opt method_conv `Program
-      & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:"'program' and 'enumerate' materialize the repairs; \
+      value & opt method_conv `Auto
+      & info [ "method"; "engine" ] ~docv:"METHOD"
+          ~doc:"'auto' (the default) routes each conflict component to the \
+                cheapest sound engine: the repair-less direct computation \
+                where the constraints allow it, the shifted repair program \
+                where it is head-cycle-free, and enumeration last; \
+                'program' and 'enumerate' materialize every repair with the \
+                stable-model and model-theoretic engines respectively; \
                 'cautious' reasons over the repair program without \
                 materializing any (RIC-acyclic constraints only).")
   in
@@ -275,6 +290,7 @@ let session_cmd =
       match engine with
       | `Program -> Session.Program
       | `Enumerate -> Session.Enumerate
+      | `Auto -> Session.Auto
     in
     (* (session, loaded file) once a database is in; commands before that
        are answered with an error instead of crashing the loop *)
@@ -462,10 +478,15 @@ let session_cmd =
   let engine_flag =
     Arg.(
       value
-      & opt engine_conv `Program
+      & opt
+          (Arg.enum
+             [ ("program", `Program); ("enumerate", `Enumerate); ("auto", `Auto) ])
+          `Program
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:"Repair engine behind the session cache: 'program' (stable \
-                models) or 'enumerate' (model-theoretic).")
+                models), 'enumerate' (model-theoretic), or 'auto' (route \
+                each component to the cheapest sound tier; the verdict is \
+                cached with the component).")
   in
   let capacity_flag =
     Arg.(

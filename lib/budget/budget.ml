@@ -18,6 +18,22 @@ let message = function
 
 let pp_exhausted ppf e = Fmt.string ppf (message e)
 
+type tier = Direct | Shifted | Disjunctive | Enumerated
+
+let tier_name = function
+  | Direct -> "direct"
+  | Shifted -> "shifted"
+  | Disjunctive -> "disjunctive"
+  | Enumerated -> "enumerate"
+
+let tier_index = function
+  | Direct -> 0
+  | Shifted -> 1
+  | Disjunctive -> 2
+  | Enumerated -> 3
+
+let pp_tier ppf t = Fmt.string ppf (tier_name t)
+
 type worker = {
   w_decisions : int Atomic.t;
   w_states : int Atomic.t;
@@ -29,6 +45,8 @@ type stats = {
   states : int Atomic.t;
   components_solved : int Atomic.t;
   elapsed_ms : int Atomic.t;
+  routed : int Atomic.t array;  (* indexed by [tier_index] *)
+  mutable degradations : (string * string) list;  (* reverse emission order *)
   mutable workers : worker array;
 }
 
@@ -38,6 +56,8 @@ let new_stats () =
     states = Atomic.make 0;
     components_solved = Atomic.make 0;
     elapsed_ms = Atomic.make 0;
+    routed = Array.init 4 (fun _ -> Atomic.make 0);
+    degradations = [];
     workers = [||];
   }
 
@@ -71,6 +91,23 @@ let pp_stats ppf s =
   Fmt.pf ppf "decisions=%d states=%d components_solved=%d elapsed_ms=%d"
     (Atomic.get s.decisions) (Atomic.get s.states)
     (Atomic.get s.components_solved) (Atomic.get s.elapsed_ms)
+
+let routed s t = Atomic.get s.routed.(tier_index t)
+
+let routed_total s =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 s.routed
+
+let degradations s = List.rev s.degradations
+
+let pp_routed ppf s =
+  Fmt.pf ppf "direct=%d shifted=%d disjunctive=%d enumerate=%d"
+    (routed s Direct) (routed s Shifted) (routed s Disjunctive)
+    (routed s Enumerated)
+
+let pp_degradations ppf s =
+  List.iter
+    (fun (stage, msg) -> Fmt.pf ppf "degraded[%s]: %s@." stage msg)
+    (degradations s)
 
 let pp_workers ppf s =
   (* slot 0 (the coordinator) is folded into the global line; the per-pool
@@ -142,3 +179,11 @@ let tick_state t =
 let note_component t = Atomic.incr t.sink.components_solved
 
 let note_worker_component t = bump_worker (fun w -> w.w_components) t.sink
+
+let note_route t tier = Atomic.incr t.sink.routed.(tier_index tier)
+
+(* Degradation notes are emitted by the deterministic merge/fallback steps
+   of the engines (coordinator only, never a pool worker), so the plain
+   mutable list needs no synchronization. *)
+let note_degraded t ~stage msg =
+  t.sink.degradations <- (stage, msg) :: t.sink.degradations

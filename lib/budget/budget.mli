@@ -59,6 +59,28 @@ val message : exhausted -> string
 
 val pp_exhausted : exhausted Fmt.t
 
+type tier =
+  | Direct
+      (** repair-less polynomial computation ({!Route.Direct}): deletion-only
+          constraint slice with null-free, complete-multipartite conflicts *)
+  | Shifted
+      (** repair program statically head-cycle-free (Theorem 5), solved as a
+          shifted normal program (Corollary 1 regime) *)
+  | Disjunctive
+      (** repair program without the static HCF guarantee: full disjunctive
+          stable-model search *)
+  | Enumerated
+      (** outside Definition 9's program classes: model-theoretic
+          state-space enumeration ({!Repair.Enumerate}) *)
+(** The routing tiers of the [Auto] CQA method, cheapest first.  The type
+    lives here (not in [lib/route]) so the per-tier consumption counters
+    below need no dependency on the routing layer. *)
+
+val tier_name : tier -> string
+(** ["direct"], ["shifted"], ["disjunctive"], ["enumerate"]. *)
+
+val pp_tier : tier Fmt.t
+
 type worker = {
   w_decisions : int Atomic.t;
   w_states : int Atomic.t;
@@ -73,6 +95,12 @@ type stats = {
   elapsed_ms : int Atomic.t;
       (** wall-clock of the run, rounded up to a started millisecond;
           written by {!finish} (and on exhaustion), [0] while running *)
+  routed : int Atomic.t array;
+      (** components classified per routing {!tier} (read through
+          {!routed}); all zero outside the [Auto] method *)
+  mutable degradations : (string * string) list;
+      (** routed-degradation notes, in reverse emission order (read through
+          {!degradations}); written by coordinator-side fallback steps only *)
   mutable workers : worker array;
       (** per-worker slots, [[||]] unless {!set_workers} installed them;
           slot 0 is the coordinating domain, slots 1..jobs the pool
@@ -95,6 +123,26 @@ val set_worker_slot : int -> unit
 val pp_stats : stats Fmt.t
 (** The global line: [decisions=… states=… components_solved=…
     elapsed_ms=…]. *)
+
+val routed : stats -> tier -> int
+(** Components dispatched to [tier] by the routing layer. *)
+
+val routed_total : stats -> int
+(** Components dispatched across all tiers ([0] outside [Auto]). *)
+
+val degradations : stats -> (string * string) list
+(** Routed-degradation notes [(stage, message)] in emission order —
+    every place an engine silently substituted a cheaper-but-sound
+    strategy for the requested one. *)
+
+val pp_routed : stats Fmt.t
+(** The routing line: [direct=… shifted=… disjunctive=… enumerate=…].
+    Printed by the CLI only when {!routed_total} is non-zero, so the
+    historical [--stats] output is unchanged outside [Auto]. *)
+
+val pp_degradations : stats Fmt.t
+(** One ["degraded[stage]: message"] line per note (nothing when no
+    degradation occurred). *)
 
 val pp_workers : stats Fmt.t
 (** One ["  worker i: …"] line per pool slot (nothing when
@@ -142,6 +190,16 @@ val note_worker_component : ctl -> unit
     itself — under exhaustion a worker may complete a component the merge
     later degrades, so the per-worker slots attribute {e work done} while
     [components_solved] counts {e results kept}.  Never raises. *)
+
+val note_route : ctl -> tier -> unit
+(** Count one component dispatched to [tier].  Called by the routing
+    layer's classification step (coordinator only).  Never raises. *)
+
+val note_degraded : ctl -> stage:string -> string -> unit
+(** Record a routed-degradation note: [stage] names the engine step that
+    degraded, the message says what was substituted and why.  Called by
+    the deterministic merge/fallback steps only (never by a pool
+    worker).  Never raises. *)
 
 val finish : ctl -> unit
 (** Record the elapsed wall-clock into the stats.  Idempotent. *)

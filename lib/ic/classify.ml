@@ -22,6 +22,10 @@ let is_check = function
   | Constr.Generic { ante = [ _ ]; cons = []; phi = _ :: _; _ } -> true
   | Constr.Generic _ | Constr.NotNull _ -> false
 
+let is_deletion_only = function
+  | Constr.Generic { cons = []; _ } | Constr.NotNull _ -> true
+  | Constr.Generic _ -> false
+
 let is_full_inclusion = function
   | Constr.Generic ({ ante = [ _ ]; cons = [ _ ]; phi = []; _ } as g) ->
       Constr.existential_vars g = []

@@ -21,6 +21,12 @@ val is_check : Constr.t -> bool
 (** Single-row check constraint: one antecedent atom, no consequent atoms,
     non-empty [phi] (Example 6). *)
 
+val is_deletion_only : Constr.t -> bool
+(** Every minimal fix of a violation is a deletion: [Generic] with an
+    empty consequent (denials, checks, FDs rewritten as denials) and
+    NOT NULL-constraints.  A [Generic] with consequent atoms can also be
+    fixed by a null-insertion ({!Repair.Actions}), so it is excluded. *)
+
 val is_full_inclusion : Constr.t -> bool
 (** [P(x) -> Q(y)] with one atom on each side and no existentials. *)
 

@@ -1,7 +1,7 @@
 module Tuple = Relational.Tuple
 module Instance = Relational.Instance
 
-type method_ = ModelTheoretic | LogicProgram | CautiousProgram
+type method_ = ModelTheoretic | LogicProgram | CautiousProgram | Auto
 
 (* The two repair-materializing engines as their own type: the dispatch on
    [CautiousProgram] happens exactly once, in [consistent_answers], so the
@@ -43,45 +43,10 @@ let outcome_of_repairs ?semantics ~standard q repairs =
 (* ------------------------------------------------------------------ *)
 (* Decomposed CQA (Repair.Decompose).
 
-   The per-component answer algebra needs the query's answers to be
-   insensitive to atoms of predicates it does not mention — including
-   through the active domain the evaluator enumerates variables over.  The
-   syntactic fragment below guarantees it: positive existential
-   conjunctive bodies (no negation, no universal quantifier, no
-   disjunction) in which every variable occurs in a database atom, so that
-   every binding is witnessed by matched tuples and built-ins/IsNull only
-   filter them. *)
-
-let rec formula_vars = function
-  | Qsyntax.Atom a ->
-      List.filter_map
-        (function Ic.Term.Var x -> Some x | Ic.Term.Const _ -> None)
-        (Ic.Patom.terms a)
-  | Qsyntax.Builtin b -> Ic.Builtin.vars b
-  | Qsyntax.IsNull (Ic.Term.Var x) -> [ x ]
-  | Qsyntax.IsNull (Ic.Term.Const _) -> []
-  | Qsyntax.And (f, g) | Qsyntax.Or (f, g) -> formula_vars f @ formula_vars g
-  | Qsyntax.Not f | Qsyntax.Exists (_, f) | Qsyntax.Forall (_, f) ->
-      formula_vars f
-
-let factorizable body =
-  let rec positive_conjunctive = function
-    | Qsyntax.Atom _ | Qsyntax.Builtin _ | Qsyntax.IsNull _ -> true
-    | Qsyntax.And (f, g) -> positive_conjunctive f && positive_conjunctive g
-    | Qsyntax.Exists (_, f) -> positive_conjunctive f
-    | Qsyntax.Or _ | Qsyntax.Not _ | Qsyntax.Forall _ -> false
-  in
-  positive_conjunctive body
-  &&
-  let atom_vars =
-    List.concat_map
-      (fun a ->
-        List.filter_map
-          (function Ic.Term.Var x -> Some x | Ic.Term.Const _ -> None)
-          (Ic.Patom.terms a))
-      (Qsyntax.atoms body)
-  in
-  List.for_all (fun x -> List.mem x atom_vars) (formula_vars body)
+   The per-component answer algebra requires the factorizable query
+   fragment of {!Qsafe.shape} (positive existential conjunctive, every
+   variable in a database atom): answers are then insensitive to atoms of
+   predicates the query does not mention. *)
 
 let component_preds (c : Repair.Decompose.component) =
   Relational.Atom.Set.fold
@@ -143,9 +108,10 @@ let factorized_outcome ?semantics ?(jobs = 1) ?states ?exhausted ~plan
         (List.of_seq
            (Repair.Decompose.product core (Option.get states)))
   in
+  let shape = Qsafe.shape q in
   if
     (not plan.Repair.Decompose.product_exact)
-    || (not (factorizable q.Qsyntax.body))
+    || shape = Qsafe.Opaque
     || List.exists (fun l -> l = []) minimal
   then
     (* evaluate over the recombined repair list; still
@@ -170,8 +136,9 @@ let factorized_outcome ?semantics ?(jobs = 1) ?states ?exhausted ~plan
         { consistent = standard; possible = standard;
           standard; repair_count; exhausted }
     | _ -> (
-        match Qsyntax.atoms q.Qsyntax.body with
-        | [ _ ] ->
+        match shape with
+        | Qsafe.Opaque -> assert false (* excluded above *)
+        | Qsafe.Single ->
             (* single-atom query: answers are additive
                over components, so Inter_choices
                (A ∪ Union_i B_i) = Union_i Inter_c
@@ -215,7 +182,7 @@ let factorized_outcome ?semantics ?(jobs = 1) ?states ?exhausted ~plan
               repair_count;
               exhausted;
             }
-        | _ ->
+        | Qsafe.Join ->
             (* join query: answers can join atoms across
                components — recombine, but only over the
                components that mention a query
@@ -261,7 +228,14 @@ let decomposed_outcome mat ?budget ?semantics ?(jobs = 1) max_effort d ics
         ->
           (* the logic-program engine only yields per-component minimal
              repairs, which cannot be recombined exactly here — stay
-             monolithic *)
+             monolithic, and say so in the stats instead of degrading
+             invisibly *)
+          (match budget with
+          | Some b ->
+              Budget.note_degraded b ~stage:"decompose"
+                "inexact component product (cross-component null covering): \
+                 logic-program engine computed monolithic repairs instead"
+          | None -> ());
           Result.map
             (outcome_of_repairs ?semantics ~standard q)
             (repairs_of mat ?budget max_effort d ics)
@@ -278,9 +252,169 @@ let decomposed_outcome mat ?budget ?semantics ?(jobs = 1) max_effort d ics
                     (factorized_outcome ?semantics ~jobs ?states ?exhausted
                        ~plan ~minimal ~standard q)))
 
+(* ------------------------------------------------------------------ *)
+(* Routed CQA: the [Auto] method.
+
+   Every conflict component is classified by {!Route.Tier} and solved on
+   the cheapest sound engine: the repair-less direct computation
+   ({!Route.Direct}), the repair program (statically-HCF components run it
+   shifted — {!Core.Engine} consults {!Asp.Shift} internally), or the
+   model-theoretic enumeration as last resort.  The merge follows the
+   decomposed engines' prefix rule, so partial outcomes under exhaustion
+   have the same shape as a cold decomposed run. *)
+
+type routed_solved =
+  | Rsolved of Instance.t list
+  | Rtrip of Budget.exhausted
+  | Rerr of string
+
+let routed_solve ?budget ?(jobs = 1) max_effort (plan : Repair.Decompose.plan)
+    =
+  let verdicts = Route.Tier.plan plan in
+  (match budget with
+  | Some b ->
+      List.iter
+        (fun (v : Route.Tier.verdict) -> Budget.note_route b v.Route.Tier.tier)
+        verdicts
+  | None -> ());
+  let solve_one ((c : Repair.Decompose.component), (v : Route.Tier.verdict)) =
+    let base = Instance.union c.Repair.Decompose.sub c.Repair.Decompose.support in
+    match v.Route.Tier.tier with
+    | Budget.Direct -> (
+        let a = Option.get v.Route.Tier.direct in
+        match Route.Direct.minimal_repairs ?budget a with
+        | reps ->
+            (match budget with
+            | Some b -> Budget.note_worker_component b
+            | None -> ());
+            Rsolved reps
+        | exception Budget.Exhausted e -> Rtrip e)
+    | Budget.Shifted | Budget.Disjunctive -> (
+        match
+          Core.Engine.solve_components ?budget ?max_decisions:max_effort
+            { plan with Repair.Decompose.components = [ c ] }
+        with
+        | Error msg -> Rerr msg
+        | Ok { Core.Engine.exhausted = Some e; _ } -> Rtrip e
+        | Ok { Core.Engine.solved = [ reps ]; _ } -> Rsolved reps
+        | Ok _ -> assert false)
+    | Budget.Enumerated -> (
+        match
+          Repair.Enumerate.search ?budget ?max_states:max_effort
+            ~universe:plan.Repair.Decompose.universe
+            ~nnc_positions:plan.Repair.Decompose.nnc_positions base
+            c.Repair.Decompose.ics
+        with
+        | states ->
+            (match budget with
+            | Some b -> Budget.note_worker_component b
+            | None -> ());
+            Rsolved (Repair.Order.minimal_among ~d:base states)
+        | exception Repair.Enumerate.Budget_exceeded n ->
+            Rtrip (Budget.States n)
+        | exception Budget.Exhausted e -> Rtrip e)
+  in
+  let tasks = List.combine plan.Repair.Decompose.components verdicts in
+  let results =
+    if jobs <= 1 || List.length tasks <= 1 then
+      (* sequential: stop at the first trip so no budget is spent past it *)
+      let rec seq acc stopped = function
+        | [] -> List.rev acc
+        | task :: rest ->
+            if stopped then seq (`Unsolved :: acc) stopped rest
+            else
+              let r = solve_one task in
+              let stopped =
+                match r with Rsolved _ -> stopped | _ -> true
+              in
+              seq (`Run r :: acc) stopped rest
+      in
+      seq [] false tasks
+    else
+      Parallel.Pool.with_pool ~jobs
+        ~init:(fun w -> Budget.set_worker_slot (w + 1))
+        (fun pool ->
+          Parallel.Pool.map pool (fun task -> `Run (solve_one task)) tasks)
+  in
+  (* prefix-rule merge, in plan order: everything from the first trip on
+     degrades to its unrepaired base slice *)
+  let rec scan minimal completed = function
+    | [] -> Ok (List.rev minimal, completed, None)
+    | (`Run (Rsolved reps), (_, v)) :: rest ->
+        (* the program tiers run through Core.Engine, which notes kept
+           components itself *)
+        (match (budget, v.Route.Tier.tier) with
+        | Some b, (Budget.Direct | Budget.Enumerated) ->
+            Budget.note_component b
+        | _ -> ());
+        scan (reps :: minimal) (completed + 1) rest
+    | (`Run (Rerr m), _) :: _ -> Error m
+    | ((`Run (Rtrip _) | `Unsolved), _) :: _ as remaining ->
+        let ex =
+          match remaining with
+          | (`Run (Rtrip ex), _) :: _ -> ex
+          | _ -> assert false
+        in
+        let degraded =
+          List.map
+            (fun (_, (c, _)) ->
+              [ Instance.union c.Repair.Decompose.sub c.Repair.Decompose.support ])
+            remaining
+        in
+        Ok (List.rev_append minimal degraded, completed, Some ex)
+  in
+  scan [] 0 (List.combine results tasks)
+
+let routed_outcome ?budget ?semantics ?(jobs = 1) max_effort d ics
+    (q : Qsyntax.t) =
+  let standard = Qeval.answers ?semantics d q in
+  match Repair.Decompose.plan ?budget d ics with
+  | exception Budget.Exhausted e -> Error (Budget.message e)
+  | plan -> (
+      match plan.Repair.Decompose.components with
+      | [] ->
+          Ok
+            {
+              consistent = standard;
+              possible = standard;
+              standard;
+              repair_count = 1;
+              exhausted = None;
+            }
+      | components when not plan.Repair.Decompose.product_exact ->
+          (* cross-component null covering: per-component minimal repairs
+             do not recombine exactly, so no per-tier dispatch is sound —
+             route the whole plan to the decomposed enumeration, which
+             re-filters the recombined states globally *)
+          (match budget with
+          | Some b ->
+              Budget.note_degraded b ~stage:"route"
+                "inexact component product (cross-component null covering): \
+                 whole plan routed to decomposed enumeration";
+              List.iter
+                (fun _ -> Budget.note_route b Budget.Enumerated)
+                components
+          | None -> ());
+          decomposed_outcome Enumerator ?budget ?semantics ~jobs max_effort d
+            ics q
+      | _ ->
+          Result.bind (routed_solve ?budget ~jobs max_effort plan)
+            (fun (minimal, completed, exhausted) ->
+              match exhausted with
+              | Some e when completed = 0 -> Error (Budget.message e)
+              | _ ->
+                  Ok
+                    (factorized_outcome ?semantics ~jobs ?exhausted ~plan
+                       ~minimal ~standard q)))
+
 let consistent_answers ?(method_ = LogicProgram) ?semantics ?budget ?max_effort
     ?(decompose = false) ?jobs d ics q =
   match method_ with
+  | Auto ->
+      (* routing always decomposes (per-component verdicts); ~decompose
+         is implied *)
+      ignore decompose;
+      routed_outcome ?budget ?semantics ?jobs max_effort d ics q
   | CautiousProgram ->
       if decompose then
         Error

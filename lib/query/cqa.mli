@@ -23,6 +23,18 @@ type method_ =
           cautious/brave consequences ({!Progcqa}); requires RIC-acyclic
           constraints and the Datalog-with-negation query fragment, and
           fixes the query semantics to [NullAsConstant] *)
+  | Auto
+      (** route every conflict component to the cheapest sound engine
+          ({!Route.Tier}): the repair-less direct computation
+          ({!Route.Direct}) for deletion-only null-free components, the
+          repair program (run shifted when statically HCF — Theorem 5 /
+          Corollary 1) where Definition 9 applies, and model-theoretic
+          enumeration as last resort.  Always decomposes ([~decompose] is
+          implied); answers are identical to the other materializing
+          methods.  Per-tier dispatch counters land in the budget's
+          {!Budget.stats} ([routed]), degradations (e.g. an inexact
+          component product forcing whole-plan enumeration) in its
+          [degradations] notes. *)
 
 type outcome = {
   consistent : Relational.Tuple.Set.t;  (** answers in every repair *)

@@ -1,0 +1,68 @@
+module Instance = Relational.Instance
+module Tuple = Relational.Tuple
+module Decompose = Repair.Decompose
+
+let applicable_verdicts (plan : Decompose.plan) =
+  if not plan.Decompose.product_exact then
+    Error
+      "direct CQA needs an exact component product; cross-component null \
+       covering makes per-component minimality insufficient (use the \
+       model-theoretic engine)"
+  else
+    let verdicts = Route.Tier.plan plan in
+    match
+      List.find_opt
+        (fun (v : Route.Tier.verdict) -> v.Route.Tier.tier <> Budget.Direct)
+        verdicts
+    with
+    | Some v ->
+        Error
+          (Printf.sprintf
+             "a conflict component is outside the direct fragment: %s"
+             v.Route.Tier.reason)
+    | None -> Ok verdicts
+
+let applicable d ics =
+  match Decompose.plan d ics with
+  | exception Budget.Exhausted e -> Error (Budget.message e)
+  | plan -> Result.map (fun _ -> ()) (applicable_verdicts plan)
+
+let consistent_answers ?semantics ?budget d ics q =
+  let standard = Qeval.answers ?semantics d q in
+  match Decompose.plan ?budget d ics with
+  | exception Budget.Exhausted e -> Error (Budget.message e)
+  | plan -> (
+      match applicable_verdicts plan with
+      | Error msg -> Error msg
+      | Ok verdicts -> (
+          match plan.Decompose.components with
+          | [] ->
+              Ok
+                {
+                  Cqa.consistent = standard;
+                  possible = standard;
+                  standard;
+                  repair_count = 1;
+                  exhausted = None;
+                }
+          | _ -> (
+              match
+                List.map
+                  (fun (v : Route.Tier.verdict) ->
+                    Route.Direct.minimal_repairs ?budget
+                      (Option.get v.Route.Tier.direct))
+                  verdicts
+              with
+              | minimal ->
+                  Ok
+                    (Cqa.factorized_outcome ?semantics ~plan ~minimal ~standard
+                       q)
+              | exception Budget.Exhausted e -> Error (Budget.message e))))
+
+let certain ?semantics ?budget d ics q =
+  if not (Qsyntax.is_boolean q) then Error "certain: query has head variables"
+  else
+    Result.map
+      (fun (o : Cqa.outcome) -> Tuple.Set.mem (Tuple.make []) o.Cqa.consistent)
+      (consistent_answers ?semantics ?budget d ics
+         { q with Qsyntax.head = [] })

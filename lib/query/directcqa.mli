@@ -1,0 +1,43 @@
+(** Repair-less polynomial CQA, after Laurent & Spyratos.
+
+    When {e every} conflict component of the instance is accepted by
+    {!Route.Direct} (deletion-only constraints, null-free binary
+    complete-multipartite conflicts — the shape FD and denial workloads
+    induce) and the component product is exact, certain answers are
+    computed without ever running a repair search: minimal repairs are
+    read off per component in polynomial time and combined by the
+    factorized answer algebra of {!Cqa.factorized_outcome}.
+
+    This is the standalone API of the [Auto] method's cheapest tier; use
+    [Cqa.consistent_answers ~method_:Auto] to fall back to the other
+    engines per component instead of failing.  Answers are identical to
+    the materializing methods on the instances this accepts (the repair
+    lists themselves are byte-identical to the enumerate engine's,
+    property-tested in [test_route.ml]). *)
+
+val applicable :
+  Relational.Instance.t -> Ic.Constr.t list -> (unit, string) result
+(** [Ok ()] iff every conflict component is in the direct fragment and
+    the component product is exact; [Error reason] names the first
+    obstacle. *)
+
+val consistent_answers :
+  ?semantics:Qeval.semantics ->
+  ?budget:Budget.ctl ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  Qsyntax.t ->
+  (Cqa.outcome, string) result
+(** The full outcome (consistent/possible/standard answers and the exact
+    repair count) in polynomial time.  [Error] when {!applicable} fails —
+    never a silent fallback.  [budget] contributes its deadline; no
+    states or decisions are ever ticked. *)
+
+val certain :
+  ?semantics:Qeval.semantics ->
+  ?budget:Budget.ctl ->
+  Relational.Instance.t ->
+  Ic.Constr.t list ->
+  Qsyntax.t ->
+  (bool, string) result
+(** Definition 8 for boolean queries, directly. *)

@@ -47,3 +47,57 @@ let check q =
          "query %a is not safe-range: evaluation falls back to active-domain \
           semantics"
          Qsyntax.pp q)
+
+(* ------------------------------------------------------------------ *)
+(* Query shape for decomposed/routed CQA.
+
+   The per-component answer algebra needs the query's answers to be
+   insensitive to atoms of predicates it does not mention — including
+   through the active domain the evaluator enumerates variables over.  The
+   syntactic fragment below guarantees it: positive existential
+   conjunctive bodies (no negation, no universal quantifier, no
+   disjunction) in which every variable occurs in a database atom, so that
+   every binding is witnessed by matched tuples and built-ins/IsNull only
+   filter them. *)
+
+let rec formula_vars = function
+  | Qsyntax.Atom a ->
+      List.filter_map
+        (function Ic.Term.Var x -> Some x | Ic.Term.Const _ -> None)
+        (Ic.Patom.terms a)
+  | Qsyntax.Builtin b -> Ic.Builtin.vars b
+  | Qsyntax.IsNull (Ic.Term.Var x) -> [ x ]
+  | Qsyntax.IsNull (Ic.Term.Const _) -> []
+  | Qsyntax.And (f, g) | Qsyntax.Or (f, g) -> formula_vars f @ formula_vars g
+  | Qsyntax.Not f | Qsyntax.Exists (_, f) | Qsyntax.Forall (_, f) ->
+      formula_vars f
+
+let factorizable body =
+  let rec positive_conjunctive = function
+    | Qsyntax.Atom _ | Qsyntax.Builtin _ | Qsyntax.IsNull _ -> true
+    | Qsyntax.And (f, g) -> positive_conjunctive f && positive_conjunctive g
+    | Qsyntax.Exists (_, f) -> positive_conjunctive f
+    | Qsyntax.Or _ | Qsyntax.Not _ | Qsyntax.Forall _ -> false
+  in
+  positive_conjunctive body
+  &&
+  let atom_vars =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (function Ic.Term.Var x -> Some x | Ic.Term.Const _ -> None)
+          (Ic.Patom.terms a))
+      (Qsyntax.atoms body)
+  in
+  List.for_all (fun x -> List.mem x atom_vars) (formula_vars body)
+
+type shape = Single | Join | Opaque
+
+let shape (q : Qsyntax.t) =
+  if not (factorizable q.Qsyntax.body) then Opaque
+  else
+    match Qsyntax.atoms q.Qsyntax.body with [ _ ] -> Single | _ -> Join
+
+let pp_shape ppf s =
+  Fmt.string ppf
+    (match s with Single -> "single" | Join -> "join" | Opaque -> "opaque")

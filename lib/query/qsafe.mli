@@ -13,3 +13,21 @@ val range_restricted_vars : Qsyntax.formula -> string list
 val is_safe : Qsyntax.t -> bool
 
 val check : Qsyntax.t -> (unit, string) result
+
+val factorizable : Qsyntax.formula -> bool
+(** Positive existential conjunctive body whose variables all occur in
+    database atoms: answers are insensitive to atoms of unmentioned
+    predicates, the precondition of the per-component answer algebra of
+    decomposed and routed CQA ({!Cqa}). *)
+
+type shape =
+  | Single  (** factorizable with one body atom: answers are additive over
+                conflict components (per-component intersections/unions) *)
+  | Join    (** factorizable with several body atoms: recombine only the
+                components mentioning a query predicate *)
+  | Opaque  (** not factorizable: evaluate over the recombined repairs *)
+
+val shape : Qsyntax.t -> shape
+(** The query-shape verdict the decomposed answer algebra branches on. *)
+
+val pp_shape : shape Fmt.t

@@ -1,0 +1,191 @@
+module Atom = Relational.Atom
+module Instance = Relational.Instance
+module Nullsat = Semantics.Nullsat
+
+type group = { members : Atom.Set.t; classes : Atom.t list list }
+type analysis = { base : Instance.t; forced : Atom.Set.t; groups : group list }
+
+(* Soundness sketch (full argument in DESIGN.md 5.8).  With deletion-only
+   constraints every search state is a subset of [base], so a repair's
+   delta is its deleted set and consistency means the deleted set hits
+   every base violation.  A consistent state whose deleted set strictly
+   contains a minimal hitting set H is always [<]-dominated by H: the
+   covering clause of [<=_D] needs a witness in [delta(H) \ delta(state)],
+   which is empty.  Between two minimal hitting sets the only atoms that
+   can sit in one delta and not the other are class atoms of the remaining
+   binary violations — the null-free guard makes the order plain set
+   inclusion there, and distinct minimal hitting sets are incomparable.
+   So minimal hitting sets = [<=_D]-minimal repairs, byte for byte. *)
+
+let distinct_matched (v : Nullsat.violation) =
+  List.sort_uniq Atom.compare v.Nullsat.matched
+
+let analyze ~base ics =
+  let insertion_capable =
+    List.find_opt (fun ic -> not (Ic.Classify.is_deletion_only ic)) ics
+  in
+  match insertion_capable with
+  | Some ic ->
+      Error
+        (Printf.sprintf
+           "constraint '%s' can repair by insertion (non-empty consequent)"
+           (Ic.Constr.label ic))
+  | None -> (
+      let violations = Nullsat.check base ics in
+      let matched = List.map distinct_matched violations in
+      match List.find_opt (fun m -> m = []) matched with
+      | Some _ -> Error "a violation matches no tuple (unrepairable)"
+      | None -> (
+          let forced =
+            List.fold_left
+              (fun acc m ->
+                match m with [ a ] -> Atom.Set.add a acc | _ -> acc)
+              Atom.Set.empty matched
+          in
+          let remaining =
+            List.filter
+              (fun m -> not (List.exists (fun a -> Atom.Set.mem a forced) m))
+              matched
+          in
+          let non_binary =
+            List.find_opt (fun m -> List.length m <> 2) remaining
+          in
+          match non_binary with
+          | Some m ->
+              Error
+                (Printf.sprintf
+                   "a conflict involves %d tuples (direct tier handles \
+                    binary conflicts only)"
+                   (List.length m))
+          | None -> (
+              match
+                List.find_opt
+                  (fun m -> List.exists Atom.has_null m)
+                  remaining
+              with
+              | Some m ->
+                  let a = List.find Atom.has_null m in
+                  Error
+                    (Printf.sprintf
+                       "conflicting tuple %s carries a null (<=_D is not \
+                        plain set inclusion here)"
+                       (Atom.to_string a))
+              | None -> (
+                  (* conflict graph of the remaining binary violations *)
+                  let adj : (Atom.t, Atom.Set.t) Hashtbl.t =
+                    Hashtbl.create 64
+                  in
+                  let neighbours a =
+                    Option.value ~default:Atom.Set.empty (Hashtbl.find_opt adj a)
+                  in
+                  let add_edge a b =
+                    Hashtbl.replace adj a (Atom.Set.add b (neighbours a));
+                    Hashtbl.replace adj b (Atom.Set.add a (neighbours b))
+                  in
+                  List.iter
+                    (fun m ->
+                      match m with
+                      | [ a; b ] -> add_edge a b
+                      | _ -> assert false)
+                    remaining;
+                  let vertices =
+                    Hashtbl.fold (fun a _ acc -> Atom.Set.add a acc) adj
+                      Atom.Set.empty
+                  in
+                  (* connected groups, deterministic by smallest member *)
+                  let visited = Hashtbl.create 64 in
+                  let component_of seed =
+                    let rec go frontier acc =
+                      match frontier with
+                      | [] -> acc
+                      | a :: rest ->
+                          if Hashtbl.mem visited a then go rest acc
+                          else begin
+                            Hashtbl.add visited a ();
+                            let next =
+                              Atom.Set.fold
+                                (fun b fr ->
+                                  if Hashtbl.mem visited b then fr
+                                  else b :: fr)
+                                (neighbours a) rest
+                            in
+                            go next (Atom.Set.add a acc)
+                          end
+                    in
+                    go [ seed ] Atom.Set.empty
+                  in
+                  let groups_members =
+                    Atom.Set.fold
+                      (fun a acc ->
+                        if Hashtbl.mem visited a then acc
+                        else component_of a :: acc)
+                      vertices []
+                    |> List.rev
+                  in
+                  (* Non-adjacency classes.  Complete multipartite means a
+                     member's neighbours are exactly the other classes, so
+                     class-of(a) = members \ neighbours(a); verifying that
+                     equality for every member both builds the classes and
+                     certifies the shape. *)
+                  let classify members =
+                    let classes = ref [] in
+                    let assigned = Hashtbl.create 16 in
+                    let ok =
+                      Atom.Set.for_all
+                        (fun a ->
+                          let cls = Atom.Set.diff members (neighbours a) in
+                          (if not (Hashtbl.mem assigned a) then begin
+                             Atom.Set.iter
+                               (fun b -> Hashtbl.replace assigned b ())
+                               cls;
+                             classes := Atom.Set.elements cls :: !classes
+                           end);
+                          (* a's class must be an independent set and fully
+                             adjacent to the rest of the group *)
+                          Atom.Set.for_all
+                            (fun b ->
+                              Atom.Set.equal
+                                (Atom.Set.inter (neighbours b) members)
+                                (Atom.Set.diff members cls))
+                            cls)
+                        members
+                    in
+                    if ok then Some (List.rev !classes) else None
+                  in
+                  let rec build acc = function
+                    | [] -> Ok { base; forced; groups = List.rev acc }
+                    | members :: rest -> (
+                        match classify members with
+                        | Some classes ->
+                            build ({ members; classes } :: acc) rest
+                        | None ->
+                            Error
+                              "a conflict group is not complete \
+                               multipartite (mixed constraint overlap)")
+                  in
+                  build [] groups_members))))
+
+let repair_count a =
+  List.fold_left (fun acc g -> acc * List.length g.classes) 1 a.groups
+
+let minimal_repairs ?budget a =
+  (* kept0 = base minus forced minus every group member; each repair adds
+     back one chosen class per group *)
+  let kept0 =
+    let d = Atom.Set.fold Instance.remove a.forced a.base in
+    List.fold_left
+      (fun d g -> Atom.Set.fold Instance.remove g.members d)
+      d a.groups
+  in
+  let rec expand kept = function
+    | [] ->
+        (match budget with Some b -> Budget.check_deadline b | None -> ());
+        [ kept ]
+    | g :: rest ->
+        List.concat_map
+          (fun cls ->
+            let kept' = List.fold_left (fun d x -> Instance.add x d) kept cls in
+            expand kept' rest)
+          g.classes
+  in
+  List.sort_uniq Instance.compare (expand kept0 a.groups)

@@ -1,0 +1,62 @@
+(** Repair-less polynomial CQA building block: the direct computation of
+    minimal repairs for deletion-only conflict components, after Laurent &
+    Spyratos ("Consistent Query Answering without Repairs in Tables with
+    Nulls and Functional Dependencies").
+
+    When every constraint of a component is deletion-only
+    ({!Ic.Classify.is_deletion_only}), violations are anti-monotone under
+    deletion: a sub-instance is consistent iff the deleted set hits every
+    violation of the base, so repairs are hitting sets and no state-space
+    search is needed.  {!analyze} additionally verifies the two conditions
+    under which the minimal hitting sets can be read off in polynomial
+    time {e and} coincide byte-for-byte with the [<=_D]-minimal repairs of
+    the enumerate engine:
+
+    - {b forced deletions}: a violation matching exactly one distinct
+      tuple forces that tuple out of every repair;
+    - the remaining violations are {b binary} (two distinct tuples), their
+      tuples are {b null-free} — so condition (b) of [<=_D] never fires on
+      a repair difference and the order degenerates to set inclusion — and
+      each connected conflict group is {b complete multipartite}, which is
+      exactly the shape FDs induce (classes = tuples agreeing on the
+      dependent value): the minimal hitting sets of a group are
+      [group \ class], one per class.
+
+    Anything outside this shape is rejected with a reason, and the router
+    falls through to the program/enumerate tiers. *)
+
+type group = {
+  members : Relational.Atom.Set.t;
+      (** the tuples of one connected conflict group *)
+  classes : Relational.Atom.t list list;
+      (** the non-adjacency classes, each sorted; keeping exactly one
+          class (deleting the rest) is a minimal repair of the group *)
+}
+
+type analysis = {
+  base : Relational.Instance.t;  (** the analyzed component slice *)
+  forced : Relational.Atom.Set.t;
+      (** tuples deleted in every repair (singleton-match violations) *)
+  groups : group list;  (** deterministic order (by smallest member) *)
+}
+
+val analyze :
+  base:Relational.Instance.t ->
+  Ic.Constr.t list ->
+  (analysis, string) result
+(** Classify [base] under the component's constraints.  [Error reason]
+    when any constraint can repair by insertion, a remaining conflict is
+    non-binary, a conflicting tuple carries a null, or a conflict group is
+    not complete multipartite. *)
+
+val repair_count : analysis -> int
+(** Product of class counts over the groups — computed without
+    materializing the repairs. *)
+
+val minimal_repairs :
+  ?budget:Budget.ctl -> analysis -> Relational.Instance.t list
+(** The [<=_D]-minimal repairs of the analyzed component, sorted by
+    [Instance.compare] and deduplicated — byte-identical to
+    [Repair.Order.minimal_among ~d:base (Repair.Enumerate.search base ics)].
+    [budget] contributes its deadline (one check per repair built).
+    @raise Budget.Exhausted on deadline. *)

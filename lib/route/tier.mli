@@ -1,0 +1,42 @@
+(** Per-component routing verdicts for the [Auto] CQA method.
+
+    Each conflict component of a {!Repair.Decompose.plan} is classified
+    to the cheapest engine tier that is sound for its constraint slice
+    (cheapest first, {!Budget.tier}):
+
+    + {b Direct} — {!Direct.analyze} accepts the component: minimal
+      repairs are read off in polynomial time, no search at all;
+    + {b Shifted} — the slice is inside Definition 9's program classes
+      and statically HCF (Theorem 5), so the repair program runs as a
+      shifted normal program (Corollary 1 regime);
+    + {b Disjunctive} — programmable but without the static HCF
+      guarantee: full disjunctive stable-model search;
+    + {b Enumerated} — outside the program classes (general existential
+      constraints), or an Example 20 conflict (a NOT NULL constraint on
+      a RIC's existential attribute, where the program's null-insertions
+      are infeasible and its repair set diverges from the
+      model-theoretic one): state-space enumeration.
+
+    Classification is purely syntactic on the component's IC slice plus
+    the polynomial {!Direct.analyze} pass over its violations; it never
+    runs a search, so routing cost is negligible next to any engine. *)
+
+type verdict = {
+  tier : Budget.tier;  (** the chosen engine tier *)
+  reason : string;
+      (** why this tier: for [Direct] the accepting shape, otherwise the
+          reason the cheaper tiers were rejected *)
+  direct : Direct.analysis option;
+      (** the accepted analysis when [tier = Direct] — the evaluator
+          reuses it instead of re-analyzing *)
+}
+
+val component : Repair.Decompose.component -> verdict
+(** Classify one component (its [sub] with [support], under its IC
+    slice). *)
+
+val plan : Repair.Decompose.plan -> verdict list
+(** Classify every component, in plan order. *)
+
+val pp_verdict : verdict Fmt.t
+(** ["tier: reason"]. *)

@@ -3,13 +3,25 @@ module Instance = Relational.Instance
 module Nullsat = Semantics.Nullsat
 module Decompose = Repair.Decompose
 
-type engine = Enumerate | Program
+type engine = Enumerate | Program | Auto
 
 (* A cached component solve.  [minimal] are the locally <=_D-minimal
    repairs; [states] carries the full consistent state list for
    [Enumerate] (needed by the inexact-product recombination) and is [None]
-   for [Program]. *)
-type entry = { minimal : Instance.t list; states : Instance.t list option }
+   for [Program].  [tier] is the routing verdict for [Auto] entries — a
+   cache hit re-counts the tier without re-classifying the component. *)
+type entry = {
+  minimal : Instance.t list;
+  states : Instance.t list option;
+  tier : Budget.tier option;
+}
+
+(* The concrete per-component strategy.  [Auto] downgrades to the
+   enumerate engine when the component product is inexact: per-component
+   minimal repairs do not recombine exactly there, so the request needs
+   the full consistent state lists for global filtering, which only the
+   model-theoretic search yields. *)
+type strategy = Senum | Sprog | Sroute
 
 type stats = {
   deltas : int;
@@ -23,6 +35,7 @@ type stats = {
   cache_misses : int;
   cache_evictions : int;
   cache_entries : int;
+  routed : int array;
 }
 
 type t = {
@@ -31,6 +44,7 @@ type t = {
   max_effort : int option;
   ics : Ic.Constr.t list;
   cache : (string, entry) Lru.t;
+  routed : int array;  (* components per Budget.tier, [Auto] only *)
   mutable d : Instance.t;
   mutable violations : Nullsat.violation list;  (* canonical order *)
   mutable plan : Decompose.plan option;  (* None = must re-plan *)
@@ -51,6 +65,7 @@ let create ?(engine = Program) ?(jobs = 1) ?max_effort ?(capacity = 256) d ics
     max_effort;
     ics;
     cache = Lru.create ~capacity;
+    routed = Array.make 4 0;
     d;
     violations = Nullsat.canonical_violations (Nullsat.check d ics);
     plan = None;
@@ -127,18 +142,37 @@ let with_plan ?budget t f =
 let effort_tag t =
   match t.max_effort with None -> "-" | Some n -> string_of_int n
 
-(* The cache key covers everything a component solve depends on: the
-   engine, the effort bound, and the content fingerprint — including the
-   plan-global universe and NNC positions for [Enumerate], whose insertion
-   candidates range over them; the program engine regenerates its
-   candidates from the slice, so its entries survive universe drift. *)
-let component_key t (plan : Decompose.plan) c =
+let strategy t (plan : Decompose.plan) =
   match t.engine with
-  | Enumerate ->
+  | Enumerate -> Senum
+  | Program -> Sprog
+  | Auto -> if plan.Decompose.product_exact then Sroute else Senum
+
+let tier_slot = function
+  | Budget.Direct -> 0
+  | Budget.Shifted -> 1
+  | Budget.Disjunctive -> 2
+  | Budget.Enumerated -> 3
+
+(* The cache key covers everything a component solve depends on: the
+   solve strategy, the effort bound, and the content fingerprint —
+   including the plan-global universe and NNC positions for the enumerate
+   strategy, whose insertion candidates range over them; the program
+   engine regenerates its candidates from the slice, so its entries
+   survive universe drift.  [Auto] on an inexact plan IS the enumerate
+   strategy, so it shares the [enum:] entries; its routed solves carry
+   the universe too — the Enumerated tier searches over it. *)
+let component_key t (plan : Decompose.plan) c =
+  match strategy t plan with
+  | Senum ->
       Printf.sprintf "enum:%s:%s" (effort_tag t)
         (Decompose.fingerprint ~universe:plan.Decompose.universe
            ~nnc_positions:plan.Decompose.nnc_positions c)
-  | Program -> Printf.sprintf "prog:%s:%s" (effort_tag t) (Decompose.fingerprint c)
+  | Sprog -> Printf.sprintf "prog:%s:%s" (effort_tag t) (Decompose.fingerprint c)
+  | Sroute ->
+      Printf.sprintf "auto:%s:%s" (effort_tag t)
+        (Decompose.fingerprint ~universe:plan.Decompose.universe
+           ~nnc_positions:plan.Decompose.nnc_positions c)
 
 (* Whole-instance key for the monolithic program-engine fallback
    (inexact product): digest of the instance and the constraint list. *)
@@ -165,37 +199,60 @@ type solved = Entry of entry | Exhausted of Budget.exhausted | Err of string
 let solve_component ?budget t (plan : Decompose.plan) (c : Decompose.component)
     =
   let base = component_base c in
-  match t.engine with
-  | Enumerate -> (
-      let counter = ref 0 in
-      match
-        Repair.Enumerate.search ?budget ?max_states:t.max_effort
-          ~universe:plan.Decompose.universe
-          ~nnc_positions:plan.Decompose.nnc_positions ~explored:counter base
-          c.Decompose.ics
-      with
-      | states ->
-          (match budget with
-          | Some b -> Budget.note_worker_component b
-          | None -> ());
-          Entry
-            {
-              minimal = Repair.Order.minimal_among ~d:base states;
-              states = Some states;
-            }
-      | exception Repair.Enumerate.Budget_exceeded n ->
-          Exhausted (Budget.States n)
-      | exception Budget.Exhausted e -> Exhausted e)
-  | Program -> (
-      match
-        Core.Engine.solve_components ?budget ?max_decisions:t.max_effort
-          { plan with Decompose.components = [ c ] }
-      with
-      | Error msg -> Err msg
-      | Ok { Core.Engine.exhausted = Some e; _ } -> Exhausted e
-      | Ok { Core.Engine.solved = [ reps ]; _ } ->
-          Entry { minimal = reps; states = None }
-      | Ok _ -> assert false)
+  let enumerate ~tier () =
+    let counter = ref 0 in
+    match
+      Repair.Enumerate.search ?budget ?max_states:t.max_effort
+        ~universe:plan.Decompose.universe
+        ~nnc_positions:plan.Decompose.nnc_positions ~explored:counter base
+        c.Decompose.ics
+    with
+    | states ->
+        (match budget with
+        | Some b -> Budget.note_worker_component b
+        | None -> ());
+        Entry
+          {
+            minimal = Repair.Order.minimal_among ~d:base states;
+            states = Some states;
+            tier;
+          }
+    | exception Repair.Enumerate.Budget_exceeded n ->
+        Exhausted (Budget.States n)
+    | exception Budget.Exhausted e -> Exhausted e
+  in
+  let program ~tier () =
+    match
+      Core.Engine.solve_components ?budget ?max_decisions:t.max_effort
+        { plan with Decompose.components = [ c ] }
+    with
+    | Error msg -> Err msg
+    | Ok { Core.Engine.exhausted = Some e; _ } -> Exhausted e
+    | Ok { Core.Engine.solved = [ reps ]; _ } ->
+        Entry { minimal = reps; states = None; tier }
+    | Ok _ -> assert false
+  in
+  match strategy t plan with
+  | Senum -> enumerate ~tier:None ()
+  | Sprog -> program ~tier:None ()
+  | Sroute -> (
+      let v = Route.Tier.component c in
+      match v.Route.Tier.tier with
+      | Budget.Direct -> (
+          match
+            Route.Direct.minimal_repairs ?budget
+              (Option.get v.Route.Tier.direct)
+          with
+          | reps ->
+              (match budget with
+              | Some b -> Budget.note_worker_component b
+              | None -> ());
+              Entry
+                { minimal = reps; states = None; tier = Some Budget.Direct }
+          | exception Budget.Exhausted e -> Exhausted e)
+      | (Budget.Shifted | Budget.Disjunctive) as tr ->
+          program ~tier:(Some tr) ()
+      | Budget.Enumerated -> enumerate ~tier:(Some Budget.Enumerated) ())
 
 (* Solve every component of the plan through the cache.  Misses run on the
    pool when [jobs > 1]; the merge scans in plan order and applies the
@@ -265,16 +322,33 @@ let solve_all ?budget t (plan : Decompose.plan) =
     let base = component_base c in
     {
       minimal = [ base ];
-      states = (if t.engine = Enumerate then Some [ base ] else None);
+      states = (if strategy t plan = Senum then Some [ base ] else None);
+      tier = None;
     }
+  in
+  (* tier accounting happens here on the coordinator, for hits (stored
+     verdict — no re-classification) and kept solves alike, so the routed
+     counters are deterministic across [jobs] settings *)
+  let count_tier (e : entry) =
+    match e.tier with
+    | Some tr ->
+        t.routed.(tier_slot tr) <- t.routed.(tier_slot tr) + 1;
+        (match budget with Some b -> Budget.note_route b tr | None -> ())
+    | None -> ()
   in
   let rec scan entries completed = function
     | [] -> Ok (List.rev entries, completed, None)
-    | (_, _, `Hit e) :: rest -> scan (e :: entries) (completed + 1) rest
+    | (_, _, `Hit e) :: rest ->
+        count_tier e;
+        scan (e :: entries) (completed + 1) rest
     | (key, _, `Solved e) :: rest ->
         Lru.add t.cache key e;
-        (match (budget, t.engine) with
-        | Some b, Enumerate -> Budget.note_component b
+        count_tier e;
+        (* the program paths note kept components inside Core.Engine *)
+        (match (budget, strategy t plan, e.tier) with
+        | Some b, Senum, _ -> Budget.note_component b
+        | Some b, Sroute, Some (Budget.Direct | Budget.Enumerated) ->
+            Budget.note_component b
         | _ -> ());
         scan (e :: entries) (completed + 1) rest
     | (_, _, `Err m) :: _ -> Error m
@@ -303,18 +377,30 @@ let monolithic_repairs ?budget t =
   | None ->
       Result.map
         (fun reps ->
-          Lru.add t.cache key { minimal = reps; states = None };
+          Lru.add t.cache key { minimal = reps; states = None; tier = None };
           reps)
         (Core.Engine.repairs ?budget ?max_decisions:t.max_effort t.d t.ics)
+
+(* [Auto] on an inexact plan solved by enumeration: record the downgrade
+   instead of degrading invisibly. *)
+let note_auto_downgrade ?budget t (plan : Decompose.plan) =
+  match (budget, t.engine, plan.Decompose.product_exact) with
+  | Some b, Auto, false ->
+      Budget.note_degraded b ~stage:"session"
+        "inexact component product (cross-component null covering): auto \
+         engine solved components by enumeration"
+  | _ -> ()
 
 let repairs ?budget t =
   t.requests <- t.requests + 1;
   with_plan ?budget t (fun plan ->
       match plan.Decompose.components with
       | [] -> Ok [ t.d ]
-      | _ when (not plan.Decompose.product_exact) && t.engine = Program ->
+      | _ when (not plan.Decompose.product_exact) && strategy t plan = Sprog
+        ->
           monolithic_repairs ?budget t
       | _ ->
+          note_auto_downgrade ?budget t plan;
           Result.bind (solve_all ?budget t plan)
             (fun (entries, _completed, exhausted) ->
               match exhausted with
@@ -353,11 +439,13 @@ let cqa ?budget ?semantics t q =
               repair_count = 1;
               exhausted = None;
             }
-      | _ when (not plan.Decompose.product_exact) && t.engine = Program ->
+      | _ when (not plan.Decompose.product_exact) && strategy t plan = Sprog
+        ->
           Result.map
             (Query.Cqa.outcome_of_repairs ?semantics ~standard q)
             (monolithic_repairs ?budget t)
       | _ ->
+          note_auto_downgrade ?budget t plan;
           Result.bind (solve_all ?budget t plan)
             (fun (entries, completed, exhausted) ->
               match exhausted with
@@ -365,10 +453,10 @@ let cqa ?budget ?semantics t q =
               | _ ->
                   let minimal = List.map (fun e -> e.minimal) entries in
                   let states =
-                    match t.engine with
-                    | Enumerate ->
+                    match strategy t plan with
+                    | Senum ->
                         Some (List.map (fun e -> Option.get e.states) entries)
-                    | Program -> None
+                    | Sprog | Sroute -> None
                   in
                   Ok
                     (Query.Cqa.factorized_outcome ?semantics ~jobs:t.jobs
@@ -390,6 +478,7 @@ let stats t =
     cache_misses = Lru.misses t.cache;
     cache_evictions = Lru.evictions t.cache;
     cache_entries = Lru.length t.cache;
+    routed = Array.copy t.routed;
   }
 
 let hit_rate (s : stats) =
@@ -400,7 +489,15 @@ let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "@[<h>session: deltas=%d requests=%d plan.reused=%d plan.rebuilt=%d \
      ics.reused=%d ics.fast=%d ics.rescanned=%d cache.hits=%d \
-     cache.misses=%d cache.evictions=%d cache.entries=%d@]"
+     cache.misses=%d cache.evictions=%d cache.entries=%d%t@]"
     s.deltas s.requests s.plan_reuses s.plan_rebuilds s.ics_reused s.ics_fast
     s.ics_rescanned s.cache_hits s.cache_misses s.cache_evictions
     s.cache_entries
+    (fun ppf ->
+      (* the routed segment appears only for the auto engine, so the
+         historical stats line is unchanged elsewhere *)
+      if Array.exists (fun n -> n > 0) s.routed then
+        Fmt.pf ppf
+          " routed.direct=%d routed.shifted=%d routed.disjunctive=%d \
+           routed.enumerate=%d"
+          s.routed.(0) s.routed.(1) s.routed.(2) s.routed.(3))

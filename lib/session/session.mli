@@ -31,6 +31,15 @@ module Lru = Lru
 type engine =
   | Enumerate  (** the model-theoretic search ({!Repair.Enumerate}) *)
   | Program    (** the logic-program engine ({!Core.Engine}) *)
+  | Auto
+      (** route each component to the cheapest sound tier ({!Route.Tier}):
+          the repair-less direct computation, the repair program, or
+          enumeration as last resort.  The routing verdict is stored in
+          the cache entry, so a cache hit re-counts its tier without
+          re-classifying the component.  On an inexact component product
+          the whole plan downgrades to the enumerate strategy (sharing its
+          cache entries), with a degradation note in the request budget's
+          stats. *)
 
 type t
 
@@ -46,6 +55,10 @@ type stats = {
   cache_misses : int;
   cache_evictions : int;
   cache_entries : int;   (** current residency *)
+  routed : int array;
+      (** components served per routing tier (indexed direct, shifted,
+          disjunctive, enumerate), across hits and solves; all zero
+          outside the [Auto] engine *)
 }
 
 val create :

@@ -70,18 +70,26 @@ let fk_workload_det ~n_parent ~n_child ~orphans ~null_refs () =
         ];
   }
 
-let fd_workload ?(seed = 42) ~n ~dup_rate () =
+let fd_workload ?(seed = 42) ?(width = 2) ~n ~dup_rate () =
   let rng = Random.State.make [| seed |] in
+  (* the first conflicting value keeps its historical name so [width = 2]
+     (the default) stays byte-identical to the pre-width generator *)
+  let extra i j =
+    if j = 0 then sym "w" i else Value.str (Printf.sprintf "w%d_%d" j i)
+  in
   let rows =
     List.concat
       (List.init n (fun i ->
            let base = ("R", [ sym "k" i; sym "v" i ]) in
            if Random.State.float rng 1.0 < dup_rate then
-             [ base; ("R", [ sym "k" i; sym "w" i ]) ]
+             base
+             :: List.init (width - 1) (fun j -> ("R", [ sym "k" i; extra i j ]))
            else [ base ]))
   in
   {
-    label = Printf.sprintf "fd n=%d dup=%.2f" n dup_rate;
+    label =
+      (if width = 2 then Printf.sprintf "fd n=%d dup=%.2f" n dup_rate
+       else Printf.sprintf "fd n=%d dup=%.2f width=%d" n dup_rate width);
     d = Instance.of_list rows;
     ics = [ Ic.Builder.functional_dependency ~name:"fd" ~pred:"R" ~arity:2 ~lhs:[ 1 ] ~rhs:2 () ];
   }
@@ -289,6 +297,72 @@ let random_case ?(seed = 42) () =
     |> List.rev
   in
   { label = Printf.sprintf "random seed=%d" seed; d; ics }
+
+let route_case ?(seed = 42) () =
+  (* Like {!random_case}, but the constraint menu is stratified to exercise
+     every routing tier: FDs, denials and NNCs (Direct candidates), UICs
+     and a RIC (Shifted), a bilateral UIC pair (Disjunctive) and a
+     general-existential constraint (Enumerated). *)
+  let rng = Random.State.make [| seed; 0x40e |] in
+  let pool = [| Value.str "a"; Value.str "b"; Value.str "c"; Value.null |] in
+  let pick () = pool.(Random.State.int rng (Array.length pool)) in
+  let tuples pred arity =
+    List.init
+      (Random.State.int rng 4)
+      (fun _ -> (pred, List.init arity (fun _ -> pick ())))
+  in
+  let d =
+    Instance.of_list
+      (tuples "P" 1 @ tuples "Q" 1 @ tuples "R" 2 @ tuples "S" 1)
+  in
+  let menu =
+    [|
+      (fun () ->
+        Ic.Builder.functional_dependency ~name:"fd_r" ~pred:"R" ~arity:2
+          ~lhs:[ 1 ] ~rhs:2 ());
+      (fun () ->
+        Ic.Builder.denial ~name:"no_ps" [ atom "P" [ v "x" ]; atom "S" [ v "x" ] ]);
+      (fun () ->
+        Ic.Builder.denial ~name:"no_sym"
+          [ atom "R" [ v "x"; v "y" ]; atom "R" [ v "y"; v "x" ] ]);
+      (fun () -> Ic.Constr.not_null ~name:"nn_r2" ~pred:"R" ~arity:2 ~pos:2 ());
+      (fun () -> Ic.Constr.not_null ~name:"nn_p1" ~pred:"P" ~arity:1 ~pos:1 ());
+      (fun () ->
+        Ic.Constr.generic ~name:"p_q"
+          ~ante:[ atom "P" [ v "x" ] ]
+          ~cons:[ atom "Q" [ v "x" ] ]
+          ());
+      (fun () ->
+        Ic.Constr.generic ~name:"q_p"
+          ~ante:[ atom "Q" [ v "x" ] ]
+          ~cons:[ atom "P" [ v "x" ] ]
+          ());
+      (fun () ->
+        Ic.Constr.generic ~name:"p_r"
+          ~ante:[ atom "P" [ v "x" ] ]
+          ~cons:[ atom "R" [ v "x"; v "y" ] ]
+          ());
+      (fun () ->
+        Ic.Constr.generic ~name:"pq_r"
+          ~ante:[ atom "P" [ v "x" ]; atom "Q" [ v "x" ] ]
+          ~cons:[ atom "R" [ v "x"; v "y" ] ]
+          ());
+    |]
+  in
+  let n_ics = 1 + Random.State.int rng 3 in
+  let ics =
+    List.init n_ics (fun _ -> menu.(Random.State.int rng (Array.length menu)) ())
+  in
+  let ics =
+    List.fold_left
+      (fun acc ic ->
+        if List.exists (fun ic' -> Ic.Constr.label ic' = Ic.Constr.label ic) acc
+        then acc
+        else ic :: acc)
+      [] ics
+    |> List.rev
+  in
+  { label = Printf.sprintf "route seed=%d" seed; d; ics }
 
 let denial_workload ?(seed = 42) ~n ~viol_rate () =
   let rng = Random.State.make [| seed |] in

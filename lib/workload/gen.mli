@@ -24,9 +24,15 @@ val fk_workload_det :
     carry a null reference (relevant to the FK under classic semantics but
     not under [|=_N]/simple match).  Used by the sweep tables E6-E8. *)
 
-val fd_workload : ?seed:int -> n:int -> dup_rate:float -> unit -> t
-(** [R(key, value)] with the FD [key -> value]; [dup_rate] of the keys get a
-    second, conflicting value. *)
+val fd_workload :
+  ?seed:int -> ?width:int -> n:int -> dup_rate:float -> unit -> t
+(** [R(key, value)] with the FD [key -> value]; [dup_rate] of the keys get
+    [width - 1] (default [1]) extra, pairwise-conflicting values.  A
+    conflicting key is a [width]-clique conflict component with [width]
+    minimal repairs (keep exactly one value), while the enumerate search
+    explores a state space exponential in [width] — the routing fast-path
+    knob of bench table E18.  [width = 2] is byte-identical to the
+    historical generator. *)
 
 val check_workload :
   ?seed:int -> n:int -> viol_rate:float -> null_rate:float -> unit -> t
@@ -71,6 +77,12 @@ val random_case : ?seed:int -> unit -> t
     UICs, a RIC, an FD, NNCs and a denial — the differential-test
     generator comparing decomposed against monolithic repair enumeration
     and CQA. *)
+
+val route_case : ?seed:int -> unit -> t
+(** {!random_case}'s shape with a tier-stratified constraint menu (FDs,
+    denials, NNCs, UICs, a RIC, a bilateral pair, a general-existential
+    constraint) so differential tests of the routing layer draw cases
+    landing on every tier. *)
 
 val denial_workload : ?seed:int -> n:int -> viol_rate:float -> unit -> t
 (** Denial constraint [P(x,y), P(y,x) -> false] (no bilateral predicates:

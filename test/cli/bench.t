@@ -5,12 +5,12 @@ structural and quota-independent):
 
   $ cqanull-bench --json baseline.json --micro --quota 0.005 > /dev/null
   $ cqanull-bench --check-json baseline.json
-  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows)
+  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows)
 
 Stable top-level keys, in order (anchored to top-level indentation, since
 budget rows carry a "decompose" field of their own):
 
-  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel|session)"' baseline.json
+  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel|session|routing)"' baseline.json
     "schema"
     "tool"
     "unit"
@@ -20,6 +20,7 @@ budget rows carry a "decompose" field of their own):
     "budget"
     "parallel"
     "session"
+    "routing"
 
 The solver telemetry carries both engines for each E4 benchmark and every
 counter field is numeric:
@@ -64,11 +65,28 @@ identical flags:
 
   $ grep -c '"name": "E17.session' baseline.json
   1
-  $ grep -c '"identical": "true"' baseline.json
-  4
   $ grep -oE '"(hits|misses)": [0-9]+' baseline.json
   "hits": 40
   "misses": 6
+
+The routing telemetry (E18) runs the Auto method against both decomposed
+materializing engines: three all-direct FD rows (the widest must beat
+decomposed enumeration by >= 10x, guarded by --check-json) and a mixed
+suite that exercises all four tiers in one plan.  Every routing row's
+Auto outcome must be byte-identical to the enumerate oracle — so with
+the three parallel rows and the session row, eight identical flags:
+
+  $ grep -c '"name": "E18.routing' baseline.json
+  4
+  $ grep -c '"routed_direct": 0' baseline.json
+  0
+  [1]
+  $ grep -A4 '"name": "E18.routing.mixed"' baseline.json | tail -3
+        "routed_shifted": 1,
+        "routed_disjunctive": 2,
+        "routed_enumerate": 1,
+  $ grep -c '"identical": "true"' baseline.json
+  8
 
 The checked-in baselines all validate — the PR1 file under the original
 schema, the PR2 file with the decomposition section, the PR3 file with the
@@ -84,6 +102,8 @@ budget counters:
   ../../BENCH_PR4.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows)
   $ cqanull-bench --check-json ../../BENCH_PR5.json
   ../../BENCH_PR5.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows)
+  $ cqanull-bench --check-json ../../BENCH_PR6.json
+  ../../BENCH_PR6.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows)
 
 The regression guard compares the E1/E2 micro rows of the two checked-in
 baselines within a 10x tolerance:
@@ -106,6 +126,18 @@ files carry the section):
   $ cqanull-bench --compare-json ../../BENCH_PR4.json ../../BENCH_PR5.json > compare45.out
   $ tail -1 compare45.out
   compare ok (3 guarded rows, tolerance 10x)
+
+Across the /6 bump it additionally covers the routing section — the auto
+wall-clocks within tolerance, plus two outright contracts on the new
+baseline: every routing row byte-identical to the enumerate oracle, and
+an all-direct FD row at least 10x faster than decomposed enumeration
+(again only when both files carry the section):
+
+  $ cqanull-bench --compare-json ../../BENCH_PR5.json ../../BENCH_PR6.json > compare56.out
+  $ tail -1 compare56.out
+  compare ok (3 guarded rows, tolerance 10x)
+  $ cqanull-bench --compare-json baseline.json baseline.json | grep -c '^routing E18'
+  4
 
 Malformed input is rejected:
 
@@ -144,4 +176,18 @@ Same in both directions for the session section new in /5:
   $ echo '{"schema": "cqanull-bench/5", "tool": "x", "unit": "ns", "micro": [], "solver": [], "decompose": [], "budget": [], "parallel": [{"name": "p", "k": 1, "weight": 1, "jobs": 1, "cores": 1, "repairs": 1, "wall_ms": 1.0, "identical": "true"}, {"name": "p4", "k": 1, "weight": 1, "jobs": 4, "cores": 1, "repairs": 1, "wall_ms": 1.0, "identical": "true"}], "session": []}' > empty5.json
   $ cqanull-bench --check-json empty5.json
   empty5.json: empty session section
+  [1]
+
+Same in both directions for the routing section new in /6, and the fast-path
+guard rejects a /6 baseline whose all-direct FD row no longer beats
+decomposed enumeration by 10x:
+
+  $ echo '{"schema": "cqanull-bench/5", "routing": [], "tool": "x", "unit": "ns", "micro": [], "solver": [], "decompose": [], "budget": [], "parallel": [{"name": "p", "k": 1, "weight": 1, "jobs": 1, "cores": 1, "repairs": 1, "wall_ms": 1.0, "identical": "true"}, {"name": "p4", "k": 1, "weight": 1, "jobs": 4, "cores": 1, "repairs": 1, "wall_ms": 1.0, "identical": "true"}], "session": [{"name": "s", "k": 1, "deltas": 1, "requests": 2, "hits": 2, "misses": 0, "evictions": 0, "hit_rate": 1.0, "incremental_ms": 1.0, "cold_ms": 1.0, "identical": "true"}]}' > drift6.json
+  $ cqanull-bench --check-json drift6.json
+  drift6.json: section "routing" requires schema cqanull-bench/6
+  [1]
+
+  $ sed 's/"speedup_vs_enumerate": [0-9.]*/"speedup_vs_enumerate": 2.0/g' baseline.json > slow6.json
+  $ cqanull-bench --check-json slow6.json
+  slow6.json: no all-direct routing row beats decomposed enumeration by >= 10x
   [1]

@@ -89,7 +89,10 @@ CQA by cautious reasoning (no repairs materialized):
   consistent: {(21, c15)}
 
 Decomposed CQA agrees with the monolithic run and reports budget stats
-(elapsed wall-clock is nondeterministic, so it is masked):
+(elapsed wall-clock is nondeterministic, so it is masked).  The default
+method is now auto, so the stats also show where the router sent the one
+conflict component — the referential constraint makes it head-cycle-free
+but not deletion-only, hence the shifted program tier:
 
   $ cqanull cqa example.cqa --query courses --decompose --stats | sed 's/elapsed_ms=[0-9]*/elapsed_ms=N/'
   query courses: {(I, C) | Course(I, C)}
@@ -98,6 +101,18 @@ Decomposed CQA agrees with the monolithic run and reports budget stats
   standard:   {(21, c15), (34, c18)}
   repairs:    2
   stats: decisions=2 states=0 components_solved=1 elapsed_ms=N
+  routed: direct=0 shifted=1 disjunctive=0 enumerate=0
+
+Spelling the default out as --method auto gives the same routed answers:
+
+  $ cqanull cqa example.cqa --query courses --method auto --stats | sed 's/elapsed_ms=[0-9]*/elapsed_ms=N/'
+  query courses: {(I, C) | Course(I, C)}
+  consistent: {(21, c15)}
+  possible:   {(21, c15), (34, c18)}
+  standard:   {(21, c15), (34, c18)}
+  repairs:    2
+  stats: decisions=2 states=0 components_solved=1 elapsed_ms=N
+  routed: direct=0 shifted=1 disjunctive=0 enumerate=0
 
   $ cqanull repairs example.cqa --engine enumerate --decompose --stats | tail -n 2 | sed 's/elapsed_ms=[0-9]*/elapsed_ms=N/'
   2 repair(s)

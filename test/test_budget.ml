@@ -82,6 +82,7 @@ let methods =
     ("model-theoretic", Cqa.ModelTheoretic);
     ("logic-program", Cqa.LogicProgram);
     ("cautious", Cqa.CautiousProgram);
+    ("auto", Cqa.Auto);
   ]
 
 let observe name f =
@@ -207,7 +208,8 @@ let qcheck_no_escape =
                     (match method_ with
                     | Cqa.ModelTheoretic -> "mt"
                     | Cqa.LogicProgram -> "lp"
-                    | Cqa.CautiousProgram -> "cautious")
+                    | Cqa.CautiousProgram -> "cautious"
+                    | Cqa.Auto -> "auto")
                     decompose tiny (Printexc.to_string e))
             [ false; true ])
         methods)

@@ -223,7 +223,9 @@ let queries =
 
 let cold_repairs engine d ics =
   match engine with
-  | Session.Enumerate -> (
+  (* the routing engine's repair sets are byte-identical to the
+     model-theoretic decomposed engine's, so Auto shares its oracle *)
+  | Session.Enumerate | Session.Auto -> (
       match Enumerate.repairs ~max_states:50_000 ~decompose:true d ics with
       | reps -> Ok reps
       | exception Enumerate.Budget_exceeded n ->
@@ -241,6 +243,7 @@ let same_outcome (a : Query.Cqa.outcome) (b : Query.Cqa.outcome) =
 let method_of = function
   | Session.Enumerate -> Query.Cqa.ModelTheoretic
   | Session.Program -> Query.Cqa.LogicProgram
+  | Session.Auto -> Query.Cqa.Auto
 
 (* one random case: create the session, fold in [steps] random batches,
    and after each batch compare session repairs (byte order included) and
@@ -300,7 +303,8 @@ let run_differential engine ~check_cqa seed =
       QCheck.Test.fail_reportf "session vs cold (%s): %s on %s"
         (match engine with
         | Session.Enumerate -> "enumerate"
-        | Session.Program -> "program")
+        | Session.Program -> "program"
+        | Session.Auto -> "auto")
         what w.Gen.label
 
 let diff_session_enum_repairs =
@@ -330,6 +334,20 @@ let diff_session_prog_cqa =
     ~count:60
     QCheck.(int_bound 1_000_000)
     (run_differential Session.Program ~check_cqa:true)
+
+let diff_session_auto_repairs =
+  QCheck.Test.make
+    ~name:"session repairs = cold decomposed, auto (100 cases)"
+    ~count:100
+    QCheck.(int_bound 1_000_000)
+    (run_differential Session.Auto ~check_cqa:false)
+
+let diff_session_auto_cqa =
+  QCheck.Test.make
+    ~name:"session cqa = cold decomposed cqa, auto (60 cases)"
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (run_differential Session.Auto ~check_cqa:true)
 
 (* ------------------------------------------------------------------ *)
 (* Cache behavior on the clusters workload *)
@@ -451,5 +469,7 @@ let () =
             diff_session_prog_repairs;
             diff_session_enum_cqa;
             diff_session_prog_cqa;
+            diff_session_auto_repairs;
+            diff_session_auto_cqa;
           ] );
     ]
