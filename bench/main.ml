@@ -12,6 +12,8 @@
      dune exec bench/main.exe -- --check-json BENCH_PR2.json
          # validate a baseline file: well-formed, stable keys, numeric fields
      --quota SECONDS   Bechamel measurement quota per benchmark (default 0.25)
+     --scale N         instance size for the E19 scale telemetry rows
+                       (default 20000; the committed baseline uses 1000000)
 *)
 
 let micro_tests () =
@@ -421,8 +423,115 @@ let routing_telemetry () =
     row "E18.routing.mixed" mixed;
   ]
 
+(* E19: large-instance scaling of the columnar interned storage — wall
+   clocks and tuples/sec for bulk load, full |=_N checking and consistent
+   query answering, plus the incremental-vs-full delta check ratio and the
+   resident set size.  Two rows per run: n/10 and n, so a --scale 1000000
+   baseline carries both the 10^5 row the >= 10x delta guard engages on
+   and the 10^6 row of the headline claim. *)
+let scale_telemetry ~scale () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let rss_mb () =
+    (* Linux-only telemetry; 0.0 where /proc is absent. *)
+    try
+      In_channel.with_open_text "/proc/self/status" (fun ic ->
+          let rec go () =
+            match In_channel.input_line ic with
+            | None -> 0.0
+            | Some line ->
+                if String.length line > 6 && String.sub line 0 6 = "VmRSS:"
+                then
+                  Scanf.sscanf
+                    (String.sub line 6 (String.length line - 6))
+                    " %d" (fun kb -> float_of_int kb /. 1024.)
+                else go ()
+          in
+          go ())
+    with Sys_error _ | Scanf.Scan_failure _ | End_of_file -> 0.0
+  in
+  let query =
+    Query.Qsyntax.make ~head:[ "x" ]
+      (Query.Qsyntax.Exists
+         ( [ "y" ],
+           Query.Qsyntax.Atom
+             (Ic.Patom.make "S" [ Ic.Term.var "x"; Ic.Term.var "y" ]) ))
+  in
+  let row n =
+    let w = Workload.Gen.scale_workload ~tuples:n () in
+    let ics = w.Workload.Gen.ics in
+    let atoms = Relational.Instance.atoms w.Workload.Gen.d in
+    let d, load_ms = time (fun () -> Relational.Instance.of_atoms atoms) in
+    let violations, check_ms =
+      time (fun () -> Semantics.Nullsat.check d ics)
+    in
+    let outcome, cqa_ms =
+      time (fun () ->
+          Query.Cqa.consistent_answers ~method_:Query.Cqa.Auto d ics query)
+    in
+    let answers =
+      match outcome with
+      | Ok a -> Relational.Tuple.Set.cardinal a.Query.Cqa.consistent
+      | Error _ -> 0
+    in
+    (* A small update batch against the loaded instance: one deleted parent
+       and two fresh inserts, checked incrementally (probes seeded on the
+       delta) against a full re-check of the updated instance.  One
+       unmeasured warm-up pass first, so the ratio compares steady states
+       rather than charging the incremental side the one-time lazy
+       construction of the postings its seeds probe. *)
+    let mk p vs = Relational.Atom.make p vs in
+    let inserted =
+      [
+        mk "R" [ Relational.Value.int 999_999_999; Relational.Value.str "oz" ];
+        mk "S" [ Relational.Value.int 2_000_000_000; Relational.Value.int 0 ];
+      ]
+    in
+    let deleted = [ List.hd atoms ] in
+    let before = Semantics.Nullsat.canonical_violations violations in
+    let d' =
+      List.fold_left
+        (fun d a -> Relational.Instance.add a d)
+        (List.fold_left
+           (fun d a -> Relational.Instance.remove a d)
+           d deleted)
+        inserted
+    in
+    ignore (Semantics.Nullsat.check_delta ~before ~inserted ~deleted d' ics);
+    let full, delta_full_ms =
+      time (fun () ->
+          Semantics.Nullsat.canonical_violations
+            (Semantics.Nullsat.check d' ics))
+    in
+    let (incr, _stats), delta_incr_ms =
+      time (fun () ->
+          Semantics.Nullsat.check_delta ~before ~inserted ~deleted d' ics)
+    in
+    let identical =
+      List.length full = List.length incr
+      && List.for_all2
+           (fun a b -> Semantics.Nullsat.compare_violation a b = 0)
+           full incr
+    in
+    let tps ms = if ms > 0.0 then float_of_int n /. (ms /. 1000.) else 0.0 in
+    ( Printf.sprintf "E19.scale.n%d" n,
+      n,
+      (load_ms, tps load_ms),
+      (check_ms, tps check_ms),
+      (cqa_ms, tps cqa_ms),
+      (delta_full_ms, delta_incr_ms),
+      identical,
+      List.length violations,
+      answers,
+      rss_mb () )
+  in
+  [ row (max 1_000 (scale / 10)); row scale ]
+
 let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
-    session_rows routing_rows =
+    session_rows routing_rows scale_rows =
   let open Table in
   let micro_rows =
     List.map
@@ -532,10 +641,38 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
           ])
       routing_rows
   in
+  let scale_json =
+    List.map
+      (fun ( name, n, (load_ms, load_tps), (check_ms, check_tps),
+             (cqa_ms, cqa_tps), (delta_full_ms, delta_incr_ms), identical,
+             violations, answers, rss ) ->
+        Obj
+          [
+            ("name", Str name);
+            ("n", Int n);
+            ("load_ms", Num load_ms);
+            ("load_tps", Num load_tps);
+            ("check_ms", Num check_ms);
+            ("check_tps", Num check_tps);
+            ("cqa_ms", Num cqa_ms);
+            ("cqa_tps", Num cqa_tps);
+            ("delta_full_ms", Num delta_full_ms);
+            ("delta_incr_ms", Num delta_incr_ms);
+            ( "delta_speedup",
+              Num
+                (if delta_incr_ms > 0.0 then delta_full_ms /. delta_incr_ms
+                 else 0.0) );
+            ("delta_identical", Str (if identical then "true" else "false"));
+            ("violations", Int violations);
+            ("answers", Int answers);
+            ("rss_mb", Num rss);
+          ])
+      scale_rows
+  in
   let doc =
     Obj
       [
-        ("schema", Str "cqanull-bench/6");
+        ("schema", Str "cqanull-bench/7");
         ("tool", Str "bench/main.exe --json");
         ("unit", Str "ns/run");
         ("micro", Arr micro_rows);
@@ -545,11 +682,12 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
         ("parallel", Arr parallel_json);
         ("session", Arr session_json);
         ("routing", Arr routing_json);
+        ("scale", Arr scale_json);
       ]
   in
   Out_channel.with_open_text path (fun oc -> output_string oc (emit doc));
   Printf.printf
-    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows)\n"
+    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows)\n"
     path
     (List.length micro_rows)
     (List.length telemetry_rows)
@@ -558,6 +696,7 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
     (List.length parallel_json)
     (List.length session_json)
     (List.length routing_json)
+    (List.length scale_json)
 
 (* --check-json: the baseline format's self-test.  Guards the stable keys
    and the numeric fields so the file future PRs diff against cannot drift
@@ -596,7 +735,8 @@ let check_json path =
   let schema = str_field doc "schema" in
   (match schema with
   | "cqanull-bench/1" | "cqanull-bench/2" | "cqanull-bench/3"
-  | "cqanull-bench/4" | "cqanull-bench/5" | "cqanull-bench/6" -> ()
+  | "cqanull-bench/4" | "cqanull-bench/5" | "cqanull-bench/6"
+  | "cqanull-bench/7" -> ()
   | s -> fail (Printf.sprintf "unknown schema %S" s));
   ignore (str_field doc "tool");
   ignore (str_field doc "unit");
@@ -658,7 +798,7 @@ let check_json path =
   let budget =
     match schema with
     | "cqanull-bench/3" | "cqanull-bench/4" | "cqanull-bench/5"
-    | "cqanull-bench/6" ->
+    | "cqanull-bench/6" | "cqanull-bench/7" ->
         arr_field doc "budget"
     | _ -> []
   in
@@ -697,7 +837,7 @@ let check_json path =
      (domains contending for one core). *)
   (if
      schema <> "cqanull-bench/4" && schema <> "cqanull-bench/5"
-     && schema <> "cqanull-bench/6"
+     && schema <> "cqanull-bench/6" && schema <> "cqanull-bench/7"
    then begin
      if Table.member "parallel" doc <> None then
        fail "section \"parallel\" requires schema cqanull-bench/4"
@@ -749,7 +889,10 @@ let check_json path =
      serving (> 0.5 hit rate on the scripted mix) and the correctness
      contract holding — identical session and cold answers on every
      request. *)
-  (if schema <> "cqanull-bench/5" && schema <> "cqanull-bench/6" then begin
+  (if
+     schema <> "cqanull-bench/5" && schema <> "cqanull-bench/6"
+     && schema <> "cqanull-bench/7"
+   then begin
      if Table.member "session" doc <> None then
        fail "section \"session\" requires schema cqanull-bench/5"
    end
@@ -788,7 +931,7 @@ let check_json path =
      the byte-identity contract with the enumerate oracle; at least one
      all-direct FD row must beat decomposed enumeration by >= 10x — the
      fast-path claim as a checked fact, not prose. *)
-  (if schema <> "cqanull-bench/6" then begin
+  (if schema <> "cqanull-bench/6" && schema <> "cqanull-bench/7" then begin
      if Table.member "routing" doc <> None then
        fail "section \"routing\" requires schema cqanull-bench/6"
    end
@@ -835,6 +978,53 @@ let check_json path =
      if not fast_path_holds then
        fail
          "no all-direct routing row beats decomposed enumeration by >= 10x");
+  (* /7 adds the large-instance scale telemetry.  Exclusive to /7 in both
+     directions, like the earlier sections.  Every row must report positive
+     wall-clocks and throughputs and hold the incremental-check contract
+     ([delta_identical], checked data); rows at n >= 10^5 must additionally
+     show the delta-seeded incremental check beating the full re-check by
+     >= 10x — the indexed-maintenance claim as a checked fact, not prose.
+     Smaller rows are exempt: at cram-sized instances both clocks sit in
+     the sub-millisecond noise floor. *)
+  (if schema <> "cqanull-bench/7" then begin
+     if Table.member "scale" doc <> None then
+       fail "section \"scale\" requires schema cqanull-bench/7"
+   end
+   else
+     let scale = arr_field doc "scale" in
+     if scale = [] then fail "empty scale section";
+     List.iter
+       (fun row ->
+         let name = str_field row "name" in
+         let n = int_field row "n" in
+         if n < 1 then fail (Printf.sprintf "non-positive n in %S" name);
+         List.iter
+           (fun key ->
+             if num_field row key <= 0.0 then
+               fail (Printf.sprintf "non-positive %S in %S" key name))
+           [ "load_ms"; "load_tps"; "check_ms"; "check_tps"; "cqa_ms";
+             "cqa_tps"; "delta_full_ms"; "delta_incr_ms" ];
+         List.iter
+           (fun key ->
+             if int_field row key < 0 then
+               fail (Printf.sprintf "negative field %S in %S" key name))
+           [ "violations"; "answers" ];
+         if num_field row "rss_mb" < 0.0 then
+           fail (Printf.sprintf "negative rss_mb in %S" name);
+         (match str_field row "delta_identical" with
+         | "true" -> ()
+         | "false" ->
+             fail
+               (Printf.sprintf
+                  "incremental check in %S diverged from the full re-check"
+                  name)
+         | s -> fail (Printf.sprintf "non-boolean delta_identical %S in %S" s name));
+         if n >= 100_000 && num_field row "delta_speedup" < 10.0 then
+           fail
+             (Printf.sprintf
+                "delta speedup %.2fx below 10x at n=%d in %S"
+                (num_field row "delta_speedup") n name))
+       scale);
   match schema with
   | "cqanull-bench/1" ->
       Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
@@ -867,7 +1057,7 @@ let check_json path =
           (List.length decompose) (List.length budget)
           (List.length (rows "parallel"))
           (List.length (rows "session"))
-      else
+      else if schema = "cqanull-bench/6" then
         Printf.printf
           "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows)\n"
           path (List.length micro) (List.length solver)
@@ -875,6 +1065,15 @@ let check_json path =
           (List.length (rows "parallel"))
           (List.length (rows "session"))
           (List.length (rows "routing"))
+      else
+        Printf.printf
+          "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows)\n"
+          path (List.length micro) (List.length solver)
+          (List.length decompose) (List.length budget)
+          (List.length (rows "parallel"))
+          (List.length (rows "session"))
+          (List.length (rows "routing"))
+          (List.length (rows "scale"))
 
 (* --compare-json OLD NEW: regression guard over the micro rows both files
    share in the E1/E2 families.  Bechamel estimates from ~5ms cram quotas
@@ -1040,6 +1239,69 @@ let compare_json ~tolerance old_path new_path =
           old_rows
     | _ -> ()
   in
+  (* Scale telemetry carries across baselines only when both files have it
+     (the section is new in cqanull-bench/7): the load/check/cqa wall-clocks
+     are guarded per shared row name with the micro-row tolerance, and a
+     new baseline with a diverged incremental check, or one that lost the
+     >= 10x delta speedup at n >= 10^5 the old baseline demonstrated, fails
+     outright — both are contracts, not perf numbers. *)
+  let scale_guard old_doc new_doc =
+    match (Table.member "scale" old_doc, Table.member "scale" new_doc) with
+    | Some (Table.Arr old_rows), Some (Table.Arr new_rows) ->
+        let num row key =
+          match Table.member key row with
+          | Some (Table.Num f) -> Some f
+          | Some (Table.Int i) -> Some (float_of_int i)
+          | _ -> None
+        in
+        List.iter
+          (fun row ->
+            match Table.member "delta_identical" row with
+            | Some (Table.Str "true") -> ()
+            | _ -> fail "new baseline has a diverged scale row")
+          new_rows;
+        let big_speedup rows =
+          List.exists
+            (fun row ->
+              match (num row "n", num row "delta_speedup") with
+              | Some n, Some s -> n >= 100_000.0 && s >= 10.0
+              | _ -> false)
+            rows
+        in
+        if big_speedup old_rows && not (big_speedup new_rows) then
+          fail
+            "new baseline's incremental check no longer beats the full \
+             re-check by >= 10x at n >= 100000";
+        let find rows name key =
+          List.find_map
+            (fun row ->
+              match Table.member "name" row with
+              | Some (Table.Str n) when n = name -> num row key
+              | _ -> None)
+            rows
+        in
+        List.iter
+          (fun row ->
+            match Table.member "name" row with
+            | Some (Table.Str name) ->
+                List.iter
+                  (fun key ->
+                    match (find old_rows name key, find new_rows name key) with
+                    | Some old_ms, Some new_ms ->
+                        Printf.printf "scale %-18s %-12s %.1f -> %.1f ms (%.2fx)\n"
+                          name key old_ms new_ms
+                          (if old_ms > 0.0 then new_ms /. old_ms else 0.0);
+                        if old_ms > 0.0 && new_ms > tolerance *. old_ms then
+                          fail
+                            (Printf.sprintf
+                               "scale %s %s regressed beyond %.0fx tolerance"
+                               name key tolerance)
+                    | _ -> ())
+                  [ "load_ms"; "check_ms"; "cqa_ms" ]
+            | _ -> ())
+          old_rows
+    | _ -> ()
+  in
   let micro_map doc =
     match Table.member "micro" doc with
     | Some (Table.Arr rows) ->
@@ -1085,6 +1347,7 @@ let compare_json ~tolerance old_path new_path =
   parallel_guard old_doc new_doc;
   session_guard old_doc new_doc;
   routing_guard old_doc new_doc;
+  scale_guard old_doc new_doc;
   match regressions with
   | [] ->
       Printf.printf "compare ok (%d guarded rows, tolerance %.0fx)\n"
@@ -1096,29 +1359,39 @@ let compare_json ~tolerance old_path new_path =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse acc_names micro json check cmp quota = function
-    | [] -> (List.rev acc_names, micro, json, check, cmp, quota)
-    | "--micro" :: rest -> parse acc_names true json check cmp quota rest
+  let rec parse acc_names micro json check cmp quota scale = function
+    | [] -> (List.rev acc_names, micro, json, check, cmp, quota, scale)
+    | "--micro" :: rest -> parse acc_names true json check cmp quota scale rest
     | "--json" :: file :: rest ->
-        parse acc_names micro (Some file) check cmp quota rest
+        parse acc_names micro (Some file) check cmp quota scale rest
     | "--check-json" :: file :: rest ->
-        parse acc_names micro json (Some file) cmp quota rest
+        parse acc_names micro json (Some file) cmp quota scale rest
     | "--compare-json" :: old_file :: new_file :: rest ->
-        parse acc_names micro json check (Some (old_file, new_file)) quota rest
+        parse acc_names micro json check (Some (old_file, new_file)) quota
+          scale rest
     | "--quota" :: q :: rest -> (
         match float_of_string_opt q with
-        | Some q when q > 0.0 -> parse acc_names micro json check cmp q rest
+        | Some q when q > 0.0 ->
+            parse acc_names micro json check cmp q scale rest
         | _ ->
             Printf.eprintf "invalid --quota %S\n" q;
             exit 2)
-    | ("--json" | "--check-json" | "--quota") :: []
+    | "--scale" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 10 ->
+            parse acc_names micro json check cmp quota n rest
+        | _ ->
+            Printf.eprintf "invalid --scale %S\n" n;
+            exit 2)
+    | ("--json" | "--check-json" | "--quota" | "--scale") :: []
     | "--compare-json" :: ([] | [ _ ]) ->
         Printf.eprintf "missing argument\n";
         exit 2
-    | name :: rest -> parse (name :: acc_names) micro json check cmp quota rest
+    | name :: rest ->
+        parse (name :: acc_names) micro json check cmp quota scale rest
   in
-  let selected, micro, json, check, cmp, quota =
-    parse [] false None None None 0.25 args
+  let selected, micro, json, check, cmp, quota, scale =
+    parse [] false None None None 0.25 20_000 args
   in
   match (check, cmp) with
   | Some file, _ -> check_json file
@@ -1157,4 +1430,5 @@ let () =
             (decompose_telemetry ()) (budget_telemetry ())
             (parallel_telemetry ()) (session_telemetry ())
             (routing_telemetry ())
+            (scale_telemetry ~scale ())
       | None -> ()

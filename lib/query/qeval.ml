@@ -121,7 +121,7 @@ let holds ?(semantics = NullAsConstant) d theta formula =
 (* all free variables of the body are enumerated (non-head free variables
    are implicitly existentially quantified); the answer projects to the
    head *)
-let answers ?semantics d (q : Qsyntax.t) =
+let answers_enum ?semantics d (q : Qsyntax.t) =
   let dom = domain d q.Qsyntax.body in
   let free = Qsyntax.free_vars q.Qsyntax.body in
   let rec enumerate theta = function
@@ -138,6 +138,60 @@ let answers ?semantics d (q : Qsyntax.t) =
           dom
   in
   Relational.Tuple.Set.of_list (enumerate Assign.empty free)
+
+(* Join-driven evaluation for the factorizable fragment (positive
+   existential conjunctive bodies whose every variable occurs in a
+   database atom, {!Qsafe.factorizable}): instead of enumerating the
+   active domain to the power of the free variables — O(|adom|^k),
+   infeasible beyond toy instances — enumerate the antecedent-style join
+   of the body's atoms through the instance's hash indexes and filter with
+   the built-ins / [IsNull]s.  Equivalent to {!answers_enum} on this
+   fragment: every satisfying domain assignment must match all atoms (the
+   body conjoins them), so it is produced by the join, and join bindings
+   draw from tuple values, hence from the domain.  Repeated variable names
+   under nested quantifiers collapse to equality in both evaluators
+   ([Assign.bind] refuses conflicting rebinds). *)
+let answers_join semantics d (q : Qsyntax.t) =
+  let atoms = Qsyntax.atoms q.Qsyntax.body in
+  let builtins = ref [] and isnulls = ref [] in
+  let rec collect = function
+    | Qsyntax.Atom _ -> ()
+    | Qsyntax.Builtin b -> builtins := b :: !builtins
+    | Qsyntax.IsNull t -> isnulls := t :: !isnulls
+    | Qsyntax.And (f, g) ->
+        collect f;
+        collect g
+    | Qsyntax.Exists (_, f) -> collect f
+    | Qsyntax.Or _ | Qsyntax.Not _ | Qsyntax.Forall _ ->
+        invalid_arg "Qeval.answers_join: not factorizable"
+  in
+  collect q.Qsyntax.body;
+  let builtins = !builtins and isnulls = !isnulls in
+  let acc = ref Relational.Tuple.Set.empty in
+  Assign.iter_join_with_witness d Assign.empty atoms ~f:(fun theta _ ->
+      if
+        List.for_all (fun b -> eval_builtin semantics theta b) builtins
+        && List.for_all
+             (fun t ->
+               match Assign.value_of_term theta t with
+               | Some v -> Value.is_null v
+               | None -> invalid_arg "Qeval: unbound variable under IsNull")
+             isnulls
+      then
+        acc :=
+          Relational.Tuple.Set.add
+            (Relational.Tuple.make
+               (List.map (Assign.lookup_exn theta) q.Qsyntax.head))
+            !acc);
+  !acc
+
+let answers ?semantics d (q : Qsyntax.t) =
+  match semantics with
+  | Some NullAware -> answers_enum ?semantics d q
+  | (None | Some NullAsConstant | Some SqlLike) when
+      Qsafe.factorizable q.Qsyntax.body ->
+      answers_join (Option.value ~default:NullAsConstant semantics) d q
+  | _ -> answers_enum ?semantics d q
 
 let boolean ?semantics d q =
   if not (Qsyntax.is_boolean q) then

@@ -46,7 +46,15 @@ val answers :
   Qsyntax.t ->
   Relational.Tuple.Set.t
 (** Head-variable bindings satisfying the query body.  For a boolean query
-    the result is either empty or the singleton empty tuple. *)
+    the result is either empty or the singleton empty tuple.
+
+    Factorizable bodies ({!Qsafe.factorizable}) under [NullAsConstant] or
+    [SqlLike] are evaluated by joining the body's atoms through the
+    instance's hash indexes and filtering with built-ins/[IsNull] —
+    linear-ish in the matching tuples instead of [|adom|^k] — which is what
+    makes consistent answers over millions of tuples feasible; the
+    active-domain enumeration remains for the general fragment and is the
+    property-tested reference. *)
 
 val boolean :
   ?semantics:semantics -> Relational.Instance.t -> Qsyntax.t -> bool

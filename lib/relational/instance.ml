@@ -1,103 +1,830 @@
 module Smap = Map.Make (String)
+module Iset = Set.Make (Int)
+module Vset = Set.Make (Value)
 
-type t = Tuple.Set.t Smap.t
+(* ------------------------------------------------------------------ *)
+(* The historical representation: a functional map of tuple sets.  It is
+   the qcheck oracle the columnar implementation below is differentially
+   tested against (500+ cases over every operation of the interface), and
+   its operational semantics — iteration order, comparison order, printed
+   form — is the contract the columnar code must reproduce byte for
+   byte. *)
 
-let empty = Smap.empty
-let is_empty d = Smap.for_all (fun _ ts -> Tuple.Set.is_empty ts) d
+module Naive = struct
+  type t = Tuple.Set.t Smap.t
+
+  let empty = Smap.empty
+  let is_empty d = Smap.for_all (fun _ ts -> Tuple.Set.is_empty ts) d
+
+  let add a d =
+    let p = Atom.pred a and t = Atom.args a in
+    let prev = Option.value ~default:Tuple.Set.empty (Smap.find_opt p d) in
+    Smap.add p (Tuple.Set.add t prev) d
+
+  let remove a d =
+    let p = Atom.pred a and t = Atom.args a in
+    match Smap.find_opt p d with
+    | None -> d
+    | Some ts ->
+        let ts = Tuple.Set.remove t ts in
+        if Tuple.Set.is_empty ts then Smap.remove p d else Smap.add p ts d
+
+  let mem a d =
+    match Smap.find_opt (Atom.pred a) d with
+    | None -> false
+    | Some ts -> Tuple.Set.mem (Atom.args a) ts
+
+  let of_atoms atoms = List.fold_left (fun d a -> add a d) empty atoms
+  let of_list l = of_atoms (List.map (fun (p, vs) -> Atom.make p vs) l)
+
+  let fold f d acc =
+    Smap.fold
+      (fun p ts acc ->
+        Tuple.Set.fold (fun t acc -> f (Atom.of_tuple p t) acc) ts acc)
+      d acc
+
+  let iter f d = fold (fun a () -> f a) d ()
+  let atoms d = List.rev (fold (fun a acc -> a :: acc) d [])
+  let atom_set d = fold Atom.Set.add d Atom.Set.empty
+
+  let filter f d =
+    Smap.filter_map
+      (fun p ts ->
+        let ts = Tuple.Set.filter (fun t -> f (Atom.of_tuple p t)) ts in
+        if Tuple.Set.is_empty ts then None else Some ts)
+      d
+
+  let cardinal d = Smap.fold (fun _ ts n -> n + Tuple.Set.cardinal ts) d 0
+
+  let preds d =
+    Smap.fold
+      (fun p ts acc -> if Tuple.Set.is_empty ts then acc else p :: acc)
+      d []
+    |> List.rev
+
+  let tuples d p = Option.value ~default:Tuple.Set.empty (Smap.find_opt p d)
+
+  let merge_with op a b =
+    Smap.merge
+      (fun _ x y ->
+        let x = Option.value ~default:Tuple.Set.empty x in
+        let y = Option.value ~default:Tuple.Set.empty y in
+        let r = op x y in
+        if Tuple.Set.is_empty r then None else Some r)
+      a b
+
+  let union = merge_with Tuple.Set.union
+  let diff = merge_with Tuple.Set.diff
+  let inter = merge_with Tuple.Set.inter
+  let symdiff a b = union (diff a b) (diff b a)
+  let subset a b = Smap.for_all (fun p ts -> Tuple.Set.subset ts (tuples b p)) a
+  let compare a b = Smap.compare Tuple.Set.compare a b
+  let equal a b = compare a b = 0
+
+  let active_domain d =
+    let vs =
+      fold
+        (fun a acc ->
+          Array.fold_left (fun acc v -> Vset.add v acc) acc (Atom.args a))
+        d Vset.empty
+    in
+    Vset.elements vs
+
+  let active_domain_non_null d =
+    List.filter (fun v -> not (Value.is_null v)) (active_domain d)
+
+  let null_count d =
+    fold
+      (fun a n ->
+        Array.fold_left
+          (fun n v -> if Value.is_null v then n + 1 else n)
+          n (Atom.args a))
+      d 0
+
+  let pp ppf d = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Atom.pp) (atoms d)
+
+  let pp_inline ppf d =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Atom.pp) (atoms d)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Columnar representation.
+
+   A relation is an immutable {e segment} — tuples interned through
+   {!Symtab} and stored as per-attribute int columns, sorted by
+   [Tuple.compare] and deduplicated, with lazily built hash indexes — plus
+   a persistent overlay: a set of deleted segment row ids and a functional
+   set of extra tuples.  Bulk loads ([of_atoms]) build segments directly;
+   the functional [add]/[remove] of the repair search only touch the
+   overlay (and compact it into a fresh segment once it outgrows the
+   segment), so the interface stays persistent while membership, attribute
+   probes and per-relation scans on large instances run on int arrays.
+
+   Invariants:
+   - segment rows are sorted by [Tuple.compare] and pairwise distinct;
+   - [extra] never contains a segment row (re-adding a deleted row shrinks
+     [del] instead), so merged iteration needs no equality case;
+   - [ndel]/[nextra] mirror the overlay cardinals;
+   - the per-predicate map never holds an empty relation. *)
+
+type seg = {
+  arity : int;
+  nrows : int;
+  cols : int array array; (* [arity] columns of [nrows] codes *)
+  seg_nulls : int; (* null occurrences across all rows *)
+  row_index : (int, int list) Hashtbl.t option Atomic.t;
+      (* row hash -> ascending row ids *)
+  attr_index : (int, int list) Hashtbl.t option Atomic.t array;
+      (* per column: code -> ascending row ids *)
+  seg_codes : Iset.t option Atomic.t; (* distinct codes in the segment *)
+  lock : Mutex.t; (* serializes lazy index construction across domains *)
+}
+
+type rel = { seg : seg; del : Iset.t; ndel : int; extra : Tuple.Set.t; nextra : int }
+
+type t = {
+  rels : rel Smap.t;
+  mutable adom_memo : Value.t list option;
+  mutable nulls_memo : int option;
+}
+
+let empty_seg =
+  {
+    arity = 0;
+    nrows = 0;
+    cols = [||];
+    seg_nulls = 0;
+    row_index = Atomic.make None;
+    attr_index = [||];
+    seg_codes = Atomic.make None;
+    lock = Mutex.create ();
+  }
+
+let mk rels = { rels; adom_memo = None; nulls_memo = None }
+let empty = mk Smap.empty
+let is_empty d = Smap.is_empty d.rels
+
+(* Below this many rows a relation stays a plain tuple set: the repair
+   search churns through thousands of tiny instances where interning and
+   column allocation would only cost. *)
+let seg_min = 8
+
+let seg_row seg i =
+  Array.init seg.arity (fun j -> Symtab.value seg.cols.(j).(i))
+
+let row_hash seg i =
+  let h = ref 17 in
+  for j = 0 to seg.arity - 1 do
+    h := (!h * 31) + seg.cols.(j).(i)
+  done;
+  !h land max_int
+
+let codes_hash codes =
+  let h = ref 17 in
+  Array.iter (fun c -> h := (!h * 31) + c) codes;
+  !h land max_int
+
+let force_index cell seg build =
+  match Atomic.get cell with
+  | Some tbl -> tbl
+  | None ->
+      Mutex.lock seg.lock;
+      let tbl =
+        match Atomic.get cell with
+        | Some tbl -> tbl
+        | None ->
+            let tbl = build () in
+            Atomic.set cell (Some tbl);
+            tbl
+      in
+      Mutex.unlock seg.lock;
+      tbl
+
+let force_row_index seg =
+  force_index seg.row_index seg (fun () ->
+      let tbl = Hashtbl.create ((2 * seg.nrows) + 1) in
+      for i = seg.nrows - 1 downto 0 do
+        let h = row_hash seg i in
+        Hashtbl.replace tbl h
+          (i :: Option.value ~default:[] (Hashtbl.find_opt tbl h))
+      done;
+      tbl)
+
+let force_attr_index seg pos =
+  force_index seg.attr_index.(pos) seg (fun () ->
+      let tbl = Hashtbl.create ((2 * seg.nrows) + 1) in
+      let col = seg.cols.(pos) in
+      for i = seg.nrows - 1 downto 0 do
+        let c = col.(i) in
+        Hashtbl.replace tbl c
+          (i :: Option.value ~default:[] (Hashtbl.find_opt tbl c))
+      done;
+      tbl)
+
+let seg_codes seg =
+  force_index seg.seg_codes seg (fun () ->
+      let s = ref Iset.empty in
+      Array.iter (fun col -> Array.iter (fun c -> s := Iset.add c !s) col) seg.cols;
+      !s)
+
+let row_equals_codes seg i codes =
+  let rec go j = j >= seg.arity || (seg.cols.(j).(i) = codes.(j) && go (j + 1)) in
+  go 0
+
+let seg_find_codes seg codes =
+  let tbl = force_row_index seg in
+  let rec search = function
+    | [] -> None
+    | i :: rest -> if row_equals_codes seg i codes then Some i else search rest
+  in
+  search (Option.value ~default:[] (Hashtbl.find_opt tbl (codes_hash codes)))
+
+(* Row id of the tuple in the segment, interning nothing: a tuple holding
+   a never-seen constant cannot be a segment row. *)
+let seg_find seg (t : Tuple.t) =
+  if seg.nrows = 0 || Array.length t <> seg.arity then None
+  else
+    let codes = Array.make seg.arity 0 in
+    let rec encode j =
+      j >= seg.arity
+      ||
+      match Symtab.find t.(j) with
+      | Some c ->
+          codes.(j) <- c;
+          encode (j + 1)
+      | None -> false
+    in
+    if encode 0 then seg_find_codes seg codes else None
+
+let build_seg ~arity (rows : Tuple.t array) =
+  let nrows = Array.length rows in
+  let cols = Array.init arity (fun _ -> Array.make nrows 0) in
+  let nulls = ref 0 in
+  for i = 0 to nrows - 1 do
+    let t = rows.(i) in
+    for j = 0 to arity - 1 do
+      let c = Symtab.intern t.(j) in
+      if c = Symtab.null_id then incr nulls;
+      cols.(j).(i) <- c
+    done
+  done;
+  {
+    arity;
+    nrows;
+    cols;
+    seg_nulls = !nulls;
+    row_index = Atomic.make None;
+    attr_index = Array.init arity (fun _ -> Atomic.make None);
+    seg_codes = Atomic.make None;
+    lock = Mutex.create ();
+  }
+
+let overlay_rel ts =
+  { seg = empty_seg; del = Iset.empty; ndel = 0; extra = ts; nextra = Tuple.Set.cardinal ts }
+
+(* Build a relation from sorted, deduplicated tuples.  Mixed arities (legal
+   under set semantics, if exotic) keep the most common arity columnar and
+   overflow the rest into the overlay; [Tuple.compare] orders by arity
+   first, so both groups stay sorted. *)
+let rel_of_sorted_array (rows : Tuple.t array) =
+  let n = Array.length rows in
+  if n = 0 then None
+  else if n < seg_min then Some (overlay_rel (Tuple.Set.of_list (Array.to_list rows)))
+  else begin
+    let counts = Hashtbl.create 4 in
+    Array.iter
+      (fun t ->
+        let a = Array.length t in
+        Hashtbl.replace counts a (1 + Option.value ~default:0 (Hashtbl.find_opt counts a)))
+      rows;
+    let arity, _ =
+      Hashtbl.fold
+        (fun a c ((ba, bc) as best) ->
+          if c > bc || (c = bc && a < ba) then (a, c) else best)
+        counts (-1, 0)
+    in
+    let seg_rows, rest =
+      if Hashtbl.length counts = 1 then (rows, [])
+      else
+        ( Array.of_list
+            (List.filter (fun t -> Array.length t = arity) (Array.to_list rows)),
+          List.filter (fun t -> Array.length t <> arity) (Array.to_list rows) )
+    in
+    Some
+      {
+        seg = build_seg ~arity seg_rows;
+        del = Iset.empty;
+        ndel = 0;
+        extra = Tuple.Set.of_list rest;
+        nextra = List.length rest;
+      }
+  end
+
+let sort_dedup (arr : Tuple.t array) =
+  Array.sort Tuple.compare arr;
+  let n = Array.length arr in
+  if n = 0 then arr
+  else begin
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if Tuple.compare arr.(i) arr.(!k - 1) <> 0 then begin
+        arr.(!k) <- arr.(i);
+        incr k
+      end
+    done;
+    if !k = n then arr else Array.sub arr 0 !k
+  end
+
+let rel_cardinal_of r = r.seg.nrows - r.ndel + r.nextra
+let rel_is_empty r = rel_cardinal_of r = 0
+
+let rel_mem r t =
+  Tuple.Set.mem t r.extra
+  ||
+  match seg_find r.seg t with
+  | Some i -> not (Iset.mem i r.del)
+  | None -> false
+
+(* Live tuples of a relation in [Tuple.compare] order: linear merge of the
+   surviving segment rows (sorted by construction) with the overlay set. *)
+let rel_to_seq r =
+  let seg = r.seg in
+  let uncons sq =
+    match sq () with
+    | Seq.Nil -> (None, Seq.empty)
+    | Seq.Cons (e, sq') -> (Some e, sq')
+  in
+  let rec go i pending sq () =
+    if i >= seg.nrows then
+      match pending with
+      | Some e -> Seq.Cons (e, sq)
+      | None -> Seq.Nil
+    else if Iset.mem i r.del then go (i + 1) pending sq ()
+    else
+      let t = seg_row seg i in
+      match pending with
+      | Some e when Tuple.compare e t < 0 ->
+          let pending', sq' = uncons sq in
+          Seq.Cons (e, go i pending' sq')
+      | _ -> Seq.Cons (t, go (i + 1) pending sq)
+  in
+  let pending, sq = uncons (Tuple.Set.to_seq r.extra) in
+  go 0 pending sq
+
+let rel_fold f r acc = Seq.fold_left (fun acc t -> f t acc) acc (rel_to_seq r)
+let rel_iter f r = Seq.iter f (rel_to_seq r)
+
+let rel_live_array r =
+  let n = rel_cardinal_of r in
+  if n = 0 then [||]
+  else begin
+    let arr = Array.make n [||] in
+    let i = ref 0 in
+    rel_iter
+      (fun t ->
+        arr.(!i) <- t;
+        incr i)
+      r;
+    arr
+  end
+
+(* Compact an overgrown overlay into a fresh segment.  The merged stream is
+   already sorted and distinct, so no re-sort. *)
+let compact_rel r = Option.get (rel_of_sorted_array (rel_live_array r))
+
+let compact_threshold seg = if seg.nrows = 0 then 4096 else max 1024 (seg.nrows / 4)
+
+let rel_add r t =
+  if Tuple.Set.mem t r.extra then r
+  else
+    match seg_find r.seg t with
+    | Some i when Iset.mem i r.del ->
+        { r with del = Iset.remove i r.del; ndel = r.ndel - 1 }
+    | Some _ -> r
+    | None ->
+        let r = { r with extra = Tuple.Set.add t r.extra; nextra = r.nextra + 1 } in
+        if r.nextra > compact_threshold r.seg then compact_rel r else r
+
+let rel_remove r t =
+  if Tuple.Set.mem t r.extra then
+    { r with extra = Tuple.Set.remove t r.extra; nextra = r.nextra - 1 }
+  else
+    match seg_find r.seg t with
+    | Some i when not (Iset.mem i r.del) ->
+        { r with del = Iset.add i r.del; ndel = r.ndel + 1 }
+    | _ -> r
 
 let add a d =
   let p = Atom.pred a and t = Atom.args a in
-  let prev = Option.value ~default:Tuple.Set.empty (Smap.find_opt p d) in
-  Smap.add p (Tuple.Set.add t prev) d
+  match Smap.find_opt p d.rels with
+  | None -> mk (Smap.add p (overlay_rel (Tuple.Set.singleton t)) d.rels)
+  | Some r ->
+      let r' = rel_add r t in
+      if r' == r then d else mk (Smap.add p r' d.rels)
 
 let remove a d =
   let p = Atom.pred a and t = Atom.args a in
-  match Smap.find_opt p d with
+  match Smap.find_opt p d.rels with
   | None -> d
-  | Some ts ->
-      let ts = Tuple.Set.remove t ts in
-      if Tuple.Set.is_empty ts then Smap.remove p d else Smap.add p ts d
+  | Some r ->
+      let r' = rel_remove r t in
+      if r' == r then d
+      else if rel_is_empty r' then mk (Smap.remove p d.rels)
+      else mk (Smap.add p r' d.rels)
 
 let mem a d =
-  match Smap.find_opt (Atom.pred a) d with
+  match Smap.find_opt (Atom.pred a) d.rels with
   | None -> false
-  | Some ts -> Tuple.Set.mem (Atom.args a) ts
+  | Some r -> rel_mem r (Atom.args a)
 
-let of_atoms atoms = List.fold_left (fun d a -> add a d) empty atoms
+let of_atoms atoms =
+  let tbl : (string, Tuple.t list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let p = Atom.pred a in
+      match Hashtbl.find_opt tbl p with
+      | Some l -> l := Atom.args a :: !l
+      | None -> Hashtbl.add tbl p (ref [ Atom.args a ]))
+    atoms;
+  let rels =
+    Hashtbl.fold
+      (fun p l acc ->
+        match rel_of_sorted_array (sort_dedup (Array.of_list !l)) with
+        | Some r -> Smap.add p r acc
+        | None -> acc)
+      tbl Smap.empty
+  in
+  mk rels
 
-let of_list l =
-  of_atoms (List.map (fun (p, vs) -> Atom.make p vs) l)
+let of_list l = of_atoms (List.map (fun (p, vs) -> Atom.make p vs) l)
 
 let fold f d acc =
   Smap.fold
-    (fun p ts acc ->
-      Tuple.Set.fold (fun t acc -> f (Atom.of_tuple p t) acc) ts acc)
-    d acc
+    (fun p r acc -> rel_fold (fun t acc -> f (Atom.of_tuple p t) acc) r acc)
+    d.rels acc
 
 let iter f d = fold (fun a () -> f a) d ()
-
 let atoms d = List.rev (fold (fun a acc -> a :: acc) d [])
 let atom_set d = fold Atom.Set.add d Atom.Set.empty
 
 let filter f d =
-  Smap.filter_map
-    (fun p ts ->
-      let ts = Tuple.Set.filter (fun t -> f (Atom.of_tuple p t)) ts in
-      if Tuple.Set.is_empty ts then None else Some ts)
-    d
+  let rels =
+    Smap.filter_map
+      (fun p r ->
+        let kept =
+          rel_fold (fun t acc -> if f (Atom.of_tuple p t) then t :: acc else acc) r []
+        in
+        (* [kept] is descending; reverse restores sorted order *)
+        rel_of_sorted_array (Array.of_list (List.rev kept)))
+      d.rels
+  in
+  mk rels
 
-let cardinal d = Smap.fold (fun _ ts n -> n + Tuple.Set.cardinal ts) d 0
+let cardinal d = Smap.fold (fun _ r n -> n + rel_cardinal_of r) d.rels 0
+let preds d = Smap.fold (fun p _ acc -> p :: acc) d.rels [] |> List.rev
 
-let preds d =
-  Smap.fold (fun p ts acc -> if Tuple.Set.is_empty ts then acc else p :: acc) d []
-  |> List.rev
+let tuples d p =
+  match Smap.find_opt p d.rels with
+  | None -> Tuple.Set.empty
+  | Some r ->
+      if r.seg.nrows = 0 then r.extra
+      else Tuple.Set.of_seq (rel_to_seq r)
 
-let tuples d p = Option.value ~default:Tuple.Set.empty (Smap.find_opt p d)
+(* ------------------------------------------------------------------ *)
+(* Set operations.  Relations sharing a segment physically — the common
+   case for session deltas, where [d'] is a few [add]/[remove]s away from
+   [d] — combine in time proportional to their overlays: the live rows are
+   [rows \ del ∪ extra] on both sides with the same [rows], and [extra] is
+   disjoint from [rows], so the tuple-level set algebra reduces to row-id
+   and overlay algebra. *)
+
+let rel_decode_rows r ids =
+  Iset.fold (fun i acc -> seg_row r.seg i :: acc) ids [] |> List.rev
+
+let rel_generic_of_tuples sorted_list =
+  rel_of_sorted_array (Array.of_list sorted_list)
+
+let merge_sorted xs ys =
+  (* both sorted distinct; result sorted distinct (inputs disjoint or not) *)
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: xs', y :: ys' ->
+        let c = Tuple.compare x y in
+        if c < 0 then go xs' ys (x :: acc)
+        else if c > 0 then go xs ys' (y :: acc)
+        else go xs' ys' (x :: acc)
+  in
+  go xs ys []
+
+let rel_union ra rb =
+  if ra == rb then Some ra
+  else if ra.seg == rb.seg then
+    let del = Iset.inter ra.del rb.del in
+    let extra = Tuple.Set.union ra.extra rb.extra in
+    Some
+      {
+        seg = ra.seg;
+        del;
+        ndel = Iset.cardinal del;
+        extra;
+        nextra = Tuple.Set.cardinal extra;
+      }
+  else if ra.seg.nrows = 0 && rb.seg.nrows = 0 then
+    Some (overlay_rel (Tuple.Set.union ra.extra rb.extra))
+  else
+    let big, small =
+      if rel_cardinal_of ra >= rel_cardinal_of rb then (ra, rb) else (rb, ra)
+    in
+    if rel_cardinal_of small * 4 <= rel_cardinal_of big then
+      Some (rel_fold (fun t r -> rel_add r t) small big)
+    else
+      rel_generic_of_tuples
+        (merge_sorted
+           (Array.to_list (rel_live_array ra))
+           (Array.to_list (rel_live_array rb)))
+
+let rel_diff ra rb =
+  if ra == rb then None
+  else if ra.seg == rb.seg then
+    let rows = rel_decode_rows ra (Iset.diff rb.del ra.del) in
+    let extra = Tuple.Set.diff ra.extra rb.extra in
+    let merged = merge_sorted rows (Tuple.Set.elements extra) in
+    rel_generic_of_tuples merged
+  else if ra.seg.nrows = 0 && rb.seg.nrows = 0 then
+    let s = Tuple.Set.diff ra.extra rb.extra in
+    if Tuple.Set.is_empty s then None else Some (overlay_rel s)
+  else
+    let kept = rel_fold (fun t acc -> if rel_mem rb t then acc else t :: acc) ra [] in
+    rel_generic_of_tuples (List.rev kept)
+
+let rel_inter ra rb =
+  if ra == rb then Some ra
+  else if ra.seg == rb.seg then
+    let del = Iset.union ra.del rb.del in
+    let extra = Tuple.Set.inter ra.extra rb.extra in
+    let r =
+      {
+        seg = ra.seg;
+        del;
+        ndel = Iset.cardinal del;
+        extra;
+        nextra = Tuple.Set.cardinal extra;
+      }
+    in
+    if rel_is_empty r then None else Some r
+  else if ra.seg.nrows = 0 && rb.seg.nrows = 0 then
+    let s = Tuple.Set.inter ra.extra rb.extra in
+    if Tuple.Set.is_empty s then None else Some (overlay_rel s)
+  else
+    let small, other =
+      if rel_cardinal_of ra <= rel_cardinal_of rb then (ra, rb) else (rb, ra)
+    in
+    let kept =
+      rel_fold (fun t acc -> if rel_mem other t then t :: acc else acc) small []
+    in
+    rel_generic_of_tuples (List.rev kept)
 
 let merge_with op a b =
-  Smap.merge
-    (fun _ x y ->
-      let x = Option.value ~default:Tuple.Set.empty x in
-      let y = Option.value ~default:Tuple.Set.empty y in
-      let r = op x y in
-      if Tuple.Set.is_empty r then None else Some r)
-    a b
+  let rels =
+    Smap.merge
+      (fun _ x y ->
+        match (x, y) with
+        | None, None -> None
+        | Some _, None | None, Some _ | Some _, Some _ -> op x y)
+      a.rels b.rels
+  in
+  mk rels
 
-let union = merge_with Tuple.Set.union
-let diff = merge_with Tuple.Set.diff
-let inter = merge_with Tuple.Set.inter
+let union a b =
+  if a == b then a
+  else
+    merge_with
+      (fun x y ->
+        match (x, y) with
+        | Some ra, Some rb -> rel_union ra rb
+        | (Some _ as r), None | None, (Some _ as r) -> r
+        | None, None -> None)
+      a b
+
+let diff a b =
+  if a == b then empty
+  else
+    merge_with
+      (fun x y ->
+        match (x, y) with
+        | Some ra, Some rb -> rel_diff ra rb
+        | (Some _ as r), None -> r
+        | None, _ -> None)
+      a b
+
+let inter a b =
+  if a == b then a
+  else
+    merge_with
+      (fun x y ->
+        match (x, y) with
+        | Some ra, Some rb -> rel_inter ra rb
+        | _ -> None)
+      a b
+
 let symdiff a b = union (diff a b) (diff b a)
 
-let subset a b =
-  Smap.for_all (fun p ts -> Tuple.Set.subset ts (tuples b p)) a
+let rel_subset ra rb =
+  if ra == rb then true
+  else if ra.seg == rb.seg then
+    Iset.subset rb.del ra.del && Tuple.Set.subset ra.extra rb.extra
+  else if ra.seg.nrows = 0 && rb.seg.nrows = 0 then
+    Tuple.Set.subset ra.extra rb.extra
+  else if rel_cardinal_of ra > rel_cardinal_of rb then false
+  else not (Seq.exists (fun t -> not (rel_mem rb t)) (rel_to_seq ra))
 
-(* The representation never stores an empty per-predicate set ([add] only
-   grows sets, [remove]/[filter]/[merge_with] drop emptied keys), so the
-   map comparison is a sound equality — no [atom_set] rebuild, no double
-   [subset] scan.  This is the hot comparator behind state dedup in
-   [Repair.Enumerate]. *)
-let compare a b = Smap.compare Tuple.Set.compare a b
+let subset a b =
+  a == b
+  || Smap.for_all
+       (fun p ra ->
+         match Smap.find_opt p b.rels with
+         | None -> rel_is_empty ra
+         | Some rb -> rel_subset ra rb)
+       a.rels
+
+(* [compare] replicates the oracle's order — [Smap.compare Tuple.Set.compare]
+   over the never-empty per-predicate map — exactly: lexicographic over the
+   (predicate, tuple-sequence) stream, an exhausted side ordering first.
+   Sorted repair lists, search-state dedup and the goldens all depend on
+   this order being stable across representations. *)
+let rel_compare ra rb =
+  if ra == rb then 0
+  else if ra.seg.nrows = 0 && rb.seg.nrows = 0 then
+    Tuple.Set.compare ra.extra rb.extra
+  else if
+    ra.seg == rb.seg && Iset.equal ra.del rb.del && Tuple.Set.equal ra.extra rb.extra
+  then 0
+  else
+    let rec go sa sb =
+      match (sa (), sb ()) with
+      | Seq.Nil, Seq.Nil -> 0
+      | Seq.Nil, Seq.Cons _ -> -1
+      | Seq.Cons _, Seq.Nil -> 1
+      | Seq.Cons (x, sa'), Seq.Cons (y, sb') ->
+          let c = Tuple.compare x y in
+          if c <> 0 then c else go sa' sb'
+    in
+    go (rel_to_seq ra) (rel_to_seq rb)
+
+let compare a b =
+  if a == b then 0
+  else
+    let rec go sa sb =
+      match (sa (), sb ()) with
+      | Seq.Nil, Seq.Nil -> 0
+      | Seq.Nil, Seq.Cons _ -> -1
+      | Seq.Cons _, Seq.Nil -> 1
+      | Seq.Cons ((pa, ra), sa'), Seq.Cons ((pb, rb), sb') ->
+          let c = String.compare pa pb in
+          if c <> 0 then c
+          else
+            let c = rel_compare ra rb in
+            if c <> 0 then c else go sa' sb'
+    in
+    go (Smap.to_seq a.rels) (Smap.to_seq b.rels)
 
 let equal a b = compare a b = 0
 
+(* ------------------------------------------------------------------ *)
+(* Memoized whole-instance statistics.  Both are pure functions of the
+   (immutable) contents, so racing writers at worst recompute the same
+   value. *)
+
+let rel_codes_exact r =
+  (* distinct codes of the live segment rows; with deletions the cached
+     per-segment code set over-approximates, so rescan the survivors *)
+  if r.ndel = 0 then seg_codes r.seg
+  else begin
+    let s = ref Iset.empty in
+    for i = 0 to r.seg.nrows - 1 do
+      if not (Iset.mem i r.del) then
+        for j = 0 to r.seg.arity - 1 do
+          s := Iset.add r.seg.cols.(j).(i) !s
+        done
+    done;
+    !s
+  end
+
 let active_domain d =
-  let module Vset = Set.Make (Value) in
-  let vs =
-    fold
-      (fun a acc -> Array.fold_left (fun acc v -> Vset.add v acc) acc (Atom.args a))
-      d Vset.empty
-  in
-  Vset.elements vs
+  match d.adom_memo with
+  | Some vs -> vs
+  | None ->
+      let vs =
+        Smap.fold
+          (fun _ r acc ->
+            let acc =
+              if r.seg.nrows = 0 then acc
+              else
+                Iset.fold
+                  (fun c acc -> Vset.add (Symtab.value c) acc)
+                  (rel_codes_exact r) acc
+            in
+            Tuple.Set.fold
+              (fun t acc ->
+                Array.fold_left (fun acc v -> Vset.add v acc) acc t)
+              r.extra acc)
+          d.rels Vset.empty
+      in
+      let vs = Vset.elements vs in
+      d.adom_memo <- Some vs;
+      vs
 
 let active_domain_non_null d =
   List.filter (fun v -> not (Value.is_null v)) (active_domain d)
 
 let null_count d =
-  fold
-    (fun a n ->
-      Array.fold_left (fun n v -> if Value.is_null v then n + 1 else n) n
-        (Atom.args a))
-    d 0
+  match d.nulls_memo with
+  | Some n -> n
+  | None ->
+      let n =
+        Smap.fold
+          (fun _ r acc ->
+            let deleted_nulls =
+              if r.ndel = 0 || r.seg.seg_nulls = 0 then 0
+              else
+                Iset.fold
+                  (fun i acc ->
+                    let k = ref acc in
+                    for j = 0 to r.seg.arity - 1 do
+                      if r.seg.cols.(j).(i) = Symtab.null_id then incr k
+                    done;
+                    !k)
+                  r.del 0
+            in
+            let extra_nulls =
+              Tuple.Set.fold
+                (fun t acc ->
+                  Array.fold_left
+                    (fun acc v -> if Value.is_null v then acc + 1 else acc)
+                    acc t)
+                r.extra 0
+            in
+            acc + r.seg.seg_nulls - deleted_nulls + extra_nulls)
+          d.rels 0
+      in
+      d.nulls_memo <- Some n;
+      n
+
+(* ------------------------------------------------------------------ *)
+(* Index probes: the opt-in fast paths [Semantics.Assign] and the checkers
+   build their joins on.  Positions are 0-based.  Enumeration order is
+   surviving segment rows (ascending) then overlay tuples (ascending). *)
+
+let rel_cardinal d p =
+  match Smap.find_opt p d.rels with None -> 0 | Some r -> rel_cardinal_of r
+
+let iter_rel d p f =
+  match Smap.find_opt p d.rels with None -> () | Some r -> rel_iter f r
+
+let fold_rel d p f acc =
+  match Smap.find_opt p d.rels with None -> acc | Some r -> rel_fold f r acc
+
+let exists_rel d p f =
+  match Smap.find_opt p d.rels with
+  | None -> false
+  | Some r -> Seq.exists f (rel_to_seq r)
+
+let iter_matching d p ~pos v f =
+  match Smap.find_opt p d.rels with
+  | None -> ()
+  | Some r ->
+      let seg = r.seg in
+      (if seg.nrows > 0 && pos < seg.arity then
+         match Symtab.find v with
+         | None -> ()
+         | Some code ->
+             let idx = force_attr_index seg pos in
+             List.iter
+               (fun i -> if not (Iset.mem i r.del) then f (seg_row seg i))
+               (Option.value ~default:[] (Hashtbl.find_opt idx code)));
+      Tuple.Set.iter
+        (fun t -> if Array.length t > pos && Value.equal t.(pos) v then f t)
+        r.extra
+
+let exists_matching d p ~pos v f =
+  match Smap.find_opt p d.rels with
+  | None -> false
+  | Some r ->
+      let seg = r.seg in
+      (seg.nrows > 0 && pos < seg.arity
+      && (match Symtab.find v with
+         | None -> false
+         | Some code ->
+             let idx = force_attr_index seg pos in
+             List.exists
+               (fun i -> (not (Iset.mem i r.del)) && f (seg_row seg i))
+               (Option.value ~default:[] (Hashtbl.find_opt idx code))))
+      || Tuple.Set.exists
+           (fun t -> Array.length t > pos && Value.equal t.(pos) v && f t)
+           r.extra
+
+(* ------------------------------------------------------------------ *)
 
 let pp ppf d = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Atom.pp) (atoms d)
 

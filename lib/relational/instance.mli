@@ -1,7 +1,16 @@
 (** Database instances: finite sets of ground database atoms.
 
     Following the paper (and deviating from SQL's bag semantics exactly as
-    discussed around Example 7), an instance is a {e set} of atoms. *)
+    discussed around Example 7), an instance is a {e set} of atoms.
+
+    The representation is columnar: constants are interned through
+    {!Symtab} and each relation is stored as an immutable sorted segment of
+    per-attribute int columns with lazily built hash indexes, plus a
+    persistent overlay of additions and deletions so that [add]/[remove]
+    stay functional and cheap.  The observable behaviour — set semantics,
+    iteration order, the [compare]/[equal] total order, [pp] output — is
+    byte-identical to the historical tuple-set representation, which is
+    kept as {!module:Naive} and differentially tested against this one. *)
 
 type t
 
@@ -13,6 +22,9 @@ val remove : Atom.t -> t -> t
 val mem : Atom.t -> t -> bool
 
 val of_atoms : Atom.t list -> t
+(** Bulk constructor: builds columnar segments directly (one sort per
+    relation), the preferred way to load large instances. *)
+
 val of_list : (string * Value.t list) list -> t
 val atoms : t -> Atom.t list
 val atom_set : t -> Atom.Set.t
@@ -22,7 +34,9 @@ val preds : t -> string list
 (** Predicates with at least one tuple, sorted. *)
 
 val tuples : t -> string -> Tuple.Set.t
-(** Tuples of one relation (empty set if none). *)
+(** Tuples of one relation (empty set if none).  On columnar relations this
+    materializes a set — iteration-heavy callers should prefer
+    {!iter_rel}/{!fold_rel}/{!iter_matching}. *)
 
 val fold : (Atom.t -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (Atom.t -> unit) -> t -> unit
@@ -33,7 +47,9 @@ val diff : t -> t -> t
 val inter : t -> t -> t
 val symdiff : t -> t -> t
 (** The symmetric difference [Delta(D, D')] used to compare instances with
-    their repairs (Section 4). *)
+    their repairs (Section 4).  Instances a few updates apart share their
+    segments physically, and the set operations above then run in time
+    proportional to the overlay, not the instance. *)
 
 val subset : t -> t -> bool
 val equal : t -> t -> bool
@@ -41,15 +57,83 @@ val compare : t -> t -> int
 
 val active_domain : t -> Value.t list
 (** All constants occurring in the instance, [null] included if present,
-    sorted and deduplicated. *)
+    sorted and deduplicated.  Cached per instance (and per segment), so
+    repeated calls — the grounder, {!Repair.Candidates} — are O(1) after
+    the first. *)
 
 val active_domain_non_null : t -> Value.t list
 
 val null_count : t -> int
-(** Number of null occurrences across all tuples. *)
+(** Number of null occurrences across all tuples.  Cached like
+    {!active_domain}. *)
+
+(** {2 Index probes}
+
+    Opt-in fast paths for the join machinery ({!Semantics.Assign}) and the
+    violation checkers.  Positions are 0-based.  Per-relation enumeration
+    yields tuples in [Tuple.compare] order; {!iter_matching} and
+    {!exists_matching} yield surviving segment rows (ascending, via the
+    lazily built per-attribute hash index) followed by overlay tuples
+    (ascending). *)
+
+val rel_cardinal : t -> string -> int
+(** Number of tuples of one relation, O(1). *)
+
+val iter_rel : t -> string -> (Tuple.t -> unit) -> unit
+val fold_rel : t -> string -> (Tuple.t -> 'a -> 'a) -> 'a -> 'a
+val exists_rel : t -> string -> (Tuple.t -> bool) -> bool
+
+val iter_matching : t -> string -> pos:int -> Value.t -> (Tuple.t -> unit) -> unit
+(** [iter_matching d p ~pos v f] applies [f] to every tuple of relation [p]
+    whose 0-based position [pos] holds exactly [v] (nulls match only
+    [Value.null]), probing the per-attribute hash index instead of
+    scanning. *)
+
+val exists_matching : t -> string -> pos:int -> Value.t -> (Tuple.t -> bool) -> bool
+(** Short-circuiting [iter_matching]: does some matching tuple satisfy the
+    predicate? *)
 
 val pp : t Fmt.t
 (** One atom per line, sorted — stable output for tests and goldens. *)
 
 val pp_inline : t Fmt.t
 (** [{A(1), B(2, null)}] on one line. *)
+
+(** {2 The oracle}
+
+    The pre-columnar representation — a functional map of tuple sets —
+    retained verbatim as the differential-testing oracle: every operation
+    above is property-tested to agree with it, including the sign of
+    [compare] and byte-identical [pp]. *)
+
+module Naive : sig
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val add : Atom.t -> t -> t
+  val remove : Atom.t -> t -> t
+  val mem : Atom.t -> t -> bool
+  val of_atoms : Atom.t list -> t
+  val of_list : (string * Value.t list) list -> t
+  val atoms : t -> Atom.t list
+  val atom_set : t -> Atom.Set.t
+  val cardinal : t -> int
+  val preds : t -> string list
+  val tuples : t -> string -> Tuple.Set.t
+  val fold : (Atom.t -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (Atom.t -> unit) -> t -> unit
+  val filter : (Atom.t -> bool) -> t -> t
+  val union : t -> t -> t
+  val diff : t -> t -> t
+  val inter : t -> t -> t
+  val symdiff : t -> t -> t
+  val subset : t -> t -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val active_domain : t -> Value.t list
+  val active_domain_non_null : t -> Value.t list
+  val null_count : t -> int
+  val pp : t Fmt.t
+  val pp_inline : t Fmt.t
+end

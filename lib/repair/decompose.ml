@@ -257,18 +257,58 @@ let plan ?budget d ics =
         Hashtbl.replace by_pred p
           ((i, a) :: Option.value ~default:[] (Hashtbl.find_opt by_pred p)))
       tagged;
-    Hashtbl.fold
-      (fun _ group ok ->
-        ok
-        && List.for_all
-             (fun (i, a) ->
-               (not (Atom.has_null a))
-               || List.for_all
+    (* Candidate covers of a null-carrying atom must agree with it on every
+       non-null position, so within each predicate group a posting index
+       keyed by (position, value) narrows the candidates to atoms sharing
+       the probe value at the atom's first non-null position — replacing the
+       pairwise scan of the whole group.  A fully-null atom constrains no
+       position and falls back to the group. *)
+    let exception Not_exact in
+    try
+      Hashtbl.iter
+        (fun _ group ->
+          let posting : (int * Value.t, (int * Atom.t) list) Hashtbl.t =
+            Hashtbl.create 32
+          in
+          List.iter
+            (fun (j, b) ->
+              Array.iteri
+                (fun p v ->
+                  Hashtbl.replace posting (p, v)
+                    ((j, b)
+                    :: Option.value ~default:[] (Hashtbl.find_opt posting (p, v))))
+                (Atom.args b))
+            group;
+          List.iter
+            (fun (i, a) ->
+              if Atom.has_null a then begin
+                let args = Atom.args a in
+                let probe =
+                  let rec go p =
+                    if p >= Array.length args then None
+                    else if Value.is_null args.(p) then go (p + 1)
+                    else Some p
+                  in
+                  go 0
+                in
+                let candidates =
+                  match probe with
+                  | Some p ->
+                      Option.value ~default:[]
+                        (Hashtbl.find_opt posting (p, args.(p)))
+                  | None -> group
+                in
+                if
+                  List.exists
                     (fun (j, b) ->
-                      i = j || not (Order.matches_non_null_positions a b))
-                    group)
-             group)
-      by_pred true
+                      i <> j && Order.matches_non_null_positions a b)
+                    candidates
+                then raise Not_exact
+              end)
+            group)
+        by_pred;
+      true
+    with Not_exact -> false
   in
   { core; components; universe; nnc_positions; product_exact }
 
@@ -276,13 +316,32 @@ let plan ?budget d ics =
 (* Content fingerprints and incremental plan maintenance (the session
    engine's cache key and fast path). *)
 
+(* Instances digest through the symbol table's {e canonical strings}
+   ([Symtab.to_string], i.e. [Value.to_string] of the decoded value) —
+   never through physical codes, which depend on interning order and so
+   differ across sessions and processes.  Content-addressing is what lets
+   identical components hit the session cache cross-session. *)
+let render_instance buf inst =
+  Instance.iter
+    (fun a ->
+      Buffer.add_string buf (Relational.Atom.pred a);
+      Buffer.add_char buf '(';
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf
+            (Relational.Symtab.to_string (Relational.Symtab.intern v)))
+        (Relational.Atom.args a);
+      Buffer.add_string buf ")\n")
+    inst
+
 let fingerprint ?(universe = []) ?(nnc_positions = []) c =
   let buf = Buffer.create 256 in
-  (* instances are sets and [Instance.pp] prints them sorted, so the
-     rendering — hence the digest — is independent of tuple order *)
-  Buffer.add_string buf (Fmt.str "%a" Instance.pp c.sub);
+  (* instances are sets iterated in sorted order, so the rendering — hence
+     the digest — is independent of tuple order *)
+  render_instance buf c.sub;
   Buffer.add_string buf "\x00support\x00";
-  Buffer.add_string buf (Fmt.str "%a" Instance.pp c.support);
+  render_instance buf c.support;
   Buffer.add_string buf "\x00ics\x00";
   (* constraint order is part of the content: the per-component searches
      traverse the constraint list in order, so two orderings are distinct

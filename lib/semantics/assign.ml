@@ -47,14 +47,32 @@ let match_tuple a terms tuple =
     in
     go a 0 terms
 
+(* first position of the atom whose term is ground under theta, with its
+   value, if any — the position the relation's per-attribute hash index is
+   probed on *)
+let bound_position theta atom =
+  let rec go i = function
+    | [] -> None
+    | t :: rest -> (
+        match value_of_term theta t with
+        | Some value -> Some (i, value)
+        | None -> go (i + 1) rest)
+  in
+  go 0 (Ic.Patom.terms atom)
+
 let atom_matches d a atom =
-  let tuples = Relational.Instance.tuples d (Ic.Patom.pred atom) in
-  Relational.Tuple.Set.fold
-    (fun t acc ->
-      match match_tuple a (Ic.Patom.terms atom) t with
-      | Some a' -> a' :: acc
-      | None -> acc)
-    tuples []
+  let acc = ref [] in
+  let try_tuple t =
+    match match_tuple a (Ic.Patom.terms atom) t with
+    | Some a' -> acc := a' :: !acc
+    | None -> ()
+  in
+  (match bound_position a atom with
+  | Some (pos, value) ->
+      Relational.Instance.iter_matching d (Ic.Patom.pred atom) ~pos value
+        try_tuple
+  | None -> Relational.Instance.iter_rel d (Ic.Patom.pred atom) try_tuple);
+  !acc
 
 (* Greedy join ordering: at each step match the not-yet-matched atom with
    the most bound positions (constants and already-bound variables), which
@@ -62,16 +80,12 @@ let atom_matches d a atom =
    reported in the original antecedent order regardless.
 
    When the selected atom has a bound position, the relation is probed
-   through a hash index on that position (built lazily once per join call
-   and per (atom, position) pair), which turns FD-style self-joins from
-   quadratic scans into hash lookups. *)
+   through the instance's persistent per-attribute hash index
+   ({!Relational.Instance.iter_matching}) — built once per segment and
+   shared across every join, constraint and session request over that
+   instance — which turns FD-style self-joins from quadratic scans into
+   hash lookups without any per-call index construction. *)
 let iter_join_with_witness d a atoms ~f =
-  let module Vtbl = Hashtbl.Make (struct
-    type t = Value.t
-
-    let equal = Value.equal
-    let hash = Value.hash
-  end) in
   let arr = Array.of_list atoms in
   let n = Array.length arr in
   let bound_score theta atom =
@@ -81,36 +95,6 @@ let iter_join_with_witness d a atoms ~f =
         | Ic.Term.Const _ -> score + 1
         | Ic.Term.Var x -> if Option.is_some (find theta x) then score + 1 else score)
       0 (Ic.Patom.terms atom)
-  in
-  (* first position of the atom whose term is ground under theta, with its
-     value, if any *)
-  let bound_position theta atom =
-    let rec go i = function
-      | [] -> None
-      | t :: rest -> (
-          match value_of_term theta t with
-          | Some value -> Some (i, value)
-          | None -> go (i + 1) rest)
-    in
-    go 0 (Ic.Patom.terms atom)
-  in
-  let indexes : (int * int, Relational.Tuple.t list Vtbl.t) Hashtbl.t =
-    Hashtbl.create 4
-  in
-  let index_for i pos =
-    match Hashtbl.find_opt indexes (i, pos) with
-    | Some tbl -> tbl
-    | None ->
-        let tbl = Vtbl.create 64 in
-        Relational.Tuple.Set.iter
-          (fun t ->
-            if Relational.Tuple.arity t > pos then
-              let key = t.(pos) in
-              Vtbl.replace tbl key
-                (t :: Option.value ~default:[] (Vtbl.find_opt tbl key)))
-          (Relational.Instance.tuples d (Ic.Patom.pred arr.(i)));
-        Hashtbl.replace indexes (i, pos) tbl;
-        tbl
   in
   let witness = Array.make (max n 1) None in
   let used = Array.make n false in
@@ -128,10 +112,7 @@ let iter_join_with_witness d a atoms ~f =
       for i = 0 to n - 1 do
         if not used.(i) then begin
           let score = bound_score theta arr.(i) in
-          let size =
-            Relational.Tuple.Set.cardinal
-              (Relational.Instance.tuples d (Ic.Patom.pred arr.(i)))
-          in
+          let size = Relational.Instance.rel_cardinal d (Ic.Patom.pred arr.(i)) in
           let key = (score, -size) in
           if !best = -1 || key > !best_key then begin
             best := i;
@@ -151,11 +132,10 @@ let iter_join_with_witness d a atoms ~f =
       in
       (match bound_position theta atom with
       | Some (pos, value) ->
-          let tbl = index_for i pos in
-          List.iter try_tuple (Option.value ~default:[] (Vtbl.find_opt tbl value))
+          Relational.Instance.iter_matching d (Ic.Patom.pred atom) ~pos value
+            try_tuple
       | None ->
-          Relational.Tuple.Set.iter try_tuple
-            (Relational.Instance.tuples d (Ic.Patom.pred atom)));
+          Relational.Instance.iter_rel d (Ic.Patom.pred atom) try_tuple);
       used.(i) <- false;
       witness.(i) <- None
     end
@@ -171,18 +151,15 @@ let join_with_witness d a atoms =
 let join d a atoms = List.map fst (join_with_witness d a atoms)
 
 let exists_match d a atom =
-  let tuples = Relational.Instance.tuples d (Ic.Patom.pred atom) in
-  Relational.Tuple.Set.exists
-    (fun t -> Option.is_some (match_tuple a (Ic.Patom.terms atom) t))
-    tuples
+  let terms = Ic.Patom.terms atom in
+  let matches t = Option.is_some (match_tuple a terms t) in
+  match bound_position a atom with
+  | Some (pos, value) ->
+      Relational.Instance.exists_matching d (Ic.Patom.pred atom) ~pos value
+        matches
+  | None -> Relational.Instance.exists_rel d (Ic.Patom.pred atom) matches
 
 let prepared_exists d ~bound atom =
-  let module Vtbl = Hashtbl.Make (struct
-    type t = Value.t
-
-    let equal = Value.equal
-    let hash = Value.hash
-  end) in
   let terms = Ic.Patom.terms atom in
   let probe =
     let rec go i = function
@@ -194,23 +171,11 @@ let prepared_exists d ~bound atom =
   in
   match probe with
   | None -> fun theta -> exists_match d theta atom
-  | Some pos ->
-      let index =
-        lazy
-          (let tbl = Vtbl.create 64 in
-           Relational.Tuple.Set.iter
-             (fun t ->
-               if Relational.Tuple.arity t > pos then
-                 let key = t.(pos) in
-                 Vtbl.replace tbl key
-                   (t :: Option.value ~default:[] (Vtbl.find_opt tbl key)))
-             (Relational.Instance.tuples d (Ic.Patom.pred atom));
-           tbl)
-      in
+  | Some pos -> (
+      let term = List.nth terms pos in
       fun theta ->
-        match value_of_term theta (List.nth terms pos) with
+        match value_of_term theta term with
         | None -> exists_match d theta atom
         | Some value ->
-            List.exists
-              (fun t -> Option.is_some (match_tuple theta terms t))
-              (Option.value ~default:[] (Vtbl.find_opt (Lazy.force index) value))
+            Relational.Instance.exists_matching d (Ic.Patom.pred atom) ~pos value
+              (fun t -> Option.is_some (match_tuple theta terms t)))

@@ -58,7 +58,8 @@ val prepared_exists :
 (** A reusable existence test for one atom: like {!exists_match}, but when
     some position of the atom holds a constant or a variable from [bound]
     (variables the caller guarantees to be bound in every assignment it
-    will pass), the relation is probed through a hash index on that
-    position, built lazily on first use and shared across calls.  Partial
-    application ([let check = prepared_exists d ~bound atom in ...]) turns
-    repeated consequent checks from relation scans into hash lookups. *)
+    will pass), the relation is probed through the instance's persistent
+    per-attribute hash index on that position
+    ({!Relational.Instance.exists_matching}).  Partial application
+    ([let check = prepared_exists d ~bound atom in ...]) turns repeated
+    consequent checks from relation scans into hash lookups. *)

@@ -55,20 +55,18 @@ let generic_violations d g ic =
   iter_generic_violations d g ic ~f:(fun v -> acc := v :: !acc);
   List.rev !acc
 
+(* NNC offenders are exactly the posting list of [null] at the constrained
+   column — one index probe instead of a relation scan.  The accumulator is
+   consed over the ascending probe, preserving the historical (descending)
+   report order of the set-fold implementation. *)
 let nnc_violations (n : (string * int * int)) ic d =
   let pred, _arity, pos = n in
-  Relational.Tuple.Set.fold
-    (fun t acc ->
-      if Value.is_null t.(pos - 1) then
-        let atom = Relational.Atom.of_tuple pred t in
-        {
-          ic;
-          theta = Assign.empty;
-          matched = [ atom ];
-        }
-        :: acc
-      else acc)
-    (Instance.tuples d pred) []
+  let acc = ref [] in
+  Instance.iter_matching d pred ~pos:(pos - 1) Value.null (fun t ->
+      acc :=
+        { ic; theta = Assign.empty; matched = [ Relational.Atom.of_tuple pred t ] }
+        :: !acc);
+  !acc
 
 let violations d ic =
   match ic with
@@ -90,9 +88,8 @@ let first_violation_of d ic =
       let pred, pos = (n.pred, n.pos) in
       let exception Witness of Relational.Tuple.t in
       (try
-         Relational.Tuple.Set.iter
-           (fun t -> if Value.is_null t.(pos - 1) then raise (Witness t))
-           (Instance.tuples d pred);
+         Instance.iter_matching d pred ~pos:(pos - 1) Value.null (fun t ->
+             raise (Witness t));
          None
        with Witness t ->
          Some
@@ -136,13 +133,66 @@ let satisfies_literal d ic =
         matches
 
 (* ------------------------------------------------------------------ *)
+(* Canonical violation order *)
+
+let compare_violation a b =
+  (* matched is in antecedent order, so (ic, matched) determines theta *)
+  match Ic.Constr.compare a.ic b.ic with
+  | 0 -> List.compare Relational.Atom.compare a.matched b.matched
+  | c -> c
+
+let canonical_violations vs = List.sort_uniq compare_violation vs
+
+(* ------------------------------------------------------------------ *)
 (* Admission checking *)
 
-(* One streaming pass per relevant constraint with an atom-membership
-   predicate, instead of materializing every violation of every constraint
-   and filtering afterwards.  Constraints that do not mention the atom's
-   predicate cannot match it and are skipped outright; for NNCs the answer
-   is a direct probe of the atom itself. *)
+(* Violations of a generic constraint that involve one given ground atom,
+   computed by {e seeding} the antecedent join instead of enumerating every
+   violation and filtering: for each antecedent position whose predicate
+   matches, unify the atom against it, and run the join from the resulting
+   partial assignment — the index probes of [Assign] then restrict every
+   other antecedent atom to the seed's bindings.  The same match can be
+   reached from several seed positions, so callers deduplicate
+   ({!canonical_violations}). *)
+let iter_seeded_violations d g ic atom ~f =
+  let pred = Relational.Atom.pred atom in
+  let args = Relational.Atom.args atom in
+  let relevant = Ic.Relevant.relevant_universal_vars g in
+  let universal = Ic.Constr.universal_vars g in
+  let checkers =
+    List.map (Assign.prepared_exists d ~bound:universal) g.Ic.Constr.cons
+  in
+  let fast_consequent theta =
+    List.exists (fun check -> check theta) checkers || phi_holds g theta
+  in
+  let null_escape theta =
+    List.exists
+      (fun x ->
+        match Assign.find theta x with
+        | Some v -> Value.is_null v
+        | None -> false)
+      relevant
+  in
+  List.iter
+    (fun ante_atom ->
+      if String.equal (Ic.Patom.pred ante_atom) pred then
+        match Assign.match_tuple Assign.empty (Ic.Patom.terms ante_atom) args with
+        | None -> ()
+        | Some seed ->
+            Assign.iter_join_with_witness d seed g.Ic.Constr.ante
+              ~f:(fun theta witness ->
+                if
+                  List.exists (Relational.Atom.equal atom) witness
+                  && not (null_escape theta || fast_consequent theta)
+                then f { ic; theta; matched = witness }))
+    g.Ic.Constr.ante
+
+(* One seeded pass per relevant constraint, instead of materializing every
+   violation of every constraint and filtering afterwards.  Constraints
+   that do not mention the atom's predicate in their antecedent cannot
+   match it and are skipped outright; for NNCs the answer is a direct
+   probe of the atom itself.  The result is canonical (sorted,
+   deduplicated). *)
 let violations_involving d ics atom =
   let pred = Relational.Atom.pred atom in
   let acc = ref [] in
@@ -151,9 +201,7 @@ let violations_involving d ics atom =
       if List.mem pred (Ic.Constr.preds ic) then
         match ic with
         | Ic.Constr.Generic g ->
-            iter_generic_violations d g ic ~f:(fun v ->
-                if List.exists (Relational.Atom.equal atom) v.matched then
-                  acc := v :: !acc)
+            iter_seeded_violations d g ic atom ~f:(fun v -> acc := v :: !acc)
         | Ic.Constr.NotNull n ->
             if
               String.equal n.pred pred
@@ -162,7 +210,7 @@ let violations_involving d ics atom =
               && Instance.mem atom d
             then acc := { ic; theta = Assign.empty; matched = [ atom ] } :: !acc)
     ics;
-  List.rev !acc
+  canonical_violations !acc
 
 (* ------------------------------------------------------------------ *)
 (* Incremental maintenance.
@@ -174,19 +222,32 @@ let violations_involving d ics atom =
    out of a generic constraint's consequent, insertions can only create
    violations (every new antecedent match uses a new tuple, and none of
    its witnesses changed) and deletions can only remove them — one
-   [violations_involving] probe per inserted atom plus a filter over the
-   previous violations replaces the full join.  Only a constraint whose
-   consequent predicates are touched (an insertion may silence an old
-   violation, a deletion may orphan an old match) is re-evaluated from
-   scratch. *)
+   seeded [violations_involving] probe per inserted atom plus a filter
+   over the previous violations replaces the full join.
 
-let compare_violation a b =
-  (* matched is in antecedent order, so (ic, matched) determines theta *)
-  match Ic.Constr.compare a.ic b.ic with
-  | 0 -> List.compare Relational.Atom.compare a.matched b.matched
-  | c -> c
+   A constraint whose consequent predicates are touched used to be
+   re-evaluated from scratch; it is now maintained by probes seeded on the
+   delta's atoms:
 
-let canonical_violations vs = List.sort_uniq compare_violation vs
+   - a previous violation survives unless a matched atom was deleted or an
+     inserted tuple now witnesses its consequent (one prepared probe per
+     kept violation);
+   - an inserted antecedent atom contributes its seeded violations as in
+     the fast tier;
+   - a deleted atom matching a consequent pattern may orphan antecedent
+     matches it was the last witness of.  Unifying the deleted tuple
+     against the consequent atom and restricting to the constraint's
+     universal variables yields exactly the bindings the lost witness
+     could have served; the antecedent join seeded with that restriction
+     re-derives every such match, and the standard violation test (on the
+     new instance) filters the ones that still have another witness.
+
+   Completeness: a violation of the new instance either reuses only old
+   tuples — then it was either already a violation (kept) or was silenced
+   by a witness that must have been deleted (orphan seed finds it) — or
+   matches an inserted tuple (insertion seed finds it).  The result is
+   canonicalized, which also collapses seeds rediscovering the same
+   match. *)
 
 type delta_stats = { reused : int; fast : int; rescanned : int }
 
@@ -227,7 +288,7 @@ let check_delta ~before ~inserted ~deleted d ics =
                   Some { ic; theta = Assign.empty; matched = [ a ] }
                 else None)
               inserted
-      | Ic.Constr.Generic _ ->
+      | Ic.Constr.Generic g ->
           let cons_touched =
             List.exists
               (fun p -> List.mem p touched_preds)
@@ -235,7 +296,60 @@ let check_delta ~before ~inserted ~deleted d ics =
           in
           if cons_touched then begin
             incr rescanned;
-            violations d ic
+            let ante_preds = Ic.Constr.ante_preds ic in
+            let kept =
+              List.filter
+                (fun v ->
+                  Ic.Constr.equal v.ic ic
+                  && (not
+                        (List.exists
+                           (fun a ->
+                             List.exists (Relational.Atom.equal a) v.matched)
+                           deleted))
+                  && not (consequent_holds d g v.theta))
+                before
+            in
+            let from_inserts =
+              List.concat_map
+                (fun a ->
+                  if List.mem (Relational.Atom.pred a) ante_preds then
+                    violations_involving d [ ic ] a
+                  else [])
+                inserted
+            in
+            let universal = Ic.Constr.universal_vars g in
+            let orphans = ref [] in
+            List.iter
+              (fun a ->
+                let pred = Relational.Atom.pred a in
+                List.iter
+                  (fun cons_atom ->
+                    if String.equal (Ic.Patom.pred cons_atom) pred then
+                      match
+                        Assign.match_tuple Assign.empty
+                          (Ic.Patom.terms cons_atom)
+                          (Relational.Atom.args a)
+                      with
+                      | None -> ()
+                      | Some theta0 ->
+                          let seed = Assign.restrict theta0 universal in
+                          let relevant = Ic.Relevant.relevant_universal_vars g in
+                          Assign.iter_join_with_witness d seed g.Ic.Constr.ante
+                            ~f:(fun theta witness ->
+                              let null_escape =
+                                List.exists
+                                  (fun x ->
+                                    match Assign.find theta x with
+                                    | Some v -> Value.is_null v
+                                    | None -> false)
+                                  relevant
+                              in
+                              if not (null_escape || consequent_holds d g theta)
+                              then
+                                orphans := { ic; theta; matched = witness } :: !orphans))
+                  g.Ic.Constr.cons)
+              deleted;
+            kept @ from_inserts @ !orphans
           end
           else begin
             incr fast;

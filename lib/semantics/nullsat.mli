@@ -52,7 +52,12 @@ val canonical_violations : violation list -> violation list
 type delta_stats = {
   reused : int;     (** constraints whose relations the delta left untouched *)
   fast : int;       (** touched constraints updated by probes and filters *)
-  rescanned : int;  (** touched constraints re-evaluated from scratch *)
+  rescanned : int;
+      (** touched constraints whose consequent the delta reaches — once full
+          re-evaluations, now maintained by joins seeded on the delta's
+          atoms (kept-violation re-probes, insertion seeds, orphaned-witness
+          seeds); the historical field name is kept for telemetry
+          continuity *)
 }
 
 val check_delta :
@@ -69,10 +74,12 @@ val check_delta :
     instance [d] touching only the constraints whose relations the delta
     mentions.  Untouched constraints keep their [before] violations;
     touched constraints whose consequent stays clear of the delta are
-    updated by per-atom {!violations_involving} probes and a filter;
-    only the rest are re-evaluated.  The result equals
-    [canonical_violations (check d ics)] (property-tested), in canonical
-    order. *)
+    updated by per-atom {!violations_involving} probes and a filter; the
+    rest — where an insertion may silence an old violation and a deletion
+    may orphan an old match — are maintained by antecedent joins seeded on
+    each delta atom's bindings rather than re-evaluated from scratch.  The
+    result equals [canonical_violations (check d ics)] (property-tested),
+    in canonical order. *)
 
 val consequent_holds :
   Relational.Instance.t -> Ic.Constr.generic -> Assign.t -> bool
@@ -94,7 +101,9 @@ val consequent_holds :
 val violations_involving :
   Relational.Instance.t -> Ic.Constr.t list -> Relational.Atom.t -> violation list
 (** Violations of the instance whose antecedent match mentions the given
-    atom (for NNCs: the offending atom itself). *)
+    atom (for NNCs: the offending atom itself), computed by seeding each
+    antecedent join with the atom's bindings — index probes bounded by the
+    atom's neighbourhood, never a full enumeration.  Canonically ordered. *)
 
 val can_insert :
   Relational.Instance.t -> Ic.Constr.t list -> Relational.Atom.t ->

@@ -384,3 +384,51 @@ let denial_workload ?(seed = 42) ~n ~viol_rate () =
           [ atom "P" [ v "x"; v "y" ]; atom "P" [ v "y"; v "x" ] ];
       ];
   }
+
+let scale_workload ?(seed = 42) ?(tuples = 100_000) ?(null_rate = 0.01)
+    ?(fd_conflicts = 4) ?(orphans = 4) () =
+  let rng = Random.State.make [| seed; tuples |] in
+  (* integer ids intern densely; owners draw from a bounded pool so the FD
+     key side dominates the symbol table, as real dimension tables do *)
+  let conflicts = min fd_conflicts (max 0 (tuples - 2)) in
+  let base = max 2 (tuples - conflicts) in
+  let n_parent = max 1 (base * 2 / 5) in
+  let n_child = base - n_parent in
+  let owners = max 2 (n_parent / 16) in
+  let parents =
+    List.init n_parent (fun i ->
+        let owner =
+          maybe_null rng null_rate (Value.str (Printf.sprintf "o%d" (i mod owners)))
+        in
+        ("R", [ Value.int i; owner ]))
+  in
+  let conflict_rows =
+    (* duplicate an existing key with a fresh owner: one FD 2-clique each *)
+    List.init conflicts (fun j ->
+        let key = Random.State.int rng (max 1 n_parent) in
+        ("R", [ Value.int key; Value.str (Printf.sprintf "dup%d" j) ]))
+  in
+  let n_orphans = min orphans n_child in
+  let children =
+    List.init n_child (fun i ->
+        let target =
+          if i < n_orphans then Value.int (n_parent + 1 + i)
+          else
+            maybe_null rng null_rate
+              (Value.int (Random.State.int rng (max 1 n_parent)))
+        in
+        ("S", [ Value.int (1_000_000_000 + i); target ]))
+  in
+  {
+    label =
+      Printf.sprintf "scale n=%d null=%.3f conflicts=%d orphans=%d" tuples
+        null_rate conflicts n_orphans;
+    d = Instance.of_list (parents @ conflict_rows @ children);
+    ics =
+      Ic.Builder.key ~name_prefix:"key_r" ~pred:"R" ~arity:2 ~key:[ 1 ] ()
+      @ [
+          Ic.Builder.foreign_key ~name:"fk" ~child:"S" ~child_arity:2
+            ~child_cols:[ 2 ] ~parent:"R" ~parent_arity:2 ~parent_cols:[ 1 ] ();
+          Ic.Constr.not_null ~name:"nn_r1" ~pred:"R" ~arity:2 ~pos:1 ();
+        ];
+  }

@@ -87,3 +87,19 @@ val route_case : ?seed:int -> unit -> t
 val denial_workload : ?seed:int -> n:int -> viol_rate:float -> unit -> t
 (** Denial constraint [P(x,y), P(y,x) -> false] (no bilateral predicates:
     always HCF, Corollary 1). *)
+
+val scale_workload :
+  ?seed:int -> ?tuples:int -> ?null_rate:float -> ?fd_conflicts:int ->
+  ?orphans:int -> unit -> t
+(** The large-instance workload behind bench table E19 (and any future
+    server bench): an FK chain with FD clusters at parameterized
+    cardinality.  Parent [R(id, owner)] (~40% of [tuples], int keys, owners
+    drawn from a small pool, [null_rate] of them null) under the key
+    [R[1]], the NNC [R[1] NOT NULL], and the foreign key [S[2] -> R[1]]
+    over child [S(cid, ref)] (the remaining ~60%).  Exactly [fd_conflicts]
+    duplicated keys (one FD 2-clique each) and [orphans] dangling
+    references keep the conflict count — and hence repair/CQA cost —
+    independent of [tuples], so the tables measure storage and checking
+    throughput, not search growth; [null_rate] of the references are null
+    and exercise the null-escape of [|=_N] at scale.  Total cardinality is
+    exactly [tuples]. *)

@@ -3,14 +3,14 @@ trajectory depends on, and its --check-json self-test accepts it
 (micro-benchmark quota lowered so the cram run stays fast; row counts are
 structural and quota-independent):
 
-  $ cqanull-bench --json baseline.json --micro --quota 0.005 > /dev/null
+  $ cqanull-bench --json baseline.json --micro --quota 0.005 --scale 30000 > /dev/null
   $ cqanull-bench --check-json baseline.json
-  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows)
+  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows)
 
 Stable top-level keys, in order (anchored to top-level indentation, since
 budget rows carry a "decompose" field of their own):
 
-  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel|session|routing)"' baseline.json
+  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel|session|routing|scale)"' baseline.json
     "schema"
     "tool"
     "unit"
@@ -21,6 +21,7 @@ budget rows carry a "decompose" field of their own):
     "parallel"
     "session"
     "routing"
+    "scale"
 
 The solver telemetry carries both engines for each E4 benchmark and every
 counter field is numeric:
@@ -88,6 +89,24 @@ the three parallel rows and the session row, eight identical flags:
   $ grep -c '"identical": "true"' baseline.json
   8
 
+The scale telemetry (E19) pushes a generated FK+FD workload through the
+columnar storage at the --scale size and a tenth of it: bulk load, full
+|=_N check and Auto CQA wall-clocks with tuples/sec, the resident set,
+and a small update batch checked both incrementally (probes seeded on
+the delta atoms) and by a full re-check — the two must agree exactly
+(delta_identical, guarded by --check-json; at n >= 100000 the checked-in
+baseline must also show the >= 10x incremental speedup):
+
+  $ grep -c '"name": "E19.scale' baseline.json
+  2
+  $ grep -oE '"name": "E19[^"]*"' baseline.json
+  "name": "E19.scale.n3000"
+  "name": "E19.scale.n30000"
+  $ grep -c '"delta_identical": "true"' baseline.json
+  2
+  $ grep -c '"load_tps"' baseline.json
+  2
+
 The checked-in baselines all validate — the PR1 file under the original
 schema, the PR2 file with the decomposition section, the PR3 file with the
 budget counters:
@@ -104,6 +123,16 @@ budget counters:
   ../../BENCH_PR5.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows)
   $ cqanull-bench --check-json ../../BENCH_PR6.json
   ../../BENCH_PR6.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows)
+  $ cqanull-bench --check-json ../../BENCH_PR7.json
+  ../../BENCH_PR7.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows)
+
+The committed PR7 baseline was recorded at --scale 1000000: its headline
+row loads, checks and answers a million-tuple instance, and its 10^5 row
+is the one the >= 10x incremental-check guard engages on:
+
+  $ grep -oE '"name": "E19[^"]*"' ../../BENCH_PR7.json
+  "name": "E19.scale.n100000"
+  "name": "E19.scale.n1000000"
 
 The regression guard compares the E1/E2 micro rows of the two checked-in
 baselines within a 10x tolerance:
@@ -138,6 +167,17 @@ an all-direct FD row at least 10x faster than decomposed enumeration
   compare ok (3 guarded rows, tolerance 10x)
   $ cqanull-bench --compare-json baseline.json baseline.json | grep -c '^routing E18'
   4
+
+Across the /7 bump it additionally covers the scale section — the
+load/check/cqa wall-clocks per shared row within tolerance, plus the
+outright contracts on the new baseline (incremental check identical to
+the full re-check; the >= 10x speedup at n >= 10^5 not lost):
+
+  $ cqanull-bench --compare-json ../../BENCH_PR6.json ../../BENCH_PR7.json > compare67.out
+  $ tail -1 compare67.out
+  compare ok (3 guarded rows, tolerance 10x)
+  $ cqanull-bench --compare-json baseline.json baseline.json | grep -c '^scale E19'
+  6
 
 Malformed input is rejected:
 
@@ -190,4 +230,23 @@ decomposed enumeration by 10x:
   $ sed 's/"speedup_vs_enumerate": [0-9.]*/"speedup_vs_enumerate": 2.0/g' baseline.json > slow6.json
   $ cqanull-bench --check-json slow6.json
   slow6.json: no all-direct routing row beats decomposed enumeration by >= 10x
+  [1]
+
+Same in both directions for the scale section new in /7, and its two data
+contracts: a baseline whose incremental check diverged from the full
+re-check is rejected, as is one whose 10^5-row speedup fell below 10x:
+
+  $ sed 's|"schema": "cqanull-bench/7"|"schema": "cqanull-bench/6"|' baseline.json > drift7.json
+  $ cqanull-bench --check-json drift7.json
+  drift7.json: section "scale" requires schema cqanull-bench/7
+  [1]
+
+  $ sed 's/"delta_identical": "true"/"delta_identical": "false"/' baseline.json > diverged7.json
+  $ cqanull-bench --check-json diverged7.json
+  diverged7.json: incremental check in "E19.scale.n3000" diverged from the full re-check
+  [1]
+
+  $ sed 's/"delta_speedup": [0-9.]*/"delta_speedup": 2.0/g' ../../BENCH_PR7.json > slow7.json
+  $ cqanull-bench --check-json slow7.json
+  slow7.json: delta speedup 2.00x below 10x at n=100000 in "E19.scale.n100000"
   [1]

@@ -290,6 +290,160 @@ let prop_hash_discriminates_constructors =
     (QCheck.pair value_arb value_arb) (fun (a, b) ->
       Value.equal a b || Value.hash a <> Value.hash b)
 
+(* ------------------------------------------------------------------ *)
+(* Columnar storage vs the functional-set oracle (Instance.Naive).
+
+   The columnar representation (interned segments + deletion/extra
+   overlays) must be observationally identical to the old Tuple.Set-per-
+   predicate maps it replaced, over the whole signature — including the
+   printed form byte for byte and the sign of [compare], which the repair
+   engine's canonical orders rest on.  The generator crosses the
+   representation's regimes on purpose: a bulk [of_atoms] build (segment-
+   backed once a predicate holds >= 8 rows), incremental additions (the
+   extra overlay), and removals of both segment rows (the deletion
+   overlay) and freshly added ones. *)
+
+module Naive = Instance.Naive
+
+let script_gen =
+  QCheck.Gen.(
+    let* base = list_size (int_range 0 40) atom_gen in
+    let* extras = list_size (int_range 0 10) atom_gen in
+    let* mask = list_repeat (List.length base) bool in
+    let removes =
+      List.filteri (fun i _ -> List.nth mask i) base
+    in
+    return (base, extras, removes))
+
+let script_print (base, extras, removes) =
+  Fmt.str "base=%a extras=%a removes=%a"
+    Instance.pp_inline (Instance.of_atoms base)
+    Instance.pp_inline (Instance.of_atoms extras)
+    Instance.pp_inline (Instance.of_atoms removes)
+
+let script_arb = QCheck.make ~print:script_print script_gen
+
+let build_pair (base, extras, removes) =
+  let d =
+    List.fold_left (fun d a -> Instance.remove a d)
+      (List.fold_left (fun d a -> Instance.add a d) (Instance.of_atoms base)
+         extras)
+      removes
+  in
+  let n =
+    List.fold_left (fun d a -> Naive.remove a d)
+      (List.fold_left (fun d a -> Naive.add a d) (Naive.of_atoms base) extras)
+      removes
+  in
+  (d, n)
+
+let to_naive d = Naive.of_atoms (Instance.atoms d)
+let of_naive n = Instance.of_atoms (Naive.atoms n)
+
+let same_observables probe_atoms d n =
+  List.length (Instance.atoms d) = List.length (Naive.atoms n)
+  && List.for_all2 Atom.equal (Instance.atoms d) (Naive.atoms n)
+  && Atom.Set.equal (Instance.atom_set d) (Naive.atom_set n)
+  && Instance.cardinal d = Naive.cardinal n
+  && Instance.is_empty d = Naive.is_empty n
+  && Instance.preds d = Naive.preds n
+  && List.for_all
+       (fun p -> Tuple.Set.equal (Instance.tuples d p) (Naive.tuples n p))
+       [ "P"; "Q"; "R"; "Absent" ]
+  && List.for_all (fun a -> Instance.mem a d = Naive.mem a n) probe_atoms
+  && Instance.fold (fun a acc -> a :: acc) d []
+     = Naive.fold (fun a acc -> a :: acc) n []
+  && Instance.active_domain d = Naive.active_domain n
+  && Instance.active_domain_non_null d = Naive.active_domain_non_null n
+  && Instance.null_count d = Naive.null_count n
+  && Fmt.str "%a" Instance.pp d = Fmt.str "%a" Naive.pp n
+  && Fmt.str "%a" Instance.pp_inline d = Fmt.str "%a" Naive.pp_inline n
+
+let prop_naive_differential =
+  QCheck.Test.make ~name:"columnar = Naive oracle (unary ops, 500 cases)"
+    ~count:500 script_arb (fun ((base, extras, removes) as s) ->
+      let d, n = build_pair s in
+      let probes = base @ extras @ removes in
+      same_observables probes d n
+      && (let keep a = Atom.pred a <> "Q" in
+          same_observables probes (Instance.filter keep d) (Naive.filter keep n)))
+
+let sign x = Stdlib.compare x 0
+
+let prop_naive_differential_binary =
+  QCheck.Test.make ~name:"columnar = Naive oracle (set ops, 500 cases)"
+    ~count:500 (QCheck.pair script_arb script_arb) (fun (sa, sb) ->
+      let da, na = build_pair sa and db, nb = build_pair sb in
+      let check_op op nop =
+        let r = op da db and nr = nop na nb in
+        same_observables (Instance.atoms r) r nr
+      in
+      check_op Instance.union Naive.union
+      && check_op Instance.diff Naive.diff
+      && check_op Instance.inter Naive.inter
+      && check_op Instance.symdiff Naive.symdiff
+      && Instance.subset da db = Naive.subset na nb
+      && Instance.subset (Instance.inter da db) da
+      && Instance.equal da db = Naive.equal na nb
+      && sign (Instance.compare da db) = sign (Naive.compare na nb)
+      && sign (Instance.compare db da) = sign (Naive.compare nb na))
+
+(* Mixed-origin operands: one side converted through the other
+   representation's constructor, so segment-vs-overlay asymmetries in the
+   binary fast paths (shared segment, segless, small-into-big) get hit
+   against rebuilt operands too. *)
+let prop_naive_differential_rebuilt =
+  QCheck.Test.make ~name:"columnar = Naive oracle (rebuilt operands)"
+    ~count:200 (QCheck.pair script_arb script_arb) (fun (sa, sb) ->
+      let da, na = build_pair sa and db, _ = build_pair sb in
+      let db' = of_naive (to_naive db) in
+      Instance.equal db db'
+      && same_observables (Instance.atoms da)
+           (Instance.union da db')
+           (Naive.union na (to_naive db'))
+      && sign (Instance.compare da db') = sign (Naive.compare na (to_naive db')))
+
+(* check_delta seeding aside, the index probes themselves must agree with
+   a filter of the full scan — order included: segment postings ascending,
+   then the extra overlay. *)
+let prop_iter_matching =
+  QCheck.Test.make ~name:"iter_matching = filtered scan" ~count:300
+    (QCheck.pair script_arb (QCheck.make value_gen)) (fun (s, v) ->
+      let d, _ = build_pair s in
+      List.for_all
+        (fun (p, arity) ->
+          List.for_all
+            (fun pos ->
+              let probed = ref [] in
+              Instance.iter_matching d p ~pos v (fun t ->
+                  probed := t :: !probed);
+              let scanned = ref [] in
+              Instance.iter_rel d p (fun t ->
+                  if Value.equal t.(pos) v then scanned := t :: !scanned);
+              List.sort Tuple.compare !probed
+              = List.sort Tuple.compare !scanned
+              && Instance.exists_matching d p ~pos v (fun _ -> true)
+                 = (!scanned <> []))
+            (List.init arity (fun i -> i)))
+        [ ("P", 2); ("Q", 1); ("R", 3) ])
+
+(* Deterministic compaction crossing: a segment-backed relation pushed
+   through > threshold incremental additions (forcing at least one
+   rebuild), then partially deleted, stays identical to the oracle. *)
+let test_compaction_crossing () =
+  let mk i = Atom.make "P" [ vi i; (if i mod 7 = 0 then v_null else vi (i * 2)) ] in
+  let base = List.init 2000 mk in
+  let extras = List.init 1100 (fun i -> mk (10_000 + i)) in
+  let removes = List.init 500 (fun i -> mk (i * 3)) in
+  let d, n = build_pair (base, extras, removes) in
+  Alcotest.(check int) "cardinal" (Naive.cardinal n) (Instance.cardinal d);
+  Alcotest.(check int) "null_count" (Naive.null_count n) (Instance.null_count d);
+  Alcotest.(check bool) "observables" true
+    (same_observables (base @ extras) d n);
+  let resurrected = Instance.add (mk 1) (Instance.remove (mk 1) d) in
+  Alcotest.(check bool) "remove/re-add roundtrip" true
+    (Instance.equal d resurrected)
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -347,4 +501,14 @@ let () =
             prop_hash_equal_coherent;
             prop_hash_discriminates_constructors;
           ] );
+      ( "columnar vs naive",
+        Alcotest.test_case "compaction crossing" `Quick
+          test_compaction_crossing
+        :: qcheck
+             [
+               prop_naive_differential;
+               prop_naive_differential_binary;
+               prop_naive_differential_rebuilt;
+               prop_iter_matching;
+             ] );
     ]

@@ -204,6 +204,69 @@ let diff_check_delta_test =
           w.Gen.label
       else true)
 
+(* The seeded tier-3 path specifically: FD/RIC workloads whose foreign
+   key's consequent relation the delta touches, so check_delta cannot
+   stay on the reused/fast tiers — deleting parents orphans children
+   (orphaned-witness seeds), re-inserting them silences violations
+   (kept-violation re-probes), and inserting children triggers insertion
+   seeds.  Compared against the full canonical recheck on the generated
+   key+FK+not-null workloads, including the large-instance generator the
+   E19 bench rows use (at test-sized n). *)
+let diff_check_delta_seeded_test =
+  QCheck.Test.make ~name:"check_delta seeded tier = full recheck (200 cases)"
+    ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let w =
+        match seed mod 3 with
+        | 0 ->
+            Gen.scale_workload ~seed ~tuples:(60 + (seed mod 120))
+              ~null_rate:0.1 ()
+        | 1 ->
+            Gen.fk_workload ~seed ~n_parent:6 ~n_child:9 ~orphan_rate:0.3
+              ~null_rate:0.2 ()
+        | _ -> Gen.fd_workload ~seed ~n:6 ~dup_rate:0.5 ~width:4 ()
+      in
+      let rng = Random.State.make [| seed; 23 |] in
+      let d = ref w.Gen.d in
+      let before =
+        ref (Nullsat.canonical_violations (Nullsat.check !d w.Gen.ics))
+      in
+      let ok = ref true in
+      let rescans = ref 0 in
+      for _ = 1 to 3 do
+        (* bias the batch toward consequent relations: delete a present
+           atom (often a parent), then re-insert a previously deleted or
+           fresh one *)
+        let atoms = Instance.atoms !d in
+        let pick () = List.nth atoms (Random.State.int rng (List.length atoms)) in
+        let ops =
+          if atoms = [] then [ Delta.insert (random_atom rng) ]
+          else
+            [ Delta.delete (pick ()); Delta.delete (pick ());
+              Delta.insert (pick ()) ]
+        in
+        let inserted, deleted = Delta.effective ops !d in
+        let d' = Delta.apply ops !d in
+        let incr, stats =
+          Nullsat.check_delta ~before:!before ~inserted ~deleted d' w.Gen.ics
+        in
+        rescans := !rescans + stats.Nullsat.rescanned;
+        let full = Nullsat.canonical_violations (Nullsat.check d' w.Gen.ics) in
+        if
+          not
+            (List.equal
+               (fun a b -> Nullsat.compare_violation a b = 0)
+               incr full)
+        then ok := false;
+        d := d';
+        before := incr
+      done;
+      if not !ok then
+        QCheck.Test.fail_reportf "seeded incremental violations diverge on %s"
+          w.Gen.label
+      else true)
+
 (* ------------------------------------------------------------------ *)
 (* Session differential: byte-identity with cold runs on the final
    instance, after every batch of a random delta sequence *)
@@ -465,6 +528,7 @@ let () =
         qcheck
           [
             diff_check_delta_test;
+            diff_check_delta_seeded_test;
             diff_session_enum_repairs;
             diff_session_prog_repairs;
             diff_session_enum_cqa;
