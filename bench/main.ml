@@ -530,8 +530,139 @@ let scale_telemetry ~scale () =
   in
   [ row (max 1_000 (scale / 10)); row scale ]
 
+(* Serve telemetry (E20): K concurrent clients replaying one identical
+   update/query script against a single in-process [Serve.Server] over a
+   temp Unix socket — the concurrent serving claim as checked data.  Every
+   client runs its own session over the shared base, so every reply must be
+   byte-identical to a cold private-protocol replay of the same script
+   ([identical], guarded); the process-global component cache must show
+   cross-session traffic (client 1 populates, clients 2..K hit entries they
+   do not own — [cross_hits] >= 1 is deterministic for K >= 2, guarded by
+   --check-json).  Latencies are measured per request at the client and
+   reported as p50/p99 alongside the aggregate request rate. *)
+let serve_telemetry ~clients () =
+  let k = 6 in
+  let w = Workload.Gen.clusters_workload ~padding:2 ~k () in
+  let query =
+    Query.Qsyntax.make ~head:[ "x" ]
+      (Query.Qsyntax.Atom (Ic.Patom.make "S" [ Ic.Term.var "x" ]))
+  in
+  let env =
+    {
+      Serve.Protocol.schema =
+        Relational.Schema.of_list
+          [ ("S", [ "x" ]); ("R", [ "x"; "y" ]); ("T", [ "x" ]);
+            ("Note", [ "x" ]) ];
+      queries = [ ("q1", query) ];
+    }
+  in
+  (* the E17 session script, spelled as protocol lines: a no-op insert,
+     then removing and restoring one cluster, with repairs/cqa probes
+     between the updates *)
+  let script =
+    [
+      "repairs"; "cqa q1";
+      "insert Note(a0)"; "repairs"; "cqa q1";
+      "delete S(a0)"; "repairs"; "cqa q1";
+      "insert S(a0)"; "repairs"; "cqa q1";
+    ]
+  in
+  let cfg =
+    {
+      Serve.Server.engine = Session.Program;
+      jobs = Parallel.Config.resolve 0;
+      cache_capacity = 4096;
+      timeout_ms = None;
+      want_stats = false;
+      max_line = Serve.Protocol.default_max_line;
+    }
+  in
+  let srv = Serve.Server.create cfg ~base:w.Workload.Gen.d ~ics:w.Workload.Gen.ics env in
+  (* the oracle: the same script through a cold private protocol (its own
+     session, its own cache) — what a lone [cqanull session] would print *)
+  let expected =
+    let cold_cfg =
+      {
+        Serve.Protocol.engine = Session.Program;
+        jobs = 1;
+        capacity = 4096;
+        timeout_ms = None;
+        want_stats = false;
+        allow_load = false;
+        max_line = Serve.Protocol.default_max_line;
+        cache = None;
+        extra_stats = None;
+      }
+    in
+    let p = Serve.Protocol.create cold_cfg in
+    ignore
+      (Serve.Protocol.attach ~violations:(Serve.Server.violations srv) p
+         ~base:w.Workload.Gen.d ~ics:w.Workload.Gen.ics env);
+    List.map (fun line -> (Serve.Protocol.exec p line).Serve.Protocol.text)
+      script
+  in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cqanull-bench-%d.sock" (Unix.getpid ()))
+  in
+  let fd = Serve.Server.listen_unix sock in
+  let server_thread = Thread.create (fun () -> Serve.Server.run srv fd) () in
+  let n_script = List.length script in
+  let latencies = Array.make (clients * n_script) 0.0 in
+  let identical = Atomic.make true in
+  let t0 = Unix.gettimeofday () in
+  let client_thread idx =
+    Thread.create
+      (fun () ->
+        match Serve.Client.connect ~retry_ms:5_000 (Unix.ADDR_UNIX sock) with
+        | Error _ -> Atomic.set identical false
+        | Ok c ->
+            List.iteri
+              (fun j line ->
+                let r0 = Unix.gettimeofday () in
+                let reply = Serve.Client.request c line in
+                latencies.((idx * n_script) + j) <-
+                  (Unix.gettimeofday () -. r0) *. 1000.;
+                match reply with
+                | Ok text when text = List.nth expected j -> ()
+                | Ok _ | Error `Closed -> Atomic.set identical false)
+              script;
+            Serve.Client.close c)
+      ()
+  in
+  let threads = List.init clients client_thread in
+  List.iter Thread.join threads;
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Serve.Server.request_stop srv;
+  Thread.join server_thread;
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  let cs = Session.Cache.stats (Serve.Server.cache srv) in
+  Array.sort compare latencies;
+  let pct p =
+    let n = Array.length latencies in
+    latencies.(min (n - 1) (p * n / 100))
+  in
+  let requests = clients * n_script in
+  [
+    ( Printf.sprintf "E20.serve.k%d.c%d" k clients,
+      clients,
+      requests,
+      wall_ms,
+      (if wall_ms > 0.0 then float_of_int requests /. (wall_ms /. 1000.)
+       else 0.0),
+      pct 50,
+      pct 99,
+      cs.Session.Cache.hits,
+      cs.Session.Cache.misses,
+      cs.Session.Cache.evictions,
+      cs.Session.Cache.cross_hits,
+      Session.Cache.cross_hit_rate cs,
+      Atomic.get identical );
+  ]
+
 let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
-    session_rows routing_rows scale_rows =
+    session_rows routing_rows scale_rows serve_rows =
   let open Table in
   let micro_rows =
     List.map
@@ -669,10 +800,32 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
           ])
       scale_rows
   in
+  let serve_json =
+    List.map
+      (fun ( name, clients, requests, wall_ms, req_per_s, p50_ms, p99_ms,
+             hits, misses, evictions, cross_hits, cross_hit_rate, identical ) ->
+        Obj
+          [
+            ("name", Str name);
+            ("clients", Int clients);
+            ("requests", Int requests);
+            ("wall_ms", Num wall_ms);
+            ("req_per_s", Num req_per_s);
+            ("p50_ms", Num p50_ms);
+            ("p99_ms", Num p99_ms);
+            ("hits", Int hits);
+            ("misses", Int misses);
+            ("evictions", Int evictions);
+            ("cross_hits", Int cross_hits);
+            ("cross_hit_rate", Num cross_hit_rate);
+            ("identical", Str (if identical then "true" else "false"));
+          ])
+      serve_rows
+  in
   let doc =
     Obj
       [
-        ("schema", Str "cqanull-bench/7");
+        ("schema", Str "cqanull-bench/8");
         ("tool", Str "bench/main.exe --json");
         ("unit", Str "ns/run");
         ("micro", Arr micro_rows);
@@ -683,11 +836,12 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
         ("session", Arr session_json);
         ("routing", Arr routing_json);
         ("scale", Arr scale_json);
+        ("serve", Arr serve_json);
       ]
   in
   Out_channel.with_open_text path (fun oc -> output_string oc (emit doc));
   Printf.printf
-    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows)\n"
+    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows, %d serve rows)\n"
     path
     (List.length micro_rows)
     (List.length telemetry_rows)
@@ -697,6 +851,7 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
     (List.length session_json)
     (List.length routing_json)
     (List.length scale_json)
+    (List.length serve_json)
 
 (* --check-json: the baseline format's self-test.  Guards the stable keys
    and the numeric fields so the file future PRs diff against cannot drift
@@ -736,7 +891,7 @@ let check_json path =
   (match schema with
   | "cqanull-bench/1" | "cqanull-bench/2" | "cqanull-bench/3"
   | "cqanull-bench/4" | "cqanull-bench/5" | "cqanull-bench/6"
-  | "cqanull-bench/7" -> ()
+  | "cqanull-bench/7" | "cqanull-bench/8" -> ()
   | s -> fail (Printf.sprintf "unknown schema %S" s));
   ignore (str_field doc "tool");
   ignore (str_field doc "unit");
@@ -798,7 +953,7 @@ let check_json path =
   let budget =
     match schema with
     | "cqanull-bench/3" | "cqanull-bench/4" | "cqanull-bench/5"
-    | "cqanull-bench/6" | "cqanull-bench/7" ->
+    | "cqanull-bench/6" | "cqanull-bench/7" | "cqanull-bench/8" ->
         arr_field doc "budget"
     | _ -> []
   in
@@ -838,6 +993,7 @@ let check_json path =
   (if
      schema <> "cqanull-bench/4" && schema <> "cqanull-bench/5"
      && schema <> "cqanull-bench/6" && schema <> "cqanull-bench/7"
+     && schema <> "cqanull-bench/8"
    then begin
      if Table.member "parallel" doc <> None then
        fail "section \"parallel\" requires schema cqanull-bench/4"
@@ -891,7 +1047,7 @@ let check_json path =
      request. *)
   (if
      schema <> "cqanull-bench/5" && schema <> "cqanull-bench/6"
-     && schema <> "cqanull-bench/7"
+     && schema <> "cqanull-bench/7" && schema <> "cqanull-bench/8"
    then begin
      if Table.member "session" doc <> None then
        fail "section \"session\" requires schema cqanull-bench/5"
@@ -931,7 +1087,10 @@ let check_json path =
      the byte-identity contract with the enumerate oracle; at least one
      all-direct FD row must beat decomposed enumeration by >= 10x — the
      fast-path claim as a checked fact, not prose. *)
-  (if schema <> "cqanull-bench/6" && schema <> "cqanull-bench/7" then begin
+  (if
+     schema <> "cqanull-bench/6" && schema <> "cqanull-bench/7"
+     && schema <> "cqanull-bench/8"
+   then begin
      if Table.member "routing" doc <> None then
        fail "section \"routing\" requires schema cqanull-bench/6"
    end
@@ -986,7 +1145,7 @@ let check_json path =
      >= 10x — the indexed-maintenance claim as a checked fact, not prose.
      Smaller rows are exempt: at cram-sized instances both clocks sit in
      the sub-millisecond noise floor. *)
-  (if schema <> "cqanull-bench/7" then begin
+  (if schema <> "cqanull-bench/7" && schema <> "cqanull-bench/8" then begin
      if Table.member "scale" doc <> None then
        fail "section \"scale\" requires schema cqanull-bench/7"
    end
@@ -1025,6 +1184,60 @@ let check_json path =
                 "delta speedup %.2fx below 10x at n=%d in %S"
                 (num_field row "delta_speedup") n name))
        scale);
+  (* /8 adds the concurrent-serving telemetry.  Exclusive to /8 in both
+     directions, like the earlier sections.  Every row must replay >= 2
+     concurrent clients, report positive throughput and ordered positive
+     percentiles (p99 >= p50 > 0), hold the byte-identity contract with
+     the cold single-session replay ([identical], checked data), and show
+     the process-global cache actually being shared across sessions —
+     cross_hits >= 1 and a positive cross-session hit rate.  A server
+     whose cache silently degrades to per-connection privacy fails the
+     baseline even if every answer stays correct. *)
+  (if schema <> "cqanull-bench/8" then begin
+     if Table.member "serve" doc <> None then
+       fail "section \"serve\" requires schema cqanull-bench/8"
+   end
+   else
+     let serve = arr_field doc "serve" in
+     if serve = [] then fail "empty serve section";
+     List.iter
+       (fun row ->
+         let name = str_field row "name" in
+         if int_field row "clients" < 2 then
+           fail (Printf.sprintf "fewer than 2 clients in %S" name);
+         if int_field row "requests" < 1 then
+           fail (Printf.sprintf "no requests served in %S" name);
+         List.iter
+           (fun key ->
+             if num_field row key <= 0.0 then
+               fail (Printf.sprintf "non-positive %S in %S" key name))
+           [ "wall_ms"; "req_per_s"; "p50_ms"; "p99_ms" ];
+         if num_field row "p99_ms" < num_field row "p50_ms" then
+           fail (Printf.sprintf "p99 below p50 in %S" name);
+         List.iter
+           (fun key ->
+             if int_field row key < 0 then
+               fail (Printf.sprintf "negative field %S in %S" key name))
+           [ "hits"; "misses"; "evictions" ];
+         if int_field row "cross_hits" < 1 then
+           fail
+             (Printf.sprintf
+                "no cross-session cache hits in %S — the global cache is \
+                 not shared"
+                name);
+         if num_field row "cross_hit_rate" <= 0.0 then
+           fail
+             (Printf.sprintf "non-positive cross_hit_rate in %S" name);
+         match str_field row "identical" with
+         | "true" -> ()
+         | "false" ->
+             fail
+               (Printf.sprintf
+                  "serve replay %S diverged from the cold single-session \
+                   answers"
+                  name)
+         | s -> fail (Printf.sprintf "non-boolean identical %S in %S" s name))
+       serve);
   match schema with
   | "cqanull-bench/1" ->
       Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
@@ -1065,7 +1278,7 @@ let check_json path =
           (List.length (rows "parallel"))
           (List.length (rows "session"))
           (List.length (rows "routing"))
-      else
+      else if schema = "cqanull-bench/7" then
         Printf.printf
           "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows)\n"
           path (List.length micro) (List.length solver)
@@ -1074,6 +1287,16 @@ let check_json path =
           (List.length (rows "session"))
           (List.length (rows "routing"))
           (List.length (rows "scale"))
+      else
+        Printf.printf
+          "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows, %d serve rows)\n"
+          path (List.length micro) (List.length solver)
+          (List.length decompose) (List.length budget)
+          (List.length (rows "parallel"))
+          (List.length (rows "session"))
+          (List.length (rows "routing"))
+          (List.length (rows "scale"))
+          (List.length (rows "serve"))
 
 (* --compare-json OLD NEW: regression guard over the micro rows both files
    share in the E1/E2 families.  Bechamel estimates from ~5ms cram quotas
@@ -1302,6 +1525,55 @@ let compare_json ~tolerance old_path new_path =
           old_rows
     | _ -> ()
   in
+  (* Serve telemetry carries across baselines only when both files have it
+     (the section is new in cqanull-bench/8): the p50 latency is guarded
+     with the micro-row tolerance, and a new baseline with diverged
+     concurrent answers or a cache that stopped crossing session
+     boundaries fails outright — both are contracts, not perf numbers. *)
+  let serve_guard old_doc new_doc =
+    match (Table.member "serve" old_doc, Table.member "serve" new_doc) with
+    | Some (Table.Arr old_rows), Some (Table.Arr new_rows) ->
+        let num row key =
+          match Table.member key row with
+          | Some (Table.Num f) -> Some f
+          | Some (Table.Int i) -> Some (float_of_int i)
+          | _ -> None
+        in
+        List.iter
+          (fun row ->
+            (match Table.member "identical" row with
+            | Some (Table.Str "true") -> ()
+            | _ -> fail "new baseline has a diverged serve row");
+            match num row "cross_hits" with
+            | Some c when c >= 1.0 -> ()
+            | _ ->
+                fail
+                  "new baseline's server cache shows no cross-session hits")
+          new_rows;
+        let p50 rows =
+          List.find_map (fun row -> num row "p50_ms") rows
+        in
+        (match
+           ( List.find_map (fun row -> num row "req_per_s") old_rows,
+             List.find_map (fun row -> num row "req_per_s") new_rows )
+        with
+        | Some old_rps, Some new_rps ->
+            Printf.printf "serve %.1f -> %.1f req/s (%.2fx)\n" old_rps
+              new_rps
+              (if old_rps > 0.0 then new_rps /. old_rps else 0.0)
+        | _ -> ());
+        (match (p50 old_rows, p50 new_rows) with
+        | Some old_ms, Some new_ms ->
+            Printf.printf "serve p50 %.2f -> %.2f ms (%.2fx)\n" old_ms new_ms
+              (if old_ms > 0.0 then new_ms /. old_ms else 0.0);
+            if old_ms > 0.0 && new_ms > tolerance *. old_ms then
+              fail
+                (Printf.sprintf
+                   "serve p50 latency regressed beyond %.0fx tolerance"
+                   tolerance)
+        | _ -> ())
+    | _ -> ()
+  in
   let micro_map doc =
     match Table.member "micro" doc with
     | Some (Table.Arr rows) ->
@@ -1348,6 +1620,7 @@ let compare_json ~tolerance old_path new_path =
   session_guard old_doc new_doc;
   routing_guard old_doc new_doc;
   scale_guard old_doc new_doc;
+  serve_guard old_doc new_doc;
   match regressions with
   | [] ->
       Printf.printf "compare ok (%d guarded rows, tolerance %.0fx)\n"
@@ -1359,39 +1632,47 @@ let compare_json ~tolerance old_path new_path =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse acc_names micro json check cmp quota scale = function
-    | [] -> (List.rev acc_names, micro, json, check, cmp, quota, scale)
-    | "--micro" :: rest -> parse acc_names true json check cmp quota scale rest
+  let rec parse acc_names micro json check cmp quota scale clients = function
+    | [] -> (List.rev acc_names, micro, json, check, cmp, quota, scale, clients)
+    | "--micro" :: rest ->
+        parse acc_names true json check cmp quota scale clients rest
     | "--json" :: file :: rest ->
-        parse acc_names micro (Some file) check cmp quota scale rest
+        parse acc_names micro (Some file) check cmp quota scale clients rest
     | "--check-json" :: file :: rest ->
-        parse acc_names micro json (Some file) cmp quota scale rest
+        parse acc_names micro json (Some file) cmp quota scale clients rest
     | "--compare-json" :: old_file :: new_file :: rest ->
         parse acc_names micro json check (Some (old_file, new_file)) quota
-          scale rest
+          scale clients rest
     | "--quota" :: q :: rest -> (
         match float_of_string_opt q with
         | Some q when q > 0.0 ->
-            parse acc_names micro json check cmp q scale rest
+            parse acc_names micro json check cmp q scale clients rest
         | _ ->
             Printf.eprintf "invalid --quota %S\n" q;
             exit 2)
     | "--scale" :: n :: rest -> (
         match int_of_string_opt n with
         | Some n when n >= 10 ->
-            parse acc_names micro json check cmp quota n rest
+            parse acc_names micro json check cmp quota n clients rest
         | _ ->
             Printf.eprintf "invalid --scale %S\n" n;
             exit 2)
-    | ("--json" | "--check-json" | "--quota" | "--scale") :: []
+    | "--clients" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 2 ->
+            parse acc_names micro json check cmp quota scale n rest
+        | _ ->
+            Printf.eprintf "invalid --clients %S (need >= 2)\n" n;
+            exit 2)
+    | ("--json" | "--check-json" | "--quota" | "--scale" | "--clients") :: []
     | "--compare-json" :: ([] | [ _ ]) ->
         Printf.eprintf "missing argument\n";
         exit 2
     | name :: rest ->
-        parse (name :: acc_names) micro json check cmp quota scale rest
+        parse (name :: acc_names) micro json check cmp quota scale clients rest
   in
-  let selected, micro, json, check, cmp, quota, scale =
-    parse [] false None None None 0.25 20_000 args
+  let selected, micro, json, check, cmp, quota, scale, clients =
+    parse [] false None None None 0.25 20_000 8 args
   in
   match (check, cmp) with
   | Some file, _ -> check_json file
@@ -1431,4 +1712,5 @@ let () =
             (parallel_telemetry ()) (session_telemetry ())
             (routing_telemetry ())
             (scale_telemetry ~scale ())
+            (serve_telemetry ~clients ())
       | None -> ()

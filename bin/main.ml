@@ -1,6 +1,7 @@
 (* cqanull — consistent query answering over databases with null values.
 
-   Subcommands: check, repairs, cqa, session, export, graph, solve. *)
+   Subcommands: check, repairs, cqa, session, serve, connect, export,
+   graph, solve. *)
 
 open Cmdliner
 
@@ -283,189 +284,35 @@ let cqa_cmd =
 (* ------------------------------------------------------------------ *)
 (* session: a line-protocol serving loop over the incremental engine *)
 
+let session_engine = function
+  | `Program -> Session.Program
+  | `Enumerate -> Session.Enumerate
+  | `Auto -> Session.Auto
+
 let session_cmd =
   let run file engine jobs timeout_ms want_stats capacity =
     let jobs = Parallel.Config.resolve jobs in
-    let engine =
-      match engine with
-      | `Program -> Session.Program
-      | `Enumerate -> Session.Enumerate
-      | `Auto -> Session.Auto
+    let engine = session_engine engine in
+    (* the REPL is the line protocol (shared with `cqanull serve`) wired
+       to stdin/stdout; Protocol.exec never raises, so a bad line can
+       never kill the loop *)
+    let p =
+      Serve.Protocol.create
+        (Serve.Protocol.repl_config ~engine ~jobs ?timeout_ms ~want_stats
+           ~capacity ())
     in
-    (* (session, loaded file) once a database is in; commands before that
-       are answered with an error instead of crashing the loop *)
-    let state = ref None in
-    let load_file path =
-      match Lang.Load.of_file path with
-      | Error msg -> Fmt.pr "error: %s@." msg
-      | Ok l ->
-          let s =
-            Session.create ~engine ~jobs ~capacity l.Lang.Load.instance
-              l.Lang.Load.ics
-          in
-          (* the file's own update statements replay through the engine,
-             so a later `stats` already shows their delta counters *)
-          if l.Lang.Load.updates <> [] then
-            Session.apply s l.Lang.Load.updates;
-          state := Some (s, l);
-          Fmt.pr "loaded %s: %d tuples, %d constraints, %d queries, %d \
-                  violation(s)@."
-            path
-            (Relational.Instance.cardinal (Session.instance s))
-            (List.length l.Lang.Load.ics)
-            (List.length l.Lang.Load.queries)
-            (List.length (Session.violations s))
+    let emit (r : Serve.Protocol.reply) =
+      print_string r.Serve.Protocol.text;
+      flush stdout
     in
-    let with_session f =
-      match !state with
-      | None -> Fmt.pr "error: no database loaded (use: load FILE)@."
-      | Some (s, l) -> f s l
-    in
-    (* updates are parsed by the surface parser itself: the whole line is
-       an `insert`/`delete` item (the trailing dot is optional here) *)
-    let do_update line =
-      with_session (fun s l ->
-          let line = String.trim line in
-          let line =
-            if String.length line > 0 && line.[String.length line - 1] = '.'
-            then line
-            else line ^ "."
-          in
-          match Lang.Parser.parse line with
-          | exception Lang.Parser.Parse_error (msg, _, col) ->
-              Fmt.pr "error: parse error at column %d: %s@." col msg
-          | exception Lang.Lexer.Lex_error (msg, _, col) ->
-              Fmt.pr "error: lexical error at column %d: %s@." col msg
-          | items -> (
-              let op_of = function
-                | Lang.Surface.Insert (name, vs) ->
-                    Some (Delta.insert (Relational.Atom.make name vs))
-                | Lang.Surface.Delete (name, vs) ->
-                    Some (Delta.delete (Relational.Atom.make name vs))
-                | _ -> None
-              in
-              match List.map op_of items with
-              | ops when List.for_all Option.is_some ops && ops <> [] -> (
-                  let ops = List.filter_map Fun.id ops in
-                  let bad =
-                    List.find_opt
-                      (fun op ->
-                        Result.is_error
-                          (Relational.Schema.check_atom l.Lang.Load.schema
-                             (Delta.atom op)))
-                      ops
-                  in
-                  match bad with
-                  | Some op ->
-                      Fmt.pr "error: %s@."
-                        (Result.fold ~ok:(fun () -> "") ~error:Fun.id
-                           (Relational.Schema.check_atom l.Lang.Load.schema
-                              (Delta.atom op)))
-                  | None ->
-                      Session.apply s ops;
-                      Fmt.pr "ok: %d tuples, %d violation(s)@."
-                        (Relational.Instance.cardinal
-                           (Session.instance s))
-                        (List.length (Session.violations s)))
-              | _ -> Fmt.pr "error: expected insert/delete statement(s)@."))
-    in
-    let do_repairs () =
-      with_session (fun s _ ->
-          let budget = start_budget ~timeout_ms ~want_stats ~jobs in
-          (match Session.repairs ?budget s with
-          | Error msg -> Fmt.pr "error: %s@." msg
-          | Ok reps -> print_repairs (Session.instance s) reps);
-          report_budget ~want_stats budget)
-    in
-    let do_cqa rest =
-      with_session (fun s l ->
-          let arg = String.trim rest in
-          let resolved =
-            match List.assoc_opt arg l.Lang.Load.queries with
-            | Some q -> Ok (arg, q)
-            | None when String.contains arg ':' -> (
-                (* inline query declaration, e.g. cqa q(X): P(X). *)
-                let text =
-                  "query "
-                  ^
-                  if String.length arg > 0
-                     && arg.[String.length arg - 1] = '.'
-                  then arg
-                  else arg ^ "."
-                in
-                match Lang.Parser.parse text with
-                | [ Lang.Surface.Query (name, head, body) ] -> (
-                    match Query.Qsyntax.make ~name ~head body with
-                    | q -> Ok (name, q)
-                    | exception Invalid_argument msg -> Error msg)
-                | _ -> Error "expected a single query"
-                | exception Lang.Parser.Parse_error (msg, _, col) ->
-                    Error (Printf.sprintf "parse error at column %d: %s" col msg)
-                | exception Lang.Lexer.Lex_error (msg, _, col) ->
-                    Error
-                      (Printf.sprintf "lexical error at column %d: %s" col msg))
-            | None ->
-                Error
-                  (Printf.sprintf
-                     "no query named %s (declare it in the file or pass \
-                      name(X): body)"
-                     arg)
-          in
-          match resolved with
-          | Error msg -> Fmt.pr "error: %s@." msg
-          | Ok (name, q) ->
-              Fmt.pr "query %s: %a@." name Query.Qsyntax.pp q;
-              let budget = start_budget ~timeout_ms ~want_stats ~jobs in
-              (match Session.cqa ?budget s q with
-              | Error msg -> Fmt.pr "  error: %s@." msg
-              | Ok outcome -> Fmt.pr "%a@." Query.Cqa.pp_outcome outcome);
-              report_budget ~want_stats budget)
-    in
-    let do_check () =
-      with_session (fun s _ ->
-          match Session.violations s with
-          | [] ->
-              Fmt.pr "consistent (%d tuples, %d constraints)@."
-                (Relational.Instance.cardinal (Session.instance s))
-                (List.length (Session.constraints s))
-          | violations ->
-              List.iter
-                (fun v -> Fmt.pr "%a@." Semantics.Nullsat.pp_violation v)
-                violations;
-              Fmt.pr "%d violation(s)@." (List.length violations))
-    in
-    let do_stats () =
-      with_session (fun s _ ->
-          Fmt.pr "%a@." Session.pp_stats (Session.stats s))
-    in
-    (match file with None -> () | Some f -> load_file f);
+    (match file with None -> () | Some f -> emit (Serve.Protocol.load p f));
     let rec loop () =
       match In_channel.input_line In_channel.stdin with
       | None -> 0
-      | Some line -> (
-          let line = String.trim line in
-          if line = "" || line.[0] = '%' then loop ()
-          else
-            let cmd, rest =
-              match String.index_opt line ' ' with
-              | None -> (line, "")
-              | Some i ->
-                  ( String.sub line 0 i,
-                    String.sub line (i + 1) (String.length line - i - 1) )
-            in
-            match cmd with
-            | "quit" | "exit" -> 0
-            | "load" -> load_file (String.trim rest); loop ()
-            | "insert" | "delete" -> do_update line; loop ()
-            | "cqa" -> do_cqa rest; loop ()
-            | "repairs" -> do_repairs (); loop ()
-            | "check" -> do_check (); loop ()
-            | "stats" -> do_stats (); loop ()
-            | _ ->
-                Fmt.pr "error: unknown command '%s' (load, insert, delete, \
-                        cqa, repairs, check, stats, quit)@."
-                  cmd;
-                loop ())
+      | Some line ->
+          let r = Serve.Protocol.exec p line in
+          emit r;
+          if r.Serve.Protocol.quit then 0 else loop ()
     in
     loop ()
   in
@@ -507,6 +354,173 @@ let session_cmd =
       const (fun f e j t st c -> Stdlib.exit (run f e j t st c))
       $ file_opt $ engine_flag $ jobs_flag $ timeout_flag $ stats_flag
       $ capacity_flag)
+
+(* ------------------------------------------------------------------ *)
+(* serve: the session protocol on a socket, many concurrent sessions *)
+
+let socket_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N"
+        ~doc:"Loopback TCP port (0 picks a free one).")
+
+let serve_addr socket port =
+  match (socket, port) with
+  | Some _, Some _ | None, None ->
+      Fmt.epr "error: pass exactly one of --socket PATH or --port N@.";
+      exit 2
+  | Some path, None -> `Unix path
+  | None, Some p -> `Tcp p
+
+let serve_cmd =
+  let run file socket port engine jobs timeout_ms want_stats capacity =
+    let jobs = Parallel.Config.resolve jobs in
+    let engine = session_engine engine in
+    let l = load_or_die file in
+    let base = Lang.Load.final_instance l in
+    let server =
+      Serve.Server.create
+        {
+          Serve.Server.engine;
+          jobs;
+          cache_capacity = capacity;
+          timeout_ms;
+          want_stats;
+          max_line = Serve.Protocol.default_max_line;
+        }
+        ~base ~ics:l.Lang.Load.ics
+        (Serve.Protocol.env_of_loaded l)
+    in
+    let fd, where =
+      match
+        match serve_addr socket port with
+        | `Unix path -> (Serve.Server.listen_unix path, path)
+        | `Tcp p ->
+            let fd, actual = Serve.Server.listen_tcp p in
+            (fd, Printf.sprintf "127.0.0.1:%d" actual)
+      with
+      | r -> r
+      | exception Unix.Unix_error (e, _, arg) ->
+          Fmt.epr "error: cannot listen (%s: %s)@." arg
+            (Unix.error_message e);
+          exit 2
+    in
+    Fmt.pr
+      "serving %s on %s: %d tuples, %d constraints, %d queries, %d \
+       violation(s) (jobs=%d, cache-capacity=%d)@."
+      file where
+      (Relational.Instance.cardinal base)
+      (List.length l.Lang.Load.ics)
+      (List.length l.Lang.Load.queries)
+      (List.length (Serve.Server.violations server))
+      jobs capacity;
+    Serve.Server.run server fd;
+    let st = Serve.Server.stats server in
+    Fmt.pr "server stopped: %d connection(s), %d request(s)@."
+      st.Serve.Server.connections st.Serve.Server.requests;
+    Fmt.pr "%a@." Session.Cache.pp_stats st.Serve.Server.cache;
+    0
+  in
+  let engine_flag =
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [ ("program", `Program); ("enumerate", `Enumerate); ("auto", `Auto) ])
+          `Program
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Repair engine behind every session (see 'session').")
+  in
+  let jobs_flag =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains shared by all connections for request \
+                compute; 0 (the default) autodetects.")
+  in
+  let capacity_flag =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Process-global component-cache capacity in entries (LRU), \
+                shared by every session; 0 disables caching.")
+  in
+  let timeout_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout" ] ~docv:"MS"
+          ~doc:"Per-request wall-clock deadline in milliseconds.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve the session line protocol on a Unix or loopback TCP \
+             socket: one shared read-only base database, one independent \
+             session per connection (insert/delete/cqa/repairs/check/stats/\
+             quit), a process-global component cache, request compute on a \
+             shared domain pool.  Replies are terminated by a '.' frame \
+             line; the extra command 'shutdown' stops the server.")
+    Term.(
+      const (fun f s p e j t st c -> Stdlib.exit (run f s p e j t st c))
+      $ file_arg $ socket_flag $ port_flag $ engine_flag $ jobs_flag
+      $ timeout_flag $ stats_flag $ capacity_flag)
+
+(* ------------------------------------------------------------------ *)
+(* connect: a lock-step scripted client for serve *)
+
+let connect_cmd =
+  let run socket port wait_ms =
+    let addr =
+      match serve_addr socket port with
+      | `Unix path -> Unix.ADDR_UNIX path
+      | `Tcp p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+    in
+    match Serve.Client.connect ~retry_ms:wait_ms addr with
+    | Error msg ->
+        Fmt.epr "error: cannot connect: %s@." msg;
+        1
+    | Ok c ->
+        let rec loop () =
+          match In_channel.input_line In_channel.stdin with
+          | None ->
+              Serve.Client.close c;
+              0
+          | Some line -> (
+              match Serve.Client.request c line with
+              | Error `Closed ->
+                  Serve.Client.close c;
+                  0
+              | Ok text ->
+                  print_string text;
+                  flush stdout;
+                  loop ())
+        in
+        loop ()
+  in
+  let wait_flag =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "wait" ] ~docv:"MS"
+          ~doc:"Keep retrying the connection for up to MS milliseconds \
+                (covers a server still starting up).")
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:"Connect to a running 'serve' instance: read request lines from \
+             stdin, print each framed reply to stdout.")
+    Term.(
+      const (fun s p w -> Stdlib.exit (run s p w))
+      $ socket_flag $ port_flag $ wait_flag)
 
 (* ------------------------------------------------------------------ *)
 (* export *)
@@ -663,6 +677,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            check_cmd; repairs_cmd; cqa_cmd; session_cmd; export_cmd;
-            graph_cmd; solve_cmd;
+            check_cmd; repairs_cmd; cqa_cmd; session_cmd; serve_cmd;
+            connect_cmd; export_cmd; graph_cmd; solve_cmd;
           ]))

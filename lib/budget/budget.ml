@@ -160,6 +160,14 @@ let check_deadline t =
       exhaust t (Deadline (Option.value ~default:0 t.lim.timeout_ms))
   | _ -> ()
 
+let remaining_ms t =
+  Option.map
+    (fun dl ->
+      max 0 (int_of_float (Float.ceil ((dl -. Unix.gettimeofday ()) *. 1000.))))
+    t.deadline
+
+let guard f = try f () with Exhausted e -> Error (message e)
+
 let tick_decision t =
   let n = Atomic.fetch_and_add t.sink.decisions 1 + 1 in
   bump_worker (fun w -> w.w_decisions) t.sink;

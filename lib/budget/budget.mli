@@ -178,6 +178,18 @@ val check_deadline : ctl -> unit
     instantiation, decomposition planning).  @raise Exhausted on
     deadline. *)
 
+val remaining_ms : ctl -> int option
+(** Milliseconds until the deadline, never negative; [None] without one.
+    Lets a serving loop report how much of a per-request deadline a
+    request had left. *)
+
+val guard : (unit -> ('a, string) result) -> ('a, string) result
+(** [guard f] extends the no-exception-escape contract to callers outside
+    the engines: an {!Exhausted} escaping [f] (e.g. from a code path a
+    serving loop drives directly) becomes [Error (message e)] instead of
+    killing the loop.  Any other exception still propagates — the serving
+    loop's own catch-all owns those. *)
+
 val note_component : ctl -> unit
 (** Count one decomposed component solved to completion {e and kept in
     the outcome}.  Called by the deterministic merge step (never by a

@@ -110,6 +110,33 @@ let map pool f xs =
              | None -> assert false)
            results)
 
+let run pool f =
+  let result = ref None in
+  let done_lock = Mutex.create () in
+  let finished = Condition.create () in
+  let task () =
+    let r = match f () with v -> Ok v | exception e -> Error e in
+    Mutex.lock done_lock;
+    result := Some r;
+    Condition.signal finished;
+    Mutex.unlock done_lock
+  in
+  Mutex.lock pool.lock;
+  Queue.push task pool.queue;
+  Condition.signal pool.work_available;
+  Mutex.unlock pool.lock;
+  Mutex.lock done_lock;
+  let rec wait () =
+    match !result with
+    | None ->
+        Condition.wait finished done_lock;
+        wait ()
+    | Some r -> r
+  in
+  let r = wait () in
+  Mutex.unlock done_lock;
+  match r with Ok v -> v | Error e -> raise e
+
 let with_pool ?init ~jobs f =
   let pool = create ?init ~jobs () in
   match f pool with

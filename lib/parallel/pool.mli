@@ -37,6 +37,15 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     must be safe to run on a worker domain: no shared mutable state
     beyond atomics. *)
 
+val run : t -> (unit -> 'a) -> 'a
+(** [run pool f] executes [f ()] on a worker domain — always, unlike
+    {!map}'s singleton shortcut — blocks the calling thread until it
+    finishes, and returns its result (re-raising its exception).  This is
+    the server's request dispatch: many connection threads block here
+    concurrently while [--jobs] worker domains execute the actual
+    solves.  [f] must not call back into the same pool ({!map}/{!run}
+    from a worker would deadlock when every worker is blocked waiting). *)
+
 val tasks_run : t -> int list
 (** Tasks completed per worker, in worker order — the per-worker share of
     the run, surfaced by [--stats]. *)

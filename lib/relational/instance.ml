@@ -144,8 +144,14 @@ type rel = { seg : seg; del : Iset.t; ndel : int; extra : Tuple.Set.t; nextra : 
 
 type t = {
   rels : rel Smap.t;
-  mutable adom_memo : Value.t list option;
-  mutable nulls_memo : int option;
+  adom_memo : Value.t list option Atomic.t;
+  nulls_memo : int option Atomic.t;
+      (* Memo cells follow the segment indexes' double-checked discipline
+         (fast atomic read, synchronized publish) but publish with a CAS
+         instead of taking a lock: both computations are pure and
+         deterministic, so two domains racing at worst duplicate work and
+         agree on the value, and [mk] runs on every functional update —
+         too hot to allocate a mutex per instance. *)
 }
 
 let empty_seg =
@@ -160,7 +166,8 @@ let empty_seg =
     lock = Mutex.create ();
   }
 
-let mk rels = { rels; adom_memo = None; nulls_memo = None }
+let mk rels =
+  { rels; adom_memo = Atomic.make None; nulls_memo = Atomic.make None }
 let empty = mk Smap.empty
 let is_empty d = Smap.is_empty d.rels
 
@@ -712,7 +719,7 @@ let rel_codes_exact r =
   end
 
 let active_domain d =
-  match d.adom_memo with
+  match Atomic.get d.adom_memo with
   | Some vs -> vs
   | None ->
       let vs =
@@ -732,14 +739,17 @@ let active_domain d =
           d.rels Vset.empty
       in
       let vs = Vset.elements vs in
-      d.adom_memo <- Some vs;
-      vs
+      if not (Atomic.compare_and_set d.adom_memo None (Some vs)) then
+        (* a racing domain published first; return its (equal) list so
+           physical equality of repeated calls still holds *)
+        match Atomic.get d.adom_memo with Some vs -> vs | None -> vs
+      else vs
 
 let active_domain_non_null d =
   List.filter (fun v -> not (Value.is_null v)) (active_domain d)
 
 let null_count d =
-  match d.nulls_memo with
+  match Atomic.get d.nulls_memo with
   | Some n -> n
   | None ->
       let n =
@@ -768,7 +778,7 @@ let null_count d =
             acc + r.seg.seg_nulls - deleted_nulls + extra_nulls)
           d.rels 0
       in
-      d.nulls_memo <- Some n;
+      ignore (Atomic.compare_and_set d.nulls_memo None (Some n));
       n
 
 (* ------------------------------------------------------------------ *)

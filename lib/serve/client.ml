@@ -1,0 +1,44 @@
+(* A lock-step client for the framed server wire: send one request line,
+   read the reply up to its "." frame.  Used by `cqanull connect` and the
+   bench replay driver. *)
+
+type t = { fd : Unix.file_descr; wire : Wire.t }
+
+let connect ?(retry_ms = 0) addr =
+  let deadline = Unix.gettimeofday () +. (float_of_int retry_ms /. 1000.) in
+  let rec go () =
+    let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr)
+        Unix.SOCK_STREAM 0
+    in
+    match Unix.connect fd addr with
+    | () -> Ok { fd; wire = Wire.create fd }
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (* the server may still be binding: retry within the budget *)
+        if Unix.gettimeofday () < deadline then begin
+          Thread.delay 0.02;
+          go ()
+        end
+        else Error (Unix.error_message e)
+  in
+  go ()
+
+let request t line =
+  match Wire.write_all t.fd (line ^ "\n") with
+  | exception Unix.Unix_error _ -> Error `Closed
+  | () ->
+      let buf = Buffer.create 256 in
+      let rec read () =
+        match Wire.read_line ~max_line:max_int t.wire with
+        | `Line "." -> Ok (Buffer.contents buf)
+        | `Line l ->
+            Buffer.add_string buf l;
+            Buffer.add_char buf '\n';
+            read ()
+        | `Overflow -> read ()
+        | `Eof -> Error `Closed
+        | exception Unix.Unix_error _ -> Error `Closed
+      in
+      read ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,16 @@
+(** A lock-step client for the framed server wire ({!Server}): send one
+    request line, read the reply up to its ["."] frame. *)
+
+type t
+
+val connect : ?retry_ms:int -> Unix.sockaddr -> (t, string) result
+(** Connect, retrying for up to [retry_ms] milliseconds (default [0]: one
+    attempt) — covers the race against a server still binding its
+    socket. *)
+
+val request : t -> string -> (string, [ `Closed ]) result
+(** [request t line] sends [line] and returns the reply text (every line
+    '\n'-terminated, frame excluded; [Ok ""] for an empty reply).
+    [`Closed] when the server hung up before the frame. *)
+
+val close : t -> unit

@@ -1,0 +1,82 @@
+(** The session line protocol, shared by the stdin REPL
+    ([cqanull session]) and the socket server ([cqanull serve]).
+
+    One {!exec} call turns one request line into one {!reply}.
+
+    {b Hardening contract} (the serving-loop extension of {!Budget}'s
+    no-exception-escape contract): {!exec} never raises.  Parse errors,
+    schema violations, unknown commands, budget trips and unexpected
+    exceptions inside a request all become protocol-level ["error: ..."]
+    replies, so a bad request can never kill the loop it runs under.
+    Reply texts are byte-identical to the PR 5 REPL's stdout for the same
+    requests (pinned by [test/cli/session.t]). *)
+
+type env = {
+  schema : Relational.Schema.t;  (** for insert/delete schema checks *)
+  queries : (string * Query.Qsyntax.t) list;  (** named queries *)
+}
+
+type config = {
+  engine : Session.engine;
+  jobs : int;  (** worker domains per request (REPL); servers pass [1] *)
+  capacity : int;  (** private-cache capacity; ignored with [cache] *)
+  timeout_ms : int option;  (** per-request deadline *)
+  want_stats : bool;  (** budget counters appended to each reply *)
+  allow_load : bool;  (** [load FILE] permitted (REPL yes, server no) *)
+  max_line : int;  (** request lines longer than this are rejected *)
+  cache : Session.Cache.t option;  (** shared component cache, if any *)
+  extra_stats : (Format.formatter -> unit) option;
+      (** appended to the [stats] reply — the server adds the global
+          cache line here *)
+}
+
+val default_max_line : int
+(** 1 MiB. *)
+
+val repl_config :
+  ?engine:Session.engine ->
+  ?jobs:int ->
+  ?timeout_ms:int ->
+  ?want_stats:bool ->
+  ?capacity:int ->
+  unit ->
+  config
+(** The REPL's configuration: loads allowed, private cache, default line
+    limit, no extra stats. *)
+
+val env_of_loaded : Lang.Load.loaded -> env
+
+type t
+(** Protocol state: one session (or none yet) plus its environment. *)
+
+type reply = { text : string; quit : bool }
+(** [text] is the full reply (possibly empty, every line
+    '\n'-terminated); [quit] signals the peer asked to end the
+    conversation. *)
+
+val create : config -> t
+
+val session : t -> Session.t option
+(** The live session, once a database is loaded or attached. *)
+
+val attach :
+  ?violations:Semantics.Nullsat.violation list ->
+  t ->
+  base:Relational.Instance.t ->
+  ics:Ic.Constr.t list ->
+  env ->
+  Session.t
+(** Install a session over [base] directly — the server path, where every
+    connection starts from the shared base instance and [violations] was
+    computed once for all of them. *)
+
+val exec : t -> string -> reply
+(** Serve one request line.  Never raises. *)
+
+val load : t -> string -> reply
+(** [load t path] loads a surface file exactly like the [load] command
+    (regardless of [allow_load] — this is the trusted startup path). *)
+
+val oversized : t -> reply
+(** The reply for a line the transport already discarded as oversized
+    (see {!Wire.read_line}), matching {!exec}'s in-band length check. *)

@@ -1,0 +1,200 @@
+(* The concurrent session server: one process, one shared read-only base
+   instance, one process-global component cache, N independent sessions.
+
+   Concurrency model: the accept loop runs on the calling domain and
+   spawns one lightweight [Thread] per connection (threads share the
+   domain and release it on blocking I/O, so thousands of mostly-idle
+   connections are cheap); every request's compute is dispatched through
+   [Parallel.Pool.run] onto the [jobs] worker domains, so CPU-bound work
+   parallelizes across cores while I/O concurrency stays thread-cheap.
+   Server sessions are created with [jobs = 1]: a request already runs on
+   a pool worker, and a worker calling back into its own pool would
+   deadlock once all workers block waiting (see {!Parallel.Pool.run}).
+
+   Every reply is followed by a frame line containing a single ".", so
+   clients can run lock-step request/reply without knowing how many lines
+   a reply has. *)
+
+type config = {
+  engine : Session.engine;
+  jobs : int;  (* worker domains shared by all connections *)
+  cache_capacity : int;
+  timeout_ms : int option;  (* per-request deadline *)
+  want_stats : bool;
+  max_line : int;
+}
+
+type t = {
+  cfg : config;
+  base : Relational.Instance.t;
+  ics : Ic.Constr.t list;
+  violations : Semantics.Nullsat.violation list;  (* computed once *)
+  env : Protocol.env;
+  cache : Session.Cache.t;
+  pool : Parallel.Pool.t;
+  connections : int Atomic.t;
+  requests : int Atomic.t;
+  active : int Atomic.t;
+  stop : bool Atomic.t;
+  listener : Unix.file_descr option Atomic.t;
+}
+
+type stats = {
+  connections : int;
+  requests : int;
+  active : int;
+  cache : Session.Cache.stats;
+}
+
+let create cfg ~base ~ics env =
+  {
+    cfg;
+    base;
+    ics;
+    violations =
+      Semantics.Nullsat.canonical_violations (Semantics.Nullsat.check base ics);
+    env;
+    cache = Session.Cache.create ~capacity:cfg.cache_capacity;
+    pool = Parallel.Pool.create ~jobs:cfg.jobs ();
+    connections = Atomic.make 0;
+    requests = Atomic.make 0;
+    active = Atomic.make 0;
+    stop = Atomic.make false;
+    listener = Atomic.make None;
+  }
+
+let stats (t : t) : stats =
+  {
+    connections = Atomic.get t.connections;
+    requests = Atomic.get t.requests;
+    active = Atomic.get t.active;
+    cache = Session.Cache.stats t.cache;
+  }
+
+let cache (t : t) = t.cache
+let violations t = t.violations
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "@[<h>server: connections=%d requests=%d active=%d@]@.%a"
+    s.connections s.requests s.active Session.Cache.pp_stats s.cache
+
+let request_stop t =
+  if not (Atomic.exchange t.stop true) then
+    match Atomic.get t.listener with
+    | Some fd -> (
+        (* wake the accept loop: shutting down the listening socket makes
+           a blocked accept fail immediately (close alone may not) *)
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    | None -> ()
+
+let stopping t = Atomic.get t.stop
+
+let protocol_config t =
+  {
+    Protocol.engine = t.cfg.engine;
+    jobs = 1;  (* requests already run on a pool worker *)
+    capacity = t.cfg.cache_capacity;
+    timeout_ms = t.cfg.timeout_ms;
+    want_stats = t.cfg.want_stats;
+    allow_load = false;
+    max_line = t.cfg.max_line;
+    cache = Some t.cache;
+    extra_stats =
+      Some
+        (fun ppf ->
+          Fmt.pf ppf "%a@." Session.Cache.pp_stats (Session.Cache.stats t.cache));
+  }
+
+let frame = ".\n"
+
+let handle_conn (t : t) cfd =
+  Atomic.incr t.connections;
+  Atomic.incr t.active;
+  let finally () =
+    (try Unix.close cfd with Unix.Unix_error _ -> ());
+    Atomic.decr t.active
+  in
+  let serve () =
+    let wire = Wire.create cfd in
+    let p = Protocol.create (protocol_config t) in
+    ignore
+      (Protocol.attach ~violations:t.violations p ~base:t.base ~ics:t.ics
+         t.env);
+    let send (r : Protocol.reply) = Wire.write_all cfd (r.text ^ frame) in
+    let rec loop () =
+      match Wire.read_line ~max_line:t.cfg.max_line wire with
+      | `Eof -> ()
+      | `Overflow ->
+          Atomic.incr t.requests;
+          send (Protocol.oversized p);
+          loop ()
+      | `Line line ->
+          Atomic.incr t.requests;
+          if String.trim line = "shutdown" then begin
+            send { Protocol.text = "shutting down\n"; quit = true };
+            request_stop t
+          end
+          else
+            let reply =
+              Parallel.Pool.run t.pool (fun () -> Protocol.exec p line)
+            in
+            send reply;
+            if reply.Protocol.quit then () else loop ()
+    in
+    loop ()
+  in
+  (* a dying connection (EPIPE, reset, anything) takes only itself down *)
+  (try serve () with _ -> ());
+  finally ()
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 128;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 128;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  (fd, port)
+
+let run t fd =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  Atomic.set t.listener (Some fd);
+  if Atomic.get t.stop then ()  (* stopped before we started listening *)
+  else begin
+    let rec accept_loop () =
+      if not (Atomic.get t.stop) then
+        match Unix.accept ~cloexec:true fd with
+        | cfd, _ ->
+            ignore
+              (Thread.create
+                 (fun () -> try handle_conn t cfd with _ -> ())
+                 ());
+            accept_loop ()
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+          ->
+            accept_loop ()
+        | exception Unix.Unix_error (_, _, _) ->
+            (* listener gone: either [request_stop] shut it down or the
+               socket died under us — stop serving either way *)
+            ()
+    in
+    accept_loop ()
+  end;
+  Atomic.set t.stop true;
+  (* drain in-flight connections before tearing the pool down *)
+  while Atomic.get t.active > 0 do
+    Thread.delay 0.005
+  done;
+  Parallel.Pool.close t.pool;
+  try Unix.close fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,71 @@
+(** The concurrent session server behind [cqanull serve]: one process,
+    one shared read-only base instance, one process-global component
+    cache ({!Session.Cache}), N independent sessions with O(delta)
+    per-session overlays.
+
+    Concurrency model: one lightweight thread per connection for I/O (the
+    accept loop spawns them), one shared {!Parallel.Pool} of [jobs]
+    worker domains for request compute ({!Parallel.Pool.run}).  Server
+    sessions run with [jobs = 1] — a request already executes on a pool
+    worker, and calling back into the same pool would deadlock.
+
+    Wire framing: the server speaks the {!Protocol} line protocol and
+    terminates every reply with a frame line containing a single ["."],
+    so clients run lock-step request/reply without knowing how many lines
+    a reply has.  The extra command [shutdown] stops the whole server
+    (replying ["shutting down"]); [quit] ends only that connection. *)
+
+type config = {
+  engine : Session.engine;
+  jobs : int;  (** worker domains shared by all connections *)
+  cache_capacity : int;  (** process-global component cache, in entries *)
+  timeout_ms : int option;  (** per-request deadline *)
+  want_stats : bool;  (** budget counters appended to each reply *)
+  max_line : int;
+}
+
+type t
+
+type stats = {
+  connections : int;  (** accepted, lifetime *)
+  requests : int;  (** request lines served, lifetime *)
+  active : int;  (** connections currently open *)
+  cache : Session.Cache.stats;
+}
+
+val create :
+  config ->
+  base:Relational.Instance.t ->
+  ics:Ic.Constr.t list ->
+  Protocol.env ->
+  t
+(** Builds the shared state: base violations are computed once here and
+    reused by every session; the worker pool spawns immediately. *)
+
+val listen_unix : string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket path (unlinking any stale
+    socket file first). *)
+
+val listen_tcp : int -> Unix.file_descr * int
+(** Bind and listen on loopback TCP; returns the actual port (useful with
+    port [0]). *)
+
+val run : t -> Unix.file_descr -> unit
+(** Serve the listening socket until a [shutdown] request (or
+    {!request_stop}); then drain in-flight connections, close the worker
+    pool and the listener.  Ignores [SIGPIPE] — a vanished client must
+    not kill the process. *)
+
+val request_stop : t -> unit
+(** Ask {!run} to stop accepting and wind down.  Thread-safe,
+    idempotent. *)
+
+val stopping : t -> bool
+val stats : t -> stats
+
+val violations : t -> Semantics.Nullsat.violation list
+(** The shared base instance's canonical violations (computed once by
+    {!create}). *)
+
+val cache : t -> Session.Cache.t
+val pp_stats : stats Fmt.t

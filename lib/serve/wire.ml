@@ -1,0 +1,93 @@
+(* Blocking buffered line I/O over a raw file descriptor — the server and
+   client sides of the wire share it so framing bugs cannot diverge.
+
+   Lines are '\n'-terminated; a trailing '\r' is stripped (telnet
+   friendliness).  A line longer than [max_line] is discarded — including
+   across reads — and reported as [`Overflow] instead of buffering
+   unboundedly, so a hostile peer cannot balloon the process. *)
+
+type t = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  pending : Buffer.t;  (* received bytes of the current, unterminated line *)
+  lines : string Queue.t;  (* complete lines not yet handed out *)
+  mutable dropping : bool;  (* discarding an oversized line until its '\n' *)
+  mutable overflows : int;  (* oversized lines pending report *)
+  mutable eof : bool;
+}
+
+let create fd =
+  {
+    fd;
+    chunk = Bytes.create 8192;
+    pending = Buffer.create 256;
+    lines = Queue.create ();
+    dropping = false;
+    overflows = 0;
+    eof = false;
+  }
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+(* Fold [chunk[0..n)] into the line queue, enforcing [max_line]. *)
+let ingest t ~max_line n =
+  for i = 0 to n - 1 do
+    let c = Bytes.get t.chunk i in
+    if c = '\n' then
+      if t.dropping then begin
+        t.dropping <- false;
+        t.overflows <- t.overflows + 1
+      end
+      else begin
+        Queue.push (strip_cr (Buffer.contents t.pending)) t.lines;
+        Buffer.clear t.pending
+      end
+    else if not t.dropping then
+      if Buffer.length t.pending >= max_line then begin
+        Buffer.clear t.pending;
+        t.dropping <- true
+      end
+      else Buffer.add_char t.pending c
+  done
+
+let read_line ?(max_line = 1 lsl 20) t =
+  let rec next () =
+    if not (Queue.is_empty t.lines) then `Line (Queue.pop t.lines)
+    else if t.overflows > 0 then begin
+      t.overflows <- t.overflows - 1;
+      `Overflow
+    end
+    else if t.eof then `Eof
+    else
+      match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+      | 0 ->
+          t.eof <- true;
+          (* EOF mid-command: the unterminated tail still counts as a line,
+             matching [In_channel.input_line] on a final line without '\n' *)
+          if t.dropping then begin
+            t.dropping <- false;
+            t.overflows <- t.overflows + 1
+          end
+          else if Buffer.length t.pending > 0 then begin
+            Queue.push (strip_cr (Buffer.contents t.pending)) t.lines;
+            Buffer.clear t.pending
+          end;
+          next ()
+      | n ->
+          ingest t ~max_line n;
+          next ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
+  in
+  next ()
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0

@@ -1,0 +1,17 @@
+(** Blocking buffered line I/O over a file descriptor, shared by the
+    server and client sides of the wire. *)
+
+type t
+
+val create : Unix.file_descr -> t
+
+val read_line :
+  ?max_line:int -> t -> [ `Line of string | `Overflow | `Eof ]
+(** Next '\n'-terminated line (the '\n' and a trailing '\r' stripped).
+    A line longer than [max_line] (default 1 MiB) is discarded — never
+    buffered — and reported as [`Overflow].  EOF after a partial line
+    yields that line first, then [`Eof]; retries on [EINTR].  Other
+    [Unix.Unix_error]s propagate (the connection loop owns them). *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string, retrying on short writes and [EINTR]. *)

@@ -1,6 +1,14 @@
 (* Classic intrusive doubly-linked list over a hash table: O(1) find,
    promote, insert and evict.  [first] is most-recently-used, [last] the
-   eviction candidate. *)
+   eviction candidate.
+
+   All operations take [t.lock]: the process-global component cache is
+   probed and filled from every server connection thread and worker
+   domain, and an intrusive list corrupts spectacularly under unguarded
+   concurrent rewiring (a half-unlinked node turns promotion into a
+   cycle).  A single mutex is enough — every operation is O(1) and the
+   critical sections are a handful of pointer writes, so contention is
+   dwarfed by the component solves the cache fronts. *)
 
 type ('k, 'v) node = {
   key : 'k;
@@ -11,6 +19,7 @@ type ('k, 'v) node = {
 
 type ('k, 'v) t = {
   cap : int;
+  lock : Mutex.t;
   table : ('k, ('k, 'v) node) Hashtbl.t;
   mutable first : ('k, 'v) node option;
   mutable last : ('k, 'v) node option;
@@ -22,6 +31,7 @@ type ('k, 'v) t = {
 let create ~capacity =
   {
     cap = capacity;
+    lock = Mutex.create ();
     table = Hashtbl.create (max 16 capacity);
     first = None;
     last = None;
@@ -30,8 +40,18 @@ let create ~capacity =
     evictions = 0;
   }
 
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
 let capacity t = t.cap
-let length t = Hashtbl.length t.table
+let length t = locked t (fun () -> Hashtbl.length t.table)
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
@@ -45,6 +65,7 @@ let push_front t n =
   t.first <- Some n
 
 let find t k =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.table k with
   | Some n ->
       t.hits <- t.hits + 1;
@@ -57,6 +78,7 @@ let find t k =
 
 let add t k v =
   if t.cap > 0 then
+    locked t @@ fun () ->
     match Hashtbl.find_opt t.table k with
     | Some n ->
         n.value <- v;
@@ -74,12 +96,13 @@ let add t k v =
               t.evictions <- t.evictions + 1
           | None -> assert false)
 
-let mem t k = Hashtbl.mem t.table k
-let hits t = t.hits
-let misses t = t.misses
-let evictions t = t.evictions
+let mem t k = locked t (fun () -> Hashtbl.mem t.table k)
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let evictions t = locked t (fun () -> t.evictions)
 
 let clear t =
+  locked t @@ fun () ->
   Hashtbl.reset t.table;
   t.first <- None;
   t.last <- None

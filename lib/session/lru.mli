@@ -6,8 +6,14 @@
     the back once [capacity] is exceeded.  Every probe is counted, so the
     serving loop can surface hit rates without instrumenting call sites.
 
-    Not thread-safe: the session engine only touches it from the
-    coordinating domain (worker domains solve, the coordinator caches). *)
+    Thread-safe: every operation (including the counter reads) takes an
+    internal mutex, so the cache can be shared process-globally across
+    server connection threads and worker domains.  Counters stay coherent
+    under concurrency — [hits + misses] always equals the number of
+    completed probes.  Note that [find]-then-[add] is still two separate
+    critical sections: two sessions can both miss the same key and both
+    solve it; the second [add] harmlessly overwrites the first with an
+    equal value (component solves are deterministic). *)
 
 type ('k, 'v) t
 

@@ -23,6 +23,82 @@ type entry = {
    model-theoretic search yields. *)
 type strategy = Senum | Sprog | Sroute
 
+(* ------------------------------------------------------------------ *)
+(* The component cache, shareable across sessions.  Entries are tagged
+   with the session id that solved them, so a hit on another session's
+   entry — the payoff of promoting the cache process-global — is counted
+   separately ([cross_hits]).  Fingerprint keys are content-addressed
+   (strategy + effort + component digest), so sharing is sound: two
+   sessions producing the same key would solve to the same entry.
+   Thread-safety comes from {!Lru} (every operation is mutex-guarded) and
+   the atomic cross-hit/session counters. *)
+
+module Cache = struct
+  type nonrec t = {
+    lru : (string, entry * int) Lru.t;
+    cross_hits : int Atomic.t;
+    sessions : int Atomic.t;  (* sessions ever attached *)
+  }
+
+  type stats = {
+    hits : int;
+    misses : int;
+    evictions : int;
+    entries : int;
+    capacity : int;
+    cross_hits : int;
+    sessions : int;
+  }
+
+  let create ~capacity =
+    {
+      lru = Lru.create ~capacity;
+      cross_hits = Atomic.make 0;
+      sessions = Atomic.make 0;
+    }
+
+  let attach (t : t) = Atomic.incr t.sessions
+
+  let find (t : t) ~sid key =
+    match Lru.find t.lru key with
+    | Some (e, owner) ->
+        if owner <> sid then Atomic.incr t.cross_hits;
+        Some e
+    | None -> None
+
+  let add (t : t) ~sid key e = Lru.add t.lru key (e, sid)
+
+  let stats (t : t) =
+    {
+      hits = Lru.hits t.lru;
+      misses = Lru.misses t.lru;
+      evictions = Lru.evictions t.lru;
+      entries = Lru.length t.lru;
+      capacity = Lru.capacity t.lru;
+      cross_hits = Atomic.get t.cross_hits;
+      sessions = Atomic.get t.sessions;
+    }
+
+  let hit_rate (s : stats) =
+    let probes = s.hits + s.misses in
+    if probes = 0 then 0. else float_of_int s.hits /. float_of_int probes
+
+  let cross_hit_rate (s : stats) =
+    if s.hits = 0 then 0.
+    else float_of_int s.cross_hits /. float_of_int s.hits
+
+  let pp_stats ppf (s : stats) =
+    Fmt.pf ppf
+      "@[<h>cache: sessions=%d entries=%d/%d hits=%d misses=%d evictions=%d \
+       cross.hits=%d cross.rate=%.2f@]"
+      s.sessions s.entries s.capacity s.hits s.misses s.evictions s.cross_hits
+      (cross_hit_rate s)
+end
+
+(* Session ids are process-global so owner tags stay distinct across every
+   cache a session might share. *)
+let next_sid = Atomic.make 1
+
 type stats = {
   deltas : int;
   requests : int;
@@ -43,7 +119,8 @@ type t = {
   jobs : int;
   max_effort : int option;
   ics : Ic.Constr.t list;
-  cache : (string, entry) Lru.t;
+  sid : int;  (* owner tag for cache entries *)
+  cache : Cache.t;  (* private by default, shared under a server *)
   routed : int array;  (* components per Budget.tier, [Auto] only *)
   mutable d : Instance.t;
   mutable violations : Nullsat.violation list;  (* canonical order *)
@@ -55,19 +132,32 @@ type t = {
   mutable ics_reused : int;
   mutable ics_fast : int;
   mutable ics_rescanned : int;
+  (* per-session probe counters: with a shared cache the LRU's totals mix
+     every session's traffic, but this session's stats line must keep
+     describing this session *)
+  mutable s_hits : int;
+  mutable s_misses : int;
 }
 
-let create ?(engine = Program) ?(jobs = 1) ?max_effort ?(capacity = 256) d ics
-    =
+let create ?(engine = Program) ?(jobs = 1) ?max_effort ?(capacity = 256)
+    ?cache ?violations d ics =
+  let cache =
+    match cache with Some c -> c | None -> Cache.create ~capacity
+  in
+  Cache.attach cache;
   {
     engine;
     jobs;
     max_effort;
     ics;
-    cache = Lru.create ~capacity;
+    sid = Atomic.fetch_and_add next_sid 1;
+    cache;
     routed = Array.make 4 0;
     d;
-    violations = Nullsat.canonical_violations (Nullsat.check d ics);
+    violations =
+      (match violations with
+      | Some vs -> vs
+      | None -> Nullsat.canonical_violations (Nullsat.check d ics));
     plan = None;
     deltas = 0;
     requests = 0;
@@ -76,7 +166,21 @@ let create ?(engine = Program) ?(jobs = 1) ?max_effort ?(capacity = 256) d ics
     ics_reused = 0;
     ics_fast = 0;
     ics_rescanned = 0;
+    s_hits = 0;
+    s_misses = 0;
   }
+
+let cache_find t key =
+  match Cache.find t.cache ~sid:t.sid key with
+  | Some e ->
+      t.s_hits <- t.s_hits + 1;
+      Some e
+  | None ->
+      t.s_misses <- t.s_misses + 1;
+      None
+
+let cache_add t key e = Cache.add t.cache ~sid:t.sid key e
+let cache t = t.cache
 
 let instance t = t.d
 let constraints t = t.ics
@@ -266,7 +370,7 @@ let solve_all ?budget t (plan : Decompose.plan) =
     List.map
       (fun c ->
         let key = component_key t plan c in
-        (c, key, Lru.find t.cache key))
+        (c, key, cache_find t key))
       plan.Decompose.components
   in
   let misses = List.filter (fun (_, _, v) -> Option.is_none v) probed in
@@ -342,7 +446,7 @@ let solve_all ?budget t (plan : Decompose.plan) =
         count_tier e;
         scan (e :: entries) (completed + 1) rest
     | (key, _, `Solved e) :: rest ->
-        Lru.add t.cache key e;
+        cache_add t key e;
         count_tier e;
         (* the program paths note kept components inside Core.Engine *)
         (match (budget, strategy t plan, e.tier) with
@@ -356,7 +460,7 @@ let solve_all ?budget t (plan : Decompose.plan) =
         let degraded =
           List.map
             (fun (key, c, r) ->
-              (match r with `Solved e -> Lru.add t.cache key e | _ -> ());
+              (match r with `Solved e -> cache_add t key e | _ -> ());
               filler c)
             remaining
         in
@@ -372,12 +476,12 @@ let solve_all ?budget t (plan : Decompose.plan) =
 
 let monolithic_repairs ?budget t =
   let key = mono_key t in
-  match Lru.find t.cache key with
+  match cache_find t key with
   | Some e -> Ok e.minimal
   | None ->
       Result.map
         (fun reps ->
-          Lru.add t.cache key { minimal = reps; states = None; tier = None };
+          cache_add t key { minimal = reps; states = None; tier = None };
           reps)
         (Core.Engine.repairs ?budget ?max_decisions:t.max_effort t.d t.ics)
 
@@ -474,10 +578,10 @@ let stats t =
     ics_reused = t.ics_reused;
     ics_fast = t.ics_fast;
     ics_rescanned = t.ics_rescanned;
-    cache_hits = Lru.hits t.cache;
-    cache_misses = Lru.misses t.cache;
-    cache_evictions = Lru.evictions t.cache;
-    cache_entries = Lru.length t.cache;
+    cache_hits = t.s_hits;
+    cache_misses = t.s_misses;
+    cache_evictions = (Cache.stats t.cache).Cache.evictions;
+    cache_entries = (Cache.stats t.cache).Cache.entries;
     routed = Array.copy t.routed;
   }
 

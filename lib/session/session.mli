@@ -43,6 +43,38 @@ type engine =
 
 type t
 
+(** The component cache, shareable across sessions.  By default every
+    session owns a private cache; a server passes one [Cache.t] to every
+    {!create} so identical components across sessions (fingerprint keys
+    are content-addressed) become cross-session hits.  Thread-safe: the
+    underlying {!Lru} is mutex-guarded and the cross-hit/session counters
+    are atomic. *)
+module Cache : sig
+  type t
+
+  type stats = {
+    hits : int;         (** probes answered, all sessions *)
+    misses : int;
+    evictions : int;
+    entries : int;      (** current residency *)
+    capacity : int;
+    cross_hits : int;   (** hits on an entry another session solved *)
+    sessions : int;     (** sessions ever attached to this cache *)
+  }
+
+  val create : capacity:int -> t
+  val stats : t -> stats
+
+  val hit_rate : stats -> float
+  (** [hits / (hits + misses)]; [0.] before any probe. *)
+
+  val cross_hit_rate : stats -> float
+  (** [cross_hits / hits]; [0.] before any hit.  Strictly positive once
+      any session benefits from another's solve. *)
+
+  val pp_stats : stats Fmt.t
+end
+
 type stats = {
   deltas : int;          (** update batches applied *)
   requests : int;        (** [repairs] + [cqa] requests served *)
@@ -66,14 +98,25 @@ val create :
   ?jobs:int ->
   ?max_effort:int ->
   ?capacity:int ->
+  ?cache:Cache.t ->
+  ?violations:Semantics.Nullsat.violation list ->
   Relational.Instance.t ->
   Ic.Constr.t list ->
   t
 (** [engine] defaults to [Program], [jobs] to [1], [capacity] (cache
     entries) to [256]; [max_effort] bounds each component solve (states
     for [Enumerate], solver decisions for [Program]) and is part of the
-    cache key.  Violations of the initial instance are computed here; the
+    cache key.  [cache] shares a process-global component cache (then
+    [capacity] is ignored); the per-session [stats] keep counting only
+    this session's probes.  [violations] short-circuits the initial
+    violation scan with a precomputed canonical set — a server creating
+    thousands of sessions over one shared base instance computes it once.
+    Otherwise violations of the initial instance are computed here; the
     first plan is computed lazily by the first request. *)
+
+val cache : t -> Cache.t
+(** The cache this session probes — its own private one unless [create]
+    was given a shared one. *)
 
 val instance : t -> Relational.Instance.t
 val constraints : t -> Ic.Constr.t list

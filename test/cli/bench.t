@@ -5,12 +5,12 @@ structural and quota-independent):
 
   $ cqanull-bench --json baseline.json --micro --quota 0.005 --scale 30000 > /dev/null
   $ cqanull-bench --check-json baseline.json
-  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows)
+  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows, 1 serve rows)
 
 Stable top-level keys, in order (anchored to top-level indentation, since
 budget rows carry a "decompose" field of their own):
 
-  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel|session|routing|scale)"' baseline.json
+  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel|session|routing|scale|serve)"' baseline.json
     "schema"
     "tool"
     "unit"
@@ -22,6 +22,7 @@ budget rows carry a "decompose" field of their own):
     "session"
     "routing"
     "scale"
+    "serve"
 
 The solver telemetry carries both engines for each E4 benchmark and every
 counter field is numeric:
@@ -66,7 +67,7 @@ identical flags:
 
   $ grep -c '"name": "E17.session' baseline.json
   1
-  $ grep -oE '"(hits|misses)": [0-9]+' baseline.json
+  $ grep -A6 '"name": "E17.session' baseline.json | grep -oE '"(hits|misses)": [0-9]+'
   "hits": 40
   "misses": 6
 
@@ -75,7 +76,8 @@ materializing engines: three all-direct FD rows (the widest must beat
 decomposed enumeration by >= 10x, guarded by --check-json) and a mixed
 suite that exercises all four tiers in one plan.  Every routing row's
 Auto outcome must be byte-identical to the enumerate oracle — so with
-the three parallel rows and the session row, eight identical flags:
+the three parallel rows, the session row and the serve row (below), nine
+identical flags:
 
   $ grep -c '"name": "E18.routing' baseline.json
   4
@@ -87,7 +89,7 @@ the three parallel rows and the session row, eight identical flags:
         "routed_disjunctive": 2,
         "routed_enumerate": 1,
   $ grep -c '"identical": "true"' baseline.json
-  8
+  9
 
 The scale telemetry (E19) pushes a generated FK+FD workload through the
 columnar storage at the --scale size and a tenth of it: bulk load, full
@@ -107,6 +109,19 @@ baseline must also show the >= 10x incremental speedup):
   $ grep -c '"load_tps"' baseline.json
   2
 
+The serve telemetry (E20) replays an identical update/query script from
+--clients concurrent connections (default 8) against one in-process
+server over a Unix socket: every reply must be byte-identical to a cold
+single-session replay, and the process-global component cache must show
+cross-session traffic — both guarded by --check-json:
+
+  $ grep -oE '"name": "E20[^"]*"' baseline.json
+  "name": "E20.serve.k6.c8"
+  $ grep -oE '"clients": [0-9]+' baseline.json
+  "clients": 8
+  $ grep -c '"cross_hit_rate"' baseline.json
+  1
+
 The checked-in baselines all validate — the PR1 file under the original
 schema, the PR2 file with the decomposition section, the PR3 file with the
 budget counters:
@@ -125,6 +140,8 @@ budget counters:
   ../../BENCH_PR6.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows)
   $ cqanull-bench --check-json ../../BENCH_PR7.json
   ../../BENCH_PR7.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows)
+  $ cqanull-bench --check-json ../../BENCH_PR8.json
+  ../../BENCH_PR8.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows, 1 serve rows)
 
 The committed PR7 baseline was recorded at --scale 1000000: its headline
 row loads, checks and answers a million-tuple instance, and its 10^5 row
@@ -133,6 +150,15 @@ is the one the >= 10x incremental-check guard engages on:
   $ grep -oE '"name": "E19[^"]*"' ../../BENCH_PR7.json
   "name": "E19.scale.n100000"
   "name": "E19.scale.n1000000"
+
+The committed PR8 baseline keeps the million-tuple scale rows and adds
+the concurrent replay at 32 clients:
+
+  $ grep -oE '"name": "E19[^"]*"' ../../BENCH_PR8.json
+  "name": "E19.scale.n100000"
+  "name": "E19.scale.n1000000"
+  $ grep -oE '"name": "E20[^"]*"' ../../BENCH_PR8.json
+  "name": "E20.serve.k6.c32"
 
 The regression guard compares the E1/E2 micro rows of the two checked-in
 baselines within a 10x tolerance:
@@ -178,6 +204,17 @@ the full re-check; the >= 10x speedup at n >= 10^5 not lost):
   compare ok (3 guarded rows, tolerance 10x)
   $ cqanull-bench --compare-json baseline.json baseline.json | grep -c '^scale E19'
   6
+
+Across the /8 bump it additionally covers the serve section — the p50
+latency within tolerance, the request rate printed as data, plus the
+outright contracts on the new baseline (concurrent replies identical to
+the cold replay; the cache still crossing session boundaries):
+
+  $ cqanull-bench --compare-json ../../BENCH_PR7.json ../../BENCH_PR8.json > compare78.out
+  $ tail -1 compare78.out
+  compare ok (3 guarded rows, tolerance 10x)
+  $ cqanull-bench --compare-json baseline.json baseline.json | grep -c '^serve '
+  2
 
 Malformed input is rejected:
 
@@ -236,7 +273,7 @@ Same in both directions for the scale section new in /7, and its two data
 contracts: a baseline whose incremental check diverged from the full
 re-check is rejected, as is one whose 10^5-row speedup fell below 10x:
 
-  $ sed 's|"schema": "cqanull-bench/7"|"schema": "cqanull-bench/6"|' baseline.json > drift7.json
+  $ sed 's|"schema": "cqanull-bench/8"|"schema": "cqanull-bench/6"|' baseline.json > drift7.json
   $ cqanull-bench --check-json drift7.json
   drift7.json: section "scale" requires schema cqanull-bench/7
   [1]
@@ -249,4 +286,20 @@ re-check is rejected, as is one whose 10^5-row speedup fell below 10x:
   $ sed 's/"delta_speedup": [0-9.]*/"delta_speedup": 2.0/g' ../../BENCH_PR7.json > slow7.json
   $ cqanull-bench --check-json slow7.json
   slow7.json: delta speedup 2.00x below 10x at n=100000 in "E19.scale.n100000"
+  [1]
+
+Same in both directions for the serve section new in /8, and its sharing
+contract: a baseline whose process-global cache shows no cross-session
+hits is rejected — a server that silently degraded to per-connection
+caches would still answer correctly, but it is not the system the schema
+documents:
+
+  $ sed 's|"schema": "cqanull-bench/8"|"schema": "cqanull-bench/7"|' baseline.json > drift8.json
+  $ cqanull-bench --check-json drift8.json
+  drift8.json: section "serve" requires schema cqanull-bench/8
+  [1]
+
+  $ sed 's/"cross_hits": [0-9]*/"cross_hits": 0/' baseline.json > nocross8.json
+  $ cqanull-bench --check-json nocross8.json
+  nocross8.json: no cross-session cache hits in "E20.serve.k6.c8" — the global cache is not shared
   [1]

@@ -1,0 +1,88 @@
+The socket server: `cqanull serve` owns one read-only base database and a
+process-global component cache; every connection gets its own session with
+an O(delta) overlay.  `cqanull connect` is a lock-step scripted client for
+the framed wire (each reply is terminated by a '.' line the client strips).
+The socket lives under /tmp because sun_path is short; --jobs is pinned so
+the server banner is machine-independent:
+
+  $ DIR=$(mktemp -d /tmp/cqanull-serve-XXXXXX)
+  $ cqanull serve example.cqa --socket "$DIR/s.sock" --jobs 2 > server.log 2>&1 &
+
+The first client mixes reads and updates.  Its insert lands in its own
+session overlay, never in the shared base; `stats` shows its session
+counters plus the server's global cache line:
+
+  $ cqanull connect --socket "$DIR/s.sock" --wait 5000 << 'EOF'
+  > check
+  > cqa students
+  > insert Student(45, sue)
+  > cqa students
+  > repairs
+  > stats
+  > quit
+  > EOF
+  ric violated by Course(34, c18) under [C=c18, I=34]
+  1 violation(s)
+  query students: {(I, N) | Student(I, N)}
+  consistent: {(21, ann), (45, paul)}
+  possible:   {(21, ann), (34, null), (45, paul)}
+  standard:   {(21, ann), (45, paul)}
+  repairs:    2
+  ok: 5 tuples, 1 violation(s)
+  query students: {(I, N) | Student(I, N)}
+  consistent: {(21, ann), (45, paul), (45, sue)}
+  possible:   {(21, ann), (34, null), (45, paul), (45, sue)}
+  standard:   {(21, ann), (45, paul), (45, sue)}
+  repairs:    2
+  repair 1: {Course(21, c15), Student(21, ann), Student(45, paul), Student(45, sue)}
+    delta: {Course(34, c18)}
+  repair 2: {Course(21, c15), Course(34, c18), Student(21, ann), Student(34, null), Student(45, paul), Student(45, sue)}
+    delta: {Student(34, null)}
+  2 repair(s)
+  session: deltas=1 requests=3 plan.reused=0 plan.rebuilt=2 ics.reused=0 ics.fast=0 ics.rescanned=1 cache.hits=2 cache.misses=1 cache.evictions=0 cache.entries=1
+  cache: sessions=1 entries=1/4096 hits=2 misses=1 evictions=0 cross.hits=0 cross.rate=0.00
+
+A second client starts from the pristine base — the first client's insert
+is invisible — and its `cqa` is answered from the component the first
+client already solved: the process-global cache serving across sessions.
+`shutdown` stops the whole server (where `quit` only ended a connection):
+
+  $ cqanull connect --socket "$DIR/s.sock" --wait 5000 << 'EOF'
+  > cqa students
+  > shutdown
+  > EOF
+  query students: {(I, N) | Student(I, N)}
+  consistent: {(21, ann), (45, paul)}
+  possible:   {(21, ann), (34, null), (45, paul)}
+  standard:   {(21, ann), (45, paul)}
+  repairs:    2
+  shutting down
+
+  $ wait
+
+The server's telemetry confirms the sharing: two sessions attached to one
+cache, and the second client's probe is the cross-session hit:
+
+  $ sed "s|$DIR|DIR|" server.log
+  serving example.cqa on DIR/s.sock: 4 tuples, 1 constraints, 2 queries, 1 violation(s) (jobs=2, cache-capacity=4096)
+  server stopped: 2 connection(s), 9 request(s)
+  cache: sessions=2 entries=1/4096 hits=3 misses=1 evictions=0 cross.hits=1 cross.rate=0.33
+
+  $ rm -rf "$DIR"
+
+Exactly one of --socket and --port must be given, to both serve and
+connect:
+
+  $ cqanull serve example.cqa
+  error: pass exactly one of --socket PATH or --port N
+  [2]
+  $ cqanull serve example.cqa --socket a.sock --port 7
+  error: pass exactly one of --socket PATH or --port N
+  [2]
+
+A client that cannot reach its server reports the failure instead of
+hanging:
+
+  $ cqanull connect --socket nosuch.sock < /dev/null
+  error: cannot connect: No such file or directory
+  [1]

@@ -1,0 +1,302 @@
+(* The concurrent serving stack: the thread-safe LRU, the atomic instance
+   memos, the shared-cache protocol differential across domains, the
+   never-raise hardening contract and a socket round-trip.  Concurrency
+   here is real — tests spawn domains and threads — but every assertion
+   is about deterministic facts (coherent counters, byte-identical
+   replies), not timing. *)
+
+module Lru = Session.Lru
+module Cache = Session.Cache
+module Instance = Relational.Instance
+module Value = Relational.Value
+module Gen = Workload.Gen
+
+let join_all ds = List.iter Domain.join ds
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: the mutex-guarded LRU under domain-parallel fire. *)
+
+let test_lru_concurrent () =
+  let domains = 4 and probes = 1_000 and capacity = 16 in
+  let c = Lru.create ~capacity in
+  let ds =
+    List.init domains (fun i ->
+        Domain.spawn (fun () ->
+            for j = 0 to probes - 1 do
+              let key = Printf.sprintf "k%d" ((i + j) mod 64) in
+              (match Lru.find c key with
+              | Some _ -> ()
+              | None -> Lru.add c key ((i * probes) + j));
+              ignore (Lru.mem c key)
+            done))
+  in
+  join_all ds;
+  Alcotest.(check int) "counters coherent: hits + misses = probes"
+    (domains * probes)
+    (Lru.hits c + Lru.misses c);
+  Alcotest.(check bool) "bounded" true (Lru.length c <= capacity);
+  Alcotest.(check bool) "evictions non-negative" true (Lru.evictions c >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: the adom/nulls memos race-free under concurrent first use. *)
+
+let test_instance_memo_concurrent () =
+  let base =
+    Instance.of_list
+      [
+        ("S", [ Value.str "a" ]);
+        ("S", [ Value.null ]);
+        ("R", [ Value.str "a"; Value.null ]);
+        ("R", [ Value.str "b"; Value.int 3 ]);
+      ]
+  in
+  let expected_adom = Instance.active_domain base in
+  let expected_nulls = Instance.null_count base in
+  (* a fresh copy per round so every round races on cold memos *)
+  for _ = 1 to 20 do
+    let d =
+      Instance.of_list
+        [
+          ("S", [ Value.str "a" ]);
+          ("S", [ Value.null ]);
+          ("R", [ Value.str "a"; Value.null ]);
+          ("R", [ Value.str "b"; Value.int 3 ]);
+        ]
+    in
+    let ds =
+      List.init 4 (fun _ ->
+          Domain.spawn (fun () ->
+              (Instance.active_domain d, Instance.null_count d)))
+    in
+    List.iter
+      (fun dom ->
+        let adom, nulls = Domain.join dom in
+        Alcotest.(check int) "null_count agrees" expected_nulls nulls;
+        Alcotest.(check bool) "active_domain agrees" true
+          (List.length adom = List.length expected_adom
+          && List.for_all2 Value.equal adom expected_adom))
+      ds
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Tentpole: N domains, one shared base + one global cache, identical
+   insert/delete/cqa streams — every reply byte-identical to a cold
+   private-session replay, and the cache provably shared across
+   sessions. *)
+
+let serve_env () =
+  let query =
+    Query.Qsyntax.make ~head:[ "x" ]
+      (Query.Qsyntax.Atom (Ic.Patom.make "S" [ Ic.Term.var "x" ]))
+  in
+  {
+    Serve.Protocol.schema =
+      Relational.Schema.of_list
+        [ ("S", [ "x" ]); ("R", [ "x"; "y" ]); ("T", [ "x" ]);
+          ("Note", [ "x" ]) ];
+    queries = [ ("q1", query) ];
+  }
+
+let script =
+  [
+    "check"; "repairs"; "cqa q1";
+    "insert Note(n0)"; "repairs";
+    "delete S(a0)"; "repairs"; "cqa q1";
+    "insert S(a0)"; "repairs"; "cqa q1";
+  ]
+
+let protocol_config ?cache () =
+  {
+    Serve.Protocol.engine = Session.Program;
+    jobs = 1;
+    capacity = 256;
+    timeout_ms = None;
+    want_stats = false;
+    allow_load = false;
+    max_line = Serve.Protocol.default_max_line;
+    cache;
+    extra_stats = None;
+  }
+
+let replay cfg ~violations ~base ~ics env =
+  let p = Serve.Protocol.create cfg in
+  ignore (Serve.Protocol.attach ~violations p ~base ~ics env);
+  List.map (fun line -> (Serve.Protocol.exec p line).Serve.Protocol.text)
+    script
+
+let test_shared_cache_differential () =
+  let w = Gen.clusters_workload ~padding:2 ~k:4 () in
+  let base = w.Gen.d and ics = w.Gen.ics in
+  let env = serve_env () in
+  let violations =
+    Semantics.Nullsat.canonical_violations (Semantics.Nullsat.check base ics)
+  in
+  let cold = replay (protocol_config ()) ~violations ~base ~ics env in
+  let shared = Cache.create ~capacity:256 in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            replay
+              (protocol_config ~cache:shared ())
+              ~violations ~base ~ics env))
+  in
+  List.iteri
+    (fun i dom ->
+      let replies = Domain.join dom in
+      List.iteri
+        (fun j reply ->
+          Alcotest.(check string)
+            (Printf.sprintf "domain %d reply %d byte-identical to cold" i j)
+            (List.nth cold j) reply)
+        replies)
+    ds;
+  let st = Cache.stats shared in
+  Alcotest.(check bool) "cache served across sessions" true
+    (st.Cache.cross_hits > 0);
+  Alcotest.(check bool) "bounded" true (st.Cache.entries <= st.Cache.capacity);
+  Alcotest.(check int) "all sessions attached" 4 st.Cache.sessions
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: the never-raise contract — junk in, error replies out. *)
+
+let test_protocol_never_raises () =
+  let w = Gen.clusters_workload ~k:2 () in
+  let env = serve_env () in
+  let p = Serve.Protocol.create (protocol_config ()) in
+  ignore (Serve.Protocol.attach p ~base:w.Gen.d ~ics:w.Gen.ics env);
+  let junk =
+    [
+      "bogus";
+      "insert";
+      "insert Nosuch(1)";
+      "insert S(";
+      "insert S(a, b, c)";
+      "delete";
+      "cqa";
+      "cqa nosuch";
+      "cqa q(X: P(X)";
+      "load /nonexistent.cqa";
+      String.make (Serve.Protocol.default_max_line + 1) 'a';
+      "\x00\x01\x02";
+    ]
+  in
+  List.iter
+    (fun line ->
+      let r = Serve.Protocol.exec p line in
+      Alcotest.(check bool)
+        (Printf.sprintf "error reply for %S" (String.sub line 0 (min 16 (String.length line))))
+        true
+        (String.length r.Serve.Protocol.text >= 6
+        && String.sub r.Serve.Protocol.text 0 6 = "error:");
+      Alcotest.(check bool) "does not quit" false r.Serve.Protocol.quit)
+    junk;
+  (* blank lines and comments are silently accepted *)
+  List.iter
+    (fun line ->
+      let r = Serve.Protocol.exec p line in
+      Alcotest.(check string) "silent" "" r.Serve.Protocol.text)
+    [ ""; "   "; "% a comment" ];
+  (* a protocol with no session answers instead of crashing *)
+  let empty = Serve.Protocol.create (protocol_config ()) in
+  let r = Serve.Protocol.exec empty "repairs" in
+  Alcotest.(check string) "no database loaded"
+    "error: no database loaded (use: load FILE)\n" r.Serve.Protocol.text
+
+(* ------------------------------------------------------------------ *)
+(* The socket layer end to end: two clients over a Unix socket, replies
+   framed and byte-identical to the cold replay, clean shutdown. *)
+
+let test_socket_roundtrip () =
+  let w = Gen.clusters_workload ~padding:1 ~k:2 () in
+  let base = w.Gen.d and ics = w.Gen.ics in
+  let env = serve_env () in
+  let cfg =
+    {
+      Serve.Server.engine = Session.Program;
+      jobs = 1;
+      cache_capacity = 256;
+      timeout_ms = None;
+      want_stats = false;
+      max_line = Serve.Protocol.default_max_line;
+    }
+  in
+  let srv = Serve.Server.create cfg ~base ~ics env in
+  let cold =
+    replay (protocol_config ())
+      ~violations:(Serve.Server.violations srv)
+      ~base ~ics env
+  in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cqanull-test-%d.sock" (Unix.getpid ()))
+  in
+  let fd = Serve.Server.listen_unix sock in
+  let server = Thread.create (fun () -> Serve.Server.run srv fd) () in
+  let run_client () =
+    match Serve.Client.connect ~retry_ms:5_000 (Unix.ADDR_UNIX sock) with
+    | Error e -> Alcotest.fail ("connect: " ^ e)
+    | Ok c ->
+        let replies =
+          List.map
+            (fun line ->
+              match Serve.Client.request c line with
+              | Ok text -> text
+              | Error `Closed -> Alcotest.fail "server hung up mid-script")
+            script
+        in
+        Serve.Client.close c;
+        replies
+  in
+  let t1 = Thread.create run_client () in
+  let t2 = Thread.create run_client () in
+  Thread.join t1;
+  Thread.join t2;
+  (* replies checked via a third, sequential client so Alcotest failures
+     land on the main thread *)
+  (match Serve.Client.connect ~retry_ms:5_000 (Unix.ADDR_UNIX sock) with
+  | Error e -> Alcotest.fail ("connect: " ^ e)
+  | Ok c ->
+      List.iteri
+        (fun j line ->
+          match Serve.Client.request c line with
+          | Ok text ->
+              Alcotest.(check string)
+                (Printf.sprintf "reply %d byte-identical to cold" j)
+                (List.nth cold j) text
+          | Error `Closed -> Alcotest.fail "server hung up mid-script")
+        script;
+      (match Serve.Client.request c "shutdown" with
+      | Ok text -> Alcotest.(check string) "shutdown ack" "shutting down\n" text
+      | Error `Closed -> Alcotest.fail "no shutdown ack");
+      Serve.Client.close c);
+  Thread.join server;
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  let st = Serve.Server.stats srv in
+  Alcotest.(check int) "three connections" 3 st.Serve.Server.connections;
+  Alcotest.(check bool) "cache shared across socket sessions" true
+    (st.Serve.Server.cache.Cache.cross_hits > 0)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "lru",
+        [ Alcotest.test_case "concurrent probes" `Quick test_lru_concurrent ]
+      );
+      ( "memo",
+        [
+          Alcotest.test_case "atomic publication" `Quick
+            test_instance_memo_concurrent;
+        ] );
+      ( "shared-cache",
+        [
+          Alcotest.test_case "multi-domain differential" `Quick
+            test_shared_cache_differential;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "never raises" `Quick test_protocol_never_raises;
+        ] );
+      ( "socket",
+        [ Alcotest.test_case "round-trip" `Quick test_socket_roundtrip ] );
+    ]
