@@ -105,11 +105,13 @@ let run_micro ~quota () =
   flush stdout;
   rows
 
-(* Solver-engine telemetry on example 19's ground program: the counter
-   engine vs the sweep-based reference, shifted and disjunctive — the
-   decision/propagation counts behind the E4 micro-benchmarks, recorded in
-   the baseline so propagation regressions are visible without re-deriving
-   them from wall-clock noise. *)
+(* Solver-engine telemetry on example 19's ground program: the learning
+   engine, the chronological counter engine and the sweep-based reference,
+   shifted and disjunctive — the decision/propagation counts behind the E4
+   micro-benchmarks, recorded in the baseline so propagation regressions
+   are visible without re-deriving them from wall-clock noise.  The
+   "counter" rows pin [`Dpll] so their numbers stay comparable across
+   baselines now that [`Cdcl] is the default. *)
 let solver_telemetry () =
   let ex19 = Workload.Paperdb.example19 in
   let pg19 =
@@ -126,14 +128,29 @@ let solver_telemetry () =
   in
   [
     row "E4.solve.shifted" "counter"
-      (fun ~stats g -> Asp.Solver.stable_models ~stats g) shifted19;
+      (fun ~stats g -> Asp.Solver.stable_models ~search:`Dpll ~stats g)
+      shifted19;
+    row "E4.solve.shifted" "cdcl"
+      (fun ~stats g -> Asp.Solver.stable_models ~search:`Cdcl ~stats g)
+      shifted19;
     row "E4.solve.shifted" "naive"
       (fun ~stats g -> Asp.Solver.stable_models_naive ~stats g) shifted19;
     row "E4.solve.disjunctive" "counter"
-      (fun ~stats g -> Asp.Solver.stable_models ~stats g) ground19;
+      (fun ~stats g -> Asp.Solver.stable_models ~search:`Dpll ~stats g)
+      ground19;
+    row "E4.solve.disjunctive" "cdcl"
+      (fun ~stats g -> Asp.Solver.stable_models ~search:`Cdcl ~stats g)
+      ground19;
     row "E4.solve.disjunctive" "naive"
       (fun ~stats g -> Asp.Solver.stable_models_naive ~stats g) ground19;
   ]
+
+(* CDCL telemetry (E21): the learning engine vs the chronological counter
+   engine on the non-HCF combination-lock sweep of
+   {!Experiments.lock_program}.  Rows flagged hard carry the headline
+   claim — CDCL reaches the same models with at most half the decisions —
+   as checked data under --check-json, not prose. *)
+let cdcl_telemetry () = Experiments.lock_measurements ()
 
 (* Decomposition counters for the shared-predicate cluster workload (E15):
    component structure and per-component exploration, recorded so the
@@ -662,7 +679,7 @@ let serve_telemetry ~clients () =
   ]
 
 let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
-    session_rows routing_rows scale_rows serve_rows =
+    session_rows routing_rows scale_rows serve_rows cdcl_rows =
   let open Table in
   let micro_rows =
     List.map
@@ -684,8 +701,40 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
             ("minimality_checks", Int s.Asp.Solver.minimality_checks);
             ("queue_pushes", Int s.Asp.Solver.queue_pushes);
             ("rules_touched", Int s.Asp.Solver.rules_touched);
+            ("conflicts", Int s.Asp.Solver.conflicts);
+            ("learned", Int s.Asp.Solver.learned);
+            ("restarts", Int s.Asp.Solver.restarts);
+            ("backjump_len", Int s.Asp.Solver.backjump_len);
           ])
       solver_rows
+  in
+  let cdcl_json =
+    List.map
+      (fun ( name, k, m, atoms, models, identical, hard,
+             (sc : Asp.Solver.stats), (sd : Asp.Solver.stats) ) ->
+        Obj
+          [
+            ("name", Str name);
+            ("k", Int k);
+            ("m", Int m);
+            ("atoms", Int atoms);
+            ("models", Int models);
+            ("cdcl_decisions", Int sc.Asp.Solver.decisions);
+            ("dpll_decisions", Int sd.Asp.Solver.decisions);
+            ( "decision_ratio",
+              Num
+                (if sd.Asp.Solver.decisions > 0 then
+                   float_of_int sc.Asp.Solver.decisions
+                   /. float_of_int sd.Asp.Solver.decisions
+                 else 0.0) );
+            ("conflicts", Int sc.Asp.Solver.conflicts);
+            ("learned", Int sc.Asp.Solver.learned);
+            ("restarts", Int sc.Asp.Solver.restarts);
+            ("backjump_len", Int sc.Asp.Solver.backjump_len);
+            ("hard", Str (if hard then "true" else "false"));
+            ("identical", Str (if identical then "true" else "false"));
+          ])
+      cdcl_rows
   in
   let decompose_json =
     List.map
@@ -825,7 +874,7 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
   let doc =
     Obj
       [
-        ("schema", Str "cqanull-bench/8");
+        ("schema", Str "cqanull-bench/9");
         ("tool", Str "bench/main.exe --json");
         ("unit", Str "ns/run");
         ("micro", Arr micro_rows);
@@ -837,11 +886,12 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
         ("routing", Arr routing_json);
         ("scale", Arr scale_json);
         ("serve", Arr serve_json);
+        ("cdcl", Arr cdcl_json);
       ]
   in
   Out_channel.with_open_text path (fun oc -> output_string oc (emit doc));
   Printf.printf
-    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows, %d serve rows)\n"
+    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows, %d serve rows, %d cdcl rows)\n"
     path
     (List.length micro_rows)
     (List.length telemetry_rows)
@@ -852,6 +902,7 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
     (List.length routing_json)
     (List.length scale_json)
     (List.length serve_json)
+    (List.length cdcl_json)
 
 (* --check-json: the baseline format's self-test.  Guards the stable keys
    and the numeric fields so the file future PRs diff against cannot drift
@@ -891,7 +942,7 @@ let check_json path =
   (match schema with
   | "cqanull-bench/1" | "cqanull-bench/2" | "cqanull-bench/3"
   | "cqanull-bench/4" | "cqanull-bench/5" | "cqanull-bench/6"
-  | "cqanull-bench/7" | "cqanull-bench/8" -> ()
+  | "cqanull-bench/7" | "cqanull-bench/8" | "cqanull-bench/9" -> ()
   | s -> fail (Printf.sprintf "unknown schema %S" s));
   ignore (str_field doc "tool");
   ignore (str_field doc "unit");
@@ -909,13 +960,19 @@ let check_json path =
       ignore (str_field row "name");
       (match str_field row "engine" with
       | "counter" | "naive" -> ()
+      | "cdcl" when schema = "cqanull-bench/9" -> ()
       | e -> fail (Printf.sprintf "unknown engine %S" e));
       List.iter
         (fun key ->
           if int_field row key < 0 then
             fail (Printf.sprintf "negative field %S" key))
-        [ "models"; "decisions"; "propagations"; "candidates";
-          "minimality_checks"; "queue_pushes"; "rules_touched" ])
+        ([ "models"; "decisions"; "propagations"; "candidates";
+           "minimality_checks"; "queue_pushes"; "rules_touched" ]
+        (* /9 adds the learning counters to every solver row *)
+        @
+        if schema = "cqanull-bench/9" then
+          [ "conflicts"; "learned"; "restarts"; "backjump_len" ]
+        else []))
     solver;
   (* /2 adds the conflict-decomposition counters: the per-component state
      counts must sum to no more than the monolithic exploration *)
@@ -953,7 +1010,8 @@ let check_json path =
   let budget =
     match schema with
     | "cqanull-bench/3" | "cqanull-bench/4" | "cqanull-bench/5"
-    | "cqanull-bench/6" | "cqanull-bench/7" | "cqanull-bench/8" ->
+    | "cqanull-bench/6" | "cqanull-bench/7" | "cqanull-bench/8"
+    | "cqanull-bench/9" ->
         arr_field doc "budget"
     | _ -> []
   in
@@ -993,7 +1051,7 @@ let check_json path =
   (if
      schema <> "cqanull-bench/4" && schema <> "cqanull-bench/5"
      && schema <> "cqanull-bench/6" && schema <> "cqanull-bench/7"
-     && schema <> "cqanull-bench/8"
+     && schema <> "cqanull-bench/8" && schema <> "cqanull-bench/9"
    then begin
      if Table.member "parallel" doc <> None then
        fail "section \"parallel\" requires schema cqanull-bench/4"
@@ -1048,6 +1106,7 @@ let check_json path =
   (if
      schema <> "cqanull-bench/5" && schema <> "cqanull-bench/6"
      && schema <> "cqanull-bench/7" && schema <> "cqanull-bench/8"
+     && schema <> "cqanull-bench/9"
    then begin
      if Table.member "session" doc <> None then
        fail "section \"session\" requires schema cqanull-bench/5"
@@ -1089,7 +1148,7 @@ let check_json path =
      fast-path claim as a checked fact, not prose. *)
   (if
      schema <> "cqanull-bench/6" && schema <> "cqanull-bench/7"
-     && schema <> "cqanull-bench/8"
+     && schema <> "cqanull-bench/8" && schema <> "cqanull-bench/9"
    then begin
      if Table.member "routing" doc <> None then
        fail "section \"routing\" requires schema cqanull-bench/6"
@@ -1145,7 +1204,10 @@ let check_json path =
      >= 10x — the indexed-maintenance claim as a checked fact, not prose.
      Smaller rows are exempt: at cram-sized instances both clocks sit in
      the sub-millisecond noise floor. *)
-  (if schema <> "cqanull-bench/7" && schema <> "cqanull-bench/8" then begin
+  (if
+     schema <> "cqanull-bench/7" && schema <> "cqanull-bench/8"
+     && schema <> "cqanull-bench/9"
+   then begin
      if Table.member "scale" doc <> None then
        fail "section \"scale\" requires schema cqanull-bench/7"
    end
@@ -1193,7 +1255,7 @@ let check_json path =
      cross_hits >= 1 and a positive cross-session hit rate.  A server
      whose cache silently degrades to per-connection privacy fails the
      baseline even if every answer stays correct. *)
-  (if schema <> "cqanull-bench/8" then begin
+  (if schema <> "cqanull-bench/8" && schema <> "cqanull-bench/9" then begin
      if Table.member "serve" doc <> None then
        fail "section \"serve\" requires schema cqanull-bench/8"
    end
@@ -1238,6 +1300,61 @@ let check_json path =
                   name)
          | s -> fail (Printf.sprintf "non-boolean identical %S in %S" s name))
        serve);
+  (* /9 adds the CDCL decision-count sweep (E21).  Exclusive to /9 in both
+     directions, like the earlier sections.  Every row must report the two
+     engines reaching identical model sets ([identical], checked data) with
+     positive decision counts; the sweep must carry at least one hard row,
+     and on every hard row the learning engine must reach the same models
+     with at most half the decisions of the chronological counter engine —
+     the headline claim of the CDCL rewrite as a checked fact, not prose. *)
+  (if schema <> "cqanull-bench/9" then begin
+     if Table.member "cdcl" doc <> None then
+       fail "section \"cdcl\" requires schema cqanull-bench/9"
+   end
+   else
+     let cdcl = arr_field doc "cdcl" in
+     if cdcl = [] then fail "empty cdcl section";
+     let hard_rows = ref 0 in
+     List.iter
+       (fun row ->
+         let name = str_field row "name" in
+         List.iter
+           (fun key ->
+             if int_field row key < 0 then
+               fail (Printf.sprintf "negative field %S in %S" key name))
+           [ "k"; "m"; "atoms"; "models"; "cdcl_decisions"; "dpll_decisions";
+             "conflicts"; "learned"; "restarts"; "backjump_len" ];
+         if int_field row "models" < 1 then
+           fail (Printf.sprintf "no models enumerated in %S" name);
+         if int_field row "dpll_decisions" < 1 then
+           fail (Printf.sprintf "no dpll decisions recorded in %S" name);
+         if num_field row "decision_ratio" < 0.0 then
+           fail (Printf.sprintf "negative decision_ratio in %S" name);
+         (match str_field row "identical" with
+         | "true" -> ()
+         | "false" ->
+             fail
+               (Printf.sprintf
+                  "cdcl run %S diverged from the dpll model set" name)
+         | s -> fail (Printf.sprintf "non-boolean identical %S in %S" s name));
+         match str_field row "hard" with
+         | "false" -> ()
+         | "true" ->
+             incr hard_rows;
+             if
+               2 * int_field row "cdcl_decisions"
+               > int_field row "dpll_decisions"
+             then
+               fail
+                 (Printf.sprintf
+                    "cdcl decisions %d not <= 0.5x dpll decisions %d on hard \
+                     row %S"
+                    (int_field row "cdcl_decisions")
+                    (int_field row "dpll_decisions")
+                    name)
+         | s -> fail (Printf.sprintf "non-boolean hard %S in %S" s name))
+       cdcl;
+     if !hard_rows = 0 then fail "cdcl section has no hard rows");
   match schema with
   | "cqanull-bench/1" ->
       Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
@@ -1287,7 +1404,7 @@ let check_json path =
           (List.length (rows "session"))
           (List.length (rows "routing"))
           (List.length (rows "scale"))
-      else
+      else if schema = "cqanull-bench/8" then
         Printf.printf
           "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows, %d serve rows)\n"
           path (List.length micro) (List.length solver)
@@ -1297,6 +1414,17 @@ let check_json path =
           (List.length (rows "routing"))
           (List.length (rows "scale"))
           (List.length (rows "serve"))
+      else
+        Printf.printf
+          "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows, %d serve rows, %d cdcl rows)\n"
+          path (List.length micro) (List.length solver)
+          (List.length decompose) (List.length budget)
+          (List.length (rows "parallel"))
+          (List.length (rows "session"))
+          (List.length (rows "routing"))
+          (List.length (rows "scale"))
+          (List.length (rows "serve"))
+          (List.length (rows "cdcl"))
 
 (* --compare-json OLD NEW: regression guard over the micro rows both files
    share in the E1/E2 families.  Bechamel estimates from ~5ms cram quotas
@@ -1574,6 +1702,69 @@ let compare_json ~tolerance old_path new_path =
         | _ -> ())
     | _ -> ()
   in
+  (* CDCL telemetry carries across baselines only when both files have it
+     (the section is new in cqanull-bench/9): the deterministic decision
+     counts are guarded per shared row with the same generous tolerance as
+     the wall-clocks — a heuristic tweak may shift them, a 10x blow-up is
+     a search regression — and two outright contracts on the new baseline:
+     every row's model set identical across engines, and every hard row
+     keeping the >= 2x decision advantage of the learning engine. *)
+  let cdcl_guard old_doc new_doc =
+    match (Table.member "cdcl" old_doc, Table.member "cdcl" new_doc) with
+    | Some (Table.Arr old_rows), Some (Table.Arr new_rows) ->
+        let int_of row key =
+          match Table.member key row with
+          | Some (Table.Int i) -> Some i
+          | _ -> None
+        in
+        List.iter
+          (fun row ->
+            (match Table.member "identical" row with
+            | Some (Table.Str "true") -> ()
+            | _ -> fail "new baseline has a diverged cdcl row");
+            match
+              (Table.member "hard" row, int_of row "cdcl_decisions",
+               int_of row "dpll_decisions")
+            with
+            | Some (Table.Str "true"), Some c, Some d when 2 * c > d ->
+                fail
+                  "new baseline lost the 2x decision advantage on a hard \
+                   cdcl row"
+            | _ -> ())
+          new_rows;
+        let decisions rows name =
+          List.find_map
+            (fun row ->
+              match Table.member "name" row with
+              | Some (Table.Str n) when n = name -> int_of row "cdcl_decisions"
+              | _ -> None)
+            rows
+        in
+        List.iter
+          (fun row ->
+            match Table.member "name" row with
+            | Some (Table.Str name) -> (
+                match (decisions old_rows name, decisions new_rows name) with
+                | Some old_d, Some new_d ->
+                    Printf.printf "cdcl %-18s %d -> %d decisions (%.2fx)\n"
+                      name old_d new_d
+                      (if old_d > 0 then
+                         float_of_int new_d /. float_of_int old_d
+                       else 0.0);
+                    if
+                      old_d > 0
+                      && float_of_int new_d > tolerance *. float_of_int old_d
+                    then
+                      fail
+                        (Printf.sprintf
+                           "cdcl %s decision count regressed beyond %.0fx \
+                            tolerance"
+                           name tolerance)
+                | _ -> ())
+            | _ -> ())
+          old_rows
+    | _ -> ()
+  in
   let micro_map doc =
     match Table.member "micro" doc with
     | Some (Table.Arr rows) ->
@@ -1621,6 +1812,7 @@ let compare_json ~tolerance old_path new_path =
   routing_guard old_doc new_doc;
   scale_guard old_doc new_doc;
   serve_guard old_doc new_doc;
+  cdcl_guard old_doc new_doc;
   match regressions with
   | [] ->
       Printf.printf "compare ok (%d guarded rows, tolerance %.0fx)\n"
@@ -1687,7 +1879,8 @@ let () =
           ("E9", List.nth Experiments.all 8); ("E10", List.nth Experiments.all 9);
           ("E11", List.nth Experiments.all 10); ("E12", List.nth Experiments.all 11);
           ("E13", List.nth Experiments.all 12); ("E14", List.nth Experiments.all 13);
-          ("E15", List.nth Experiments.all 14); ("E18", List.nth Experiments.all 15) ]
+          ("E15", List.nth Experiments.all 14); ("E18", List.nth Experiments.all 15);
+          ("E21", List.nth Experiments.all 16) ]
       in
       print_endline
         "cqanull benchmark harness — reproduction tables for 'Semantically \
@@ -1700,7 +1893,7 @@ let () =
             (fun n ->
               match List.assoc_opt n named with
               | Some f -> f ()
-              | None -> Printf.eprintf "unknown table %s (E1..E15, E18)\n" n)
+              | None -> Printf.eprintf "unknown table %s (E1..E15, E18, E21)\n" n)
             names);
       let micro_rows =
         if micro || json <> None then run_micro ~quota () else []
@@ -1713,4 +1906,5 @@ let () =
             (routing_telemetry ())
             (scale_telemetry ~scale ())
             (serve_telemetry ~clients ())
+            (cdcl_telemetry ())
       | None -> ()

@@ -77,6 +77,8 @@ let report_budget ~want_stats budget =
         Fmt.pr "stats: %a@." Budget.pp_stats stats;
         if Budget.routed_total stats > 0 then
           Fmt.pr "routed: %a@." Budget.pp_routed stats;
+        if Budget.search_total stats > 0 then
+          Fmt.pr "cdcl: %a@." Budget.pp_search stats;
         Fmt.pr "%a" Budget.pp_degradations stats;
         Fmt.pr "%a" Budget.pp_workers stats
       end
@@ -124,6 +126,16 @@ let method_conv =
       ("cautious", `Cautious);
     ]
 
+let search_flag =
+  Arg.(
+    value
+    & opt (Arg.enum [ ("cdcl", `Cdcl); ("dpll", `Dpll) ]) `Cdcl
+    & info [ "search" ] ~docv:"MODE"
+        ~doc:"Stable-model search mode: 'cdcl' (the default) learns clauses \
+              from conflicts with watched-literal propagation and restarts; \
+              'dpll' is the chronological counter-propagation baseline.  \
+              Only the program-based engines consult it.")
+
 let print_repairs d repairs =
   List.iteri
     (fun i r ->
@@ -134,7 +146,7 @@ let print_repairs d repairs =
   Fmt.pr "%d repair(s)@." (List.length repairs)
 
 let repairs_cmd =
-  let run file engine repd save decompose jobs timeout_ms want_stats =
+  let run file engine repd save decompose jobs timeout_ms want_stats search =
     let jobs = Parallel.Config.resolve jobs in
     let l = load_or_die file in
     let d = Lang.Load.final_instance l and ics = l.Lang.Load.ics in
@@ -157,7 +169,9 @@ let repairs_cmd =
                 Error (Budget.message (Budget.States n))
             | exception Budget.Exhausted e -> Error (Budget.message e))
         | `Program -> (
-            match Core.Engine.repairs ?budget ~decompose ~jobs d ics with
+            match
+              Core.Engine.repairs ?budget ~decompose ~jobs ~search d ics
+            with
             | Ok _ as ok -> ok
             | Error msg when timeout_ms = None ->
                 Fmt.epr "repair program not applicable (%s); falling back to \
@@ -206,9 +220,10 @@ let repairs_cmd =
   Cmd.v
     (Cmd.info "repairs" ~doc:"Enumerate the repairs of the database.")
     Term.(
-      const (fun f e r s dc j t st -> Stdlib.exit (run f e r s dc j t st))
+      const (fun f e r s dc j t st se ->
+          Stdlib.exit (run f e r s dc j t st se))
       $ file_arg $ engine_flag $ repd_flag $ save_flag $ decompose_flag
-      $ jobs_flag $ timeout_flag $ stats_flag)
+      $ jobs_flag $ timeout_flag $ stats_flag $ search_flag)
 
 (* ------------------------------------------------------------------ *)
 (* cqa *)
@@ -526,7 +541,7 @@ let connect_cmd =
 (* export *)
 
 let export_cmd =
-  let run file dialect variant output =
+  let run file dialect variant output validate =
     let l = load_or_die file in
     let variant =
       match variant with `Literal -> Core.Proggen.Literal | `Refined -> Core.Proggen.Refined
@@ -543,19 +558,72 @@ let export_cmd =
           match dialect with
           | `Dlv -> Core.Proggen.to_dlv pg
           | `Clingo -> Core.Proggen.to_clingo pg
+          | `Dimacs | `Smtlib ->
+              (* clause-level dialects ground the program first: both
+                 serialize the classical clause view of the ground rules *)
+              let ground = Asp.Grounder.ground pg.Core.Proggen.program in
+              let pp =
+                match dialect with
+                | `Dimacs -> Asp.Smtexport.to_dimacs
+                | _ -> Asp.Smtexport.to_smtlib
+              in
+              Fmt.str "%a" pp ground
         in
-        (match output with
-        | None -> print_string text
-        | Some path ->
-            Out_channel.with_open_text path (fun oc -> output_string oc text);
-            Fmt.pr "wrote %s@." path);
-        0
+        let validation =
+          if not validate then Ok ()
+          else
+            match dialect with
+            | `Dimacs -> (
+                match Asp.Smtexport.validate_dimacs text with
+                | Ok (v, c) ->
+                    Fmt.pr "valid dimacs: %d var(s), %d clause(s)@." v c;
+                    Ok ()
+                | Error msg -> Error (Fmt.str "invalid dimacs: %s" msg))
+            | `Smtlib -> (
+                match Asp.Smtexport.validate_smtlib text with
+                | Ok n ->
+                    Fmt.pr "valid smtlib: %d expression(s)@." n;
+                    Ok ()
+                | Error msg -> Error (Fmt.str "invalid smtlib: %s" msg))
+            | `Dlv | `Clingo ->
+                Error "--validate applies to the dimacs and smtlib dialects"
+        in
+        (match validation with
+        | Error msg ->
+            Fmt.epr "error: %s@." msg;
+            1
+        | Ok () ->
+            (match output with
+            | None -> print_string text
+            | Some path ->
+                Out_channel.with_open_text path (fun oc -> output_string oc text);
+                Fmt.pr "wrote %s@." path);
+            0)
   in
   let dialect_flag =
     Arg.(
       value
-      & opt (Arg.enum [ ("dlv", `Dlv); ("clingo", `Clingo) ]) `Dlv
-      & info [ "dialect" ] ~docv:"DIALECT" ~doc:"Target solver syntax.")
+      & opt
+          (Arg.enum
+             [
+               ("dlv", `Dlv); ("clingo", `Clingo); ("dimacs", `Dimacs);
+               ("smtlib", `Smtlib);
+             ])
+          `Dlv
+      & info [ "dialect" ] ~docv:"DIALECT"
+          ~doc:"Target syntax: 'dlv' or 'clingo' print the repair program \
+                for an external ASP solver; 'dimacs' (CNF) and 'smtlib' \
+                (SMT-LIB 2) print the classical clause view of the ground \
+                program for SAT/SMT cross-checks — stable-model conditions \
+                are not encoded.")
+  in
+  let validate_flag =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:"Shape-check the export before printing it (dimacs/smtlib \
+                only): header/clause agreement and literal ranges for \
+                DIMACS, s-expression well-formedness for SMT-LIB.")
   in
   let variant_flag =
     Arg.(
@@ -569,16 +637,19 @@ let export_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output file.")
   in
   Cmd.v
-    (Cmd.info "export" ~doc:"Print the repair program Pi(D, IC) for an external ASP solver.")
+    (Cmd.info "export"
+       ~doc:"Print the repair program Pi(D, IC) for an external ASP solver \
+             (dlv/clingo), or its ground classical clause view for SAT/SMT \
+             tools (dimacs/smtlib).")
     Term.(
-      const (fun f d v o -> Stdlib.exit (run f d v o))
-      $ file_arg $ dialect_flag $ variant_flag $ output_flag)
+      const (fun f d v o va -> Stdlib.exit (run f d v o va))
+      $ file_arg $ dialect_flag $ variant_flag $ output_flag $ validate_flag)
 
 (* ------------------------------------------------------------------ *)
 (* solve: run the internal ASP solver on a DLV/clingo-syntax file *)
 
 let solve_cmd =
-  let run file limit mode =
+  let run file limit mode search want_stats =
     match Asp.Aspparse.parse_file file with
     | exception Asp.Aspparse.Parse_error (msg, line) ->
         Fmt.epr "parse error at line %d: %s@." line msg;
@@ -595,6 +666,16 @@ let solve_cmd =
             let solvable =
               if Asp.Hcf.is_hcf ground then Asp.Shift.ground ground else ground
             in
+            let stats = Asp.Solver.new_stats () in
+            let report () =
+              if want_stats then begin
+                Fmt.pr "search: %s@."
+                  (match search with `Cdcl -> "cdcl" | `Dpll -> "dpll");
+                Fmt.pr "stats: %a@." Asp.Solver.pp_stats stats;
+                if search = `Cdcl then
+                  Fmt.pr "cdcl: %a@." Asp.Solver.pp_search_stats stats
+              end
+            in
             let pp_atoms atoms =
               Fmt.pr "{%a}@."
                 Fmt.(list ~sep:(any ", ") Asp.Ground.pp_gatom)
@@ -603,18 +684,23 @@ let solve_cmd =
             match mode with
             | `Models ->
                 let models =
-                  Asp.Solver.stable_models_atoms ?limit solvable
+                  Asp.Solver.stable_models_atoms ?limit ~search ~stats solvable
                 in
                 List.iter pp_atoms models;
                 Fmt.pr "%d stable model(s)@." (List.length models);
+                report ();
                 if models = [] then 1 else 0
             | `Cautious ->
                 pp_atoms
-                  (List.map (Asp.Ground.atom_of solvable) (Asp.Solver.cautious solvable));
+                  (List.map (Asp.Ground.atom_of solvable)
+                     (Asp.Solver.cautious ~search ~stats solvable));
+                report ();
                 0
             | `Brave ->
                 pp_atoms
-                  (List.map (Asp.Ground.atom_of solvable) (Asp.Solver.brave solvable));
+                  (List.map (Asp.Ground.atom_of solvable)
+                     (Asp.Solver.brave ~search ~stats solvable));
+                report ();
                 0))
   in
   let limit_flag =
@@ -629,10 +715,20 @@ let solve_cmd =
             (`Brave, info [ "brave" ] ~doc:"Print atoms true in some stable model.");
           ])
   in
+  let solve_stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the search mode and the solver counters (decisions, \
+                propagations, candidates, and under cdcl the \
+                conflict/learning counters).")
+  in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Run the internal stable-model solver on a DLV/clingo-syntax program.")
-    Term.(const (fun f l m -> Stdlib.exit (run f l m)) $ file_arg $ limit_flag $ mode_flag)
+    Term.(
+      const (fun f l m s st -> Stdlib.exit (run f l m s st))
+      $ file_arg $ limit_flag $ mode_flag $ search_flag $ solve_stats_flag)
 
 (* ------------------------------------------------------------------ *)
 (* graph *)

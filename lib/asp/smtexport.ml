@@ -1,0 +1,183 @@
+(* Classical-clause exporters: DIMACS CNF and SMT-LIB 2.
+
+   Both dialects serialize the classical clause view of a ground program —
+   per rule, some head atom true, some positive body atom false, or some
+   negative body atom true — i.e. exactly the constraint theory the
+   internal solvers (Solver, Watch) propagate over.  The stable-model
+   conditions (supportedness, minimality) are NOT encoded: a satisfying
+   assignment of the export is a classical model of the program, of which
+   the stable models are a subset.  The files are meant for cross-checking
+   propagation-level behavior with off-the-shelf SAT/SMT solvers and for
+   sizing comparisons, not for answer-set solving.
+
+   DIMACS: atom id [a] (0-based) becomes variable [a + 1]; a comment block
+   maps variables back to atom names.  Tautological rule clauses are kept
+   (as DIMACS tolerates them) but deduplicated literal-wise, matching what
+   the solvers feed their clause databases.  A rule with no literals at all
+   cannot arise from the grounder (a ground integrity constraint with empty
+   body would be one); should it, the export emits the empty clause — the
+   standard unsatisfiable-clause spelling.
+
+   SMT-LIB: one Bool constant per atom, named [|p(c1,c2)|] (the pretty
+   printed ground atom inside SMT-LIB quoted-symbol bars, which admit any
+   character except [|] and [\] — the atom syntax produces neither), one
+   [assert] per rule as a disjunction, then [check-sat].
+
+   The validators re-parse exporter output shape-wise: the DIMACS one
+   checks the header against the actual clause count and every literal
+   against the declared variable range; the SMT-LIB one checks
+   s-expression well-formedness (balanced parens outside quoted symbols
+   and string literals, no stray closer, no trailing garbage).  They
+   accept any conforming file, not just our own output, and are what the
+   [--validate] CLI flag and the cram suite drive. *)
+
+let clause_lits (r : Ground.grule) =
+  (* positive occurrence of atom [a] is [2a], negative [2a + 1] — the
+     encoding shared with Watch; deduped, insertion order *)
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let add l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.add seen l ();
+      acc := l :: !acc
+    end
+  in
+  Array.iter (fun h -> add (2 * h)) r.Ground.ghead;
+  Array.iter (fun p -> add ((2 * p) + 1)) r.Ground.gpos;
+  Array.iter (fun x -> add (2 * x)) r.Ground.gneg;
+  List.rev !acc
+
+let atom_name g a = Fmt.str "%a" Ground.pp_gatom (Ground.atom_of g a)
+
+let to_dimacs ppf g =
+  let n = Ground.atom_count g in
+  let rules = Ground.rules g in
+  Fmt.pf ppf "c classical clause view of the ground program@.";
+  Fmt.pf ppf "c (models of the CNF include all stable models)@.";
+  for a = 0 to n - 1 do
+    Fmt.pf ppf "c var %d = %s@." (a + 1) (atom_name g a)
+  done;
+  Fmt.pf ppf "p cnf %d %d@." n (Array.length rules);
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun l ->
+          let v = (l lsr 1) + 1 in
+          Fmt.pf ppf "%d " (if l land 1 = 0 then v else -v))
+        (clause_lits r);
+      Fmt.pf ppf "0@.")
+    rules
+
+let to_smtlib ppf g =
+  let n = Ground.atom_count g in
+  Fmt.pf ppf "; classical clause view of the ground program@.";
+  Fmt.pf ppf "(set-logic QF_UF)@.";
+  for a = 0 to n - 1 do
+    Fmt.pf ppf "(declare-const |%s| Bool)@." (atom_name g a)
+  done;
+  Array.iter
+    (fun r ->
+      let pp_lit ppf l =
+        let name = atom_name g (l lsr 1) in
+        if l land 1 = 0 then Fmt.pf ppf "|%s|" name
+        else Fmt.pf ppf "(not |%s|)" name
+      in
+      match clause_lits r with
+      | [] -> Fmt.pf ppf "(assert false)@."
+      | [ l ] -> Fmt.pf ppf "(assert %a)@." pp_lit l
+      | lits ->
+          Fmt.pf ppf "(assert (or %a))@." (Fmt.list ~sep:Fmt.sp pp_lit) lits)
+    (Ground.rules g);
+  Fmt.pf ppf "(check-sat)@."
+
+(* ------------------------------------------------------------------ *)
+(* Validators *)
+
+let validate_dimacs s =
+  let lines = String.split_on_char '\n' s in
+  let header = ref None in
+  let clauses = ref 0 in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  let check_clause vars line =
+    match List.rev (String.split_on_char ' ' (String.trim line)) with
+    | exception _ -> fail "unreadable clause line"
+    | [] | [ "" ] -> fail "blank clause line"
+    | last :: rest ->
+        if last <> "0" then fail (Fmt.str "clause not 0-terminated: %S" line);
+        List.iter
+          (fun tok ->
+            match int_of_string_opt tok with
+            | None -> fail (Fmt.str "bad literal %S" tok)
+            | Some 0 -> fail "literal 0 inside clause"
+            | Some l ->
+                if abs l > vars then
+                  fail (Fmt.str "literal %d out of range 1..%d" l vars))
+          rest;
+        incr clauses
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then
+        match !header with
+        | Some _ -> fail "duplicate header"
+        | None -> (
+            match String.split_on_char ' ' line with
+            | [ "p"; "cnf"; v; c ] -> (
+                match (int_of_string_opt v, int_of_string_opt c) with
+                | Some v, Some c when v >= 0 && c >= 0 -> header := Some (v, c)
+                | _ -> fail "malformed header counts")
+            | _ -> fail (Fmt.str "malformed header %S" line))
+      else
+        match !header with
+        | None -> fail "clause before header"
+        | Some (v, _) -> check_clause v line)
+    lines;
+  match (!err, !header) with
+  | Some msg, _ -> Error msg
+  | None, None -> Error "no header"
+  | None, Some (v, c) ->
+      if c <> !clauses then
+        Error (Fmt.str "header declares %d clauses, found %d" c !clauses)
+      else Ok (v, c)
+
+let validate_smtlib s =
+  let len = String.length s in
+  let depth = ref 0 in
+  let exprs = ref 0 in
+  let i = ref 0 in
+  let err = ref None in
+  let fail msg =
+    if !err = None then err := Some msg;
+    i := len
+  in
+  while !i < len do
+    (match s.[!i] with
+    | ';' -> while !i < len && s.[!i] <> '\n' do incr i done
+    | '(' ->
+        if !depth = 0 then incr exprs;
+        incr depth
+    | ')' ->
+        decr depth;
+        if !depth < 0 then fail "unbalanced ')'"
+    | '|' ->
+        incr i;
+        while !i < len && s.[!i] <> '|' do incr i done;
+        if !i >= len then fail "unterminated quoted symbol"
+    | '"' ->
+        incr i;
+        while !i < len && s.[!i] <> '"' do incr i done;
+        if !i >= len then fail "unterminated string literal"
+    | c ->
+        if !depth = 0 && not (c = ' ' || c = '\t' || c = '\n' || c = '\r')
+        then fail (Fmt.str "top-level token outside any s-expression: %c" c));
+    incr i
+  done;
+  match !err with
+  | Some msg -> Error msg
+  | None ->
+      if !depth <> 0 then Error "unbalanced '('"
+      else if !exprs = 0 then Error "no s-expressions"
+      else Ok !exprs

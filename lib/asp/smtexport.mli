@@ -1,0 +1,31 @@
+(** DIMACS-CNF and SMT-LIB 2 export of a ground program's classical clause
+    view, with shape validators.
+
+    Both dialects serialize the clause theory the internal solvers
+    propagate over — per rule, some head atom true, some positive body atom
+    false, or some negative body atom true.  The stable-model conditions
+    (supportedness, minimality) are {e not} encoded: every stable model
+    satisfies the export, but not conversely.  The files are for
+    cross-checking propagation-level behavior with off-the-shelf SAT/SMT
+    solvers and for sizing comparisons — not a drop-in answer-set
+    pipeline (that is {!Printer}'s DLV/clingo job). *)
+
+val to_dimacs : Format.formatter -> Ground.t -> unit
+(** DIMACS CNF: atom id [a] becomes variable [a + 1]; a leading comment
+    block maps every variable back to its pretty-printed ground atom. *)
+
+val to_smtlib : Format.formatter -> Ground.t -> unit
+(** SMT-LIB 2 ([QF_UF]): one [Bool] constant per atom (quoted symbol
+    [|p(c1,c2)|]), one [assert]ed disjunction per rule, then
+    [(check-sat)]. *)
+
+val validate_dimacs : string -> (int * int, string) result
+(** Shape-check a DIMACS file: exactly one [p cnf V C] header before any
+    clause, every clause 0-terminated with literals in [1..V] (negated
+    allowed), and exactly [C] clauses.  Returns [(V, C)]. *)
+
+val validate_smtlib : string -> (int, string) result
+(** Shape-check an SMT-LIB file: balanced parentheses outside
+    [|...|]-quoted symbols, string literals and [;] comments, and no
+    top-level tokens outside an s-expression.  Returns the number of
+    top-level s-expressions. *)

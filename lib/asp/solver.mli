@@ -1,11 +1,23 @@
 (** Stable-model enumeration for ground disjunctive programs
     (Gelfond-Lifschitz semantics [18]).
 
-    The solver enumerates, by DPLL-style search with unit propagation over
-    the classical clause view of the rules, every total model of the
-    program, completing each all-rules-satisfied partial assignment with
-    false (sound: an unassigned atom set to true in a stable model would be
-    unsupported).  Every candidate model [M] is then verified stable:
+    Two search engines share the entry point, selected by [?search]:
+
+    - [`Cdcl] (the default): conflict-driven clause learning over the
+      classical clause view — two-watched-literal propagation ({!Watch}),
+      first-UIP learned nogoods with non-chronological backjumping
+      ({!Learn}), VSIDS branching and Luby restarts.  Support propagation
+      is materialized as clauses so its inferences participate in conflict
+      analysis; models are enumerated by analyzing each found model's
+      complement clause like a conflict, so restarts never repeat models.
+    - [`Dpll]: the counter-based chronological engine described below —
+      kept as the propagation-only differential oracle and for the bench
+      tables' before/after comparisons.
+
+    Both enumerate every total model of the program, completing each
+    all-rules-satisfied partial assignment with false (sound: an unassigned
+    atom set to true in a stable model would be unsupported).  Every
+    candidate model [M] is then verified stable:
 
     - for a {e normal} candidate program (every head a singleton) the
       Gelfond-Lifschitz reduct [P^M] is definite and [M] is stable iff it
@@ -45,20 +57,33 @@ type stats = {
           supporter-list scans for the counter engine, one per rule per
           sweep (plus supporter-list lengths) for the naive engine — the
           before/after metric of the occurrence-index rewrite *)
+  mutable conflicts : int;
+      (** falsified clauses hit by the CDCL engine (0 under [`Dpll]) *)
+  mutable learned : int;  (** nogoods added by conflict analysis *)
+  mutable restarts : int;  (** Luby restarts taken *)
+  mutable backjump_len : int;
+      (** total decision levels undone by non-chronological backjumps —
+          divide by [learned] for the mean jump length *)
 }
+
+type search = [ `Cdcl | `Dpll ]
+(** Search engine selector — see the module preamble. *)
 
 val stable_models :
   ?budget:Budget.ctl -> ?limit:int -> ?max_decisions:int ->
-  ?support_propagation:bool -> ?stats:stats -> Ground.t -> int list list
+  ?support_propagation:bool -> ?search:search -> ?stats:stats -> Ground.t ->
+  int list list
 (** All stable models as sorted lists of atom ids; [limit] caps how many are
     returned, [max_decisions] (default [10_000_000]) bounds the search.
-    [budget] is the run-global budget: every decision also ticks it, so a
-    shared decision limit and the wall-clock deadline are enforced across
-    the stages of an engine run (the per-call [max_decisions] bound remains
-    local to this search).  [support_propagation] (default true) enables
-    the supportedness propagation described above; disabling it is only
-    useful for the ablation bench (table E12) — the result is identical,
-    the search exponentially wider.
+    [budget] is the run-global budget: every decision also ticks it (and
+    under [`Cdcl] every conflict checks the deadline), so a shared decision
+    limit and the wall-clock deadline are enforced across the stages of an
+    engine run (the per-call [max_decisions] bound remains local to this
+    search).  [search] (default [`Cdcl]) selects the engine; both return
+    the same model list.  [support_propagation] (default true) enables the
+    supportedness propagation described above; disabling it is only useful
+    for the ablation bench (table E12) — the result is identical, the
+    search exponentially wider.
     @raise Budget_exceeded when the local bound is hit.
     @raise Budget.Exhausted when [budget] trips; public engine APIs catch
     both and return [Error] — see {!Budget}. *)
@@ -73,8 +98,8 @@ val stable_models_naive :
     numbers.  Not used on any production path. *)
 
 val stable_models_atoms :
-  ?budget:Budget.ctl -> ?limit:int -> ?max_decisions:int -> ?stats:stats ->
-  Ground.t -> Ground.gatom list list
+  ?budget:Budget.ctl -> ?limit:int -> ?max_decisions:int -> ?search:search ->
+  ?stats:stats -> Ground.t -> Ground.gatom list list
 (** {!stable_models} with atoms resolved, each model sorted. *)
 
 val is_stable_model : Ground.t -> int list -> bool
@@ -84,13 +109,20 @@ val is_stable_model : Ground.t -> int list -> bool
 val new_stats : unit -> stats
 val pp_stats : stats Fmt.t
 
+val pp_search_stats : stats Fmt.t
+(** The CDCL counters: [conflicts=… learned=… restarts=… backjump_len=…]
+    (all zero after a [`Dpll] run). *)
+
 val cautious :
-  ?budget:Budget.ctl -> ?max_decisions:int -> Ground.t -> int list
+  ?budget:Budget.ctl -> ?max_decisions:int -> ?search:search ->
+  ?stats:stats -> Ground.t -> int list
 (** Atoms true in every stable model, ascending (empty if there is no
     stable model — by convention of cautious reasoning over an inconsistent
     program every atom is a consequence, but the repair setting guarantees
     models whenever [IC] is non-conflicting, so we return the intersection
     of an empty family as the empty list and let callers decide). *)
 
-val brave : ?budget:Budget.ctl -> ?max_decisions:int -> Ground.t -> int list
+val brave :
+  ?budget:Budget.ctl -> ?max_decisions:int -> ?search:search ->
+  ?stats:stats -> Ground.t -> int list
 (** Atoms true in at least one stable model, ascending. *)

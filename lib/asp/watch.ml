@@ -1,0 +1,205 @@
+(* Two-watched-literal clause database with a level-tagged trail.
+
+   Literals are ints: atom [a] appears positively as [2a] and negatively as
+   [2a + 1]; complementation is [lxor 1].  The database owns the assignment
+   (value/level/reason per atom), the trail of assigned-true literals in
+   assignment order, and the per-literal watch lists; clients layer search
+   and conflict analysis on top (Solver, Learn).
+
+   Watch discipline (Minisat-style): every clause of length >= 2 watches its
+   first two literals; the watch list of literal [l] holds the clauses
+   watching [l], visited when [l] becomes false.  A visited clause either
+   re-watches a non-false literal, is satisfied through its other watch,
+   propagates its other watch as a unit, or is the conflict.  Clauses added
+   mid-search (materialized support reasons, learned nogoods) watch their
+   asserting literal and one currently-false literal; a backjump can
+   temporarily weaken their unit detection, which the solver compensates by
+   re-scanning its support worklist — soundness is unaffected because any
+   full falsification of a clause still lands on a watched literal. *)
+
+(* Assignment values, shared with Solver: 0 unknown, 1 true, 2 false. *)
+let unk = 0
+let tru = 1
+let fls = 2
+
+type t = {
+  n : int;  (* atoms *)
+  value : int array;  (* per atom *)
+  level : int array;  (* per atom; meaningful while assigned *)
+  reason : int array;  (* per atom: clause id, or -1 for decisions/none *)
+  mutable clauses : int array array;
+  mutable n_clauses : int;
+  watch_a : int array array;  (* per literal: clause ids, first watch_n live *)
+  watch_n : int array;
+  trail : int array;  (* assigned-true literals, assignment order *)
+  mutable trail_n : int;
+  mutable qhead : int;  (* propagation frontier into [trail] *)
+  level_ix : int array;  (* trail index where each decision level starts *)
+  mutable dl : int;  (* current decision level *)
+  mutable touched : int;  (* clauses visited by propagation *)
+}
+
+let create n =
+  {
+    n;
+    value = Array.make (max n 1) unk;
+    level = Array.make (max n 1) 0;
+    reason = Array.make (max n 1) (-1);
+    clauses = Array.make 16 [||];
+    n_clauses = 0;
+    watch_a = Array.make (max (2 * n) 1) [||];
+    watch_n = Array.make (max (2 * n) 1) 0;
+    trail = Array.make (max n 1) 0;
+    trail_n = 0;
+    qhead = 0;
+    level_ix = Array.make (n + 2) 0;
+    dl = 0;
+    touched = 0;
+  }
+
+let atom_count t = t.n
+let atom_value t a = t.value.(a)
+let level_of t a = t.level.(a)
+let reason_of t a = t.reason.(a)
+let decision_level t = t.dl
+let trail_size t = t.trail_n
+let trail_lit t i = t.trail.(i)
+let clause_lits t c = t.clauses.(c)
+let touched t = t.touched
+
+let lit_value t l =
+  let v = t.value.(l lsr 1) in
+  if v = unk then unk
+  else if (l land 1 = 0) = (v = tru) then tru
+  else fls
+
+let lit_is_true t l = lit_value t l = tru
+let lit_is_false t l = lit_value t l = fls
+
+let watch_add t l c =
+  let n = t.watch_n.(l) in
+  let a = t.watch_a.(l) in
+  let a =
+    if n < Array.length a then a
+    else begin
+      let a' = Array.make (max 4 (2 * n)) 0 in
+      Array.blit a 0 a' 0 n;
+      t.watch_a.(l) <- a';
+      a'
+    end
+  in
+  a.(n) <- c;
+  t.watch_n.(l) <- n + 1
+
+(* The caller guarantees [lits] is non-empty, duplicate-free and not
+   tautological.  Unit clauses get no watches: the caller enqueues their
+   literal (at level 0 for input units).  For clauses added mid-search the
+   caller places the literal about to be enqueued at index 0 and a
+   currently-false literal at index 1. *)
+let add_clause t lits =
+  let ci = t.n_clauses in
+  if ci = Array.length t.clauses then begin
+    let c' = Array.make (2 * ci) [||] in
+    Array.blit t.clauses 0 c' 0 ci;
+    t.clauses <- c'
+  end;
+  t.clauses.(ci) <- lits;
+  t.n_clauses <- ci + 1;
+  if Array.length lits >= 2 then begin
+    watch_add t lits.(0) ci;
+    watch_add t lits.(1) ci
+  end;
+  ci
+
+let push_level t =
+  t.dl <- t.dl + 1;
+  t.level_ix.(t.dl) <- t.trail_n
+
+(* Make [l] true.  Returns [false] iff [l] is already false (the caller
+   turns that into a conflict on [reason]); enqueueing an already-true
+   literal is a no-op. *)
+let enqueue t ~reason l =
+  match lit_value t l with
+  | v when v = tru -> true
+  | v when v = fls -> false
+  | _ ->
+      let a = l lsr 1 in
+      t.value.(a) <- (if l land 1 = 0 then tru else fls);
+      t.level.(a) <- t.dl;
+      t.reason.(a) <- reason;
+      t.trail.(t.trail_n) <- l;
+      t.trail_n <- t.trail_n + 1;
+      true
+
+(* Propagate to fixpoint.  Returns the conflict clause id, or -1. *)
+let propagate t =
+  let confl = ref (-1) in
+  while !confl < 0 && t.qhead < t.trail_n do
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    let flit = p lxor 1 in
+    (* [flit] just became false: visit its watchers *)
+    let ws = t.watch_a.(flit) in
+    let n = t.watch_n.(flit) in
+    let keep = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let ci = ws.(!i) in
+      incr i;
+      t.touched <- t.touched + 1;
+      let lits = t.clauses.(ci) in
+      if lits.(0) = flit then begin
+        lits.(0) <- lits.(1);
+        lits.(1) <- flit
+      end;
+      if lit_is_true t lits.(0) then begin
+        ws.(!keep) <- ci;
+        incr keep
+      end
+      else begin
+        let len = Array.length lits in
+        let k = ref 2 in
+        while !k < len && lit_is_false t lits.(!k) do incr k done;
+        if !k < len then begin
+          (* re-watch a non-false literal *)
+          lits.(1) <- lits.(!k);
+          lits.(!k) <- flit;
+          watch_add t lits.(1) ci
+        end
+        else begin
+          ws.(!keep) <- ci;
+          incr keep;
+          if lit_is_false t lits.(0) then begin
+            (* conflict: keep the unvisited suffix watched *)
+            while !i < n do
+              ws.(!keep) <- ws.(!i);
+              incr keep;
+              incr i
+            done;
+            confl := ci;
+            t.qhead <- t.trail_n
+          end
+          else ignore (enqueue t ~reason:ci lits.(0))
+        end
+      end
+    done;
+    t.watch_n.(flit) <- !keep
+  done;
+  !confl
+
+(* Undo down to (and keeping) [lvl].  [on_undo] sees each popped literal
+   before its atom is cleared, newest first. *)
+let backjump t lvl ~on_undo =
+  if t.dl > lvl then begin
+    let bound = t.level_ix.(lvl + 1) in
+    while t.trail_n > bound do
+      t.trail_n <- t.trail_n - 1;
+      let l = t.trail.(t.trail_n) in
+      on_undo l;
+      let a = l lsr 1 in
+      t.value.(a) <- unk;
+      t.reason.(a) <- -1
+    done;
+    t.dl <- lvl;
+    t.qhead <- t.trail_n
+  end

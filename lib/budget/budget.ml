@@ -45,6 +45,10 @@ type stats = {
   states : int Atomic.t;
   components_solved : int Atomic.t;
   elapsed_ms : int Atomic.t;
+  conflicts : int Atomic.t;
+  learned : int Atomic.t;
+  restarts : int Atomic.t;
+  backjump_len : int Atomic.t;
   routed : int Atomic.t array;  (* indexed by [tier_index] *)
   mutable degradations : (string * string) list;  (* reverse emission order *)
   mutable workers : worker array;
@@ -56,6 +60,10 @@ let new_stats () =
     states = Atomic.make 0;
     components_solved = Atomic.make 0;
     elapsed_ms = Atomic.make 0;
+    conflicts = Atomic.make 0;
+    learned = Atomic.make 0;
+    restarts = Atomic.make 0;
+    backjump_len = Atomic.make 0;
     routed = Array.init 4 (fun _ -> Atomic.make 0);
     degradations = [];
     workers = [||];
@@ -183,6 +191,28 @@ let tick_state t =
   | Some m when n > m -> exhaust t (States m)
   | _ -> ());
   check_deadline t
+
+(* CDCL checkpoints.  Conflicts are the natural deadline granularity of the
+   learning search (decisions can be thousands of conflicts apart under
+   heavy propagation); the remaining counters are pure telemetry. *)
+let tick_conflict t =
+  Atomic.incr t.sink.conflicts;
+  check_deadline t
+
+let note_learned t = Atomic.incr t.sink.learned
+let note_restart t = Atomic.incr t.sink.restarts
+
+let note_backjump t len =
+  ignore (Atomic.fetch_and_add t.sink.backjump_len len)
+
+let search_total s =
+  Atomic.get s.conflicts + Atomic.get s.learned + Atomic.get s.restarts
+  + Atomic.get s.backjump_len
+
+let pp_search ppf s =
+  Fmt.pf ppf "conflicts=%d learned=%d restarts=%d backjump_len=%d"
+    (Atomic.get s.conflicts) (Atomic.get s.learned) (Atomic.get s.restarts)
+    (Atomic.get s.backjump_len)
 
 let note_component t = Atomic.incr t.sink.components_solved
 

@@ -95,6 +95,13 @@ type stats = {
   elapsed_ms : int Atomic.t;
       (** wall-clock of the run, rounded up to a started millisecond;
           written by {!finish} (and on exhaustion), [0] while running *)
+  conflicts : int Atomic.t;
+      (** falsified clauses hit by the CDCL solver ({!tick_conflict});
+          all four CDCL counters stay 0 under the [`Dpll] search mode *)
+  learned : int Atomic.t;   (** nogoods added by conflict analysis *)
+  restarts : int Atomic.t;  (** Luby restarts taken *)
+  backjump_len : int Atomic.t;
+      (** total decision levels undone by non-chronological backjumps *)
   routed : int Atomic.t array;
       (** components classified per routing {!tier} (read through
           {!routed}); all zero outside the [Auto] method *)
@@ -177,6 +184,31 @@ val check_deadline : ctl -> unit
 (** Deadline check alone — for loops with no natural counter (grounder
     instantiation, decomposition planning).  @raise Exhausted on
     deadline. *)
+
+val tick_conflict : ctl -> unit
+(** Count one CDCL conflict and check the deadline — conflicts are the
+    natural deadline granularity of the learning search, whose decisions
+    can be thousands of conflicts apart under heavy propagation.  No count
+    limit: the decision limit stays the only search-size bound, so [`Dpll]
+    and [`Cdcl] runs exhaust comparably.  @raise Exhausted on deadline. *)
+
+val note_learned : ctl -> unit
+(** Count one learned nogood.  Never raises. *)
+
+val note_restart : ctl -> unit
+(** Count one Luby restart.  Never raises. *)
+
+val note_backjump : ctl -> int -> unit
+(** Accumulate the length (decision levels undone) of one
+    non-chronological backjump.  Never raises. *)
+
+val search_total : stats -> int
+(** Sum of the four CDCL counters — non-zero iff a CDCL search ran. *)
+
+val pp_search : stats Fmt.t
+(** The CDCL line: [conflicts=… learned=… restarts=… backjump_len=…].
+    Printed by the CLI only when {!search_total} is non-zero, so [--stats]
+    output is unchanged under [`Dpll]. *)
 
 val remaining_ms : ctl -> int option
 (** Milliseconds until the deadline, never negative; [None] without one.

@@ -13,8 +13,8 @@ type report = {
 (* Ground and solve one repair program.  Raises the budget exceptions of
    the grounder/solver; [run] and [solve_components] below are the
    conversion boundaries — no exception escapes a public Engine API. *)
-let run_exn ?budget ?(shift = true) ?(solver = `Counter) ?max_decisions d ics
-    (pg : Proggen.t) =
+let run_exn ?budget ?(shift = true) ?(solver = `Counter) ?search ?max_decisions
+    d ics (pg : Proggen.t) =
   let ground = Asp.Grounder.ground ?budget pg.Proggen.program in
   let hcf = Asp.Hcf.is_hcf ground in
   let shifted = shift && hcf in
@@ -22,7 +22,7 @@ let run_exn ?budget ?(shift = true) ?(solver = `Counter) ?max_decisions d ics
   let stats = Asp.Solver.new_stats () in
   let solve =
     match solver with
-    | `Counter -> Asp.Solver.stable_models
+    | `Counter -> Asp.Solver.stable_models ?search
     | `Naive -> Asp.Solver.stable_models_naive
   in
   let models =
@@ -49,9 +49,10 @@ let run_exn ?budget ?(shift = true) ?(solver = `Counter) ?max_decisions d ics
     solver = stats;
   }
 
-let run ?variant ?optimize ?shift ?solver ?budget ?max_decisions d ics =
+let run ?variant ?optimize ?shift ?solver ?search ?budget ?max_decisions d ics
+    =
   Result.bind (Proggen.repair_program ?variant ?optimize d ics) (fun pg ->
-      match run_exn ?budget ?shift ?solver ?max_decisions d ics pg with
+      match run_exn ?budget ?shift ?solver ?search ?max_decisions d ics pg with
       | report -> Ok report
       | exception Asp.Solver.Budget_exceeded n ->
           Error (Budget.message (Budget.Decisions n))
@@ -63,8 +64,8 @@ type components_result = {
   exhausted : Budget.exhausted option;
 }
 
-let solve_components ?variant ?optimize ?budget ?max_decisions ?(jobs = 1)
-    (plan : Repair.Decompose.plan) =
+let solve_components ?variant ?optimize ?budget ?search ?max_decisions
+    ?(jobs = 1) (plan : Repair.Decompose.plan) =
   let component_base (c : Repair.Decompose.component) =
     Relational.Instance.union c.Repair.Decompose.sub c.Repair.Decompose.support
   in
@@ -76,7 +77,9 @@ let solve_components ?variant ?optimize ?budget ?max_decisions ?(jobs = 1)
       Result.bind
         (Proggen.repair_program ?variant ?optimize base c.Repair.Decompose.ics)
         (fun pg ->
-          Ok (run_exn ?budget ?max_decisions base c.Repair.Decompose.ics pg))
+          Ok
+            (run_exn ?budget ?search ?max_decisions base
+               c.Repair.Decompose.ics pg))
     with
     | Ok report ->
         (match budget with
@@ -132,12 +135,12 @@ let solve_components ?variant ?optimize ?budget ?max_decisions ?(jobs = 1)
          ~init:(fun w -> Budget.set_worker_slot (w + 1))
          (fun pool -> Parallel.Pool.map pool solve_one components))
 
-let repairs ?variant ?optimize ?budget ?max_decisions ?(decompose = false)
-    ?jobs d ics =
+let repairs ?variant ?optimize ?budget ?search ?max_decisions
+    ?(decompose = false) ?jobs d ics =
   let monolithic () =
     Result.map
       (fun r -> r.repairs)
-      (run ?variant ?optimize ?budget ?max_decisions d ics)
+      (run ?variant ?optimize ?budget ?search ?max_decisions d ics)
   in
   if not decompose then monolithic ()
   else
@@ -155,8 +158,8 @@ let repairs ?variant ?optimize ?budget ?max_decisions ?(decompose = false)
               monolithic ()
             else
               Result.bind
-                (solve_components ?variant ?optimize ?budget ?max_decisions
-                   ?jobs plan)
+                (solve_components ?variant ?optimize ?budget ?search
+                   ?max_decisions ?jobs plan)
                 (fun r ->
                   match r.exhausted with
                   | Some e ->

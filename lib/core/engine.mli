@@ -23,6 +23,7 @@ val run :
   ?optimize:bool ->
   ?shift:bool ->
   ?solver:[ `Counter | `Naive ] ->
+  ?search:Asp.Solver.search ->
   ?budget:Budget.ctl ->
   ?max_decisions:int ->
   Relational.Instance.t ->
@@ -34,6 +35,9 @@ val run :
     selects the stable-model engine: [`Counter] (default) is the
     occurrence-indexed counter-propagation engine, [`Naive] the sweep-based
     reference — the E4 before/after columns run both through this switch.
+    [search] (default [`Cdcl]) picks the [`Counter] engine's search mode —
+    conflict-driven clause learning or the chronological DPLL baseline —
+    and is ignored under [`Naive].
     [optimize] applies the relevance pruning of {!Proggen.repair_program}.
     [budget] bounds grounding and solving under the shared run budget
     (decision limit and wall-clock deadline); exhaustion of either it or
@@ -52,6 +56,7 @@ val solve_components :
   ?variant:Proggen.variant ->
   ?optimize:bool ->
   ?budget:Budget.ctl ->
+  ?search:Asp.Solver.search ->
   ?max_decisions:int ->
   ?jobs:int ->
   Repair.Decompose.plan ->
@@ -72,6 +77,7 @@ val repairs :
   ?variant:Proggen.variant ->
   ?optimize:bool ->
   ?budget:Budget.ctl ->
+  ?search:Asp.Solver.search ->
   ?max_decisions:int ->
   ?decompose:bool ->
   ?jobs:int ->

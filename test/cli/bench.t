@@ -5,12 +5,12 @@ structural and quota-independent):
 
   $ cqanull-bench --json baseline.json --micro --quota 0.005 --scale 30000 > /dev/null
   $ cqanull-bench --check-json baseline.json
-  baseline.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows, 1 serve rows)
+  baseline.json: ok (12 micro rows, 6 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows, 1 serve rows, 6 cdcl rows)
 
 Stable top-level keys, in order (anchored to top-level indentation, since
 budget rows carry a "decompose" field of their own):
 
-  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel|session|routing|scale|serve)"' baseline.json
+  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel|session|routing|scale|serve|cdcl)"' baseline.json
     "schema"
     "tool"
     "unit"
@@ -23,16 +23,21 @@ budget rows carry a "decompose" field of their own):
     "routing"
     "scale"
     "serve"
+    "cdcl"
 
-The solver telemetry carries both engines for each E4 benchmark and every
-counter field is numeric:
+The solver telemetry carries all three engines for each E4 benchmark and
+every counter field is numeric — the counter rows stay pinned to the
+chronological search so their decision counts remain comparable across
+baselines, and the cdcl rows add the learning counters:
 
   $ grep -c '"engine": "counter"' baseline.json
+  2
+  $ grep -c '"engine": "cdcl"' baseline.json
   2
   $ grep -c '"engine": "naive"' baseline.json
   2
   $ grep -c '"rules_touched": [0-9]' baseline.json
-  4
+  6
 
 The decomposition counters cover k = 1, 2, 4, 6 shared-predicate clusters,
 with per-component state counts and the product-exactness flag:
@@ -76,8 +81,8 @@ materializing engines: three all-direct FD rows (the widest must beat
 decomposed enumeration by >= 10x, guarded by --check-json) and a mixed
 suite that exercises all four tiers in one plan.  Every routing row's
 Auto outcome must be byte-identical to the enumerate oracle — so with
-the three parallel rows, the session row and the serve row (below), nine
-identical flags:
+the three parallel rows, the session row, the serve row (below) and the
+six cdcl rows (below), fifteen identical flags:
 
   $ grep -c '"name": "E18.routing' baseline.json
   4
@@ -89,7 +94,7 @@ identical flags:
         "routed_disjunctive": 2,
         "routed_enumerate": 1,
   $ grep -c '"identical": "true"' baseline.json
-  9
+  15
 
 The scale telemetry (E19) pushes a generated FK+FD workload through the
 columnar storage at the --scale size and a tenth of it: bulk load, full
@@ -122,6 +127,27 @@ cross-session traffic — both guarded by --check-json:
   $ grep -c '"cross_hit_rate"' baseline.json
   1
 
+The cdcl telemetry (E21) sweeps the combination-lock family — k free
+choice pairs in front of an m-bit lock whose non-secret combinations are
+all denied — through both search modes: the names, the four rows marked
+hard (k >= 3, where chronological search re-refutes the lock inside
+every enumeration branch while learned nogoods survive backtracking),
+and a decision ratio per row.  Both modes must enumerate identical model
+sets, and on every hard row cdcl must spend at most half the dpll
+decisions — both guarded by --check-json:
+
+  $ grep -oE '"name": "E21[^"]*"' baseline.json
+  "name": "E21.lock.k1m2"
+  "name": "E21.lock.k2m3"
+  "name": "E21.lock.k3m4"
+  "name": "E21.lock.k4m4"
+  "name": "E21.lock.k6m5"
+  "name": "E21.lock.k8m6"
+  $ grep -c '"hard": "true"' baseline.json
+  4
+  $ grep -c '"decision_ratio"' baseline.json
+  6
+
 The checked-in baselines all validate — the PR1 file under the original
 schema, the PR2 file with the decomposition section, the PR3 file with the
 budget counters:
@@ -142,6 +168,8 @@ budget counters:
   ../../BENCH_PR7.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows)
   $ cqanull-bench --check-json ../../BENCH_PR8.json
   ../../BENCH_PR8.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows, 1 serve rows)
+  $ cqanull-bench --check-json ../../BENCH_PR9.json
+  ../../BENCH_PR9.json: ok (12 micro rows, 6 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows, 1 serve rows, 6 cdcl rows)
 
 The committed PR7 baseline was recorded at --scale 1000000: its headline
 row loads, checks and answers a million-tuple instance, and its 10^5 row
@@ -159,6 +187,15 @@ the concurrent replay at 32 clients:
   "name": "E19.scale.n1000000"
   $ grep -oE '"name": "E20[^"]*"' ../../BENCH_PR8.json
   "name": "E20.serve.k6.c32"
+
+The committed PR9 baseline keeps the full-scale rows and adds the lock
+sweep; the solver runs are deterministic, so its decision counts hold
+exactly at any quota:
+
+  $ grep -oE '"name": "E20[^"]*"' ../../BENCH_PR9.json
+  "name": "E20.serve.k6.c32"
+  $ grep -cE '"name": "E21[^"]*"' ../../BENCH_PR9.json
+  6
 
 The regression guard compares the E1/E2 micro rows of the two checked-in
 baselines within a 10x tolerance:
@@ -216,6 +253,19 @@ the cold replay; the cache still crossing session boundaries):
   $ cqanull-bench --compare-json baseline.json baseline.json | grep -c '^serve '
   2
 
+Across the /9 bump it additionally covers the cdcl section — the decision
+counts per shared lock workload within tolerance, plus the outright
+contracts on the new baseline (both search modes still enumerating the
+same model sets; the 2x decision advantage on the hard rows not lost).
+The section guard engages only when both files carry it, so the PR8 ->
+PR9 comparison stays on the older sections:
+
+  $ cqanull-bench --compare-json ../../BENCH_PR8.json ../../BENCH_PR9.json > compare89.out
+  $ tail -1 compare89.out
+  compare ok (3 guarded rows, tolerance 10x)
+  $ cqanull-bench --compare-json baseline.json baseline.json | grep -c '^cdcl '
+  6
+
 Malformed input is rejected:
 
   $ echo '{"schema": "cqanull-bench/1", "micro": [' > broken.json
@@ -225,9 +275,9 @@ Malformed input is rejected:
 
 An unknown schema version is rejected:
 
-  $ echo '{"schema": "cqanull-bench/9", "tool": "x", "unit": "ns", "micro": [], "solver": []}' > badschema.json
+  $ echo '{"schema": "cqanull-bench/10", "tool": "x", "unit": "ns", "micro": [], "solver": []}' > badschema.json
   $ cqanull-bench --check-json badschema.json
-  badschema.json: unknown schema "cqanull-bench/9"
+  badschema.json: unknown schema "cqanull-bench/10"
   [1]
 
 Schema drift around the parallel section is rejected in both directions — a
@@ -273,7 +323,7 @@ Same in both directions for the scale section new in /7, and its two data
 contracts: a baseline whose incremental check diverged from the full
 re-check is rejected, as is one whose 10^5-row speedup fell below 10x:
 
-  $ sed 's|"schema": "cqanull-bench/8"|"schema": "cqanull-bench/6"|' baseline.json > drift7.json
+  $ sed -e 's|"schema": "cqanull-bench/9"|"schema": "cqanull-bench/6"|' -e 's/"engine": "cdcl"/"engine": "counter"/' baseline.json > drift7.json
   $ cqanull-bench --check-json drift7.json
   drift7.json: section "scale" requires schema cqanull-bench/7
   [1]
@@ -294,7 +344,7 @@ hits is rejected — a server that silently degraded to per-connection
 caches would still answer correctly, but it is not the system the schema
 documents:
 
-  $ sed 's|"schema": "cqanull-bench/8"|"schema": "cqanull-bench/7"|' baseline.json > drift8.json
+  $ sed -e 's|"schema": "cqanull-bench/9"|"schema": "cqanull-bench/7"|' -e 's/"engine": "cdcl"/"engine": "counter"/' baseline.json > drift8.json
   $ cqanull-bench --check-json drift8.json
   drift8.json: section "serve" requires schema cqanull-bench/8
   [1]
@@ -302,4 +352,28 @@ documents:
   $ sed 's/"cross_hits": [0-9]*/"cross_hits": 0/' baseline.json > nocross8.json
   $ cqanull-bench --check-json nocross8.json
   nocross8.json: no cross-session cache hits in "E20.serve.k6.c8" — the global cache is not shared
+  [1]
+
+Same in both directions for the cdcl section new in /9.  A solver row
+under the learning engine is itself /9-only, so merely downgrading the
+schema trips the engine whitelist; with those rows re-labelled the
+section membership check is what rejects the file:
+
+  $ sed 's|"schema": "cqanull-bench/9"|"schema": "cqanull-bench/8"|' baseline.json > cdclengine.json
+  $ cqanull-bench --check-json cdclengine.json
+  cdclengine.json: unknown engine "cdcl"
+  [1]
+
+  $ sed -e 's|"schema": "cqanull-bench/9"|"schema": "cqanull-bench/8"|' -e 's/"engine": "cdcl"/"engine": "counter"/' baseline.json > drift9.json
+  $ cqanull-bench --check-json drift9.json
+  drift9.json: section "cdcl" requires schema cqanull-bench/9
+  [1]
+
+And the /9 data contract: a baseline on which learning lost the 2x
+decision advantage over chronological search on a hard lock row is
+rejected — the sweep exists to keep that perf win checked in:
+
+  $ sed 's/"cdcl_decisions": [0-9]*/"cdcl_decisions": 999/' baseline.json > slow9.json
+  $ cqanull-bench --check-json slow9.json
+  slow9.json: cdcl decisions 999 not <= 0.5x dpll decisions 71 on hard row "E21.lock.k3m4"
   [1]

@@ -92,7 +92,10 @@ Decomposed CQA agrees with the monolithic run and reports budget stats
 (elapsed wall-clock is nondeterministic, so it is masked).  The default
 method is now auto, so the stats also show where the router sent the one
 conflict component — the referential constraint makes it head-cycle-free
-but not deletion-only, hence the shifted program tier:
+but not deletion-only, hence the shifted program tier.  The default
+search mode is now the learning engine, whose VSIDS ordering takes one
+more decision here than the chronological picker and reports its
+conflict-analysis counters:
 
   $ cqanull cqa example.cqa --query courses --decompose --stats | sed 's/elapsed_ms=[0-9]*/elapsed_ms=N/'
   query courses: {(I, C) | Course(I, C)}
@@ -100,8 +103,9 @@ but not deletion-only, hence the shifted program tier:
   possible:   {(21, c15), (34, c18)}
   standard:   {(21, c15), (34, c18)}
   repairs:    2
-  stats: decisions=2 states=0 components_solved=1 elapsed_ms=N
+  stats: decisions=3 states=0 components_solved=1 elapsed_ms=N
   routed: direct=0 shifted=1 disjunctive=0 enumerate=0
+  cdcl: conflicts=3 learned=4 restarts=0 backjump_len=4
 
 Spelling the default out as --method auto gives the same routed answers:
 
@@ -111,8 +115,9 @@ Spelling the default out as --method auto gives the same routed answers:
   possible:   {(21, c15), (34, c18)}
   standard:   {(21, c15), (34, c18)}
   repairs:    2
-  stats: decisions=2 states=0 components_solved=1 elapsed_ms=N
+  stats: decisions=3 states=0 components_solved=1 elapsed_ms=N
   routed: direct=0 shifted=1 disjunctive=0 enumerate=0
+  cdcl: conflicts=3 learned=4 restarts=0 backjump_len=4
 
   $ cqanull repairs example.cqa --engine enumerate --decompose --stats | tail -n 2 | sed 's/elapsed_ms=[0-9]*/elapsed_ms=N/'
   2 repair(s)

@@ -1,0 +1,81 @@
+The DIMACS export serializes the classical clause view of the repair
+program — every stable model satisfies it, so an external SAT solver can
+cross-check propagation-level behavior.  The comment block maps every
+variable back to its ground atom, and the header counts are exact:
+
+  $ cqanull export example.cqa --dialect dimacs
+  c classical clause view of the ground program
+  c (models of the CNF include all stable models)
+  c var 1 = d_course(21,c15)
+  c var 2 = d_course(34,c18)
+  c var 3 = d_student(21,ann)
+  c var 4 = d_student(45,paul)
+  c var 5 = d_course_a(21,c15,fa)
+  c var 6 = d_student_a(21,null,ta)
+  c var 7 = d_course_a(21,c15,ts)
+  c var 8 = aux_0(21)
+  c var 9 = d_course_a(34,c18,fa)
+  c var 10 = d_student_a(34,null,ta)
+  c var 11 = d_course_a(34,c18,ts)
+  c var 12 = d_student_a(21,ann,ts)
+  c var 13 = aux_0(45)
+  c var 14 = d_student_a(45,paul,ts)
+  c var 15 = d_course_a(21,c15,tss)
+  c var 16 = d_course_a(34,c18,tss)
+  c var 17 = d_student_a(34,null,ts)
+  c var 18 = d_student_a(21,null,ts)
+  c var 19 = d_student_a(21,null,tss)
+  c var 20 = d_student_a(34,null,tss)
+  c var 21 = d_student_a(21,ann,tss)
+  c var 22 = d_student_a(45,paul,tss)
+  p cnf 22 20
+  1 0
+  2 0
+  3 0
+  4 0
+  5 6 -7 8 0
+  9 10 -11 0
+  8 -12 0
+  13 -14 0
+  11 -2 0
+  7 -1 0
+  15 -7 5 0
+  16 -11 9 0
+  14 -4 0
+  12 -3 0
+  17 -10 0
+  18 -6 0
+  19 -18 0
+  20 -17 0
+  21 -12 0
+  22 -14 0
+
+The shape validator accepts its own output — one header, every clause
+0-terminated with literals in range, exactly the advertised counts:
+
+  $ cqanull export example.cqa --dialect dimacs --validate | head -n 1
+  valid dimacs: 22 var(s), 20 clause(s)
+
+The SMT-LIB export declares one Bool constant per atom (atom names
+survive inside |...|-quoted symbols), asserts one disjunction per rule
+and closes with (check-sat); the parser-side validator counts the
+top-level s-expressions and checks the parentheses balance:
+
+  $ cqanull export example.cqa --dialect smtlib --validate | head -n 4
+  valid smtlib: 44 expression(s)
+  ; classical clause view of the ground program
+  (set-logic QF_UF)
+  (declare-const |d_course(21,c15)| Bool)
+
+  $ cqanull export example.cqa --dialect smtlib | grep -c '^(assert '
+  20
+  $ cqanull export example.cqa --dialect smtlib | grep -c '(check-sat)'
+  1
+  $ cqanull export example.cqa --dialect smtlib | grep -c '^(declare-const |'
+  22
+
+--validate only makes sense for the machine-checkable dialects:
+
+  $ cqanull export example.cqa --dialect dlv --validate
+  error: --validate applies to the dimacs and smtlib dialects
+  [1]

@@ -24,3 +24,32 @@ Example 18's constraint set is flagged RIC-cyclic:
 
   $ cqanull graph ../../scenarios/example18_cyclic.cqa | grep RIC-acyclic
   RIC-acyclic: NO — cycle through {P,T}
+
+The two hard non-HCF families added with the CDCL engine (ROADMAP item 4
+seed).  The cyclic-RIC chain: the RIC closes a cycle with the UIC, the
+update statements break a fourth link, and the disjunctive program's
+search shows the learning counters at work:
+
+  $ cqanull repairs ../../scenarios/cyclic_ric_chain.cqa --stats | tail -n 3 | sed 's/elapsed_ms=[0-9]*/elapsed_ms=_/'
+  16 repair(s)
+  stats: decisions=118 states=0 components_solved=0 elapsed_ms=_
+  cdcl: conflicts=53 learned=68 restarts=0 backjump_len=134
+
+  $ cqanull graph ../../scenarios/cyclic_ric_chain.cqa | grep RIC-acyclic
+  RIC-acyclic: NO — cycle through {P,T}
+
+The NNC/RIC conflict chain: every unaudited Dept assignment is a two-way
+choice, every unassigned or null-assigned Emp an NNC/RIC conflict forced
+into deletion, so the three choices give 2^3 repairs:
+
+  $ cqanull repairs ../../scenarios/nnc_ric_conflicts.cqa --stats 2>&1 | tail -n 3 | sed 's/elapsed_ms=[0-9]*/elapsed_ms=_/'
+  8 repair(s)
+  stats: decisions=160 states=0 components_solved=0 elapsed_ms=_
+  cdcl: conflicts=51 learned=58 restarts=0 backjump_len=213
+
+Both search modes agree on the repair sets:
+
+  $ cqanull repairs ../../scenarios/cyclic_ric_chain.cqa --search dpll | tail -n 1
+  16 repair(s)
+  $ cqanull repairs ../../scenarios/nnc_ric_conflicts.cqa --search dpll 2>/dev/null | tail -n 1
+  8 repair(s)

@@ -357,7 +357,9 @@ let prop_counter_engine_matches_naive =
       let g = build_ground gp in
       let s_counter = Solver.new_stats () in
       let s_naive = Solver.new_stats () in
-      let m_counter = Solver.stable_models ~stats:s_counter g in
+      (* pinned to `Dpll: the candidate-count invariant below is specific to
+         the chronological engine (CDCL differentials live in test_cdcl) *)
+      let m_counter = Solver.stable_models ~search:`Dpll ~stats:s_counter g in
       let m_naive = Solver.stable_models_naive ~stats:s_naive g in
       let nonneg (s : Solver.stats) =
         s.Solver.decisions >= 0 && s.Solver.propagations >= 0
@@ -369,7 +371,7 @@ let prop_counter_engine_matches_naive =
       and p0 = s_counter.Solver.propagations
       and q0 = s_counter.Solver.queue_pushes
       and r0 = s_counter.Solver.rules_touched in
-      ignore (Solver.stable_models ~stats:s_counter g);
+      ignore (Solver.stable_models ~search:`Dpll ~stats:s_counter g);
       m_counter = m_naive
       && List.for_all (Solver.is_stable_model g) m_counter
       && nonneg s_counter && nonneg s_naive
@@ -389,8 +391,8 @@ let prop_counter_engine_support_ablation =
        ground_program_gen)
     (fun gp ->
       let g = build_ground gp in
-      Solver.stable_models g
-      = Solver.stable_models ~support_propagation:false g)
+      Solver.stable_models ~search:`Dpll g
+      = Solver.stable_models ~search:`Dpll ~support_propagation:false g)
 
 (* ------------------------------------------------------------------ *)
 (* is_stable_model *)

@@ -1,0 +1,235 @@
+(* Differential suite for the CDCL search mode: the learning engine must
+   enumerate exactly the same stable models as the chronological counter
+   engine and the sweep-based reference, on random ground disjunctive
+   programs built directly at the Ground layer (duplicate literals, empty
+   heads/bodies, unused atoms all in scope).  Plus pinned end-to-end
+   regressions through the repair engine on the paper's Examples 19/20. *)
+
+open Asp
+
+(* Same generator shape as test_asp's counter-vs-naive property: small
+   universes keep brute-force checkable, dense rule shapes exercise the
+   disjunctive/minimality paths. *)
+let ground_program_gen =
+  QCheck.Gen.(
+    let* n_atoms = int_range 1 5 in
+    let* n_rules = int_range 1 7 in
+    let atom = int_range 0 (n_atoms - 1) in
+    let atoms k = list_size (int_range 0 k) atom in
+    let* rules =
+      list_repeat n_rules
+        (let* h = atoms 2 in
+         let* p = atoms 2 in
+         let* ng = atoms 2 in
+         return (h, p, ng))
+    in
+    return (n_atoms, rules))
+
+let build_ground (n_atoms, rules) =
+  let g = Ground.create () in
+  for i = 0 to n_atoms - 1 do
+    ignore (Ground.intern g { Ground.gpred = Printf.sprintf "a%d" i; gargs = [] })
+  done;
+  List.iter
+    (fun (h, p, ng) ->
+      Ground.add_rule g
+        {
+          Ground.ghead = Array.of_list h;
+          gpos = Array.of_list p;
+          gneg = Array.of_list ng;
+        })
+    rules;
+  g
+
+let arb =
+  QCheck.make
+    ~print:(fun gp -> Fmt.str "%a" Ground.pp (build_ground gp))
+    ground_program_gen
+
+let prop_three_engines_agree =
+  QCheck.Test.make
+    ~name:"cdcl = dpll = sweep-based reference (random ground programs)"
+    ~count:1000 arb
+    (fun gp ->
+      let g = build_ground gp in
+      let s_cdcl = Solver.new_stats () in
+      let m_cdcl = Solver.stable_models ~search:`Cdcl ~stats:s_cdcl g in
+      let m_dpll = Solver.stable_models ~search:`Dpll g in
+      let m_naive = Solver.stable_models_naive g in
+      m_cdcl = m_dpll && m_cdcl = m_naive
+      && List.for_all (Solver.is_stable_model g) m_cdcl
+      (* every model reached the candidate check; every conflict except a
+         final level-0 one (which ends the search unanalyzed) produced a
+         nogood — model-blocking analyses add to [learned] on top *)
+      && s_cdcl.Solver.candidates >= List.length m_cdcl
+      && s_cdcl.Solver.learned >= s_cdcl.Solver.conflicts - 1
+      && s_cdcl.Solver.conflicts >= 0
+      && s_cdcl.Solver.restarts >= 0
+      && s_cdcl.Solver.backjump_len >= 0)
+
+let prop_cautious_brave_agree =
+  QCheck.Test.make
+    ~name:"cdcl cautious/brave = dpll cautious/brave" ~count:300 arb
+    (fun gp ->
+      let g = build_ground gp in
+      Solver.cautious ~search:`Cdcl g = Solver.cautious ~search:`Dpll g
+      && Solver.brave ~search:`Cdcl g = Solver.brave ~search:`Dpll g)
+
+let prop_support_ablation =
+  QCheck.Test.make
+    ~name:"cdcl: support-clause materialization does not change models"
+    ~count:300 arb
+    (fun gp ->
+      let g = build_ground gp in
+      Solver.stable_models ~search:`Cdcl g
+      = Solver.stable_models ~search:`Cdcl ~support_propagation:false g)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration mechanics under learning: limits and budgets behave like
+   the chronological engine's. *)
+
+let a0 name = Syntax.{ pred = name; args = [] }
+let gatom name = Ground.{ gpred = name; gargs = [] }
+
+let big_choice_program n =
+  List.concat
+    (List.init n (fun i ->
+         let a = a0 (Printf.sprintf "a%d" i)
+         and b = a0 (Printf.sprintf "b%d" i) in
+         [
+           Syntax.rule [ a ] ~body_neg:[ b ]; Syntax.rule [ b ] ~body_neg:[ a ];
+         ]))
+
+let test_limit () =
+  let g = Grounder.ground (big_choice_program 4) in
+  Alcotest.(check int) "all models" 16
+    (List.length (Solver.stable_models ~search:`Cdcl g));
+  Alcotest.(check int) "limited" 3
+    (List.length (Solver.stable_models ~search:`Cdcl ~limit:3 g))
+
+let test_budget_exceeded () =
+  let g = Grounder.ground (big_choice_program 10) in
+  Alcotest.check_raises "decision budget trips"
+    (Solver.Budget_exceeded 5) (fun () ->
+      ignore (Solver.stable_models ~search:`Cdcl ~max_decisions:5 g))
+
+let test_restarts_complete () =
+  (* enough conflicts to cross the Luby base: enumeration stays exact
+     because blocking resolvents survive restarts *)
+  let n = 6 in
+  let g = Grounder.ground (big_choice_program n) in
+  let stats = Solver.new_stats () in
+  let ms = Solver.stable_models ~search:`Cdcl ~stats g in
+  Alcotest.(check int) "2^n models" (1 lsl n) (List.length ms);
+  Alcotest.(check bool) "no duplicates" true
+    (List.sort_uniq compare ms = ms)
+
+let test_search_stats_dpll_zero () =
+  let g = Grounder.ground (big_choice_program 3) in
+  let stats = Solver.new_stats () in
+  ignore (Solver.stable_models ~search:`Dpll ~stats g);
+  Alcotest.(check string) "dpll leaves the cdcl counters at zero"
+    "conflicts=0 learned=0 restarts=0 backjump_len=0"
+    (Fmt.str "%a" Solver.pp_search_stats stats)
+
+let test_unsupported_atom () =
+  (* an atom with no rule head is fixed false at level 0 by both engines *)
+  let p = [ Syntax.rule [ a0 "a" ] ~body_neg:[ a0 "z" ] ] in
+  let g = Grounder.ground p in
+  let id name = Option.get (Ground.find g (gatom name)) in
+  Alcotest.(check (list (list int)))
+    "only {a}"
+    [ [ id "a" ] ]
+    (Solver.stable_models ~search:`Cdcl g)
+
+(* ------------------------------------------------------------------ *)
+(* Pinned end-to-end regressions: the repair engine on Examples 19/20 of
+   the paper, solved through both search modes. *)
+
+let vs = Relational.Value.str
+let vn = Relational.Value.null
+
+let ex19_d =
+  Relational.Instance.of_list
+    [
+      ("R", [ vs "a"; vs "b" ]);
+      ("R", [ vs "a"; vs "c" ]);
+      ("S", [ vs "e"; vs "f" ]);
+      ("S", [ vn; vs "a" ]);
+    ]
+
+let ex19_ics =
+  Ic.Builder.key ~pred:"R" ~arity:2 ~key:[ 1 ] ()
+  @ [
+      Ic.Builder.foreign_key ~child:"S" ~child_arity:2 ~child_cols:[ 2 ]
+        ~parent:"R" ~parent_arity:2 ~parent_cols:[ 1 ] ();
+      Ic.Constr.not_null ~pred:"R" ~arity:2 ~pos:1 ();
+    ]
+
+let test_example19_repairs () =
+  let run search =
+    match Core.Engine.repairs ~search ex19_d ex19_ics with
+    | Ok reps -> List.sort compare (List.map Relational.Instance.atoms reps)
+    | Error msg -> Alcotest.failf "engine error: %s" msg
+  in
+  let cdcl = run `Cdcl in
+  Alcotest.(check int) "the four repairs of Example 19" 4 (List.length cdcl);
+  Alcotest.(check bool) "identical to dpll" true (cdcl = run `Dpll)
+
+let test_example20_conflicting_nnc () =
+  (* Example 20: the NNC on Q[2] conflicts with the RIC's existential
+     attribute; the repair program over-approximates, and both search
+     modes must agree on the model count and the extracted repair set *)
+  let d =
+    Relational.Instance.of_list
+      [ ("P", [ vs "a" ]); ("P", [ vs "b" ]); ("Q", [ vs "b"; vs "c" ]) ]
+  in
+  let atom p ts = Ic.Patom.make p ts in
+  let v = Ic.Term.var in
+  let ics =
+    [
+      Ic.Constr.generic
+        ~ante:[ atom "P" [ v "x" ] ]
+        ~cons:[ atom "Q" [ v "x"; v "y" ] ]
+        ();
+      Ic.Constr.not_null ~pred:"Q" ~arity:2 ~pos:2 ();
+    ]
+  in
+  let run search =
+    match Core.Engine.run ~search d ics with
+    | Ok r ->
+        ( r.Core.Engine.stable_model_count,
+          List.sort compare
+            (List.map Relational.Instance.atoms r.Core.Engine.repairs) )
+    | Error msg -> Alcotest.failf "engine error: %s" msg
+  in
+  Alcotest.(check bool) "cdcl = dpll on Example 20's program" true
+    (run `Cdcl = run `Dpll)
+
+let () =
+  Alcotest.run "cdcl"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_three_engines_agree; prop_cautious_brave_agree;
+            prop_support_ablation;
+          ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "limit" `Quick test_limit;
+          Alcotest.test_case "budget" `Quick test_budget_exceeded;
+          Alcotest.test_case "restarts keep enumeration exact" `Quick
+            test_restarts_complete;
+          Alcotest.test_case "dpll zero cdcl counters" `Quick
+            test_search_stats_dpll_zero;
+          Alcotest.test_case "unsupported atom fixed false" `Quick
+            test_unsupported_atom;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "example 19" `Quick test_example19_repairs;
+          Alcotest.test_case "example 20 program" `Quick
+            test_example20_conflicting_nnc;
+        ] );
+    ]
