@@ -847,6 +847,62 @@ let e21 () =
         "conflicts"; "learned"; "restarts"; "backjump"; "hard"; "agree" ]
     rows
 
+(* E22: the conformance corpus replayed through every applicable engine
+   tier.  One row per scenario family: pinned cases, tier answers
+   collected, total wall-clock across tiers, and whether every case in
+   the family passed its byte-identity cross-check — the differential
+   that backs `cqanull conform`. *)
+let e22 () =
+  let _summary, results =
+    Conform.Runner.run (Conform.Suite.all @ Conform.Corpus.all)
+  in
+  let families =
+    List.fold_left
+      (fun acc r ->
+        let f = r.Conform.Runner.case.Conform.Case.family in
+        if List.mem f acc then acc else acc @ [ f ])
+      [] results
+  in
+  let rows =
+    List.map
+      (fun family ->
+        let rs =
+          List.filter
+            (fun r -> r.Conform.Runner.case.Conform.Case.family = family)
+            results
+        in
+        let answers =
+          List.fold_left
+            (fun n r -> n + List.length r.Conform.Runner.tiers)
+            0 rs
+        in
+        let ms =
+          List.fold_left
+            (fun t r ->
+              List.fold_left
+                (fun t (tr : Conform.Runner.tier_result) ->
+                  t +. tr.Conform.Runner.ms)
+                t r.Conform.Runner.tiers)
+            0.0 rs
+        in
+        let ok = List.for_all Conform.Runner.passed rs in
+        [
+          family;
+          string_of_int (List.length rs);
+          string_of_int answers;
+          Printf.sprintf "%.2f" ms;
+          (if ok then "yes" else "NO");
+        ])
+      families
+  in
+  Table.print
+    ~title:
+      "E22: conformance corpus replay — every pinned scenario answered \
+       through every applicable engine tier, outcomes cross-checked byte \
+       for byte"
+    ~header:[ "family"; "cases"; "tier answers"; "total ms"; "identical" ]
+    rows
+
 let all =
   [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e18;
-    e21 ]
+    e21; e22 ]

@@ -152,6 +152,24 @@ let solver_telemetry () =
    as checked data under --check-json, not prose. *)
 let cdcl_telemetry () = Experiments.lock_measurements ()
 
+(* Conformance telemetry (E22): replay the full pinned suite and the
+   generated corpus through the cross-tier runner — one row per case,
+   with the tier count, per-tier wall-clocks and the identity verdict.
+   Every future baseline must keep every verdict green: the conformance
+   contract as checked data under --check-json. *)
+let conform_telemetry () =
+  let _, results = Conform.Runner.run (Conform.Suite.all @ Conform.Corpus.all) in
+  List.map
+    (fun (r : Conform.Runner.result_) ->
+      ( r.Conform.Runner.case.Conform.Case.name,
+        r.Conform.Runner.case.Conform.Case.family,
+        List.map
+          (fun (t : Conform.Runner.tier_result) ->
+            (t.Conform.Runner.tier, t.Conform.Runner.ms))
+          r.Conform.Runner.tiers,
+        Conform.Runner.passed r ))
+    results
+
 (* Decomposition counters for the shared-predicate cluster workload (E15):
    component structure and per-component exploration, recorded so the
    product-to-sum collapse of the conflict-component search is visible as
@@ -679,7 +697,7 @@ let serve_telemetry ~clients () =
   ]
 
 let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
-    session_rows routing_rows scale_rows serve_rows cdcl_rows =
+    session_rows routing_rows scale_rows serve_rows cdcl_rows conform_rows =
   let open Table in
   let micro_rows =
     List.map
@@ -705,6 +723,7 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
             ("learned", Int s.Asp.Solver.learned);
             ("restarts", Int s.Asp.Solver.restarts);
             ("backjump_len", Int s.Asp.Solver.backjump_len);
+            ("phase_saved", Int s.Asp.Solver.phase_saved);
           ])
       solver_rows
   in
@@ -731,10 +750,25 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
             ("learned", Int sc.Asp.Solver.learned);
             ("restarts", Int sc.Asp.Solver.restarts);
             ("backjump_len", Int sc.Asp.Solver.backjump_len);
+            ("phase_saved", Int sc.Asp.Solver.phase_saved);
             ("hard", Str (if hard then "true" else "false"));
             ("identical", Str (if identical then "true" else "false"));
           ])
       cdcl_rows
+  in
+  let conform_json =
+    List.map
+      (fun (name, family, tier_ms, passed) ->
+        Obj
+          [
+            ("name", Str name);
+            ("family", Str family);
+            ("tiers", Int (List.length tier_ms));
+            ( "tier_ms",
+              Obj (List.map (fun (t, ms) -> (t, Num ms)) tier_ms) );
+            ("identical", Str (if passed then "true" else "false"));
+          ])
+      conform_rows
   in
   let decompose_json =
     List.map
@@ -874,7 +908,7 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
   let doc =
     Obj
       [
-        ("schema", Str "cqanull-bench/9");
+        ("schema", Str "cqanull-bench/10");
         ("tool", Str "bench/main.exe --json");
         ("unit", Str "ns/run");
         ("micro", Arr micro_rows);
@@ -887,11 +921,12 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
         ("scale", Arr scale_json);
         ("serve", Arr serve_json);
         ("cdcl", Arr cdcl_json);
+        ("conform", Arr conform_json);
       ]
   in
   Out_channel.with_open_text path (fun oc -> output_string oc (emit doc));
   Printf.printf
-    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows, %d serve rows, %d cdcl rows)\n"
+    "wrote %s (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows, %d serve rows, %d cdcl rows, %d conform rows)\n"
     path
     (List.length micro_rows)
     (List.length telemetry_rows)
@@ -903,6 +938,7 @@ let write_json path micro solver_rows decompose_rows budget_rows parallel_rows
     (List.length scale_json)
     (List.length serve_json)
     (List.length cdcl_json)
+    (List.length conform_json)
 
 (* --check-json: the baseline format's self-test.  Guards the stable keys
    and the numeric fields so the file future PRs diff against cannot drift
@@ -942,8 +978,13 @@ let check_json path =
   (match schema with
   | "cqanull-bench/1" | "cqanull-bench/2" | "cqanull-bench/3"
   | "cqanull-bench/4" | "cqanull-bench/5" | "cqanull-bench/6"
-  | "cqanull-bench/7" | "cqanull-bench/8" | "cqanull-bench/9" -> ()
+  | "cqanull-bench/7" | "cqanull-bench/8" | "cqanull-bench/9"
+  | "cqanull-bench/10" -> ()
   | s -> fail (Printf.sprintf "unknown schema %S" s));
+  (* the version number behind "cqanull-bench/", for the cumulative
+     section guards below (each section is guarded from the version that
+     introduced it onward) *)
+  let v = int_of_string (String.sub schema 14 (String.length schema - 14)) in
   ignore (str_field doc "tool");
   ignore (str_field doc "unit");
   let micro = arr_field doc "micro" in
@@ -960,7 +1001,7 @@ let check_json path =
       ignore (str_field row "name");
       (match str_field row "engine" with
       | "counter" | "naive" -> ()
-      | "cdcl" when schema = "cqanull-bench/9" -> ()
+      | "cdcl" when v >= 9 -> ()
       | e -> fail (Printf.sprintf "unknown engine %S" e));
       List.iter
         (fun key ->
@@ -969,17 +1010,15 @@ let check_json path =
         ([ "models"; "decisions"; "propagations"; "candidates";
            "minimality_checks"; "queue_pushes"; "rules_touched" ]
         (* /9 adds the learning counters to every solver row *)
-        @
-        if schema = "cqanull-bench/9" then
-          [ "conflicts"; "learned"; "restarts"; "backjump_len" ]
-        else []))
+        @ (if v >= 9 then
+             [ "conflicts"; "learned"; "restarts"; "backjump_len" ]
+           else [])
+        (* /10 adds the phase-saving counter *)
+        @ if v >= 10 then [ "phase_saved" ] else []))
     solver;
   (* /2 adds the conflict-decomposition counters: the per-component state
      counts must sum to no more than the monolithic exploration *)
-  let decompose =
-    if schema = "cqanull-bench/1" then []
-    else arr_field doc "decompose"
-  in
+  let decompose = if v < 2 then [] else arr_field doc "decompose" in
   List.iter
     (fun row ->
       List.iter
@@ -1007,14 +1046,7 @@ let check_json path =
   (* /3 adds the per-stage budget counters: every row must show live
      consumption — at least one of decisions/states ticked, components
      solved on decomposed rows, and a started millisecond of wall-clock *)
-  let budget =
-    match schema with
-    | "cqanull-bench/3" | "cqanull-bench/4" | "cqanull-bench/5"
-    | "cqanull-bench/6" | "cqanull-bench/7" | "cqanull-bench/8"
-    | "cqanull-bench/9" ->
-        arr_field doc "budget"
-    | _ -> []
-  in
+  let budget = if v >= 3 then arr_field doc "budget" else [] in
   List.iter
     (fun row ->
       let name = str_field row "name" in
@@ -1048,11 +1080,7 @@ let check_json path =
      machine actually had >= 4 cores — on fewer cores there is no
      parallelism to measure and the honest numbers may even slow down
      (domains contending for one core). *)
-  (if
-     schema <> "cqanull-bench/4" && schema <> "cqanull-bench/5"
-     && schema <> "cqanull-bench/6" && schema <> "cqanull-bench/7"
-     && schema <> "cqanull-bench/8" && schema <> "cqanull-bench/9"
-   then begin
+  (if v < 4 then begin
      if Table.member "parallel" doc <> None then
        fail "section \"parallel\" requires schema cqanull-bench/4"
    end
@@ -1103,11 +1131,7 @@ let check_json path =
      serving (> 0.5 hit rate on the scripted mix) and the correctness
      contract holding — identical session and cold answers on every
      request. *)
-  (if
-     schema <> "cqanull-bench/5" && schema <> "cqanull-bench/6"
-     && schema <> "cqanull-bench/7" && schema <> "cqanull-bench/8"
-     && schema <> "cqanull-bench/9"
-   then begin
+  (if v < 5 then begin
      if Table.member "session" doc <> None then
        fail "section \"session\" requires schema cqanull-bench/5"
    end
@@ -1146,10 +1170,7 @@ let check_json path =
      the byte-identity contract with the enumerate oracle; at least one
      all-direct FD row must beat decomposed enumeration by >= 10x — the
      fast-path claim as a checked fact, not prose. *)
-  (if
-     schema <> "cqanull-bench/6" && schema <> "cqanull-bench/7"
-     && schema <> "cqanull-bench/8" && schema <> "cqanull-bench/9"
-   then begin
+  (if v < 6 then begin
      if Table.member "routing" doc <> None then
        fail "section \"routing\" requires schema cqanull-bench/6"
    end
@@ -1204,10 +1225,7 @@ let check_json path =
      >= 10x — the indexed-maintenance claim as a checked fact, not prose.
      Smaller rows are exempt: at cram-sized instances both clocks sit in
      the sub-millisecond noise floor. *)
-  (if
-     schema <> "cqanull-bench/7" && schema <> "cqanull-bench/8"
-     && schema <> "cqanull-bench/9"
-   then begin
+  (if v < 7 then begin
      if Table.member "scale" doc <> None then
        fail "section \"scale\" requires schema cqanull-bench/7"
    end
@@ -1255,7 +1273,7 @@ let check_json path =
      cross_hits >= 1 and a positive cross-session hit rate.  A server
      whose cache silently degrades to per-connection privacy fails the
      baseline even if every answer stays correct. *)
-  (if schema <> "cqanull-bench/8" && schema <> "cqanull-bench/9" then begin
+  (if v < 8 then begin
      if Table.member "serve" doc <> None then
        fail "section \"serve\" requires schema cqanull-bench/8"
    end
@@ -1307,7 +1325,7 @@ let check_json path =
      and on every hard row the learning engine must reach the same models
      with at most half the decisions of the chronological counter engine —
      the headline claim of the CDCL rewrite as a checked fact, not prose. *)
-  (if schema <> "cqanull-bench/9" then begin
+  (if v < 9 then begin
      if Table.member "cdcl" doc <> None then
        fail "section \"cdcl\" requires schema cqanull-bench/9"
    end
@@ -1322,8 +1340,9 @@ let check_json path =
            (fun key ->
              if int_field row key < 0 then
                fail (Printf.sprintf "negative field %S in %S" key name))
-           [ "k"; "m"; "atoms"; "models"; "cdcl_decisions"; "dpll_decisions";
-             "conflicts"; "learned"; "restarts"; "backjump_len" ];
+           ([ "k"; "m"; "atoms"; "models"; "cdcl_decisions"; "dpll_decisions";
+              "conflicts"; "learned"; "restarts"; "backjump_len" ]
+           @ if v >= 10 then [ "phase_saved" ] else []);
          if int_field row "models" < 1 then
            fail (Printf.sprintf "no models enumerated in %S" name);
          if int_field row "dpll_decisions" < 1 then
@@ -1355,6 +1374,56 @@ let check_json path =
          | s -> fail (Printf.sprintf "non-boolean hard %S in %S" s name))
        cdcl;
      if !hard_rows = 0 then fail "cdcl section has no hard rows");
+  (* /10 adds the conformance replay (E22).  Exclusive to /10 in both
+     directions, like the earlier sections.  The replayed corpus must
+     cover at least 5 scenario families and 20 cases; every row must
+     report at least 4 engine tiers with non-negative per-tier
+     wall-clocks, and every verdict must be identical across tiers — the
+     conformance contract as checked data, not prose. *)
+  (if v < 10 then begin
+     if Table.member "conform" doc <> None then
+       fail "section \"conform\" requires schema cqanull-bench/10"
+   end
+   else
+     let conform = arr_field doc "conform" in
+     if conform = [] then fail "empty conform section";
+     let families = ref [] in
+     List.iter
+       (fun row ->
+         let name = str_field row "name" in
+         let family = str_field row "family" in
+         if not (List.mem family !families) then
+           families := family :: !families;
+         let tiers = int_field row "tiers" in
+         if tiers < 4 then
+           fail (Printf.sprintf "fewer than 4 tiers in %S" name);
+         (match Table.member "tier_ms" row with
+         | Some (Table.Obj fields) ->
+             if List.length fields <> tiers then
+               fail (Printf.sprintf "tier_ms arity mismatch in %S" name);
+             List.iter
+               (fun (tier, x) ->
+                 match x with
+                 | Table.Num ms when ms >= 0.0 -> ()
+                 | Table.Int ms when ms >= 0 -> ()
+                 | _ ->
+                     fail
+                       (Printf.sprintf "negative tier_ms for %S in %S" tier
+                          name))
+               fields
+         | _ -> fail (Printf.sprintf "missing tier_ms object in %S" name));
+         match str_field row "identical" with
+         | "true" -> ()
+         | "false" ->
+             fail
+               (Printf.sprintf
+                  "conformance case %S failed its cross-tier check" name)
+         | s -> fail (Printf.sprintf "non-boolean identical %S in %S" s name))
+       conform;
+     if List.length !families < 5 then
+       fail "conform section covers fewer than 5 families";
+     if List.length conform < 20 then
+       fail "conform section has fewer than 20 cases");
   match schema with
   | "cqanull-bench/1" ->
       Printf.printf "%s: ok (%d micro rows, %d solver rows)\n" path
@@ -1414,7 +1483,7 @@ let check_json path =
           (List.length (rows "routing"))
           (List.length (rows "scale"))
           (List.length (rows "serve"))
-      else
+      else if schema = "cqanull-bench/9" then
         Printf.printf
           "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows, %d serve rows, %d cdcl rows)\n"
           path (List.length micro) (List.length solver)
@@ -1425,6 +1494,18 @@ let check_json path =
           (List.length (rows "scale"))
           (List.length (rows "serve"))
           (List.length (rows "cdcl"))
+      else
+        Printf.printf
+          "%s: ok (%d micro rows, %d solver rows, %d decompose rows, %d budget rows, %d parallel rows, %d session rows, %d routing rows, %d scale rows, %d serve rows, %d cdcl rows, %d conform rows)\n"
+          path (List.length micro) (List.length solver)
+          (List.length decompose) (List.length budget)
+          (List.length (rows "parallel"))
+          (List.length (rows "session"))
+          (List.length (rows "routing"))
+          (List.length (rows "scale"))
+          (List.length (rows "serve"))
+          (List.length (rows "cdcl"))
+          (List.length (rows "conform"))
 
 (* --compare-json OLD NEW: regression guard over the micro rows both files
    share in the E1/E2 families.  Bechamel estimates from ~5ms cram quotas
@@ -1765,6 +1846,21 @@ let compare_json ~tolerance old_path new_path =
           old_rows
     | _ -> ()
   in
+  let conform_guard old_doc new_doc =
+    match (Table.member "conform" old_doc, Table.member "conform" new_doc) with
+    | Some (Table.Arr old_rows), Some (Table.Arr new_rows) ->
+        List.iter
+          (fun row ->
+            match Table.member "identical" row with
+            | Some (Table.Str "true") -> ()
+            | _ -> fail "new baseline has a failing conform row")
+          new_rows;
+        if List.length new_rows < List.length old_rows then
+          fail "new baseline dropped conformance cases";
+        Printf.printf "conform %d -> %d cases, all identical across tiers\n"
+          (List.length old_rows) (List.length new_rows)
+    | _ -> ()
+  in
   let micro_map doc =
     match Table.member "micro" doc with
     | Some (Table.Arr rows) ->
@@ -1813,6 +1909,7 @@ let compare_json ~tolerance old_path new_path =
   scale_guard old_doc new_doc;
   serve_guard old_doc new_doc;
   cdcl_guard old_doc new_doc;
+  conform_guard old_doc new_doc;
   match regressions with
   | [] ->
       Printf.printf "compare ok (%d guarded rows, tolerance %.0fx)\n"
@@ -1880,7 +1977,8 @@ let () =
           ("E11", List.nth Experiments.all 10); ("E12", List.nth Experiments.all 11);
           ("E13", List.nth Experiments.all 12); ("E14", List.nth Experiments.all 13);
           ("E15", List.nth Experiments.all 14); ("E18", List.nth Experiments.all 15);
-          ("E21", List.nth Experiments.all 16) ]
+          ("E21", List.nth Experiments.all 16);
+          ("E22", List.nth Experiments.all 17) ]
       in
       print_endline
         "cqanull benchmark harness — reproduction tables for 'Semantically \
@@ -1893,7 +1991,8 @@ let () =
             (fun n ->
               match List.assoc_opt n named with
               | Some f -> f ()
-              | None -> Printf.eprintf "unknown table %s (E1..E15, E18, E21)\n" n)
+              | None ->
+                  Printf.eprintf "unknown table %s (E1..E15, E18, E21, E22)\n" n)
             names);
       let micro_rows =
         if micro || json <> None then run_micro ~quota () else []
@@ -1907,4 +2006,5 @@ let () =
             (scale_telemetry ~scale ())
             (serve_telemetry ~clients ())
             (cdcl_telemetry ())
+            (conform_telemetry ())
       | None -> ()

@@ -731,6 +731,197 @@ let solve_cmd =
       $ file_arg $ limit_flag $ mode_flag $ search_flag $ solve_stats_flag)
 
 (* ------------------------------------------------------------------ *)
+(* conform: the scenario corpus and expected-verdict suite *)
+
+let conform_cmd =
+  let run family verbose list_only write_corpus =
+    let cases = Conform.Suite.all @ Conform.Corpus.all in
+    let cases =
+      match family with
+      | None -> cases
+      | Some f -> (
+          match
+            List.filter (fun c -> c.Conform.Case.family = f) cases
+          with
+          | [] ->
+              Fmt.epr "error: no conformance family named %s@." f;
+              exit 2
+          | l -> l)
+    in
+    match write_corpus with
+    | Some dir ->
+        let written = Conform.Corpus.write_corpus dir in
+        List.iter (fun p -> Fmt.pr "wrote %s@." p) written;
+        0
+    | None ->
+        if list_only then begin
+          List.iter
+            (fun (c : Conform.Case.t) ->
+              Fmt.pr "%-22s %-15s %s@." c.Conform.Case.name
+                c.Conform.Case.family c.Conform.Case.doc)
+            cases;
+          0
+        end
+        else begin
+          let summary, results = Conform.Runner.run cases in
+          List.iter
+            (fun (fam : string) ->
+              let of_fam =
+                List.filter
+                  (fun (r : Conform.Runner.result_) ->
+                    r.Conform.Runner.case.Conform.Case.family = fam)
+                  results
+              in
+              let ok = List.filter Conform.Runner.passed of_fam in
+              Fmt.pr "family %-16s %2d case(s), %2d passed@." fam
+                (List.length of_fam) (List.length ok);
+              if verbose then
+                List.iter
+                  (fun (r : Conform.Runner.result_) ->
+                    Fmt.pr "  %-20s %s (%d tier(s): %s)@."
+                      r.Conform.Runner.case.Conform.Case.name
+                      (if Conform.Runner.passed r then "ok" else "FAIL")
+                      (List.length r.Conform.Runner.tiers)
+                      (String.concat "+"
+                         (List.map
+                            (fun (t : Conform.Runner.tier_result) ->
+                              t.Conform.Runner.tier)
+                            r.Conform.Runner.tiers)))
+                  of_fam)
+            summary.Conform.Runner.families;
+          List.iter
+            (fun (r : Conform.Runner.result_) ->
+              List.iter
+                (fun msg ->
+                  Fmt.pr "FAIL %s: %s@." r.Conform.Runner.case.Conform.Case.name
+                    msg)
+                r.Conform.Runner.failures)
+            summary.Conform.Runner.failed;
+          Fmt.pr "conform: %d/%d case(s) passed across %d families@."
+            summary.Conform.Runner.ok summary.Conform.Runner.total
+            (List.length summary.Conform.Runner.families);
+          if summary.Conform.Runner.failed = [] then 0 else 1
+        end
+  in
+  let family_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "family" ] ~docv:"FAMILY"
+          ~doc:"Only run the named scenario family (paper, ft-null-algebra, \
+                fk_chain, fd_cluster, cyclic_ric, nnc_ric, session_stream).")
+  in
+  let verbose_flag =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print one line per case.")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the cases without running them.")
+  in
+  let write_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-corpus" ] ~docv:"DIR"
+          ~doc:"Materialize the generated scenario corpus under \
+                DIR/<family>/<case>.cqa instead of running.")
+  in
+  Cmd.v
+    (Cmd.info "conform"
+       ~doc:"Run the conformance suite: paper examples, SQL-null algebra \
+             equivalences and generated scenario families, answered through \
+             every engine tier (auto, program, enumerate, program-dpll, \
+             session, serve) with byte-identical outcomes and pinned \
+             verdicts.")
+    Term.(
+      const (fun f v l w -> Stdlib.exit (run f v l w))
+      $ family_flag $ verbose_flag $ list_flag $ write_flag)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz: randomized cross-tier differential testing with minimization *)
+
+let fuzz_cmd =
+  let run seed cases oracle_name minimize out timeout_ms =
+    let oracle =
+      match Conform.Fuzz.oracle_named oracle_name with
+      | Some o -> o
+      | None ->
+          Fmt.epr "error: no oracle named %s (differential, inconsistent)@."
+            oracle_name;
+          exit 2
+    in
+    let budget =
+      Option.map
+        (fun ms -> Budget.start (Budget.make ~timeout_ms:ms ()))
+        timeout_ms
+    in
+    let r = Conform.Fuzz.run ~oracle ?budget ~seed ~cases () in
+    match r.Conform.Fuzz.failure with
+    | None when r.Conform.Fuzz.timed_out ->
+        Fmt.pr
+          "fuzz: deadline exceeded after %d case(s), oracle %s: all passed@."
+          r.Conform.Fuzz.tested oracle.Conform.Fuzz.name;
+        0
+    | None ->
+        Fmt.pr "fuzz: %d case(s), oracle %s, seeds %d..%d: all passed@."
+          r.Conform.Fuzz.tested oracle.Conform.Fuzz.name seed
+          (seed + cases - 1);
+        0
+    | Some (at, msg, sc) ->
+        Fmt.pr "fuzz: FAILURE at seed %d (oracle %s): %s@." at
+          oracle.Conform.Fuzz.name msg;
+        if minimize then begin
+          let min_sc, steps = Conform.Fuzz.minimize oracle sc in
+          Fmt.pr "minimized: size %d -> %d in %d step(s)@."
+            (Conform.Fuzz.size sc) (Conform.Fuzz.size min_sc) steps;
+          Out_channel.with_open_text out (fun oc ->
+              output_string oc (Conform.Fuzz.source min_sc));
+          Fmt.pr "wrote %s@." out
+        end;
+        1
+  in
+  let seed_flag =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"First seed.")
+  in
+  let cases_flag =
+    Arg.(
+      value & opt int 100
+      & info [ "cases" ] ~docv:"K"
+          ~doc:"Number of consecutive seeds to test (stops at the first \
+                failure).")
+  in
+  let oracle_flag =
+    Arg.(
+      value
+      & opt string "differential"
+      & info [ "oracle" ] ~docv:"ORACLE"
+          ~doc:"'differential' fails when the engine tiers disagree; \
+                'inconsistent' fails when the final instance violates the \
+                constraints (a demo oracle for exercising the minimizer).")
+  in
+  let minimize_flag =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:"Delta-debug the first failing scenario to a minimal \
+                still-failing repro and write it as a .cqa file.")
+  in
+  let out_flag =
+    Arg.(
+      value
+      & opt string "repro.cqa"
+      & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the minimized repro.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz the engine tiers with random scenarios (facts, \
+             constraints, update streams, queries); with --minimize, \
+             delta-debug the first failure to a minimal .cqa repro.")
+    Term.(
+      const (fun s c o m out t -> Stdlib.exit (run s c o m out t))
+      $ seed_flag $ cases_flag $ oracle_flag $ minimize_flag $ out_flag
+      $ timeout_flag)
+
+(* ------------------------------------------------------------------ *)
 (* graph *)
 
 let graph_cmd =
@@ -773,6 +964,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            check_cmd; repairs_cmd; cqa_cmd; session_cmd; serve_cmd;
-            connect_cmd; export_cmd; graph_cmd; solve_cmd;
+            check_cmd; repairs_cmd; cqa_cmd; conform_cmd; fuzz_cmd;
+            session_cmd; serve_cmd; connect_cmd; export_cmd; graph_cmd;
+            solve_cmd;
           ]))

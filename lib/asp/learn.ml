@@ -12,11 +12,23 @@ type t = {
   act : float array;  (* per-atom VSIDS activity *)
   seen : bool array;  (* analysis scratch, clean between calls *)
   mutable inc : float;  (* current bump amount *)
+  phase : bool array;
+      (* last polarity each atom was assigned before being undone; false
+         (the engine's default polarity) until an atom is first unassigned
+         while true, so saving is behavior-neutral up to that point *)
 }
 
-let create n = { act = Array.make (max n 1) 0.; seen = Array.make (max n 1) false; inc = 1.0 }
+let create n =
+  {
+    act = Array.make (max n 1) 0.;
+    seen = Array.make (max n 1) false;
+    inc = 1.0;
+    phase = Array.make (max n 1) false;
+  }
 
 let activity t a = t.act.(a)
+let save_phase t a v = t.phase.(a) <- v
+let phase t a = t.phase.(a)
 
 let bump t a =
   t.act.(a) <- t.act.(a) +. t.inc;

@@ -12,6 +12,14 @@ val activity : t -> int -> float
 (** Current VSIDS activity of an atom; the branching heuristic picks the
     unassigned atom maximizing it. *)
 
+val save_phase : t -> int -> bool -> unit
+(** Remember the polarity an atom held when it was unassigned (phase
+    saving): the next VSIDS decision on it re-tries that polarity, so work
+    proven about a subtree survives restarts and long backjumps. *)
+
+val phase : t -> int -> bool
+(** The saved polarity (false until {!save_phase} stores true). *)
+
 val bump : t -> int -> unit
 (** Add the current increment to an atom's activity (rescaling everything
     near overflow). *)

@@ -11,12 +11,13 @@ type stats = {
   mutable learned : int;
   mutable restarts : int;
   mutable backjump_len : int;
+  mutable phase_saved : int;
 }
 
 let new_stats () =
   { decisions = 0; propagations = 0; candidates = 0; minimality_checks = 0;
     queue_pushes = 0; rules_touched = 0; conflicts = 0; learned = 0;
-    restarts = 0; backjump_len = 0 }
+    restarts = 0; backjump_len = 0; phase_saved = 0 }
 
 let pp_stats ppf s =
   Fmt.pf ppf
@@ -26,8 +27,8 @@ let pp_stats ppf s =
     s.rules_touched
 
 let pp_search_stats ppf s =
-  Fmt.pf ppf "conflicts=%d learned=%d restarts=%d backjump_len=%d" s.conflicts
-    s.learned s.restarts s.backjump_len
+  Fmt.pf ppf "conflicts=%d learned=%d restarts=%d backjump_len=%d phase_saved=%d"
+    s.conflicts s.learned s.restarts s.backjump_len s.phase_saved
 
 type search = [ `Cdcl | `Dpll ]
 
@@ -698,6 +699,7 @@ let stable_models_cdcl ?budget ?limit ?(max_decisions = 10_000_000)
   in
   let on_undo l =
     let a = l lsr 1 in
+    Learn.save_phase lrn a (l land 1 = 0);
     if l land 1 = 0 then Array.iter drop_dead neg_occ.(a)
     else Array.iter drop_dead pos_occ.(a);
     List.iter
@@ -910,7 +912,20 @@ let stable_models_cdcl ?budget ?limit ?(max_decisions = 10_000_000)
                    | None -> ()
                  end;
                  Watch.push_level w;
-                 ignore (Watch.enqueue w ~reason:(-1) ((2 * a) + 1))
+                 (* completion decisions must stay false (sound for stable
+                    models); only real branch points consult the saved
+                    phase *)
+                 let l =
+                   if (not completion) && Learn.phase lrn a then begin
+                     stats.phase_saved <- stats.phase_saved + 1;
+                     (match budget with
+                     | Some b -> Budget.note_phase_saved b
+                     | None -> ());
+                     2 * a
+                   end
+                   else (2 * a) + 1
+                 in
+                 ignore (Watch.enqueue w ~reason:(-1) l)
              | `Total ->
                  record_candidate ();
                  if Watch.decision_level w = 0 then raise Done;

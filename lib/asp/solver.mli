@@ -64,6 +64,11 @@ type stats = {
   mutable backjump_len : int;
       (** total decision levels undone by non-chronological backjumps —
           divide by [learned] for the mean jump length *)
+  mutable phase_saved : int;
+      (** VSIDS decisions that re-used a saved true polarity (phase
+          saving): each counted decision re-tried the polarity the atom
+          held when a backjump or restart unassigned it, instead of the
+          engine's default false *)
 }
 
 type search = [ `Cdcl | `Dpll ]
@@ -110,7 +115,8 @@ val new_stats : unit -> stats
 val pp_stats : stats Fmt.t
 
 val pp_search_stats : stats Fmt.t
-(** The CDCL counters: [conflicts=… learned=… restarts=… backjump_len=…]
+(** The CDCL counters:
+    [conflicts=… learned=… restarts=… backjump_len=… phase_saved=…]
     (all zero after a [`Dpll] run). *)
 
 val cautious :

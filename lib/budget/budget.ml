@@ -49,6 +49,7 @@ type stats = {
   learned : int Atomic.t;
   restarts : int Atomic.t;
   backjump_len : int Atomic.t;
+  phase_saved : int Atomic.t;
   routed : int Atomic.t array;  (* indexed by [tier_index] *)
   mutable degradations : (string * string) list;  (* reverse emission order *)
   mutable workers : worker array;
@@ -64,6 +65,7 @@ let new_stats () =
     learned = Atomic.make 0;
     restarts = Atomic.make 0;
     backjump_len = Atomic.make 0;
+    phase_saved = Atomic.make 0;
     routed = Array.init 4 (fun _ -> Atomic.make 0);
     degradations = [];
     workers = [||];
@@ -205,14 +207,16 @@ let note_restart t = Atomic.incr t.sink.restarts
 let note_backjump t len =
   ignore (Atomic.fetch_and_add t.sink.backjump_len len)
 
+let note_phase_saved t = Atomic.incr t.sink.phase_saved
+
 let search_total s =
   Atomic.get s.conflicts + Atomic.get s.learned + Atomic.get s.restarts
-  + Atomic.get s.backjump_len
+  + Atomic.get s.backjump_len + Atomic.get s.phase_saved
 
 let pp_search ppf s =
-  Fmt.pf ppf "conflicts=%d learned=%d restarts=%d backjump_len=%d"
+  Fmt.pf ppf "conflicts=%d learned=%d restarts=%d backjump_len=%d phase_saved=%d"
     (Atomic.get s.conflicts) (Atomic.get s.learned) (Atomic.get s.restarts)
-    (Atomic.get s.backjump_len)
+    (Atomic.get s.backjump_len) (Atomic.get s.phase_saved)
 
 let note_component t = Atomic.incr t.sink.components_solved
 

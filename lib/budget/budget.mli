@@ -97,11 +97,14 @@ type stats = {
           written by {!finish} (and on exhaustion), [0] while running *)
   conflicts : int Atomic.t;
       (** falsified clauses hit by the CDCL solver ({!tick_conflict});
-          all four CDCL counters stay 0 under the [`Dpll] search mode *)
+          all five CDCL counters stay 0 under the [`Dpll] search mode *)
   learned : int Atomic.t;   (** nogoods added by conflict analysis *)
   restarts : int Atomic.t;  (** Luby restarts taken *)
   backjump_len : int Atomic.t;
       (** total decision levels undone by non-chronological backjumps *)
+  phase_saved : int Atomic.t;
+      (** VSIDS decisions that re-tried a saved true polarity
+          ({!note_phase_saved}) *)
   routed : int Atomic.t array;
       (** components classified per routing {!tier} (read through
           {!routed}); all zero outside the [Auto] method *)
@@ -202,11 +205,16 @@ val note_backjump : ctl -> int -> unit
 (** Accumulate the length (decision levels undone) of one
     non-chronological backjump.  Never raises. *)
 
+val note_phase_saved : ctl -> unit
+(** Count one VSIDS decision that re-used a saved true polarity (phase
+    saving).  Never raises. *)
+
 val search_total : stats -> int
-(** Sum of the four CDCL counters — non-zero iff a CDCL search ran. *)
+(** Sum of the five CDCL counters — non-zero iff a CDCL search ran. *)
 
 val pp_search : stats Fmt.t
-(** The CDCL line: [conflicts=… learned=… restarts=… backjump_len=…].
+(** The CDCL line:
+    [conflicts=… learned=… restarts=… backjump_len=… phase_saved=…].
     Printed by the CLI only when {!search_total} is non-zero, so [--stats]
     output is unchanged under [`Dpll]. *)
 

@@ -1,0 +1,48 @@
+module Tuple = Relational.Tuple
+
+type expect = {
+  consistent_db : bool option;
+  repairs : int option;
+  repd : int option;
+  certain : string option;
+  possible : string option;
+}
+
+let no_expect =
+  {
+    consistent_db = None;
+    repairs = None;
+    repd = None;
+    certain = None;
+    possible = None;
+  }
+
+type t = {
+  name : string;
+  family : string;
+  doc : string;
+  source : string;
+  query : string;
+  semantics : Query.Qeval.semantics;
+  expect : expect;
+  equiv : string option;
+}
+
+let make ?(semantics = Query.Qeval.NullAsConstant) ?(expect = no_expect)
+    ?equiv ~family ~doc ~query name source =
+  { name; family; doc; source; query; semantics; expect; equiv }
+
+(* The two renderings every cross-check compares on.  [render_set] is
+   exactly the set syntax of {!Query.Cqa.pp_outcome} (elements in
+   [Tuple.Set] order), so a generator can pin certain/possible answers by
+   building the set and rendering it here. *)
+
+let render_set s =
+  Fmt.str "{%a}" Fmt.(list ~sep:(any ", ") Tuple.pp) (Tuple.Set.elements s)
+
+let render_outcome o = Fmt.str "%a" Query.Cqa.pp_outcome o
+
+let set_of_rows rows =
+  Tuple.Set.of_list (List.map Tuple.make rows)
+
+let pin_rows rows = render_set (set_of_rows rows)

@@ -1,0 +1,65 @@
+(** One conformance case: a surface scenario, a query, the semantics to
+    answer it under, and the pinned expectations.
+
+    A case is self-contained — its [source] is a complete [.cqa] file
+    (facts, constraints, queries, optionally an update stream), and the
+    runner loads it through {!Lang.Load.of_string} exactly as the CLI
+    would, so every case also exercises the parser and loader. *)
+
+type expect = {
+  consistent_db : bool option;
+      (** is the final instance consistent under |=_N? *)
+  repairs : int option;  (** pinned [repair_count] (the class [Rep(D, IC)]) *)
+  repd : int option;
+      (** pinned cardinality of the deletion-preferring class
+          [Rep_d(D, IC)] ({!Repair.Repd.repairs_d}) — what the
+          NNC/RIC-conflict family pins, since there the two classes
+          genuinely differ (Example 20) *)
+  certain : string option;
+      (** pinned rendering of the consistent-answer set, in the exact
+          syntax of {!render_set} *)
+  possible : string option;
+}
+
+val no_expect : expect
+(** Cross-tier identity only — what generated corpus cases that pin no
+    closed-form answer set use. *)
+
+type t = {
+  name : string;
+  family : string;
+  doc : string;
+  source : string;  (** complete surface file *)
+  query : string;   (** name of the query (declared in [source]) to answer *)
+  semantics : Query.Qeval.semantics;
+  expect : expect;
+  equiv : string option;
+      (** a second query declared in [source] whose outcome must render
+          byte-identically to [query]'s — the Franconi–Tessaris-style
+          null-algebra equivalences are pinned this way *)
+}
+
+val make :
+  ?semantics:Query.Qeval.semantics ->
+  ?expect:expect ->
+  ?equiv:string ->
+  family:string ->
+  doc:string ->
+  query:string ->
+  string ->
+  string ->
+  t
+(** [make ~family ~doc ~query name source]; [semantics] defaults to
+    [NullAsConstant] (the paper's). *)
+
+val render_set : Relational.Tuple.Set.t -> string
+(** The answer-set syntax of {!Query.Cqa.pp_outcome} ("{(a, b), ...}"). *)
+
+val render_outcome : Query.Cqa.outcome -> string
+(** The full four-line outcome rendering the tiers are compared on. *)
+
+val set_of_rows : Relational.Value.t list list -> Relational.Tuple.Set.t
+
+val pin_rows : Relational.Value.t list list -> string
+(** [render_set] of [set_of_rows] — how generators pin expected answers
+    without hand-ordering the set. *)

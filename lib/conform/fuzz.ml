@@ -1,0 +1,276 @@
+module Value = Relational.Value
+module Instance = Relational.Instance
+
+(* The fuzzer's scenario space grows {!Workload.Gen.random_case}'s shape:
+   the same small schema, constant pool and constraint menu, plus a
+   random insert/delete update stream and a query from a fixed menu.  A
+   scenario is pure data (menu indices, value lists), which is what makes
+   the delta-debugging shrinker a set of list edits. *)
+
+type scenario = {
+  facts : (string * Value.t list) list;
+  ics : int list;  (** indices into {!menu}, sorted, deduplicated *)
+  updates : (bool * string * Value.t list) list;  (** [true] = insert *)
+  query : int;  (** index into {!queries} *)
+}
+
+let v = Ic.Term.var
+let atom p ts = Ic.Patom.make p ts
+
+let menu =
+  [|
+    ("p_q", fun () ->
+      Ic.Constr.generic ~name:"p_q" ~ante:[ atom "P" [ v "x" ] ]
+        ~cons:[ atom "Q" [ v "x" ] ] ());
+    ("p_r", fun () ->
+      Ic.Constr.generic ~name:"p_r" ~ante:[ atom "P" [ v "x" ] ]
+        ~cons:[ atom "R" [ v "x"; v "y" ] ] ());
+    ("r_s", fun () ->
+      Ic.Constr.generic ~name:"r_s" ~ante:[ atom "R" [ v "x"; v "y" ] ]
+        ~cons:[ atom "S" [ v "x" ] ] ());
+    ("fd_r", fun () ->
+      Ic.Builder.functional_dependency ~name:"fd_r" ~pred:"R" ~arity:2
+        ~lhs:[ 1 ] ~rhs:2 ());
+    ("nn_r2", fun () -> Ic.Constr.not_null ~name:"nn_r2" ~pred:"R" ~arity:2 ~pos:2 ());
+    ("nn_p1", fun () -> Ic.Constr.not_null ~name:"nn_p1" ~pred:"P" ~arity:1 ~pos:1 ());
+    ("no_ps", fun () ->
+      Ic.Builder.denial ~name:"no_ps" [ atom "P" [ v "x" ]; atom "S" [ v "x" ] ]);
+    ("q_p", fun () ->
+      Ic.Constr.generic ~name:"q_p" ~ante:[ atom "Q" [ v "x" ] ]
+        ~cons:[ atom "P" [ v "x" ] ] ());
+  |]
+
+let qatom p vars = Query.Qsyntax.Atom (atom p (List.map v vars))
+
+let queries =
+  [|
+    ("p_rows", Query.Qsyntax.make ~name:"p_rows" ~head:[ "x" ] (qatom "P" [ "x" ]));
+    ("r_rows",
+     Query.Qsyntax.make ~name:"r_rows" ~head:[ "x"; "y" ] (qatom "R" [ "x"; "y" ]));
+    ("pq",
+     Query.Qsyntax.make ~name:"pq" ~head:[ "x" ]
+       (Query.Qsyntax.And (qatom "P" [ "x" ], qatom "Q" [ "x" ])));
+    ("r_null",
+     Query.Qsyntax.make ~name:"r_null" ~head:[ "x" ]
+       (Query.Qsyntax.Exists
+          ( [ "y" ],
+            Query.Qsyntax.And
+              (qatom "R" [ "x"; "y" ], Query.Qsyntax.IsNull (v "y")) )));
+    ("ps",
+     Query.Qsyntax.make ~name:"ps" ~head:[]
+       (Query.Qsyntax.Exists
+          ( [ "x" ],
+            Query.Qsyntax.And (qatom "P" [ "x" ], qatom "S" [ "x" ]) )));
+  |]
+
+let rels = [| ("P", 1); ("Q", 1); ("R", 2); ("S", 1) |]
+
+let schema =
+  let attrs n = List.init n (fun i -> Printf.sprintf "c%d" (i + 1)) in
+  Array.fold_left
+    (fun s (name, arity) ->
+      Relational.Schema.add_relation s ~name ~attrs:(attrs arity))
+    Relational.Schema.empty rels
+
+(* ------------------------------------------------------------------ *)
+(* Rendering: the scenario as a complete surface file — [Emit.file] for
+   the schema/facts/constraints/query, plus the update statements (the
+   emitter has no update syntax of its own). *)
+
+let source sc =
+  let d = Instance.of_list sc.facts in
+  let ics = List.map (fun i -> snd menu.(i) ()) sc.ics in
+  let qname, q = queries.(sc.query) in
+  Lang.Emit.file ~schema ~ics ~queries:[ (qname, q) ] d
+  ^ String.concat ""
+      (List.map
+         (fun (ins, p, args) ->
+           Printf.sprintf "%s %s\n"
+             (if ins then "insert" else "delete")
+             (Lang.Emit.fact (Relational.Atom.make p args)))
+         sc.updates)
+
+let case_of ?(name = "fuzz") sc =
+  Case.make ~family:"fuzz" ~doc:"generated scenario"
+    ~query:(fst queries.(sc.query))
+    name (source sc)
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+let gen ?(seed = 42) () =
+  let rng = Random.State.make [| seed; 0xfa22 |] in
+  let pool = [| Value.str "a"; Value.str "b"; Value.str "c"; Value.null |] in
+  let pick () = pool.(Random.State.int rng (Array.length pool)) in
+  let tuples (p, arity) =
+    List.init
+      (Random.State.int rng 4)
+      (fun _ -> (p, List.init arity (fun _ -> pick ())))
+  in
+  let facts =
+    List.sort_uniq compare (List.concat_map tuples (Array.to_list rels))
+  in
+  let n_ics = 1 + Random.State.int rng 3 in
+  let ics =
+    List.sort_uniq compare
+      (List.init n_ics (fun _ -> Random.State.int rng (Array.length menu)))
+  in
+  let updates =
+    List.init
+      (Random.State.int rng 4)
+      (fun _ ->
+        let p, arity = rels.(Random.State.int rng (Array.length rels)) in
+        ( Random.State.bool rng,
+          p,
+          List.init arity (fun _ -> pick ()) ))
+  in
+  let query = Random.State.int rng (Array.length queries) in
+  { facts; ics; updates; query }
+
+(* ------------------------------------------------------------------ *)
+(* Size and shrinking.  The size measure (facts + constraints + updates +
+   distinct non-null constants) strictly decreases on every accepted
+   shrink step, so the greedy loop terminates. *)
+
+let constants sc =
+  let add acc vs =
+    List.fold_left
+      (fun acc v -> if Value.is_null v || List.mem v acc then acc else v :: acc)
+      acc vs
+  in
+  let acc = List.fold_left (fun acc (_, vs) -> add acc vs) [] sc.facts in
+  List.fold_left (fun acc (_, _, vs) -> add acc vs) acc sc.updates
+
+let size sc =
+  List.length sc.facts + List.length sc.ics + List.length sc.updates
+  + List.length (constants sc)
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let candidates sc =
+  let drop_facts =
+    List.mapi (fun i _ -> { sc with facts = drop_nth sc.facts i }) sc.facts
+  in
+  let drop_ics =
+    List.mapi (fun i _ -> { sc with ics = drop_nth sc.ics i }) sc.ics
+  in
+  let drop_updates =
+    List.mapi
+      (fun i _ -> { sc with updates = drop_nth sc.updates i })
+      sc.updates
+  in
+  (* domain narrowing: merge a constant into "a" everywhere (facts merged
+     by the merge are deduplicated, so the emitted instance shrinks too) *)
+  let a = Value.str "a" in
+  let merge_const c =
+    let sub v = if Value.equal v c then a else v in
+    {
+      sc with
+      facts =
+        List.sort_uniq compare
+          (List.map (fun (p, vs) -> (p, List.map sub vs)) sc.facts);
+      updates = List.map (fun (i, p, vs) -> (i, p, List.map sub vs)) sc.updates;
+    }
+  in
+  let merges =
+    List.filter_map
+      (fun c -> if Value.equal c a then None else Some (merge_const c))
+      (constants sc)
+  in
+  drop_facts @ drop_ics @ drop_updates @ merges
+
+(* ------------------------------------------------------------------ *)
+(* Oracles *)
+
+type oracle = { name : string; fails : scenario -> string option }
+
+let differential =
+  {
+    name = "differential";
+    fails =
+      (fun sc ->
+        let r = Runner.run_case (case_of sc) in
+        if Runner.passed r then None
+        else Some (String.concat "; " r.Runner.failures));
+  }
+
+(* The demo oracle for exercising the minimizer end to end: "fails" iff
+   the final instance is inconsistent, so the minimal repro is the
+   smallest violation core of the scenario. *)
+let inconsistent =
+  {
+    name = "inconsistent";
+    fails =
+      (fun sc ->
+        match Lang.Load.of_string (source sc) with
+        | Error msg -> Some (Printf.sprintf "load: %s" msg)
+        | Ok l -> (
+            match
+              Semantics.Nullsat.check (Lang.Load.final_instance l)
+                l.Lang.Load.ics
+            with
+            | [] -> None
+            | violations ->
+                Some
+                  (Printf.sprintf "final instance is inconsistent (%d violation(s))"
+                     (List.length violations))));
+  }
+
+let oracles = [ differential; inconsistent ]
+
+let oracle_named name =
+  List.find_opt (fun o -> o.name = name) oracles
+
+(* ------------------------------------------------------------------ *)
+(* Delta-debugging minimization: greedily accept the first candidate edit
+   that is strictly smaller and still fails the oracle; repeat to a fixed
+   point.  The result is 1-minimal with respect to the edit set. *)
+
+let minimize_trace oracle sc =
+  let rec go sc trail =
+    let sz = size sc in
+    match
+      List.find_opt
+        (fun c -> size c < sz && oracle.fails c <> None)
+        (candidates sc)
+    with
+    | Some c -> go c (c :: trail)
+    | None -> (sc, List.rev trail)
+  in
+  go sc []
+
+let minimize oracle sc =
+  let min_sc, trail = minimize_trace oracle sc in
+  (min_sc, List.length trail)
+
+(* ------------------------------------------------------------------ *)
+
+type run = {
+  tested : int;
+  failure : (int * string * scenario) option;
+      (** seed, oracle message, failing scenario *)
+  timed_out : bool;
+}
+
+let run ?(oracle = differential) ?budget ~seed ~cases () =
+  let deadline_ok () =
+    match budget with
+    | None -> true
+    | Some b -> (
+        try
+          Budget.check_deadline b;
+          true
+        with Budget.Exhausted _ -> false)
+  in
+  let rec go i =
+    if i >= cases then { tested = cases; failure = None; timed_out = false }
+    else if not (deadline_ok ()) then
+      { tested = i; failure = None; timed_out = true }
+    else
+      let sc = gen ~seed:(seed + i) () in
+      match oracle.fails sc with
+      | None -> go (i + 1)
+      | Some msg ->
+          { tested = i + 1; failure = Some (seed + i, msg, sc); timed_out = false }
+  in
+  go 0

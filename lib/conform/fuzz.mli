@@ -1,0 +1,68 @@
+(** The minimizing scenario fuzzer: random scenarios over
+    {!Workload.Gen.random_case}'s shape grown with an update stream and a
+    query, an oracle abstraction, and a delta-debugging shrinker to a
+    minimal failing surface repro. *)
+
+type scenario = {
+  facts : (string * Relational.Value.t list) list;
+  ics : int list;
+  updates : (bool * string * Relational.Value.t list) list;
+  query : int;
+}
+
+val gen : ?seed:int -> unit -> scenario
+(** Deterministic in [seed]. *)
+
+val source : scenario -> string
+(** The scenario as a complete surface file (schema, facts, constraints,
+    query, update statements) — always parses and loads. *)
+
+val case_of : ?name:string -> scenario -> Case.t
+(** Wrap as a conformance case (family ["fuzz"], no pinned expects) for
+    the cross-tier runner. *)
+
+val size : scenario -> int
+(** Facts + constraints + updates + distinct non-null constants — the
+    strictly-decreasing measure of the shrinker. *)
+
+val candidates : scenario -> scenario list
+(** One-edit shrink candidates: drop a fact / a constraint / an update,
+    or merge a constant into ["a"] (domain narrowing). *)
+
+type oracle = { name : string; fails : scenario -> string option }
+(** [fails sc] is [Some msg] iff the scenario exhibits the failure the
+    oracle looks for. *)
+
+val differential : oracle
+(** Fails iff the engine tiers disagree (any cross-tier outcome
+    difference or tier error, per {!Runner.run_case}). *)
+
+val inconsistent : oracle
+(** Demo oracle for exercising the minimizer: fails iff the final
+    instance violates the constraints — its minimal repro is the
+    scenario's smallest violation core. *)
+
+val oracles : oracle list
+val oracle_named : string -> oracle option
+
+val minimize : oracle -> scenario -> scenario * int
+(** Greedy delta debugging: repeatedly take the first strictly-smaller
+    candidate that still fails, to a fixed point (1-minimal wrt the edit
+    set).  Returns the minimum and the number of accepted steps. *)
+
+val minimize_trace : oracle -> scenario -> scenario * scenario list
+(** {!minimize} with the accepted intermediate scenarios (each parses,
+    still fails, and is strictly smaller than its predecessor) — what the
+    shrinker-soundness property test checks. *)
+
+type run = {
+  tested : int;
+  failure : (int * string * scenario) option;
+  timed_out : bool;
+}
+
+val run :
+  ?oracle:oracle -> ?budget:Budget.ctl -> seed:int -> cases:int -> unit -> run
+(** Test [cases] scenarios generated from consecutive seeds starting at
+    [seed]; stops at the first failure, or cleanly between cases when
+    [budget]'s wall-clock deadline passes ([timed_out] set). *)

@@ -1,0 +1,368 @@
+(* The pinned conformance suite.
+
+   [paper] encodes Examples 4-13 of Bravo & Bertossi (EDBT 2006) as
+   executable cases: each source is the example's instance and constraint
+   set in the surface syntax, the expectations (consistency verdict,
+   repair count, certain/possible answer sets) are the ones derived in the
+   paper's text.  Where the example discusses an update ("inserting t is
+   rejected"), the case carries the update as an insert/delete statement
+   so the session and serve tiers replay it through the engine.
+
+   [ft] pins SQL-null algebra equivalences in the spirit of Franconi &
+   Tessaris' formalization of SQL's three-valued semantics: each case
+   declares two queries that are equivalent under the [SqlLike] semantics
+   (comparisons with null are unknown, negation is two-valued) and pins
+   them to render byte-identical outcomes, plus the q1 verdicts. *)
+
+let vs = Relational.Value.str
+let vi = Relational.Value.int
+let vn = Relational.Value.null
+
+let expect ?consistent_db ?repairs ?repd ?certain ?possible () =
+  {
+    Case.consistent_db;
+    repairs;
+    repd;
+    certain = Option.map Case.pin_rows certain;
+    possible = Option.map Case.pin_rows possible;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Paper examples *)
+
+let ex4_base =
+  "relation P(x, y, z).\n\
+   relation R(y, z).\n\
+   P(a, b, null).\n"
+
+let ex4_sat =
+  Case.make ~family:"paper"
+    ~doc:"Example 4: psi1's relevant attribute P[3] holds null, satisfied"
+    ~query:"r_pairs"
+    ~expect:(expect ~consistent_db:true ~repairs:1 ~certain:[] ~possible:[] ())
+    "ex4_sat"
+    (ex4_base
+    ^ "constraint psi1: P(X, Y, Z) -> R(Y, Z).\n\
+       query r_pairs(Y, Z): R(Y, Z).\n")
+
+let ex4_viol =
+  Case.make ~family:"paper"
+    ~doc:"Example 4: psi2's relevant attributes are null-free, violated"
+    ~query:"r_pairs"
+    ~expect:
+      (expect ~consistent_db:false ~repairs:2 ~certain:[]
+         ~possible:[ [ vs "a"; vs "b" ] ] ())
+    "ex4_viol"
+    (ex4_base
+    ^ "constraint psi2: P(X, Y, Z) -> R(X, Y).\n\
+       query r_pairs(X, Y): R(X, Y).\n")
+
+let ex5_base =
+  "relation Course(c, i, t).\n\
+   relation Exp(i, c, e).\n\
+   Course(cs27, 21, w04).\n\
+   Course(cs18, 34, null).\n\
+   Course(cs50, null, w05).\n\
+   Exp(21, cs27, 3).\n\
+   Exp(34, cs18, null).\n\
+   Exp(45, cs32, 2).\n\
+   constraint ric: Course(C, I, T) -> Exp(I, C, E).\n\
+   query courses(C): exists I T. Course(C, I, T).\n"
+
+let ex5_courses = [ [ vs "cs18" ]; [ vs "cs27" ]; [ vs "cs50" ] ]
+
+let ex5_sat =
+  Case.make ~family:"paper"
+    ~doc:"Example 5: FK under simple match; null-keyed course is vacuous"
+    ~query:"courses"
+    ~expect:
+      (expect ~consistent_db:true ~repairs:1 ~certain:ex5_courses
+         ~possible:ex5_courses ())
+    "ex5_sat" ex5_base
+
+let ex5_insert =
+  Case.make ~family:"paper"
+    ~doc:"Example 5: inserting Course(cs41, 18, null) is a violation"
+    ~query:"courses"
+    ~expect:
+      (expect ~consistent_db:false ~repairs:2 ~certain:ex5_courses
+         ~possible:(ex5_courses @ [ [ vs "cs41" ] ])
+         ())
+    "ex5_insert"
+    (ex5_base ^ "insert Course(cs41, 18, null).\n")
+
+let ex6_base =
+  "relation Emp(i, n, s).\n\
+   Emp(32, null, 1000).\n\
+   Emp(41, paul, null).\n\
+   constraint salary_pos: Emp(I, N, S) -> S > 100.\n\
+   query emps(I): exists N S. Emp(I, N, S).\n"
+
+let ex6_emps = [ [ vi 32 ]; [ vi 41 ] ]
+
+let ex6_sat =
+  Case.make ~family:"paper"
+    ~doc:"Example 6: check constraint; null salary is unknown, accepted"
+    ~query:"emps"
+    ~expect:
+      (expect ~consistent_db:true ~repairs:1 ~certain:ex6_emps
+         ~possible:ex6_emps ())
+    "ex6_sat" ex6_base
+
+let ex6_viol =
+  Case.make ~family:"paper"
+    ~doc:"Example 6: salary 50 fails the check; checks repair by deletion only"
+    ~query:"emps"
+    ~expect:
+      (expect ~consistent_db:false ~repairs:1 ~certain:ex6_emps
+         ~possible:ex6_emps ())
+    "ex6_viol"
+    (ex6_base ^ "insert Emp(32, null, 50).\n")
+
+let ex8_base =
+  "relation Person(n, f, m, a).\n\
+   Person(lee, rod, mary, 27).\n\
+   Person(rod, joe, tess, 55).\n\
+   Person(mary, adam, ann, null).\n\
+   constraint older: Person(X, Y, Z, W), Person(Z, S, T, U) -> U > W + 15.\n\
+   query people(X): exists Y Z W. Person(X, Y, Z, W).\n"
+
+let ex8_sat =
+  Case.make ~family:"paper"
+    ~doc:"Example 8: multi-row check; the joined age is null, accepted"
+    ~query:"people"
+    ~expect:
+      (expect ~consistent_db:true ~repairs:1
+         ~certain:[ [ vs "lee" ]; [ vs "mary" ]; [ vs "rod" ] ]
+         ~possible:[ [ vs "lee" ]; [ vs "mary" ]; [ vs "rod" ] ]
+         ())
+    "ex8_sat" ex8_base
+
+let ex8_viol =
+  Case.make ~family:"paper"
+    ~doc:"Example 8: mother aged 30 violates the join check (30 < 27 + 15)"
+    ~query:"people"
+    ~expect:
+      (expect ~consistent_db:false ~repairs:2 ~certain:[ [ vs "rod" ] ]
+         ~possible:[ [ vs "lee" ]; [ vs "mary" ]; [ vs "rod" ] ]
+         ())
+    "ex8_viol"
+    (ex8_base
+    ^ "delete Person(mary, adam, ann, null).\n\
+       insert Person(mary, adam, ann, 30).\n")
+
+let ex9 =
+  Case.make ~family:"paper"
+    ~doc:
+      "Example 9: Employee(w04, null) does not support Course's (w04, 34) \
+       reference"
+    ~query:"emp"
+    ~expect:
+      (expect ~consistent_db:false ~repairs:2
+         ~certain:[ [ vs "w04"; vn ] ]
+         ~possible:[ [ vs "w04"; vn ]; [ vs "w04"; vi 34 ] ]
+         ())
+    "ex9"
+    "relation Course(c, t, i).\n\
+     relation Employee(t, i).\n\
+     Course(cs18, w04, 34).\n\
+     Employee(w04, null).\n\
+     constraint ric: Course(X, Y, Z) -> Employee(Y, Z).\n\
+     query emp(X, Y): Employee(X, Y).\n"
+
+let ex11_base =
+  "relation P(x, y, z).\n\
+   relation R(x, y).\n\
+   relation T(x).\n\
+   P(a, d, e).\n\
+   P(b, null, g).\n\
+   R(a, d).\n\
+   T(b).\n\
+   constraint ic_a: P(X, Y, Z) -> R(X, Y).\n\
+   constraint ic_b: T(X) -> P(X, Y, Z).\n\
+   query r_rows(X, Y): R(X, Y).\n"
+
+let ex11_sat =
+  Case.make ~family:"paper"
+    ~doc:"Example 11: both constraints hold (null relevant attr, witness)"
+    ~query:"r_rows"
+    ~expect:
+      (expect ~consistent_db:true ~repairs:1
+         ~certain:[ [ vs "a"; vs "d" ] ]
+         ~possible:[ [ vs "a"; vs "d" ] ]
+         ())
+    "ex11_sat" ex11_base
+
+let ex11_viol =
+  Case.make ~family:"paper"
+    ~doc:"Example 11: inserting P(f, d, null) violates (a): no R(f, d)"
+    ~query:"r_rows"
+    ~expect:
+      (expect ~consistent_db:false ~repairs:2
+         ~certain:[ [ vs "a"; vs "d" ] ]
+         ~possible:[ [ vs "a"; vs "d" ]; [ vs "f"; vs "d" ] ]
+         ())
+    "ex11_viol"
+    (ex11_base ^ "insert P(f, d, null).\n")
+
+let ex12_base =
+  "relation P1(x, y, w).\n\
+   relation P2(y, z).\n\
+   relation Q(x, z, u).\n\
+   P1(a, b, c).\n\
+   P1(d, null, c).\n\
+   P1(b, e, null).\n\
+   P1(null, b, b).\n\
+   P2(b, a).\n\
+   P2(e, c).\n\
+   P2(d, null).\n\
+   P2(null, b).\n\
+   Q(a, a, c).\n\
+   Q(b, null, c).\n\
+   Q(b, c, d).\n\
+   Q(null, c, a).\n\
+   constraint join: P1(X, Y, W), P2(Y, Z) -> Q(X, Z, U).\n\
+   query q_rows(X, Y, Z): Q(X, Y, Z).\n"
+
+let ex12_q_base =
+  [
+    [ vs "a"; vs "a"; vs "c" ];
+    [ vs "b"; vn; vs "c" ];
+    [ vs "b"; vs "c"; vs "d" ];
+    [ vn; vs "c"; vs "a" ];
+  ]
+
+let ex12_sat =
+  Case.make ~family:"paper"
+    ~doc:"Example 12: null joins as an ordinary constant; satisfied"
+    ~query:"q_rows"
+    ~expect:
+      (expect ~consistent_db:true ~repairs:1 ~certain:ex12_q_base
+         ~possible:ex12_q_base ())
+    "ex12_sat" ex12_base
+
+let ex12_q_rest =
+  [
+    [ vs "a"; vs "a"; vs "c" ]; [ vs "b"; vn; vs "c" ]; [ vn; vs "c"; vs "a" ];
+  ]
+
+let ex12_viol =
+  Case.make ~family:"paper"
+    ~doc:
+      "Example 12: deleting Q(b, c, d) orphans the (b, e, null)-(e, c) join"
+    ~query:"q_rows"
+    ~expect:
+      (expect ~consistent_db:false ~repairs:3 ~certain:ex12_q_rest
+         ~possible:(ex12_q_rest @ [ [ vs "b"; vs "c"; vn ] ])
+         ())
+    "ex12_viol"
+    (ex12_base ^ "delete Q(b, c, d).\n")
+
+let ex13_sat =
+  Case.make ~family:"paper"
+    ~doc:"Example 13: repeated existential witnessed by Q(a, null, null)"
+    ~query:"q_rows"
+    ~expect:
+      (expect ~consistent_db:true ~repairs:1
+         ~certain:[ [ vs "a"; vn; vn ] ]
+         ~possible:[ [ vs "a"; vn; vn ] ]
+         ())
+    "ex13_sat"
+    "relation P(x, y).\n\
+     relation Q(x, z, w).\n\
+     P(a, b).\n\
+     P(null, c).\n\
+     Q(a, null, null).\n\
+     constraint rep_z: P(X, Y) -> Q(X, Z, Z).\n\
+     query q_rows(X, Y, Z): Q(X, Y, Z).\n"
+
+let ex13_viol =
+  Case.make ~family:"paper"
+    ~doc:"Example 13: Q(a, null, b) does not witness the repeated variable"
+    ~query:"q_rows"
+    ~expect:
+      (expect ~consistent_db:false ~repairs:2
+         ~certain:[ [ vs "a"; vn; vs "b" ] ]
+         ~possible:[ [ vs "a"; vn; vs "b" ]; [ vs "a"; vn; vn ] ]
+         ())
+    "ex13_viol"
+    "relation P(x, y).\n\
+     relation Q(x, z, w).\n\
+     P(a, b).\n\
+     Q(a, null, b).\n\
+     constraint rep_z: P(X, Y) -> Q(X, Z, Z).\n\
+     query q_rows(X, Y, Z): Q(X, Y, Z).\n"
+
+let paper =
+  [
+    ex4_sat; ex4_viol; ex5_sat; ex5_insert; ex6_sat; ex6_viol; ex8_sat;
+    ex8_viol; ex9; ex11_sat; ex11_viol; ex12_sat; ex12_viol; ex13_sat;
+    ex13_viol;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SQL-null algebra equivalences (SqlLike semantics): one key-conflicted
+   instance with a null attribute, two provably equivalent query forms per
+   case.  Shared fixture: the FD conflict {R(1,10), R(1,11)} yields two
+   repairs; R(2,null) is vacuous for the FD (null in a relevant
+   attribute) and R(3,30) is untouched. *)
+
+let ft_fixture q1 q2 =
+  "relation R(k, a).\n\
+   R(1, 10).\n\
+   R(1, 11).\n\
+   R(2, null).\n\
+   R(3, 30).\n\
+   constraint fd: R(K, A), R(K, B) -> A = B.\n"
+  ^ "query q1(K, A): " ^ q1 ^ ".\n"
+  ^ "query q2(K, A): " ^ q2 ^ ".\n"
+
+let ft_case name ~doc ~q1 ~q2 ~certain ~possible =
+  Case.make ~family:"ft-null-algebra" ~doc ~query:"q1" ~equiv:"q2"
+    ~semantics:Query.Qeval.SqlLike
+    ~expect:(expect ~consistent_db:false ~repairs:2 ~certain ~possible ())
+    name (ft_fixture q1 q2)
+
+let row_10 = [ vi 1; vi 10 ]
+let row_11 = [ vi 1; vi 11 ]
+let row_null = [ vi 2; vn ]
+let row_30 = [ vi 3; vi 30 ]
+
+let ft =
+  [
+    ft_case "ft_self_eq"
+      ~doc:"A = A filters exactly the non-null rows (x = x is unknown on null)"
+      ~q1:"R(K, A) & !isnull(A)" ~q2:"R(K, A) & A = A"
+      ~certain:[ row_30 ]
+      ~possible:[ row_10; row_11; row_30 ];
+    ft_case "ft_partition"
+      ~doc:"= / != / IS NULL partition the domain: the disjunction is total"
+      ~q1:"R(K, A)" ~q2:"R(K, A) & (A = 10 | A != 10 | isnull(A))"
+      ~certain:[ row_null; row_30 ]
+      ~possible:[ row_10; row_11; row_null; row_30 ];
+    ft_case "ft_neg_pushdown"
+      ~doc:"NOT(A = 10) = A != 10 OR A IS NULL (SQL negation is two-valued)"
+      ~q1:"R(K, A) & !(A = 10)" ~q2:"R(K, A) & (A != 10 | isnull(A))"
+      ~certain:[ row_null; row_30 ]
+      ~possible:[ row_11; row_null; row_30 ];
+    ft_case "ft_de_morgan"
+      ~doc:"De Morgan under two-valued negation over unknown comparisons"
+      ~q1:"R(K, A) & A > 5 & A < 40" ~q2:"R(K, A) & !(!(A > 5) | !(A < 40))"
+      ~certain:[ row_30 ]
+      ~possible:[ row_10; row_11; row_30 ];
+    ft_case "ft_isnull_total"
+      ~doc:"IS NULL OR IS NOT NULL is a tautology even where = is unknown"
+      ~q1:"R(K, A)" ~q2:"R(K, A) & (isnull(A) | !isnull(A))"
+      ~certain:[ row_null; row_30 ]
+      ~possible:[ row_10; row_11; row_null; row_30 ];
+    ft_case "ft_neq_irreflexive"
+      ~doc:"A != A and A < A are both unsatisfiable (false or unknown)"
+      ~q1:"R(K, A) & A != A" ~q2:"R(K, A) & A < A" ~certain:[] ~possible:[];
+    ft_case "ft_cmp_flip"
+      ~doc:"A > 5 = NOT(A <= 5) AND A IS NOT NULL"
+      ~q1:"R(K, A) & A > 5" ~q2:"R(K, A) & !(A <= 5) & !isnull(A)"
+      ~certain:[ row_30 ]
+      ~possible:[ row_10; row_11; row_30 ];
+  ]
+
+let all = paper @ ft

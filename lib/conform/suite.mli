@@ -1,0 +1,15 @@
+(** The pinned conformance cases. *)
+
+val paper : Case.t list
+(** Examples 4-13 of the paper as executable cases (family ["paper"]):
+    satisfied and violated variants, with the update-stream examples
+    carried as insert/delete statements so the session and serve tiers
+    replay them through the engine. *)
+
+val ft : Case.t list
+(** SQL-null algebra equivalences under the [SqlLike] query semantics
+    (family ["ft-null-algebra"]), in the spirit of Franconi & Tessaris'
+    formalization of SQL nulls: each case pins two equivalent query forms
+    to byte-identical outcomes. *)
+
+val all : Case.t list

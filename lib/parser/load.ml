@@ -20,88 +20,96 @@ let note_arity schema rel arity =
   | Some a ->
       Error (Printf.sprintf "relation %s has arity %d but is used with %d atoms" rel a arity)
 
-let of_items items =
+(* The core load over line-located items.  [where line msg] renders a
+   semantic error at the item starting on [line] — the file-aware entry
+   points prefix "file:line:" so a fuzzer-minimized repro (or any scenario
+   in the conformance corpus) points at the offending item. *)
+let of_located_items ~where litems =
+  let locate line r = Result.map_error (where line) r in
   (* pass 1: schema (declared and inferred) *)
   let* schema =
     List.fold_left
-      (fun acc item ->
+      (fun acc (line, item) ->
         let* schema = acc in
-        match item with
-        | Surface.Relation (name, attrs) ->
-            if Schema.mem schema name then
-              Error (Printf.sprintf "relation %s declared twice" name)
-            else Ok (Schema.add_relation schema ~name ~attrs)
-        | Surface.Fact (name, values)
-        | Surface.Insert (name, values)
-        | Surface.Delete (name, values) ->
-            note_arity schema name (List.length values)
-        | Surface.Constraint { ante; cons; _ } ->
-            List.fold_left
-              (fun acc a ->
-                let* schema = acc in
-                note_arity schema (Ic.Patom.pred a) (Ic.Patom.arity a))
-              (Ok schema) (ante @ cons)
-        | Surface.NotNull _ | Surface.Query _ -> Ok schema)
-      (Ok Schema.empty) items
+        locate line
+          (match item with
+          | Surface.Relation (name, attrs) ->
+              if Schema.mem schema name then
+                Error (Printf.sprintf "relation %s declared twice" name)
+              else Ok (Schema.add_relation schema ~name ~attrs)
+          | Surface.Fact (name, values)
+          | Surface.Insert (name, values)
+          | Surface.Delete (name, values) ->
+              note_arity schema name (List.length values)
+          | Surface.Constraint { ante; cons; _ } ->
+              List.fold_left
+                (fun acc a ->
+                  let* schema = acc in
+                  note_arity schema (Ic.Patom.pred a) (Ic.Patom.arity a))
+                (Ok schema) (ante @ cons)
+          | Surface.NotNull _ | Surface.Query _ -> Ok schema))
+      (Ok Schema.empty) litems
   in
   (* pass 2: build everything; update statements are collected in file
      order, not folded into the instance (see [final_instance]) *)
   let* instance, rev_ics, rev_queries, rev_updates =
     List.fold_left
-      (fun acc item ->
+      (fun acc (line, item) ->
         let* instance, ics, queries, updates = acc in
-        match item with
-        | Surface.Relation _ -> Ok (instance, ics, queries, updates)
-        | Surface.Fact (name, values) ->
-            Ok
-              ( Instance.add (Relational.Atom.make name values) instance,
-                ics, queries, updates )
-        | Surface.Insert (name, values) ->
-            Ok
-              ( instance, ics, queries,
-                Delta.insert (Relational.Atom.make name values) :: updates )
-        | Surface.Delete (name, values) ->
-            Ok
-              ( instance, ics, queries,
-                Delta.delete (Relational.Atom.make name values) :: updates )
-        | Surface.Constraint { name; ante; cons; phi } -> (
-            match Ic.Constr.generic ?name ~ante ~cons ~phi () with
-            | ic -> Ok (instance, ic :: ics, queries, updates)
-            | exception Invalid_argument msg -> Error msg)
-        | Surface.NotNull (rel, pos) -> (
-            match Schema.arity schema rel with
-            | None -> Error (Printf.sprintf "not_null on unknown relation %s" rel)
-            | Some arity -> (
-                match Ic.Constr.not_null ~pred:rel ~arity ~pos () with
-                | ic -> Ok (instance, ic :: ics, queries, updates)
-                | exception Invalid_argument msg -> Error msg))
-        | Surface.Query (name, head, body) -> (
-            match Query.Qsyntax.make ~name ~head body with
-            | q -> Ok (instance, ics, (name, q) :: queries, updates)
-            | exception Invalid_argument msg -> Error msg))
+        locate line
+          (match item with
+          | Surface.Relation _ -> Ok (instance, ics, queries, updates)
+          | Surface.Fact (name, values) ->
+              Ok
+                ( Instance.add (Relational.Atom.make name values) instance,
+                  ics, queries, updates )
+          | Surface.Insert (name, values) ->
+              Ok
+                ( instance, ics, queries,
+                  Delta.insert (Relational.Atom.make name values) :: updates )
+          | Surface.Delete (name, values) ->
+              Ok
+                ( instance, ics, queries,
+                  Delta.delete (Relational.Atom.make name values) :: updates )
+          | Surface.Constraint { name; ante; cons; phi } -> (
+              match Ic.Constr.generic ?name ~ante ~cons ~phi () with
+              | ic -> Ok (instance, ic :: ics, queries, updates)
+              | exception Invalid_argument msg -> Error msg)
+          | Surface.NotNull (rel, pos) -> (
+              match Schema.arity schema rel with
+              | None -> Error (Printf.sprintf "not_null on unknown relation %s" rel)
+              | Some arity -> (
+                  match Ic.Constr.not_null ~pred:rel ~arity ~pos () with
+                  | ic -> Ok (instance, ic :: ics, queries, updates)
+                  | exception Invalid_argument msg -> Error msg))
+          | Surface.Query (name, head, body) -> (
+              match Query.Qsyntax.make ~name ~head body with
+              | q -> Ok (instance, ics, (line, name, q) :: queries, updates)
+              | exception Invalid_argument msg -> Error msg)))
       (Ok (Instance.empty, [], [], []))
-      items
+      litems
   in
   (* validate query atoms against the schema *)
   let* () =
     List.fold_left
-      (fun acc (name, q) ->
+      (fun acc (line, name, q) ->
         let* () = acc in
-        List.fold_left
-          (fun acc atom ->
-            let* () = acc in
-            match Schema.arity schema (Ic.Patom.pred atom) with
-            | None ->
-                Error
-                  (Printf.sprintf "query %s mentions unknown relation %s" name
-                     (Ic.Patom.pred atom))
-            | Some a when a = Ic.Patom.arity atom -> Ok ()
-            | Some a ->
-                Error
-                  (Printf.sprintf "query %s uses %s with arity %d, expected %d" name
-                     (Ic.Patom.pred atom) (Ic.Patom.arity atom) a))
-          (Ok ())
-          (Query.Qsyntax.atoms q.Query.Qsyntax.body))
+        locate line
+          (List.fold_left
+             (fun acc atom ->
+               let* () = acc in
+               match Schema.arity schema (Ic.Patom.pred atom) with
+               | None ->
+                   Error
+                     (Printf.sprintf "query %s mentions unknown relation %s" name
+                        (Ic.Patom.pred atom))
+               | Some a when a = Ic.Patom.arity atom -> Ok ()
+               | Some a ->
+                   Error
+                     (Printf.sprintf "query %s uses %s with arity %d, expected %d" name
+                        (Ic.Patom.pred atom) (Ic.Patom.arity atom) a))
+             (Ok ())
+             (Query.Qsyntax.atoms q.Query.Qsyntax.body)))
       (Ok ()) rev_queries
   in
   Ok
@@ -109,21 +117,38 @@ let of_items items =
       schema;
       instance;
       ics = List.rev rev_ics;
-      queries = List.rev rev_queries;
+      queries = List.rev_map (fun (_, name, q) -> (name, q)) rev_queries;
       updates = List.rev rev_updates;
     }
 
+let of_items items =
+  (* positionless entry point (kept for programmatic item lists): errors
+     are rendered exactly as before the located loader existed *)
+  of_located_items
+    ~where:(fun _ msg -> msg)
+    (List.map (fun item -> (0, item)) items)
+
 let final_instance l = Delta.apply l.updates l.instance
 
-let of_string input =
-  match Parser.parse input with
-  | items -> of_items items
+let where_of_file file line msg =
+  match file with
+  | Some f -> Printf.sprintf "%s:%d: %s" f line msg
+  | None -> Printf.sprintf "line %d: %s" line msg
+
+let of_string ?file input =
+  let at line col msg =
+    match file with
+    | Some f -> Printf.sprintf "%s:%d:%d: %s" f line col msg
+    | None -> Printf.sprintf "%d:%d: %s" line col msg
+  in
+  match Parser.parse_located input with
+  | litems -> of_located_items ~where:(where_of_file file) litems
   | exception Parser.Parse_error (msg, line, col) ->
-      Error (Printf.sprintf "parse error at %d:%d: %s" line col msg)
+      Error (at line col (Printf.sprintf "parse error: %s" msg))
   | exception Lexer.Lex_error (msg, line, col) ->
-      Error (Printf.sprintf "lexical error at %d:%d: %s" line col msg)
+      Error (at line col (Printf.sprintf "lexical error: %s" msg))
 
 let of_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | contents -> of_string contents
+  | contents -> of_string ~file:path contents
   | exception Sys_error msg -> Error msg

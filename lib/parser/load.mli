@@ -15,10 +15,17 @@ val of_items : Surface.file -> (loaded, string) result
     constraints through {!Ic.Constr.generic} (so all form-(1) side
     conditions are enforced) and names queries. *)
 
-val of_string : string -> (loaded, string) result
-(** Parse then load; lexer/parser errors are rendered with positions. *)
+val of_string : ?file:string -> string -> (loaded, string) result
+(** Parse then load.  Lexer/parser errors are rendered with
+    ["line:col:"] positions and semantic (load) errors with the
+    ["line:"] of the offending item; [file] prefixes both with the file
+    name ("file:line:col:" / "file:line:"), without it semantic errors
+    read ["line N: ..."]. *)
 
 val of_file : string -> (loaded, string) result
+(** {!of_string} with [~file:path], so every load error names the file
+    and the line of the offending item — a fuzzer-minimized repro (or any
+    conformance scenario) can be opened at the failure. *)
 
 val final_instance : loaded -> Relational.Instance.t
 (** The instance after applying the file's update statements in order

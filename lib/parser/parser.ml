@@ -382,35 +382,39 @@ let parse_query st =
       Surface.Query (name, head, body)
   | _ -> error st "expected query name"
 
-let parse input =
+let parse_located input =
   let st = { tokens = Lexer.tokenize input } in
   let rec items acc =
+    let line = (peek st).Lexer.line in
+    let located item = (line, item) in
     match (peek st).Lexer.token with
     | Lexer.EOF -> List.rev acc
     | Lexer.IDENT "relation" ->
         advance st;
-        items (parse_relation st :: acc)
+        items (located (parse_relation st) :: acc)
     | Lexer.IDENT "constraint" ->
         advance st;
-        items (parse_constraint st :: acc)
+        items (located (parse_constraint st) :: acc)
     | Lexer.IDENT "not_null" ->
         advance st;
-        items (parse_not_null st :: acc)
+        items (located (parse_not_null st) :: acc)
     | Lexer.IDENT "query" ->
         advance st;
-        items (parse_query st :: acc)
+        items (located (parse_query st) :: acc)
     | Lexer.IDENT "insert" ->
         advance st;
-        items (parse_update st `Insert :: acc)
+        items (located (parse_update st `Insert) :: acc)
     | Lexer.IDENT "delete" ->
         advance st;
-        items (parse_update st `Delete :: acc)
+        items (located (parse_update st `Delete) :: acc)
     | Lexer.UIDENT name ->
         advance st;
-        items (parse_fact st name :: acc)
+        items (located (parse_fact st name) :: acc)
     | _ ->
         error st
           "expected an item (relation, fact, constraint, not_null, query, \
            insert, delete)"
   in
   items []
+
+let parse input = List.map snd (parse_located input)

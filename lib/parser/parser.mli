@@ -36,3 +36,8 @@ exception Parse_error of string * int * int
 
 val parse : string -> Surface.file
 (** @raise Parse_error / Lexer.Lex_error with position information. *)
+
+val parse_located : string -> (int * Surface.item) list
+(** {!parse}, with the 1-based line each item starts on — the loader
+    threads these into its semantic error messages.
+    @raise Parse_error / Lexer.Lex_error with position information. *)

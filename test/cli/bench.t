@@ -5,12 +5,12 @@ structural and quota-independent):
 
   $ cqanull-bench --json baseline.json --micro --quota 0.005 --scale 30000 > /dev/null
   $ cqanull-bench --check-json baseline.json
-  baseline.json: ok (12 micro rows, 6 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows, 1 serve rows, 6 cdcl rows)
+  baseline.json: ok (12 micro rows, 6 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows, 1 serve rows, 6 cdcl rows, 37 conform rows)
 
 Stable top-level keys, in order (anchored to top-level indentation, since
 budget rows carry a "decompose" field of their own):
 
-  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel|session|routing|scale|serve|cdcl)"' baseline.json
+  $ grep -oE '^  "(schema|tool|unit|micro|solver|decompose|budget|parallel|session|routing|scale|serve|cdcl|conform)"' baseline.json
     "schema"
     "tool"
     "unit"
@@ -24,6 +24,7 @@ budget rows carry a "decompose" field of their own):
     "scale"
     "serve"
     "cdcl"
+    "conform"
 
 The solver telemetry carries all three engines for each E4 benchmark and
 every counter field is numeric — the counter rows stay pinned to the
@@ -81,8 +82,9 @@ materializing engines: three all-direct FD rows (the widest must beat
 decomposed enumeration by >= 10x, guarded by --check-json) and a mixed
 suite that exercises all four tiers in one plan.  Every routing row's
 Auto outcome must be byte-identical to the enumerate oracle — so with
-the three parallel rows, the session row, the serve row (below) and the
-six cdcl rows (below), fifteen identical flags:
+the three parallel rows, the session row, the serve row (below), the
+six cdcl rows (below) and the thirty-seven conformance rows (below),
+fifty-two identical flags:
 
   $ grep -c '"name": "E18.routing' baseline.json
   4
@@ -94,7 +96,7 @@ six cdcl rows (below), fifteen identical flags:
         "routed_disjunctive": 2,
         "routed_enumerate": 1,
   $ grep -c '"identical": "true"' baseline.json
-  15
+  52
 
 The scale telemetry (E19) pushes a generated FK+FD workload through the
 columnar storage at the --scale size and a tenth of it: bulk load, full
@@ -148,6 +150,24 @@ decisions — both guarded by --check-json:
   $ grep -c '"decision_ratio"' baseline.json
   6
 
+The conformance telemetry (E22) replays the full pinned suite — the
+paper's Examples 4-13, the Franconi-Tessaris null-algebra equivalences
+and the five generated scenario families — through every applicable
+engine tier, one row per case with per-tier wall-clocks; every case
+must answer through at least 4 tiers with byte-identical outcomes,
+over at least 5 families and 20 cases (all guarded by --check-json):
+
+  $ grep -c '"tiers": [0-9]' baseline.json
+  37
+  $ grep -oE '"family": "[^"]*"' baseline.json | sort -u
+  "family": "cyclic_ric"
+  "family": "fd_cluster"
+  "family": "fk_chain"
+  "family": "ft-null-algebra"
+  "family": "nnc_ric"
+  "family": "paper"
+  "family": "session_stream"
+
 The checked-in baselines all validate — the PR1 file under the original
 schema, the PR2 file with the decomposition section, the PR3 file with the
 budget counters:
@@ -170,6 +190,8 @@ budget counters:
   ../../BENCH_PR8.json: ok (12 micro rows, 4 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows, 1 serve rows)
   $ cqanull-bench --check-json ../../BENCH_PR9.json
   ../../BENCH_PR9.json: ok (12 micro rows, 6 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows, 1 serve rows, 6 cdcl rows)
+  $ cqanull-bench --check-json ../../BENCH_PR10.json
+  ../../BENCH_PR10.json: ok (12 micro rows, 6 solver rows, 4 decompose rows, 4 budget rows, 3 parallel rows, 1 session rows, 4 routing rows, 2 scale rows, 1 serve rows, 6 cdcl rows, 37 conform rows)
 
 The committed PR7 baseline was recorded at --scale 1000000: its headline
 row loads, checks and answers a million-tuple instance, and its 10^5 row
@@ -196,6 +218,18 @@ exactly at any quota:
   "name": "E20.serve.k6.c32"
   $ grep -cE '"name": "E21[^"]*"' ../../BENCH_PR9.json
   6
+
+The committed PR10 baseline keeps the full-scale and 32-client rows and
+adds the conformance replay — 37 cases, every one identical across
+tiers:
+
+  $ grep -oE '"name": "E20[^"]*"' ../../BENCH_PR10.json
+  "name": "E20.serve.k6.c32"
+  $ grep -c '"tiers": [0-9]' ../../BENCH_PR10.json
+  37
+  $ grep -c '"identical": "false"' ../../BENCH_PR10.json
+  0
+  [1]
 
 The regression guard compares the E1/E2 micro rows of the two checked-in
 baselines within a 10x tolerance:
@@ -266,6 +300,17 @@ PR9 comparison stays on the older sections:
   $ cqanull-bench --compare-json baseline.json baseline.json | grep -c '^cdcl '
   6
 
+Across the /10 bump it additionally covers the conform section — the new
+baseline must keep every conformance case identical across tiers and may
+not drop cases.  The section guard engages only when both files carry
+it, so the PR9 -> PR10 comparison stays on the older sections:
+
+  $ cqanull-bench --compare-json ../../BENCH_PR9.json ../../BENCH_PR10.json > compare910.out
+  $ tail -1 compare910.out
+  compare ok (3 guarded rows, tolerance 10x)
+  $ cqanull-bench --compare-json baseline.json baseline.json | grep '^conform '
+  conform 37 -> 37 cases, all identical across tiers
+
 Malformed input is rejected:
 
   $ echo '{"schema": "cqanull-bench/1", "micro": [' > broken.json
@@ -275,9 +320,9 @@ Malformed input is rejected:
 
 An unknown schema version is rejected:
 
-  $ echo '{"schema": "cqanull-bench/10", "tool": "x", "unit": "ns", "micro": [], "solver": []}' > badschema.json
+  $ echo '{"schema": "cqanull-bench/11", "tool": "x", "unit": "ns", "micro": [], "solver": []}' > badschema.json
   $ cqanull-bench --check-json badschema.json
-  badschema.json: unknown schema "cqanull-bench/10"
+  badschema.json: unknown schema "cqanull-bench/11"
   [1]
 
 Schema drift around the parallel section is rejected in both directions — a
@@ -323,7 +368,7 @@ Same in both directions for the scale section new in /7, and its two data
 contracts: a baseline whose incremental check diverged from the full
 re-check is rejected, as is one whose 10^5-row speedup fell below 10x:
 
-  $ sed -e 's|"schema": "cqanull-bench/9"|"schema": "cqanull-bench/6"|' -e 's/"engine": "cdcl"/"engine": "counter"/' baseline.json > drift7.json
+  $ sed -e 's|"schema": "cqanull-bench/10"|"schema": "cqanull-bench/6"|' -e 's/"engine": "cdcl"/"engine": "counter"/' baseline.json > drift7.json
   $ cqanull-bench --check-json drift7.json
   drift7.json: section "scale" requires schema cqanull-bench/7
   [1]
@@ -344,7 +389,7 @@ hits is rejected — a server that silently degraded to per-connection
 caches would still answer correctly, but it is not the system the schema
 documents:
 
-  $ sed -e 's|"schema": "cqanull-bench/9"|"schema": "cqanull-bench/7"|' -e 's/"engine": "cdcl"/"engine": "counter"/' baseline.json > drift8.json
+  $ sed -e 's|"schema": "cqanull-bench/10"|"schema": "cqanull-bench/7"|' -e 's/"engine": "cdcl"/"engine": "counter"/' baseline.json > drift8.json
   $ cqanull-bench --check-json drift8.json
   drift8.json: section "serve" requires schema cqanull-bench/8
   [1]
@@ -359,12 +404,12 @@ under the learning engine is itself /9-only, so merely downgrading the
 schema trips the engine whitelist; with those rows re-labelled the
 section membership check is what rejects the file:
 
-  $ sed 's|"schema": "cqanull-bench/9"|"schema": "cqanull-bench/8"|' baseline.json > cdclengine.json
+  $ sed 's|"schema": "cqanull-bench/10"|"schema": "cqanull-bench/8"|' baseline.json > cdclengine.json
   $ cqanull-bench --check-json cdclengine.json
   cdclengine.json: unknown engine "cdcl"
   [1]
 
-  $ sed -e 's|"schema": "cqanull-bench/9"|"schema": "cqanull-bench/8"|' -e 's/"engine": "cdcl"/"engine": "counter"/' baseline.json > drift9.json
+  $ sed -e 's|"schema": "cqanull-bench/10"|"schema": "cqanull-bench/8"|' -e 's/"engine": "cdcl"/"engine": "counter"/' baseline.json > drift9.json
   $ cqanull-bench --check-json drift9.json
   drift9.json: section "cdcl" requires schema cqanull-bench/9
   [1]
@@ -376,4 +421,21 @@ rejected — the sweep exists to keep that perf win checked in:
   $ sed 's/"cdcl_decisions": [0-9]*/"cdcl_decisions": 999/' baseline.json > slow9.json
   $ cqanull-bench --check-json slow9.json
   slow9.json: cdcl decisions 999 not <= 0.5x dpll decisions 71 on hard row "E21.lock.k3m4"
+  [1]
+
+Same in both directions for the conform section new in /10:
+
+  $ sed -e 's|"schema": "cqanull-bench/10"|"schema": "cqanull-bench/9"|' baseline.json > drift10.json
+  $ cqanull-bench --check-json drift10.json
+  drift10.json: section "conform" requires schema cqanull-bench/10
+  [1]
+
+And the /10 data contract: a baseline with a conformance case whose
+tiers diverged is rejected — cross-engine agreement on the pinned
+corpus is checked data, not prose (the conform section is the last in
+the file, so the flip below touches only its rows):
+
+  $ sed '/^  "conform": \[/,$ s/"identical": "true"/"identical": "false"/' baseline.json > badconform.json
+  $ cqanull-bench --check-json badconform.json
+  badconform.json: conformance case "ex4_sat" failed its cross-tier check
   [1]

@@ -69,10 +69,21 @@ Solving a hand-written disjunctive program, with cautious and brave modes:
   $ cqanull solve --brave program.dlv
   {a, b, c}
 
-Schema errors are reported with a clear message and exit code 2:
+Schema errors are reported with file and line and exit code 2:
 
   $ cqanull check badref.cqa
-  error: relation P has arity 1 but is used with 2 atoms
+  error: badref.cqa:2: relation P has arity 1 but is used with 2 atoms
+  [2]
+
+Malformed syntax also points at the file, line and column:
+
+  $ cat > malformed.cqa <<'EOF'
+  > relation R(k, a).
+  > R(1, 10).
+  > constraint fd R(K,A), R(K,B) -> A = B.
+  > EOF
+  $ cqanull check malformed.cqa
+  error: malformed.cqa:3:15: parse error: expected ':' after constraint (found 'R')
   [2]
 
 Saving repairs to files that re-check as consistent:
@@ -105,7 +116,7 @@ conflict-analysis counters:
   repairs:    2
   stats: decisions=3 states=0 components_solved=1 elapsed_ms=N
   routed: direct=0 shifted=1 disjunctive=0 enumerate=0
-  cdcl: conflicts=3 learned=4 restarts=0 backjump_len=4
+  cdcl: conflicts=3 learned=4 restarts=0 backjump_len=4 phase_saved=2
 
 Spelling the default out as --method auto gives the same routed answers:
 
@@ -117,7 +128,7 @@ Spelling the default out as --method auto gives the same routed answers:
   repairs:    2
   stats: decisions=3 states=0 components_solved=1 elapsed_ms=N
   routed: direct=0 shifted=1 disjunctive=0 enumerate=0
-  cdcl: conflicts=3 learned=4 restarts=0 backjump_len=4
+  cdcl: conflicts=3 learned=4 restarts=0 backjump_len=4 phase_saved=2
 
   $ cqanull repairs example.cqa --engine enumerate --decompose --stats | tail -n 2 | sed 's/elapsed_ms=[0-9]*/elapsed_ms=N/'
   2 repair(s)

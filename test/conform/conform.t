@@ -1,0 +1,105 @@
+The conformance suite: paper examples, null-algebra equivalences and the
+generated scenario families, answered through every engine tier.
+
+  $ cqanull conform
+  family paper            15 case(s), 15 passed
+  family ft-null-algebra   7 case(s),  7 passed
+  family fk_chain          3 case(s),  3 passed
+  family fd_cluster        3 case(s),  3 passed
+  family cyclic_ric        3 case(s),  3 passed
+  family nnc_ric           3 case(s),  3 passed
+  family session_stream    3 case(s),  3 passed
+  conform: 37/37 case(s) passed across 7 families
+
+A single family, case by case, with the tiers each case ran through.
+The nnc_ric family is the Example 20 conflict shape, where the program
+tiers are skipped (the repair program of Definition 9 is sound only for
+non-conflicting constraint sets) and the Rep_d cardinality is pinned
+instead.
+
+  $ cqanull conform --family nnc_ric --list
+  nnc_ric_forced         nnc_ric         NNC/RIC conflicts: 1 staff, 2 unassigned (constant fills vs deletion), 0 unaudited (two-way)
+  nnc_ric_mixed          nnc_ric         NNC/RIC conflicts: 1 staff, 1 unassigned (constant fills vs deletion), 2 unaudited (two-way)
+  nnc_ric_audit          nnc_ric         NNC/RIC conflicts: 2 staff, 0 unassigned (constant fills vs deletion), 3 unaudited (two-way)
+
+  $ cqanull conform --family nnc_ric -v
+  family nnc_ric           3 case(s),  3 passed
+    nnc_ric_forced       ok (4 tier(s): auto+enumerate+session+serve)
+    nnc_ric_mixed        ok (4 tier(s): auto+enumerate+session+serve)
+    nnc_ric_audit        ok (4 tier(s): auto+enumerate+session+serve)
+  conform: 3/3 case(s) passed across 1 families
+
+An unknown family is an error.
+
+  $ cqanull conform --family nosuch
+  error: no conformance family named nosuch
+  [2]
+
+Materializing the corpus.
+
+  $ cqanull conform --write-corpus corpus
+  wrote corpus/fk_chain/fk_chain_clean.cqa
+  wrote corpus/fk_chain/fk_chain_orphans.cqa
+  wrote corpus/fk_chain/fk_chain_deep.cqa
+  wrote corpus/fd_cluster/fd_cluster_single.cqa
+  wrote corpus/fd_cluster/fd_cluster_pair.cqa
+  wrote corpus/fd_cluster/fd_cluster_wide.cqa
+  wrote corpus/cyclic_ric/cyclic_ric_clean.cqa
+  wrote corpus/cyclic_ric/cyclic_ric_dangling.cqa
+  wrote corpus/cyclic_ric/cyclic_ric_deep.cqa
+  wrote corpus/nnc_ric/nnc_ric_forced.cqa
+  wrote corpus/nnc_ric/nnc_ric_mixed.cqa
+  wrote corpus/nnc_ric/nnc_ric_audit.cqa
+  wrote corpus/session_stream/session_stream_clean.cqa
+  wrote corpus/session_stream/session_stream_churn.cqa
+  wrote corpus/session_stream/session_stream_revoke.cqa
+
+  $ cat corpus/fd_cluster/fd_cluster_single.cqa
+  % FD clusters: 3 row(s), 1 conflict(s) of width 2
+  relation R(k, a).
+  R(k0, v0).
+  R(k1, v1).
+  R(k2, v2).
+  R(k0, w0_0).
+  constraint fd: R(K, A), R(K, B) -> A = B.
+  query vals(K, A): R(K, A).
+
+Differential fuzzing: a handful of seeds through every tier.  A generous
+--timeout leaves the run untouched (the deadline is checked between
+cases); the smoke alias uses it to bound the seeded sweep.
+
+  $ cqanull fuzz --seed 1 --cases 5 --timeout 60000
+  fuzz: 5 case(s), oracle differential, seeds 1..5: all passed
+
+The minimizing fuzzer, demonstrated with the inconsistency oracle: the
+first failing scenario shrinks to its minimal violation core.
+
+  $ cqanull fuzz --seed 1 --cases 10 --oracle inconsistent --minimize --out repro.cqa
+  fuzz: FAILURE at seed 1 (oracle inconsistent): final instance is inconsistent (1 violation(s))
+  minimized: size 12 -> 4 in 6 step(s)
+  wrote repro.cqa
+  [1]
+
+  $ cat repro.cqa
+  relation P(c1).
+  relation Q(c1).
+  relation R(c1, c2).
+  relation S(c1).
+  P(a).
+  S(a).
+  constraint no_ps: P(X), S(X) -> false.
+  query r_rows(X, Y): R(X, Y).
+
+The repro is a complete, loadable surface file that still exhibits the
+violation.
+
+  $ cqanull check repro.cqa
+  no_ps violated by P(a), S(a) under [X=a]
+  1 violation(s)
+  [1]
+
+An unknown oracle is an error.
+
+  $ cqanull fuzz --oracle nosuch
+  error: no oracle named nosuch (differential, inconsistent)
+  [2]

@@ -32,8 +32,8 @@ search shows the learning counters at work:
 
   $ cqanull repairs ../../scenarios/cyclic_ric_chain.cqa --stats | tail -n 3 | sed 's/elapsed_ms=[0-9]*/elapsed_ms=_/'
   16 repair(s)
-  stats: decisions=118 states=0 components_solved=0 elapsed_ms=_
-  cdcl: conflicts=53 learned=68 restarts=0 backjump_len=134
+  stats: decisions=71 states=0 components_solved=0 elapsed_ms=_
+  cdcl: conflicts=41 learned=56 restarts=0 backjump_len=87 phase_saved=18
 
   $ cqanull graph ../../scenarios/cyclic_ric_chain.cqa | grep RIC-acyclic
   RIC-acyclic: NO — cycle through {P,T}
@@ -44,8 +44,8 @@ into deletion, so the three choices give 2^3 repairs:
 
   $ cqanull repairs ../../scenarios/nnc_ric_conflicts.cqa --stats 2>&1 | tail -n 3 | sed 's/elapsed_ms=[0-9]*/elapsed_ms=_/'
   8 repair(s)
-  stats: decisions=160 states=0 components_solved=0 elapsed_ms=_
-  cdcl: conflicts=51 learned=58 restarts=0 backjump_len=213
+  stats: decisions=170 states=0 components_solved=0 elapsed_ms=_
+  cdcl: conflicts=43 learned=50 restarts=0 backjump_len=225 phase_saved=17
 
 Both search modes agree on the repair sets:
 

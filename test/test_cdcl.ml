@@ -129,7 +129,7 @@ let test_search_stats_dpll_zero () =
   let stats = Solver.new_stats () in
   ignore (Solver.stable_models ~search:`Dpll ~stats g);
   Alcotest.(check string) "dpll leaves the cdcl counters at zero"
-    "conflicts=0 learned=0 restarts=0 backjump_len=0"
+    "conflicts=0 learned=0 restarts=0 backjump_len=0 phase_saved=0"
     (Fmt.str "%a" Solver.pp_search_stats stats)
 
 let test_unsupported_atom () =
